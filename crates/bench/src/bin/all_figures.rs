@@ -1,0 +1,17 @@
+//! Regenerates every experiment of the paper's evaluation in one run.
+fn main() {
+    let cfg = iq_bench::Config::from_env();
+    let tables = [
+        iq_bench::figures::fig1_fetch(&cfg),
+        iq_bench::figures::va_sweep(&cfg),
+        iq_bench::figures::fig7(&cfg),
+        iq_bench::figures::fig8(&cfg),
+        iq_bench::figures::fig9(&cfg),
+        iq_bench::figures::fig10(&cfg),
+        iq_bench::figures::fig11(&cfg),
+        iq_bench::figures::fig12(&cfg),
+    ];
+    for t in tables {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,20 @@
+//! Ablations and extension experiments beyond the paper's figures:
+//! k-NN sweep, fractal-correction ablation, scheduler ablation, cost-model
+//! validation, and the eq-12 Minkowski approximation check.
+fn main() {
+    let cfg = iq_bench::Config::from_env();
+    for t in [
+        iq_bench::ablations::knn_sweep(&cfg),
+        iq_bench::ablations::fractal_ablation(&cfg),
+        iq_bench::ablations::scheduler_ablation(&cfg),
+        iq_bench::ablations::model_validation(&cfg),
+        iq_bench::ablations::minkowski_comparison(&cfg),
+        iq_bench::ablations::knn_model_check(&cfg),
+        iq_bench::ablations::fractal_sweep(&cfg),
+        iq_bench::ablations::cache_ablation(&cfg),
+        iq_bench::ablations::va_auto_ablation(&cfg),
+        iq_bench::ablations::block_size_sweep(&cfg),
+    ] {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 of the IQ-tree paper. `IQ_QUICK=1` for a fast smoke run.
+fn main() {
+    let cfg = iq_bench::Config::from_env();
+    print!("{}", iq_bench::figures::fig7(&cfg).render());
+}

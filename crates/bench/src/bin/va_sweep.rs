@@ -1,0 +1,5 @@
+//! The VA-file bits-per-dimension sweep of Section 4.2.
+fn main() {
+    let cfg = iq_bench::Config::from_env();
+    print!("{}", iq_bench::figures::va_sweep(&cfg).render());
+}

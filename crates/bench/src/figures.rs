@@ -1,0 +1,225 @@
+//! One function per figure of the paper's evaluation.
+//!
+//! Paper workloads:
+//! * Fig 7 — UNIFORM, 500k points, d = 4…16: IQ-tree concept ablation.
+//! * Fig 8 — UNIFORM, 500k points, d = 4…16: IQ-tree vs X-tree vs VA-file
+//!   vs scan.
+//! * Fig 9 — UNIFORM, d = 16, N = 100k…500k.
+//! * Fig 10 — CAD, d = 16, N = 100k…500k.
+//! * Fig 11 — COLOR, d = 16, N = 40k…100k.
+//! * Fig 12 — WEATHER, d = 9, N = 100k…500k.
+//!
+//! Plus two setup experiments the paper describes in text: the optimal
+//! batch-fetch strategy of Figure 1, and the VA-file bits sweep of
+//! Section 4.2.
+
+use crate::{Config, DataKind, Table};
+use iq_storage::{fetch, DiskModel};
+use iq_tree::IqTreeOptions;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const DIMS: [usize; 7] = [4, 6, 8, 10, 12, 14, 16];
+
+/// Figure 7: impact of the particular concepts (UNIFORM, 500k points,
+/// varying dimension) — four IQ-tree variants.
+pub fn fig7(cfg: &Config) -> Table {
+    let n = cfg.scaled(500_000);
+    let mut t = Table::new(
+        &format!(
+            "Figure 7 - UNIFORM, {n} points, varying dimension (avg NN total time, simulated s)"
+        ),
+        "dim",
+        &["opt+quant", "opt+noquant", "std+quant", "std+noquant"],
+    );
+    for dim in DIMS {
+        let w = DataKind::Uniform.workload(dim, n, cfg.queries, cfg.seed);
+        let variants = [
+            IqTreeOptions::default(),
+            IqTreeOptions {
+                quantize: false,
+                ..Default::default()
+            },
+            IqTreeOptions {
+                scheduled_io: false,
+                ..Default::default()
+            },
+            IqTreeOptions {
+                quantize: false,
+                scheduled_io: false,
+                ..Default::default()
+            },
+        ];
+        let vals: Vec<f64> = variants
+            .into_iter()
+            .map(|o| crate::run_iqtree(cfg, &w, o).total)
+            .collect();
+        t.push_row(dim, vals);
+        eprintln!("fig7: dim {dim} done");
+    }
+    t
+}
+
+/// Figure 8: performance comparison on UNIFORM, 500k points, varying
+/// dimension.
+pub fn fig8(cfg: &Config) -> Table {
+    let n = cfg.scaled(500_000);
+    let mut t = Table::new(
+        &format!(
+            "Figure 8 - UNIFORM, {n} points, varying dimension (avg NN total time, simulated s)"
+        ),
+        "dim",
+        &["IQ-tree", "X-tree", "VA-file", "Scan"],
+    );
+    for dim in DIMS {
+        let w = DataKind::Uniform.workload(dim, n, cfg.queries, cfg.seed);
+        let iq = crate::run_iqtree(cfg, &w, IqTreeOptions::default()).total;
+        let x = crate::run_xtree(cfg, &w).total;
+        let (_, va) = crate::run_vafile_best(cfg, &w);
+        let scan = crate::run_scan(cfg, &w).total;
+        t.push_row(dim, vec![iq, x, va.total, scan]);
+        eprintln!("fig8: dim {dim} done");
+    }
+    t
+}
+
+/// Shared shape of Figures 9–12: fixed dimension, varying database size.
+fn size_sweep(cfg: &Config, kind: DataKind, dim: usize, sizes: &[usize], title: &str) -> Table {
+    let mut t = Table::new(title, "N", &["IQ-tree", "X-tree", "VA-file", "Scan"]);
+    for &n0 in sizes {
+        let n = cfg.scaled(n0);
+        let w = kind.workload(dim, n, cfg.queries, cfg.seed);
+        let iq = crate::run_iqtree(cfg, &w, IqTreeOptions::default()).total;
+        let x = crate::run_xtree(cfg, &w).total;
+        let (_, va) = crate::run_vafile_best(cfg, &w);
+        let scan = crate::run_scan(cfg, &w).total;
+        t.push_row(n, vec![iq, x, va.total, scan]);
+        eprintln!(
+            "{}: N {} done",
+            title.split(' ').take(2).collect::<Vec<_>>().join(" "),
+            n
+        );
+    }
+    t
+}
+
+/// Figure 9: UNIFORM, 16 dimensions, varying the number of points.
+pub fn fig9(cfg: &Config) -> Table {
+    size_sweep(
+        cfg,
+        DataKind::Uniform,
+        16,
+        &[100_000, 200_000, 300_000, 400_000, 500_000],
+        "Figure 9 - UNIFORM, 16 dims, varying N (avg NN total time, simulated s)",
+    )
+}
+
+/// Figure 10: CAD analogue, 16 dimensions, varying the number of points.
+pub fn fig10(cfg: &Config) -> Table {
+    size_sweep(
+        cfg,
+        DataKind::Cad,
+        16,
+        &[100_000, 200_000, 300_000, 400_000, 500_000],
+        "Figure 10 - CAD, 16 dims, varying N (avg NN total time, simulated s)",
+    )
+}
+
+/// Figure 11: COLOR analogue, 16 dimensions, varying the number of points.
+pub fn fig11(cfg: &Config) -> Table {
+    size_sweep(
+        cfg,
+        DataKind::Color,
+        16,
+        &[40_000, 60_000, 80_000, 100_000],
+        "Figure 11 - COLOR, 16 dims, varying N (avg NN total time, simulated s)",
+    )
+}
+
+/// Figure 12: WEATHER analogue, 9 dimensions, varying the number of
+/// points.
+pub fn fig12(cfg: &Config) -> Table {
+    size_sweep(
+        cfg,
+        DataKind::Weather,
+        9,
+        &[100_000, 200_000, 300_000, 400_000, 500_000],
+        "Figure 12 - WEATHER, 9 dims, varying N (avg NN total time, simulated s)",
+    )
+}
+
+/// Figure 1 (concept): the optimal batch block-fetch strategy versus naive
+/// random accesses and a full scan, varying the selectivity (fraction of
+/// blocks selected out of a 100k-block file).
+pub fn fig1_fetch(cfg: &Config) -> Table {
+    let disk: DiskModel = cfg.disk;
+    let total_blocks: u64 = 100_000;
+    let mut t = Table::new(
+        "Figure 1 (concept) - batch fetch of n of 100k blocks (simulated s)",
+        "sel%",
+        &["optimal", "random", "full-scan"],
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for sel_pct in [0.01, 0.1, 1.0, 5.0, 10.0, 25.0, 50.0] {
+        let n = ((total_blocks as f64) * sel_pct / 100.0).round() as usize;
+        let mut positions: Vec<u64> = (0..n).map(|_| rng.gen_range(0..total_blocks)).collect();
+        positions.sort_unstable();
+        positions.dedup();
+        let runs = fetch::plan_fetch(&positions, &disk);
+        let optimal = fetch::plan_fetch_cost(&runs, &disk);
+        let random = disk.random_cost(positions.len() as u64);
+        let scan = disk.scan_cost(total_blocks);
+        t.push_row(format!("{sel_pct}"), vec![optimal, random, scan]);
+    }
+    t
+}
+
+/// Section 4.2 setup: the VA-file bits-per-dimension sweep (UNIFORM, 16
+/// dims) that the paper performs manually before each comparison.
+pub fn va_sweep(cfg: &Config) -> Table {
+    let n = cfg.scaled(100_000);
+    let w = DataKind::Uniform.workload(16, n, cfg.queries, cfg.seed);
+    let mut t = Table::new(
+        &format!(
+            "VA-file bits sweep - UNIFORM, 16 dims, {n} points (avg NN total time, simulated s)"
+        ),
+        "bits",
+        &["VA-file"],
+    );
+    for bits in 2..=8u32 {
+        t.push_row(bits, vec![crate::run_vafile(cfg, &w, bits).total]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny smoke versions of the figure drivers (full-scale runs live in
+    /// the binaries).
+    fn smoke_cfg() -> Config {
+        let mut c = Config::tiny();
+        c.scale_div = 1;
+        c.queries = 3;
+        c
+    }
+
+    #[test]
+    fn fig1_fetch_optimal_never_worse() {
+        let t = fig1_fetch(&smoke_cfg());
+        for (x, vals) in &t.rows {
+            let (optimal, random, scan) = (vals[0], vals[1], vals[2]);
+            assert!(optimal <= random + 1e-9, "sel {x}");
+            assert!(optimal <= scan + 1e-9, "sel {x}");
+        }
+    }
+
+    #[test]
+    fn va_sweep_runs() {
+        let mut cfg = smoke_cfg();
+        cfg.scale_div = 50; // 2k points
+        let t = va_sweep(&cfg);
+        assert_eq!(t.rows.len(), 7);
+        assert!(t.rows.iter().all(|(_, v)| v[0] > 0.0));
+    }
+}

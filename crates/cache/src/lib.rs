@@ -1,0 +1,352 @@
+//! LRU block buffer cache.
+//!
+//! The paper's experiments (like most index evaluations of its era) assume
+//! cold queries: every block access pays the disk. Real installations put
+//! a buffer pool in front of the disk. [`CachedDevice`] wraps any
+//! [`BlockDevice`] with an LRU cache of block frames:
+//!
+//! * a read whose blocks are *all* resident is served from memory and
+//!   charges nothing to the simulated clock,
+//! * any miss reads the whole requested range through to the device
+//!   (charged as usual) and populates the cache,
+//! * writes are write-through and update resident frames.
+//!
+//! The all-or-nothing policy keeps the cost semantics of ranged reads
+//! simple and conservative: a partially resident run still pays the full
+//! sweep, exactly like a real scatter-limited disk schedule would.
+
+use iq_storage::{BlockDevice, SimClock};
+use std::collections::HashMap;
+
+/// Doubly-linked LRU list over slab indices.
+struct LruList {
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+const NIL: usize = usize::MAX;
+
+impl LruList {
+    fn new() -> Self {
+        Self {
+            prev: Vec::new(),
+            next: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        if slot >= self.prev.len() {
+            self.prev.resize(slot + 1, NIL);
+            self.next.resize(slot + 1, NIL);
+        }
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    fn pop_lru(&mut self) -> Option<usize> {
+        let slot = self.tail;
+        if slot == NIL {
+            return None;
+        }
+        self.unlink(slot);
+        Some(slot)
+    }
+}
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Ranged reads fully served from memory.
+    pub hits: u64,
+    /// Ranged reads that went to the device.
+    pub misses: u64,
+    /// Frames evicted.
+    pub evictions: u64,
+}
+
+/// An LRU cache of block frames in front of any [`BlockDevice`].
+pub struct CachedDevice {
+    inner: Box<dyn BlockDevice>,
+    capacity: usize,
+    /// block index -> slot in `frames`.
+    map: HashMap<u64, usize>,
+    /// Frame slab; parallel to `blocks_of` (which block a slot holds).
+    frames: Vec<Vec<u8>>,
+    blocks_of: Vec<u64>,
+    free: Vec<usize>,
+    lru: LruList,
+    stats: CacheStats,
+}
+
+impl CachedDevice {
+    /// Wraps `inner` with a cache of `capacity_blocks` frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity_blocks == 0`.
+    pub fn new(inner: Box<dyn BlockDevice>, capacity_blocks: usize) -> Self {
+        assert!(capacity_blocks > 0, "cache needs at least one frame");
+        Self {
+            inner,
+            capacity: capacity_blocks,
+            map: HashMap::with_capacity(capacity_blocks),
+            frames: Vec::new(),
+            blocks_of: Vec::new(),
+            free: Vec::new(),
+            lru: LruList::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident frames.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Drops all resident frames and statistics (simulates a cold
+    /// restart).
+    pub fn clear(&mut self) {
+        self.stats = CacheStats::default();
+        self.map.clear();
+        self.frames.clear();
+        self.blocks_of.clear();
+        self.free.clear();
+        self.lru = LruList::new();
+    }
+
+    fn insert_frame(&mut self, block: u64, data: Vec<u8>) {
+        if let Some(&slot) = self.map.get(&block) {
+            self.frames[slot] = data;
+            self.lru.touch(slot);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(victim) = self.lru.pop_lru() {
+                let old = self.blocks_of[victim];
+                self.map.remove(&old);
+                self.free.push(victim);
+                self.stats.evictions += 1;
+            }
+        }
+        let slot = if let Some(slot) = self.free.pop() {
+            self.frames[slot] = data;
+            self.blocks_of[slot] = block;
+            slot
+        } else {
+            self.frames.push(data);
+            self.blocks_of.push(block);
+            self.frames.len() - 1
+        };
+        self.map.insert(block, slot);
+        self.lru.push_front(slot);
+    }
+}
+
+impl BlockDevice for CachedDevice {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_blocks(&mut self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
+        let bs = self.block_size();
+        assert_eq!(buf.len() % bs, 0, "partial-block read");
+        let nblocks = (buf.len() / bs) as u64;
+        let all_resident = (0..nblocks).all(|i| self.map.contains_key(&(start + i)));
+        if all_resident {
+            for i in 0..nblocks {
+                let slot = self.map[&(start + i)];
+                let off = (i as usize) * bs;
+                buf[off..off + bs].copy_from_slice(&self.frames[slot]);
+                self.lru.touch(slot);
+            }
+            self.stats.hits += 1;
+            return;
+        }
+        self.stats.misses += 1;
+        self.inner.read_blocks(clock, start, buf);
+        for i in 0..nblocks {
+            let off = (i as usize) * bs;
+            self.insert_frame(start + i, buf[off..off + bs].to_vec());
+        }
+    }
+
+    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> u64 {
+        let bs = self.block_size();
+        let start = self.inner.append(clock, data);
+        let nblocks = data.len().div_ceil(bs);
+        for i in 0..nblocks {
+            let lo = i * bs;
+            let mut frame = vec![0u8; bs];
+            let hi = ((i + 1) * bs).min(data.len());
+            frame[..hi - lo].copy_from_slice(&data[lo..hi]);
+            self.insert_frame(start + i as u64, frame);
+        }
+        start
+    }
+
+    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) {
+        let bs = self.block_size();
+        self.inner.write_blocks(clock, start, data);
+        for (i, chunk) in data.chunks_exact(bs).enumerate() {
+            self.insert_frame(start + i as u64, chunk.to_vec());
+        }
+    }
+
+    fn device_id(&self) -> u64 {
+        self.inner.device_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iq_storage::{CpuModel, DiskModel, MemDevice};
+
+    fn setup(cap: usize) -> (CachedDevice, SimClock) {
+        let clock = SimClock::new(DiskModel::default(), CpuModel::free());
+        let dev = CachedDevice::new(Box::new(MemDevice::new(64)), cap);
+        (dev, clock)
+    }
+
+    #[test]
+    fn repeated_reads_are_free() {
+        let (mut dev, mut clock) = setup(8);
+        dev.append(&mut clock, &vec![7u8; 64 * 4]);
+        clock.reset();
+        dev.clear();
+        let a = dev.read_to_vec(&mut clock, 0, 2);
+        let t1 = clock.io_time();
+        assert!(t1 > 0.0);
+        let b = dev.read_to_vec(&mut clock, 0, 2);
+        assert_eq!(a, b);
+        assert_eq!(clock.io_time(), t1, "second read must be free");
+        assert_eq!(dev.stats().hits, 1);
+        assert_eq!(dev.stats().misses, 1);
+    }
+
+    #[test]
+    fn partial_residency_reads_through() {
+        let (mut dev, mut clock) = setup(8);
+        dev.append(&mut clock, &vec![1u8; 64 * 4]);
+        dev.clear();
+        clock.reset();
+        dev.read_to_vec(&mut clock, 0, 1); // block 0 resident
+        let t1 = clock.io_time();
+        dev.read_to_vec(&mut clock, 0, 2); // block 1 missing -> full read
+        assert!(clock.io_time() > t1);
+        assert_eq!(dev.stats().misses, 2);
+    }
+
+    #[test]
+    fn eviction_respects_lru_order() {
+        let (mut dev, mut clock) = setup(2);
+        dev.append(&mut clock, &vec![9u8; 64 * 4]);
+        dev.clear();
+        dev.read_to_vec(&mut clock, 0, 1);
+        dev.read_to_vec(&mut clock, 1, 1);
+        dev.read_to_vec(&mut clock, 0, 1); // touch 0: LRU is now 1
+        dev.read_to_vec(&mut clock, 2, 1); // evicts 1
+        assert_eq!(dev.stats().evictions, 1);
+        clock.reset();
+        dev.read_to_vec(&mut clock, 0, 1); // still resident
+        assert_eq!(clock.io_time(), 0.0);
+        dev.read_to_vec(&mut clock, 1, 1); // was evicted
+        assert!(clock.io_time() > 0.0);
+    }
+
+    #[test]
+    fn writes_update_resident_frames() {
+        let (mut dev, mut clock) = setup(4);
+        dev.append(&mut clock, &vec![0u8; 64 * 2]);
+        dev.read_to_vec(&mut clock, 0, 1);
+        dev.write_blocks(&mut clock, 0, &vec![0xEEu8; 64]);
+        clock.reset();
+        let got = dev.read_to_vec(&mut clock, 0, 1);
+        assert_eq!(got, vec![0xEEu8; 64]);
+        assert_eq!(clock.io_time(), 0.0, "served from the updated frame");
+    }
+
+    #[test]
+    fn cache_is_transparent_for_contents() {
+        // Interleave reads/writes; cached contents must equal an uncached
+        // device fed the same operations.
+        let mut plain = MemDevice::new(32);
+        let mut cached = CachedDevice::new(Box::new(MemDevice::new(32)), 3);
+        let mut clock = SimClock::new(DiskModel::default(), CpuModel::free());
+        let mut c2 = SimClock::new(DiskModel::default(), CpuModel::free());
+        for i in 0..10u8 {
+            let data = vec![i; 32];
+            plain.append(&mut c2, &data);
+            cached.append(&mut clock, &data);
+        }
+        for step in 0..50u64 {
+            let b = (step * 7) % 10;
+            assert_eq!(
+                plain.read_to_vec(&mut c2, b, 1),
+                cached.read_to_vec(&mut clock, b, 1),
+                "block {b}"
+            );
+            if step % 3 == 0 {
+                let data = vec![(step % 251) as u8; 32];
+                plain.write_blocks(&mut c2, b, &data);
+                cached.write_blocks(&mut clock, b, &data);
+            }
+        }
+        // The cached device must have paid no more than the plain one.
+        assert!(clock.io_time() <= c2.io_time());
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let (mut dev, mut clock) = setup(4);
+        dev.append(&mut clock, &vec![3u8; 64]);
+        dev.read_to_vec(&mut clock, 0, 1);
+        assert!(dev.resident() > 0);
+        dev.clear();
+        assert_eq!(dev.resident(), 0);
+        clock.reset();
+        dev.read_to_vec(&mut clock, 0, 1);
+        assert!(clock.io_time() > 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Bulk maintenance: re-optimization after updates (Section 6).
+//!
+//! Dynamic updates degrade the structure over time: exact regions orphaned
+//! by relocations waste disk, page resolutions drift away from the cost
+//! optimum ("when an update modifies the variable cost for a page, it may
+//! turn out to be preferable to undo the split for this page, and to split
+//! a different page instead"). [`IqTree::rebuild`] restores the global
+//! optimum: it extracts all points, reruns the full construction pipeline
+//! (initial partitioning + optimal quantization) and swaps in fresh files.
+
+use crate::{IqTree, IqTreeOptions};
+use iq_geometry::Dataset;
+use iq_quantize::EXACT_BITS;
+use iq_storage::{BlockDevice, SimClock};
+
+impl IqTree {
+    /// Extracts every `(id, point)` currently stored, in page order.
+    ///
+    /// Reads the whole second level sequentially plus the exact regions of
+    /// non-exact pages (all charged to the clock).
+    pub fn export_points(&mut self, clock: &mut SimClock) -> (Vec<u32>, Dataset) {
+        let dim = self.dim();
+        let mut ids = Vec::with_capacity(self.len());
+        let mut points = Dataset::with_capacity(dim, self.len());
+        for idx in 0..self.pages().len() {
+            let meta = self.pages()[idx].clone();
+            if meta.count == 0 {
+                continue;
+            }
+            let block = meta.quant_block;
+            let bytes = self.quant_dev().read_to_vec(clock, block, 1);
+            let decoded = self.codec().decode(&bytes);
+            if decoded.bits() == EXACT_BITS {
+                for i in 0..decoded.len() {
+                    ids.push(decoded.id(i));
+                    points.push(&decoded.exact_point(i).expect("exact page"));
+                }
+            } else {
+                let region = self.read_exact_region(clock, idx);
+                let pb = self.exact_codec().point_bytes();
+                for i in 0..decoded.len() {
+                    ids.push(decoded.id(i));
+                    points.push(
+                        &self
+                            .exact_codec()
+                            .decode_point_at(&region[i * pb..(i + 1) * pb]),
+                    );
+                }
+            }
+        }
+        (ids, points)
+    }
+
+    /// Rebuilds the tree from its current contents: re-partitions,
+    /// re-optimizes the quantization, writes fresh files (reclaiming all
+    /// orphaned blocks) and replaces `self`.
+    ///
+    /// `make_dev` provides the three replacement devices, exactly as in
+    /// [`IqTree::build`]. Stored point ids are preserved.
+    ///
+    /// # Panics
+    /// Panics if the tree is empty.
+    pub fn rebuild(
+        &mut self,
+        clock: &mut SimClock,
+        make_dev: impl FnMut() -> Box<dyn BlockDevice>,
+    ) {
+        assert!(!self.is_empty(), "cannot rebuild an empty tree");
+        let (ids, points) = self.export_points(clock);
+        let opts: IqTreeOptions = *self.options();
+        let fresh = IqTree::build_with_ids(&points, &ids, self.metric(), opts, make_dev, clock);
+        *self = fresh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tests::{build_tree, random_ds};
+    use crate::IqTreeOptions;
+    use iq_storage::MemDevice;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn export_returns_every_point_once() {
+        let ds = random_ds(1_500, 5, 81);
+        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let (ids, points) = tree.export_points(&mut clock);
+        assert_eq!(ids.len(), 1_500);
+        assert_eq!(points.len(), 1_500);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1_500, "ids must be unique");
+        // Every exported point matches the original (exact pages are
+        // bit-exact; refined pages come from the exact file).
+        for (&id, p) in ids.iter().zip(points.iter()) {
+            assert_eq!(p, ds.point(id as usize), "id {id}");
+        }
+    }
+
+    #[test]
+    fn rebuild_reclaims_waste_and_preserves_answers() {
+        let ds = random_ds(2_000, 4, 82);
+        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        // Degrade with updates.
+        let mut rng = StdRng::seed_from_u64(83);
+        let mut extra = Vec::new();
+        for i in 0..500u32 {
+            let p: Vec<f32> = (0..4).map(|_| rng.gen()).collect();
+            tree.insert(&mut clock, 2_000 + i, &p);
+            extra.push(p);
+        }
+        for i in 0..200u32 {
+            assert!(tree.delete(&mut clock, i, ds.point(i as usize)));
+        }
+        let wasted_before = tree.wasted_exact_blocks();
+        let before: Vec<_> = (0..5)
+            .map(|i| tree.nearest(&mut clock, &extra[i]).expect("non-empty"))
+            .collect();
+
+        tree.rebuild(&mut clock, || Box::new(MemDevice::new(1024)));
+
+        assert_eq!(tree.len(), 2_300);
+        assert_eq!(tree.wasted_exact_blocks(), 0);
+        let _ = wasted_before; // may be zero if no region moved, that's fine
+        for (i, b) in before.iter().enumerate() {
+            let a = tree.nearest(&mut clock, &extra[i]).expect("non-empty");
+            assert_eq!(a.0, b.0, "query {i}");
+            assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rebuild_preserves_original_ids() {
+        let ds = random_ds(800, 3, 84);
+        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
+        tree.rebuild(&mut clock, || Box::new(MemDevice::new(512)));
+        for i in (0..800).step_by(97) {
+            let (id, d) = tree.nearest(&mut clock, ds.point(i)).expect("non-empty");
+            assert_eq!(id as usize, i);
+            assert!(d < 1e-9);
+        }
+    }
+}

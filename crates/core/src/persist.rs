@@ -1,0 +1,201 @@
+//! Persistence: reopening an IQ-tree from its three files.
+//!
+//! Everything a query needs is on disk: the flat directory encodes, per
+//! page, the exact MBR, resolution, population and the positions of the
+//! quantized block and exact region. [`IqTree::open`] reads the directory
+//! file back and reconstructs the in-memory state, so an index built with
+//! [`FileDevice`]s survives process restarts.
+//!
+//! [`FileDevice`]: iq_storage::FileDevice
+
+use crate::{dir_entry_bytes, IqTree, IqTreeOptions, PageMeta};
+use iq_cost::{DirectoryParams, RefineParams};
+use iq_geometry::{Mbr, Metric};
+use iq_quantize::{ExactPageCodec, QuantizedPageCodec};
+use iq_storage::{BlockDevice, SimClock};
+
+impl IqTree {
+    /// Opens an IQ-tree whose three files already exist (e.g. created by a
+    /// previous [`IqTree::build`] against [`FileDevice`]s).
+    ///
+    /// The directory file is read sequentially (charged to `clock`); the
+    /// entry count is derived from the quantized file's length — every
+    /// quantized page has exactly one directory entry.
+    ///
+    /// # Panics
+    /// Panics if the devices disagree on block size or the directory is
+    /// inconsistent with the quantized file.
+    ///
+    /// [`FileDevice`]: iq_storage::FileDevice
+    pub fn open(
+        dim: usize,
+        metric: Metric,
+        opts: IqTreeOptions,
+        mut dir: Box<dyn BlockDevice>,
+        quant: Box<dyn BlockDevice>,
+        exact: Box<dyn BlockDevice>,
+        clock: &mut SimClock,
+    ) -> Self {
+        assert!(
+            dir.block_size() == quant.block_size() && quant.block_size() == exact.block_size(),
+            "all three files must share one block size"
+        );
+        let n_pages = quant.num_blocks() as usize;
+        let eb = dir_entry_bytes(dim);
+        let dir_blocks = dir.num_blocks();
+        assert!(
+            dir_blocks as usize * dir.block_size() >= n_pages * eb,
+            "directory file too short for {n_pages} pages"
+        );
+        let dir_bytes = if dir_blocks > 0 {
+            dir.read_to_vec(clock, 0, dir_blocks)
+        } else {
+            Vec::new()
+        };
+
+        let mut pages = Vec::with_capacity(n_pages);
+        let mut n = 0usize;
+        for e in 0..n_pages {
+            let off = e * eb;
+            let entry = &dir_bytes[off..off + eb];
+            let f32_at =
+                |k: usize| f32::from_le_bytes(entry[4 * k..4 * k + 4].try_into().expect("4 bytes"));
+            let lb: Vec<f32> = (0..dim).map(&f32_at).collect();
+            let ub: Vec<f32> = (dim..2 * dim).map(&f32_at).collect();
+            let tail = &entry[8 * dim..];
+            let g = u32::from_le_bytes(tail[0..4].try_into().expect("4 bytes"));
+            let count = u32::from_le_bytes(tail[4..8].try_into().expect("4 bytes"));
+            let quant_block = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
+            let exact_start = u64::from_le_bytes(tail[16..24].try_into().expect("8 bytes"));
+            let exact_blocks = u32::from_le_bytes(tail[24..28].try_into().expect("4 bytes"));
+            assert!(
+                (1..=32).contains(&g),
+                "corrupt directory entry {e}: g = {g}"
+            );
+            n += count as usize;
+            pages.push(PageMeta {
+                mbr: Mbr::from_bounds(lb, ub),
+                g,
+                count,
+                quant_block,
+                exact_start,
+                exact_blocks,
+            });
+        }
+
+        let fractal = opts.fractal_dim.unwrap_or(dim as f64);
+        let mut dir_params = DirectoryParams::new(metric, dim, fractal, n.max(1));
+        dir_params.dir_entry_bytes = eb;
+        Self {
+            dim,
+            metric,
+            opts,
+            codec: QuantizedPageCodec::new(dim, quant.block_size()),
+            exact_codec: ExactPageCodec::new(dim),
+            dir,
+            quant,
+            exact,
+            pages,
+            dir_bytes,
+            n,
+            refine_params: RefineParams::fractal(metric, dim, fractal, n.max(1)),
+            dir_params,
+            trace: Default::default(),
+            wasted_exact_blocks: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::random_ds;
+    use iq_storage::FileDevice;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("iqtree-persist-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn file_dev(dir: &std::path::Path, name: &str, create: bool) -> Box<dyn BlockDevice> {
+        let path = dir.join(name);
+        Box::new(if create {
+            FileDevice::create(&path, 1024).expect("create")
+        } else {
+            FileDevice::open(&path, 1024).expect("open")
+        })
+    }
+
+    #[test]
+    fn build_close_reopen_query() {
+        let dir = temp_dir("roundtrip");
+        let ds = random_ds(2_000, 6, 91);
+        let mut clock = SimClock::default();
+        let names = ["dir.bin", "quant.bin", "exact.bin"];
+        let mut name_iter = names.iter();
+        let mut tree = IqTree::build(
+            &ds,
+            Metric::Euclidean,
+            IqTreeOptions::default(),
+            || file_dev(&dir, name_iter.next().expect("three devices"), true),
+            &mut clock,
+        );
+        let q = vec![0.42f32; 6];
+        let expect = tree.knn(&mut clock, &q, 5);
+        let pages_before = tree.num_pages();
+        drop(tree);
+
+        // Reopen from disk and run the same query.
+        let mut reopened = IqTree::open(
+            6,
+            Metric::Euclidean,
+            IqTreeOptions::default(),
+            file_dev(&dir, "dir.bin", false),
+            file_dev(&dir, "quant.bin", false),
+            file_dev(&dir, "exact.bin", false),
+            &mut clock,
+        );
+        assert_eq!(reopened.len(), 2_000);
+        assert_eq!(reopened.num_pages(), pages_before);
+        let got = reopened.knn(&mut clock, &q, 5);
+        assert_eq!(got, expect);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn reopened_tree_supports_updates() {
+        let dir = temp_dir("updates");
+        let ds = random_ds(800, 4, 92);
+        let mut clock = SimClock::default();
+        let names = ["d.bin", "q.bin", "e.bin"];
+        let mut it = names.iter();
+        let tree = IqTree::build(
+            &ds,
+            Metric::Euclidean,
+            IqTreeOptions::default(),
+            || file_dev(&dir, it.next().expect("three"), true),
+            &mut clock,
+        );
+        drop(tree);
+        let mut reopened = IqTree::open(
+            4,
+            Metric::Euclidean,
+            IqTreeOptions::default(),
+            file_dev(&dir, "d.bin", false),
+            file_dev(&dir, "q.bin", false),
+            file_dev(&dir, "e.bin", false),
+            &mut clock,
+        );
+        let p = [0.9f32, 0.8, 0.7, 0.6];
+        reopened.insert(&mut clock, 12_345, &p);
+        assert_eq!(
+            reopened.nearest(&mut clock, &p).expect("non-empty").0,
+            12_345
+        );
+        assert!(reopened.delete(&mut clock, 12_345, &p));
+        assert_eq!(reopened.len(), 800);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,770 @@
+//! Query processing: nearest-neighbor / k-NN search with the
+//! time-optimized page-access strategy (Sections 2.1, 2.2, 3.2) and range
+//! queries with optimal batch fetching (Section 2).
+//!
+//! The priority list holds two kinds of entries (Section 3.2): quantized
+//! data pages (keyed by their MBR's MINDIST) and *point approximations* —
+//! the grid-cell boxes of individual points, inserted when their page is
+//! processed. A point's exact coordinates are read if and only if its box
+//! becomes the pivot of the list, which the paper proves unavoidable.
+//!
+//! When the pivot is a page and scheduled I/O is enabled, the cumulated-
+//! cost-balance algorithm of Section 2.1 extends the read around the pivot
+//! in both disk directions: a neighboring page with access probability `a`
+//! contributes `t_xfer − a·(t_seek + t_xfer)` to the balance; sequences
+//! with negative balance are over-read in the same sweep; the search in
+//! either direction stops once the balance exceeds `t_seek`.
+
+use crate::{IqTree, PageMeta};
+use iq_cost::access_prob::fraction_in_ball;
+use iq_quantize::{GridQuantizer, EXACT_BITS};
+use iq_storage::{fetch, SimClock};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Heap entry target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Item {
+    /// A quantized data page (by index).
+    Page(u32),
+    /// A point approximation: `(page, slot, id)` — refined when popped.
+    Point(u32, u32, u32),
+}
+
+/// Ordered f64 key (finite, non-negative).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Key(f64);
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("distance keys are never NaN")
+    }
+}
+
+/// What a nearest-neighbor query actually did — returned by
+/// [`IqTree::knn_traced`] for inspection, tuning and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Quantized pages decoded and processed.
+    pub pages_processed: u64,
+    /// Pages loaded but skipped (over-read filler or already prunable).
+    pub pages_skipped: u64,
+    /// Contiguous read sweeps the scheduler issued.
+    pub runs: u64,
+    /// Exact-point look-ups (third-level refinements).
+    pub refinements: u64,
+    /// Point approximations that entered the priority list.
+    pub approx_enqueued: u64,
+}
+
+/// Per-query working state.
+struct SearchState {
+    /// MINDIST key of every page.
+    page_key: Vec<f64>,
+    /// Page indices sorted by ascending MINDIST key (priority order).
+    order: Vec<u32>,
+    /// Rank of each page in `order` (pages before it are its
+    /// higher-priority competitors).
+    rank: Vec<u32>,
+    /// Pages already loaded and processed (or scheduled away).
+    processed: Vec<bool>,
+    /// Current k-best exact results: (key, id), sorted ascending.
+    best: Vec<(f64, u32)>,
+    k: usize,
+    trace: QueryTrace,
+}
+
+impl SearchState {
+    /// The pruning bound in key space (k-th best exact distance).
+    fn bound(&self) -> f64 {
+        if self.best.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.best.last().expect("k >= 1").0
+        }
+    }
+
+    fn offer(&mut self, key: f64, id: u32) {
+        if self.best.len() < self.k || key < self.bound() {
+            let pos = self.best.partition_point(|&(d, _)| d < key);
+            self.best.insert(pos, (key, id));
+            if self.best.len() > self.k {
+                self.best.pop();
+            }
+        }
+    }
+}
+
+impl IqTree {
+    /// Exact nearest neighbor of `q`, as `(id, distance)`.
+    pub fn nearest(&mut self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
+        self.knn(clock, q, 1).pop()
+    }
+
+    /// The `k` exact nearest neighbors of `q`, ordered by increasing
+    /// distance.
+    pub fn knn(&mut self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
+        self.knn_traced(clock, q, k).0
+    }
+
+    /// Like [`IqTree::knn`], additionally returning a [`QueryTrace`] of
+    /// what the search did.
+    pub fn knn_traced(
+        &mut self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
+        if k == 0 || self.is_empty() {
+            return (Vec::new(), QueryTrace::default());
+        }
+        self.charge_directory_scan(clock);
+
+        let metric = self.metric();
+        let n_pages = self.pages().len();
+        let mut st = SearchState {
+            page_key: Vec::with_capacity(n_pages),
+            order: Vec::new(),
+            rank: Vec::new(),
+            processed: vec![false; n_pages],
+            best: Vec::with_capacity(k + 1),
+            k,
+            trace: QueryTrace::default(),
+        };
+        let mut heap: BinaryHeap<Reverse<(Key, Item)>> = BinaryHeap::with_capacity(n_pages);
+        for (i, meta) in self.pages().iter().enumerate() {
+            let key = if meta.count == 0 {
+                f64::INFINITY
+            } else {
+                metric.mindist_key(q, &meta.mbr)
+            };
+            st.page_key.push(key);
+            if key.is_finite() {
+                heap.push(Reverse((Key(key), Item::Page(i as u32))));
+            } else {
+                st.processed[i] = true;
+            }
+        }
+        // Priority order for the access-probability prefix walks.
+        let mut order: Vec<u32> = (0..n_pages as u32).collect();
+        order.sort_by(|&a, &b| {
+            st.page_key[a as usize]
+                .partial_cmp(&st.page_key[b as usize])
+                .expect("keys are never NaN")
+        });
+        let mut rank = vec![0u32; n_pages];
+        for (pos, &i) in order.iter().enumerate() {
+            rank[i as usize] = pos as u32;
+        }
+        st.order = order;
+        st.rank = rank;
+
+        while let Some(Reverse((Key(key), item))) = heap.pop() {
+            if key >= st.bound() {
+                break;
+            }
+            match item {
+                Item::Page(p) => {
+                    let p = p as usize;
+                    if st.processed[p] {
+                        continue;
+                    }
+                    if self.options().scheduled_io {
+                        self.process_page_run(clock, q, p, &mut st, &mut heap);
+                    } else {
+                        self.process_single_page(clock, q, p, &mut st, &mut heap);
+                    }
+                }
+                Item::Point(page, slot, id) => {
+                    // Refinement: unavoidable once the approximation is the
+                    // pivot (Section 3.2).
+                    let coords = self.read_exact_point(clock, page as usize, slot as usize);
+                    clock.charge_dist_evals(self.dim(), 1);
+                    st.trace.refinements += 1;
+                    st.offer(metric.distance_key(&coords, q), id);
+                }
+            }
+        }
+
+        let results = st
+            .best
+            .into_iter()
+            .map(|(key, id)| (id, metric.key_to_distance(key)))
+            .collect();
+        (results, st.trace)
+    }
+
+    /// Loads exactly one page (the "standard NN search" ablation).
+    fn process_single_page(
+        &mut self,
+        clock: &mut SimClock,
+        q: &[f32],
+        p: usize,
+        st: &mut SearchState,
+        heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
+    ) {
+        let block = self.pages()[p].quant_block;
+        let buf = self.quant_dev().read_to_vec(clock, block, 1);
+        st.processed[p] = true;
+        st.trace.runs += 1;
+        self.consume_page_bytes(clock, q, p, &buf, st, heap);
+    }
+
+    /// The time-optimized strategy: extend the read around the pivot while
+    /// the cumulated cost balance stays favorable (Section 2.1), then load
+    /// the whole sequence in one sweep and process every unprocessed page
+    /// in it.
+    fn process_page_run(
+        &mut self,
+        clock: &mut SimClock,
+        q: &[f32],
+        pivot: usize,
+        st: &mut SearchState,
+        heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
+    ) {
+        let disk = *clock.disk();
+        let n_pages = self.pages().len();
+        let bound = st.bound();
+
+        // Access probability of page i (eq 2): product over its
+        // higher-priority competitors — exactly the prefix of the sorted
+        // order before its rank. The product collapses quickly (each
+        // intersecting page holds many points), so the walk exits early
+        // almost always.
+        let prob = |tree: &IqTree, st: &SearchState, i: usize| -> f64 {
+            if st.processed[i] {
+                return 0.0;
+            }
+            let key = st.page_key[i];
+            if key >= bound {
+                return 0.0; // already prunable
+            }
+            let metric = tree.metric();
+            let r = metric.key_to_distance(key);
+            let mut p = 1.0f64;
+            for &j in &st.order[..st.rank[i] as usize] {
+                let j = j as usize;
+                if j == i || st.processed[j] {
+                    continue;
+                }
+                let meta = &tree.pages()[j];
+                if meta.count == 0 {
+                    continue;
+                }
+                let frac = fraction_in_ball(metric, &meta.mbr, q, r);
+                if frac >= 1.0 {
+                    return 0.0;
+                }
+                p *= (1.0 - frac).powi(meta.count as i32);
+                if p < 1e-12 {
+                    return 0.0;
+                }
+            }
+            p
+        };
+
+        // Forward extension.
+        let mut last = pivot;
+        let mut ccb = 0.0f64;
+        let mut i = pivot + 1;
+        while i < n_pages && ccb < disk.t_seek {
+            let a = prob(self, st, i);
+            ccb += disk.t_xfer - a * (disk.t_seek + disk.t_xfer);
+            if ccb < 0.0 {
+                last = i;
+                ccb = 0.0;
+            }
+            i += 1;
+        }
+        // Backward extension.
+        let mut first = pivot;
+        ccb = 0.0;
+        let mut j = pivot as i64 - 1;
+        while j >= 0 && ccb < disk.t_seek {
+            let a = prob(self, st, j as usize);
+            ccb += disk.t_xfer - a * (disk.t_seek + disk.t_xfer);
+            if ccb < 0.0 {
+                first = j as usize;
+                ccb = 0.0;
+            }
+            j -= 1;
+        }
+
+        // One sequential sweep over [first, last] (pages are laid out in
+        // index order in the quantized file).
+        let start_block = self.pages()[first].quant_block;
+        let run_len = (last - first + 1) as u64;
+        let buf = self.quant_dev().read_to_vec(clock, start_block, run_len);
+        st.trace.runs += 1;
+        let bs = buf.len() / run_len as usize;
+        // Process the loaded pages in MINDIST order, not disk order: the
+        // nearest page tightens the pruning bound first, letting the rest
+        // of the run be skipped or decoded against a finite bound.
+        let mut members: Vec<usize> = (first..=last).filter(|&p| !st.processed[p]).collect();
+        members.sort_by(|&a, &b| {
+            st.page_key[a]
+                .partial_cmp(&st.page_key[b])
+                .expect("keys are never NaN")
+        });
+        for p in members {
+            st.processed[p] = true;
+            if st.page_key[p] >= st.bound() {
+                st.trace.pages_skipped += 1;
+                continue; // loaded as filler; nothing useful inside
+            }
+            let off = (p - first) * bs;
+            let page_bytes = buf[off..off + bs].to_vec();
+            self.consume_page_bytes(clock, q, p, &page_bytes, st, heap);
+        }
+    }
+
+    /// Decodes a loaded page and feeds its contents to the search: exact
+    /// entries update the result set directly, approximations enter the
+    /// priority list as point boxes.
+    fn consume_page_bytes(
+        &mut self,
+        clock: &mut SimClock,
+        q: &[f32],
+        p: usize,
+        bytes: &[u8],
+        st: &mut SearchState,
+        heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
+    ) {
+        let metric = self.metric();
+        let decoded = self.codec().decode(bytes);
+        clock.charge_dist_evals(self.dim(), decoded.len() as u64);
+        st.trace.pages_processed += 1;
+        if decoded.bits() == EXACT_BITS {
+            for i in 0..decoded.len() {
+                let coords = decoded.exact_point(i).expect("exact page");
+                st.offer(metric.distance_key(&coords, q), decoded.id(i));
+            }
+        } else {
+            let meta: &PageMeta = &self.pages()[p];
+            let grid = GridQuantizer::new(&meta.mbr, decoded.bits());
+            for i in 0..decoded.len() {
+                let cell_box = grid.cell_box(decoded.cells(i));
+                let key = metric.mindist_key(q, &cell_box);
+                if key < st.bound() {
+                    st.trace.approx_enqueued += 1;
+                    heap.push(Reverse((
+                        Key(key),
+                        Item::Point(p as u32, i as u32, decoded.id(i)),
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Batch-refines a known set of `(page, slot, id)` candidates: plans
+    /// one optimal fetch over all exact-file blocks involved (Section 2 —
+    /// the positions are known in advance), then verifies each point with
+    /// `accept`. Returns the accepted ids.
+    fn refine_batch(
+        &mut self,
+        clock: &mut SimClock,
+        refinements: &[(usize, usize, u32)],
+        mut accept: impl FnMut(&[f32]) -> bool,
+    ) -> Vec<u32> {
+        let bs = self.block_size();
+        let pb = self.exact_codec().point_bytes();
+        // Every block any candidate touches, in disk order.
+        let mut positions: Vec<u64> = Vec::with_capacity(refinements.len() * 2);
+        for &(page, slot, _) in refinements {
+            let meta = &self.pages()[page];
+            let (first, nblocks, _) = self.exact_codec().point_span(slot, bs);
+            for b in 0..nblocks {
+                positions.push(meta.exact_start + first + b);
+            }
+        }
+        positions.sort_unstable();
+        positions.dedup();
+        let fetched = {
+            let exact = self.exact_dev();
+            fetch::fetch_blocks(exact, clock, &positions)
+        };
+        let block_bytes = |pos: u64| -> &[u8] {
+            let (run, buf) = fetched
+                .iter()
+                .find(|(run, _)| run.contains(pos))
+                .expect("fetch plan covers every refinement block");
+            let off = ((pos - run.start) as usize) * bs;
+            &buf[off..off + bs]
+        };
+        let mut out = Vec::new();
+        let mut point_buf = vec![0u8; pb];
+        for &(page, slot, id) in refinements {
+            let meta = &self.pages()[page];
+            let (first, nblocks, byte_off) = self.exact_codec().point_span(slot, bs);
+            if nblocks == 1 {
+                let bytes = block_bytes(meta.exact_start + first);
+                point_buf.copy_from_slice(&bytes[byte_off..byte_off + pb]);
+            } else {
+                // Straddles a block boundary: stitch.
+                let mut cursor = 0usize;
+                let mut off = byte_off;
+                for b in 0..nblocks {
+                    let bytes = block_bytes(meta.exact_start + first + b);
+                    let take = (bs - off).min(pb - cursor);
+                    point_buf[cursor..cursor + take].copy_from_slice(&bytes[off..off + take]);
+                    cursor += take;
+                    off = 0;
+                }
+            }
+            let coords = self.exact_codec().decode_point_at(&point_buf);
+            clock.charge_dist_evals(self.dim(), 1);
+            if accept(&coords) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    /// All points inside the query window (unordered ids) — the paper's
+    /// Section 2 case where the page set is known in advance: candidate
+    /// pages are exactly those whose MBR intersects the window, loaded with
+    /// the optimal batch-fetch schedule of Figure 1. A point is refined
+    /// only when its cell box straddles the window boundary.
+    ///
+    /// # Panics
+    /// Panics if the window's dimensionality mismatches.
+    pub fn window(&mut self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
+        assert_eq!(window.dim(), self.dim(), "window dimensionality mismatch");
+        if self.is_empty() {
+            return Vec::new();
+        }
+        self.charge_directory_scan(clock);
+        let candidates: Vec<usize> = self
+            .pages()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.count > 0 && m.mbr.intersects(window))
+            .map(|(i, _)| i)
+            .collect();
+        let positions: Vec<u64> = candidates
+            .iter()
+            .map(|&i| self.pages()[i].quant_block)
+            .collect();
+        let fetched = {
+            let quant = self.quant_dev();
+            fetch::fetch_blocks(quant, clock, &positions)
+        };
+        let bs = self.codec().block_size();
+        let mut out = Vec::new();
+        let mut refinements: Vec<(usize, usize, u32)> = Vec::new();
+        for &p in &candidates {
+            let block = self.pages()[p].quant_block;
+            let (run, buf) = fetched
+                .iter()
+                .find(|(run, _)| run.contains(block))
+                .expect("fetch plan covers every candidate");
+            let off = ((block - run.start) as usize) * bs;
+            let bytes = buf[off..off + bs].to_vec();
+            let decoded = self.codec().decode(&bytes);
+            clock.charge_dist_evals(self.dim(), decoded.len() as u64);
+            if decoded.bits() == EXACT_BITS {
+                for i in 0..decoded.len() {
+                    let coords = decoded.exact_point(i).expect("exact page");
+                    if window.contains_point(&coords) {
+                        out.push(decoded.id(i));
+                    }
+                }
+            } else {
+                let grid = GridQuantizer::new(&self.pages()[p].mbr, decoded.bits());
+                for i in 0..decoded.len() {
+                    let cell_box = grid.cell_box(decoded.cells(i));
+                    if !window.intersects(&cell_box) {
+                        continue;
+                    }
+                    if window.contains_mbr(&cell_box) {
+                        out.push(decoded.id(i));
+                    } else {
+                        refinements.push((p, i, decoded.id(i)));
+                    }
+                }
+            }
+        }
+        out.extend(self.refine_batch(clock, &refinements, |coords| window.contains_point(coords)));
+        out
+    }
+
+    /// All points within `radius` of `q` (unordered ids).
+    ///
+    /// The set of candidate pages is known up front, so the optimal batch
+    /// fetch of Section 2 (Figure 1) loads them with the minimal
+    /// seek/over-read schedule. Points whose cell box lies entirely within
+    /// the radius are accepted without refinement.
+    pub fn range(&mut self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+        assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
+        if self.is_empty() {
+            return Vec::new();
+        }
+        self.charge_directory_scan(clock);
+        let metric = self.metric();
+        let key_r = metric.distance_to_key(radius);
+
+        let candidates: Vec<usize> = self
+            .pages()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.count > 0 && metric.mindist_key(q, &m.mbr) <= key_r)
+            .map(|(i, _)| i)
+            .collect();
+        let positions: Vec<u64> = candidates
+            .iter()
+            .map(|&i| self.pages()[i].quant_block)
+            .collect();
+
+        let mut out = Vec::new();
+        let mut refinements: Vec<(usize, usize, u32)> = Vec::new(); // (page, slot, id)
+        let fetched = {
+            let quant = self.quant_dev();
+            fetch::fetch_blocks(quant, clock, &positions)
+        };
+        let bs = self.codec().block_size();
+        for &p in &candidates {
+            let block = self.pages()[p].quant_block;
+            let (run, buf) = fetched
+                .iter()
+                .find(|(run, _)| run.contains(block))
+                .expect("fetch plan covers every candidate");
+            let off = ((block - run.start) as usize) * bs;
+            let bytes = buf[off..off + bs].to_vec();
+            let decoded = self.codec().decode(&bytes);
+            clock.charge_dist_evals(self.dim(), decoded.len() as u64);
+            if decoded.bits() == EXACT_BITS {
+                for i in 0..decoded.len() {
+                    let coords = decoded.exact_point(i).expect("exact page");
+                    if metric.distance_key(&coords, q) <= key_r {
+                        out.push(decoded.id(i));
+                    }
+                }
+            } else {
+                let grid = GridQuantizer::new(&self.pages()[p].mbr, decoded.bits());
+                for i in 0..decoded.len() {
+                    let cell_box = grid.cell_box(decoded.cells(i));
+                    if metric.mindist_key(q, &cell_box) > key_r {
+                        continue;
+                    }
+                    if metric.distance_to_key(metric.maxdist(q, &cell_box)) <= key_r {
+                        out.push(decoded.id(i)); // box fully inside: no refinement
+                    } else {
+                        refinements.push((p, i, decoded.id(i)));
+                    }
+                }
+            }
+        }
+        out.extend(self.refine_batch(clock, &refinements, |coords| {
+            metric.distance_key(coords, q) <= key_r
+        }));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tests::{build_tree, random_ds};
+    use crate::IqTreeOptions;
+    use iq_geometry::{Dataset, Metric};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn brute_knn(ds: &Dataset, q: &[f32], k: usize) -> Vec<(u32, f64)> {
+        let m = Metric::Euclidean;
+        let mut all: Vec<(u32, f64)> = (0..ds.len())
+            .map(|i| (i as u32, m.distance(ds.point(i), q)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_all_variants() {
+        let ds = random_ds(1_200, 6, 11);
+        let variants = [
+            IqTreeOptions::default(),
+            IqTreeOptions {
+                scheduled_io: false,
+                ..Default::default()
+            },
+            IqTreeOptions {
+                quantize: false,
+                ..Default::default()
+            },
+            IqTreeOptions {
+                quantize: false,
+                scheduled_io: false,
+                ..Default::default()
+            },
+        ];
+        for (vi, opts) in variants.into_iter().enumerate() {
+            let (mut tree, mut clock) = build_tree(&ds, opts, 1024);
+            let mut rng = StdRng::seed_from_u64(42);
+            for t in 0..15 {
+                let q: Vec<f32> = (0..6).map(|_| rng.gen()).collect();
+                let (_, d) = tree.nearest(&mut clock, &q).expect("non-empty");
+                let expect = brute_knn(&ds, &q, 1)[0];
+                assert!(
+                    (d - expect.1).abs() < 1e-6,
+                    "variant {vi}, query {t}: {d} vs {}",
+                    expect.1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let ds = random_ds(900, 5, 12);
+        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let q = vec![0.37f32; 5];
+        let got = tree.knn(&mut clock, &q, 11);
+        let expect = brute_knn(&ds, &q, 11);
+        assert_eq!(got.len(), 11);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g.1 - e.1).abs() < 1e-6, "{got:?}");
+        }
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let ds = random_ds(1_000, 4, 13);
+        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
+        for (q, r) in [
+            (vec![0.5f32; 4], 0.3),
+            (vec![0.1f32; 4], 0.5),
+            (vec![0.9f32; 4], 0.05),
+        ] {
+            let mut got = tree.range(&mut clock, &q, r);
+            got.sort_unstable();
+            let mut expect: Vec<u32> = (0..ds.len() as u32)
+                .filter(|&i| Metric::Euclidean.distance(ds.point(i as usize), &q) <= r)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "r={r}");
+        }
+    }
+
+    #[test]
+    fn scheduled_io_reduces_seeks() {
+        // In high dimensions many pages must be read; the scheduler should
+        // turn most of the random accesses into sweeps.
+        let ds = random_ds(6_000, 12, 14);
+        let (mut t_std, mut c_std) = build_tree(
+            &ds,
+            IqTreeOptions {
+                scheduled_io: false,
+                ..Default::default()
+            },
+            1024,
+        );
+        let (mut t_opt, mut c_opt) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let q = vec![0.5f32; 12];
+        t_std.nearest(&mut c_std, &q);
+        t_opt.nearest(&mut c_opt, &q);
+        assert!(
+            c_opt.stats().seeks < c_std.stats().seeks,
+            "opt {} vs std {} seeks",
+            c_opt.stats().seeks,
+            c_std.stats().seeks
+        );
+        assert!(
+            c_opt.io_time() <= c_std.io_time(),
+            "opt {} vs std {} io seconds",
+            c_opt.io_time(),
+            c_std.io_time()
+        );
+    }
+
+    #[test]
+    fn empty_k_returns_empty() {
+        let ds = random_ds(100, 3, 15);
+        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
+        assert!(tree.knn(&mut clock, &[0.5, 0.5, 0.5], 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let ds = random_ds(50, 3, 16);
+        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
+        let got = tree.knn(&mut clock, &[0.5, 0.5, 0.5], 500);
+        assert_eq!(got.len(), 50);
+    }
+
+    #[test]
+    fn maximum_metric_nearest() {
+        let ds = random_ds(700, 5, 17);
+        let mut clock = iq_storage::SimClock::default();
+        let mut tree = crate::IqTree::build(
+            &ds,
+            Metric::Maximum,
+            IqTreeOptions::default(),
+            || Box::new(iq_storage::MemDevice::new(1024)),
+            &mut clock,
+        );
+        let q = vec![0.6f32; 5];
+        let (_, d) = tree.nearest(&mut clock, &q).expect("non-empty");
+        let expect = (0..ds.len())
+            .map(|i| Metric::Maximum.distance(ds.point(i), &q))
+            .fold(f64::INFINITY, f64::min);
+        assert!((d - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn query_trace_reports_work() {
+        let ds = random_ds(3_000, 8, 19);
+        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let q = vec![0.5f32; 8];
+        let (results, trace) = tree.knn_traced(&mut clock, &q, 3);
+        assert_eq!(results.len(), 3);
+        assert!(trace.pages_processed >= 1);
+        assert!(trace.runs >= 1);
+        assert!(trace.runs <= clock.stats().seeks + 1);
+        // With quantized pages, some approximations must have been
+        // enqueued, and the NN itself requires at least one refinement
+        // unless its page was exact.
+        let any_quantized = tree.pages().iter().any(|p| p.g < 32);
+        if any_quantized {
+            assert!(trace.approx_enqueued > 0);
+        }
+        // Trace is consistent with the page universe.
+        assert!(trace.pages_processed + trace.pages_skipped <= tree.num_pages() as u64);
+    }
+
+    #[test]
+    fn standard_mode_traces_one_run_per_page() {
+        let ds = random_ds(2_000, 6, 20);
+        let opts = IqTreeOptions {
+            scheduled_io: false,
+            ..Default::default()
+        };
+        let (mut tree, mut clock) = build_tree(&ds, opts, 1024);
+        let (_, trace) = tree.knn_traced(&mut clock, &vec![0.3f32; 6], 1);
+        assert_eq!(
+            trace.runs, trace.pages_processed,
+            "one random read per page"
+        );
+        assert_eq!(trace.pages_skipped, 0);
+    }
+
+    #[test]
+    fn query_cost_is_deterministic() {
+        let ds = random_ds(2_000, 8, 18);
+        let q = vec![0.42f32; 8];
+        let (mut t1, mut c1) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let (mut t2, mut c2) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        t1.nearest(&mut c1, &q);
+        t2.nearest(&mut c2, &q);
+        assert_eq!(c1.io_time(), c2.io_time());
+        assert_eq!(c1.stats(), c2.stats());
+    }
+}

@@ -1,0 +1,221 @@
+//! Directory-level cost estimation (eqs 16–22) and the total (eq 23).
+
+use iq_geometry::{volume, Metric};
+use iq_storage::DiskModel;
+
+/// Parameters describing the directory levels of an IQ-tree-like index.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectoryParams {
+    /// Metric of the workload.
+    pub metric: Metric,
+    /// Embedding dimensionality `d`.
+    pub dim: usize,
+    /// Correlation fractal dimension `D_F`.
+    pub fractal_dim: f64,
+    /// Total number of indexed points `N`.
+    pub num_points: usize,
+    /// Bytes per first-level directory entry (MBR + pointer).
+    pub dir_entry_bytes: usize,
+}
+
+impl DirectoryParams {
+    /// Default entry size: `2·d` f32 bounds plus an 8-byte page reference.
+    pub fn new(metric: Metric, dim: usize, fractal_dim: f64, num_points: usize) -> Self {
+        Self {
+            metric,
+            dim,
+            fractal_dim: fractal_dim.clamp(0.1, dim as f64),
+            num_points,
+            dir_entry_bytes: 8 * dim + 8,
+        }
+    }
+}
+
+/// `T_1st` (eq 22): one sequential read of the flat directory holding `n`
+/// entries.
+pub fn first_level_cost(p: &DirectoryParams, disk: &DiskModel, n: usize) -> f64 {
+    disk.scan_cost(disk.blocks_for(n * p.dir_entry_bytes))
+}
+
+/// Expected number of second-level pages a nearest-neighbor query must read
+/// (eqs 16–18): `k = n · V_mink(MBR, NN-sphere)^{D_F/d}` with the typical
+/// page region a cube of volume `(1/n)^{d/D_F}` and the NN sphere of volume
+/// `(1/N)^{d/D_F}`, both Minkowski-clipped against the unit data space
+/// (the boundary-effect adaptation the paper refers to \[8\] for).
+pub fn expected_pages_accessed(p: &DirectoryParams, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let d = p.dim as f64;
+    let v_mbr = (1.0 / n as f64).powf(d / p.fractal_dim).min(1.0);
+    let v_sphere = (1.0 / p.num_points.max(1) as f64)
+        .powf(d / p.fractal_dim)
+        .min(1.0);
+    let side = v_mbr.powf(1.0 / d);
+    let r = volume::ball_radius(p.metric, p.dim, v_sphere);
+    // Boundary clipping: no side of the Minkowski enlargement can exceed
+    // the data space extent 1.
+    let sides = vec![(side.min(1.0)) as f32; p.dim];
+    let clipped: Vec<f32> = sides
+        .iter()
+        .map(|&s| (f64::from(s) + 2.0 * r).min(1.0) as f32)
+        .collect();
+    // The clipping above already accounts for the ball enlargement, so take
+    // the plain box volume of the clipped enlargement.
+    let v_mink = if clipped
+        .iter()
+        .any(|&c| f64::from(c) < f64::from(sides[0]) + 2.0 * r)
+    {
+        clipped.iter().map(|&c| f64::from(c)).product::<f64>()
+    } else {
+        volume::minkowski_box_ball(p.metric, &sides, r)
+    }
+    .min(1.0);
+    let frac = v_mink.powf(p.fractal_dim / d).min(1.0);
+    (n as f64 * frac).max(1.0).min(n as f64)
+}
+
+/// `T_2nd` (eqs 19–21): the cost of reading `k` of `n` uniformly spread
+/// pages with the optimal seek/over-read trade-off.
+///
+/// Computed by direct expectation over the geometric gap distribution
+/// rather than the paper's closed form — same model, fewer algebra
+/// hazards: with selection probability `q = k/n`, the distance to the next
+/// selected page is `a` with probability `q(1-q)^{a-1}`; distances within
+/// the over-read horizon `v = t_seek/t_xfer` are read through (`a·t_xfer`),
+/// longer ones seek (`t_seek + t_xfer`).
+pub fn second_level_cost(p: &DirectoryParams, disk: &DiskModel, n: usize) -> f64 {
+    let k = expected_pages_accessed(p, n);
+    second_level_cost_for_k(disk, n, k)
+}
+
+/// `T_2nd` for an explicit expected page count `k`.
+pub fn second_level_cost_for_k(disk: &DiskModel, n: usize, k: f64) -> f64 {
+    if n == 0 || k <= 0.0 {
+        return 0.0;
+    }
+    let k = k.min(n as f64);
+    let q = (k / n as f64).clamp(f64::MIN_POSITIVE, 1.0);
+    let v = disk.overread_horizon().floor() as u64;
+    // Expected cost of one transition to the next selected page.
+    let mut through = 0.0;
+    let mut tail = 1.0; // P(dist > a) running value
+    for a in 1..=v {
+        let p_eq = q * (1.0 - q).powi((a - 1) as i32);
+        through += p_eq * a as f64 * disk.t_xfer;
+        tail -= p_eq;
+    }
+    let transition = through + tail.max(0.0) * (disk.t_seek + disk.t_xfer);
+    disk.t_seek + disk.t_xfer + (k - 1.0).max(0.0) * transition
+}
+
+/// `T_1st + T_2nd` — the "constant cost" of a partitioning with `n` pages,
+/// shared by every partition (Section 3.5).
+pub fn constant_cost(p: &DirectoryParams, disk: &DiskModel, n: usize) -> f64 {
+    first_level_cost(p, disk, n) + second_level_cost(p, disk, n)
+}
+
+/// `T = T_1st + T_2nd + T_3rd` (eq 23), where the caller supplies the summed
+/// refinement (variable) cost of all pages.
+pub fn total_cost(
+    p: &DirectoryParams,
+    disk: &DiskModel,
+    n: usize,
+    summed_refinement_cost: f64,
+) -> f64 {
+    constant_cost(p, disk, n) + summed_refinement_cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(dim: usize, n_points: usize) -> DirectoryParams {
+        DirectoryParams::new(Metric::Euclidean, dim, dim as f64, n_points)
+    }
+
+    fn disk() -> DiskModel {
+        DiskModel::default()
+    }
+
+    #[test]
+    fn first_level_is_linear_in_pages() {
+        let p = params(16, 100_000);
+        let d = disk();
+        let c1 = first_level_cost(&p, &d, 100);
+        let c2 = first_level_cost(&p, &d, 10_000);
+        assert!(c2 > c1);
+        // Slope ~ entry_bytes/block per page.
+        let per_page = (c2 - c1) / 9_900.0;
+        let expect = p.dir_entry_bytes as f64 / d.block_size as f64 * d.t_xfer;
+        assert!(
+            (per_page - expect).abs() / expect < 0.05,
+            "{per_page} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn expected_pages_at_least_one_at_most_n() {
+        for dim in [2usize, 8, 16] {
+            let p = params(dim, 500_000);
+            for n in [1usize, 10, 1000, 100_000] {
+                let k = expected_pages_accessed(&p, n);
+                assert!(k >= 1.0 && k <= n as f64, "dim={dim} n={n}: k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_dim_accesses_larger_fraction() {
+        // The dimensionality curse: at fixed n and N, the accessed fraction
+        // k/n grows with the dimension.
+        let n = 1000;
+        let lo = expected_pages_accessed(&params(4, 500_000), n);
+        let hi = expected_pages_accessed(&params(16, 500_000), n);
+        assert!(hi > lo, "low-d {lo} vs high-d {hi}");
+    }
+
+    #[test]
+    fn second_level_cost_bounds() {
+        let d = disk();
+        // Reading all n pages must cost at most ~a scan and at least the
+        // transfer of all blocks.
+        let n = 1000;
+        let all = second_level_cost_for_k(&d, n, n as f64);
+        assert!(all >= n as f64 * d.t_xfer);
+        assert!(all <= d.scan_cost(n as u64) + 1e-9);
+        // Reading one page costs one random access.
+        let one = second_level_cost_for_k(&d, n, 1.0);
+        assert!((one - (d.t_seek + d.t_xfer)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_level_cost_monotone_in_k() {
+        let d = disk();
+        let mut prev = 0.0;
+        for k in [1.0, 5.0, 50.0, 200.0, 999.0] {
+            let c = second_level_cost_for_k(&d, 1000, k);
+            assert!(c >= prev, "k={k}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn sparse_selection_costs_like_random_io() {
+        let d = disk();
+        // 10 pages out of a million: gaps are huge -> pure random accesses.
+        let c = second_level_cost_for_k(&d, 1_000_000, 10.0);
+        assert!((c - 10.0 * (d.t_seek + d.t_xfer)).abs() / c < 0.01);
+    }
+
+    #[test]
+    fn total_adds_up() {
+        let p = params(8, 100_000);
+        let d = disk();
+        let t = total_cost(&p, &d, 500, 0.25);
+        assert!(
+            (t - (first_level_cost(&p, &d, 500) + second_level_cost(&p, &d, 500) + 0.25)).abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! CSV import/export for point sets.
+//!
+//! The interchange format the `iq` CLI uses: one point per line, `f32`
+//! coordinates separated by commas. Dimensionality is inferred from the
+//! first row and enforced on the rest.
+
+use iq_geometry::Dataset;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes `ds` as CSV to `path` (one row per point).
+pub fn write_csv(path: &Path, ds: &Dataset) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    let mut line = String::new();
+    for p in ds.iter() {
+        line.clear();
+        for (i, x) in p.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&x.to_string());
+        }
+        writeln!(w, "{line}").map_err(|e| format!("write {path:?}: {e}"))?;
+    }
+    w.flush().map_err(|e| format!("flush {path:?}: {e}"))
+}
+
+/// Reads a CSV point file written by [`write_csv`] (or any compatible
+/// producer). Empty lines are skipped; ragged rows are an error.
+pub fn read_csv(path: &Path) -> Result<Dataset, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let reader = BufReader::new(file);
+    let mut ds: Option<Dataset> = None;
+    let mut row: Vec<f32> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read {path:?}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        row.clear();
+        for tok in line.split(',') {
+            let x: f32 = tok
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: invalid coordinate `{tok}`", lineno + 1))?;
+            if !x.is_finite() {
+                return Err(format!("line {}: non-finite coordinate", lineno + 1));
+            }
+            row.push(x);
+        }
+        let ds = ds.get_or_insert_with(|| Dataset::new(row.len()));
+        if row.len() != ds.dim() {
+            return Err(format!(
+                "line {}: expected {} coordinates, got {}",
+                lineno + 1,
+                ds.dim(),
+                row.len()
+            ));
+        }
+        ds.push(&row);
+    }
+    ds.ok_or_else(|| format!("{path:?} contains no points"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("iq-data-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = crate::generate::uniform(5, 200, 3);
+        let path = temp_file("roundtrip.csv");
+        write_csv(&path, &ds).expect("write");
+        let back = read_csv(&path).expect("read");
+        assert_eq!(back.dim(), 5);
+        assert_eq!(back.len(), 200);
+        for (a, b) in ds.iter().zip(back.iter()) {
+            assert_eq!(a, b, "f32 -> decimal -> f32 must be exact");
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn skips_empty_lines() {
+        let path = temp_file("gaps.csv");
+        std::fs::write(&path, "1,2\n\n3,4\n   \n5,6\n").expect("write");
+        let ds = read_csv(&path).expect("read");
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.point(2), &[5.0, 6.0]);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn rejects_ragged_and_garbage() {
+        let path = temp_file("bad1.csv");
+        std::fs::write(&path, "1,2\n3,4,5\n").expect("write");
+        assert!(read_csv(&path).expect_err("ragged").contains("expected 2"));
+        std::fs::write(&path, "1,x\n").expect("write");
+        assert!(read_csv(&path)
+            .expect_err("garbage")
+            .contains("invalid coordinate"));
+        std::fs::write(&path, "1,inf\n").expect("write");
+        assert!(read_csv(&path).expect_err("inf").contains("non-finite"));
+        std::fs::write(&path, "").expect("write");
+        assert!(read_csv(&path).expect_err("empty").contains("no points"));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}

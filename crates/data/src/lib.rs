@@ -1,0 +1,19 @@
+//! Synthetic data sets and fractal-dimension estimation.
+//!
+//! The paper evaluates on UNIFORM plus three proprietary real data sets
+//! (CAD, COLOR, WEATHER). The real sets are unavailable, so [`generate`]
+//! provides synthetic analogues engineered to have the *properties the
+//! paper's analysis depends on* (degree of clustering and fractal
+//! dimension); see DESIGN.md for the substitution argument. [`fractal`]
+//! implements the correlation fractal-dimension estimator the cost model
+//! uses to correct for those properties.
+
+pub mod fractal;
+pub mod generate;
+pub mod io;
+pub mod workload;
+
+pub use fractal::{correlation_dimension, correlation_dimension_auto};
+pub use generate::{cad_like, clusters, color_like, manifold, uniform, weather_like};
+pub use io::{read_csv, write_csv};
+pub use workload::Workload;

@@ -1,0 +1,62 @@
+//! Query workloads.
+//!
+//! "For each experiment we separated from \[the\] database a set of query
+//! points, thus not contained in the database, but following the
+//! distribution of the respective data set" (Section 4). A [`Workload`]
+//! does exactly that: it generates `n + q` points from one distribution and
+//! reserves the last `q` as queries.
+
+use iq_geometry::Dataset;
+
+/// A database plus a query set drawn from the same distribution.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The indexed points.
+    pub db: Dataset,
+    /// The query points (not contained in the database).
+    pub queries: Dataset,
+}
+
+impl Workload {
+    /// Splits the last `num_queries` points of `all` off as the query set.
+    ///
+    /// # Panics
+    /// Panics if `num_queries >= all.len()` (the database must be
+    /// non-empty).
+    pub fn split(mut all: Dataset, num_queries: usize) -> Self {
+        assert!(
+            num_queries < all.len(),
+            "workload would leave an empty database"
+        );
+        let queries = all.split_off_tail(num_queries);
+        Self { db: all, queries }
+    }
+
+    /// Convenience: builds a workload from a generator closure producing
+    /// `n + num_queries` points.
+    pub fn generate(n: usize, num_queries: usize, gen: impl FnOnce(usize) -> Dataset) -> Self {
+        Self::split(gen(n + num_queries), num_queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn split_sizes() {
+        let w = Workload::generate(100, 10, |n| generate::uniform(4, n, 1));
+        assert_eq!(w.db.len(), 100);
+        assert_eq!(w.queries.len(), 10);
+        assert_eq!(w.db.dim(), 4);
+    }
+
+    #[test]
+    fn queries_not_in_db() {
+        let w = Workload::generate(500, 20, |n| generate::uniform(4, n, 2));
+        for q in w.queries.iter() {
+            assert!(w.db.iter().all(|p| p != q));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Distance metrics used by the paper: Euclidean (L2), maximum (L∞) and
+//! Manhattan (L1).
+//!
+//! All index structures in this workspace are parameterized by a [`Metric`];
+//! the paper states its cost model for the Euclidean and maximum metrics.
+
+use crate::mbr::Mbr;
+
+/// A Minkowski metric on `R^d`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Metric {
+    /// The Euclidean metric (L2). The paper's default for all experiments.
+    #[default]
+    Euclidean,
+    /// The maximum metric (L∞ / Chebyshev), for which the paper's volume
+    /// formulas are exact.
+    Maximum,
+    /// The Manhattan metric (L1).
+    Manhattan,
+}
+
+impl Metric {
+    /// Distance between two points.
+    ///
+    /// # Panics
+    /// Debug-panics if the slices have different lengths.
+    #[inline]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::Euclidean => self.sq_euclidean(a, b).sqrt(),
+            Metric::Maximum => a.iter().zip(b).fold(0.0f64, |m, (x, y)| {
+                m.max((f64::from(*x) - f64::from(*y)).abs())
+            }),
+            Metric::Manhattan => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (f64::from(*x) - f64::from(*y)).abs())
+                .sum(),
+        }
+    }
+
+    /// Squared Euclidean distance (cheap comparison key; only meaningful for
+    /// [`Metric::Euclidean`] but always computed as the sum of squared
+    /// coordinate differences).
+    #[inline]
+    pub fn sq_euclidean(self, a: &[f32], b: &[f32]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let d = f64::from(*x) - f64::from(*y);
+                d * d
+            })
+            .sum()
+    }
+
+    /// A comparable key for `distance`: for the Euclidean metric the
+    /// *squared* distance (saves the `sqrt` in hot loops), the distance
+    /// itself otherwise. Use [`Metric::key_to_distance`] to convert back.
+    #[inline]
+    pub fn distance_key(self, a: &[f32], b: &[f32]) -> f64 {
+        match self {
+            Metric::Euclidean => self.sq_euclidean(a, b),
+            _ => self.distance(a, b),
+        }
+    }
+
+    /// Converts a key produced by [`Metric::distance_key`] (or
+    /// [`Metric::mindist_key`]) into a real distance.
+    #[inline]
+    pub fn key_to_distance(self, key: f64) -> f64 {
+        match self {
+            Metric::Euclidean => key.sqrt(),
+            _ => key,
+        }
+    }
+
+    /// Converts a real distance into the comparable key space.
+    #[inline]
+    pub fn distance_to_key(self, dist: f64) -> f64 {
+        match self {
+            Metric::Euclidean => dist * dist,
+            _ => dist,
+        }
+    }
+
+    /// MINDIST: the minimum distance from `q` to any point of the box.
+    /// Zero if `q` lies inside the box.
+    #[inline]
+    pub fn mindist(self, q: &[f32], mbr: &Mbr) -> f64 {
+        self.key_to_distance(self.mindist_key(q, mbr))
+    }
+
+    /// MINDIST in key space (squared for Euclidean).
+    pub fn mindist_key(self, q: &[f32], mbr: &Mbr) -> f64 {
+        debug_assert_eq!(q.len(), mbr.dim());
+        let gaps = q.iter().enumerate().map(|(i, &x)| {
+            let x = f64::from(x);
+            let lo = f64::from(mbr.lb(i));
+            let hi = f64::from(mbr.ub(i));
+            if x < lo {
+                lo - x
+            } else if x > hi {
+                x - hi
+            } else {
+                0.0
+            }
+        });
+        match self {
+            Metric::Euclidean => gaps.map(|g| g * g).sum(),
+            Metric::Maximum => gaps.fold(0.0f64, f64::max),
+            Metric::Manhattan => gaps.sum(),
+        }
+    }
+
+    /// MAXDIST: the maximum distance from `q` to any point of the box
+    /// (distance to the farthest corner).
+    pub fn maxdist(self, q: &[f32], mbr: &Mbr) -> f64 {
+        debug_assert_eq!(q.len(), mbr.dim());
+        let gaps = q.iter().enumerate().map(|(i, &x)| {
+            let x = f64::from(x);
+            let lo = (x - f64::from(mbr.lb(i))).abs();
+            let hi = (x - f64::from(mbr.ub(i))).abs();
+            lo.max(hi)
+        });
+        match self {
+            Metric::Euclidean => gaps.map(|g| g * g).sum::<f64>().sqrt(),
+            Metric::Maximum => gaps.fold(0.0f64, f64::max),
+            Metric::Manhattan => gaps.sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f32; 3] = [0.0, 0.0, 0.0];
+    const B: [f32; 3] = [3.0, 4.0, 0.0];
+
+    #[test]
+    fn euclidean_distance() {
+        assert!((Metric::Euclidean.distance(&A, &B) - 5.0).abs() < 1e-12);
+        assert!((Metric::Euclidean.sq_euclidean(&A, &B) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maximum_distance() {
+        assert!((Metric::Maximum.distance(&A, &B) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert!((Metric::Manhattan.distance(&A, &B) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        for m in [Metric::Euclidean, Metric::Maximum, Metric::Manhattan] {
+            let key = m.distance_key(&A, &B);
+            let d = m.distance(&A, &B);
+            assert!((m.key_to_distance(key) - d).abs() < 1e-12);
+            assert!((m.distance_to_key(d) - key).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mindist_inside_is_zero() {
+        let mbr = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        for m in [Metric::Euclidean, Metric::Maximum, Metric::Manhattan] {
+            assert_eq!(m.mindist(&[0.5, 0.5], &mbr), 0.0);
+        }
+    }
+
+    #[test]
+    fn mindist_outside() {
+        let mbr = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let q = [2.0, 2.0];
+        assert!((Metric::Euclidean.mindist(&q, &mbr) - 2.0f64.sqrt()).abs() < 1e-9);
+        assert!((Metric::Maximum.mindist(&q, &mbr) - 1.0).abs() < 1e-12);
+        assert!((Metric::Manhattan.mindist(&q, &mbr) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxdist_reaches_far_corner() {
+        let mbr = Mbr::from_bounds(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let q = [0.0, 0.0];
+        assert!((Metric::Euclidean.maxdist(&q, &mbr) - 2.0f64.sqrt()).abs() < 1e-9);
+        assert!((Metric::Maximum.maxdist(&q, &mbr) - 1.0).abs() < 1e-12);
+    }
+}

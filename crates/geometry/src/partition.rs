@@ -1,0 +1,203 @@
+//! Top-down bulk partitioning of point sets.
+//!
+//! The IQ-tree's construction (Section 3.3) and the bulk-loaded X-tree both
+//! use the partitioning scheme of Berchtold/Böhm/Kriegel (EDBT '98): split
+//! the point set recursively at the median of the dimension in which the
+//! current MBR has its largest extension, until a partition fits the page
+//! capacity. Emission order is the in-order traversal of the split tree,
+//! which gives neighboring partitions neighboring disk positions — the
+//! locality the optimized page-access strategy of Section 2 feeds on.
+
+use crate::{Dataset, Mbr};
+
+/// A bulk-load partition: the ids (dataset rows) it contains and their
+/// tight MBR.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Dataset row indices of the points in this partition.
+    pub ids: Vec<u32>,
+    /// Tight bounding box of those points.
+    pub mbr: Mbr,
+}
+
+impl Partition {
+    /// Builds the partition covering the given rows of `ds`.
+    pub fn of(ds: &Dataset, ids: Vec<u32>) -> Self {
+        let mbr = Mbr::of_points(ds.dim(), ids.iter().map(|&i| ds.point(i as usize)));
+        Self { ids, mbr }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Splits `ids` at the median of the dimension with the largest MBR
+/// extension, returning the two halves and the split dimension.
+///
+/// Points equal to the median value may land on either side; both halves
+/// are non-empty for `ids.len() >= 2`.
+///
+/// # Panics
+/// Panics if fewer than two ids are supplied.
+pub fn split_at_median(ds: &Dataset, ids: &mut [u32], mbr: &Mbr) -> (Vec<u32>, Vec<u32>, usize) {
+    assert!(ids.len() >= 2, "cannot split fewer than two points");
+    let dim = mbr.longest_dim();
+    let mid = ids.len() / 2;
+    ids.select_nth_unstable_by(mid, |&a, &b| {
+        ds.point(a as usize)[dim]
+            .partial_cmp(&ds.point(b as usize)[dim])
+            .expect("coordinates are never NaN")
+    });
+    (ids[..mid].to_vec(), ids[mid..].to_vec(), dim)
+}
+
+/// Recursively partitions all points of `ds` into partitions of at most
+/// `capacity` points.
+///
+/// # Panics
+/// Panics if `capacity == 0` or `ds` is empty.
+pub fn bulk_partition(ds: &Dataset, capacity: usize) -> Vec<Partition> {
+    assert!(capacity > 0, "capacity must be positive");
+    assert!(!ds.is_empty(), "cannot partition an empty set");
+    let ids: Vec<u32> = (0..ds.len() as u32).collect();
+    let mut out = Vec::with_capacity(ds.len() / capacity + 1);
+    recurse(ds, ids, capacity, &mut out);
+    out
+}
+
+fn recurse(ds: &Dataset, mut ids: Vec<u32>, capacity: usize, out: &mut Vec<Partition>) {
+    if ids.len() <= capacity {
+        out.push(Partition::of(ds, ids));
+        return;
+    }
+    let mbr = Mbr::of_points(ds.dim(), ids.iter().map(|&i| ds.point(i as usize)));
+    let (left, right, _) = split_at_median(ds, &mut ids, &mbr);
+    recurse(ds, left, capacity, out);
+    recurse(ds, right, capacity, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2d(n_side: usize) -> Dataset {
+        let mut ds = Dataset::new(2);
+        for i in 0..n_side {
+            for j in 0..n_side {
+                ds.push(&[i as f32 / n_side as f32, j as f32 / n_side as f32]);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn partitions_cover_all_points_exactly_once() {
+        let ds = grid_2d(20); // 400 points
+        let parts = bulk_partition(&ds, 30);
+        let mut seen = vec![false; ds.len()];
+        for p in &parts {
+            assert!(p.len() <= 30);
+            assert!(!p.is_empty());
+            for &id in &p.ids {
+                assert!(!seen[id as usize], "duplicate id {id}");
+                seen[id as usize] = true;
+                assert!(p.mbr.contains_point(ds.point(id as usize)));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partitions_are_balanced() {
+        let ds = grid_2d(16); // 256 points, capacity 32 -> exactly 8 parts
+        let parts = bulk_partition(&ds, 32);
+        assert_eq!(parts.len(), 8);
+        for p in &parts {
+            assert_eq!(p.len(), 32);
+        }
+    }
+
+    #[test]
+    fn split_uses_longest_dimension() {
+        // Points spread widely in dim 1 only.
+        let mut ds = Dataset::new(2);
+        for i in 0..10 {
+            ds.push(&[0.5, i as f32]);
+        }
+        let mut ids: Vec<u32> = (0..10).collect();
+        let mbr = Mbr::of_points(2, ds.iter());
+        let (l, r, dim) = split_at_median(&ds, &mut ids, &mbr);
+        assert_eq!(dim, 1);
+        assert_eq!(l.len(), 5);
+        assert_eq!(r.len(), 5);
+        let max_l = l.iter().map(|&i| ds.point(i as usize)[1] as i32).max();
+        let min_r = r.iter().map(|&i| ds.point(i as usize)[1] as i32).min();
+        assert!(max_l < min_r);
+    }
+
+    #[test]
+    fn single_point_partition() {
+        let mut ds = Dataset::new(3);
+        ds.push(&[1.0, 2.0, 3.0]);
+        let parts = bulk_partition(&ds, 4);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 1);
+        assert_eq!(parts[0].mbr.volume(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_points_still_split() {
+        let mut ds = Dataset::new(2);
+        for _ in 0..100 {
+            ds.push(&[0.5, 0.5]);
+        }
+        let parts = bulk_partition(&ds, 10);
+        assert!(parts.iter().all(|p| p.len() <= 10));
+        assert_eq!(parts.iter().map(Partition::len).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn emission_order_has_locality() {
+        // Consecutive partitions should be spatially adjacent: their MBRs
+        // along the first split axis should be monotone-ish. Weak check:
+        // average center distance of neighbors is far below that of random
+        // pairs.
+        let ds = grid_2d(32);
+        let parts = bulk_partition(&ds, 16);
+        let centers: Vec<[f64; 2]> = parts
+            .iter()
+            .map(|p| {
+                [
+                    (f64::from(p.mbr.lb(0)) + f64::from(p.mbr.ub(0))) / 2.0,
+                    (f64::from(p.mbr.lb(1)) + f64::from(p.mbr.ub(1))) / 2.0,
+                ]
+            })
+            .collect();
+        let dist =
+            |a: [f64; 2], b: [f64; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let neigh: f64 =
+            centers.windows(2).map(|w| dist(w[0], w[1])).sum::<f64>() / (centers.len() - 1) as f64;
+        let mut far = 0.0;
+        let mut cnt = 0.0;
+        for i in 0..centers.len() {
+            for j in 0..centers.len() {
+                if i != j {
+                    far += dist(centers[i], centers[j]);
+                    cnt += 1.0;
+                }
+            }
+        }
+        assert!(
+            neigh < 0.6 * (far / cnt),
+            "neighbors {neigh} vs avg {}",
+            far / cnt
+        );
+    }
+}

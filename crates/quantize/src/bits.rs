@@ -1,0 +1,200 @@
+//! Bit-level packing of quantized cell numbers.
+//!
+//! Cell numbers are written LSB-first into a byte stream. Widths of 1–32
+//! bits are supported; 32-bit writes are used by the IQ-tree's exact
+//! special case (storing `f32` bit patterns directly in the quantized page).
+
+/// Writes values of arbitrary bit width into a byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the last byte (0 = byte boundary).
+    bit_pos: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or greater than 32, or if `value` does not fit
+    /// in `width` bits.
+    pub fn write(&mut self, value: u32, width: u32) {
+        assert!((1..=32).contains(&width), "bit width must be in 1..=32");
+        assert!(
+            width == 32 || value < (1u32 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        let mut remaining = width;
+        let mut v = u64::from(value);
+        while remaining > 0 {
+            if self.bit_pos == 0 {
+                self.buf.push(0);
+            }
+            let free = 8 - self.bit_pos;
+            let take = free.min(remaining);
+            let byte = self.buf.last_mut().expect("buffer is never empty here");
+            *byte |= ((v & ((1u64 << take) - 1)) as u8) << self.bit_pos;
+            v >>= take;
+            self.bit_pos = (self.bit_pos + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    /// Pads to the next byte boundary with zero bits.
+    pub fn align(&mut self) {
+        self.bit_pos = 0;
+    }
+
+    /// Number of whole bytes written so far (including a partially filled
+    /// final byte).
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes the writer, returning the packed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the packed bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Reads values of arbitrary bit width from a byte buffer.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf`, starting at bit 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Creates a reader starting at an absolute bit offset.
+    pub fn at_bit(buf: &'a [u8], bit: usize) -> Self {
+        Self { buf, pos: bit }
+    }
+
+    /// Reads the next `width` bits (LSB-first).
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or greater than 32, or the buffer is
+    /// exhausted.
+    pub fn read(&mut self, width: u32) -> u32 {
+        assert!((1..=32).contains(&width), "bit width must be in 1..=32");
+        assert!(
+            self.pos + width as usize <= self.buf.len() * 8,
+            "bit buffer exhausted"
+        );
+        let mut out: u64 = 0;
+        let mut got = 0u32;
+        while got < width {
+            let byte = self.buf[self.pos / 8];
+            let off = (self.pos % 8) as u32;
+            let avail = 8 - off;
+            let take = avail.min(width - got);
+            let bits = (u64::from(byte) >> off) & ((1u64 << take) - 1);
+            out |= bits << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        out as u32
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let values = [
+            (0b1u32, 1),
+            (0b101u32, 3),
+            (0xFFu32, 8),
+            (0x12345u32, 20),
+            (u32::MAX, 32),
+        ];
+        for &(v, width) in &values {
+            w.write(v, width);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, width) in &values {
+            assert_eq!(r.read(width), v, "width {width}");
+        }
+    }
+
+    #[test]
+    fn align_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        w.align();
+        w.write(0xAB, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b0000_0001, 0xAB]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(1), 1);
+        r.align();
+        assert_eq!(r.read(8), 0xAB);
+    }
+
+    #[test]
+    fn reader_at_bit_offset() {
+        let mut w = BitWriter::new();
+        w.write(0b11, 2);
+        w.write(0b1010, 4);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::at_bit(&bytes, 2);
+        assert_eq!(r.read(4), 0b1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_value_rejected() {
+        BitWriter::new().write(4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn read_past_end_panics() {
+        let mut r = BitReader::new(&[0u8]);
+        r.read(9);
+    }
+
+    #[test]
+    fn dense_one_bit_stream() {
+        let mut w = BitWriter::new();
+        for i in 0..64 {
+            w.write(u32::from(i % 2 == 0), 1);
+        }
+        assert_eq!(w.len_bytes(), 8);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..64 {
+            assert_eq!(r.read(1), u32::from(i % 2 == 0));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Grid quantization relative to an MBR.
+//!
+//! "A number of g bits per dimension is used to approximate the location of
+//! points in a data page by virtually dividing the MBR along each dimension
+//! into 2^g partitions of equal size" (Section 3.1). In contrast to the
+//! VA-file, the grid is *relative to the page MBR*, which is why the IQ-tree
+//! needs fewer bits for the same accuracy.
+
+use iq_geometry::Mbr;
+
+/// A `2^g`-cells-per-dimension grid laid over an MBR.
+#[derive(Clone, Debug)]
+pub struct GridQuantizer {
+    g: u32,
+    lb: Vec<f32>,
+    /// Cell width per dimension (0 for degenerate dimensions).
+    cell_width: Vec<f64>,
+}
+
+impl GridQuantizer {
+    /// Builds the grid for `mbr` at resolution `g` bits per dimension.
+    ///
+    /// # Panics
+    /// Panics if `g` is 0 or greater than 31 (the 32-bit exact case is
+    /// handled by the page codec, not by a grid).
+    pub fn new(mbr: &Mbr, g: u32) -> Self {
+        assert!(
+            (1..=31).contains(&g),
+            "grid resolution must be in 1..=31 bits"
+        );
+        let cells = f64::from(1u32 << g);
+        let cell_width = (0..mbr.dim()).map(|i| mbr.extent(i) / cells).collect();
+        Self {
+            g,
+            lb: mbr.lbs().to_vec(),
+            cell_width,
+        }
+    }
+
+    /// Bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.g
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lb.len()
+    }
+
+    /// Number of cells per dimension (`2^g`).
+    pub fn cells_per_dim(&self) -> u32 {
+        1u32 << self.g
+    }
+
+    /// Cell number of `x` in dimension `i`, clamped into the grid (points on
+    /// the MBR's upper boundary land in the last cell; callers may also pass
+    /// points slightly outside the MBR, e.g. after floating-point rounding).
+    #[inline]
+    pub fn cell_of(&self, i: usize, x: f32) -> u32 {
+        let w = self.cell_width[i];
+        if w == 0.0 {
+            return 0;
+        }
+        let rel = (f64::from(x) - f64::from(self.lb[i])) / w;
+        let max = self.cells_per_dim() - 1;
+        (rel.floor().max(0.0) as u32).min(max)
+    }
+
+    /// Encodes a full point into per-dimension cell numbers, appending to
+    /// `out`.
+    pub fn encode_into(&self, p: &[f32], out: &mut Vec<u32>) {
+        debug_assert_eq!(p.len(), self.dim());
+        out.extend(p.iter().enumerate().map(|(i, &x)| self.cell_of(i, x)));
+    }
+
+    /// Encodes a full point into per-dimension cell numbers.
+    pub fn encode(&self, p: &[f32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.encode_into(p, &mut out);
+        out
+    }
+
+    /// Lower edge of cell `c` in dimension `i`.
+    #[inline]
+    pub fn cell_lb(&self, i: usize, c: u32) -> f32 {
+        (f64::from(self.lb[i]) + f64::from(c) * self.cell_width[i]) as f32
+    }
+
+    /// Upper edge of cell `c` in dimension `i`.
+    #[inline]
+    pub fn cell_ub(&self, i: usize, c: u32) -> f32 {
+        (f64::from(self.lb[i]) + f64::from(c + 1) * self.cell_width[i]) as f32
+    }
+
+    /// The box approximation of a cell vector — the "virtual grid cell" the
+    /// point is known to lie in.
+    pub fn cell_box(&self, cells: &[u32]) -> Mbr {
+        debug_assert_eq!(cells.len(), self.dim());
+        let lb = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.cell_lb(i, c))
+            .collect();
+        let ub = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.cell_ub(i, c))
+            .collect();
+        Mbr::from_bounds(lb, ub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iq_geometry::Metric;
+    use proptest::prelude::*;
+
+    fn unit_mbr(d: usize) -> Mbr {
+        Mbr::from_bounds(vec![0.0; d], vec![1.0; d])
+    }
+
+    #[test]
+    fn one_bit_splits_in_half() {
+        let q = GridQuantizer::new(&unit_mbr(2), 1);
+        assert_eq!(q.encode(&[0.25, 0.75]), vec![0, 1]);
+        assert_eq!(q.encode(&[0.49, 0.51]), vec![0, 1]);
+    }
+
+    #[test]
+    fn upper_boundary_lands_in_last_cell() {
+        let q = GridQuantizer::new(&unit_mbr(1), 3);
+        assert_eq!(q.encode(&[1.0]), vec![7]);
+        assert_eq!(q.encode(&[1.1]), vec![7]); // outside: clamped
+        assert_eq!(q.encode(&[-0.1]), vec![0]); // outside: clamped
+    }
+
+    #[test]
+    fn degenerate_dimension_is_cell_zero() {
+        let mbr = Mbr::from_bounds(vec![2.0, 0.0], vec![2.0, 1.0]);
+        let q = GridQuantizer::new(&mbr, 4);
+        assert_eq!(q.encode(&[2.0, 0.5]), vec![0, 8]);
+        let b = q.cell_box(&[0, 8]);
+        assert_eq!(b.lb(0), 2.0);
+        assert_eq!(b.ub(0), 2.0);
+    }
+
+    #[test]
+    fn cell_box_contains_point() {
+        let mbr = Mbr::from_bounds(vec![-1.0, 3.0], vec![1.0, 8.0]);
+        let q = GridQuantizer::new(&mbr, 5);
+        let p = [0.37f32, 5.11];
+        let b = q.cell_box(&q.encode(&p));
+        assert!(b.contains_point(&p));
+    }
+
+    proptest! {
+        /// The cell box always contains the encoded point, and its diameter
+        /// shrinks by half per extra bit.
+        #[test]
+        fn prop_cell_box_contains_and_shrinks(
+            coords in proptest::collection::vec(-10.0f32..10.0, 4),
+            lo in -20.0f32..-11.0,
+            hi in 11.0f32..20.0,
+            g in 1u32..10,
+        ) {
+            let d = coords.len();
+            let mbr = Mbr::from_bounds(vec![lo; d], vec![hi; d]);
+            let q = GridQuantizer::new(&mbr, g);
+            let b = q.cell_box(&q.encode(&coords));
+            prop_assert!(b.contains_point(&coords));
+            let expect_side = (f64::from(hi) - f64::from(lo)) / f64::from(1u32 << g);
+            for i in 0..d {
+                prop_assert!((b.extent(i) - expect_side).abs() < 1e-3);
+            }
+        }
+
+        /// Quantization error is bounded by the cell diagonal.
+        #[test]
+        fn prop_error_bounded_by_cell_diagonal(
+            coords in proptest::collection::vec(0.0f32..1.0, 8),
+            g in 1u32..8,
+        ) {
+            let d = coords.len();
+            let q = GridQuantizer::new(&unit_mbr(d), g);
+            let b = q.cell_box(&q.encode(&coords));
+            let center: Vec<f32> = (0..d).map(|i| (b.lb(i) + b.ub(i)) / 2.0).collect();
+            let err = Metric::Euclidean.distance(&coords, &center);
+            let half_diag = (d as f64).sqrt() * 0.5 / f64::from(1u32 << g);
+            prop_assert!(err <= half_diag + 1e-6, "err {err} > {half_diag}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Bit packing and grid quantization codecs.
+//!
+//! The IQ-tree approximates the points of a data page by overlaying a
+//! `2^g × … × 2^g` grid on the page's MBR (Section 3.1): each point is
+//! represented by the `g`-bit cell number per dimension. This crate provides
+//! the reusable pieces:
+//!
+//! * [`bits`] — a bit-level writer/reader for packed cell numbers,
+//! * [`grid`] — the grid quantizer mapping points to cells and cells back
+//!   to their box approximations,
+//! * [`page`] — the on-disk codecs for quantized data pages (fixed one
+//!   block, per-page resolution `g`, the 32-bit exact special case) and for
+//!   exact (third-level) pages.
+
+pub mod bits;
+pub mod grid;
+pub mod page;
+
+pub use bits::{BitReader, BitWriter};
+pub use grid::GridQuantizer;
+pub use page::{ExactPageCodec, QuantizedEntry, QuantizedPageCodec, EXACT_BITS};

@@ -1,0 +1,374 @@
+//! On-disk codecs for quantized data pages and exact (third-level) pages.
+//!
+//! A quantized data page occupies exactly one disk block. Its resolution `g`
+//! (bits per dimension) is chosen per page by the IQ-tree's optimization:
+//! the lower `g`, the more points fit. Layout (little endian):
+//!
+//! ```text
+//! u16 count | u8 g | u8 reserved | count × ( u32 id | ceil(d·g/8) packed cells )
+//! ```
+//!
+//! For `g == 32` ([`EXACT_BITS`]) the "cells" are the raw `f32` bit patterns
+//! of the exact coordinates — the paper's special case in which the
+//! third-level page is omitted.
+//!
+//! An exact page is a run of blocks holding `count × d` little-endian `f32`
+//! coordinates (no ids — the id comes from the quantized entry).
+
+use crate::bits::{BitReader, BitWriter};
+use crate::grid::GridQuantizer;
+use iq_geometry::Mbr;
+
+/// Resolution marking the exact (32-bit float) representation.
+pub const EXACT_BITS: u32 = 32;
+
+const HEADER_BYTES: usize = 4;
+
+/// Codec for quantized data pages of a fixed dimension and block size.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantizedPageCodec {
+    dim: usize,
+    block_size: usize,
+}
+
+/// One decoded entry of a quantized page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuantizedEntry {
+    /// The point's identifier (its row in the original dataset).
+    pub id: u32,
+    /// Per-dimension cell numbers (or `f32` bit patterns when `g == 32`).
+    pub cells: Vec<u32>,
+}
+
+/// A fully decoded quantized page.
+#[derive(Clone, Debug)]
+pub struct DecodedQuantPage {
+    g: u32,
+    dim: usize,
+    ids: Vec<u32>,
+    /// Flat `len × dim` cell matrix.
+    cells: Vec<u32>,
+}
+
+impl DecodedQuantPage {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the page has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Resolution in bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.g
+    }
+
+    /// Id of entry `i`.
+    pub fn id(&self, i: usize) -> u32 {
+        self.ids[i]
+    }
+
+    /// Cell numbers of entry `i`.
+    pub fn cells(&self, i: usize) -> &[u32] {
+        &self.cells[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// For `g == 32` pages: the exact coordinates of entry `i`.
+    pub fn exact_point(&self, i: usize) -> Option<Vec<f32>> {
+        (self.g == EXACT_BITS).then(|| self.cells(i).iter().map(|&b| f32::from_bits(b)).collect())
+    }
+}
+
+impl QuantizedPageCodec {
+    /// Creates a codec.
+    ///
+    /// # Panics
+    /// Panics if the block cannot hold at least one entry at the exact
+    /// resolution.
+    pub fn new(dim: usize, block_size: usize) -> Self {
+        let codec = Self { dim, block_size };
+        assert!(
+            codec.capacity(EXACT_BITS) >= 1,
+            "block size {block_size} too small for dimension {dim}"
+        );
+        codec
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Bytes one entry occupies at resolution `g` (id + byte-aligned packed
+    /// cells).
+    pub fn entry_bytes(&self, g: u32) -> usize {
+        assert!((1..=EXACT_BITS).contains(&g));
+        4 + (self.dim * g as usize).div_ceil(8)
+    }
+
+    /// Maximum number of entries a page holds at resolution `g` — the
+    /// capacity that drives the split/quantize trade-off.
+    pub fn capacity(&self, g: u32) -> usize {
+        (self.block_size - HEADER_BYTES) / self.entry_bytes(g)
+    }
+
+    /// The finest resolution at which `count` points still fit in one page,
+    /// or `None` if they do not fit even at 1 bit.
+    pub fn max_bits_for(&self, count: usize) -> Option<u32> {
+        if count == 0 {
+            return Some(EXACT_BITS);
+        }
+        (1..=EXACT_BITS).rev().find(|&g| self.capacity(g) >= count)
+    }
+
+    /// Encodes a page. `points` yields `(id, coords)` pairs; for `g < 32`
+    /// the coordinates are quantized relative to `mbr`.
+    ///
+    /// # Panics
+    /// Panics if more points are supplied than [`Self::capacity`] allows.
+    pub fn encode<'a>(
+        &self,
+        mbr: &Mbr,
+        g: u32,
+        points: impl ExactSizeIterator<Item = (u32, &'a [f32])>,
+    ) -> Vec<u8> {
+        let n = points.len();
+        assert!(
+            n <= self.capacity(g),
+            "{n} entries exceed capacity at {g} bits"
+        );
+        assert!(n <= u16::MAX as usize);
+        let mut out = Vec::with_capacity(self.block_size);
+        out.extend_from_slice(&(n as u16).to_le_bytes());
+        out.push(g as u8);
+        out.push(0);
+        let grid = (g < EXACT_BITS).then(|| GridQuantizer::new(mbr, g));
+        for (id, p) in points {
+            debug_assert_eq!(p.len(), self.dim);
+            out.extend_from_slice(&id.to_le_bytes());
+            match &grid {
+                Some(grid) => {
+                    let mut w = BitWriter::new();
+                    for (i, &x) in p.iter().enumerate() {
+                        w.write(grid.cell_of(i, x), g);
+                    }
+                    let packed = w.into_bytes();
+                    debug_assert_eq!(packed.len(), (self.dim * g as usize).div_ceil(8));
+                    out.extend_from_slice(&packed);
+                }
+                None => {
+                    for &x in p {
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out.resize(self.block_size, 0);
+        out
+    }
+
+    /// Decodes a page previously produced by [`Self::encode`].
+    pub fn decode(&self, block: &[u8]) -> DecodedQuantPage {
+        assert!(block.len() >= HEADER_BYTES);
+        let n = u16::from_le_bytes([block[0], block[1]]) as usize;
+        let g = u32::from(block[2]);
+        assert!((1..=EXACT_BITS).contains(&g), "corrupt page: g = {g}");
+        let entry = self.entry_bytes(g);
+        assert!(
+            HEADER_BYTES + n * entry <= block.len(),
+            "corrupt page: overflow"
+        );
+        let mut ids = Vec::with_capacity(n);
+        let mut cells = Vec::with_capacity(n * self.dim);
+        for e in 0..n {
+            let off = HEADER_BYTES + e * entry;
+            ids.push(u32::from_le_bytes(
+                block[off..off + 4].try_into().expect("4 bytes"),
+            ));
+            let mut r = BitReader::new(&block[off + 4..off + entry]);
+            for _ in 0..self.dim {
+                cells.push(r.read(g));
+            }
+        }
+        DecodedQuantPage {
+            g,
+            dim: self.dim,
+            ids,
+            cells,
+        }
+    }
+}
+
+/// Codec for exact (third-level) pages: flat `f32` coordinate rows.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactPageCodec {
+    dim: usize,
+}
+
+impl ExactPageCodec {
+    /// Creates a codec for dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0);
+        Self { dim }
+    }
+
+    /// Bytes per point.
+    pub fn point_bytes(&self) -> usize {
+        4 * self.dim
+    }
+
+    /// Encodes coordinate rows into a byte buffer.
+    pub fn encode<'a>(&self, points: impl Iterator<Item = &'a [f32]>) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in points {
+            debug_assert_eq!(p.len(), self.dim);
+            for &x in p {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes point `i` from a page buffer that starts at point 0.
+    pub fn decode_point(&self, page: &[u8], i: usize) -> Vec<f32> {
+        let off = i * self.point_bytes();
+        self.decode_point_at(&page[off..off + self.point_bytes()])
+    }
+
+    /// Decodes one point from exactly [`Self::point_bytes`] bytes.
+    pub fn decode_point_at(&self, bytes: &[u8]) -> Vec<f32> {
+        assert_eq!(bytes.len(), self.point_bytes());
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect()
+    }
+
+    /// Which blocks of a page (given the page's starting block) hold point
+    /// `i`: returns `(first_block, nblocks, byte_offset_in_first_block)`.
+    /// A point can straddle a block boundary.
+    pub fn point_span(&self, i: usize, block_size: usize) -> (u64, u64, usize) {
+        let start_byte = i * self.point_bytes();
+        let end_byte = start_byte + self.point_bytes();
+        let first = (start_byte / block_size) as u64;
+        let last = ((end_byte - 1) / block_size) as u64;
+        (first, last - first + 1, start_byte % block_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mbr(d: usize) -> Mbr {
+        Mbr::from_bounds(vec![0.0; d], vec![1.0; d])
+    }
+
+    #[test]
+    fn capacity_decreases_with_bits() {
+        let c = QuantizedPageCodec::new(16, 8192);
+        let caps: Vec<usize> = (1..=32).map(|g| c.capacity(g)).collect();
+        assert!(caps.windows(2).all(|w| w[0] >= w[1]));
+        // d = 16: entry at 1 bit = 4 + 2 = 6 bytes -> (8192-4)/6 = 1364.
+        assert_eq!(c.capacity(1), 1364);
+        // At 32 bits: 4 + 64 = 68 bytes -> 120.
+        assert_eq!(c.capacity(32), 120);
+    }
+
+    #[test]
+    fn max_bits_for_counts() {
+        let c = QuantizedPageCodec::new(16, 8192);
+        assert_eq!(c.max_bits_for(0), Some(32));
+        assert_eq!(c.max_bits_for(1), Some(32));
+        assert_eq!(c.max_bits_for(120), Some(32));
+        assert_eq!(c.max_bits_for(121), Some(31));
+        assert_eq!(c.max_bits_for(1364), Some(1));
+        assert_eq!(c.max_bits_for(1365), None);
+    }
+
+    #[test]
+    fn encode_decode_quantized() {
+        let c = QuantizedPageCodec::new(3, 256);
+        let m = mbr(3);
+        let pts: Vec<(u32, Vec<f32>)> = vec![(7, vec![0.1, 0.9, 0.5]), (42, vec![0.0, 1.0, 0.25])];
+        let block = c.encode(&m, 4, pts.iter().map(|(id, p)| (*id, p.as_slice())));
+        assert_eq!(block.len(), 256);
+        let dec = c.decode(&block);
+        assert_eq!(dec.len(), 2);
+        assert_eq!(dec.bits(), 4);
+        assert_eq!(dec.id(0), 7);
+        assert_eq!(dec.id(1), 42);
+        let grid = GridQuantizer::new(&m, 4);
+        for (i, (_, p)) in pts.iter().enumerate() {
+            assert_eq!(dec.cells(i), grid.encode(p).as_slice());
+            assert!(grid.cell_box(dec.cells(i)).contains_point(p));
+        }
+    }
+
+    #[test]
+    fn exact_special_case_roundtrips_bitexact() {
+        let c = QuantizedPageCodec::new(2, 128);
+        let m = mbr(2);
+        let p = [0.123_456_79f32, -5.5];
+        let block = c.encode(&m, EXACT_BITS, [(9u32, &p[..])].into_iter());
+        let dec = c.decode(&block);
+        assert_eq!(dec.exact_point(0).expect("exact page"), p.to_vec());
+        // Non-exact pages report None.
+        let block = c.encode(&m, 8, [(9u32, &[0.5f32, 0.5][..])].into_iter());
+        assert_eq!(c.decode(&block).exact_point(0), None);
+    }
+
+    #[test]
+    fn exact_page_codec_roundtrip() {
+        let c = ExactPageCodec::new(4);
+        let rows: Vec<Vec<f32>> = vec![vec![1., 2., 3., 4.], vec![5., 6., 7., 8.]];
+        let bytes = c.encode(rows.iter().map(|r| r.as_slice()));
+        assert_eq!(bytes.len(), 2 * 16);
+        assert_eq!(c.decode_point(&bytes, 0), rows[0]);
+        assert_eq!(c.decode_point(&bytes, 1), rows[1]);
+    }
+
+    #[test]
+    fn point_span_straddles_blocks() {
+        let c = ExactPageCodec::new(4); // 16 bytes/point
+                                        // Block size 24: point 1 occupies bytes 16..32 -> blocks 0..=1.
+        assert_eq!(c.point_span(0, 24), (0, 1, 0));
+        assert_eq!(c.point_span(1, 24), (0, 2, 16));
+        assert_eq!(c.point_span(3, 24), (2, 1, 0));
+    }
+
+    proptest! {
+        /// Every decoded cell box contains its original point, for random
+        /// pages at random resolutions.
+        #[test]
+        fn prop_quant_roundtrip(
+            pts in proptest::collection::vec(
+                proptest::collection::vec(0.0f32..1.0, 5), 1..20),
+            g in 1u32..12,
+        ) {
+            let c = QuantizedPageCodec::new(5, 2048);
+            let m = mbr(5);
+            let block = c.encode(
+                &m,
+                g,
+                pts.iter().enumerate().map(|(i, p)| (i as u32, p.as_slice())),
+            );
+            let dec = c.decode(&block);
+            prop_assert_eq!(dec.len(), pts.len());
+            let grid = GridQuantizer::new(&m, g);
+            for (i, p) in pts.iter().enumerate() {
+                prop_assert_eq!(dec.id(i) as usize, i);
+                prop_assert!(grid.cell_box(dec.cells(i)).contains_point(p));
+            }
+        }
+    }
+}

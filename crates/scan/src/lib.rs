@@ -1,0 +1,295 @@
+//! Sequential-scan baseline.
+//!
+//! The reference technique of the paper's evaluation: the exact coordinates
+//! of all points live in one flat file that every query reads front to back
+//! with a single seek. In very high dimensions this is the bar an index has
+//! to clear (cf. \[7\] in the paper); the IQ-tree is designed to beat it by
+//! scanning *compressed* approximations instead.
+
+use iq_geometry::{Dataset, Metric};
+use iq_quantize::ExactPageCodec;
+use iq_storage::{BlockDevice, SimClock};
+
+/// Number of blocks fetched per read while scanning (bounds buffer memory;
+/// has no effect on simulated cost because the reads stay sequential).
+const SCAN_CHUNK_BLOCKS: u64 = 256;
+
+/// A flat file of exact points, searched by full scans.
+///
+/// # Example
+///
+/// ```
+/// use iq_geometry::{Dataset, Metric};
+/// use iq_storage::{MemDevice, SimClock};
+/// use iq_scan::SeqScan;
+///
+/// let ds = Dataset::from_flat(2, vec![0.1, 0.1, 0.9, 0.9]);
+/// let mut clock = SimClock::default();
+/// let mut scan = SeqScan::build(&ds, Metric::Euclidean, Box::new(MemDevice::new(512)), &mut clock);
+/// assert_eq!(scan.nearest(&mut clock, &[0.0, 0.0]).unwrap().0, 0);
+/// ```
+pub struct SeqScan {
+    dim: usize,
+    metric: Metric,
+    n: usize,
+    codec: ExactPageCodec,
+    dev: Box<dyn BlockDevice>,
+}
+
+impl SeqScan {
+    /// Builds the scan file by writing all points sequentially to `dev`.
+    pub fn build(
+        ds: &Dataset,
+        metric: Metric,
+        mut dev: Box<dyn BlockDevice>,
+        clock: &mut SimClock,
+    ) -> Self {
+        let codec = ExactPageCodec::new(ds.dim());
+        let bytes = codec.encode(ds.iter());
+        dev.append(clock, &bytes);
+        Self {
+            dim: ds.dim(),
+            metric,
+            n: ds.len(),
+            codec,
+            dev,
+        }
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Scans the file once, invoking `visit(id, coords)` for every point.
+    fn scan(&mut self, clock: &mut SimClock, mut visit: impl FnMut(u32, &[f32])) {
+        let bs = self.dev.block_size();
+        let total_blocks = self.dev.num_blocks();
+        let pb = self.codec.point_bytes();
+        let mut carry: Vec<u8> = Vec::with_capacity(pb);
+        let mut id: u32 = 0;
+        let mut coords = vec![0.0f32; self.dim];
+        let mut consume = |bytes: &[u8], id: &mut u32, carry: &mut Vec<u8>| {
+            let mut off = 0;
+            // Finish a point straddling the previous chunk.
+            if !carry.is_empty() {
+                let need = pb - carry.len();
+                carry.extend_from_slice(&bytes[..need]);
+                off = need;
+                if (*id as usize) < self.n {
+                    decode_into(carry, &mut coords);
+                    visit(*id, &coords);
+                    *id += 1;
+                }
+                carry.clear();
+            }
+            while off + pb <= bytes.len() && (*id as usize) < self.n {
+                decode_into(&bytes[off..off + pb], &mut coords);
+                visit(*id, &coords);
+                *id += 1;
+                off += pb;
+            }
+            if (*id as usize) < self.n {
+                carry.extend_from_slice(&bytes[off..]);
+            }
+        };
+        let mut block = 0u64;
+        while block < total_blocks {
+            let n = SCAN_CHUNK_BLOCKS.min(total_blocks - block);
+            let buf = self.dev.read_to_vec(clock, block, n);
+            consume(&buf, &mut id, &mut carry);
+            block += n;
+        }
+        // CPU cost: one distance-like evaluation per point.
+        clock.charge_dist_evals(self.dim, self.n as u64);
+        debug_assert_eq!(id as usize, self.n, "block size {bs} scan desynchronized");
+    }
+
+    /// Exact nearest neighbor of `q`, as `(id, distance)`.
+    pub fn nearest(&mut self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
+        self.knn(clock, q, 1).pop()
+    }
+
+    /// The `k` nearest neighbors of `q`, ordered by increasing distance.
+    pub fn knn(&mut self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
+        assert_eq!(q.len(), self.dim);
+        if k == 0 {
+            return Vec::new();
+        }
+        let metric = self.metric;
+        // Max-heap on distance key, capped at k.
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        self.scan(clock, |id, p| {
+            let key = metric.distance_key(p, q);
+            if best.len() < k || key < best.last().expect("non-empty").0 {
+                let pos = best.partition_point(|&(d, _)| d < key);
+                best.insert(pos, (key, id));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        });
+        best.into_iter()
+            .map(|(key, id)| (id, metric.key_to_distance(key)))
+            .collect()
+    }
+
+    /// All points inside the query window (unordered ids).
+    pub fn window(&mut self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
+        assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
+        let mut out = Vec::new();
+        self.scan(clock, |id, p| {
+            if window.contains_point(p) {
+                out.push(id);
+            }
+        });
+        out
+    }
+
+    /// All points within `radius` of `q`, as ids (unordered).
+    pub fn range(&mut self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+        assert_eq!(q.len(), self.dim);
+        let metric = self.metric;
+        let key = metric.distance_to_key(radius);
+        let mut out = Vec::new();
+        self.scan(clock, |id, p| {
+            if metric.distance_key(p, q) <= key {
+                out.push(id);
+            }
+        });
+        out
+    }
+}
+
+#[inline]
+fn decode_into(bytes: &[u8], coords: &mut [f32]) {
+    for (c, chunk) in coords.iter_mut().zip(bytes.chunks_exact(4)) {
+        *c = f32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iq_storage::{CpuModel, DiskModel, MemDevice};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn make(n: usize, dim: usize, seed: u64) -> (Dataset, SeqScan, SimClock) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(dim);
+        let mut row = vec![0.0f32; dim];
+        for _ in 0..n {
+            row.fill_with(|| rng.gen());
+            ds.push(&row);
+        }
+        let mut clock = SimClock::new(DiskModel::default(), CpuModel::free());
+        let scan = SeqScan::build(
+            &ds,
+            Metric::Euclidean,
+            Box::new(MemDevice::new(8192)),
+            &mut clock,
+        );
+        clock.reset();
+        (ds, scan, clock)
+    }
+
+    fn brute_nn(ds: &Dataset, q: &[f32]) -> (u32, f64) {
+        let m = Metric::Euclidean;
+        (0..ds.len())
+            .map(|i| (i as u32, m.distance(ds.point(i), q)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .expect("non-empty")
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let (ds, mut scan, mut clock) = make(500, 7, 1);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..7).map(|_| rng.gen()).collect();
+            let (id, d) = scan.nearest(&mut clock, &q).expect("non-empty");
+            let (bid, bd) = brute_nn(&ds, &q);
+            assert_eq!(id, bid);
+            assert!((d - bd).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_is_sorted_and_correct() {
+        let (ds, mut scan, mut clock) = make(300, 4, 2);
+        let q = vec![0.5f32; 4];
+        let knn = scan.knn(&mut clock, &q, 10);
+        assert_eq!(knn.len(), 10);
+        assert!(knn.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(knn[0].0, brute_nn(&ds, &q).0);
+        // Every returned distance <= distance of any point not returned.
+        let max_ret = knn.last().expect("10 items").1;
+        let in_set: std::collections::HashSet<u32> = knn.iter().map(|x| x.0).collect();
+        for i in 0..ds.len() {
+            if !in_set.contains(&(i as u32)) {
+                assert!(Metric::Euclidean.distance(ds.point(i), &q) >= max_ret - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let (ds, mut scan, mut clock) = make(400, 5, 3);
+        let q = vec![0.4f32; 5];
+        let r = 0.5;
+        let mut got = scan.range(&mut clock, &q, r);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = (0..ds.len() as u32)
+            .filter(|&i| Metric::Euclidean.distance(ds.point(i as usize), &q) <= r)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cost_is_one_sequential_scan() {
+        let (_, mut scan, mut clock) = make(2_000, 16, 4);
+        scan.nearest(&mut clock, &vec![0.1f32; 16]);
+        let d = DiskModel::default();
+        let blocks = d.blocks_for(2_000 * 16 * 4);
+        assert_eq!(clock.stats().seeks, 1);
+        assert_eq!(clock.stats().blocks_read, blocks);
+        assert!((clock.io_time() - d.scan_cost(blocks)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let (ds, mut scan, mut clock) = make(5, 3, 5);
+        let knn = scan.knn(&mut clock, &[0.0, 0.0, 0.0], 50);
+        assert_eq!(knn.len(), ds.len());
+    }
+
+    #[test]
+    fn straddling_points_decode_correctly() {
+        // dim 5 -> 20 bytes/point; block 64 -> points straddle boundaries.
+        let mut ds = Dataset::new(5);
+        for i in 0..50 {
+            ds.push(&[i as f32; 5]);
+        }
+        let mut clock = SimClock::default();
+        let mut scan = SeqScan::build(
+            &ds,
+            Metric::Euclidean,
+            Box::new(MemDevice::new(64)),
+            &mut clock,
+        );
+        let (id, d) = scan.nearest(&mut clock, &[17.2f32; 5]).expect("non-empty");
+        assert_eq!(id, 17);
+        assert!(d > 0.0);
+    }
+}

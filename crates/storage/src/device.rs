@@ -1,0 +1,298 @@
+//! Block devices: in-memory and file-backed.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::model::SimClock;
+
+static NEXT_DEVICE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_device_id() -> u64 {
+    NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A device storing an array of fixed-size blocks.
+///
+/// All reads and writes charge the passed [`SimClock`]; the clock — not the
+/// backend — is the source of truth for simulated time, so in-memory and
+/// file-backed devices report identical costs.
+pub trait BlockDevice {
+    /// The block size in bytes (fixed per device).
+    fn block_size(&self) -> usize;
+
+    /// Number of blocks currently stored.
+    fn num_blocks(&self) -> u64;
+
+    /// Reads `buf.len() / block_size` blocks starting at block `start` into
+    /// `buf`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` is not a multiple of the block size or the
+    /// range is out of bounds.
+    fn read_blocks(&mut self, clock: &mut SimClock, start: u64, buf: &mut [u8]);
+
+    /// Appends `data` (padded to whole blocks with zeros) and returns the
+    /// starting block index.
+    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> u64;
+
+    /// Overwrites blocks starting at `start` with `data` (must be whole
+    /// blocks, in bounds).
+    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]);
+
+    /// Stable identifier used by the clock to track head position.
+    fn device_id(&self) -> u64;
+
+    /// Convenience: reads `n` blocks starting at `start` into a fresh
+    /// buffer.
+    fn read_to_vec(&mut self, clock: &mut SimClock, start: u64, n: u64) -> Vec<u8> {
+        let mut buf = vec![0u8; (n as usize) * self.block_size()];
+        self.read_blocks(clock, start, &mut buf);
+        buf
+    }
+}
+
+/// An in-memory block device (the default experiment backend: datasets of
+/// the paper's scale fit comfortably in RAM and runs are deterministic).
+#[derive(Debug)]
+pub struct MemDevice {
+    block_size: usize,
+    data: Vec<u8>,
+    id: u64,
+}
+
+impl MemDevice {
+    /// Creates an empty device with the given block size.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0);
+        Self {
+            block_size,
+            data: Vec::new(),
+            id: fresh_device_id(),
+        }
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        (self.data.len() / self.block_size) as u64
+    }
+
+    fn read_blocks(&mut self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
+        assert_eq!(buf.len() % self.block_size, 0, "partial-block read");
+        let nblocks = (buf.len() / self.block_size) as u64;
+        assert!(start + nblocks <= self.num_blocks(), "read out of bounds");
+        let off = (start as usize) * self.block_size;
+        buf.copy_from_slice(&self.data[off..off + buf.len()]);
+        clock.charge_read(self.id, start, nblocks);
+    }
+
+    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> u64 {
+        let start = self.num_blocks();
+        let nblocks = data.len().div_ceil(self.block_size) as u64;
+        self.data.extend_from_slice(data);
+        self.data
+            .resize((start + nblocks) as usize * self.block_size, 0);
+        clock.charge_write(self.id, start, nblocks);
+        start
+    }
+
+    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) {
+        assert_eq!(data.len() % self.block_size, 0, "partial-block write");
+        let nblocks = (data.len() / self.block_size) as u64;
+        assert!(start + nblocks <= self.num_blocks(), "write out of bounds");
+        let off = (start as usize) * self.block_size;
+        self.data[off..off + data.len()].copy_from_slice(data);
+        clock.charge_write(self.id, start, nblocks);
+    }
+
+    fn device_id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A file-backed block device (functional realism; simulated costs are
+/// charged identically to [`MemDevice`]).
+#[derive(Debug)]
+pub struct FileDevice {
+    block_size: usize,
+    file: File,
+    num_blocks: u64,
+    id: u64,
+}
+
+impl FileDevice {
+    /// Creates (truncating) a file-backed device at `path`.
+    pub fn create(path: &Path, block_size: usize) -> io::Result<Self> {
+        assert!(block_size > 0);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            block_size,
+            file,
+            num_blocks: 0,
+            id: fresh_device_id(),
+        })
+    }
+
+    /// Opens an existing device file; its length must be a multiple of the
+    /// block size.
+    pub fn open(path: &Path, block_size: usize) -> io::Result<Self> {
+        assert!(block_size > 0);
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % block_size as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file length is not a multiple of the block size",
+            ));
+        }
+        Ok(Self {
+            block_size,
+            file,
+            num_blocks: len / block_size as u64,
+            id: fresh_device_id(),
+        })
+    }
+}
+
+impl BlockDevice for FileDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn read_blocks(&mut self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
+        use std::os::unix::fs::FileExt;
+        assert_eq!(buf.len() % self.block_size, 0, "partial-block read");
+        let nblocks = (buf.len() / self.block_size) as u64;
+        assert!(start + nblocks <= self.num_blocks, "read out of bounds");
+        self.file
+            .read_exact_at(buf, start * self.block_size as u64)
+            .expect("device file read failed");
+        clock.charge_read(self.id, start, nblocks);
+    }
+
+    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> u64 {
+        use std::os::unix::fs::FileExt;
+        let start = self.num_blocks;
+        let nblocks = data.len().div_ceil(self.block_size) as u64;
+        let mut padded = data.to_vec();
+        padded.resize(nblocks as usize * self.block_size, 0);
+        self.file
+            .write_all_at(&padded, start * self.block_size as u64)
+            .expect("device file append failed");
+        self.num_blocks += nblocks;
+        clock.charge_write(self.id, start, nblocks);
+        start
+    }
+
+    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) {
+        use std::os::unix::fs::FileExt;
+        assert_eq!(data.len() % self.block_size, 0, "partial-block write");
+        let nblocks = (data.len() / self.block_size) as u64;
+        assert!(start + nblocks <= self.num_blocks, "write out of bounds");
+        self.file
+            .write_all_at(data, start * self.block_size as u64)
+            .expect("device file write failed");
+        clock.charge_write(self.id, start, nblocks);
+    }
+
+    fn device_id(&self) -> u64 {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dev: &mut dyn BlockDevice) {
+        let mut clock = SimClock::default();
+        let bs = dev.block_size();
+        let a = vec![0xAAu8; bs];
+        let b = vec![0xBBu8; 2 * bs];
+        let s0 = dev.append(&mut clock, &a);
+        let s1 = dev.append(&mut clock, &b);
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(dev.num_blocks(), 3);
+
+        let got = dev.read_to_vec(&mut clock, 1, 2);
+        assert_eq!(got, b);
+
+        let c = vec![0xCCu8; bs];
+        dev.write_blocks(&mut clock, 0, &c);
+        let got = dev.read_to_vec(&mut clock, 0, 1);
+        assert_eq!(got, c);
+    }
+
+    #[test]
+    fn mem_device_roundtrip() {
+        roundtrip(&mut MemDevice::new(64));
+    }
+
+    #[test]
+    fn file_device_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("iq-storage-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.bin");
+        roundtrip(&mut FileDevice::create(&path, 64).unwrap());
+        // Reopen and check persistence.
+        let mut dev = FileDevice::open(&path, 64).unwrap();
+        assert_eq!(dev.num_blocks(), 3);
+        let mut clock = SimClock::default();
+        assert_eq!(dev.read_to_vec(&mut clock, 0, 1), vec![0xCCu8; 64]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_pads_partial_blocks() {
+        let mut dev = MemDevice::new(16);
+        let mut clock = SimClock::default();
+        dev.append(&mut clock, &[1u8; 10]);
+        assert_eq!(dev.num_blocks(), 1);
+        let got = dev.read_to_vec(&mut clock, 0, 1);
+        assert_eq!(&got[..10], &[1u8; 10]);
+        assert_eq!(&got[10..], &[0u8; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_out_of_bounds_panics() {
+        let mut dev = MemDevice::new(16);
+        let mut clock = SimClock::default();
+        let mut buf = vec![0u8; 16];
+        dev.read_blocks(&mut clock, 0, &mut buf);
+    }
+
+    #[test]
+    fn identical_costs_mem_vs_file() {
+        let dir = std::env::temp_dir().join(format!("iq-storage-cost-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut mem = MemDevice::new(64);
+        let mut file = FileDevice::create(&dir.join("d.bin"), 64).unwrap();
+        let mut c1 = SimClock::default();
+        let mut c2 = SimClock::default();
+        let data = vec![7u8; 64 * 5];
+        mem.append(&mut c1, &data);
+        file.append(&mut c2, &data);
+        mem.read_to_vec(&mut c1, 2, 2);
+        file.read_to_vec(&mut c2, 2, 2);
+        assert_eq!(c1.io_time(), c2.io_time());
+        assert_eq!(c1.stats(), c2.stats());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

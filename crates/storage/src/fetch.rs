@@ -1,0 +1,301 @@
+//! Optimal batch fetching of a known set of blocks (Section 2, Figure 1).
+//!
+//! Given the sorted disk positions of the `n` blocks an index selected, the
+//! planner walks the list and decides, between consecutive selected blocks,
+//! whether to seek or to over-read the gap: over-read exactly when
+//! `(p_{i+1} − p_i − 1) · t_xfer < t_seek`. Seeger et al. (VLDB '93) proved
+//! this greedy rule time-optimal (with unbounded buffer); in the extremes it
+//! degenerates to a single full scan or to pure random accesses, which is the
+//! behaviour the paper highlights.
+
+use crate::model::{DiskModel, SimClock};
+use crate::BlockDevice;
+
+/// A contiguous run of blocks to read in one sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// First block of the run.
+    pub start: u64,
+    /// Number of blocks (selected + over-read).
+    pub len: u64,
+}
+
+impl Run {
+    /// Whether `pos` falls inside the run.
+    pub fn contains(&self, pos: u64) -> bool {
+        pos >= self.start && pos < self.start + self.len
+    }
+}
+
+/// Plans the optimal fetch schedule for `positions` (must be sorted
+/// ascending; duplicates are tolerated).
+///
+/// # Example
+///
+/// ```
+/// use iq_storage::{plan_fetch, DiskModel, Run};
+///
+/// let disk = DiskModel::default(); // over-read horizon = 10 blocks
+/// // Blocks 0 and 4 are close: over-read the gap. Block 1000 is far: seek.
+/// let runs = plan_fetch(&[0, 4, 1000], &disk);
+/// assert_eq!(runs, vec![Run { start: 0, len: 5 }, Run { start: 1000, len: 1 }]);
+/// ```
+///
+/// # Panics
+/// Panics (debug) if positions are not sorted.
+pub fn plan_fetch(positions: &[u64], model: &DiskModel) -> Vec<Run> {
+    debug_assert!(
+        positions.windows(2).all(|w| w[0] <= w[1]),
+        "positions must be sorted"
+    );
+    let mut runs: Vec<Run> = Vec::new();
+    for &p in positions {
+        match runs.last_mut() {
+            Some(run) if run.contains(p) => {}
+            Some(run) => {
+                let gap = p - (run.start + run.len);
+                // Over-read the gap iff cheaper than a seek (Figure 1).
+                if (gap as f64) * model.t_xfer < model.t_seek {
+                    run.len = p - run.start + 1;
+                } else {
+                    runs.push(Run { start: p, len: 1 });
+                }
+            }
+            None => runs.push(Run { start: p, len: 1 }),
+        }
+    }
+    runs
+}
+
+/// The modeled cost of executing a fetch plan: one seek plus the transfer
+/// of every block of every run. (Assumes the head is not already positioned
+/// at the first run, the conservative case.)
+pub fn plan_fetch_cost(runs: &[Run], model: &DiskModel) -> f64 {
+    runs.iter()
+        .map(|r| model.t_seek + r.len as f64 * model.t_xfer)
+        .sum()
+}
+
+/// Buffer-limited variant (Seeger et al., VLDB '93, consider exactly this
+/// restriction): no run may exceed `max_run_blocks`, because only that much
+/// buffer memory is available for one sweep. Runs the greedy rule, then
+/// splits oversized runs; a split introduces a seek but never changes which
+/// blocks are read.
+///
+/// # Panics
+/// Panics if `max_run_blocks == 0`.
+pub fn plan_fetch_bounded(positions: &[u64], model: &DiskModel, max_run_blocks: u64) -> Vec<Run> {
+    assert!(max_run_blocks > 0, "buffer must hold at least one block");
+    let mut out = Vec::new();
+    for run in plan_fetch(positions, model) {
+        let mut start = run.start;
+        let mut remaining = run.len;
+        while remaining > 0 {
+            let len = remaining.min(max_run_blocks);
+            out.push(Run { start, len });
+            start += len;
+            remaining -= len;
+        }
+    }
+    out
+}
+
+/// Plans and executes the fetch against a device, returning for each *run*
+/// its starting block and raw bytes. Callers slice out the blocks they
+/// actually selected.
+pub fn fetch_blocks(
+    dev: &mut dyn BlockDevice,
+    clock: &mut SimClock,
+    positions: &[u64],
+) -> Vec<(Run, Vec<u8>)> {
+    let runs = plan_fetch(positions, clock.disk());
+    runs.into_iter()
+        .map(|run| {
+            let buf = dev.read_to_vec(clock, run.start, run.len);
+            (run, buf)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    fn model(t_seek: f64, t_xfer: f64) -> DiskModel {
+        DiskModel {
+            t_seek,
+            t_xfer,
+            block_size: 64,
+        }
+    }
+
+    #[test]
+    fn empty_plan() {
+        assert!(plan_fetch(&[], &model(0.01, 0.001)).is_empty());
+    }
+
+    #[test]
+    fn dense_positions_become_one_run() {
+        // Gaps of 1-2 blocks, horizon v = 10 → all merged.
+        let runs = plan_fetch(&[0, 2, 3, 6], &model(0.01, 0.001));
+        assert_eq!(runs, vec![Run { start: 0, len: 7 }]);
+    }
+
+    #[test]
+    fn huge_gaps_become_random_accesses() {
+        let runs = plan_fetch(&[0, 1000, 2000], &model(0.01, 0.001));
+        assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.len == 1));
+    }
+
+    #[test]
+    fn boundary_gap_exactly_at_horizon_seeks() {
+        // v = 10: gap of exactly 10 blocks → 10 * t_xfer == t_seek, i.e. the
+        // strict `<` of the paper's rule does NOT over-read.
+        let runs = plan_fetch(&[0, 11], &model(0.01, 0.001));
+        assert_eq!(runs.len(), 2);
+        // Gap of 9 (< horizon) → over-read.
+        let runs = plan_fetch(&[0, 10], &model(0.01, 0.001));
+        assert_eq!(runs, vec![Run { start: 0, len: 11 }]);
+    }
+
+    #[test]
+    fn duplicates_are_tolerated() {
+        let runs = plan_fetch(&[5, 5, 5], &model(0.01, 0.001));
+        assert_eq!(runs, vec![Run { start: 5, len: 1 }]);
+    }
+
+    #[test]
+    fn plan_cost_between_scan_and_random() {
+        let m = model(0.01, 0.001);
+        // 50 selected blocks evenly spread over 500.
+        let positions: Vec<u64> = (0..50).map(|i| i * 10).collect();
+        let runs = plan_fetch(&positions, &m);
+        let cost = plan_fetch_cost(&runs, &m);
+        assert!(cost <= m.random_cost(50) + 1e-12, "never worse than random");
+        // Dense case: must be close to a scan of the touched range.
+        assert!(cost <= m.scan_cost(500) + m.t_seek);
+    }
+
+    #[test]
+    fn greedy_is_optimal_vs_bruteforce() {
+        // Exhaustively check small instances: every subset of gap decisions.
+        let m = model(0.004, 0.001); // horizon v = 4
+        let cases: Vec<Vec<u64>> = vec![
+            vec![0, 3, 4, 9, 20],
+            vec![0, 5, 6, 7, 30, 31],
+            vec![2, 4, 8, 16, 32],
+            vec![0, 1, 2, 3],
+        ];
+        for positions in cases {
+            let greedy = plan_fetch_cost(&plan_fetch(&positions, &m), &m);
+            // Brute force: each of the n-1 gaps is independently "seek" or
+            // "over-read"; cost decomposes per gap, plus one seek + one xfer
+            // per selected block.
+            let mut best = f64::INFINITY;
+            let gaps: Vec<u64> = positions.windows(2).map(|w| w[1] - w[0] - 1).collect();
+            for mask in 0..(1u32 << gaps.len()) {
+                let mut cost = m.t_seek + positions.len() as f64 * m.t_xfer;
+                for (i, &g) in gaps.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        cost += g as f64 * m.t_xfer; // over-read
+                    } else {
+                        cost += m.t_seek; // seek
+                    }
+                }
+                best = best.min(cost);
+            }
+            assert!(
+                (greedy - best).abs() < 1e-12,
+                "greedy {greedy} vs optimal {best} for {positions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_is_optimal_randomized() {
+        // Randomized extension of the exhaustive check: up to 14 gaps,
+        // random horizons.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let v = rng.gen_range(1..=12) as f64;
+            let m = model(0.001 * v, 0.001);
+            let n = rng.gen_range(2..=14);
+            let mut positions: Vec<u64> = (0..n).map(|_| rng.gen_range(0..200)).collect();
+            positions.sort_unstable();
+            positions.dedup();
+            if positions.len() < 2 {
+                continue;
+            }
+            let greedy = plan_fetch_cost(&plan_fetch(&positions, &m), &m);
+            let gaps: Vec<u64> = positions.windows(2).map(|w| w[1] - w[0] - 1).collect();
+            let mut best = f64::INFINITY;
+            for mask in 0..(1u32 << gaps.len()) {
+                let mut cost = m.t_seek + positions.len() as f64 * m.t_xfer;
+                for (i, &g) in gaps.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        cost += g as f64 * m.t_xfer;
+                    } else {
+                        cost += m.t_seek;
+                    }
+                }
+                best = best.min(cost);
+            }
+            assert!(
+                (greedy - best).abs() < 1e-12,
+                "v={v} positions={positions:?}: greedy {greedy} vs {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_plan_respects_buffer_and_covers_everything() {
+        let m = model(0.01, 0.001);
+        let positions: Vec<u64> = (0..40).map(|i| i * 2).collect(); // one big run
+        let unbounded = plan_fetch(&positions, &m);
+        assert_eq!(unbounded.len(), 1);
+        let bounded = plan_fetch_bounded(&positions, &m, 16);
+        assert!(bounded.iter().all(|r| r.len <= 16));
+        // Coverage identical.
+        for &p in &positions {
+            assert!(bounded.iter().any(|r| r.contains(p)), "block {p}");
+        }
+        // Cost: more seeks, same transfers.
+        let c_unb = plan_fetch_cost(&unbounded, &m);
+        let c_b = plan_fetch_cost(&bounded, &m);
+        assert!(c_b > c_unb);
+        let blocks_unb: u64 = unbounded.iter().map(|r| r.len).sum();
+        let blocks_b: u64 = bounded.iter().map(|r| r.len).sum();
+        assert_eq!(blocks_unb, blocks_b);
+    }
+
+    #[test]
+    fn bounded_plan_with_huge_buffer_is_identity() {
+        let m = model(0.01, 0.001);
+        let positions = [3u64, 4, 5, 100];
+        assert_eq!(
+            plan_fetch_bounded(&positions, &m, 1_000_000),
+            plan_fetch(&positions, &m)
+        );
+    }
+
+    #[test]
+    fn fetch_blocks_reads_correct_data() {
+        let m = model(0.01, 0.001);
+        let mut dev = MemDevice::new(64);
+        let mut clock = SimClock::new(m, crate::CpuModel::free());
+        for i in 0..20u8 {
+            dev.append(&mut clock, &vec![i; 64]);
+        }
+        clock.reset();
+        let fetched = fetch_blocks(&mut dev, &mut clock, &[1, 2, 18]);
+        assert_eq!(fetched.len(), 2);
+        assert_eq!(fetched[0].0, Run { start: 1, len: 2 });
+        assert_eq!(&fetched[0].1[..64], &vec![1u8; 64][..]);
+        assert_eq!(fetched[1].0, Run { start: 18, len: 1 });
+        assert_eq!(clock.stats().seeks, 2);
+        assert_eq!(clock.stats().blocks_read, 3);
+    }
+}

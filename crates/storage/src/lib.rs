@@ -1,0 +1,24 @@
+//! Simulated-disk block storage.
+//!
+//! The IQ-tree paper's entire argument is written in terms of two disk
+//! parameters: the seek time `t_seek` and the per-block transfer time
+//! `t_xfer` (Section 2). This crate provides:
+//!
+//! * [`DiskModel`] / [`CpuModel`] / [`SimClock`] — the cost model and the
+//!   clock that accumulates simulated I/O and CPU time plus access
+//!   statistics,
+//! * [`BlockDevice`] with an in-memory ([`MemDevice`]) and a real
+//!   file-backed ([`FileDevice`]) implementation; both charge the simulated
+//!   clock identically, so experiments are deterministic regardless of
+//!   backend,
+//! * [`fetch`] — the optimal batch block-fetch planner of Section 2
+//!   (Figure 1): given the sorted positions of the blocks an index selected,
+//!   decide where to seek and where to over-read.
+
+pub mod device;
+pub mod fetch;
+pub mod model;
+
+pub use device::{BlockDevice, FileDevice, MemDevice};
+pub use fetch::{plan_fetch, plan_fetch_bounded, plan_fetch_cost, Run};
+pub use model::{CpuModel, DiskModel, IoStats, SimClock};

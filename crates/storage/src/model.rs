@@ -1,0 +1,314 @@
+//! Disk and CPU cost models and the simulated clock.
+
+/// Disk timing parameters — the `t_seek` / `t_xfer` of Section 2.
+///
+/// Defaults model a late-1990s disk (the paper's experiments ran on
+/// HP 9000/780 workstations): a 10 ms average seek (including rotational
+/// latency) and 1 ms to transfer one 8 KiB block (≈ 8 MB/s sustained).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskModel {
+    /// Time for one random seek, in seconds.
+    pub t_seek: f64,
+    /// Time to transfer one block, in seconds.
+    pub t_xfer: f64,
+    /// Block size in bytes.
+    pub block_size: usize,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        Self {
+            t_seek: 0.010,
+            t_xfer: 0.001,
+            block_size: 8192,
+        }
+    }
+}
+
+impl DiskModel {
+    /// The over-read horizon `v = t_seek / t_xfer` (eq 21): the maximum
+    /// number of blocks worth over-reading instead of seeking.
+    pub fn overread_horizon(&self) -> f64 {
+        self.t_seek / self.t_xfer
+    }
+
+    /// Number of blocks needed to store `bytes` bytes.
+    pub fn blocks_for(&self, bytes: usize) -> u64 {
+        (bytes.div_ceil(self.block_size)) as u64
+    }
+
+    /// Cost of reading `n` blocks with one initial seek (a sequential scan).
+    pub fn scan_cost(&self, n: u64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.t_seek + n as f64 * self.t_xfer
+        }
+    }
+
+    /// Cost of reading `n` blocks with one seek each (naive random access).
+    pub fn random_cost(&self, n: u64) -> f64 {
+        n as f64 * (self.t_seek + self.t_xfer)
+    }
+}
+
+/// CPU timing parameters for the simulated total query time.
+///
+/// The paper reports *total* time; a pure I/O model would flatter the
+/// VA-file, whose filter phase evaluates bounds for every one of the N
+/// database points. The default (100 ns per dimension-term) is calibrated to
+/// a ~1999 workstation evaluating a distance term (load, subtract, multiply,
+/// add).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuModel {
+    /// Seconds per per-dimension term of a distance / bound computation.
+    pub per_dim_op: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self { per_dim_op: 100e-9 }
+    }
+}
+
+impl CpuModel {
+    /// A CPU model that charges nothing (pure-I/O accounting).
+    pub fn free() -> Self {
+        Self { per_dim_op: 0.0 }
+    }
+
+    /// Cost of `count` distance-like evaluations over `dim` dimensions.
+    pub fn dist_cost(&self, dim: usize, count: u64) -> f64 {
+        self.per_dim_op * dim as f64 * count as f64
+    }
+}
+
+/// Accumulated I/O statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Random seeks performed.
+    pub seeks: u64,
+    /// Blocks transferred (read).
+    pub blocks_read: u64,
+    /// Blocks transferred (written).
+    pub blocks_written: u64,
+}
+
+/// The simulated clock: accumulates disk time, CPU time and statistics.
+///
+/// A clock models one disk arm shared by however many [`BlockDevice`]s take
+/// part in an experiment: an access is sequential (no seek) only if it
+/// continues exactly where the previous access — *on any device* — left off
+/// on the same device. Interleaving accesses across files therefore costs
+/// seeks, exactly as it would on a real single-disk installation.
+///
+/// [`BlockDevice`]: crate::BlockDevice
+#[derive(Clone, Debug)]
+pub struct SimClock {
+    disk: DiskModel,
+    cpu: CpuModel,
+    io_time: f64,
+    cpu_time: f64,
+    stats: IoStats,
+    /// (device id, next block) the head is positioned at.
+    head: Option<(u64, u64)>,
+}
+
+impl SimClock {
+    /// Creates a clock for the given disk and CPU models.
+    pub fn new(disk: DiskModel, cpu: CpuModel) -> Self {
+        Self {
+            disk,
+            cpu,
+            io_time: 0.0,
+            cpu_time: 0.0,
+            stats: IoStats::default(),
+            head: None,
+        }
+    }
+
+    /// The disk model in effect.
+    pub fn disk(&self) -> &DiskModel {
+        &self.disk
+    }
+
+    /// The CPU model in effect.
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// Simulated disk time so far, in seconds.
+    pub fn io_time(&self) -> f64 {
+        self.io_time
+    }
+
+    /// Simulated CPU time so far, in seconds.
+    pub fn cpu_time(&self) -> f64 {
+        self.cpu_time
+    }
+
+    /// Simulated total time (disk + CPU) so far, in seconds.
+    pub fn total_time(&self) -> f64 {
+        self.io_time + self.cpu_time
+    }
+
+    /// Accumulated I/O statistics.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets times, statistics and head position (e.g. between queries).
+    pub fn reset(&mut self) {
+        self.io_time = 0.0;
+        self.cpu_time = 0.0;
+        self.stats = IoStats::default();
+        self.head = None;
+    }
+
+    /// Charges a read of `nblocks` starting at `start` on device `dev`.
+    /// Called by device implementations.
+    pub fn charge_read(&mut self, dev: u64, start: u64, nblocks: u64) {
+        if nblocks == 0 {
+            return;
+        }
+        if self.head != Some((dev, start)) {
+            self.io_time += self.disk.t_seek;
+            self.stats.seeks += 1;
+        }
+        self.io_time += nblocks as f64 * self.disk.t_xfer;
+        self.stats.blocks_read += nblocks;
+        self.head = Some((dev, start + nblocks));
+    }
+
+    /// Charges a write of `nblocks` starting at `start` on device `dev`.
+    pub fn charge_write(&mut self, dev: u64, start: u64, nblocks: u64) {
+        if nblocks == 0 {
+            return;
+        }
+        if self.head != Some((dev, start)) {
+            self.io_time += self.disk.t_seek;
+            self.stats.seeks += 1;
+        }
+        self.io_time += nblocks as f64 * self.disk.t_xfer;
+        self.stats.blocks_written += nblocks;
+        self.head = Some((dev, start + nblocks));
+    }
+
+    /// Charges CPU time for `count` distance-like evaluations over `dim`
+    /// dimensions.
+    pub fn charge_dist_evals(&mut self, dim: usize, count: u64) {
+        self.cpu_time += self.cpu.dist_cost(dim, count);
+    }
+
+    /// Charges raw CPU seconds (for non-distance work an algorithm wants to
+    /// account for).
+    pub fn charge_cpu_seconds(&mut self, secs: f64) {
+        self.cpu_time += secs;
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new(DiskModel::default(), CpuModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads_seek_once() {
+        let mut c = SimClock::default();
+        c.charge_read(1, 0, 4);
+        c.charge_read(1, 4, 4);
+        assert_eq!(c.stats().seeks, 1);
+        assert_eq!(c.stats().blocks_read, 8);
+        let d = DiskModel::default();
+        assert!((c.io_time() - (d.t_seek + 8.0 * d.t_xfer)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_or_device_switch_seeks() {
+        let mut c = SimClock::default();
+        c.charge_read(1, 0, 1);
+        c.charge_read(1, 5, 1); // gap
+        c.charge_read(2, 6, 1); // other device
+        c.charge_read(1, 0, 1); // back again
+        assert_eq!(c.stats().seeks, 4);
+    }
+
+    #[test]
+    fn zero_block_read_is_free() {
+        let mut c = SimClock::default();
+        c.charge_read(1, 10, 0);
+        assert_eq!(c.io_time(), 0.0);
+        assert_eq!(c.stats().seeks, 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = SimClock::default();
+        c.charge_read(1, 0, 2);
+        c.charge_dist_evals(16, 100);
+        c.reset();
+        assert_eq!(c.total_time(), 0.0);
+        assert_eq!(c.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn cpu_model_charges() {
+        let mut c = SimClock::default();
+        c.charge_dist_evals(10, 1000);
+        assert!((c.cpu_time() - 100e-9 * 10.0 * 1000.0).abs() < 1e-15);
+        assert_eq!(c.io_time(), 0.0);
+    }
+
+    #[test]
+    fn scan_vs_random_cost() {
+        let d = DiskModel::default();
+        assert!(d.scan_cost(100) < d.random_cost(100));
+        assert_eq!(d.scan_cost(0), 0.0);
+        assert!((d.random_cost(3) - 3.0 * (d.t_seek + d.t_xfer)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocks_for_rounds_up() {
+        let d = DiskModel::default();
+        assert_eq!(d.blocks_for(0), 0);
+        assert_eq!(d.blocks_for(1), 1);
+        assert_eq!(d.blocks_for(8192), 1);
+        assert_eq!(d.blocks_for(8193), 2);
+    }
+
+    #[test]
+    fn io_time_is_additive_across_accesses() {
+        // Charging accesses one by one equals charging them in any split,
+        // as long as head positions line up.
+        let mut a = SimClock::default();
+        a.charge_read(1, 0, 10);
+        let mut b = SimClock::default();
+        b.charge_read(1, 0, 4);
+        b.charge_read(1, 4, 6);
+        assert_eq!(a.io_time(), b.io_time());
+        assert_eq!(a.stats().blocks_read, b.stats().blocks_read);
+    }
+
+    #[test]
+    fn overread_horizon_matches_definition() {
+        let d = DiskModel {
+            t_seek: 0.02,
+            t_xfer: 0.004,
+            block_size: 1024,
+        };
+        assert!((d.overread_horizon() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_charges_like_read() {
+        let mut c = SimClock::default();
+        c.charge_write(1, 0, 3);
+        assert_eq!(c.stats().blocks_written, 3);
+        assert_eq!(c.stats().seeks, 1);
+    }
+}

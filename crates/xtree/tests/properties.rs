@@ -1,0 +1,105 @@
+//! Property-based tests of the X-tree: exact results under arbitrary data,
+//! structural invariants of the directory under bulk load and dynamic
+//! inserts.
+
+use iq_geometry::{Dataset, Metric};
+use iq_storage::{MemDevice, SimClock};
+use iq_xtree::{XTree, XTreeOptions};
+use proptest::prelude::*;
+
+fn dataset_strategy(dim: usize, max_n: usize) -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(0.0f32..1.0, dim * 20..dim * max_n).prop_map(move |mut flat| {
+        flat.truncate(flat.len() / dim * dim);
+        Dataset::from_flat(dim, flat)
+    })
+}
+
+fn build(ds: &Dataset, metric: Metric) -> (XTree, SimClock) {
+    let mut clock = SimClock::default();
+    let tree = XTree::build(
+        ds,
+        metric,
+        XTreeOptions::default(),
+        Box::new(MemDevice::new(512)),
+        Box::new(MemDevice::new(512)),
+        &mut clock,
+    );
+    (tree, clock)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// NN is exact for both main metrics.
+    #[test]
+    fn prop_nn_exact(
+        ds in dataset_strategy(4, 120),
+        q in proptest::collection::vec(0.0f32..1.0, 4),
+        use_max in proptest::bool::ANY,
+    ) {
+        let metric = if use_max { Metric::Maximum } else { Metric::Euclidean };
+        let (mut tree, mut clock) = build(&ds, metric);
+        let got = tree.nearest(&mut clock, &q).expect("non-empty").1;
+        let expect = ds.iter().map(|p| metric.distance(p, &q)).fold(f64::INFINITY, f64::min);
+        prop_assert!((got - expect).abs() < 1e-5);
+    }
+
+    /// Range queries return exactly the true id set.
+    #[test]
+    fn prop_range_exact(
+        ds in dataset_strategy(3, 100),
+        q in proptest::collection::vec(0.0f32..1.0, 3),
+        r in 0.05f64..0.7,
+    ) {
+        let (mut tree, mut clock) = build(&ds, Metric::Euclidean);
+        let mut got = tree.range(&mut clock, &q, r);
+        got.sort_unstable();
+        let mut expect: Vec<u32> = (0..ds.len() as u32)
+            .filter(|&i| Metric::Euclidean.distance(ds.point(i as usize), &q) <= r)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Dynamic inserts keep the tree exact, whatever the order.
+    #[test]
+    fn prop_inserts_stay_exact(
+        base in dataset_strategy(3, 60),
+        extra in proptest::collection::vec(
+            proptest::collection::vec(0.0f32..1.0, 3), 1..60),
+        q in proptest::collection::vec(0.0f32..1.0, 3),
+    ) {
+        let (mut tree, mut clock) = build(&base, Metric::Euclidean);
+        let n0 = base.len();
+        for (i, p) in extra.iter().enumerate() {
+            tree.insert(&mut clock, (n0 + i) as u32, p);
+        }
+        prop_assert_eq!(tree.len(), n0 + extra.len());
+        let got = tree.nearest(&mut clock, &q).expect("non-empty").1;
+        let expect = base
+            .iter()
+            .map(|p| Metric::Euclidean.distance(p, &q))
+            .chain(extra.iter().map(|p| Metric::Euclidean.distance(p, &q)))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got - expect).abs() < 1e-5);
+    }
+
+    /// Every point remains reachable after inserts (zero-radius range hits
+    /// its own id).
+    #[test]
+    fn prop_points_reachable_after_inserts(
+        base in dataset_strategy(3, 40),
+        extra in proptest::collection::vec(
+            proptest::collection::vec(0.0f32..1.0, 3), 1..40),
+    ) {
+        let (mut tree, mut clock) = build(&base, Metric::Euclidean);
+        let n0 = base.len();
+        for (i, p) in extra.iter().enumerate() {
+            tree.insert(&mut clock, (n0 + i) as u32, p);
+        }
+        for (i, p) in extra.iter().enumerate() {
+            let hits = tree.range(&mut clock, p, 1e-9);
+            prop_assert!(hits.contains(&((n0 + i) as u32)), "inserted point {i} lost");
+        }
+    }
+}

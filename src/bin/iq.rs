@@ -1,0 +1,402 @@
+//! `iq` — command-line driver for the IQ-tree reproduction.
+//!
+//! ```text
+//! iq generate --kind uniform --dim 8 --n 10000 --seed 1 --out points.csv
+//! iq build    --input points.csv --index ./myindex [--block 8192] [--metric l2|linf|l1]
+//! iq query    --index ./myindex --point 0.1,0.2,... [--k 5]
+//! iq range    --index ./myindex --point 0.1,0.2,... --radius 0.25
+//! iq stats    --index ./myindex
+//! ```
+//!
+//! Points are CSV rows of `f32` coordinates. An index is a directory with
+//! three block files (`dir.bin`, `quant.bin`, `exact.bin`) plus a small
+//! `meta` file recording dimension, metric and block size. Query timings
+//! printed are *simulated* disk+CPU seconds (see the crate docs).
+
+use iqtree_repro::data;
+use iqtree_repro::geometry::Metric;
+use iqtree_repro::storage::{BlockDevice, FileDevice, SimClock};
+use iqtree_repro::tree::{IqTree, IqTreeOptions};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "build" => cmd_build(&opts),
+        "query" => cmd_query(&opts),
+        "range" => cmd_range(&opts),
+        "stats" => cmd_stats(&opts),
+        "bench" => cmd_bench(&opts),
+        _ => Err(format!("unknown command `{cmd}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  iq generate --kind <uniform|cad|color|weather> --dim <d> --n <count> [--seed <s>] --out <file.csv>
+  iq build    --input <file.csv> --index <dir> [--block <bytes>] [--metric <l2|linf|l1>]
+  iq query    --index <dir> --point <x,y,...> [--k <k>]
+  iq range    --index <dir> --point <x,y,...> --radius <r>
+  iq stats    --index <dir>
+  iq bench    --input <file.csv> [--queries <q>] [--metric <l2|linf|l1>]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn req<'a>(opts: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    opts.get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}"))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn parse_metric(opts: &HashMap<String, String>) -> Result<Metric, String> {
+    match opts.get("metric").map(String::as_str).unwrap_or("l2") {
+        "l2" => Ok(Metric::Euclidean),
+        "linf" => Ok(Metric::Maximum),
+        "l1" => Ok(Metric::Manhattan),
+        other => Err(format!("unknown metric `{other}` (use l2, linf or l1)")),
+    }
+}
+
+fn parse_point(s: &str) -> Result<Vec<f32>, String> {
+    s.split(',')
+        .map(|t| parse_num::<f32>(t.trim(), "coordinate"))
+        .collect()
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kind = req(opts, "kind")?;
+    let dim: usize = parse_num(req(opts, "dim")?, "--dim")?;
+    let n: usize = parse_num(req(opts, "n")?, "--n")?;
+    let seed: u64 = opts.get("seed").map_or(Ok(1), |s| parse_num(s, "--seed"))?;
+    let out = req(opts, "out")?;
+    let ds = match kind {
+        "uniform" => data::uniform(dim, n, seed),
+        "cad" => data::cad_like(dim, n, seed),
+        "color" => data::color_like(dim, n, seed),
+        "weather" => data::weather_like(dim, n, seed),
+        other => return Err(format!("unknown kind `{other}`")),
+    };
+    data::write_csv(Path::new(out), &ds)?;
+    println!("wrote {} points of dimension {dim} to {out}", ds.len());
+    Ok(())
+}
+
+struct IndexMeta {
+    dim: usize,
+    metric: Metric,
+    block: usize,
+}
+
+fn meta_path(index: &Path) -> PathBuf {
+    index.join("meta")
+}
+
+fn save_meta(index: &Path, m: &IndexMeta) -> Result<(), String> {
+    let metric = match m.metric {
+        Metric::Euclidean => "l2",
+        Metric::Maximum => "linf",
+        Metric::Manhattan => "l1",
+    };
+    std::fs::write(
+        meta_path(index),
+        format!("dim={}\nmetric={metric}\nblock={}\n", m.dim, m.block),
+    )
+    .map_err(|e| format!("write meta: {e}"))
+}
+
+fn load_meta(index: &Path) -> Result<IndexMeta, String> {
+    let text = std::fs::read_to_string(meta_path(index))
+        .map_err(|e| format!("not an index directory ({e})"))?;
+    let mut kv = HashMap::new();
+    for line in text.lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            kv.insert(k.to_string(), v.to_string());
+        }
+    }
+    let dim = parse_num(kv.get("dim").ok_or("meta missing dim")?, "dim")?;
+    let block = parse_num(kv.get("block").ok_or("meta missing block")?, "block")?;
+    let metric = match kv.get("metric").map(String::as_str) {
+        Some("l2") | None => Metric::Euclidean,
+        Some("linf") => Metric::Maximum,
+        Some("l1") => Metric::Manhattan,
+        Some(other) => return Err(format!("meta has unknown metric `{other}`")),
+    };
+    Ok(IndexMeta { dim, metric, block })
+}
+
+const FILES: [&str; 3] = ["dir.bin", "quant.bin", "exact.bin"];
+
+fn cmd_build(opts: &HashMap<String, String>) -> Result<(), String> {
+    let input = req(opts, "input")?;
+    let index = PathBuf::from(req(opts, "index")?);
+    let block: usize = opts
+        .get("block")
+        .map_or(Ok(8192), |s| parse_num(s, "--block"))?;
+    let metric = parse_metric(opts)?;
+    let ds = data::read_csv(Path::new(input))?;
+    std::fs::create_dir_all(&index).map_err(|e| format!("create {index:?}: {e}"))?;
+
+    let mut clock = SimClock::default();
+    let mut names = FILES.iter();
+    let tree = IqTree::build(
+        &ds,
+        metric,
+        IqTreeOptions::default(),
+        || {
+            let path = index.join(names.next().expect("three files"));
+            Box::new(FileDevice::create(&path, block).expect("create index file"))
+                as Box<dyn BlockDevice>
+        },
+        &mut clock,
+    );
+    save_meta(
+        &index,
+        &IndexMeta {
+            dim: ds.dim(),
+            metric,
+            block,
+        },
+    )?;
+    let (d, q, e) = tree.storage_blocks();
+    println!(
+        "built IQ-tree over {} points ({}-d): {} pages, resolutions {:?}",
+        tree.len(),
+        ds.dim(),
+        tree.num_pages(),
+        tree.bits_histogram(),
+    );
+    println!(
+        "storage: directory {d} + quantized {q} + exact {e} blocks of {block} B \
+         (scanned level at {:.0}% of exact size)",
+        tree.compression_ratio() * 100.0,
+    );
+    Ok(())
+}
+
+fn open_tree(index: &Path) -> Result<(IqTree, SimClock, IndexMeta), String> {
+    let meta = load_meta(index)?;
+    let mut clock = SimClock::default();
+    let open = |name: &str| -> Result<Box<dyn BlockDevice>, String> {
+        Ok(Box::new(
+            FileDevice::open(&index.join(name), meta.block)
+                .map_err(|e| format!("open {name}: {e}"))?,
+        ))
+    };
+    let tree = IqTree::open(
+        meta.dim,
+        meta.metric,
+        IqTreeOptions::default(),
+        open(FILES[0])?,
+        open(FILES[1])?,
+        open(FILES[2])?,
+        &mut clock,
+    );
+    clock.reset();
+    Ok((tree, clock, meta))
+}
+
+fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    let index = PathBuf::from(req(opts, "index")?);
+    let point = parse_point(req(opts, "point")?)?;
+    let k: usize = opts.get("k").map_or(Ok(1), |s| parse_num(s, "--k"))?;
+    let (mut tree, mut clock, meta) = open_tree(&index)?;
+    if point.len() != meta.dim {
+        return Err(format!(
+            "point has {} coordinates, index is {}-d",
+            point.len(),
+            meta.dim
+        ));
+    }
+    let hits = tree.knn(&mut clock, &point, k);
+    for (rank, (id, dist)) in hits.iter().enumerate() {
+        println!("{:>3}. id {id:>8}  distance {dist:.6}", rank + 1);
+    }
+    println!(
+        "-- {} result(s) in {:.2} simulated ms ({} seeks, {} blocks)",
+        hits.len(),
+        clock.total_time() * 1e3,
+        clock.stats().seeks,
+        clock.stats().blocks_read,
+    );
+    Ok(())
+}
+
+fn cmd_range(opts: &HashMap<String, String>) -> Result<(), String> {
+    let index = PathBuf::from(req(opts, "index")?);
+    let point = parse_point(req(opts, "point")?)?;
+    let radius: f64 = parse_num(req(opts, "radius")?, "--radius")?;
+    let (mut tree, mut clock, meta) = open_tree(&index)?;
+    if point.len() != meta.dim {
+        return Err(format!(
+            "point has {} coordinates, index is {}-d",
+            point.len(),
+            meta.dim
+        ));
+    }
+    let mut hits = tree.range(&mut clock, &point, radius);
+    hits.sort_unstable();
+    println!("{} point(s) within {radius}", hits.len());
+    for chunk in hits.chunks(10) {
+        let row: Vec<String> = chunk.iter().map(u32::to_string).collect();
+        println!("  {}", row.join(" "));
+    }
+    println!(
+        "-- {:.2} simulated ms ({} seeks, {} blocks)",
+        clock.total_time() * 1e3,
+        clock.stats().seeks,
+        clock.stats().blocks_read,
+    );
+    Ok(())
+}
+
+/// Races the IQ-tree against the X-tree, VA-file (model-chosen bits) and
+/// sequential scan on the given points; the last `--queries` rows are held
+/// out as the query workload.
+fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
+    use iqtree_repro::data::Workload;
+    use iqtree_repro::scan::SeqScan;
+    use iqtree_repro::storage::MemDevice;
+    use iqtree_repro::vafile::VaFile;
+    use iqtree_repro::xtree::{XTree, XTreeOptions};
+
+    let input = req(opts, "input")?;
+    let queries: usize = opts
+        .get("queries")
+        .map_or(Ok(20), |s| parse_num(s, "--queries"))?;
+    let metric = parse_metric(opts)?;
+    let all = data::read_csv(Path::new(input))?;
+    if all.len() <= queries {
+        return Err(format!("need more than {queries} points for a benchmark"));
+    }
+    let w = Workload::split(all, queries);
+    let dim = w.db.dim();
+    let dev = || Box::new(MemDevice::new(8192)) as Box<dyn BlockDevice>;
+    let df = iqtree_repro::data::correlation_dimension_auto(&w.db);
+    println!(
+        "{} points, {dim}-d, {queries} held-out queries, fractal dim ~ {df:.2}\n",
+        w.db.len()
+    );
+
+    /// One NN query against whichever engine the closure wraps.
+    type Query<'a> = Box<dyn FnMut(&mut SimClock, &[f32]) + 'a>;
+    let mut clock = SimClock::default();
+    let mut measure = |name: &str, mut f: Query| {
+        let mut total = 0.0;
+        let mut seeks = 0u64;
+        for q in w.queries.iter() {
+            clock.reset();
+            f(&mut clock, q);
+            total += clock.total_time();
+            seeks += clock.stats().seeks;
+        }
+        let nq = w.queries.len() as f64;
+        println!(
+            "{name:<28} {:>9.2} ms/query   {:>6.1} seeks/query",
+            total / nq * 1e3,
+            seeks as f64 / nq,
+        );
+    };
+
+    let mut build_clock = SimClock::default();
+    let opts_iq = IqTreeOptions {
+        fractal_dim: Some(df),
+        ..Default::default()
+    };
+    let mut iq = IqTree::build(&w.db, metric, opts_iq, dev, &mut build_clock);
+    measure(
+        "IQ-tree",
+        Box::new(move |c, q| {
+            iq.nearest(c, q);
+        }),
+    );
+
+    let mut xt = XTree::build(
+        &w.db,
+        metric,
+        XTreeOptions::default(),
+        dev(),
+        dev(),
+        &mut build_clock,
+    );
+    measure(
+        "X-tree",
+        Box::new(move |c, q| {
+            xt.nearest(c, q);
+        }),
+    );
+
+    let bits = iqtree_repro::vafile::auto_bits(build_clock.disk(), build_clock.cpu(), &w.db, df);
+    let mut va = VaFile::build(&w.db, metric, bits, dev(), dev(), &mut build_clock);
+    measure(
+        &format!("VA-file (auto: {bits} bits)"),
+        Box::new(move |c, q| {
+            va.nearest(c, q);
+        }),
+    );
+
+    let mut scan = SeqScan::build(&w.db, metric, dev(), &mut build_clock);
+    measure(
+        "sequential scan",
+        Box::new(move |c, q| {
+            scan.nearest(c, q);
+        }),
+    );
+    println!("\n(times are simulated: 10 ms seek, 1 ms / 8 KiB block, 100 ns CPU per dim-op)");
+    Ok(())
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let index = PathBuf::from(req(opts, "index")?);
+    let (tree, _, meta) = open_tree(&index)?;
+    let (d, q, e) = tree.storage_blocks();
+    println!("IQ-tree index at {index:?}");
+    println!("  points      : {}", tree.len());
+    println!("  dimension   : {}", meta.dim);
+    println!("  metric      : {:?}", meta.metric);
+    println!("  block size  : {} B", meta.block);
+    println!("  pages       : {}", tree.num_pages());
+    println!("  resolutions : {:?}", tree.bits_histogram());
+    println!("  blocks      : dir {d}, quantized {q}, exact {e}");
+    println!(
+        "  compression : scanned level at {:.0}% of exact",
+        tree.compression_ratio() * 100.0
+    );
+    Ok(())
+}

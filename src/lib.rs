@@ -1,0 +1,44 @@
+//! Umbrella crate for the IQ-tree reproduction (ICDE 2000).
+//!
+//! Re-exports the whole workspace behind one dependency so examples and
+//! downstream users can write `use iqtree_repro::...`:
+//!
+//! * [`tree`] — the IQ-tree itself (the paper's contribution),
+//! * [`geometry`], [`storage`], [`quantize`], [`cost`], [`cache`] — the substrates,
+//! * [`data`] — synthetic data sets and fractal-dimension estimation,
+//! * [`scan`], [`vafile`], [`xtree`] — the baselines of the evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iqtree_repro::data::{self, Workload};
+//! use iqtree_repro::geometry::Metric;
+//! use iqtree_repro::storage::{MemDevice, SimClock};
+//! use iqtree_repro::tree::{IqTree, IqTreeOptions};
+//!
+//! // 2 000 uniform points in 8 dimensions, 5 held out as queries.
+//! let w = Workload::generate(2_000, 5, |n| data::uniform(8, n, 42));
+//! let mut clock = SimClock::default();
+//! let mut tree = IqTree::build(
+//!     &w.db,
+//!     Metric::Euclidean,
+//!     IqTreeOptions::default(),
+//!     || Box::new(MemDevice::new(8192)),
+//!     &mut clock,
+//! );
+//! clock.reset();
+//! let (id, dist) = tree.nearest(&mut clock, w.queries.point(0)).unwrap();
+//! assert!(dist >= 0.0 && (id as usize) < w.db.len());
+//! println!("nn = {id} at {dist:.4} (simulated {:.1} ms)", clock.total_time() * 1e3);
+//! ```
+
+pub use iq_cache as cache;
+pub use iq_cost as cost;
+pub use iq_data as data;
+pub use iq_geometry as geometry;
+pub use iq_quantize as quantize;
+pub use iq_scan as scan;
+pub use iq_storage as storage;
+pub use iq_tree as tree;
+pub use iq_vafile as vafile;
+pub use iq_xtree as xtree;

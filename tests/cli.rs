@@ -1,0 +1,162 @@
+//! End-to-end test of the `iq` command-line tool: generate → build →
+//! query → range → stats on real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn iq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_iq"))
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iq-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn generate_build_query_roundtrip() {
+    let dir = temp_dir();
+    let csv = dir.join("pts.csv");
+    let idx = dir.join("idx");
+
+    let out = iq()
+        .args(["generate", "--kind", "uniform", "--dim", "4", "--n", "3000"])
+        .args(["--seed", "7", "--out", csv.to_str().expect("utf8 path")])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = iq()
+        .args(["build", "--input", csv.to_str().expect("utf8")])
+        .args(["--index", idx.to_str().expect("utf8"), "--block", "2048"])
+        .output()
+        .expect("run build");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("built IQ-tree over 3000 points"),
+        "{stdout}"
+    );
+
+    let out = iq()
+        .args(["query", "--index", idx.to_str().expect("utf8")])
+        .args(["--point", "0.5,0.5,0.5,0.5", "--k", "3"])
+        .output()
+        .expect("run query");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("distance").count(), 3, "{stdout}");
+
+    let out = iq()
+        .args(["range", "--index", idx.to_str().expect("utf8")])
+        .args(["--point", "0.5,0.5,0.5,0.5", "--radius", "0.2"])
+        .output()
+        .expect("run range");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = iq()
+        .args(["stats", "--index", idx.to_str().expect("utf8")])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("points      : 3000"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn bench_subcommand_runs() {
+    let dir = temp_dir();
+    let csv = dir.join("b.csv");
+    let out = iq()
+        .args(["generate", "--kind", "uniform", "--dim", "5", "--n", "2000"])
+        .args(["--seed", "2", "--out", csv.to_str().expect("utf8")])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    let out = iq()
+        .args([
+            "bench",
+            "--input",
+            csv.to_str().expect("utf8"),
+            "--queries",
+            "5",
+        ])
+        .output()
+        .expect("run bench");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["IQ-tree", "X-tree", "VA-file", "sequential scan"] {
+        assert!(
+            stdout.contains(name),
+            "missing {name} in:
+{stdout}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn helpful_errors() {
+    // Unknown command.
+    let out = iq().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing flag.
+    let out = iq().args(["generate", "--dim", "3"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --kind"));
+
+    // Dimensionality mismatch on query.
+    let dir = temp_dir();
+    let csv = dir.join("p.csv");
+    std::fs::write(&csv, "0.1,0.2\n0.3,0.4\n0.5,0.6\n").expect("write csv");
+    let idx = dir.join("i");
+    let out = iq()
+        .args(["build", "--input", csv.to_str().expect("utf8")])
+        .args(["--index", idx.to_str().expect("utf8"), "--block", "1024"])
+        .output()
+        .expect("run build");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = iq()
+        .args([
+            "query",
+            "--index",
+            idx.to_str().expect("utf8"),
+            "--point",
+            "0.1,0.2,0.3",
+        ])
+        .output()
+        .expect("run query");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("index is 2-d"));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -1,0 +1,99 @@
+//! Integration: the IQ-tree behaves identically on real files and on
+//! in-memory devices — same results, same simulated costs (the clock, not
+//! the backend, is the source of truth for cost).
+
+use iqtree_repro::data::{self, Workload};
+use iqtree_repro::geometry::Metric;
+use iqtree_repro::storage::{BlockDevice, FileDevice, MemDevice, SimClock};
+use iqtree_repro::tree::{IqTree, IqTreeOptions};
+use std::path::PathBuf;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "iqtree-file-backed-{}-{}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-")
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn file_and_memory_backends_agree() {
+    let w = Workload::generate(4_000, 6, |n| data::uniform(6, n, 17));
+    let dir = temp_dir();
+
+    let mut mem_clock = SimClock::default();
+    let mut mem_tree = IqTree::build(
+        &w.db,
+        Metric::Euclidean,
+        IqTreeOptions::default(),
+        || Box::new(MemDevice::new(4096)),
+        &mut mem_clock,
+    );
+
+    let mut counter = 0;
+    let mut file_clock = SimClock::default();
+    let mut file_tree = IqTree::build(
+        &w.db,
+        Metric::Euclidean,
+        IqTreeOptions::default(),
+        || {
+            counter += 1;
+            let path = dir.join(format!("f{counter}.bin"));
+            Box::new(FileDevice::create(&path, 4096).expect("create device file"))
+                as Box<dyn BlockDevice>
+        },
+        &mut file_clock,
+    );
+
+    // Identical build costs.
+    assert_eq!(mem_clock.io_time(), file_clock.io_time());
+    assert_eq!(mem_clock.stats(), file_clock.stats());
+    assert_eq!(mem_tree.num_pages(), file_tree.num_pages());
+
+    // Identical query results and costs.
+    for q in w.queries.iter() {
+        mem_clock.reset();
+        file_clock.reset();
+        let a = mem_tree.knn(&mut mem_clock, q, 5);
+        let b = file_tree.knn(&mut file_clock, q, 5);
+        assert_eq!(a, b);
+        assert_eq!(mem_clock.io_time(), file_clock.io_time());
+        assert_eq!(mem_clock.stats(), file_clock.stats());
+    }
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn file_backed_updates_persist_within_session() {
+    let w = Workload::generate(2_000, 2, |n| data::uniform(4, n, 23));
+    let dir = temp_dir();
+    let mut counter = 0;
+    let mut clock = SimClock::default();
+    let mut tree = IqTree::build(
+        &w.db,
+        Metric::Euclidean,
+        IqTreeOptions::default(),
+        || {
+            counter += 1;
+            let path = dir.join(format!("g{counter}.bin"));
+            Box::new(FileDevice::create(&path, 4096).expect("create device file"))
+                as Box<dyn BlockDevice>
+        },
+        &mut clock,
+    );
+    let p = [0.123f32, 0.456, 0.789, 0.5];
+    tree.insert(&mut clock, 777_777, &p);
+    let (id, d) = tree.nearest(&mut clock, &p).expect("non-empty");
+    assert_eq!(id, 777_777);
+    assert!(d < 1e-6);
+    assert!(tree.delete(&mut clock, 777_777, &p));
+    let (id2, _) = tree.nearest(&mut clock, &p).expect("non-empty");
+    assert_ne!(id2, 777_777);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
