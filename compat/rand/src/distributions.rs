@@ -1,0 +1,71 @@
+//! The `Distribution` trait and the standard (uniform) distribution.
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform `[0, 1)` for floats, full-range
+/// uniform for integers, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 random mantissa bits.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// `sample` only needs `RngCore`; re-bless the blanket impl so distributions
+// can be sampled through a plain `&mut R`.
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&trues), "{trues}");
+    }
+
+    #[allow(dead_code)]
+    fn rng_core_is_object_safe(r: &mut dyn crate::RngCore) -> u64 {
+        r.next_u64()
+    }
+}

@@ -126,7 +126,7 @@ fn bench_nn_query(c: &mut Criterion) {
     use iq_tree::{IqTree, IqTreeOptions};
     let ds = iq_data::uniform(16, 50_000, 9);
     let mut clock = SimClock::default();
-    let mut tree = IqTree::build(
+    let tree = IqTree::build(
         &ds,
         Metric::Euclidean,
         IqTreeOptions::default(),

@@ -57,7 +57,7 @@ fn fig7_variants(c: &mut Criterion) {
         ),
     ] {
         let mut cl = clock(&cfg);
-        let mut tree = IqTree::build(&w.db, Metric::Euclidean, opts, || dev(&cfg), &mut cl);
+        let tree = IqTree::build(&w.db, Metric::Euclidean, opts, || dev(&cfg), &mut cl);
         let mut qi = 0usize;
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -78,7 +78,7 @@ fn fig8_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_methods_12d");
 
     let mut cl = clock(&cfg);
-    let mut iq = IqTree::build(
+    let iq = IqTree::build(
         &w.db,
         Metric::Euclidean,
         IqTreeOptions::default(),
@@ -158,7 +158,7 @@ fn fig9_to_12_distributions(c: &mut Criterion) {
             fractal_dim: Some(df),
             ..Default::default()
         };
-        let mut tree = IqTree::build(&w.db, Metric::Euclidean, opts, || dev(&cfg), &mut cl);
+        let tree = IqTree::build(&w.db, Metric::Euclidean, opts, || dev(&cfg), &mut cl);
         let mut qi = 0usize;
         group.bench_function(name, |b| {
             b.iter(|| {

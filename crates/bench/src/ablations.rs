@@ -38,7 +38,7 @@ pub fn knn_sweep(cfg: &Config) -> Table {
         &["IQ-tree", "X-tree", "VA-file(5)"],
     );
     let mut clock = SimClock::new(cfg.disk, cfg.cpu);
-    let mut iq = IqTree::build(
+    let iq = IqTree::build(
         &w.db,
         Metric::Euclidean,
         IqTreeOptions::default(),
@@ -149,7 +149,7 @@ pub fn model_validation(cfg: &Config) -> Table {
             fractal_dim: Some(df),
             ..Default::default()
         };
-        let mut tree = IqTree::build(&w.db, Metric::Euclidean, opts, || dev(cfg), &mut clock);
+        let tree = IqTree::build(&w.db, Metric::Euclidean, opts, || dev(cfg), &mut clock);
         let predicted = tree.optimize_trace().cost_per_step[tree.optimize_trace().best_step];
         let s = measure(&w.queries, &mut clock, |c, q| {
             tree.nearest(c, q);
@@ -274,7 +274,7 @@ pub fn cache_ablation(cfg: &Config) -> Table {
         // Rough footprint: quantized level dominates reads.
         let footprint_blocks = (n * (4 + 2 * dim)) / cfg.disk.block_size + 64;
         let cap = ((footprint_blocks as f64 * frac) as usize).max(1);
-        let mut tree = IqTree::build(
+        let tree = IqTree::build(
             &w.db,
             Metric::Euclidean,
             IqTreeOptions::default(),
@@ -353,7 +353,7 @@ pub fn knn_model_check(cfg: &Config) -> Table {
         &["predicted", "measured"],
     );
     let mut clock = SimClock::new(cfg.disk, cfg.cpu);
-    let mut tree = IqTree::build(
+    let tree = IqTree::build(
         &w.db,
         Metric::Euclidean,
         IqTreeOptions::default(),

@@ -23,7 +23,7 @@ fn main() {
             fractal_dim: Some(df),
             ..Default::default()
         };
-        let mut tree = IqTree::build(
+        let tree = IqTree::build(
             &w.db,
             Metric::Euclidean,
             opts,
@@ -44,7 +44,7 @@ fn main() {
             ..Default::default()
         };
         let mut clock = SimClock::new(cfg.disk, cfg.cpu);
-        let mut tree2 = IqTree::build(
+        let tree2 = IqTree::build(
             &w.db,
             Metric::Euclidean,
             opts,

@@ -14,9 +14,21 @@
 //! The all-or-nothing policy keeps the cost semantics of ranged reads
 //! simple and conservative: a partially resident run still pays the full
 //! sweep, exactly like a real scatter-limited disk schedule would.
+//!
+//! # Thread safety
+//!
+//! Reads take `&self` (matching [`BlockDevice`]) and may run from many
+//! threads sharing one device. Internally the frame pool is split into
+//! shards, each guarded by its own mutex and running an independent LRU;
+//! a block lives in shard `block % nshards`, so concurrent readers
+//! touching different blocks rarely contend. Small caches use a single
+//! shard and behave exactly like a global LRU. Writes keep `&mut self`
+//! and are therefore exclusive, like every other device.
 
 use iq_storage::{BlockDevice, SimClock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Doubly-linked LRU list over slab indices.
 struct LruList {
@@ -27,6 +39,12 @@ struct LruList {
 }
 
 const NIL: usize = usize::MAX;
+
+/// Frames per shard below which sharding stops paying for itself; also the
+/// shard-count cap. Capacities up to one shard's worth keep a single global
+/// LRU (identical behavior to the unsharded cache).
+const FRAMES_PER_SHARD: usize = 64;
+const MAX_SHARDS: usize = 16;
 
 impl LruList {
     fn new() -> Self {
@@ -97,9 +115,9 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// An LRU cache of block frames in front of any [`BlockDevice`].
-pub struct CachedDevice {
-    inner: Box<dyn BlockDevice>,
+/// One lock's worth of frames: an independent LRU over the blocks hashed
+/// to this shard.
+struct Shard {
     capacity: usize,
     /// block index -> slot in `frames`.
     map: HashMap<u64, usize>,
@@ -108,61 +126,46 @@ pub struct CachedDevice {
     blocks_of: Vec<u64>,
     free: Vec<usize>,
     lru: LruList,
-    stats: CacheStats,
 }
 
-impl CachedDevice {
-    /// Wraps `inner` with a cache of `capacity_blocks` frames.
-    ///
-    /// # Panics
-    /// Panics if `capacity_blocks == 0`.
-    pub fn new(inner: Box<dyn BlockDevice>, capacity_blocks: usize) -> Self {
-        assert!(capacity_blocks > 0, "cache needs at least one frame");
+impl Shard {
+    fn new(capacity: usize) -> Self {
         Self {
-            inner,
-            capacity: capacity_blocks,
-            map: HashMap::with_capacity(capacity_blocks),
+            capacity,
+            map: HashMap::with_capacity(capacity),
             frames: Vec::new(),
             blocks_of: Vec::new(),
             free: Vec::new(),
             lru: LruList::new(),
-            stats: CacheStats::default(),
         }
     }
 
-    /// Cache statistics so far.
-    pub fn stats(&self) -> CacheStats {
-        self.stats
+    /// Copies the frame for `block` into `out` and marks it recently used.
+    fn read_frame(&mut self, block: u64, out: &mut [u8]) -> bool {
+        match self.map.get(&block) {
+            Some(&slot) => {
+                out.copy_from_slice(&self.frames[slot]);
+                self.lru.touch(slot);
+                true
+            }
+            None => false,
+        }
     }
 
-    /// Number of resident frames.
-    pub fn resident(&self) -> usize {
-        self.map.len()
-    }
-
-    /// Drops all resident frames and statistics (simulates a cold
-    /// restart).
-    pub fn clear(&mut self) {
-        self.stats = CacheStats::default();
-        self.map.clear();
-        self.frames.clear();
-        self.blocks_of.clear();
-        self.free.clear();
-        self.lru = LruList::new();
-    }
-
-    fn insert_frame(&mut self, block: u64, data: Vec<u8>) {
+    /// Returns the number of evictions performed (0 or 1).
+    fn insert_frame(&mut self, block: u64, data: Vec<u8>) -> u64 {
         if let Some(&slot) = self.map.get(&block) {
             self.frames[slot] = data;
             self.lru.touch(slot);
-            return;
+            return 0;
         }
+        let mut evicted = 0;
         if self.map.len() >= self.capacity {
             if let Some(victim) = self.lru.pop_lru() {
                 let old = self.blocks_of[victim];
                 self.map.remove(&old);
                 self.free.push(victim);
-                self.stats.evictions += 1;
+                evicted = 1;
             }
         }
         let slot = if let Some(slot) = self.free.pop() {
@@ -176,6 +179,92 @@ impl CachedDevice {
         };
         self.map.insert(block, slot);
         self.lru.push_front(slot);
+        evicted
+    }
+}
+
+/// A sharded LRU cache of block frames in front of any [`BlockDevice`].
+pub struct CachedDevice {
+    inner: Box<dyn BlockDevice>,
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CachedDevice {
+    /// Wraps `inner` with a cache of `capacity_blocks` frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity_blocks == 0`.
+    pub fn new(inner: Box<dyn BlockDevice>, capacity_blocks: usize) -> Self {
+        assert!(capacity_blocks > 0, "cache needs at least one frame");
+        let nshards = (capacity_blocks / FRAMES_PER_SHARD).clamp(1, MAX_SHARDS);
+        let base = capacity_blocks / nshards;
+        let rem = capacity_blocks % nshards;
+        let shards = (0..nshards)
+            .map(|i| Mutex::new(Shard::new(base + usize::from(i < rem))))
+            .collect();
+        Self {
+            inner,
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, block: u64) -> &Mutex<Shard> {
+        &self.shards[(block % self.shards.len() as u64) as usize]
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of resident frames.
+    pub fn resident(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Total frame capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").capacity)
+            .sum()
+    }
+
+    /// Drops all resident frames and statistics (simulates a cold
+    /// restart).
+    pub fn clear(&mut self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            let cap = shard.capacity;
+            *shard = Shard::new(cap);
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    fn insert_frame(&self, block: u64, data: Vec<u8>) {
+        let evicted = self
+            .shard(block)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert_frame(block, data);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 }
 
@@ -188,22 +277,31 @@ impl BlockDevice for CachedDevice {
         self.inner.num_blocks()
     }
 
-    fn read_blocks(&mut self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
         let bs = self.block_size();
         assert_eq!(buf.len() % bs, 0, "partial-block read");
         let nblocks = (buf.len() / bs) as u64;
-        let all_resident = (0..nblocks).all(|i| self.map.contains_key(&(start + i)));
-        if all_resident {
-            for i in 0..nblocks {
-                let slot = self.map[&(start + i)];
-                let off = (i as usize) * bs;
-                buf[off..off + bs].copy_from_slice(&self.frames[slot]);
-                self.lru.touch(slot);
+        // Optimistically serve from the cache block by block; the first
+        // miss falls through to a full device read (all-or-nothing), which
+        // overwrites whatever was already copied.
+        let mut all_resident = true;
+        for i in 0..nblocks {
+            let off = (i as usize) * bs;
+            let served = self
+                .shard(start + i)
+                .lock()
+                .expect("cache shard poisoned")
+                .read_frame(start + i, &mut buf[off..off + bs]);
+            if !served {
+                all_resident = false;
+                break;
             }
-            self.stats.hits += 1;
+        }
+        if all_resident {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        self.stats.misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
         self.inner.read_blocks(clock, start, buf);
         for i in 0..nblocks {
             let off = (i as usize) * bs;
@@ -298,9 +396,9 @@ mod tests {
     #[test]
     fn writes_update_resident_frames() {
         let (mut dev, mut clock) = setup(4);
-        dev.append(&mut clock, &vec![0u8; 64 * 2]);
+        dev.append(&mut clock, &[0u8; 64 * 2]);
         dev.read_to_vec(&mut clock, 0, 1);
-        dev.write_blocks(&mut clock, 0, &vec![0xEEu8; 64]);
+        dev.write_blocks(&mut clock, 0, &[0xEEu8; 64]);
         clock.reset();
         let got = dev.read_to_vec(&mut clock, 0, 1);
         assert_eq!(got, vec![0xEEu8; 64]);
@@ -340,7 +438,7 @@ mod tests {
     #[test]
     fn clear_forgets_everything() {
         let (mut dev, mut clock) = setup(4);
-        dev.append(&mut clock, &vec![3u8; 64]);
+        dev.append(&mut clock, &[3u8; 64]);
         dev.read_to_vec(&mut clock, 0, 1);
         assert!(dev.resident() > 0);
         dev.clear();
@@ -348,5 +446,42 @@ mod tests {
         clock.reset();
         dev.read_to_vec(&mut clock, 0, 1);
         assert!(clock.io_time() > 0.0);
+    }
+
+    #[test]
+    fn sharded_capacity_is_preserved_and_bounded() {
+        let (mut dev, mut clock) = setup(640); // 10 shards of 64
+        assert_eq!(dev.capacity(), 640);
+        dev.append(&mut clock, &vec![5u8; 64 * 1000]);
+        dev.clear();
+        for b in 0..1000u64 {
+            dev.read_to_vec(&mut clock, b, 1);
+        }
+        assert!(dev.resident() <= 640, "resident {}", dev.resident());
+        assert!(dev.stats().evictions > 0);
+    }
+
+    #[test]
+    fn concurrent_readers_see_correct_bytes() {
+        let mut dev = CachedDevice::new(Box::new(MemDevice::new(64)), 256);
+        let mut clock = SimClock::new(DiskModel::default(), CpuModel::free());
+        for i in 0..64u64 {
+            dev.append(&mut clock, &[(i % 251) as u8; 64]);
+        }
+        let dev = &dev;
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                s.spawn(move || {
+                    let mut c = SimClock::new(DiskModel::default(), CpuModel::free());
+                    for round in 0..200u64 {
+                        let b = (round * 13 + t * 7) % 64;
+                        let got = dev.read_to_vec(&mut c, b, 1);
+                        assert_eq!(got, vec![(b % 251) as u8; 64], "block {b}");
+                    }
+                });
+            }
+        });
+        let stats = dev.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 200);
     }
 }

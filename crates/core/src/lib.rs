@@ -44,6 +44,11 @@ pub struct IqTreeOptions {
     /// `None` assumes uniformity (`D_F = d`). Estimate it with
     /// `iq_data::correlation_dimension_auto` for real data.
     pub fractal_dim: Option<f64>,
+    /// Put an LRU buffer pool of this many block frames in front of each
+    /// of the three level files ([`iq_cache::CachedDevice`]). `None` (the
+    /// default) keeps the paper's cold-query cost model: every block
+    /// access pays the disk.
+    pub cache_blocks: Option<usize>,
 }
 
 impl Default for IqTreeOptions {
@@ -52,7 +57,16 @@ impl Default for IqTreeOptions {
             quantize: true,
             scheduled_io: true,
             fractal_dim: None,
+            cache_blocks: None,
         }
+    }
+}
+
+/// Wraps a device in a buffer pool when the options ask for one.
+fn maybe_cache(dev: Box<dyn BlockDevice>, cache_blocks: Option<usize>) -> Box<dyn BlockDevice> {
+    match cache_blocks {
+        Some(frames) => Box::new(iq_cache::CachedDevice::new(dev, frames)),
+        None => dev,
     }
 }
 
@@ -123,6 +137,14 @@ pub struct IqTree {
     wasted_exact_blocks: u64,
 }
 
+// Queries take `&self`, so a tree behind an `Arc` (or borrowed into scoped
+// threads, as `knn_batch` does) must be shareable. Guarded at compile time:
+// a non-`Sync` field would break `knn_batch` and every concurrent caller.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<IqTree>();
+};
+
 /// Serialized directory entry size: MBR + (g, count) + page references.
 pub(crate) fn dir_entry_bytes(dim: usize) -> usize {
     8 * dim + 4 + 4 + 8 + 8 + 4
@@ -173,9 +195,9 @@ impl IqTree {
     ) -> Self {
         assert!(!ds.is_empty(), "cannot build an IQ-tree over an empty set");
         let dim = ds.dim();
-        let dir = make_dev();
-        let quant = make_dev();
-        let exact = make_dev();
+        let dir = maybe_cache(make_dev(), opts.cache_blocks);
+        let quant = maybe_cache(make_dev(), opts.cache_blocks);
+        let exact = maybe_cache(make_dev(), opts.cache_blocks);
         assert!(
             dir.block_size() == quant.block_size() && quant.block_size() == exact.block_size(),
             "all three files must share one block size"
@@ -432,11 +454,19 @@ impl IqTree {
         &self.dir_params
     }
 
-    pub(crate) fn quant_dev(&mut self) -> &mut dyn BlockDevice {
+    pub(crate) fn quant_dev(&self) -> &dyn BlockDevice {
+        self.quant.as_ref()
+    }
+
+    pub(crate) fn exact_dev(&self) -> &dyn BlockDevice {
+        self.exact.as_ref()
+    }
+
+    pub(crate) fn quant_dev_mut(&mut self) -> &mut dyn BlockDevice {
         self.quant.as_mut()
     }
 
-    pub(crate) fn exact_dev(&mut self) -> &mut dyn BlockDevice {
+    pub(crate) fn exact_dev_mut(&mut self) -> &mut dyn BlockDevice {
         self.exact.as_mut()
     }
 
@@ -462,7 +492,7 @@ impl IqTree {
 
     /// Charges the first-level directory scan (every query starts with it)
     /// and the per-entry MINDIST computations.
-    pub(crate) fn charge_directory_scan(&mut self, clock: &mut SimClock) {
+    pub(crate) fn charge_directory_scan(&self, clock: &mut SimClock) {
         let nblocks = self.dir.num_blocks();
         if nblocks > 0 {
             // One sequential sweep.
@@ -475,7 +505,7 @@ impl IqTree {
     /// within page `page_idx` (a refinement: random access into the
     /// third-level file).
     pub(crate) fn read_exact_point(
-        &mut self,
+        &self,
         clock: &mut SimClock,
         page_idx: usize,
         slot: usize,
@@ -492,7 +522,7 @@ impl IqTree {
     }
 
     /// Reads the full exact region of a page (updates; not used by search).
-    pub(crate) fn read_exact_region(&mut self, clock: &mut SimClock, page_idx: usize) -> Vec<u8> {
+    pub(crate) fn read_exact_region(&self, clock: &mut SimClock, page_idx: usize) -> Vec<u8> {
         let meta = &self.pages[page_idx];
         self.exact
             .read_to_vec(clock, meta.exact_start, u64::from(meta.exact_blocks))

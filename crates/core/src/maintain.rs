@@ -18,7 +18,7 @@ impl IqTree {
     ///
     /// Reads the whole second level sequentially plus the exact regions of
     /// non-exact pages (all charged to the clock).
-    pub fn export_points(&mut self, clock: &mut SimClock) -> (Vec<u32>, Dataset) {
+    pub fn export_points(&self, clock: &mut SimClock) -> (Vec<u32>, Dataset) {
         let dim = self.dim();
         let mut ids = Vec::with_capacity(self.len());
         let mut points = Dataset::with_capacity(dim, self.len());
@@ -83,7 +83,7 @@ mod tests {
     #[test]
     fn export_returns_every_point_once() {
         let ds = random_ds(1_500, 5, 81);
-        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
         let (ids, points) = tree.export_points(&mut clock);
         assert_eq!(ids.len(), 1_500);
         assert_eq!(points.len(), 1_500);

@@ -20,7 +20,9 @@ impl IqTree {
     ///
     /// The directory file is read sequentially (charged to `clock`); the
     /// entry count is derived from the quantized file's length — every
-    /// quantized page has exactly one directory entry.
+    /// quantized page has exactly one directory entry. When
+    /// `opts.cache_blocks` is set, each device is wrapped in a buffer pool
+    /// exactly as [`IqTree::build`] would.
     ///
     /// # Panics
     /// Panics if the devices disagree on block size or the directory is
@@ -31,11 +33,14 @@ impl IqTree {
         dim: usize,
         metric: Metric,
         opts: IqTreeOptions,
-        mut dir: Box<dyn BlockDevice>,
+        dir: Box<dyn BlockDevice>,
         quant: Box<dyn BlockDevice>,
         exact: Box<dyn BlockDevice>,
         clock: &mut SimClock,
     ) -> Self {
+        let dir = crate::maybe_cache(dir, opts.cache_blocks);
+        let quant = crate::maybe_cache(quant, opts.cache_blocks);
+        let exact = crate::maybe_cache(exact, opts.cache_blocks);
         assert!(
             dir.block_size() == quant.block_size() && quant.block_size() == exact.block_size(),
             "all three files must share one block size"
@@ -135,7 +140,7 @@ mod tests {
         let mut clock = SimClock::default();
         let names = ["dir.bin", "quant.bin", "exact.bin"];
         let mut name_iter = names.iter();
-        let mut tree = IqTree::build(
+        let tree = IqTree::build(
             &ds,
             Metric::Euclidean,
             IqTreeOptions::default(),
@@ -148,7 +153,7 @@ mod tests {
         drop(tree);
 
         // Reopen from disk and run the same query.
-        let mut reopened = IqTree::open(
+        let reopened = IqTree::open(
             6,
             Metric::Euclidean,
             IqTreeOptions::default(),

@@ -22,6 +22,10 @@ use iq_storage::{fetch, SimClock};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Per-query outcome inside [`IqTree::knn_batch`]: the k-NN result list
+/// plus the clock that paid for it.
+type BatchSlot = Option<(Vec<(u32, f64)>, SimClock)>;
+
 /// Heap entry target.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Item {
@@ -104,20 +108,69 @@ impl SearchState {
 
 impl IqTree {
     /// Exact nearest neighbor of `q`, as `(id, distance)`.
-    pub fn nearest(&mut self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
+    pub fn nearest(&self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
         self.knn(clock, q, 1).pop()
     }
 
     /// The `k` exact nearest neighbors of `q`, ordered by increasing
     /// distance.
-    pub fn knn(&mut self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
+    ///
+    /// Queries take `&self`: any number of threads may search one tree
+    /// concurrently, each with its own [`SimClock`] (the clock models one
+    /// disk arm, so it is inherently per-query state). See
+    /// [`IqTree::knn_batch`] for a ready-made parallel executor.
+    pub fn knn(&self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
         self.knn_traced(clock, q, k).0
+    }
+
+    /// Answers every query in `queries` with a `k`-NN search, fanning the
+    /// batch out over `threads` OS threads that share `self`.
+    ///
+    /// Each query runs against a fresh clone of `clock` (reset to zero), so
+    /// per-query costs are charged exactly as in a serial cold run; the
+    /// per-query clocks are then folded back into `clock` in query order
+    /// via [`SimClock::absorb`]. Results and accumulated statistics are
+    /// therefore identical for every thread count, including `1`.
+    pub fn knn_batch(
+        &self,
+        clock: &mut SimClock,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Vec<(u32, f64)>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let mut template = clock.clone();
+        template.reset();
+        let template = &template;
+        let mut slots: Vec<BatchSlot> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        let chunk = queries.len().div_ceil(threads.max(1));
+        std::thread::scope(|s| {
+            for (qs, outs) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (q, out) in qs.iter().zip(outs.iter_mut()) {
+                        let mut c = template.clone();
+                        let res = self.knn(&mut c, q, k);
+                        *out = Some((res, c));
+                    }
+                });
+            }
+        });
+        let mut results = Vec::with_capacity(queries.len());
+        for slot in slots {
+            let (res, c) = slot.expect("every spawned chunk fills its slots");
+            clock.absorb(&c);
+            results.push(res);
+        }
+        results
     }
 
     /// Like [`IqTree::knn`], additionally returning a [`QueryTrace`] of
     /// what the search did.
     pub fn knn_traced(
-        &mut self,
+        &self,
         clock: &mut SimClock,
         q: &[f32],
         k: usize,
@@ -204,7 +257,7 @@ impl IqTree {
 
     /// Loads exactly one page (the "standard NN search" ablation).
     fn process_single_page(
-        &mut self,
+        &self,
         clock: &mut SimClock,
         q: &[f32],
         p: usize,
@@ -223,7 +276,7 @@ impl IqTree {
     /// the whole sequence in one sweep and process every unprocessed page
     /// in it.
     fn process_page_run(
-        &mut self,
+        &self,
         clock: &mut SimClock,
         q: &[f32],
         pivot: usize,
@@ -330,7 +383,7 @@ impl IqTree {
     /// entries update the result set directly, approximations enter the
     /// priority list as point boxes.
     fn consume_page_bytes(
-        &mut self,
+        &self,
         clock: &mut SimClock,
         q: &[f32],
         p: usize,
@@ -369,7 +422,7 @@ impl IqTree {
     /// the positions are known in advance), then verifies each point with
     /// `accept`. Returns the accepted ids.
     fn refine_batch(
-        &mut self,
+        &self,
         clock: &mut SimClock,
         refinements: &[(usize, usize, u32)],
         mut accept: impl FnMut(&[f32]) -> bool,
@@ -387,10 +440,7 @@ impl IqTree {
         }
         positions.sort_unstable();
         positions.dedup();
-        let fetched = {
-            let exact = self.exact_dev();
-            fetch::fetch_blocks(exact, clock, &positions)
-        };
+        let fetched = fetch::fetch_blocks(self.exact_dev(), clock, &positions);
         let block_bytes = |pos: u64| -> &[u8] {
             let (run, buf) = fetched
                 .iter()
@@ -436,7 +486,7 @@ impl IqTree {
     ///
     /// # Panics
     /// Panics if the window's dimensionality mismatches.
-    pub fn window(&mut self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
+    pub fn window(&self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
         assert_eq!(window.dim(), self.dim(), "window dimensionality mismatch");
         if self.is_empty() {
             return Vec::new();
@@ -453,10 +503,7 @@ impl IqTree {
             .iter()
             .map(|&i| self.pages()[i].quant_block)
             .collect();
-        let fetched = {
-            let quant = self.quant_dev();
-            fetch::fetch_blocks(quant, clock, &positions)
-        };
+        let fetched = fetch::fetch_blocks(self.quant_dev(), clock, &positions);
         let bs = self.codec().block_size();
         let mut out = Vec::new();
         let mut refinements: Vec<(usize, usize, u32)> = Vec::new();
@@ -502,7 +549,7 @@ impl IqTree {
     /// fetch of Section 2 (Figure 1) loads them with the minimal
     /// seek/over-read schedule. Points whose cell box lies entirely within
     /// the radius are accepted without refinement.
-    pub fn range(&mut self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+    pub fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
         assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
         if self.is_empty() {
             return Vec::new();
@@ -525,10 +572,7 @@ impl IqTree {
 
         let mut out = Vec::new();
         let mut refinements: Vec<(usize, usize, u32)> = Vec::new(); // (page, slot, id)
-        let fetched = {
-            let quant = self.quant_dev();
-            fetch::fetch_blocks(quant, clock, &positions)
-        };
+        let fetched = fetch::fetch_blocks(self.quant_dev(), clock, &positions);
         let bs = self.codec().block_size();
         for &p in &candidates {
             let block = self.pages()[p].quant_block;
@@ -606,7 +650,7 @@ mod tests {
             },
         ];
         for (vi, opts) in variants.into_iter().enumerate() {
-            let (mut tree, mut clock) = build_tree(&ds, opts, 1024);
+            let (tree, mut clock) = build_tree(&ds, opts, 1024);
             let mut rng = StdRng::seed_from_u64(42);
             for t in 0..15 {
                 let q: Vec<f32> = (0..6).map(|_| rng.gen()).collect();
@@ -624,7 +668,7 @@ mod tests {
     #[test]
     fn knn_matches_brute_force() {
         let ds = random_ds(900, 5, 12);
-        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
         let q = vec![0.37f32; 5];
         let got = tree.knn(&mut clock, &q, 11);
         let expect = brute_knn(&ds, &q, 11);
@@ -638,7 +682,7 @@ mod tests {
     #[test]
     fn range_matches_brute_force() {
         let ds = random_ds(1_000, 4, 13);
-        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
+        let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
         for (q, r) in [
             (vec![0.5f32; 4], 0.3),
             (vec![0.1f32; 4], 0.5),
@@ -659,7 +703,7 @@ mod tests {
         // In high dimensions many pages must be read; the scheduler should
         // turn most of the random accesses into sweeps.
         let ds = random_ds(6_000, 12, 14);
-        let (mut t_std, mut c_std) = build_tree(
+        let (t_std, mut c_std) = build_tree(
             &ds,
             IqTreeOptions {
                 scheduled_io: false,
@@ -667,7 +711,7 @@ mod tests {
             },
             1024,
         );
-        let (mut t_opt, mut c_opt) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let (t_opt, mut c_opt) = build_tree(&ds, IqTreeOptions::default(), 1024);
         let q = vec![0.5f32; 12];
         t_std.nearest(&mut c_std, &q);
         t_opt.nearest(&mut c_opt, &q);
@@ -688,14 +732,14 @@ mod tests {
     #[test]
     fn empty_k_returns_empty() {
         let ds = random_ds(100, 3, 15);
-        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
+        let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
         assert!(tree.knn(&mut clock, &[0.5, 0.5, 0.5], 0).is_empty());
     }
 
     #[test]
     fn k_larger_than_n_returns_all() {
         let ds = random_ds(50, 3, 16);
-        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
+        let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
         let got = tree.knn(&mut clock, &[0.5, 0.5, 0.5], 500);
         assert_eq!(got.len(), 50);
     }
@@ -704,7 +748,7 @@ mod tests {
     fn maximum_metric_nearest() {
         let ds = random_ds(700, 5, 17);
         let mut clock = iq_storage::SimClock::default();
-        let mut tree = crate::IqTree::build(
+        let tree = crate::IqTree::build(
             &ds,
             Metric::Maximum,
             IqTreeOptions::default(),
@@ -722,7 +766,7 @@ mod tests {
     #[test]
     fn query_trace_reports_work() {
         let ds = random_ds(3_000, 8, 19);
-        let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
         let q = vec![0.5f32; 8];
         let (results, trace) = tree.knn_traced(&mut clock, &q, 3);
         assert_eq!(results.len(), 3);
@@ -747,8 +791,8 @@ mod tests {
             scheduled_io: false,
             ..Default::default()
         };
-        let (mut tree, mut clock) = build_tree(&ds, opts, 1024);
-        let (_, trace) = tree.knn_traced(&mut clock, &vec![0.3f32; 6], 1);
+        let (tree, mut clock) = build_tree(&ds, opts, 1024);
+        let (_, trace) = tree.knn_traced(&mut clock, &[0.3f32; 6], 1);
         assert_eq!(
             trace.runs, trace.pages_processed,
             "one random read per page"
@@ -760,8 +804,8 @@ mod tests {
     fn query_cost_is_deterministic() {
         let ds = random_ds(2_000, 8, 18);
         let q = vec![0.42f32; 8];
-        let (mut t1, mut c1) = build_tree(&ds, IqTreeOptions::default(), 1024);
-        let (mut t2, mut c2) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let (t1, mut c1) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let (t2, mut c2) = build_tree(&ds, IqTreeOptions::default(), 1024);
         t1.nearest(&mut c1, &q);
         t2.nearest(&mut c2, &q);
         assert_eq!(c1.io_time(), c2.io_time());

@@ -35,7 +35,7 @@ impl LoadedPage {
 
 impl IqTree {
     /// Loads ids and exact coordinates of every point in a page.
-    fn load_page(&mut self, clock: &mut SimClock, idx: usize) -> LoadedPage {
+    fn load_page(&self, clock: &mut SimClock, idx: usize) -> LoadedPage {
         let meta = self.pages()[idx].clone();
         let block = meta.quant_block;
         let bytes = self.quant_dev().read_to_vec(clock, block, 1);
@@ -76,7 +76,7 @@ impl IqTree {
         };
         let old = self.pages()[idx].clone();
         let quant_block = old.quant_block;
-        self.quant_dev()
+        self.quant_dev_mut()
             .write_blocks(clock, quant_block, &quant_bytes);
 
         let (exact_start, exact_blocks) = if g < EXACT_BITS {
@@ -90,11 +90,11 @@ impl IqTree {
                 let mut padded = bytes;
                 padded.resize(nblocks as usize * self.block_size(), 0);
                 let start = old.exact_start;
-                self.exact_dev().write_blocks(clock, start, &padded);
+                self.exact_dev_mut().write_blocks(clock, start, &padded);
                 (start, nblocks)
             } else {
                 self.waste_exact(u64::from(old.exact_blocks));
-                let start = self.exact_dev().append(clock, &bytes);
+                let start = self.exact_dev_mut().append(clock, &bytes);
                 (start, nblocks)
             }
         } else {
@@ -132,14 +132,14 @@ impl IqTree {
                     .map(|(i, &id)| (id, page.point(i, dim))),
             )
         };
-        let quant_block = self.quant_dev().append(clock, &quant_bytes);
+        let quant_block = self.quant_dev_mut().append(clock, &quant_bytes);
         let (exact_start, exact_blocks) = if g < EXACT_BITS {
             let bytes = {
                 let codec = *self.exact_codec();
                 codec.encode((0..page.ids.len()).map(|i| page.point(i, dim)))
             };
             let nblocks = bytes.len().div_ceil(self.block_size()) as u32;
-            let start = self.exact_dev().append(clock, &bytes);
+            let start = self.exact_dev_mut().append(clock, &bytes);
             (start, nblocks)
         } else {
             (0, 0)
@@ -411,7 +411,7 @@ impl IqTree {
             codec.encode(&old.mbr, iq_quantize::EXACT_BITS, std::iter::empty())
         };
         let block = old.quant_block;
-        self.quant_dev().write_blocks(clock, block, &empty);
+        self.quant_dev_mut().write_blocks(clock, block, &empty);
         self.set_page_meta(
             idx,
             PageMeta {

@@ -44,7 +44,7 @@ proptest! {
         scheduled in proptest::bool::ANY,
     ) {
         let opts = IqTreeOptions { quantize, scheduled_io: scheduled, ..Default::default() };
-        let (mut tree, mut clock) = build(&ds, opts, Metric::Euclidean, 512);
+        let (tree, mut clock) = build(&ds, opts, Metric::Euclidean, 512);
         let got = tree.nearest(&mut clock, &q).expect("non-empty").1;
         let expect = brute_nn(&ds, &q, Metric::Euclidean);
         prop_assert!((got - expect).abs() < 1e-5, "{got} vs {expect}");
@@ -57,7 +57,7 @@ proptest! {
         q in proptest::collection::vec(0.0f32..1.0, 3),
         k in 1usize..20,
     ) {
-        let (mut tree, mut clock) = build(&ds, IqTreeOptions::default(), Metric::Euclidean, 512);
+        let (tree, mut clock) = build(&ds, IqTreeOptions::default(), Metric::Euclidean, 512);
         let got = tree.knn(&mut clock, &q, k);
         prop_assert_eq!(got.len(), k.min(ds.len()));
         prop_assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
@@ -76,7 +76,7 @@ proptest! {
         q in proptest::collection::vec(0.0f32..1.0, 3),
         r in 0.05f64..0.8,
     ) {
-        let (mut tree, mut clock) = build(&ds, IqTreeOptions::default(), Metric::Euclidean, 512);
+        let (tree, mut clock) = build(&ds, IqTreeOptions::default(), Metric::Euclidean, 512);
         let mut got = tree.range(&mut clock, &q, r);
         got.sort_unstable();
         let mut expect: Vec<u32> = (0..ds.len() as u32)
@@ -122,9 +122,42 @@ proptest! {
         ds in dataset_strategy(5, 80),
         q in proptest::collection::vec(0.0f32..1.0, 5),
     ) {
-        let (mut tree, mut clock) = build(&ds, IqTreeOptions::default(), Metric::Maximum, 512);
+        let (tree, mut clock) = build(&ds, IqTreeOptions::default(), Metric::Maximum, 512);
         let got = tree.nearest(&mut clock, &q).expect("non-empty").1;
         let expect = brute_nn(&ds, &q, Metric::Maximum);
         prop_assert!((got - expect).abs() < 1e-5);
+    }
+
+    /// A tree shared behind an `Arc` answers from plain `&self`, from
+    /// spawned threads, exactly like the iq-scan ground truth — sharing a
+    /// tree must never change what a query returns.
+    #[test]
+    fn prop_arc_shared_queries_match_scan(
+        ds in dataset_strategy(4, 100),
+        qs in proptest::collection::vec(
+            (proptest::collection::vec(0.0f32..1.0, 4), 1usize..8), 1..6),
+    ) {
+        use std::sync::Arc;
+        let (tree, _) = build(&ds, IqTreeOptions::default(), Metric::Euclidean, 512);
+        let tree = Arc::new(tree);
+        let mut scan = iq_scan::SeqScan::build(
+            &ds,
+            Metric::Euclidean,
+            Box::new(MemDevice::new(512)),
+            &mut SimClock::default(),
+        );
+        for (q, k) in qs {
+            let expect = scan.knn(&mut SimClock::default(), &q, k);
+            let shared = Arc::clone(&tree);
+            let got = std::thread::spawn(move || {
+                shared.knn(&mut SimClock::default(), &q, k)
+            })
+            .join()
+            .expect("query thread panicked");
+            prop_assert_eq!(got.len(), expect.len());
+            for (g, e) in got.iter().zip(&expect) {
+                prop_assert!((g.1 - e.1).abs() < 1e-5, "{:?} vs {:?}", g, e);
+            }
+        }
     }
 }

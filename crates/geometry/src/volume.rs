@@ -272,7 +272,7 @@ mod tests {
         assert!(close(gamma(1.0), 1.0, 1e-12));
         assert!(close(gamma(0.5), std::f64::consts::PI.sqrt(), 1e-12));
         assert!(close(gamma(5.0), 24.0, 1e-12));
-        assert!(close(gamma(7.5), 1871.254_305_797_788, 1e-10));
+        assert!(close(gamma(7.5), 1_871.254_305_797_788, 1e-10));
     }
 
     #[test]

@@ -259,7 +259,7 @@ mod tests {
     #[test]
     fn cost_is_one_sequential_scan() {
         let (_, mut scan, mut clock) = make(2_000, 16, 4);
-        scan.nearest(&mut clock, &vec![0.1f32; 16]);
+        scan.nearest(&mut clock, &[0.1f32; 16]);
         let d = DiskModel::default();
         let blocks = d.blocks_for(2_000 * 16 * 4);
         assert_eq!(clock.stats().seeks, 1);

@@ -18,7 +18,12 @@ fn fresh_device_id() -> u64 {
 /// All reads and writes charge the passed [`SimClock`]; the clock — not the
 /// backend — is the source of truth for simulated time, so in-memory and
 /// file-backed devices report identical costs.
-pub trait BlockDevice {
+///
+/// Reads take `&self` so many query threads can share one device; each
+/// thread brings its own clock. Writes take `&mut self` and therefore
+/// require exclusive access. The `Send + Sync` supertrait makes
+/// `Box<dyn BlockDevice>` shareable across scoped threads.
+pub trait BlockDevice: Send + Sync {
     /// The block size in bytes (fixed per device).
     fn block_size(&self) -> usize;
 
@@ -31,7 +36,7 @@ pub trait BlockDevice {
     /// # Panics
     /// Panics if `buf.len()` is not a multiple of the block size or the
     /// range is out of bounds.
-    fn read_blocks(&mut self, clock: &mut SimClock, start: u64, buf: &mut [u8]);
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]);
 
     /// Appends `data` (padded to whole blocks with zeros) and returns the
     /// starting block index.
@@ -46,7 +51,7 @@ pub trait BlockDevice {
 
     /// Convenience: reads `n` blocks starting at `start` into a fresh
     /// buffer.
-    fn read_to_vec(&mut self, clock: &mut SimClock, start: u64, n: u64) -> Vec<u8> {
+    fn read_to_vec(&self, clock: &mut SimClock, start: u64, n: u64) -> Vec<u8> {
         let mut buf = vec![0u8; (n as usize) * self.block_size()];
         self.read_blocks(clock, start, &mut buf);
         buf
@@ -83,7 +88,7 @@ impl BlockDevice for MemDevice {
         (self.data.len() / self.block_size) as u64
     }
 
-    fn read_blocks(&mut self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
         assert_eq!(buf.len() % self.block_size, 0, "partial-block read");
         let nblocks = (buf.len() / self.block_size) as u64;
         assert!(start + nblocks <= self.num_blocks(), "read out of bounds");
@@ -174,7 +179,7 @@ impl BlockDevice for FileDevice {
         self.num_blocks
     }
 
-    fn read_blocks(&mut self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
         use std::os::unix::fs::FileExt;
         assert_eq!(buf.len() % self.block_size, 0, "partial-block read");
         let nblocks = (buf.len() / self.block_size) as u64;
@@ -251,7 +256,7 @@ mod tests {
         let path = dir.join("dev.bin");
         roundtrip(&mut FileDevice::create(&path, 64).unwrap());
         // Reopen and check persistence.
-        let mut dev = FileDevice::open(&path, 64).unwrap();
+        let dev = FileDevice::open(&path, 64).unwrap();
         assert_eq!(dev.num_blocks(), 3);
         let mut clock = SimClock::default();
         assert_eq!(dev.read_to_vec(&mut clock, 0, 1), vec![0xCCu8; 64]);
@@ -272,10 +277,32 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn read_out_of_bounds_panics() {
-        let mut dev = MemDevice::new(16);
+        let dev = MemDevice::new(16);
         let mut clock = SimClock::default();
         let mut buf = vec![0u8; 16];
         dev.read_blocks(&mut clock, 0, &mut buf);
+    }
+
+    #[test]
+    fn shared_reads_from_many_threads() {
+        let mut dev = MemDevice::new(64);
+        let mut clock = SimClock::default();
+        for i in 0..8u8 {
+            dev.append(&mut clock, &[i; 64]);
+        }
+        let dev: &dyn BlockDevice = &dev;
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                s.spawn(move || {
+                    let mut c = SimClock::default();
+                    for round in 0..16u64 {
+                        let b = (round + u64::from(t)) % 8;
+                        let got = dev.read_to_vec(&mut c, b, 1);
+                        assert_eq!(got, vec![b as u8; 64]);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

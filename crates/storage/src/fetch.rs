@@ -104,7 +104,7 @@ pub fn plan_fetch_bounded(positions: &[u64], model: &DiskModel, max_run_blocks: 
 /// its starting block and raw bytes. Callers slice out the blocks they
 /// actually selected.
 pub fn fetch_blocks(
-    dev: &mut dyn BlockDevice,
+    dev: &dyn BlockDevice,
     clock: &mut SimClock,
     positions: &[u64],
 ) -> Vec<(Run, Vec<u8>)> {
@@ -287,10 +287,10 @@ mod tests {
         let mut dev = MemDevice::new(64);
         let mut clock = SimClock::new(m, crate::CpuModel::free());
         for i in 0..20u8 {
-            dev.append(&mut clock, &vec![i; 64]);
+            dev.append(&mut clock, &[i; 64]);
         }
         clock.reset();
-        let fetched = fetch_blocks(&mut dev, &mut clock, &[1, 2, 18]);
+        let fetched = fetch_blocks(&dev, &mut clock, &[1, 2, 18]);
         assert_eq!(fetched.len(), 2);
         assert_eq!(fetched[0].0, Run { start: 1, len: 2 });
         assert_eq!(&fetched[0].1[..64], &vec![1u8; 64][..]);

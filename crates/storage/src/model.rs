@@ -94,6 +94,16 @@ pub struct IoStats {
     pub blocks_written: u64,
 }
 
+impl IoStats {
+    /// Adds `other`'s counters into `self` (e.g. folding per-thread stats
+    /// into a batch total).
+    pub fn merge(&mut self, other: &IoStats) {
+        self.seeks += other.seeks;
+        self.blocks_read += other.blocks_read;
+        self.blocks_written += other.blocks_written;
+    }
+}
+
 /// The simulated clock: accumulates disk time, CPU time and statistics.
 ///
 /// A clock models one disk arm shared by however many [`BlockDevice`]s take
@@ -162,6 +172,17 @@ impl SimClock {
         self.io_time = 0.0;
         self.cpu_time = 0.0;
         self.stats = IoStats::default();
+        self.head = None;
+    }
+
+    /// Folds another clock's accumulated time and statistics into this one
+    /// (merging per-thread clocks after a parallel batch). The head
+    /// position is invalidated: the merged clock describes total work, not
+    /// a physical arm position.
+    pub fn absorb(&mut self, other: &SimClock) {
+        self.io_time += other.io_time;
+        self.cpu_time += other.cpu_time;
+        self.stats.merge(&other.stats);
         self.head = None;
     }
 
@@ -302,6 +323,28 @@ mod tests {
             block_size: 1024,
         };
         assert!((d.overread_horizon() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_time_and_stats() {
+        let mut a = SimClock::default();
+        a.charge_read(1, 0, 4);
+        a.charge_dist_evals(8, 10);
+        let mut b = SimClock::default();
+        b.charge_read(2, 7, 3);
+        b.charge_write(2, 7, 1);
+        let mut merged = SimClock::default();
+        merged.absorb(&a);
+        merged.absorb(&b);
+        assert!((merged.io_time() - (a.io_time() + b.io_time())).abs() < 1e-15);
+        assert!((merged.cpu_time() - (a.cpu_time() + b.cpu_time())).abs() < 1e-15);
+        let mut expect = a.stats();
+        expect.merge(&b.stats());
+        assert_eq!(merged.stats(), expect);
+        // Head is invalidated: the next access seeks.
+        let seeks = merged.stats().seeks;
+        merged.charge_read(2, 8, 1);
+        assert_eq!(merged.stats().seeks, seeks + 1);
     }
 
     #[test]

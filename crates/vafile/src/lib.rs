@@ -637,7 +637,7 @@ mod tests {
     #[test]
     fn filter_phase_scans_sequentially() {
         let (_, mut va, mut clock) = make(5_000, 8, 4, 6);
-        va.nearest(&mut clock, &vec![0.5f32; 8]);
+        va.nearest(&mut clock, &[0.5f32; 8]);
         // The approx scan is one seek; phase 2 adds a few random accesses.
         let stats = clock.stats();
         assert!(stats.seeks >= 1);

@@ -792,7 +792,7 @@ mod tests {
     #[test]
     fn search_prunes_compared_to_reading_everything() {
         let (_, mut t, mut clock) = make(5_000, 4, 5, 1024);
-        t.nearest(&mut clock, &vec![0.5f32; 4]);
+        t.nearest(&mut clock, &[0.5f32; 4]);
         // In 4-d the tree should visit far fewer blocks than a full scan.
         let total = t.num_data_pages() as u64;
         assert!(

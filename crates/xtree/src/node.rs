@@ -298,9 +298,10 @@ mod tests {
     #[test]
     fn data_page_roundtrip() {
         let dim = 4;
-        let mut dp = DataPage::default();
-        dp.ids = vec![10, 20];
-        dp.coords = vec![1., 2., 3., 4., 5., 6., 7., 8.];
+        let dp = DataPage {
+            ids: vec![10, 20],
+            coords: vec![1., 2., 3., 4., 5., 6., 7., 8.],
+        };
         let bytes = dp.encode(dim, 256);
         let back = DataPage::decode(&bytes, dim);
         assert_eq!(back.ids, dp.ids);

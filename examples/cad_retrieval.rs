@@ -29,7 +29,7 @@ fn main() {
         fractal_dim: Some(df),
         ..Default::default()
     };
-    let mut iq = IqTree::build(&w.db, Metric::Euclidean, opts, || dev(), &mut clock);
+    let iq = IqTree::build(&w.db, Metric::Euclidean, opts, || dev(), &mut clock);
     let mut xt = XTree::build(
         &w.db,
         Metric::Euclidean,

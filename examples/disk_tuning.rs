@@ -44,7 +44,7 @@ fn main() {
     println!("same 60k 12-d uniform points, three disks:\n");
     for (name, disk) in disks {
         let mut clock = SimClock::new(disk, CpuModel::default());
-        let mut tree = IqTree::build(
+        let tree = IqTree::build(
             &w.db,
             Metric::Euclidean,
             IqTreeOptions::default(),

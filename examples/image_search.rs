@@ -28,7 +28,7 @@ fn main() {
         fractal_dim: Some(df),
         ..Default::default()
     };
-    let mut tree = IqTree::build(
+    let tree = IqTree::build(
         &w.db,
         Metric::Euclidean,
         opts,

@@ -3,8 +3,9 @@
 //! ```text
 //! iq generate --kind uniform --dim 8 --n 10000 --seed 1 --out points.csv
 //! iq build    --input points.csv --index ./myindex [--block 8192] [--metric l2|linf|l1]
-//! iq query    --index ./myindex --point 0.1,0.2,... [--k 5]
+//! iq query    --index ./myindex --point 0.1,0.2,... [--k 5] [--cache-blocks 256]
 //! iq range    --index ./myindex --point 0.1,0.2,... --radius 0.25
+//! iq batch    --index ./myindex --queries q.csv [--k 5] [--threads 8]
 //! iq stats    --index ./myindex
 //! ```
 //!
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "build" => cmd_build(&opts),
         "query" => cmd_query(&opts),
         "range" => cmd_range(&opts),
+        "batch" => cmd_batch(&opts),
         "stats" => cmd_stats(&opts),
         "bench" => cmd_bench(&opts),
         _ => Err(format!("unknown command `{cmd}`")),
@@ -55,10 +57,14 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   iq generate --kind <uniform|cad|color|weather> --dim <d> --n <count> [--seed <s>] --out <file.csv>
   iq build    --input <file.csv> --index <dir> [--block <bytes>] [--metric <l2|linf|l1>]
-  iq query    --index <dir> --point <x,y,...> [--k <k>]
-  iq range    --index <dir> --point <x,y,...> --radius <r>
+  iq query    --index <dir> --point <x,y,...> [--k <k>] [--cache-blocks <frames>]
+  iq range    --index <dir> --point <x,y,...> --radius <r> [--cache-blocks <frames>]
+  iq batch    --index <dir> --queries <file.csv> [--k <k>] [--threads <t>] [--cache-blocks <frames>]
   iq stats    --index <dir>
-  iq bench    --input <file.csv> [--queries <q>] [--metric <l2|linf|l1>]";
+  iq bench    --input <file.csv> [--queries <q>] [--metric <l2|linf|l1>]
+
+--cache-blocks puts an LRU buffer pool of that many frames in front of each
+index file; without it every query is cold, as in the paper's experiments.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -91,6 +97,19 @@ fn parse_metric(opts: &HashMap<String, String>) -> Result<Metric, String> {
         "linf" => Ok(Metric::Maximum),
         "l1" => Ok(Metric::Manhattan),
         other => Err(format!("unknown metric `{other}` (use l2, linf or l1)")),
+    }
+}
+
+fn parse_cache_blocks(opts: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    match opts.get("cache-blocks") {
+        Some(s) => {
+            let frames: usize = parse_num(s, "--cache-blocks")?;
+            if frames == 0 {
+                return Err("--cache-blocks needs at least one frame".into());
+            }
+            Ok(Some(frames))
+        }
+        None => Ok(None),
     }
 }
 
@@ -210,7 +229,10 @@ fn cmd_build(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn open_tree(index: &Path) -> Result<(IqTree, SimClock, IndexMeta), String> {
+fn open_tree(
+    index: &Path,
+    cache_blocks: Option<usize>,
+) -> Result<(IqTree, SimClock, IndexMeta), String> {
     let meta = load_meta(index)?;
     let mut clock = SimClock::default();
     let open = |name: &str| -> Result<Box<dyn BlockDevice>, String> {
@@ -222,7 +244,10 @@ fn open_tree(index: &Path) -> Result<(IqTree, SimClock, IndexMeta), String> {
     let tree = IqTree::open(
         meta.dim,
         meta.metric,
-        IqTreeOptions::default(),
+        IqTreeOptions {
+            cache_blocks,
+            ..Default::default()
+        },
         open(FILES[0])?,
         open(FILES[1])?,
         open(FILES[2])?,
@@ -236,7 +261,7 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     let index = PathBuf::from(req(opts, "index")?);
     let point = parse_point(req(opts, "point")?)?;
     let k: usize = opts.get("k").map_or(Ok(1), |s| parse_num(s, "--k"))?;
-    let (mut tree, mut clock, meta) = open_tree(&index)?;
+    let (tree, mut clock, meta) = open_tree(&index, parse_cache_blocks(opts)?)?;
     if point.len() != meta.dim {
         return Err(format!(
             "point has {} coordinates, index is {}-d",
@@ -262,7 +287,7 @@ fn cmd_range(opts: &HashMap<String, String>) -> Result<(), String> {
     let index = PathBuf::from(req(opts, "index")?);
     let point = parse_point(req(opts, "point")?)?;
     let radius: f64 = parse_num(req(opts, "radius")?, "--radius")?;
-    let (mut tree, mut clock, meta) = open_tree(&index)?;
+    let (tree, mut clock, meta) = open_tree(&index, parse_cache_blocks(opts)?)?;
     if point.len() != meta.dim {
         return Err(format!(
             "point has {} coordinates, index is {}-d",
@@ -280,6 +305,49 @@ fn cmd_range(opts: &HashMap<String, String>) -> Result<(), String> {
     println!(
         "-- {:.2} simulated ms ({} seeks, {} blocks)",
         clock.total_time() * 1e3,
+        clock.stats().seeks,
+        clock.stats().blocks_read,
+    );
+    Ok(())
+}
+
+/// Runs a whole k-NN workload through [`IqTree::knn_batch`]: the queries
+/// are CSV rows, fanned out over `--threads` OS threads sharing one tree.
+/// Reported costs are the fold of the per-query clocks and are identical
+/// for every thread count.
+fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
+    let index = PathBuf::from(req(opts, "index")?);
+    let qfile = req(opts, "queries")?;
+    let k: usize = opts.get("k").map_or(Ok(1), |s| parse_num(s, "--k"))?;
+    let threads: usize = opts
+        .get("threads")
+        .map_or(Ok(1), |s| parse_num(s, "--threads"))?;
+    let (tree, mut clock, meta) = open_tree(&index, parse_cache_blocks(opts)?)?;
+    let qs = data::read_csv(Path::new(qfile))?;
+    if qs.dim() != meta.dim {
+        return Err(format!(
+            "queries have {} coordinates, index is {}-d",
+            qs.dim(),
+            meta.dim
+        ));
+    }
+    let queries: Vec<Vec<f32>> = qs.iter().map(<[f32]>::to_vec).collect();
+    let results = tree.knn_batch(&mut clock, &queries, k, threads);
+    for (i, hits) in results.iter().enumerate() {
+        let row: Vec<String> = hits
+            .iter()
+            .map(|(id, dist)| format!("{id}:{dist:.6}"))
+            .collect();
+        println!("query {i:>4}: {}", row.join(" "));
+    }
+    let nq = queries.len().max(1) as f64;
+    println!(
+        "-- {} queries on {} thread(s): {:.2} simulated ms total \
+         ({:.2} ms/query, {} seeks, {} blocks)",
+        queries.len(),
+        threads.max(1),
+        clock.total_time() * 1e3,
+        clock.total_time() * 1e3 / nq,
         clock.stats().seeks,
         clock.stats().blocks_read,
     );
@@ -339,7 +407,7 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
         fractal_dim: Some(df),
         ..Default::default()
     };
-    let mut iq = IqTree::build(&w.db, metric, opts_iq, dev, &mut build_clock);
+    let iq = IqTree::build(&w.db, metric, opts_iq, dev, &mut build_clock);
     measure(
         "IQ-tree",
         Box::new(move |c, q| {
@@ -384,7 +452,7 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     let index = PathBuf::from(req(opts, "index")?);
-    let (tree, _, meta) = open_tree(&index)?;
+    let (tree, _, meta) = open_tree(&index, None)?;
     let (d, q, e) = tree.storage_blocks();
     println!("IQ-tree index at {index:?}");
     println!("  points      : {}", tree.len());

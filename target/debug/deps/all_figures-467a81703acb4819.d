@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-467a81703acb4819.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-467a81703acb4819: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-664c6b38e868992f.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-664c6b38e868992f: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/build_time-291fca7c93fa5440.d: crates/bench/src/bin/build_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuild_time-291fca7c93fa5440.rmeta: crates/bench/src/bin/build_time.rs Cargo.toml
+
+crates/bench/src/bin/build_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

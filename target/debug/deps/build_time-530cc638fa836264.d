@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/build_time-530cc638fa836264.d: crates/bench/src/bin/build_time.rs
+
+/root/repo/target/debug/deps/build_time-530cc638fa836264: crates/bench/src/bin/build_time.rs
+
+crates/bench/src/bin/build_time.rs:

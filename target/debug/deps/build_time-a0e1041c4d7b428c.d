@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/build_time-a0e1041c4d7b428c.d: crates/bench/src/bin/build_time.rs
+
+/root/repo/target/debug/deps/build_time-a0e1041c4d7b428c: crates/bench/src/bin/build_time.rs
+
+crates/bench/src/bin/build_time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-585d68be6443d6c2.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-585d68be6443d6c2: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_iq=/root/repo/target/debug/iq

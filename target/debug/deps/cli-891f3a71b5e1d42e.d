@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-891f3a71b5e1d42e.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-891f3a71b5e1d42e.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_iq=placeholder:iq
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-9190ec967421082e.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-9190ec967421082e: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_iq=/root/repo/target/debug/iq

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_behavior-63491ce5ab4f21b8.d: tests/cost_behavior.rs
+
+/root/repo/target/debug/deps/cost_behavior-63491ce5ab4f21b8: tests/cost_behavior.rs
+
+tests/cost_behavior.rs:

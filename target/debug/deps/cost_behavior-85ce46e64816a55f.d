@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_behavior-85ce46e64816a55f.d: tests/cost_behavior.rs
+
+/root/repo/target/debug/deps/cost_behavior-85ce46e64816a55f: tests/cost_behavior.rs
+
+tests/cost_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_behavior-dc2fba4e33581224.d: tests/cost_behavior.rs
+
+/root/repo/target/debug/deps/cost_behavior-dc2fba4e33581224: tests/cost_behavior.rs
+
+tests/cost_behavior.rs:

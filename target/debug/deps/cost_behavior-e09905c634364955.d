@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_behavior-e09905c634364955.d: tests/cost_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_behavior-e09905c634364955.rmeta: tests/cost_behavior.rs Cargo.toml
+
+tests/cost_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

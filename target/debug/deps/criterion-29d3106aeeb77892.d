@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-29d3106aeeb77892.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-29d3106aeeb77892: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-acb502df13e1ea09.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-acb502df13e1ea09.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-acb502df13e1ea09.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_method_agreement-4e687837ef082f4d.d: tests/cross_method_agreement.rs
+
+/root/repo/target/debug/deps/cross_method_agreement-4e687837ef082f4d: tests/cross_method_agreement.rs
+
+tests/cross_method_agreement.rs:

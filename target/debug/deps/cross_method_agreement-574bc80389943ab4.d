@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_method_agreement-574bc80389943ab4.d: tests/cross_method_agreement.rs
+
+/root/repo/target/debug/deps/cross_method_agreement-574bc80389943ab4: tests/cross_method_agreement.rs
+
+tests/cross_method_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_method_agreement-5c31eaca47e00119.d: tests/cross_method_agreement.rs
+
+/root/repo/target/debug/deps/cross_method_agreement-5c31eaca47e00119: tests/cross_method_agreement.rs
+
+tests/cross_method_agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_method_agreement-d201dec55c165dd3.d: tests/cross_method_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_method_agreement-d201dec55c165dd3.rmeta: tests/cross_method_agreement.rs Cargo.toml
+
+tests/cross_method_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_maintenance-1248db9f68d34a65.d: tests/dynamic_maintenance.rs
+
+/root/repo/target/debug/deps/dynamic_maintenance-1248db9f68d34a65: tests/dynamic_maintenance.rs
+
+tests/dynamic_maintenance.rs:

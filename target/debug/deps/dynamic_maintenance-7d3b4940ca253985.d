@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_maintenance-7d3b4940ca253985.d: tests/dynamic_maintenance.rs
+
+/root/repo/target/debug/deps/dynamic_maintenance-7d3b4940ca253985: tests/dynamic_maintenance.rs
+
+tests/dynamic_maintenance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_maintenance-90959baa6d95bc3c.d: tests/dynamic_maintenance.rs
+
+/root/repo/target/debug/deps/dynamic_maintenance-90959baa6d95bc3c: tests/dynamic_maintenance.rs
+
+tests/dynamic_maintenance.rs:

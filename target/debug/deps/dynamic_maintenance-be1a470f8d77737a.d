@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_maintenance-be1a470f8d77737a.d: tests/dynamic_maintenance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_maintenance-be1a470f8d77737a.rmeta: tests/dynamic_maintenance.rs Cargo.toml
+
+tests/dynamic_maintenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-56a2a93fa890a3bf.d: crates/quantize/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-56a2a93fa890a3bf: crates/quantize/tests/edge_cases.rs
+
+crates/quantize/tests/edge_cases.rs:

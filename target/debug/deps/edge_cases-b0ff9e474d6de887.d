@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-b0ff9e474d6de887.d: crates/quantize/tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-b0ff9e474d6de887.rmeta: crates/quantize/tests/edge_cases.rs Cargo.toml
+
+crates/quantize/tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f4c6c68e419a9139.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f4c6c68e419a9139: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-fc4e7e6695a2a6e6.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/debug/deps/extensions-fc4e7e6695a2a6e6: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

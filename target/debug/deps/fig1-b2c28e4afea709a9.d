@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-b2c28e4afea709a9.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-b2c28e4afea709a9: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

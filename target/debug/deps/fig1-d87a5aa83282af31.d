@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-d87a5aa83282af31.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-d87a5aa83282af31: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-91fc3b7b282299ec.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-91fc3b7b282299ec: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

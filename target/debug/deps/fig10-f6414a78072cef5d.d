@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-f6414a78072cef5d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-f6414a78072cef5d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

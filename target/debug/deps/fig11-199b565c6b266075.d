@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-199b565c6b266075.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-199b565c6b266075: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

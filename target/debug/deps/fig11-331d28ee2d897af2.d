@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-331d28ee2d897af2.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-331d28ee2d897af2: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-2e73b9de5c118186.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-2e73b9de5c118186: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-df69a0586c36fbe6.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-df69a0586c36fbe6: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-4dc23222373973eb.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-4dc23222373973eb: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-58841476f55d04dc.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-58841476f55d04dc: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-53a48b17557d3384.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-53a48b17557d3384: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

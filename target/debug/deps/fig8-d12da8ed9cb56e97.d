@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d12da8ed9cb56e97.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d12da8ed9cb56e97: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-f78567d3e0f2ba50.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-f78567d3e0f2ba50: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

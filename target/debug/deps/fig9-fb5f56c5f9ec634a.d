@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-fb5f56c5f9ec634a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-fb5f56c5f9ec634a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/file_backed-73284576d4f98511.d: tests/file_backed.rs
+
+/root/repo/target/debug/deps/file_backed-73284576d4f98511: tests/file_backed.rs
+
+tests/file_backed.rs:

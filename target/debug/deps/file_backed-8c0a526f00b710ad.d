@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/file_backed-8c0a526f00b710ad.d: tests/file_backed.rs
+
+/root/repo/target/debug/deps/file_backed-8c0a526f00b710ad: tests/file_backed.rs
+
+tests/file_backed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/file_backed-e2f20a4aaa2603dc.d: tests/file_backed.rs
+
+/root/repo/target/debug/deps/file_backed-e2f20a4aaa2603dc: tests/file_backed.rs
+
+tests/file_backed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/file_backed-e89d9c728c211eca.d: tests/file_backed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfile_backed-e89d9c728c211eca.rmeta: tests/file_backed.rs Cargo.toml
+
+tests/file_backed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_profile-5bd4c48f250d544b.d: crates/bench/src/bin/io_profile.rs
+
+/root/repo/target/debug/deps/io_profile-5bd4c48f250d544b: crates/bench/src/bin/io_profile.rs
+
+crates/bench/src/bin/io_profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_profile-7773cdcc65810cec.d: crates/bench/src/bin/io_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_profile-7773cdcc65810cec.rmeta: crates/bench/src/bin/io_profile.rs Cargo.toml
+
+crates/bench/src/bin/io_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_profile-83d14250f61c2977.d: crates/bench/src/bin/io_profile.rs
+
+/root/repo/target/debug/deps/io_profile-83d14250f61c2977: crates/bench/src/bin/io_profile.rs
+
+crates/bench/src/bin/io_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq-35c6a9c1932c96f0.d: src/bin/iq.rs
+
+/root/repo/target/debug/deps/iq-35c6a9c1932c96f0: src/bin/iq.rs
+
+src/bin/iq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iq-63ef16b8f30e207c.d: src/bin/iq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq-63ef16b8f30e207c.rmeta: src/bin/iq.rs Cargo.toml
+
+src/bin/iq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

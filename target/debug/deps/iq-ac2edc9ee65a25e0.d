@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq-ac2edc9ee65a25e0.d: src/bin/iq.rs
+
+/root/repo/target/debug/deps/iq-ac2edc9ee65a25e0: src/bin/iq.rs
+
+src/bin/iq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq-b2df92f553865b40.d: src/bin/iq.rs
+
+/root/repo/target/debug/deps/iq-b2df92f553865b40: src/bin/iq.rs
+
+src/bin/iq.rs:

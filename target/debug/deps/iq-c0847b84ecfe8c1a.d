@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq-c0847b84ecfe8c1a.d: src/bin/iq.rs
+
+/root/repo/target/debug/deps/iq-c0847b84ecfe8c1a: src/bin/iq.rs
+
+src/bin/iq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq-c7f3bd11c5977c27.d: src/bin/iq.rs
+
+/root/repo/target/debug/deps/iq-c7f3bd11c5977c27: src/bin/iq.rs
+
+src/bin/iq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iq-d5336f184c72e8f5.d: src/bin/iq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq-d5336f184c72e8f5.rmeta: src/bin/iq.rs Cargo.toml
+
+src/bin/iq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq-e19b1a93383b6ced.d: src/bin/iq.rs
+
+/root/repo/target/debug/deps/iq-e19b1a93383b6ced: src/bin/iq.rs
+
+src/bin/iq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iq_bench-45aa33632f1df535.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libiq_bench-45aa33632f1df535.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libiq_bench-45aa33632f1df535.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iq_bench-5c847f7c45497cd3.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_bench-5c847f7c45497cd3.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

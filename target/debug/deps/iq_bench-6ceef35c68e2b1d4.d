@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iq_bench-6ceef35c68e2b1d4.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/iq_bench-6ceef35c68e2b1d4: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iq_bench-999aa4ea369ed39f.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_bench-999aa4ea369ed39f.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

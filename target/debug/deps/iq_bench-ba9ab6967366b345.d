@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iq_bench-ba9ab6967366b345.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libiq_bench-ba9ab6967366b345.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libiq_bench-ba9ab6967366b345.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:

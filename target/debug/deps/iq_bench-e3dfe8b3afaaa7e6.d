@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iq_bench-e3dfe8b3afaaa7e6.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/iq_bench-e3dfe8b3afaaa7e6: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iq_cache-3ac4ae3f58b520f9.d: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/libiq_cache-3ac4ae3f58b520f9.rlib: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/libiq_cache-3ac4ae3f58b520f9.rmeta: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

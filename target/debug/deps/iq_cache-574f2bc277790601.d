@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iq_cache-574f2bc277790601.d: crates/cache/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_cache-574f2bc277790601.rmeta: crates/cache/src/lib.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iq_cache-cacaa94505305b38.d: crates/cache/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_cache-cacaa94505305b38.rmeta: crates/cache/src/lib.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq_cache-fac8d69c618431bd.d: crates/cache/src/lib.rs
+
+/root/repo/target/debug/deps/iq_cache-fac8d69c618431bd: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

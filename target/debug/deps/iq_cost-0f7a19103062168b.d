@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iq_cost-0f7a19103062168b.d: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_cost-0f7a19103062168b.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs Cargo.toml
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/access_prob.rs:
+crates/costmodel/src/directory.rs:
+crates/costmodel/src/refine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iq_cost-7150af9f5ed437e3.d: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_cost-7150af9f5ed437e3.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs Cargo.toml
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/access_prob.rs:
+crates/costmodel/src/directory.rs:
+crates/costmodel/src/refine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/iq_cost-75a796c66347418a.d: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs
+
+/root/repo/target/debug/deps/iq_cost-75a796c66347418a: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/access_prob.rs:
+crates/costmodel/src/directory.rs:
+crates/costmodel/src/refine.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iq_data-1bf6a9414bf5f807.d: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_data-1bf6a9414bf5f807.rmeta: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/fractal.rs:
+crates/data/src/generate.rs:
+crates/data/src/io.rs:
+crates/data/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iq_data-b1534d069fdc3ae5.d: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+/root/repo/target/debug/deps/libiq_data-b1534d069fdc3ae5.rlib: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+/root/repo/target/debug/deps/libiq_data-b1534d069fdc3ae5.rmeta: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+crates/data/src/lib.rs:
+crates/data/src/fractal.rs:
+crates/data/src/generate.rs:
+crates/data/src/io.rs:
+crates/data/src/workload.rs:

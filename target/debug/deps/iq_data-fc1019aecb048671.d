@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iq_data-fc1019aecb048671.d: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+/root/repo/target/debug/deps/libiq_data-fc1019aecb048671.rlib: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+/root/repo/target/debug/deps/libiq_data-fc1019aecb048671.rmeta: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+crates/data/src/lib.rs:
+crates/data/src/fractal.rs:
+crates/data/src/generate.rs:
+crates/data/src/io.rs:
+crates/data/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/iq_geometry-32db502f5e7ea9f2.d: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_geometry-32db502f5e7ea9f2.rmeta: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs Cargo.toml
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/mbr.rs:
+crates/geometry/src/metric.rs:
+crates/geometry/src/partition.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

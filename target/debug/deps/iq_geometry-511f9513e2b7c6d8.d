@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iq_geometry-511f9513e2b7c6d8.d: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs
+
+/root/repo/target/debug/deps/libiq_geometry-511f9513e2b7c6d8.rlib: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs
+
+/root/repo/target/debug/deps/libiq_geometry-511f9513e2b7c6d8.rmeta: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/mbr.rs:
+crates/geometry/src/metric.rs:
+crates/geometry/src/partition.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/volume.rs:

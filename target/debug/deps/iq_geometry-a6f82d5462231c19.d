@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iq_geometry-a6f82d5462231c19.d: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs
+
+/root/repo/target/debug/deps/iq_geometry-a6f82d5462231c19: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/mbr.rs:
+crates/geometry/src/metric.rs:
+crates/geometry/src/partition.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/volume.rs:

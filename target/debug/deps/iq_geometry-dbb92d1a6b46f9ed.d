@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/iq_geometry-dbb92d1a6b46f9ed.d: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_geometry-dbb92d1a6b46f9ed.rmeta: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs Cargo.toml
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/mbr.rs:
+crates/geometry/src/metric.rs:
+crates/geometry/src/partition.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iq_quantize-0cb8850ac5461c17.d: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_quantize-0cb8850ac5461c17.rmeta: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs Cargo.toml
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/bits.rs:
+crates/quantize/src/grid.rs:
+crates/quantize/src/page.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

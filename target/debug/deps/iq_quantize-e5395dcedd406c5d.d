@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iq_quantize-e5395dcedd406c5d.d: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs
+
+/root/repo/target/debug/deps/libiq_quantize-e5395dcedd406c5d.rlib: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs
+
+/root/repo/target/debug/deps/libiq_quantize-e5395dcedd406c5d.rmeta: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/bits.rs:
+crates/quantize/src/grid.rs:
+crates/quantize/src/page.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/iq_quantize-f3043ab22ea724cb.d: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs
+
+/root/repo/target/debug/deps/iq_quantize-f3043ab22ea724cb: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/bits.rs:
+crates/quantize/src/grid.rs:
+crates/quantize/src/page.rs:

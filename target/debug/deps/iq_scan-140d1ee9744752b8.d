@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq_scan-140d1ee9744752b8.d: crates/scan/src/lib.rs
+
+/root/repo/target/debug/deps/iq_scan-140d1ee9744752b8: crates/scan/src/lib.rs
+
+crates/scan/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iq_scan-bc30537adfa53e8f.d: crates/scan/src/lib.rs
+
+/root/repo/target/debug/deps/libiq_scan-bc30537adfa53e8f.rlib: crates/scan/src/lib.rs
+
+/root/repo/target/debug/deps/libiq_scan-bc30537adfa53e8f.rmeta: crates/scan/src/lib.rs
+
+crates/scan/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iq_scan-eef8ec13b5b234e1.d: crates/scan/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_scan-eef8ec13b5b234e1.rmeta: crates/scan/src/lib.rs Cargo.toml
+
+crates/scan/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

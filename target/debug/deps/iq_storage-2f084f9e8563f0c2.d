@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/iq_storage-2f084f9e8563f0c2.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs
+
+/root/repo/target/debug/deps/iq_storage-2f084f9e8563f0c2: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/fetch.rs:
+crates/storage/src/model.rs:

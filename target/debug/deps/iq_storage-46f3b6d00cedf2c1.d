@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iq_storage-46f3b6d00cedf2c1.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs
+
+/root/repo/target/debug/deps/libiq_storage-46f3b6d00cedf2c1.rlib: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs
+
+/root/repo/target/debug/deps/libiq_storage-46f3b6d00cedf2c1.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/fetch.rs:
+crates/storage/src/model.rs:

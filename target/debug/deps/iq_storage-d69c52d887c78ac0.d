@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iq_storage-d69c52d887c78ac0.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_storage-d69c52d887c78ac0.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/fetch.rs:
+crates/storage/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iq_storage-f8e9aa60dd84674a.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_storage-f8e9aa60dd84674a.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/fetch.rs:
+crates/storage/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

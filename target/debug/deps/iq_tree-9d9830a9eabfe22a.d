@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/iq_tree-9d9830a9eabfe22a.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs
+
+/root/repo/target/debug/deps/libiq_tree-9d9830a9eabfe22a.rlib: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs
+
+/root/repo/target/debug/deps/libiq_tree-9d9830a9eabfe22a.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/maintain.rs:
+crates/core/src/persist.rs:
+crates/core/src/search.rs:
+crates/core/src/update.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/iq_tree-be27a65cb60b9351.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_tree-be27a65cb60b9351.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/maintain.rs:
+crates/core/src/persist.rs:
+crates/core/src/search.rs:
+crates/core/src/update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/iq_tree-e06ed5c0053f047a.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs
+
+/root/repo/target/debug/deps/iq_tree-e06ed5c0053f047a: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/maintain.rs:
+crates/core/src/persist.rs:
+crates/core/src/search.rs:
+crates/core/src/update.rs:

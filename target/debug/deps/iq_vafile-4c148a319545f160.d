@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iq_vafile-4c148a319545f160.d: crates/vafile/src/lib.rs
+
+/root/repo/target/debug/deps/libiq_vafile-4c148a319545f160.rlib: crates/vafile/src/lib.rs
+
+/root/repo/target/debug/deps/libiq_vafile-4c148a319545f160.rmeta: crates/vafile/src/lib.rs
+
+crates/vafile/src/lib.rs:

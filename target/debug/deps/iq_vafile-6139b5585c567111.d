@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iq_vafile-6139b5585c567111.d: crates/vafile/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_vafile-6139b5585c567111.rmeta: crates/vafile/src/lib.rs Cargo.toml
+
+crates/vafile/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq_vafile-cf4c279682b01fef.d: crates/vafile/src/lib.rs
+
+/root/repo/target/debug/deps/iq_vafile-cf4c279682b01fef: crates/vafile/src/lib.rs
+
+crates/vafile/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iq_vafile-ef346221f8a69005.d: crates/vafile/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_vafile-ef346221f8a69005.rmeta: crates/vafile/src/lib.rs Cargo.toml
+
+crates/vafile/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

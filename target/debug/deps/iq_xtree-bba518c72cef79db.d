@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/iq_xtree-bba518c72cef79db.d: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiq_xtree-bba518c72cef79db.rmeta: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs Cargo.toml
+
+crates/xtree/src/lib.rs:
+crates/xtree/src/node.rs:
+crates/xtree/src/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iq_xtree-d92112c9e590089c.d: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs
+
+/root/repo/target/debug/deps/libiq_xtree-d92112c9e590089c.rlib: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs
+
+/root/repo/target/debug/deps/libiq_xtree-d92112c9e590089c.rmeta: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs
+
+crates/xtree/src/lib.rs:
+crates/xtree/src/node.rs:
+crates/xtree/src/split.rs:

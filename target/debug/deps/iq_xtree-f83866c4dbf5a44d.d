@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iq_xtree-f83866c4dbf5a44d.d: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs
+
+/root/repo/target/debug/deps/iq_xtree-f83866c4dbf5a44d: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs
+
+crates/xtree/src/lib.rs:
+crates/xtree/src/node.rs:
+crates/xtree/src/split.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iqtree_repro-505a99cf197c1b8c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libiqtree_repro-505a99cf197c1b8c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libiqtree_repro-505a99cf197c1b8c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iqtree_repro-725360b3925a15d2.d: src/lib.rs
+
+/root/repo/target/debug/deps/iqtree_repro-725360b3925a15d2: src/lib.rs
+
+src/lib.rs:

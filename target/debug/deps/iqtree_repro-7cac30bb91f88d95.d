@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iqtree_repro-7cac30bb91f88d95.d: src/lib.rs
+
+/root/repo/target/debug/deps/libiqtree_repro-7cac30bb91f88d95.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libiqtree_repro-7cac30bb91f88d95.rmeta: src/lib.rs
+
+src/lib.rs:

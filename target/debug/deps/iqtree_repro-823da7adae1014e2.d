@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iqtree_repro-823da7adae1014e2.d: src/lib.rs
+
+/root/repo/target/debug/deps/iqtree_repro-823da7adae1014e2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iqtree_repro-b693476f28dcb619.d: src/lib.rs
+
+/root/repo/target/debug/deps/libiqtree_repro-b693476f28dcb619.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libiqtree_repro-b693476f28dcb619.rmeta: src/lib.rs
+
+src/lib.rs:

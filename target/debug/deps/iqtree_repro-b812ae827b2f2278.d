@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iqtree_repro-b812ae827b2f2278.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiqtree_repro-b812ae827b2f2278.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

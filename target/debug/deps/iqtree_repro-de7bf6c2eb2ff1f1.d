@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iqtree_repro-de7bf6c2eb2ff1f1.d: src/lib.rs
+
+/root/repo/target/debug/deps/iqtree_repro-de7bf6c2eb2ff1f1: src/lib.rs
+
+src/lib.rs:

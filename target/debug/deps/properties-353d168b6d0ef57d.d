@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-353d168b6d0ef57d.d: crates/geometry/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-353d168b6d0ef57d: crates/geometry/tests/properties.rs
+
+crates/geometry/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-360ba5a3b0d128af.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-360ba5a3b0d128af: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-51e7f42ff1d77d1f.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-51e7f42ff1d77d1f: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-66d8725759cf57d9.d: crates/xtree/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-66d8725759cf57d9.rmeta: crates/xtree/tests/properties.rs Cargo.toml
+
+crates/xtree/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7563aa367b4153bd.d: crates/xtree/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7563aa367b4153bd: crates/xtree/tests/properties.rs
+
+crates/xtree/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7fd8343c32ac76a2.d: crates/vafile/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7fd8343c32ac76a2: crates/vafile/tests/properties.rs
+
+crates/vafile/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-999add2352e09a7a.d: crates/geometry/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-999add2352e09a7a.rmeta: crates/geometry/tests/properties.rs Cargo.toml
+
+crates/geometry/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-be099aef929979f1.d: crates/vafile/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-be099aef929979f1.rmeta: crates/vafile/tests/properties.rs Cargo.toml
+
+crates/vafile/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

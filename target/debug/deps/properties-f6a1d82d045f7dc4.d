@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f6a1d82d045f7dc4.d: crates/cache/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f6a1d82d045f7dc4.rmeta: crates/cache/tests/properties.rs Cargo.toml
+
+crates/cache/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

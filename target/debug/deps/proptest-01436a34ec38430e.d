@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-01436a34ec38430e.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/proptest-01436a34ec38430e: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:

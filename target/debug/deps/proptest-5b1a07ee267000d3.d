@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-5b1a07ee267000d3.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-5b1a07ee267000d3.rlib: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-5b1a07ee267000d3.rmeta: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-72694c0418ecc962.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-72694c0418ecc962.rlib: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-72694c0418ecc962.rmeta: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-cb2972a306c828b9.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-cb2972a306c828b9.rmeta: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

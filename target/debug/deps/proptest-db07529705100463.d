@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-db07529705100463.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-db07529705100463.rmeta: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

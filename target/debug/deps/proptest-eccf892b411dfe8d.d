@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-eccf892b411dfe8d.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-eccf892b411dfe8d.rlib: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-eccf892b411dfe8d.rmeta: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:

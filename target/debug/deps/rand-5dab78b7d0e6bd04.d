@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-5dab78b7d0e6bd04.d: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-5dab78b7d0e6bd04.rlib: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-5dab78b7d0e6bd04.rmeta: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+compat/rand/src/lib.rs:
+compat/rand/src/distributions.rs:
+compat/rand/src/rngs.rs:
+compat/rand/src/seq.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-ac5cc080dd1ee782.d: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-ac5cc080dd1ee782.rlib: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-ac5cc080dd1ee782.rmeta: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+compat/rand/src/lib.rs:
+compat/rand/src/distributions.rs:
+compat/rand/src/rngs.rs:
+compat/rand/src/seq.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-af6338cf32912a45.d: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+/root/repo/target/debug/deps/rand-af6338cf32912a45: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+compat/rand/src/lib.rs:
+compat/rand/src/distributions.rs:
+compat/rand/src/rngs.rs:
+compat/rand/src/seq.rs:

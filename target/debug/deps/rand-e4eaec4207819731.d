@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rand-e4eaec4207819731.d: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-e4eaec4207819731.rmeta: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs Cargo.toml
+
+compat/rand/src/lib.rs:
+compat/rand/src/distributions.rs:
+compat/rand/src/rngs.rs:
+compat/rand/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

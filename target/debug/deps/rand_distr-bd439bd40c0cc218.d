@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-bd439bd40c0cc218.d: compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-bd439bd40c0cc218.rlib: compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-bd439bd40c0cc218.rmeta: compat/rand_distr/src/lib.rs
+
+compat/rand_distr/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_distr-bf1df37b1da084dc.d: compat/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_distr-bf1df37b1da084dc.rmeta: compat/rand_distr/src/lib.rs Cargo.toml
+
+compat/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-bfea251272216b64.d: compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/rand_distr-bfea251272216b64: compat/rand_distr/src/lib.rs
+
+compat/rand_distr/src/lib.rs:

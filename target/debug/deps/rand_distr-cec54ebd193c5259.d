@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-cec54ebd193c5259.d: compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-cec54ebd193c5259.rlib: compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-cec54ebd193c5259.rmeta: compat/rand_distr/src/lib.rs
+
+compat/rand_distr/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/va_sweep-2c790c430d08c710.d: crates/bench/src/bin/va_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libva_sweep-2c790c430d08c710.rmeta: crates/bench/src/bin/va_sweep.rs Cargo.toml
+
+crates/bench/src/bin/va_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/va_sweep-6bd7caff763cd958.d: crates/bench/src/bin/va_sweep.rs
+
+/root/repo/target/debug/deps/va_sweep-6bd7caff763cd958: crates/bench/src/bin/va_sweep.rs
+
+crates/bench/src/bin/va_sweep.rs:

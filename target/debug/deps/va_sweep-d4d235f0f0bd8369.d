@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/va_sweep-d4d235f0f0bd8369.d: crates/bench/src/bin/va_sweep.rs
+
+/root/repo/target/debug/deps/va_sweep-d4d235f0f0bd8369: crates/bench/src/bin/va_sweep.rs
+
+crates/bench/src/bin/va_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/window_queries-2cbaeab15f5faaa5.d: tests/window_queries.rs
+
+/root/repo/target/debug/deps/window_queries-2cbaeab15f5faaa5: tests/window_queries.rs
+
+tests/window_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/window_queries-2d1309528a7b23b0.d: tests/window_queries.rs
+
+/root/repo/target/debug/deps/window_queries-2d1309528a7b23b0: tests/window_queries.rs
+
+tests/window_queries.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/window_queries-ad0e563aa4a51896.d: tests/window_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwindow_queries-ad0e563aa4a51896.rmeta: tests/window_queries.rs Cargo.toml
+
+tests/window_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

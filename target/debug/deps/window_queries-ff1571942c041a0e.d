@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/window_queries-ff1571942c041a0e.d: tests/window_queries.rs
+
+/root/repo/target/debug/deps/window_queries-ff1571942c041a0e: tests/window_queries.rs
+
+tests/window_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cad_retrieval-0ce01870edae3047.d: examples/cad_retrieval.rs
+
+/root/repo/target/debug/examples/cad_retrieval-0ce01870edae3047: examples/cad_retrieval.rs
+
+examples/cad_retrieval.rs:

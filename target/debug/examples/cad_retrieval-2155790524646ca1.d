@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cad_retrieval-2155790524646ca1.d: examples/cad_retrieval.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcad_retrieval-2155790524646ca1.rmeta: examples/cad_retrieval.rs Cargo.toml
+
+examples/cad_retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cad_retrieval-af67dda8a4704ee1.d: examples/cad_retrieval.rs
+
+/root/repo/target/debug/examples/cad_retrieval-af67dda8a4704ee1: examples/cad_retrieval.rs
+
+examples/cad_retrieval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cad_retrieval-b82ed44cfa2a324c.d: examples/cad_retrieval.rs
+
+/root/repo/target/debug/examples/cad_retrieval-b82ed44cfa2a324c: examples/cad_retrieval.rs
+
+examples/cad_retrieval.rs:

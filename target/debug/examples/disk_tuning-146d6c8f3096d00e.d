@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disk_tuning-146d6c8f3096d00e.d: examples/disk_tuning.rs
+
+/root/repo/target/debug/examples/disk_tuning-146d6c8f3096d00e: examples/disk_tuning.rs
+
+examples/disk_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/disk_tuning-5630d4b642c3ba05.d: examples/disk_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdisk_tuning-5630d4b642c3ba05.rmeta: examples/disk_tuning.rs Cargo.toml
+
+examples/disk_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disk_tuning-7ca69f51cc701e4c.d: examples/disk_tuning.rs
+
+/root/repo/target/debug/examples/disk_tuning-7ca69f51cc701e4c: examples/disk_tuning.rs
+
+examples/disk_tuning.rs:

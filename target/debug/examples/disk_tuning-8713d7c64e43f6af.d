@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disk_tuning-8713d7c64e43f6af.d: examples/disk_tuning.rs
+
+/root/repo/target/debug/examples/disk_tuning-8713d7c64e43f6af: examples/disk_tuning.rs
+
+examples/disk_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_search-437b8862ed5663f8.d: examples/image_search.rs
+
+/root/repo/target/debug/examples/image_search-437b8862ed5663f8: examples/image_search.rs
+
+examples/image_search.rs:

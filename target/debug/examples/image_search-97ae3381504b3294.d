@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_search-97ae3381504b3294.d: examples/image_search.rs
+
+/root/repo/target/debug/examples/image_search-97ae3381504b3294: examples/image_search.rs
+
+examples/image_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_search-ceb22ff59e4b4431.d: examples/image_search.rs
+
+/root/repo/target/debug/examples/image_search-ceb22ff59e4b4431: examples/image_search.rs
+
+examples/image_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4b67bd3e7e0a4b21.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4b67bd3e7e0a4b21: examples/quickstart.rs
+
+examples/quickstart.rs:

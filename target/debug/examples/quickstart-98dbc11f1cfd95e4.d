@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-98dbc11f1cfd95e4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-98dbc11f1cfd95e4: examples/quickstart.rs
+
+examples/quickstart.rs:

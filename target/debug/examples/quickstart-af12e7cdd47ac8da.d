@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-af12e7cdd47ac8da.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-af12e7cdd47ac8da: examples/quickstart.rs
+
+examples/quickstart.rs:

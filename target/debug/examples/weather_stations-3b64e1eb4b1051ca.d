@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weather_stations-3b64e1eb4b1051ca.d: examples/weather_stations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweather_stations-3b64e1eb4b1051ca.rmeta: examples/weather_stations.rs Cargo.toml
+
+examples/weather_stations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weather_stations-45bfd7f15b9db654.d: examples/weather_stations.rs
+
+/root/repo/target/debug/examples/weather_stations-45bfd7f15b9db654: examples/weather_stations.rs
+
+examples/weather_stations.rs:

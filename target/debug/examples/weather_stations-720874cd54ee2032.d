@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weather_stations-720874cd54ee2032.d: examples/weather_stations.rs
+
+/root/repo/target/debug/examples/weather_stations-720874cd54ee2032: examples/weather_stations.rs
+
+examples/weather_stations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weather_stations-c480435324c60db0.d: examples/weather_stations.rs
+
+/root/repo/target/debug/examples/weather_stations-c480435324c60db0: examples/weather_stations.rs
+
+examples/weather_stations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/all_figures-5a72cf9a5985a8a7.d: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+/root/repo/target/release/deps/liball_figures-5a72cf9a5985a8a7.rmeta: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+crates/bench/src/bin/all_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-6510e1f28bcad75c.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-6510e1f28bcad75c: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

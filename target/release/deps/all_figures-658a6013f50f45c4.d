@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-658a6013f50f45c4.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-658a6013f50f45c4: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/all_figures-f041eeff2d7babc9.d: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+/root/repo/target/release/deps/liball_figures-f041eeff2d7babc9.rmeta: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+crates/bench/src/bin/all_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

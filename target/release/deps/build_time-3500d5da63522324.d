@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/build_time-3500d5da63522324.d: crates/bench/src/bin/build_time.rs Cargo.toml
+
+/root/repo/target/release/deps/libbuild_time-3500d5da63522324.rmeta: crates/bench/src/bin/build_time.rs Cargo.toml
+
+crates/bench/src/bin/build_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

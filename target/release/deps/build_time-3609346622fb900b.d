@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/build_time-3609346622fb900b.d: crates/bench/src/bin/build_time.rs
+
+/root/repo/target/release/deps/build_time-3609346622fb900b: crates/bench/src/bin/build_time.rs
+
+crates/bench/src/bin/build_time.rs:

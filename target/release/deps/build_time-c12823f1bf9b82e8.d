@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/build_time-c12823f1bf9b82e8.d: crates/bench/src/bin/build_time.rs
+
+/root/repo/target/release/deps/build_time-c12823f1bf9b82e8: crates/bench/src/bin/build_time.rs
+
+crates/bench/src/bin/build_time.rs:

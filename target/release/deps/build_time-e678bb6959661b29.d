@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/build_time-e678bb6959661b29.d: crates/bench/src/bin/build_time.rs Cargo.toml
+
+/root/repo/target/release/deps/libbuild_time-e678bb6959661b29.rmeta: crates/bench/src/bin/build_time.rs Cargo.toml
+
+crates/bench/src/bin/build_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

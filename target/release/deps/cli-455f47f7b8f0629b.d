@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cli-455f47f7b8f0629b.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libcli-455f47f7b8f0629b.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_iq=placeholder:iq
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-498fc3cfbc037ee7.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-498fc3cfbc037ee7: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_iq=/root/repo/target/release/iq

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-4c9d10fc89a30fe7.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-4c9d10fc89a30fe7: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_iq=/root/repo/target/release/iq

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/components-08b2c7eb7a641d5e.d: crates/bench/benches/components.rs Cargo.toml
+
+/root/repo/target/release/deps/libcomponents-08b2c7eb7a641d5e.rmeta: crates/bench/benches/components.rs Cargo.toml
+
+crates/bench/benches/components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

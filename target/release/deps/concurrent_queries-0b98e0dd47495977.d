@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrent_queries-0b98e0dd47495977.d: tests/concurrent_queries.rs
+
+/root/repo/target/release/deps/concurrent_queries-0b98e0dd47495977: tests/concurrent_queries.rs
+
+tests/concurrent_queries.rs:

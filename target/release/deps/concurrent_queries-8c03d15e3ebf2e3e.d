@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/concurrent_queries-8c03d15e3ebf2e3e.d: tests/concurrent_queries.rs Cargo.toml
+
+/root/repo/target/release/deps/libconcurrent_queries-8c03d15e3ebf2e3e.rmeta: tests/concurrent_queries.rs Cargo.toml
+
+tests/concurrent_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrent_queries-93518a056ea072dd.d: tests/concurrent_queries.rs
+
+/root/repo/target/release/deps/concurrent_queries-93518a056ea072dd: tests/concurrent_queries.rs
+
+tests/concurrent_queries.rs:

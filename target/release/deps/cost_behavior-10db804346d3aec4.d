@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cost_behavior-10db804346d3aec4.d: tests/cost_behavior.rs Cargo.toml
+
+/root/repo/target/release/deps/libcost_behavior-10db804346d3aec4.rmeta: tests/cost_behavior.rs Cargo.toml
+
+tests/cost_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

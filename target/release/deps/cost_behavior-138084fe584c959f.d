@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cost_behavior-138084fe584c959f.d: tests/cost_behavior.rs
+
+/root/repo/target/release/deps/cost_behavior-138084fe584c959f: tests/cost_behavior.rs
+
+tests/cost_behavior.rs:

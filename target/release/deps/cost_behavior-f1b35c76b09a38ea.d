@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cost_behavior-f1b35c76b09a38ea.d: tests/cost_behavior.rs
+
+/root/repo/target/release/deps/cost_behavior-f1b35c76b09a38ea: tests/cost_behavior.rs
+
+tests/cost_behavior.rs:

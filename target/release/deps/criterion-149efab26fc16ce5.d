@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-149efab26fc16ce5.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-149efab26fc16ce5.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-149efab26fc16ce5.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-354267b57132e5b6.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-354267b57132e5b6: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

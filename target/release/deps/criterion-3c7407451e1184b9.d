@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-3c7407451e1184b9.d: compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-3c7407451e1184b9.rmeta: compat/criterion/src/lib.rs Cargo.toml
+
+compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

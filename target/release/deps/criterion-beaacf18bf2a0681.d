@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-beaacf18bf2a0681.d: compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-beaacf18bf2a0681.rmeta: compat/criterion/src/lib.rs Cargo.toml
+
+compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_method_agreement-0086c3768cf82436.d: tests/cross_method_agreement.rs
+
+/root/repo/target/release/deps/cross_method_agreement-0086c3768cf82436: tests/cross_method_agreement.rs
+
+tests/cross_method_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_method_agreement-e6f6ee90d0412ed7.d: tests/cross_method_agreement.rs
+
+/root/repo/target/release/deps/cross_method_agreement-e6f6ee90d0412ed7: tests/cross_method_agreement.rs
+
+tests/cross_method_agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cross_method_agreement-eab05c66f792af1d.d: tests/cross_method_agreement.rs Cargo.toml
+
+/root/repo/target/release/deps/libcross_method_agreement-eab05c66f792af1d.rmeta: tests/cross_method_agreement.rs Cargo.toml
+
+tests/cross_method_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

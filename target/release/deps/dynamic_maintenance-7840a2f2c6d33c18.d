@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dynamic_maintenance-7840a2f2c6d33c18.d: tests/dynamic_maintenance.rs
+
+/root/repo/target/release/deps/dynamic_maintenance-7840a2f2c6d33c18: tests/dynamic_maintenance.rs
+
+tests/dynamic_maintenance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dynamic_maintenance-7e51a47f6c62a2ed.d: tests/dynamic_maintenance.rs Cargo.toml
+
+/root/repo/target/release/deps/libdynamic_maintenance-7e51a47f6c62a2ed.rmeta: tests/dynamic_maintenance.rs Cargo.toml
+
+tests/dynamic_maintenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

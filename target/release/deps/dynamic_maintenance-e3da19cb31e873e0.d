@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dynamic_maintenance-e3da19cb31e873e0.d: tests/dynamic_maintenance.rs
+
+/root/repo/target/release/deps/dynamic_maintenance-e3da19cb31e873e0: tests/dynamic_maintenance.rs
+
+tests/dynamic_maintenance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/edge_cases-8dc4b72a058d24c9.d: crates/quantize/tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/release/deps/libedge_cases-8dc4b72a058d24c9.rmeta: crates/quantize/tests/edge_cases.rs Cargo.toml
+
+crates/quantize/tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

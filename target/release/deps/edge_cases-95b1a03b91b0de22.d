@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edge_cases-95b1a03b91b0de22.d: crates/quantize/tests/edge_cases.rs
+
+/root/repo/target/release/deps/edge_cases-95b1a03b91b0de22: crates/quantize/tests/edge_cases.rs
+
+crates/quantize/tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-2271bc0eb0260d9c.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-2271bc0eb0260d9c: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-6a74c5afe1468454.d: crates/bench/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-6a74c5afe1468454.rmeta: crates/bench/src/bin/extensions.rs Cargo.toml
+
+crates/bench/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-6d9f24bc4539303a.d: crates/bench/src/bin/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-6d9f24bc4539303a.rmeta: crates/bench/src/bin/extensions.rs Cargo.toml
+
+crates/bench/src/bin/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

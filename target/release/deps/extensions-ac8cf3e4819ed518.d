@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-ac8cf3e4819ed518.d: crates/bench/src/bin/extensions.rs
+
+/root/repo/target/release/deps/extensions-ac8cf3e4819ed518: crates/bench/src/bin/extensions.rs
+
+crates/bench/src/bin/extensions.rs:

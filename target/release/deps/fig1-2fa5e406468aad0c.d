@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig1-2fa5e406468aad0c.d: crates/bench/src/bin/fig1.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig1-2fa5e406468aad0c.rmeta: crates/bench/src/bin/fig1.rs Cargo.toml
+
+crates/bench/src/bin/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

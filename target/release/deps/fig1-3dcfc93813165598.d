@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-3dcfc93813165598.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-3dcfc93813165598: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-58a8f8143db9af98.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-58a8f8143db9af98: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig1-906f1cf11edb122c.d: crates/bench/src/bin/fig1.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig1-906f1cf11edb122c.rmeta: crates/bench/src/bin/fig1.rs Cargo.toml
+
+crates/bench/src/bin/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

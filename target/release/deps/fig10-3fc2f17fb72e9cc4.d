@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10-3fc2f17fb72e9cc4.d: crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10-3fc2f17fb72e9cc4.rmeta: crates/bench/src/bin/fig10.rs Cargo.toml
+
+crates/bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-98bf1cada946c83a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-98bf1cada946c83a: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-a2545f403e497899.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-a2545f403e497899: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

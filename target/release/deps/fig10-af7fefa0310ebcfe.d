@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10-af7fefa0310ebcfe.d: crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10-af7fefa0310ebcfe.rmeta: crates/bench/src/bin/fig10.rs Cargo.toml
+
+crates/bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

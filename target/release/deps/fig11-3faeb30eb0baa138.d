@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-3faeb30eb0baa138.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-3faeb30eb0baa138: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-df8434401ed81dfb.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-df8434401ed81dfb: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

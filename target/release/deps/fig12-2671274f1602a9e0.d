@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-2671274f1602a9e0.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-2671274f1602a9e0: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-c8d64adb4569d0d3.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-c8d64adb4569d0d3: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

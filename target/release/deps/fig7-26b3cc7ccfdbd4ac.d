@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-26b3cc7ccfdbd4ac.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-26b3cc7ccfdbd4ac: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-3e8d88862be958fb.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-3e8d88862be958fb: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

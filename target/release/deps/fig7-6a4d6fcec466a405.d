@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig7-6a4d6fcec466a405.d: crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig7-6a4d6fcec466a405.rmeta: crates/bench/src/bin/fig7.rs Cargo.toml
+
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

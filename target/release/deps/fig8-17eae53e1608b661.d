@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-17eae53e1608b661.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-17eae53e1608b661: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8-b4211d97a5bf0077.d: crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8-b4211d97a5bf0077.rmeta: crates/bench/src/bin/fig8.rs Cargo.toml
+
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

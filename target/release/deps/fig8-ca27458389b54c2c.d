@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-ca27458389b54c2c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-ca27458389b54c2c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

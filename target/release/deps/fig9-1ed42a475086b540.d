@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-1ed42a475086b540.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-1ed42a475086b540: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

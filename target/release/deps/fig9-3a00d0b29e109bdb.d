@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-3a00d0b29e109bdb.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-3a00d0b29e109bdb: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

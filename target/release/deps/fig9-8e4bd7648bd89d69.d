@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig9-8e4bd7648bd89d69.d: crates/bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig9-8e4bd7648bd89d69.rmeta: crates/bench/src/bin/fig9.rs Cargo.toml
+
+crates/bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig9-f8758d0921b349c5.d: crates/bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig9-f8758d0921b349c5.rmeta: crates/bench/src/bin/fig9.rs Cargo.toml
+
+crates/bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

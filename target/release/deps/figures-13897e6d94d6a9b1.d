@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/figures-13897e6d94d6a9b1.d: crates/bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/release/deps/libfigures-13897e6d94d6a9b1.rmeta: crates/bench/benches/figures.rs Cargo.toml
+
+crates/bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

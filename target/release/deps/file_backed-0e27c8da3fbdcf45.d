@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/file_backed-0e27c8da3fbdcf45.d: tests/file_backed.rs Cargo.toml
+
+/root/repo/target/release/deps/libfile_backed-0e27c8da3fbdcf45.rmeta: tests/file_backed.rs Cargo.toml
+
+tests/file_backed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

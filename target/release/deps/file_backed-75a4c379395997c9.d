@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/file_backed-75a4c379395997c9.d: tests/file_backed.rs
+
+/root/repo/target/release/deps/file_backed-75a4c379395997c9: tests/file_backed.rs
+
+tests/file_backed.rs:

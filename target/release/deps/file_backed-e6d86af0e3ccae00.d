@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/file_backed-e6d86af0e3ccae00.d: tests/file_backed.rs
+
+/root/repo/target/release/deps/file_backed-e6d86af0e3ccae00: tests/file_backed.rs
+
+tests/file_backed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/io_profile-0faa04ef2a754cad.d: crates/bench/src/bin/io_profile.rs
+
+/root/repo/target/release/deps/io_profile-0faa04ef2a754cad: crates/bench/src/bin/io_profile.rs
+
+crates/bench/src/bin/io_profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/io_profile-afa2220b1695fc6f.d: crates/bench/src/bin/io_profile.rs Cargo.toml
+
+/root/repo/target/release/deps/libio_profile-afa2220b1695fc6f.rmeta: crates/bench/src/bin/io_profile.rs Cargo.toml
+
+crates/bench/src/bin/io_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/io_profile-e0e179e35f061df5.d: crates/bench/src/bin/io_profile.rs Cargo.toml
+
+/root/repo/target/release/deps/libio_profile-e0e179e35f061df5.rmeta: crates/bench/src/bin/io_profile.rs Cargo.toml
+
+crates/bench/src/bin/io_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/io_profile-f3e0c5d36a118967.d: crates/bench/src/bin/io_profile.rs
+
+/root/repo/target/release/deps/io_profile-f3e0c5d36a118967: crates/bench/src/bin/io_profile.rs
+
+crates/bench/src/bin/io_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iq-2f756266275b7ea2.d: src/bin/iq.rs
+
+/root/repo/target/release/deps/iq-2f756266275b7ea2: src/bin/iq.rs
+
+src/bin/iq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iq-3153d52cd6ce95a9.d: src/bin/iq.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq-3153d52cd6ce95a9.rmeta: src/bin/iq.rs Cargo.toml
+
+src/bin/iq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iq-7bc6993ca7e1d369.d: src/bin/iq.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq-7bc6993ca7e1d369.rmeta: src/bin/iq.rs Cargo.toml
+
+src/bin/iq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

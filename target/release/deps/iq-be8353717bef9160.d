@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iq-be8353717bef9160.d: src/bin/iq.rs
+
+/root/repo/target/release/deps/iq-be8353717bef9160: src/bin/iq.rs
+
+src/bin/iq.rs:

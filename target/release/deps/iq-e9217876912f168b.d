@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iq-e9217876912f168b.d: src/bin/iq.rs
+
+/root/repo/target/release/deps/iq-e9217876912f168b: src/bin/iq.rs
+
+src/bin/iq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iq-f79997f1e45f7c8e.d: src/bin/iq.rs
+
+/root/repo/target/release/deps/iq-f79997f1e45f7c8e: src/bin/iq.rs
+
+src/bin/iq.rs:

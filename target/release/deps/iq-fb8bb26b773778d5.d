@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iq-fb8bb26b773778d5.d: src/bin/iq.rs
+
+/root/repo/target/release/deps/iq-fb8bb26b773778d5: src/bin/iq.rs
+
+src/bin/iq.rs:

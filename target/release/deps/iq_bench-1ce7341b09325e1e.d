@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iq_bench-1ce7341b09325e1e.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libiq_bench-1ce7341b09325e1e.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libiq_bench-1ce7341b09325e1e.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/iq_bench-835a267880d637eb.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_bench-835a267880d637eb.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iq_bench-d9f56210281d3290.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/iq_bench-d9f56210281d3290: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iq_cache-23ac4d2c98fa65c6.d: crates/cache/src/lib.rs
+
+/root/repo/target/release/deps/iq_cache-23ac4d2c98fa65c6: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iq_cache-366d40773d2942cc.d: crates/cache/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_cache-366d40773d2942cc.rmeta: crates/cache/src/lib.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iq_cache-5a8a01d5d6e061dc.d: crates/cache/src/lib.rs
+
+/root/repo/target/release/deps/iq_cache-5a8a01d5d6e061dc: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

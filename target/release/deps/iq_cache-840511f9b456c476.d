@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iq_cache-840511f9b456c476.d: crates/cache/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_cache-840511f9b456c476.rmeta: crates/cache/src/lib.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iq_cache-862f5389a5115b52.d: crates/cache/src/lib.rs
+
+/root/repo/target/release/deps/libiq_cache-862f5389a5115b52.rlib: crates/cache/src/lib.rs
+
+/root/repo/target/release/deps/libiq_cache-862f5389a5115b52.rmeta: crates/cache/src/lib.rs
+
+crates/cache/src/lib.rs:

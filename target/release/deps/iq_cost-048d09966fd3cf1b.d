@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/iq_cost-048d09966fd3cf1b.d: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs
+
+/root/repo/target/release/deps/libiq_cost-048d09966fd3cf1b.rlib: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs
+
+/root/repo/target/release/deps/libiq_cost-048d09966fd3cf1b.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/access_prob.rs:
+crates/costmodel/src/directory.rs:
+crates/costmodel/src/refine.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/iq_cost-825391227a016908.d: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_cost-825391227a016908.rmeta: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs Cargo.toml
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/access_prob.rs:
+crates/costmodel/src/directory.rs:
+crates/costmodel/src/refine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/iq_cost-a6f005027e9947fb.d: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs
+
+/root/repo/target/release/deps/iq_cost-a6f005027e9947fb: crates/costmodel/src/lib.rs crates/costmodel/src/access_prob.rs crates/costmodel/src/directory.rs crates/costmodel/src/refine.rs
+
+crates/costmodel/src/lib.rs:
+crates/costmodel/src/access_prob.rs:
+crates/costmodel/src/directory.rs:
+crates/costmodel/src/refine.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/iq_data-1b90eb6bf822717a.d: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+/root/repo/target/release/deps/libiq_data-1b90eb6bf822717a.rlib: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+/root/repo/target/release/deps/libiq_data-1b90eb6bf822717a.rmeta: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+crates/data/src/lib.rs:
+crates/data/src/fractal.rs:
+crates/data/src/generate.rs:
+crates/data/src/io.rs:
+crates/data/src/workload.rs:

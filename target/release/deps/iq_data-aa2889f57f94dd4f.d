@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/iq_data-aa2889f57f94dd4f.d: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+/root/repo/target/release/deps/libiq_data-aa2889f57f94dd4f.rlib: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+/root/repo/target/release/deps/libiq_data-aa2889f57f94dd4f.rmeta: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs
+
+crates/data/src/lib.rs:
+crates/data/src/fractal.rs:
+crates/data/src/generate.rs:
+crates/data/src/io.rs:
+crates/data/src/workload.rs:

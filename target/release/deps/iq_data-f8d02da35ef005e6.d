@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iq_data-f8d02da35ef005e6.d: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_data-f8d02da35ef005e6.rmeta: crates/data/src/lib.rs crates/data/src/fractal.rs crates/data/src/generate.rs crates/data/src/io.rs crates/data/src/workload.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/fractal.rs:
+crates/data/src/generate.rs:
+crates/data/src/io.rs:
+crates/data/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/iq_geometry-e2fae84f883f88dc.d: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs
+
+/root/repo/target/release/deps/iq_geometry-e2fae84f883f88dc: crates/geometry/src/lib.rs crates/geometry/src/mbr.rs crates/geometry/src/metric.rs crates/geometry/src/partition.rs crates/geometry/src/point.rs crates/geometry/src/volume.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/mbr.rs:
+crates/geometry/src/metric.rs:
+crates/geometry/src/partition.rs:
+crates/geometry/src/point.rs:
+crates/geometry/src/volume.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/iq_quantize-5670ede2b158ec07.d: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs
+
+/root/repo/target/release/deps/iq_quantize-5670ede2b158ec07: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/bits.rs:
+crates/quantize/src/grid.rs:
+crates/quantize/src/page.rs:

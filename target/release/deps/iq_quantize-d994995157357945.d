@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/iq_quantize-d994995157357945.d: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs
+
+/root/repo/target/release/deps/libiq_quantize-d994995157357945.rlib: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs
+
+/root/repo/target/release/deps/libiq_quantize-d994995157357945.rmeta: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/bits.rs:
+crates/quantize/src/grid.rs:
+crates/quantize/src/page.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/iq_quantize-dcf0edb3e88e6dbf.d: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_quantize-dcf0edb3e88e6dbf.rmeta: crates/quantize/src/lib.rs crates/quantize/src/bits.rs crates/quantize/src/grid.rs crates/quantize/src/page.rs Cargo.toml
+
+crates/quantize/src/lib.rs:
+crates/quantize/src/bits.rs:
+crates/quantize/src/grid.rs:
+crates/quantize/src/page.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

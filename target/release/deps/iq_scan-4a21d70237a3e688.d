@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iq_scan-4a21d70237a3e688.d: crates/scan/src/lib.rs
+
+/root/repo/target/release/deps/iq_scan-4a21d70237a3e688: crates/scan/src/lib.rs
+
+crates/scan/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iq_scan-b4ebdbf548e3ea7e.d: crates/scan/src/lib.rs
+
+/root/repo/target/release/deps/libiq_scan-b4ebdbf548e3ea7e.rlib: crates/scan/src/lib.rs
+
+/root/repo/target/release/deps/libiq_scan-b4ebdbf548e3ea7e.rmeta: crates/scan/src/lib.rs
+
+crates/scan/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iq_scan-c98691420d997dec.d: crates/scan/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_scan-c98691420d997dec.rmeta: crates/scan/src/lib.rs Cargo.toml
+
+crates/scan/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iq_scan-d0bf41ec3bb6e169.d: crates/scan/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_scan-d0bf41ec3bb6e169.rmeta: crates/scan/src/lib.rs Cargo.toml
+
+crates/scan/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/iq_storage-29cb95afb1b86a83.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs
+
+/root/repo/target/release/deps/iq_storage-29cb95afb1b86a83: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/fetch.rs:
+crates/storage/src/model.rs:

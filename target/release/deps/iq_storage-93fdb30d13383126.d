@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/iq_storage-93fdb30d13383126.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs
+
+/root/repo/target/release/deps/libiq_storage-93fdb30d13383126.rlib: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs
+
+/root/repo/target/release/deps/libiq_storage-93fdb30d13383126.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/fetch.rs crates/storage/src/model.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/fetch.rs:
+crates/storage/src/model.rs:

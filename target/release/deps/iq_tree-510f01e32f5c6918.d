@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/iq_tree-510f01e32f5c6918.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs
+
+/root/repo/target/release/deps/libiq_tree-510f01e32f5c6918.rlib: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs
+
+/root/repo/target/release/deps/libiq_tree-510f01e32f5c6918.rmeta: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/maintain.rs:
+crates/core/src/persist.rs:
+crates/core/src/search.rs:
+crates/core/src/update.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/iq_tree-80cee9c403d2f454.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs
+
+/root/repo/target/release/deps/iq_tree-80cee9c403d2f454: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/maintain.rs crates/core/src/persist.rs crates/core/src/search.rs crates/core/src/update.rs
+
+crates/core/src/lib.rs:
+crates/core/src/build.rs:
+crates/core/src/maintain.rs:
+crates/core/src/persist.rs:
+crates/core/src/search.rs:
+crates/core/src/update.rs:

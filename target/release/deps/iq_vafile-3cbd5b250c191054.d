@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iq_vafile-3cbd5b250c191054.d: crates/vafile/src/lib.rs
+
+/root/repo/target/release/deps/libiq_vafile-3cbd5b250c191054.rlib: crates/vafile/src/lib.rs
+
+/root/repo/target/release/deps/libiq_vafile-3cbd5b250c191054.rmeta: crates/vafile/src/lib.rs
+
+crates/vafile/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iq_vafile-55eff1f9ddea648c.d: crates/vafile/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_vafile-55eff1f9ddea648c.rmeta: crates/vafile/src/lib.rs Cargo.toml
+
+crates/vafile/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iq_vafile-66710aec0787427a.d: crates/vafile/src/lib.rs
+
+/root/repo/target/release/deps/iq_vafile-66710aec0787427a: crates/vafile/src/lib.rs
+
+crates/vafile/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iq_vafile-d448ed5474abb623.d: crates/vafile/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_vafile-d448ed5474abb623.rmeta: crates/vafile/src/lib.rs Cargo.toml
+
+crates/vafile/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

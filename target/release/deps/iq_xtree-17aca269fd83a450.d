@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iq_xtree-17aca269fd83a450.d: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs
+
+/root/repo/target/release/deps/iq_xtree-17aca269fd83a450: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs
+
+crates/xtree/src/lib.rs:
+crates/xtree/src/node.rs:
+crates/xtree/src/split.rs:

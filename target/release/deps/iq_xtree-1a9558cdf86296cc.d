@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iq_xtree-1a9558cdf86296cc.d: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs
+
+/root/repo/target/release/deps/libiq_xtree-1a9558cdf86296cc.rlib: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs
+
+/root/repo/target/release/deps/libiq_xtree-1a9558cdf86296cc.rmeta: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs
+
+crates/xtree/src/lib.rs:
+crates/xtree/src/node.rs:
+crates/xtree/src/split.rs:

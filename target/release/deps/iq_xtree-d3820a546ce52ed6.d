@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/iq_xtree-d3820a546ce52ed6.d: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs Cargo.toml
+
+/root/repo/target/release/deps/libiq_xtree-d3820a546ce52ed6.rmeta: crates/xtree/src/lib.rs crates/xtree/src/node.rs crates/xtree/src/split.rs Cargo.toml
+
+crates/xtree/src/lib.rs:
+crates/xtree/src/node.rs:
+crates/xtree/src/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iqtree_repro-30d19911bfcdb2aa.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libiqtree_repro-30d19911bfcdb2aa.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iqtree_repro-3a14757513d91c6a.d: src/lib.rs
+
+/root/repo/target/release/deps/libiqtree_repro-3a14757513d91c6a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libiqtree_repro-3a14757513d91c6a.rmeta: src/lib.rs
+
+src/lib.rs:

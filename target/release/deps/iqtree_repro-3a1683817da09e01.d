@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iqtree_repro-3a1683817da09e01.d: src/lib.rs
+
+/root/repo/target/release/deps/libiqtree_repro-3a1683817da09e01.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libiqtree_repro-3a1683817da09e01.rmeta: src/lib.rs
+
+src/lib.rs:

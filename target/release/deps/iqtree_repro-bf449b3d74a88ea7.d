@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/iqtree_repro-bf449b3d74a88ea7.d: src/lib.rs
+
+/root/repo/target/release/deps/libiqtree_repro-bf449b3d74a88ea7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libiqtree_repro-bf449b3d74a88ea7.rmeta: src/lib.rs
+
+src/lib.rs:

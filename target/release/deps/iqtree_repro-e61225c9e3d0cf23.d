@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iqtree_repro-e61225c9e3d0cf23.d: src/lib.rs
+
+/root/repo/target/release/deps/iqtree_repro-e61225c9e3d0cf23: src/lib.rs
+
+src/lib.rs:

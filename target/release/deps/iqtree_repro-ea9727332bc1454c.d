@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/iqtree_repro-ea9727332bc1454c.d: src/lib.rs
+
+/root/repo/target/release/deps/iqtree_repro-ea9727332bc1454c: src/lib.rs
+
+src/lib.rs:

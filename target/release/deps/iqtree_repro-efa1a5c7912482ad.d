@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/iqtree_repro-efa1a5c7912482ad.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libiqtree_repro-efa1a5c7912482ad.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

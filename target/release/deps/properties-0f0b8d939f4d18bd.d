@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-0f0b8d939f4d18bd.d: crates/core/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-0f0b8d939f4d18bd.rmeta: crates/core/tests/properties.rs Cargo.toml
+
+crates/core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-19618baefd5b46c7.d: crates/cache/tests/properties.rs
+
+/root/repo/target/release/deps/properties-19618baefd5b46c7: crates/cache/tests/properties.rs
+
+crates/cache/tests/properties.rs:

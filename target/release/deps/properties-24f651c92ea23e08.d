@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-24f651c92ea23e08.d: crates/vafile/tests/properties.rs
+
+/root/repo/target/release/deps/properties-24f651c92ea23e08: crates/vafile/tests/properties.rs
+
+crates/vafile/tests/properties.rs:

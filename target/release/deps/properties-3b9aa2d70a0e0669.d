@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-3b9aa2d70a0e0669.d: crates/cache/tests/properties.rs
+
+/root/repo/target/release/deps/properties-3b9aa2d70a0e0669: crates/cache/tests/properties.rs
+
+crates/cache/tests/properties.rs:

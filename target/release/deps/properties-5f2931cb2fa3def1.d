@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-5f2931cb2fa3def1.d: crates/cache/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-5f2931cb2fa3def1.rmeta: crates/cache/tests/properties.rs Cargo.toml
+
+crates/cache/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

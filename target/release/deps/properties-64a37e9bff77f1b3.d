@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-64a37e9bff77f1b3.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-64a37e9bff77f1b3: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

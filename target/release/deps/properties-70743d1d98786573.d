@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-70743d1d98786573.d: crates/xtree/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-70743d1d98786573.rmeta: crates/xtree/tests/properties.rs Cargo.toml
+
+crates/xtree/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

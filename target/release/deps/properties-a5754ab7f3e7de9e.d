@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-a5754ab7f3e7de9e.d: crates/geometry/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-a5754ab7f3e7de9e.rmeta: crates/geometry/tests/properties.rs Cargo.toml
+
+crates/geometry/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

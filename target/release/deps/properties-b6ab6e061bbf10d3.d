@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b6ab6e061bbf10d3.d: crates/geometry/tests/properties.rs
+
+/root/repo/target/release/deps/properties-b6ab6e061bbf10d3: crates/geometry/tests/properties.rs
+
+crates/geometry/tests/properties.rs:

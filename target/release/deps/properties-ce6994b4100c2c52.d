@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-ce6994b4100c2c52.d: crates/xtree/tests/properties.rs
+
+/root/repo/target/release/deps/properties-ce6994b4100c2c52: crates/xtree/tests/properties.rs
+
+crates/xtree/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-ded0862808d6583d.d: crates/vafile/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-ded0862808d6583d.rmeta: crates/vafile/tests/properties.rs Cargo.toml
+
+crates/vafile/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e6111719eb22299f.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-e6111719eb22299f: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-220055b6b2b09818.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-220055b6b2b09818.rlib: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-220055b6b2b09818.rmeta: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:

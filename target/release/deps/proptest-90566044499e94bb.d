@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/proptest-90566044499e94bb.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-90566044499e94bb.rmeta: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

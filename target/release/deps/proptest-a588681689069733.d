@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-a588681689069733.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-a588681689069733.rlib: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-a588681689069733.rmeta: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/proptest-ddb6c8be84b69d81.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/proptest-ddb6c8be84b69d81: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:

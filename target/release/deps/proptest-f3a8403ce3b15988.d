@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/proptest-f3a8403ce3b15988.d: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-f3a8403ce3b15988.rmeta: compat/proptest/src/lib.rs compat/proptest/src/strategy.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+compat/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rand-7a0b3e533d46d768.d: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-7a0b3e533d46d768.rlib: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-7a0b3e533d46d768.rmeta: compat/rand/src/lib.rs compat/rand/src/distributions.rs compat/rand/src/rngs.rs compat/rand/src/seq.rs
+
+compat/rand/src/lib.rs:
+compat/rand/src/distributions.rs:
+compat/rand/src/rngs.rs:
+compat/rand/src/seq.rs:

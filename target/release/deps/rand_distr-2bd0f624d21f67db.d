@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-2bd0f624d21f67db.d: compat/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-2bd0f624d21f67db.rlib: compat/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-2bd0f624d21f67db.rmeta: compat/rand_distr/src/lib.rs
+
+compat/rand_distr/src/lib.rs:

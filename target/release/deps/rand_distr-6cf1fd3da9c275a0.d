@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_distr-6cf1fd3da9c275a0.d: compat/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_distr-6cf1fd3da9c275a0.rmeta: compat/rand_distr/src/lib.rs Cargo.toml
+
+compat/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-83718b22c0fca98f.d: compat/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-83718b22c0fca98f.rlib: compat/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-83718b22c0fca98f.rmeta: compat/rand_distr/src/lib.rs
+
+compat/rand_distr/src/lib.rs:

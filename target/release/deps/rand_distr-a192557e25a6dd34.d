@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_distr-a192557e25a6dd34.d: compat/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_distr-a192557e25a6dd34.rmeta: compat/rand_distr/src/lib.rs Cargo.toml
+
+compat/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_distr-ff3f45f157ca5cba.d: compat/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/rand_distr-ff3f45f157ca5cba: compat/rand_distr/src/lib.rs
+
+compat/rand_distr/src/lib.rs:

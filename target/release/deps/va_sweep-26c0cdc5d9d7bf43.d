@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/va_sweep-26c0cdc5d9d7bf43.d: crates/bench/src/bin/va_sweep.rs
+
+/root/repo/target/release/deps/va_sweep-26c0cdc5d9d7bf43: crates/bench/src/bin/va_sweep.rs
+
+crates/bench/src/bin/va_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/va_sweep-c29deab7fca7bb43.d: crates/bench/src/bin/va_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libva_sweep-c29deab7fca7bb43.rmeta: crates/bench/src/bin/va_sweep.rs Cargo.toml
+
+crates/bench/src/bin/va_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/va_sweep-e7458f8498f0f90d.d: crates/bench/src/bin/va_sweep.rs
+
+/root/repo/target/release/deps/va_sweep-e7458f8498f0f90d: crates/bench/src/bin/va_sweep.rs
+
+crates/bench/src/bin/va_sweep.rs:

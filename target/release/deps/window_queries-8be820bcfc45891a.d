@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/window_queries-8be820bcfc45891a.d: tests/window_queries.rs
+
+/root/repo/target/release/deps/window_queries-8be820bcfc45891a: tests/window_queries.rs
+
+tests/window_queries.rs:

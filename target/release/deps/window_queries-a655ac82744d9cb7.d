@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/window_queries-a655ac82744d9cb7.d: tests/window_queries.rs
+
+/root/repo/target/release/deps/window_queries-a655ac82744d9cb7: tests/window_queries.rs
+
+tests/window_queries.rs:

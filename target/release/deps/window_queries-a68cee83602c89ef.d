@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/window_queries-a68cee83602c89ef.d: tests/window_queries.rs Cargo.toml
+
+/root/repo/target/release/deps/libwindow_queries-a68cee83602c89ef.rmeta: tests/window_queries.rs Cargo.toml
+
+tests/window_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

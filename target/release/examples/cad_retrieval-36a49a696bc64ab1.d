@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/cad_retrieval-36a49a696bc64ab1.d: examples/cad_retrieval.rs Cargo.toml
+
+/root/repo/target/release/examples/libcad_retrieval-36a49a696bc64ab1.rmeta: examples/cad_retrieval.rs Cargo.toml
+
+examples/cad_retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

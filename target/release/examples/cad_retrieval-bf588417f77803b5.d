@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cad_retrieval-bf588417f77803b5.d: examples/cad_retrieval.rs
+
+/root/repo/target/release/examples/cad_retrieval-bf588417f77803b5: examples/cad_retrieval.rs
+
+examples/cad_retrieval.rs:

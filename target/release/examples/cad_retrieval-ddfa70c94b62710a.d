@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cad_retrieval-ddfa70c94b62710a.d: examples/cad_retrieval.rs
+
+/root/repo/target/release/examples/cad_retrieval-ddfa70c94b62710a: examples/cad_retrieval.rs
+
+examples/cad_retrieval.rs:

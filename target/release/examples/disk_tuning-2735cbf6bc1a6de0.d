@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/disk_tuning-2735cbf6bc1a6de0.d: examples/disk_tuning.rs Cargo.toml
+
+/root/repo/target/release/examples/libdisk_tuning-2735cbf6bc1a6de0.rmeta: examples/disk_tuning.rs Cargo.toml
+
+examples/disk_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/disk_tuning-5ca6a64f71cb0f39.d: examples/disk_tuning.rs
+
+/root/repo/target/release/examples/disk_tuning-5ca6a64f71cb0f39: examples/disk_tuning.rs
+
+examples/disk_tuning.rs:

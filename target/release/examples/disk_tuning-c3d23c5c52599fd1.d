@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/disk_tuning-c3d23c5c52599fd1.d: examples/disk_tuning.rs
+
+/root/repo/target/release/examples/disk_tuning-c3d23c5c52599fd1: examples/disk_tuning.rs
+
+examples/disk_tuning.rs:

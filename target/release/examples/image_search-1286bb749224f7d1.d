@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_search-1286bb749224f7d1.d: examples/image_search.rs
+
+/root/repo/target/release/examples/image_search-1286bb749224f7d1: examples/image_search.rs
+
+examples/image_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/image_search-a893eb563e8c9b2a.d: examples/image_search.rs Cargo.toml
+
+/root/repo/target/release/examples/libimage_search-a893eb563e8c9b2a.rmeta: examples/image_search.rs Cargo.toml
+
+examples/image_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

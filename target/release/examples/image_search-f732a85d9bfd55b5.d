@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_search-f732a85d9bfd55b5.d: examples/image_search.rs
+
+/root/repo/target/release/examples/image_search-f732a85d9bfd55b5: examples/image_search.rs
+
+examples/image_search.rs:

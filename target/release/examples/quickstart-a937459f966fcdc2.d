@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a937459f966fcdc2.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a937459f966fcdc2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d294e4c2cf7cec45.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d294e4c2cf7cec45: examples/quickstart.rs
+
+examples/quickstart.rs:

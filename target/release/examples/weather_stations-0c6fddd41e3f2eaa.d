@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weather_stations-0c6fddd41e3f2eaa.d: examples/weather_stations.rs
+
+/root/repo/target/release/examples/weather_stations-0c6fddd41e3f2eaa: examples/weather_stations.rs
+
+examples/weather_stations.rs:

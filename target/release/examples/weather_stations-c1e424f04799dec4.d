@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/weather_stations-c1e424f04799dec4.d: examples/weather_stations.rs Cargo.toml
+
+/root/repo/target/release/examples/libweather_stations-c1e424f04799dec4.rmeta: examples/weather_stations.rs Cargo.toml
+
+examples/weather_stations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

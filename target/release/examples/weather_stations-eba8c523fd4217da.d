@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weather_stations-eba8c523fd4217da.d: examples/weather_stations.rs
+
+/root/repo/target/release/examples/weather_stations-eba8c523fd4217da: examples/weather_stations.rs
+
+examples/weather_stations.rs:

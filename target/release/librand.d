@@ -1,0 +1,1 @@
+/root/repo/target/release/librand.rlib: /root/repo/compat/rand/src/distributions.rs /root/repo/compat/rand/src/lib.rs /root/repo/compat/rand/src/rngs.rs /root/repo/compat/rand/src/seq.rs

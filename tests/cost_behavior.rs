@@ -89,7 +89,7 @@ fn iqtree_beats_xtree_in_high_dimensions() {
 fn scheduled_io_never_pays_more_seeks_on_average() {
     let w = Workload::generate(15_000, 10, |n| data::uniform(12, n, 73));
     let mut c_opt = SimClock::default();
-    let mut t_opt = IqTree::build(
+    let t_opt = IqTree::build(
         &w.db,
         Metric::Euclidean,
         IqTreeOptions::default(),
@@ -97,7 +97,7 @@ fn scheduled_io_never_pays_more_seeks_on_average() {
         &mut c_opt,
     );
     let mut c_std = SimClock::default();
-    let mut t_std = IqTree::build(
+    let t_std = IqTree::build(
         &w.db,
         Metric::Euclidean,
         IqTreeOptions {
@@ -175,7 +175,7 @@ fn queries_on_fresh_clock_have_reproducible_cost() {
     let w = Workload::generate(8_000, 3, |n| data::color_like(16, n, 76));
     let run = || -> Vec<(u64, u64)> {
         let mut clock = SimClock::default();
-        let mut tree = IqTree::build(
+        let tree = IqTree::build(
             &w.db,
             Metric::Euclidean,
             IqTreeOptions::default(),

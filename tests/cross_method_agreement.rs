@@ -155,7 +155,7 @@ fn range_query_id_sets_agree() {
 fn maximum_metric_agreement() {
     let w = Workload::generate(3_000, 5, |n| data::uniform(6, n, 9));
     let mut clock = SimClock::default();
-    let mut iq = IqTree::build(
+    let iq = IqTree::build(
         &w.db,
         Metric::Maximum,
         IqTreeOptions::default(),

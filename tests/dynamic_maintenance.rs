@@ -2,7 +2,7 @@
 //! load plus inserts answers exactly like brute force, deletions remove
 //! points from all query types, and the X-tree survives the same regime.
 
-use iqtree_repro::data::{self, Workload};
+use iqtree_repro::data::{self};
 use iqtree_repro::geometry::{Dataset, Metric};
 use iqtree_repro::storage::{MemDevice, SimClock};
 use iqtree_repro::tree::{IqTree, IqTreeOptions};

@@ -27,7 +27,7 @@ fn file_and_memory_backends_agree() {
     let dir = temp_dir();
 
     let mut mem_clock = SimClock::default();
-    let mut mem_tree = IqTree::build(
+    let mem_tree = IqTree::build(
         &w.db,
         Metric::Euclidean,
         IqTreeOptions::default(),
@@ -37,7 +37,7 @@ fn file_and_memory_backends_agree() {
 
     let mut counter = 0;
     let mut file_clock = SimClock::default();
-    let mut file_tree = IqTree::build(
+    let file_tree = IqTree::build(
         &w.db,
         Metric::Euclidean,
         IqTreeOptions::default(),

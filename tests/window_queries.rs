@@ -28,7 +28,7 @@ fn window_results_agree_across_methods() {
         ),
     ] {
         let mut clock = SimClock::default();
-        let mut iq = IqTree::build(
+        let iq = IqTree::build(
             &w.db,
             Metric::Euclidean,
             IqTreeOptions::default(),
@@ -71,7 +71,7 @@ fn window_results_agree_across_methods() {
 fn empty_window_returns_nothing() {
     let w = Workload::generate(1_000, 1, |n| data::uniform(4, n, 103));
     let mut clock = SimClock::default();
-    let mut iq = IqTree::build(
+    let iq = IqTree::build(
         &w.db,
         Metric::Euclidean,
         IqTreeOptions::default(),
@@ -88,7 +88,7 @@ fn iq_window_uses_batched_fetch() {
     // them into far fewer seeks than pages.
     let w = Workload::generate(30_000, 1, |n| data::uniform(8, n, 104));
     let mut clock = SimClock::default();
-    let mut iq = IqTree::build(
+    let iq = IqTree::build(
         &w.db,
         Metric::Euclidean,
         IqTreeOptions::default(),
