@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-2cd04591ec6e128c.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-2cd04591ec6e128c: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_iq=/root/repo/target/debug/iq

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_queries-cbf2a3cdb223d873.d: tests/concurrent_queries.rs
+
+/root/repo/target/debug/deps/concurrent_queries-cbf2a3cdb223d873: tests/concurrent_queries.rs
+
+tests/concurrent_queries.rs:

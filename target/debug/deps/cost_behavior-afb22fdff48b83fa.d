@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_behavior-afb22fdff48b83fa.d: tests/cost_behavior.rs
+
+/root/repo/target/debug/deps/cost_behavior-afb22fdff48b83fa: tests/cost_behavior.rs
+
+tests/cost_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_method_agreement-04dc4124985ec20f.d: tests/cross_method_agreement.rs
+
+/root/repo/target/debug/deps/cross_method_agreement-04dc4124985ec20f: tests/cross_method_agreement.rs
+
+tests/cross_method_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_maintenance-88726cd5d06c47e0.d: tests/dynamic_maintenance.rs
+
+/root/repo/target/debug/deps/dynamic_maintenance-88726cd5d06c47e0: tests/dynamic_maintenance.rs
+
+tests/dynamic_maintenance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/file_backed-37fe8e1fd56ab662.d: tests/file_backed.rs
+
+/root/repo/target/debug/deps/file_backed-37fe8e1fd56ab662: tests/file_backed.rs
+
+tests/file_backed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq-0bba758e5b6661f2.d: src/bin/iq.rs
+
+/root/repo/target/debug/deps/iq-0bba758e5b6661f2: src/bin/iq.rs
+
+src/bin/iq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iq-6af6152b5f393fb4.d: src/bin/iq.rs
+
+/root/repo/target/debug/deps/iq-6af6152b5f393fb4: src/bin/iq.rs
+
+src/bin/iq.rs:

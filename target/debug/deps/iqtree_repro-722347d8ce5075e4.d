@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iqtree_repro-722347d8ce5075e4.d: src/lib.rs
+
+/root/repo/target/debug/deps/iqtree_repro-722347d8ce5075e4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/iqtree_repro-a1454e95eba3df14.d: src/lib.rs
+
+/root/repo/target/debug/deps/libiqtree_repro-a1454e95eba3df14.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libiqtree_repro-a1454e95eba3df14.rmeta: src/lib.rs
+
+src/lib.rs:

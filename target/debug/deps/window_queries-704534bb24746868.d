@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/window_queries-704534bb24746868.d: tests/window_queries.rs
+
+/root/repo/target/debug/deps/window_queries-704534bb24746868: tests/window_queries.rs
+
+tests/window_queries.rs:

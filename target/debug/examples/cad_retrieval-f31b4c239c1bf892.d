@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cad_retrieval-f31b4c239c1bf892.d: examples/cad_retrieval.rs
+
+/root/repo/target/debug/examples/cad_retrieval-f31b4c239c1bf892: examples/cad_retrieval.rs
+
+examples/cad_retrieval.rs:

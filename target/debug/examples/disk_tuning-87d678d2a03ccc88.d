@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disk_tuning-87d678d2a03ccc88.d: examples/disk_tuning.rs
+
+/root/repo/target/debug/examples/disk_tuning-87d678d2a03ccc88: examples/disk_tuning.rs
+
+examples/disk_tuning.rs:

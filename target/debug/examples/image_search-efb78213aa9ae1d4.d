@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_search-efb78213aa9ae1d4.d: examples/image_search.rs
+
+/root/repo/target/debug/examples/image_search-efb78213aa9ae1d4: examples/image_search.rs
+
+examples/image_search.rs:

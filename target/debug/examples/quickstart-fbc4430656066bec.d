@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fbc4430656066bec.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fbc4430656066bec: examples/quickstart.rs
+
+examples/quickstart.rs:

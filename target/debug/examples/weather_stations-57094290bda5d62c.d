@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weather_stations-57094290bda5d62c.d: examples/weather_stations.rs
+
+/root/repo/target/debug/examples/weather_stations-57094290bda5d62c: examples/weather_stations.rs
+
+examples/weather_stations.rs:
