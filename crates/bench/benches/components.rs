@@ -21,7 +21,7 @@ fn bench_bits(c: &mut Criterion) {
             let mut r = BitReader::new(&bytes);
             let mut acc = 0u64;
             for _ in 0..4096 {
-                acc += u64::from(r.read(8));
+                acc += u64::from(r.read(8).expect("in-bounds read"));
             }
             black_box(acc)
         })
@@ -108,10 +108,11 @@ fn bench_access_probability(c: &mut Criterion) {
 fn bench_cache(c: &mut Criterion) {
     let mut clock = SimClock::new(DiskModel::default(), CpuModel::free());
     let mut dev = CachedDevice::new(Box::new(MemDevice::new(8192)), 1024);
-    dev.append(&mut clock, &vec![1u8; 8192 * 512]);
+    dev.append(&mut clock, &vec![1u8; 8192 * 512])
+        .expect("append");
     // Warm the frames.
     for b in 0..512u64 {
-        dev.read_to_vec(&mut clock, b, 1);
+        dev.read_to_vec(&mut clock, b, 1).expect("warm read");
     }
     let mut i = 0u64;
     c.bench_function("cache/hit_read_8k", |b| {

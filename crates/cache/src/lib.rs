@@ -25,7 +25,7 @@
 //! shard and behave exactly like a global LRU. Writes keep `&mut self`
 //! and are therefore exclusive, like every other device.
 
-use iq_storage::{BlockDevice, SimClock};
+use iq_storage::{BlockDevice, IqResult, SimClock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -277,7 +277,7 @@ impl BlockDevice for CachedDevice {
         self.inner.num_blocks()
     }
 
-    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) -> IqResult<()> {
         let bs = self.block_size();
         assert_eq!(buf.len() % bs, 0, "partial-block read");
         let nblocks = (buf.len() / bs) as u64;
@@ -299,19 +299,22 @@ impl BlockDevice for CachedDevice {
         }
         if all_resident {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return;
+            return Ok(());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.inner.read_blocks(clock, start, buf);
+        // On failure nothing is cached: a later retry must hit the device
+        // again, and corrupt bytes never become resident frames.
+        self.inner.read_blocks(clock, start, buf)?;
         for i in 0..nblocks {
             let off = (i as usize) * bs;
             self.insert_frame(start + i, buf[off..off + bs].to_vec());
         }
+        Ok(())
     }
 
-    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> u64 {
+    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> IqResult<u64> {
         let bs = self.block_size();
-        let start = self.inner.append(clock, data);
+        let start = self.inner.append(clock, data)?;
         let nblocks = data.len().div_ceil(bs);
         for i in 0..nblocks {
             let lo = i * bs;
@@ -320,15 +323,16 @@ impl BlockDevice for CachedDevice {
             frame[..hi - lo].copy_from_slice(&data[lo..hi]);
             self.insert_frame(start + i as u64, frame);
         }
-        start
+        Ok(start)
     }
 
-    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) {
+    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) -> IqResult<()> {
         let bs = self.block_size();
-        self.inner.write_blocks(clock, start, data);
+        self.inner.write_blocks(clock, start, data)?;
         for (i, chunk) in data.chunks_exact(bs).enumerate() {
             self.insert_frame(start + i as u64, chunk.to_vec());
         }
+        Ok(())
     }
 
     fn device_id(&self) -> u64 {
@@ -350,13 +354,13 @@ mod tests {
     #[test]
     fn repeated_reads_are_free() {
         let (mut dev, mut clock) = setup(8);
-        dev.append(&mut clock, &vec![7u8; 64 * 4]);
+        dev.append(&mut clock, &vec![7u8; 64 * 4]).unwrap();
         clock.reset();
         dev.clear();
-        let a = dev.read_to_vec(&mut clock, 0, 2);
+        let a = dev.read_to_vec(&mut clock, 0, 2).unwrap();
         let t1 = clock.io_time();
         assert!(t1 > 0.0);
-        let b = dev.read_to_vec(&mut clock, 0, 2);
+        let b = dev.read_to_vec(&mut clock, 0, 2).unwrap();
         assert_eq!(a, b);
         assert_eq!(clock.io_time(), t1, "second read must be free");
         assert_eq!(dev.stats().hits, 1);
@@ -366,12 +370,12 @@ mod tests {
     #[test]
     fn partial_residency_reads_through() {
         let (mut dev, mut clock) = setup(8);
-        dev.append(&mut clock, &vec![1u8; 64 * 4]);
+        dev.append(&mut clock, &vec![1u8; 64 * 4]).unwrap();
         dev.clear();
         clock.reset();
-        dev.read_to_vec(&mut clock, 0, 1); // block 0 resident
+        dev.read_to_vec(&mut clock, 0, 1).unwrap(); // block 0 resident
         let t1 = clock.io_time();
-        dev.read_to_vec(&mut clock, 0, 2); // block 1 missing -> full read
+        dev.read_to_vec(&mut clock, 0, 2).unwrap(); // block 1 missing -> full read
         assert!(clock.io_time() > t1);
         assert_eq!(dev.stats().misses, 2);
     }
@@ -379,28 +383,28 @@ mod tests {
     #[test]
     fn eviction_respects_lru_order() {
         let (mut dev, mut clock) = setup(2);
-        dev.append(&mut clock, &vec![9u8; 64 * 4]);
+        dev.append(&mut clock, &vec![9u8; 64 * 4]).unwrap();
         dev.clear();
-        dev.read_to_vec(&mut clock, 0, 1);
-        dev.read_to_vec(&mut clock, 1, 1);
-        dev.read_to_vec(&mut clock, 0, 1); // touch 0: LRU is now 1
-        dev.read_to_vec(&mut clock, 2, 1); // evicts 1
+        dev.read_to_vec(&mut clock, 0, 1).unwrap();
+        dev.read_to_vec(&mut clock, 1, 1).unwrap();
+        dev.read_to_vec(&mut clock, 0, 1).unwrap(); // touch 0: LRU is now 1
+        dev.read_to_vec(&mut clock, 2, 1).unwrap(); // evicts 1
         assert_eq!(dev.stats().evictions, 1);
         clock.reset();
-        dev.read_to_vec(&mut clock, 0, 1); // still resident
+        dev.read_to_vec(&mut clock, 0, 1).unwrap(); // still resident
         assert_eq!(clock.io_time(), 0.0);
-        dev.read_to_vec(&mut clock, 1, 1); // was evicted
+        dev.read_to_vec(&mut clock, 1, 1).unwrap(); // was evicted
         assert!(clock.io_time() > 0.0);
     }
 
     #[test]
     fn writes_update_resident_frames() {
         let (mut dev, mut clock) = setup(4);
-        dev.append(&mut clock, &[0u8; 64 * 2]);
-        dev.read_to_vec(&mut clock, 0, 1);
-        dev.write_blocks(&mut clock, 0, &[0xEEu8; 64]);
+        dev.append(&mut clock, &[0u8; 64 * 2]).unwrap();
+        dev.read_to_vec(&mut clock, 0, 1).unwrap();
+        dev.write_blocks(&mut clock, 0, &[0xEEu8; 64]).unwrap();
         clock.reset();
-        let got = dev.read_to_vec(&mut clock, 0, 1);
+        let got = dev.read_to_vec(&mut clock, 0, 1).unwrap();
         assert_eq!(got, vec![0xEEu8; 64]);
         assert_eq!(clock.io_time(), 0.0, "served from the updated frame");
     }
@@ -415,8 +419,8 @@ mod tests {
         let mut c2 = SimClock::new(DiskModel::default(), CpuModel::free());
         for i in 0..10u8 {
             let data = vec![i; 32];
-            plain.append(&mut c2, &data);
-            cached.append(&mut clock, &data);
+            plain.append(&mut c2, &data).unwrap();
+            cached.append(&mut clock, &data).unwrap();
         }
         for step in 0..50u64 {
             let b = (step * 7) % 10;
@@ -427,8 +431,8 @@ mod tests {
             );
             if step % 3 == 0 {
                 let data = vec![(step % 251) as u8; 32];
-                plain.write_blocks(&mut c2, b, &data);
-                cached.write_blocks(&mut clock, b, &data);
+                plain.write_blocks(&mut c2, b, &data).unwrap();
+                cached.write_blocks(&mut clock, b, &data).unwrap();
             }
         }
         // The cached device must have paid no more than the plain one.
@@ -438,13 +442,13 @@ mod tests {
     #[test]
     fn clear_forgets_everything() {
         let (mut dev, mut clock) = setup(4);
-        dev.append(&mut clock, &[3u8; 64]);
-        dev.read_to_vec(&mut clock, 0, 1);
+        dev.append(&mut clock, &[3u8; 64]).unwrap();
+        dev.read_to_vec(&mut clock, 0, 1).unwrap();
         assert!(dev.resident() > 0);
         dev.clear();
         assert_eq!(dev.resident(), 0);
         clock.reset();
-        dev.read_to_vec(&mut clock, 0, 1);
+        dev.read_to_vec(&mut clock, 0, 1).unwrap();
         assert!(clock.io_time() > 0.0);
     }
 
@@ -452,10 +456,10 @@ mod tests {
     fn sharded_capacity_is_preserved_and_bounded() {
         let (mut dev, mut clock) = setup(640); // 10 shards of 64
         assert_eq!(dev.capacity(), 640);
-        dev.append(&mut clock, &vec![5u8; 64 * 1000]);
+        dev.append(&mut clock, &vec![5u8; 64 * 1000]).unwrap();
         dev.clear();
         for b in 0..1000u64 {
-            dev.read_to_vec(&mut clock, b, 1);
+            dev.read_to_vec(&mut clock, b, 1).unwrap();
         }
         assert!(dev.resident() <= 640, "resident {}", dev.resident());
         assert!(dev.stats().evictions > 0);
@@ -466,7 +470,7 @@ mod tests {
         let mut dev = CachedDevice::new(Box::new(MemDevice::new(64)), 256);
         let mut clock = SimClock::new(DiskModel::default(), CpuModel::free());
         for i in 0..64u64 {
-            dev.append(&mut clock, &[(i % 251) as u8; 64]);
+            dev.append(&mut clock, &[(i % 251) as u8; 64]).unwrap();
         }
         let dev = &dev;
         std::thread::scope(|s| {
@@ -475,7 +479,7 @@ mod tests {
                     let mut c = SimClock::new(DiskModel::default(), CpuModel::free());
                     for round in 0..200u64 {
                         let b = (round * 13 + t * 7) % 64;
-                        let got = dev.read_to_vec(&mut c, b, 1);
+                        let got = dev.read_to_vec(&mut c, b, 1).unwrap();
                         assert_eq!(got, vec![(b % 251) as u8; 64], "block {b}");
                     }
                 });

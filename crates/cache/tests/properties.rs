@@ -34,8 +34,8 @@ proptest! {
         let mut cc = clock();
         // Both devices start with 8 seeded blocks.
         for i in 0..8u8 {
-            plain.append(&mut pc, &[i; BS]);
-            cached.append(&mut cc, &[i; BS]);
+            plain.append(&mut pc, &[i; BS]).unwrap();
+            cached.append(&mut cc, &[i; BS]).unwrap();
         }
         for (op, block, len, fill) in ops {
             let nblocks = plain.num_blocks();
@@ -44,8 +44,8 @@ proptest! {
                     let start = block % nblocks;
                     let len = len.min(nblocks - start);
                     prop_assert_eq!(
-                        plain.read_to_vec(&mut pc, start, len),
-                        cached.read_to_vec(&mut cc, start, len),
+                        plain.read_to_vec(&mut pc, start, len).unwrap(),
+                        cached.read_to_vec(&mut cc, start, len).unwrap(),
                         "read [{}, {}) diverged", start, start + len
                     );
                 }
@@ -53,13 +53,13 @@ proptest! {
                     let start = block % nblocks;
                     let len = len.min(nblocks - start);
                     let data = vec![fill; len as usize * BS];
-                    plain.write_blocks(&mut pc, start, &data);
-                    cached.write_blocks(&mut cc, start, &data);
+                    plain.write_blocks(&mut pc, start, &data).unwrap();
+                    cached.write_blocks(&mut cc, start, &data).unwrap();
                 }
                 _ => {
                     let data = vec![fill; len as usize * BS];
-                    plain.append(&mut pc, &data);
-                    cached.append(&mut cc, &data);
+                    plain.append(&mut pc, &data).unwrap();
+                    cached.append(&mut cc, &data).unwrap();
                 }
             }
             prop_assert_eq!(plain.num_blocks(), cached.num_blocks());
@@ -67,8 +67,8 @@ proptest! {
         // Final sweep: every block identical.
         let n = plain.num_blocks();
         prop_assert_eq!(
-            plain.read_to_vec(&mut pc, 0, n),
-            cached.read_to_vec(&mut cc, 0, n)
+            plain.read_to_vec(&mut pc, 0, n).unwrap(),
+            cached.read_to_vec(&mut cc, 0, n).unwrap()
         );
         // The cache can only save simulated time, never add it.
         prop_assert!(cc.io_time() <= pc.io_time(),
@@ -81,13 +81,13 @@ proptest! {
         let mut dev = CachedDevice::new(Box::new(MemDevice::new(BS)), 16);
         let mut c = clock();
         for i in 0..16u8 {
-            dev.append(&mut c, &[i; BS]);
+            dev.append(&mut c, &[i; BS]).unwrap();
         }
         dev.clear(); // cold pool, warm contents
         let len = len.min(16 - start);
-        let first = dev.read_to_vec(&mut c, start, len);
+        let first = dev.read_to_vec(&mut c, start, len).unwrap();
         c.reset();
-        let again = dev.read_to_vec(&mut c, start, len);
+        let again = dev.read_to_vec(&mut c, start, len).unwrap();
         prop_assert_eq!(first, again);
         prop_assert_eq!(c.io_time(), 0.0);
         prop_assert_eq!(c.stats().seeks, 0);

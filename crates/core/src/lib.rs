@@ -24,12 +24,15 @@ pub mod maintain;
 pub mod persist;
 pub mod search;
 pub mod update;
+pub mod verify;
 
 use build::{optimize_partitions, OptimizeTrace, SolutionPage};
 use iq_cost::{DirectoryParams, RefineParams};
 use iq_geometry::{bulk_partition, Dataset, Mbr, Metric};
 use iq_quantize::{ExactPageCodec, QuantizedPageCodec, EXACT_BITS};
-use iq_storage::{BlockDevice, SimClock};
+use iq_storage::{
+    read_to_vec_retry, BlockDevice, ChecksummedDevice, IqResult, RetryPolicy, SimClock,
+};
 
 /// Construction and search options.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +52,10 @@ pub struct IqTreeOptions {
     /// default) keeps the paper's cold-query cost model: every block
     /// access pays the disk.
     pub cache_blocks: Option<usize>,
+    /// Retry budget for transient device faults on the read path. The
+    /// default retries a few times with exponential backoff;
+    /// [`RetryPolicy::none`] makes any fault surface immediately.
+    pub retry: RetryPolicy,
 }
 
 impl Default for IqTreeOptions {
@@ -58,12 +65,18 @@ impl Default for IqTreeOptions {
             scheduled_io: true,
             fractal_dim: None,
             cache_blocks: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-/// Wraps a device in a buffer pool when the options ask for one.
-fn maybe_cache(dev: Box<dyn BlockDevice>, cache_blocks: Option<usize>) -> Box<dyn BlockDevice> {
+/// Wraps a raw device in the stack every level file lives behind: a
+/// [`ChecksummedDevice`] verifying a per-block CRC32 on every read
+/// (innermost, so cached frames always hold verified bytes), then an
+/// optional buffer pool. Callers see the *logical* block size — the
+/// physical one minus the checksum trailer.
+fn wrap_device(dev: Box<dyn BlockDevice>, cache_blocks: Option<usize>) -> Box<dyn BlockDevice> {
+    let dev: Box<dyn BlockDevice> = Box::new(ChecksummedDevice::new(dev));
     match cache_blocks {
         Some(frames) => Box::new(iq_cache::CachedDevice::new(dev, frames)),
         None => dev,
@@ -195,9 +208,9 @@ impl IqTree {
     ) -> Self {
         assert!(!ds.is_empty(), "cannot build an IQ-tree over an empty set");
         let dim = ds.dim();
-        let dir = maybe_cache(make_dev(), opts.cache_blocks);
-        let quant = maybe_cache(make_dev(), opts.cache_blocks);
-        let exact = maybe_cache(make_dev(), opts.cache_blocks);
+        let dir = wrap_device(make_dev(), opts.cache_blocks);
+        let quant = wrap_device(make_dev(), opts.cache_blocks);
+        let exact = wrap_device(make_dev(), opts.cache_blocks);
         assert!(
             dir.block_size() == quant.block_size() && quant.block_size() == exact.block_size(),
             "all three files must share one block size"
@@ -258,12 +271,17 @@ impl IqTree {
                     .iter()
                     .map(|&row| (external(row), ds.point(row as usize))),
             );
-            let quant_block = self.quant.append(clock, &quant_bytes);
+            let quant_block = self
+                .quant
+                .append(clock, &quant_bytes)
+                .expect("append quantized page");
             let (exact_start, exact_blocks) = if page.g < EXACT_BITS {
-                let bytes = self
-                    .exact_codec
-                    .encode(page.ids.iter().map(|&id| ds.point(id as usize)));
-                let start = self.exact.append(clock, &bytes);
+                let bytes = self.exact_codec.encode(
+                    page.ids
+                        .iter()
+                        .map(|&row| (external(row), ds.point(row as usize))),
+                );
+                let start = self.exact.append(clock, &bytes).expect("append exact page");
                 (start, bytes.len().div_ceil(self.exact.block_size()) as u32)
             } else {
                 (0, 0)
@@ -294,7 +312,33 @@ impl IqTree {
         out.extend_from_slice(&meta.exact_blocks.to_le_bytes());
     }
 
-    /// Rewrites the whole directory file (build time and bulk maintenance).
+    /// The current header state, serialized into logical block 0 of the
+    /// directory file by [`Self::write_superblock`].
+    fn superblock(&self) -> persist::Superblock {
+        persist::Superblock {
+            block_size: self.dir.block_size() as u32,
+            dim: self.dim as u32,
+            metric: self.metric,
+            n_pages: self.pages.len() as u64,
+            n_points: self.n as u64,
+            quant_blocks: self.quant.num_blocks(),
+            exact_blocks: self.exact.num_blocks(),
+            dir_crc: iq_storage::crc32(&self.dir_bytes),
+        }
+    }
+
+    /// Writes the superblock. Always called *after* the entry payload it
+    /// describes, so a crash mid-update leaves a header that at worst
+    /// fails its CRC check instead of one pointing at unwritten entries.
+    fn write_superblock(&mut self, clock: &mut SimClock) {
+        let block = self.superblock().encode(self.dir.block_size());
+        self.dir
+            .write_blocks(clock, 0, &block)
+            .expect("write superblock");
+    }
+
+    /// Rewrites the whole directory file (build time and bulk maintenance):
+    /// entry payload in logical blocks 1.., then the superblock.
     fn rewrite_directory(&mut self, clock: &mut SimClock) {
         let mut bytes = Vec::with_capacity(self.pages.len() * dir_entry_bytes(self.dim));
         let pages = std::mem::take(&mut self.pages);
@@ -304,21 +348,31 @@ impl IqTree {
         self.pages = pages;
         let bs = self.dir.block_size();
         bytes.resize(bytes.len().div_ceil(bs) * bs, 0);
-        if self.dir.num_blocks() as usize * bs >= bytes.len() && !bytes.is_empty() {
-            self.dir.write_blocks(clock, 0, &bytes);
-        } else {
-            // Grow: append the tail (device files only grow).
-            let existing = self.dir.num_blocks() as usize * bs;
-            if existing > 0 {
-                self.dir.write_blocks(clock, 0, &bytes[..existing]);
-            }
-            self.dir.append(clock, &bytes[existing..]);
+        if self.dir.num_blocks() == 0 {
+            // Fresh file: reserve block 0 for the superblock.
+            self.dir
+                .append(clock, &vec![0u8; bs])
+                .expect("reserve superblock");
+        }
+        let have = (self.dir.num_blocks() as usize - 1) * bs;
+        let split = have.min(bytes.len());
+        if split > 0 {
+            self.dir
+                .write_blocks(clock, 1, &bytes[..split])
+                .expect("rewrite directory");
+        }
+        if split < bytes.len() {
+            self.dir
+                .append(clock, &bytes[split..])
+                .expect("grow directory");
         }
         self.dir_bytes = bytes;
+        self.write_superblock(clock);
     }
 
-    /// Updates the serialized directory for entry `idx` and writes the
-    /// touched block(s).
+    /// Updates the serialized directory for entry `idx`, writes the
+    /// touched block(s) and refreshes the superblock (whose point count
+    /// and payload CRC change with every patch).
     fn patch_dir_entry(&mut self, clock: &mut SimClock, idx: usize) {
         let eb = dir_entry_bytes(self.dim);
         let bs = self.dir.block_size();
@@ -336,8 +390,11 @@ impl IqTree {
         let last_block = (start_byte + eb - 1) / bs;
         let lo = first_block * bs;
         let hi = ((last_block + 1) * bs).min(self.dir_bytes.len());
+        // Entry payload starts at logical block 1.
         self.dir
-            .write_blocks(clock, first_block as u64, &self.dir_bytes[lo..hi]);
+            .write_blocks(clock, first_block as u64 + 1, &self.dir_bytes[lo..hi])
+            .expect("patch directory entry");
+        self.write_superblock(clock);
     }
 
     /// Dimensionality of the indexed points.
@@ -454,6 +511,10 @@ impl IqTree {
         &self.dir_params
     }
 
+    pub(crate) fn retry(&self) -> &RetryPolicy {
+        &self.opts.retry
+    }
+
     pub(crate) fn quant_dev(&self) -> &dyn BlockDevice {
         self.quant.as_ref()
     }
@@ -495,37 +556,61 @@ impl IqTree {
     pub(crate) fn charge_directory_scan(&self, clock: &mut SimClock) {
         let nblocks = self.dir.num_blocks();
         if nblocks > 0 {
-            // One sequential sweep.
-            let _ = self.dir.read_to_vec(clock, 0, nblocks);
+            // One sequential sweep. The in-memory directory is
+            // authoritative after open, so a corrupt block here only
+            // surfaces in the clock's corruption statistics.
+            let _ = read_to_vec_retry(self.dir.as_ref(), clock, 0, nblocks, &self.opts.retry);
         }
         clock.charge_dist_evals(self.dim, self.pages.len() as u64);
     }
 
     /// Reads and decodes the exact coordinates of the point at `slot`
     /// within page `page_idx` (a refinement: random access into the
-    /// third-level file).
-    pub(crate) fn read_exact_point(
+    /// third-level file, retried on transient faults).
+    pub(crate) fn try_read_exact_point(
         &self,
         clock: &mut SimClock,
         page_idx: usize,
         slot: usize,
-    ) -> Vec<f32> {
+    ) -> IqResult<Vec<f32>> {
         let meta = &self.pages[page_idx];
         debug_assert!(meta.g < EXACT_BITS, "exact pages are never refined");
         let bs = self.exact.block_size();
-        let (first, nblocks, off) = self.exact_codec.point_span(slot, bs);
-        let buf = self
-            .exact
-            .read_to_vec(clock, meta.exact_start + first, nblocks);
-        self.exact_codec
-            .decode_point_at(&buf[off..off + self.exact_codec.point_bytes()])
+        let (first, nblocks, off) = self.exact_codec.entry_span(slot, bs);
+        let buf = read_to_vec_retry(
+            self.exact.as_ref(),
+            clock,
+            meta.exact_start + first,
+            nblocks,
+            &self.opts.retry,
+        )?;
+        let (_, coords) = self
+            .exact_codec
+            .try_decode_entry_at(&buf[off..off + self.exact_codec.entry_bytes()])?;
+        Ok(coords)
     }
 
-    /// Reads the full exact region of a page (updates; not used by search).
-    pub(crate) fn read_exact_region(&self, clock: &mut SimClock, page_idx: usize) -> Vec<u8> {
+    /// Reads the full exact region of a page, retried on transient faults.
+    pub(crate) fn try_read_exact_region(
+        &self,
+        clock: &mut SimClock,
+        page_idx: usize,
+    ) -> IqResult<Vec<u8>> {
         let meta = &self.pages[page_idx];
-        self.exact
-            .read_to_vec(clock, meta.exact_start, u64::from(meta.exact_blocks))
+        read_to_vec_retry(
+            self.exact.as_ref(),
+            clock,
+            meta.exact_start,
+            u64::from(meta.exact_blocks),
+            &self.opts.retry,
+        )
+    }
+
+    /// [`Self::try_read_exact_region`] for the update path, which holds
+    /// `&mut self` and treats an unreadable region as fatal.
+    pub(crate) fn read_exact_region(&self, clock: &mut SimClock, page_idx: usize) -> Vec<u8> {
+        self.try_read_exact_region(clock, page_idx)
+            .expect("read exact region")
     }
 }
 
@@ -579,7 +664,10 @@ mod tests {
             row.fill_with(|| 0.5 + rng.gen::<f32>() * 0.01);
             ds.push(&row);
         }
-        let (tree, _) = build_tree(&ds, IqTreeOptions::default(), 512);
+        // Physical 516-byte blocks leave a 512-byte logical payload after
+        // the 4-byte per-block checksum, which is what the skew of this
+        // data set needs to make the optimizer mix resolutions.
+        let (tree, _) = build_tree(&ds, IqTreeOptions::default(), 516);
         assert!(
             tree.bits_histogram().len() >= 2,
             "{:?}",
@@ -617,8 +705,10 @@ mod tests {
         let ds = random_ds(1_000, 5, 5);
         let (tree, _) = build_tree(&ds, IqTreeOptions::default(), 512);
         let expect_bytes = tree.num_pages() * dir_entry_bytes(5);
-        let bs = 512;
-        assert_eq!(tree.dir.num_blocks(), expect_bytes.div_ceil(bs) as u64);
+        // Logical block size (the checksum layer keeps 4 bytes per block);
+        // one extra block holds the superblock.
+        let bs = tree.block_size();
+        assert_eq!(tree.dir.num_blocks(), 1 + expect_bytes.div_ceil(bs) as u64);
     }
 
     #[test]

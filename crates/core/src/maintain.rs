@@ -28,7 +28,9 @@ impl IqTree {
                 continue;
             }
             let block = meta.quant_block;
-            let bytes = self.quant_dev().read_to_vec(clock, block, 1);
+            let bytes =
+                iq_storage::read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry())
+                    .expect("read quantized page");
             let decoded = self.codec().decode(&bytes);
             if decoded.bits() == EXACT_BITS {
                 for i in 0..decoded.len() {
@@ -37,14 +39,11 @@ impl IqTree {
                 }
             } else {
                 let region = self.read_exact_region(clock, idx);
-                let pb = self.exact_codec().point_bytes();
                 for i in 0..decoded.len() {
+                    let (id, coords) = self.exact_codec().decode_entry(&region, i);
+                    debug_assert_eq!(id, decoded.id(i), "levels 2 and 3 agree on ids");
                     ids.push(decoded.id(i));
-                    points.push(
-                        &self
-                            .exact_codec()
-                            .decode_point_at(&region[i * pb..(i + 1) * pb]),
-                    );
+                    points.push(&coords);
                 }
             }
         }

@@ -1,32 +1,159 @@
-//! Persistence: reopening an IQ-tree from its three files.
+//! Persistence: the versioned on-disk format and reopening an IQ-tree
+//! from its three files.
 //!
-//! Everything a query needs is on disk: the flat directory encodes, per
-//! page, the exact MBR, resolution, population and the positions of the
-//! quantized block and exact region. [`IqTree::open`] reads the directory
-//! file back and reconstructs the in-memory state, so an index built with
-//! [`FileDevice`]s survives process restarts.
+//! Logical block 0 of the directory file holds the **superblock**: magic,
+//! format version, logical block size, dimension, metric, page and point
+//! counts, the lengths of the other two level files and a CRC32 over the
+//! directory entry payload (which starts at logical block 1). Every block
+//! of every file additionally carries a per-block CRC32 maintained by
+//! [`ChecksummedDevice`], verified on every read.
 //!
+//! [`IqTree::open`] validates all of it and returns a typed [`IqError`]
+//! instead of panicking: a truncated file, a version from the future, a
+//! flipped bit in the directory or metadata that disagrees with the files
+//! it describes all surface as distinct, inspectable errors.
+//!
+//! [`ChecksummedDevice`]: iq_storage::ChecksummedDevice
 //! [`FileDevice`]: iq_storage::FileDevice
 
 use crate::{dir_entry_bytes, IqTree, IqTreeOptions, PageMeta};
 use iq_cost::{DirectoryParams, RefineParams};
 use iq_geometry::{Mbr, Metric};
-use iq_quantize::{ExactPageCodec, QuantizedPageCodec};
-use iq_storage::{BlockDevice, SimClock};
+use iq_quantize::{ExactPageCodec, QuantizedPageCodec, EXACT_BITS};
+use iq_storage::{crc32, read_to_vec_retry, BlockDevice, IqError, IqResult, SimClock};
+
+/// File magic at the start of the superblock.
+pub const SUPERBLOCK_MAGIC: [u8; 8] = *b"IQTRIDX\0";
+
+/// Current on-disk format version. Version 1 was the headerless,
+/// unchecksummed layout; version 2 added the superblock, per-block CRCs
+/// and id-prefixed exact entries.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Serialized size of the superblock payload.
+const SUPERBLOCK_BYTES: usize = 8 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
+
+fn metric_code(metric: Metric) -> u8 {
+    match metric {
+        Metric::Euclidean => 0,
+        Metric::Maximum => 1,
+        Metric::Manhattan => 2,
+    }
+}
+
+fn metric_from_code(code: u8) -> Option<Metric> {
+    match code {
+        0 => Some(Metric::Euclidean),
+        1 => Some(Metric::Maximum),
+        2 => Some(Metric::Manhattan),
+        _ => None,
+    }
+}
+
+/// The decoded header in logical block 0 of the directory file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Superblock {
+    /// Logical block size all three files share.
+    pub block_size: u32,
+    /// Dimensionality of the indexed points.
+    pub dim: u32,
+    /// Metric the index was built for.
+    pub metric: Metric,
+    /// Number of directory entries (= quantized pages).
+    pub n_pages: u64,
+    /// Total number of indexed points.
+    pub n_points: u64,
+    /// Length of the quantized (level-2) file in logical blocks.
+    pub quant_blocks: u64,
+    /// Length of the exact (level-3) file in logical blocks.
+    pub exact_blocks: u64,
+    /// CRC32 over the directory entry payload (blocks 1..).
+    pub dir_crc: u32,
+}
+
+impl Superblock {
+    /// Serializes into one logical block of `bs` bytes (zero-padded).
+    pub fn encode(&self, bs: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bs);
+        out.extend_from_slice(&SUPERBLOCK_MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.block_size.to_le_bytes());
+        out.extend_from_slice(&self.dim.to_le_bytes());
+        out.extend_from_slice(&u32::from(metric_code(self.metric)).to_le_bytes());
+        out.extend_from_slice(&self.n_pages.to_le_bytes());
+        out.extend_from_slice(&self.n_points.to_le_bytes());
+        out.extend_from_slice(&self.quant_blocks.to_le_bytes());
+        out.extend_from_slice(&self.exact_blocks.to_le_bytes());
+        out.extend_from_slice(&self.dir_crc.to_le_bytes());
+        debug_assert_eq!(out.len(), SUPERBLOCK_BYTES);
+        assert!(out.len() <= bs, "block size {bs} too small for superblock");
+        out.resize(bs, 0);
+        out
+    }
+
+    /// Decodes and validates a superblock from the bytes of logical
+    /// block 0 (magic, version and metric code are checked; everything
+    /// else is the caller's to cross-check against the actual files).
+    pub fn decode(block: &[u8]) -> IqResult<Self> {
+        if block.len() < SUPERBLOCK_BYTES {
+            return Err(IqError::Superblock {
+                detail: format!(
+                    "block of {} bytes cannot hold a {SUPERBLOCK_BYTES}-byte superblock",
+                    block.len()
+                ),
+            });
+        }
+        if block[..8] != SUPERBLOCK_MAGIC {
+            return Err(IqError::Superblock {
+                detail: format!("bad magic {:02x?} (not an IQ-tree index)", &block[..8]),
+            });
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(block[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(block[o..o + 8].try_into().expect("8 bytes"));
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(IqError::Version {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let metric_raw = u32_at(20);
+        let metric = u8::try_from(metric_raw)
+            .ok()
+            .and_then(metric_from_code)
+            .ok_or_else(|| IqError::Superblock {
+                detail: format!("unknown metric code {metric_raw}"),
+            })?;
+        Ok(Self {
+            block_size: u32_at(12),
+            dim: u32_at(16),
+            metric,
+            n_pages: u64_at(24),
+            n_points: u64_at(32),
+            quant_blocks: u64_at(40),
+            exact_blocks: u64_at(48),
+            dir_crc: u32_at(56),
+        })
+    }
+}
+
+fn superblock_err(detail: String) -> IqError {
+    IqError::Superblock { detail }
+}
 
 impl IqTree {
     /// Opens an IQ-tree whose three files already exist (e.g. created by a
     /// previous [`IqTree::build`] against [`FileDevice`]s).
     ///
-    /// The directory file is read sequentially (charged to `clock`); the
-    /// entry count is derived from the quantized file's length — every
-    /// quantized page has exactly one directory entry. When
-    /// `opts.cache_blocks` is set, each device is wrapped in a buffer pool
-    /// exactly as [`IqTree::build`] would.
-    ///
-    /// # Panics
-    /// Panics if the devices disagree on block size or the directory is
-    /// inconsistent with the quantized file.
+    /// The superblock is read from logical block 0 of the directory file
+    /// and validated against the caller's expectations and the actual file
+    /// lengths; the entry payload (blocks 1..) is then read sequentially,
+    /// CRC-checked as a whole against the superblock and decoded with
+    /// per-entry validation. Any inconsistency — wrong magic, a format
+    /// version from the future, a failed block or payload checksum, an
+    /// entry pointing outside its file — is returned as the matching
+    /// [`IqError`] variant. When `opts.cache_blocks` is set, each device
+    /// is wrapped in a buffer pool exactly as [`IqTree::build`] would.
     ///
     /// [`FileDevice`]: iq_storage::FileDevice
     pub fn open(
@@ -37,27 +164,82 @@ impl IqTree {
         quant: Box<dyn BlockDevice>,
         exact: Box<dyn BlockDevice>,
         clock: &mut SimClock,
-    ) -> Self {
-        let dir = crate::maybe_cache(dir, opts.cache_blocks);
-        let quant = crate::maybe_cache(quant, opts.cache_blocks);
-        let exact = crate::maybe_cache(exact, opts.cache_blocks);
-        assert!(
-            dir.block_size() == quant.block_size() && quant.block_size() == exact.block_size(),
-            "all three files must share one block size"
-        );
-        let n_pages = quant.num_blocks() as usize;
+    ) -> IqResult<Self> {
+        let dir = crate::wrap_device(dir, opts.cache_blocks);
+        let quant = crate::wrap_device(quant, opts.cache_blocks);
+        let exact = crate::wrap_device(exact, opts.cache_blocks);
+        let bs = dir.block_size();
+        if quant.block_size() != bs || exact.block_size() != bs {
+            return Err(superblock_err(format!(
+                "level files disagree on block size: dir {bs}, quant {}, exact {}",
+                quant.block_size(),
+                exact.block_size()
+            )));
+        }
+        if dir.num_blocks() == 0 {
+            return Err(superblock_err(
+                "directory file is empty (no superblock)".into(),
+            ));
+        }
+        let sb_block = read_to_vec_retry(dir.as_ref(), clock, 0, 1, &opts.retry)?;
+        let sb = Superblock::decode(&sb_block)?;
+        if sb.block_size as usize != bs {
+            return Err(superblock_err(format!(
+                "superblock records block size {}, device uses {bs}",
+                sb.block_size
+            )));
+        }
+        if sb.dim as usize != dim {
+            return Err(superblock_err(format!(
+                "superblock records dimension {}, caller expects {dim}",
+                sb.dim
+            )));
+        }
+        if sb.metric != metric {
+            return Err(superblock_err(format!(
+                "superblock records metric {:?}, caller expects {metric:?}",
+                sb.metric
+            )));
+        }
+        if sb.quant_blocks != quant.num_blocks() {
+            return Err(superblock_err(format!(
+                "superblock records {} quantized blocks, file has {}",
+                sb.quant_blocks,
+                quant.num_blocks()
+            )));
+        }
+        if sb.exact_blocks > exact.num_blocks() {
+            return Err(superblock_err(format!(
+                "superblock records {} exact blocks, file has only {}",
+                sb.exact_blocks,
+                exact.num_blocks()
+            )));
+        }
+
+        let n_pages = sb.n_pages as usize;
         let eb = dir_entry_bytes(dim);
-        let dir_blocks = dir.num_blocks();
-        assert!(
-            dir_blocks as usize * dir.block_size() >= n_pages * eb,
-            "directory file too short for {n_pages} pages"
-        );
-        let dir_bytes = if dir_blocks > 0 {
-            dir.read_to_vec(clock, 0, dir_blocks)
+        let payload_blocks = (n_pages * eb).div_ceil(bs) as u64;
+        if dir.num_blocks() < 1 + payload_blocks {
+            return Err(superblock_err(format!(
+                "directory file too short: {} blocks for {n_pages} pages",
+                dir.num_blocks()
+            )));
+        }
+        let dir_bytes = if payload_blocks > 0 {
+            read_to_vec_retry(dir.as_ref(), clock, 1, payload_blocks, &opts.retry)?
         } else {
             Vec::new()
         };
+        let computed = crc32(&dir_bytes);
+        if computed != sb.dir_crc {
+            return Err(IqError::ChecksumMismatch {
+                block: 1,
+                stored: sb.dir_crc,
+                computed,
+            });
+        }
 
+        let codec = QuantizedPageCodec::new(dim, bs);
         let mut pages = Vec::with_capacity(n_pages);
         let mut n = 0usize;
         for e in 0..n_pages {
@@ -73,10 +255,34 @@ impl IqTree {
             let quant_block = u64::from_le_bytes(tail[8..16].try_into().expect("8 bytes"));
             let exact_start = u64::from_le_bytes(tail[16..24].try_into().expect("8 bytes"));
             let exact_blocks = u32::from_le_bytes(tail[24..28].try_into().expect("4 bytes"));
-            assert!(
-                (1..=32).contains(&g),
-                "corrupt directory entry {e}: g = {g}"
-            );
+            if !(1..=EXACT_BITS).contains(&g) {
+                return Err(IqError::Decode {
+                    detail: format!("directory entry {e}: resolution g = {g} outside 1..=32"),
+                });
+            }
+            if count as usize > codec.capacity(g) {
+                return Err(IqError::Decode {
+                    detail: format!(
+                        "directory entry {e}: {count} points exceed page capacity at {g} bits"
+                    ),
+                });
+            }
+            if quant_block >= sb.quant_blocks {
+                return Err(IqError::Decode {
+                    detail: format!(
+                        "directory entry {e}: quantized block {quant_block} outside file of {} blocks",
+                        sb.quant_blocks
+                    ),
+                });
+            }
+            if g < EXACT_BITS && exact_start + u64::from(exact_blocks) > sb.exact_blocks {
+                return Err(IqError::Decode {
+                    detail: format!(
+                        "directory entry {e}: exact region [{exact_start}, +{exact_blocks}) outside file of {} blocks",
+                        sb.exact_blocks
+                    ),
+                });
+            }
             n += count as usize;
             pages.push(PageMeta {
                 mbr: Mbr::from_bounds(lb, ub),
@@ -87,15 +293,21 @@ impl IqTree {
                 exact_blocks,
             });
         }
+        if n as u64 != sb.n_points {
+            return Err(superblock_err(format!(
+                "superblock records {} points, directory entries sum to {n}",
+                sb.n_points
+            )));
+        }
 
         let fractal = opts.fractal_dim.unwrap_or(dim as f64);
         let mut dir_params = DirectoryParams::new(metric, dim, fractal, n.max(1));
         dir_params.dir_entry_bytes = eb;
-        Self {
+        Ok(Self {
             dim,
             metric,
             opts,
-            codec: QuantizedPageCodec::new(dim, quant.block_size()),
+            codec,
             exact_codec: ExactPageCodec::new(dim),
             dir,
             quant,
@@ -107,7 +319,7 @@ impl IqTree {
             dir_params,
             trace: Default::default(),
             wasted_exact_blocks: 0,
-        }
+        })
     }
 }
 
@@ -131,6 +343,49 @@ mod tests {
         } else {
             FileDevice::open(&path, 1024).expect("open")
         })
+    }
+
+    #[test]
+    fn superblock_roundtrips() {
+        let sb = Superblock {
+            block_size: 1020,
+            dim: 7,
+            metric: Metric::Manhattan,
+            n_pages: 41,
+            n_points: 12_345,
+            quant_blocks: 41,
+            exact_blocks: 99,
+            dir_crc: 0xDEAD_BEEF,
+        };
+        let block = sb.encode(1020);
+        assert_eq!(block.len(), 1020);
+        assert_eq!(Superblock::decode(&block).expect("valid"), sb);
+    }
+
+    #[test]
+    fn superblock_rejects_bad_magic_and_future_version() {
+        let sb = Superblock {
+            block_size: 508,
+            dim: 2,
+            metric: Metric::Euclidean,
+            n_pages: 1,
+            n_points: 1,
+            quant_blocks: 1,
+            exact_blocks: 0,
+            dir_crc: 0,
+        };
+        let mut block = sb.encode(508);
+        block[0] ^= 0xFF;
+        assert!(matches!(
+            Superblock::decode(&block),
+            Err(IqError::Superblock { .. })
+        ));
+        let mut block = sb.encode(508);
+        block[8] = 0xFE; // version 254
+        assert!(matches!(
+            Superblock::decode(&block),
+            Err(IqError::Version { found: 254, .. })
+        ));
     }
 
     #[test]
@@ -161,11 +416,61 @@ mod tests {
             file_dev(&dir, "quant.bin", false),
             file_dev(&dir, "exact.bin", false),
             &mut clock,
-        );
+        )
+        .expect("clean index opens");
         assert_eq!(reopened.len(), 2_000);
         assert_eq!(reopened.num_pages(), pages_before);
         let got = reopened.knn(&mut clock, &q, 5);
         assert_eq!(got, expect);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn open_rejects_wrong_expectations() {
+        let dir = temp_dir("mismatch");
+        let ds = random_ds(300, 4, 93);
+        let mut clock = SimClock::default();
+        let names = ["d.bin", "q.bin", "e.bin"];
+        let mut it = names.iter();
+        let tree = IqTree::build(
+            &ds,
+            Metric::Euclidean,
+            IqTreeOptions::default(),
+            || file_dev(&dir, it.next().expect("three"), true),
+            &mut clock,
+        );
+        drop(tree);
+        let reopen = |dim, metric, clock: &mut SimClock| {
+            IqTree::open(
+                dim,
+                metric,
+                IqTreeOptions::default(),
+                file_dev(&dir, "d.bin", false),
+                file_dev(&dir, "q.bin", false),
+                file_dev(&dir, "e.bin", false),
+                clock,
+            )
+        };
+        // Wrong dimension and wrong metric are both refused.
+        assert!(matches!(
+            reopen(5, Metric::Euclidean, &mut clock),
+            Err(IqError::Superblock { .. })
+        ));
+        assert!(matches!(
+            reopen(4, Metric::Maximum, &mut clock),
+            Err(IqError::Superblock { .. })
+        ));
+        // A quantized file that is not the index's quantized file.
+        let bogus = IqTree::open(
+            4,
+            Metric::Euclidean,
+            IqTreeOptions::default(),
+            file_dev(&dir, "d.bin", false),
+            file_dev(&dir, "e.bin", false),
+            file_dev(&dir, "e.bin", false),
+            &mut clock,
+        );
+        assert!(bogus.is_err());
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
@@ -192,7 +497,8 @@ mod tests {
             file_dev(&dir, "q.bin", false),
             file_dev(&dir, "e.bin", false),
             &mut clock,
-        );
+        )
+        .expect("clean index opens");
         let p = [0.9f32, 0.8, 0.7, 0.6];
         reopened.insert(&mut clock, 12_345, &p);
         assert_eq!(

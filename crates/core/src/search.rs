@@ -18,7 +18,7 @@
 use crate::{IqTree, PageMeta};
 use iq_cost::access_prob::fraction_in_ball;
 use iq_quantize::{GridQuantizer, EXACT_BITS};
-use iq_storage::{fetch, SimClock};
+use iq_storage::{fetch, read_to_vec_retry, SimClock};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -66,6 +66,30 @@ pub struct QueryTrace {
     pub refinements: u64,
     /// Point approximations that entered the priority list.
     pub approx_enqueued: u64,
+    /// Quantized blocks that failed verification or decoding and were
+    /// answered from the page's exact (level-3) region instead.
+    pub quant_fallbacks: u64,
+    /// Pages lost entirely (corrupt level-2 block with no readable exact
+    /// backing): their points are missing from the result.
+    pub pages_lost: u64,
+    /// Individual refinements skipped because the exact entry stayed
+    /// unreadable after retries.
+    pub points_skipped: u64,
+}
+
+impl QueryTrace {
+    /// Whether any corruption degraded this query's result or cost
+    /// (fallbacks recover full precision; lost pages and skipped points
+    /// mean the result may be partial).
+    pub fn degraded(&self) -> bool {
+        self.quant_fallbacks > 0 || self.pages_lost > 0 || self.points_skipped > 0
+    }
+
+    /// Whether the result is possibly missing points (as opposed to merely
+    /// having cost more to compute).
+    pub fn partial(&self) -> bool {
+        self.pages_lost > 0 || self.points_skipped > 0
+    }
 }
 
 /// Per-query working state.
@@ -238,11 +262,17 @@ impl IqTree {
                 }
                 Item::Point(page, slot, id) => {
                     // Refinement: unavoidable once the approximation is the
-                    // pivot (Section 3.2).
-                    let coords = self.read_exact_point(clock, page as usize, slot as usize);
-                    clock.charge_dist_evals(self.dim(), 1);
-                    st.trace.refinements += 1;
-                    st.offer(metric.distance_key(&coords, q), id);
+                    // pivot (Section 3.2). An entry that stays unreadable
+                    // after retries is skipped (and counted): the query
+                    // completes on the remaining points.
+                    match self.try_read_exact_point(clock, page as usize, slot as usize) {
+                        Ok(coords) => {
+                            clock.charge_dist_evals(self.dim(), 1);
+                            st.trace.refinements += 1;
+                            st.offer(metric.distance_key(&coords, q), id);
+                        }
+                        Err(_) => st.trace.points_skipped += 1,
+                    }
                 }
             }
         }
@@ -255,7 +285,9 @@ impl IqTree {
         (results, st.trace)
     }
 
-    /// Loads exactly one page (the "standard NN search" ablation).
+    /// Loads exactly one page (the "standard NN search" ablation, and the
+    /// degraded path when a sweep fails). Transient faults are retried; a
+    /// block that stays unreadable falls back to the exact region.
     fn process_single_page(
         &self,
         clock: &mut SimClock,
@@ -265,10 +297,12 @@ impl IqTree {
         heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
     ) {
         let block = self.pages()[p].quant_block;
-        let buf = self.quant_dev().read_to_vec(clock, block, 1);
         st.processed[p] = true;
         st.trace.runs += 1;
-        self.consume_page_bytes(clock, q, p, &buf, st, heap);
+        match read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()) {
+            Ok(buf) => self.consume_page_bytes(clock, q, p, &buf, st, heap),
+            Err(_) => self.fallback_page(clock, q, p, st),
+        }
     }
 
     /// The time-optimized strategy: extend the read around the pivot while
@@ -352,21 +386,38 @@ impl IqTree {
         }
 
         // One sequential sweep over [first, last] (pages are laid out in
-        // index order in the quantized file).
-        let start_block = self.pages()[first].quant_block;
-        let run_len = (last - first + 1) as u64;
-        let buf = self.quant_dev().read_to_vec(clock, start_block, run_len);
-        st.trace.runs += 1;
-        let bs = buf.len() / run_len as usize;
-        // Process the loaded pages in MINDIST order, not disk order: the
-        // nearest page tightens the pruning bound first, letting the rest
-        // of the run be skipped or decoded against a finite bound.
+        // index order in the quantized file). Process the loaded pages in
+        // MINDIST order, not disk order: the nearest page tightens the
+        // pruning bound first, letting the rest of the run be skipped or
+        // decoded against a finite bound.
         let mut members: Vec<usize> = (first..=last).filter(|&p| !st.processed[p]).collect();
         members.sort_by(|&a, &b| {
             st.page_key[a]
                 .partial_cmp(&st.page_key[b])
                 .expect("keys are never NaN")
         });
+        let start_block = self.pages()[first].quant_block;
+        let run_len = (last - first + 1) as u64;
+        let buf =
+            match read_to_vec_retry(self.quant_dev(), clock, start_block, run_len, self.retry()) {
+                Ok(buf) => buf,
+                Err(_) => {
+                    // One corrupt block poisons the whole ranged read: degrade
+                    // to one page at a time so only the bad page pays the
+                    // fallback, not the entire sweep.
+                    for p in members {
+                        if st.page_key[p] >= st.bound() {
+                            st.processed[p] = true;
+                            st.trace.pages_skipped += 1;
+                            continue;
+                        }
+                        self.process_single_page(clock, q, p, st, heap);
+                    }
+                    return;
+                }
+            };
+        st.trace.runs += 1;
+        let bs = buf.len() / run_len as usize;
         for p in members {
             st.processed[p] = true;
             if st.page_key[p] >= st.bound() {
@@ -392,7 +443,17 @@ impl IqTree {
         heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
     ) {
         let metric = self.metric();
-        let decoded = self.codec().decode(bytes);
+        let decoded = match self.codec().try_decode(bytes) {
+            Ok(d) => d,
+            Err(_) => {
+                // The block read fine (or came from cache) but its payload
+                // is garbage — corruption that slipped past the checksum
+                // layer. Same degradation as an unreadable block.
+                clock.note_corrupt_block();
+                self.fallback_page(clock, q, p, st);
+                return;
+            }
+        };
         clock.charge_dist_evals(self.dim(), decoded.len() as u64);
         st.trace.pages_processed += 1;
         if decoded.bits() == EXACT_BITS {
@@ -417,10 +478,81 @@ impl IqTree {
         }
     }
 
+    /// Degraded path for the k-NN search: the quantized (level-2) block of
+    /// page `p` could not be read or decoded. When the page has an exact
+    /// (level-3) region, answer from it directly — exact rows are
+    /// self-contained `(id, coords)` entries, so the page contributes at
+    /// full precision, just without approximation pruning. Pages quantized
+    /// at 32 bits have no level-3 backing; their points are reported lost.
+    fn fallback_page(&self, clock: &mut SimClock, q: &[f32], p: usize, st: &mut SearchState) {
+        let meta = &self.pages()[p];
+        if meta.g == EXACT_BITS || meta.exact_blocks == 0 {
+            st.trace.pages_lost += 1;
+            return;
+        }
+        let region = match self.try_read_exact_region(clock, p) {
+            Ok(r) => r,
+            Err(_) => {
+                // Both levels unreadable: the page really is gone.
+                st.trace.pages_lost += 1;
+                return;
+            }
+        };
+        st.trace.quant_fallbacks += 1;
+        st.trace.pages_processed += 1;
+        let metric = self.metric();
+        let eb = self.exact_codec().entry_bytes();
+        clock.charge_dist_evals(self.dim(), u64::from(meta.count));
+        for i in 0..meta.count as usize {
+            let Some(bytes) = region.get(i * eb..(i + 1) * eb) else {
+                st.trace.points_skipped += 1;
+                continue;
+            };
+            match self.exact_codec().try_decode_entry_at(bytes) {
+                Ok((id, coords)) => st.offer(metric.distance_key(&coords, q), id),
+                Err(_) => st.trace.points_skipped += 1,
+            }
+        }
+    }
+
+    /// Level-3 fallback for window/range queries: pushes every id in page
+    /// `p`'s exact region whose coordinates satisfy `accept`. Silently
+    /// contributes nothing when the page has no (readable) exact backing —
+    /// the corruption is already visible in the clock's I/O statistics.
+    fn fallback_scan_exact(
+        &self,
+        clock: &mut SimClock,
+        p: usize,
+        out: &mut Vec<u32>,
+        mut accept: impl FnMut(&[f32]) -> bool,
+    ) {
+        let meta = &self.pages()[p];
+        if meta.g == EXACT_BITS || meta.exact_blocks == 0 {
+            return;
+        }
+        let Ok(region) = self.try_read_exact_region(clock, p) else {
+            return;
+        };
+        let eb = self.exact_codec().entry_bytes();
+        clock.charge_dist_evals(self.dim(), u64::from(meta.count));
+        for i in 0..meta.count as usize {
+            let Some(bytes) = region.get(i * eb..(i + 1) * eb) else {
+                continue;
+            };
+            if let Ok((id, coords)) = self.exact_codec().try_decode_entry_at(bytes) {
+                if accept(&coords) {
+                    out.push(id);
+                }
+            }
+        }
+    }
+
     /// Batch-refines a known set of `(page, slot, id)` candidates: plans
     /// one optimal fetch over all exact-file blocks involved (Section 2 —
     /// the positions are known in advance), then verifies each point with
-    /// `accept`. Returns the accepted ids.
+    /// `accept`. Returns the accepted ids. If the planned sweep fails even
+    /// after retries, degrades to one retried read per candidate, skipping
+    /// entries that stay unreadable.
     fn refine_batch(
         &self,
         clock: &mut SimClock,
@@ -428,19 +560,35 @@ impl IqTree {
         mut accept: impl FnMut(&[f32]) -> bool,
     ) -> Vec<u32> {
         let bs = self.block_size();
-        let pb = self.exact_codec().point_bytes();
+        let pb = self.exact_codec().entry_bytes();
         // Every block any candidate touches, in disk order.
         let mut positions: Vec<u64> = Vec::with_capacity(refinements.len() * 2);
         for &(page, slot, _) in refinements {
             let meta = &self.pages()[page];
-            let (first, nblocks, _) = self.exact_codec().point_span(slot, bs);
+            let (first, nblocks, _) = self.exact_codec().entry_span(slot, bs);
             for b in 0..nblocks {
                 positions.push(meta.exact_start + first + b);
             }
         }
         positions.sort_unstable();
         positions.dedup();
-        let fetched = fetch::fetch_blocks(self.exact_dev(), clock, &positions);
+        let fetched = match self.retry().run(clock, |clock| {
+            fetch::fetch_blocks(self.exact_dev(), clock, &positions)
+        }) {
+            Ok(f) => f,
+            Err(_) => {
+                let mut out = Vec::new();
+                for &(page, slot, id) in refinements {
+                    if let Ok(coords) = self.try_read_exact_point(clock, page, slot) {
+                        clock.charge_dist_evals(self.dim(), 1);
+                        if accept(&coords) {
+                            out.push(id);
+                        }
+                    }
+                }
+                return out;
+            }
+        };
         let block_bytes = |pos: u64| -> &[u8] {
             let (run, buf) = fetched
                 .iter()
@@ -453,7 +601,7 @@ impl IqTree {
         let mut point_buf = vec![0u8; pb];
         for &(page, slot, id) in refinements {
             let meta = &self.pages()[page];
-            let (first, nblocks, byte_off) = self.exact_codec().point_span(slot, bs);
+            let (first, nblocks, byte_off) = self.exact_codec().entry_span(slot, bs);
             if nblocks == 1 {
                 let bytes = block_bytes(meta.exact_start + first);
                 point_buf.copy_from_slice(&bytes[byte_off..byte_off + pb]);
@@ -469,7 +617,7 @@ impl IqTree {
                     off = 0;
                 }
             }
-            let coords = self.exact_codec().decode_point_at(&point_buf);
+            let (_, coords) = self.exact_codec().decode_entry_at(&point_buf);
             clock.charge_dist_evals(self.dim(), 1);
             if accept(&coords) {
                 out.push(id);
@@ -503,19 +651,37 @@ impl IqTree {
             .iter()
             .map(|&i| self.pages()[i].quant_block)
             .collect();
-        let fetched = fetch::fetch_blocks(self.quant_dev(), clock, &positions);
+        // A failed sweep (corrupt block in the plan) degrades to one
+        // retried read per page; a page whose block stays unreadable is
+        // answered from its exact region.
+        let fetched = self
+            .retry()
+            .run(clock, |clock| {
+                fetch::fetch_blocks(self.quant_dev(), clock, &positions)
+            })
+            .ok();
         let bs = self.codec().block_size();
         let mut out = Vec::new();
         let mut refinements: Vec<(usize, usize, u32)> = Vec::new();
         for &p in &candidates {
             let block = self.pages()[p].quant_block;
-            let (run, buf) = fetched
-                .iter()
-                .find(|(run, _)| run.contains(block))
-                .expect("fetch plan covers every candidate");
-            let off = ((block - run.start) as usize) * bs;
-            let bytes = buf[off..off + bs].to_vec();
-            let decoded = self.codec().decode(&bytes);
+            let bytes: Option<Vec<u8>> = match &fetched {
+                Some(fetched) => {
+                    let (run, buf) = fetched
+                        .iter()
+                        .find(|(run, _)| run.contains(block))
+                        .expect("fetch plan covers every candidate");
+                    let off = ((block - run.start) as usize) * bs;
+                    Some(buf[off..off + bs].to_vec())
+                }
+                None => read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()).ok(),
+            };
+            let Some(decoded) = bytes.and_then(|b| self.codec().try_decode(&b).ok()) else {
+                self.fallback_scan_exact(clock, p, &mut out, |coords| {
+                    window.contains_point(coords)
+                });
+                continue;
+            };
             clock.charge_dist_evals(self.dim(), decoded.len() as u64);
             if decoded.bits() == EXACT_BITS {
                 for i in 0..decoded.len() {
@@ -572,17 +738,32 @@ impl IqTree {
 
         let mut out = Vec::new();
         let mut refinements: Vec<(usize, usize, u32)> = Vec::new(); // (page, slot, id)
-        let fetched = fetch::fetch_blocks(self.quant_dev(), clock, &positions);
+        let fetched = self
+            .retry()
+            .run(clock, |clock| {
+                fetch::fetch_blocks(self.quant_dev(), clock, &positions)
+            })
+            .ok();
         let bs = self.codec().block_size();
         for &p in &candidates {
             let block = self.pages()[p].quant_block;
-            let (run, buf) = fetched
-                .iter()
-                .find(|(run, _)| run.contains(block))
-                .expect("fetch plan covers every candidate");
-            let off = ((block - run.start) as usize) * bs;
-            let bytes = buf[off..off + bs].to_vec();
-            let decoded = self.codec().decode(&bytes);
+            let bytes: Option<Vec<u8>> = match &fetched {
+                Some(fetched) => {
+                    let (run, buf) = fetched
+                        .iter()
+                        .find(|(run, _)| run.contains(block))
+                        .expect("fetch plan covers every candidate");
+                    let off = ((block - run.start) as usize) * bs;
+                    Some(buf[off..off + bs].to_vec())
+                }
+                None => read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()).ok(),
+            };
+            let Some(decoded) = bytes.and_then(|b| self.codec().try_decode(&b).ok()) else {
+                self.fallback_scan_exact(clock, p, &mut out, |coords| {
+                    metric.distance_key(coords, q) <= key_r
+                });
+                continue;
+            };
             clock.charge_dist_evals(self.dim(), decoded.len() as u64);
             if decoded.bits() == EXACT_BITS {
                 for i in 0..decoded.len() {

@@ -35,10 +35,14 @@ impl LoadedPage {
 
 impl IqTree {
     /// Loads ids and exact coordinates of every point in a page.
+    ///
+    /// Updates hold `&mut self` and cannot degrade to partial state: an
+    /// unreadable page here is fatal (queries, by contrast, fall back).
     fn load_page(&self, clock: &mut SimClock, idx: usize) -> LoadedPage {
         let meta = self.pages()[idx].clone();
         let block = meta.quant_block;
-        let bytes = self.quant_dev().read_to_vec(clock, block, 1);
+        let bytes = iq_storage::read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry())
+            .expect("read quantized page");
         let decoded = self.codec().decode(&bytes);
         let ids: Vec<u32> = (0..decoded.len()).map(|i| decoded.id(i)).collect();
         let coords: Vec<f32> = if decoded.bits() == EXACT_BITS {
@@ -47,12 +51,9 @@ impl IqTree {
                 .collect()
         } else {
             let region = self.read_exact_region(clock, idx);
-            let pb = self.exact_codec().point_bytes();
+            let codec = *self.exact_codec();
             (0..decoded.len())
-                .flat_map(|i| {
-                    self.exact_codec()
-                        .decode_point_at(&region[i * pb..(i + 1) * pb])
-                })
+                .flat_map(|i| codec.decode_entry(&region, i).1)
                 .collect()
         };
         LoadedPage { ids, coords }
@@ -77,12 +78,18 @@ impl IqTree {
         let old = self.pages()[idx].clone();
         let quant_block = old.quant_block;
         self.quant_dev_mut()
-            .write_blocks(clock, quant_block, &quant_bytes);
+            .write_blocks(clock, quant_block, &quant_bytes)
+            .expect("write quantized page");
 
         let (exact_start, exact_blocks) = if g < EXACT_BITS {
             let bytes = {
                 let codec = *self.exact_codec();
-                codec.encode((0..page.ids.len()).map(|i| page.point(i, dim)))
+                codec.encode(
+                    page.ids
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &id)| (id, page.point(i, dim))),
+                )
             };
             let nblocks = bytes.len().div_ceil(self.block_size()) as u32;
             if nblocks == old.exact_blocks && old.g < EXACT_BITS {
@@ -90,11 +97,16 @@ impl IqTree {
                 let mut padded = bytes;
                 padded.resize(nblocks as usize * self.block_size(), 0);
                 let start = old.exact_start;
-                self.exact_dev_mut().write_blocks(clock, start, &padded);
+                self.exact_dev_mut()
+                    .write_blocks(clock, start, &padded)
+                    .expect("write exact region");
                 (start, nblocks)
             } else {
                 self.waste_exact(u64::from(old.exact_blocks));
-                let start = self.exact_dev_mut().append(clock, &bytes);
+                let start = self
+                    .exact_dev_mut()
+                    .append(clock, &bytes)
+                    .expect("append exact region");
                 (start, nblocks)
             }
         } else {
@@ -132,14 +144,25 @@ impl IqTree {
                     .map(|(i, &id)| (id, page.point(i, dim))),
             )
         };
-        let quant_block = self.quant_dev_mut().append(clock, &quant_bytes);
+        let quant_block = self
+            .quant_dev_mut()
+            .append(clock, &quant_bytes)
+            .expect("append quantized page");
         let (exact_start, exact_blocks) = if g < EXACT_BITS {
             let bytes = {
                 let codec = *self.exact_codec();
-                codec.encode((0..page.ids.len()).map(|i| page.point(i, dim)))
+                codec.encode(
+                    page.ids
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &id)| (id, page.point(i, dim))),
+                )
             };
             let nblocks = bytes.len().div_ceil(self.block_size()) as u32;
-            let start = self.exact_dev_mut().append(clock, &bytes);
+            let start = self
+                .exact_dev_mut()
+                .append(clock, &bytes)
+                .expect("append exact region");
             (start, nblocks)
         } else {
             (0, 0)
@@ -411,7 +434,9 @@ impl IqTree {
             codec.encode(&old.mbr, iq_quantize::EXACT_BITS, std::iter::empty())
         };
         let block = old.quant_block;
-        self.quant_dev_mut().write_blocks(clock, block, &empty);
+        self.quant_dev_mut()
+            .write_blocks(clock, block, &empty)
+            .expect("clear quantized page");
         self.set_page_meta(
             idx,
             PageMeta {

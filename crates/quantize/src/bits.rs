@@ -3,6 +3,12 @@
 //! Cell numbers are written LSB-first into a byte stream. Widths of 1–32
 //! bits are supported; 32-bit writes are used by the IQ-tree's exact
 //! special case (storing `f32` bit patterns directly in the quantized page).
+//!
+//! Reading past the end of a buffer is a data error, not a programmer
+//! error — a truncated or corrupt page produces exactly that — so
+//! [`BitReader::read`] returns [`IqError::Decode`] instead of panicking.
+
+use iq_storage::{IqError, IqResult};
 
 /// Writes values of arbitrary bit width into a byte buffer.
 #[derive(Debug, Default)]
@@ -88,15 +94,24 @@ impl<'a> BitReader<'a> {
 
     /// Reads the next `width` bits (LSB-first).
     ///
+    /// Fails with [`IqError::Decode`] if the buffer is exhausted — the
+    /// signature of a truncated or corrupt packed page.
+    ///
     /// # Panics
-    /// Panics if `width` is 0 or greater than 32, or the buffer is
-    /// exhausted.
-    pub fn read(&mut self, width: u32) -> u32 {
+    /// Panics if `width` is 0 or greater than 32 (programmer error:
+    /// widths come from code, not data).
+    pub fn read(&mut self, width: u32) -> IqResult<u32> {
         assert!((1..=32).contains(&width), "bit width must be in 1..=32");
-        assert!(
-            self.pos + width as usize <= self.buf.len() * 8,
-            "bit buffer exhausted"
-        );
+        if self.pos + width as usize > self.buf.len() * 8 {
+            return Err(IqError::Decode {
+                detail: format!(
+                    "bit buffer exhausted: {} bits requested at bit {} of {}",
+                    width,
+                    self.pos,
+                    self.buf.len() * 8
+                ),
+            });
+        }
         let mut out: u64 = 0;
         let mut got = 0u32;
         while got < width {
@@ -109,7 +124,7 @@ impl<'a> BitReader<'a> {
             got += take;
             self.pos += take as usize;
         }
-        out as u32
+        Ok(out as u32)
     }
 
     /// Skips to the next byte boundary.
@@ -143,7 +158,7 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         for &(v, width) in &values {
-            assert_eq!(r.read(width), v, "width {width}");
+            assert_eq!(r.read(width).unwrap(), v, "width {width}");
         }
     }
 
@@ -156,9 +171,9 @@ mod tests {
         let bytes = w.into_bytes();
         assert_eq!(bytes, vec![0b0000_0001, 0xAB]);
         let mut r = BitReader::new(&bytes);
-        assert_eq!(r.read(1), 1);
+        assert_eq!(r.read(1).unwrap(), 1);
         r.align();
-        assert_eq!(r.read(8), 0xAB);
+        assert_eq!(r.read(8).unwrap(), 0xAB);
     }
 
     #[test]
@@ -168,7 +183,7 @@ mod tests {
         w.write(0b1010, 4);
         let bytes = w.into_bytes();
         let mut r = BitReader::at_bit(&bytes, 2);
-        assert_eq!(r.read(4), 0b1010);
+        assert_eq!(r.read(4).unwrap(), 0b1010);
     }
 
     #[test]
@@ -178,10 +193,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exhausted")]
-    fn read_past_end_panics() {
+    fn read_past_end_is_an_error() {
         let mut r = BitReader::new(&[0u8]);
-        r.read(9);
+        let err = r.read(9).unwrap_err();
+        assert!(matches!(err, IqError::Decode { .. }));
+        assert!(err.is_corruption());
+        // A failed read consumes nothing: what is still in bounds reads fine.
+        assert_eq!(r.read(8).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_exactly_to_end_succeeds_then_errors() {
+        let mut r = BitReader::new(&[0xFF, 0x0F]);
+        assert_eq!(r.read(12).unwrap(), 0xFFF);
+        assert_eq!(r.read(4).unwrap(), 0);
+        assert!(r.read(1).is_err(), "buffer exactly exhausted");
+    }
+
+    #[test]
+    fn at_bit_past_end_errors_instead_of_wrapping() {
+        let mut r = BitReader::at_bit(&[0u8; 2], 99);
+        assert!(r.read(1).is_err());
     }
 
     #[test]
@@ -194,7 +226,7 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         for i in 0..64 {
-            assert_eq!(r.read(1), u32::from(i % 2 == 0));
+            assert_eq!(r.read(1).unwrap(), u32::from(i % 2 == 0));
         }
     }
 }

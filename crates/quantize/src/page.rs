@@ -12,12 +12,16 @@
 //! of the exact coordinates — the paper's special case in which the
 //! third-level page is omitted.
 //!
-//! An exact page is a run of blocks holding `count × d` little-endian `f32`
-//! coordinates (no ids — the id comes from the quantized entry).
+//! An exact page is a run of blocks holding `count` little-endian entries
+//! of `u32 id | d × f32` coordinates. The id is stored redundantly with the
+//! quantized entry on purpose: when a level-2 block fails its checksum, the
+//! level-3 page alone can answer the query (and vice versa), so one corrupt
+//! block degrades precision or cost but never loses the point.
 
 use crate::bits::{BitReader, BitWriter};
 use crate::grid::GridQuantizer;
 use iq_geometry::Mbr;
+use iq_storage::{IqError, IqResult};
 
 /// Resolution marking the exact (32-bit float) representation.
 pub const EXACT_BITS: u32 = 32;
@@ -175,17 +179,32 @@ impl QuantizedPageCodec {
         out
     }
 
-    /// Decodes a page previously produced by [`Self::encode`].
-    pub fn decode(&self, block: &[u8]) -> DecodedQuantPage {
-        assert!(block.len() >= HEADER_BYTES);
+    /// Decodes a page previously produced by [`Self::encode`], validating
+    /// the header against the block: a flipped bit that survives the
+    /// checksum layer (or a raw device without one) surfaces as
+    /// [`IqError::Decode`], never as a panic or an out-of-bounds read.
+    pub fn try_decode(&self, block: &[u8]) -> IqResult<DecodedQuantPage> {
+        if block.len() < HEADER_BYTES {
+            return Err(IqError::Decode {
+                detail: format!("quantized page of {} bytes has no header", block.len()),
+            });
+        }
         let n = u16::from_le_bytes([block[0], block[1]]) as usize;
         let g = u32::from(block[2]);
-        assert!((1..=EXACT_BITS).contains(&g), "corrupt page: g = {g}");
+        if !(1..=EXACT_BITS).contains(&g) {
+            return Err(IqError::Decode {
+                detail: format!("quantized page resolution g = {g} outside 1..=32"),
+            });
+        }
         let entry = self.entry_bytes(g);
-        assert!(
-            HEADER_BYTES + n * entry <= block.len(),
-            "corrupt page: overflow"
-        );
+        if HEADER_BYTES + n * entry > block.len() {
+            return Err(IqError::Decode {
+                detail: format!(
+                    "quantized page claims {n} entries of {entry} bytes in a {}-byte block",
+                    block.len()
+                ),
+            });
+        }
         let mut ids = Vec::with_capacity(n);
         let mut cells = Vec::with_capacity(n * self.dim);
         for e in 0..n {
@@ -195,19 +214,31 @@ impl QuantizedPageCodec {
             ));
             let mut r = BitReader::new(&block[off + 4..off + entry]);
             for _ in 0..self.dim {
-                cells.push(r.read(g));
+                cells.push(r.read(g)?);
             }
         }
-        DecodedQuantPage {
+        Ok(DecodedQuantPage {
             g,
             dim: self.dim,
             ids,
             cells,
-        }
+        })
+    }
+
+    /// [`Self::try_decode`] for callers that trust the block (freshly
+    /// encoded in memory, or verified by the checksum layer).
+    ///
+    /// # Panics
+    /// Panics if the page is corrupt.
+    pub fn decode(&self, block: &[u8]) -> DecodedQuantPage {
+        self.try_decode(block).expect("corrupt quantized page")
     }
 }
 
-/// Codec for exact (third-level) pages: flat `f32` coordinate rows.
+/// Codec for exact (third-level) pages: rows of `u32 id | d × f32`
+/// coordinates. Storing the id here (redundantly with level 2) makes the
+/// exact page self-contained, which is what the corruption-fallback path
+/// relies on.
 #[derive(Clone, Copy, Debug)]
 pub struct ExactPageCodec {
     dim: usize,
@@ -220,16 +251,17 @@ impl ExactPageCodec {
         Self { dim }
     }
 
-    /// Bytes per point.
-    pub fn point_bytes(&self) -> usize {
-        4 * self.dim
+    /// Bytes per entry (id + coordinates).
+    pub fn entry_bytes(&self) -> usize {
+        4 + 4 * self.dim
     }
 
-    /// Encodes coordinate rows into a byte buffer.
-    pub fn encode<'a>(&self, points: impl Iterator<Item = &'a [f32]>) -> Vec<u8> {
+    /// Encodes `(id, coordinates)` rows into a byte buffer.
+    pub fn encode<'a>(&self, entries: impl Iterator<Item = (u32, &'a [f32])>) -> Vec<u8> {
         let mut out = Vec::new();
-        for p in points {
+        for (id, p) in entries {
             debug_assert_eq!(p.len(), self.dim);
+            out.extend_from_slice(&id.to_le_bytes());
             for &x in p {
                 out.extend_from_slice(&x.to_le_bytes());
             }
@@ -237,27 +269,44 @@ impl ExactPageCodec {
         out
     }
 
-    /// Decodes point `i` from a page buffer that starts at point 0.
-    pub fn decode_point(&self, page: &[u8], i: usize) -> Vec<f32> {
-        let off = i * self.point_bytes();
-        self.decode_point_at(&page[off..off + self.point_bytes()])
+    /// Decodes entry `i` from a page buffer that starts at entry 0.
+    pub fn decode_entry(&self, page: &[u8], i: usize) -> (u32, Vec<f32>) {
+        let off = i * self.entry_bytes();
+        self.decode_entry_at(&page[off..off + self.entry_bytes()])
     }
 
-    /// Decodes one point from exactly [`Self::point_bytes`] bytes.
-    pub fn decode_point_at(&self, bytes: &[u8]) -> Vec<f32> {
-        assert_eq!(bytes.len(), self.point_bytes());
-        bytes
+    /// Decodes one entry from exactly [`Self::entry_bytes`] bytes.
+    pub fn decode_entry_at(&self, bytes: &[u8]) -> (u32, Vec<f32>) {
+        self.try_decode_entry_at(bytes)
+            .expect("corrupt exact entry")
+    }
+
+    /// Fallible form of [`Self::decode_entry_at`] for the degraded read
+    /// path (a truncated region surfaces as [`IqError::Decode`]).
+    pub fn try_decode_entry_at(&self, bytes: &[u8]) -> IqResult<(u32, Vec<f32>)> {
+        if bytes.len() != self.entry_bytes() {
+            return Err(IqError::Decode {
+                detail: format!(
+                    "exact entry of {} bytes, expected {}",
+                    bytes.len(),
+                    self.entry_bytes()
+                ),
+            });
+        }
+        let id = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+        let coords = bytes[4..]
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect()
+            .collect();
+        Ok((id, coords))
     }
 
-    /// Which blocks of a page (given the page's starting block) hold point
+    /// Which blocks of a page (given the page's starting block) hold entry
     /// `i`: returns `(first_block, nblocks, byte_offset_in_first_block)`.
-    /// A point can straddle a block boundary.
-    pub fn point_span(&self, i: usize, block_size: usize) -> (u64, u64, usize) {
-        let start_byte = i * self.point_bytes();
-        let end_byte = start_byte + self.point_bytes();
+    /// An entry can straddle a block boundary.
+    pub fn entry_span(&self, i: usize, block_size: usize) -> (u64, u64, usize) {
+        let start_byte = i * self.entry_bytes();
+        let end_byte = start_byte + self.entry_bytes();
         let first = (start_byte / block_size) as u64;
         let last = ((end_byte - 1) / block_size) as u64;
         (first, last - first + 1, start_byte % block_size)
@@ -330,20 +379,66 @@ mod tests {
     #[test]
     fn exact_page_codec_roundtrip() {
         let c = ExactPageCodec::new(4);
-        let rows: Vec<Vec<f32>> = vec![vec![1., 2., 3., 4.], vec![5., 6., 7., 8.]];
-        let bytes = c.encode(rows.iter().map(|r| r.as_slice()));
-        assert_eq!(bytes.len(), 2 * 16);
-        assert_eq!(c.decode_point(&bytes, 0), rows[0]);
-        assert_eq!(c.decode_point(&bytes, 1), rows[1]);
+        let rows: Vec<(u32, Vec<f32>)> =
+            vec![(11, vec![1., 2., 3., 4.]), (97, vec![5., 6., 7., 8.])];
+        let bytes = c.encode(rows.iter().map(|(id, r)| (*id, r.as_slice())));
+        assert_eq!(bytes.len(), 2 * 20);
+        assert_eq!(c.decode_entry(&bytes, 0), (11, rows[0].1.clone()));
+        assert_eq!(c.decode_entry(&bytes, 1), (97, rows[1].1.clone()));
     }
 
     #[test]
-    fn point_span_straddles_blocks() {
-        let c = ExactPageCodec::new(4); // 16 bytes/point
-                                        // Block size 24: point 1 occupies bytes 16..32 -> blocks 0..=1.
-        assert_eq!(c.point_span(0, 24), (0, 1, 0));
-        assert_eq!(c.point_span(1, 24), (0, 2, 16));
-        assert_eq!(c.point_span(3, 24), (2, 1, 0));
+    fn truncated_exact_entry_is_an_error() {
+        let c = ExactPageCodec::new(4);
+        let err = c.try_decode_entry_at(&[0u8; 7]).unwrap_err();
+        assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn entry_span_straddles_blocks() {
+        let c = ExactPageCodec::new(4); // 20 bytes/entry
+                                        // Block size 24: entry 1 occupies bytes 20..40 -> blocks 0..=1.
+        assert_eq!(c.entry_span(0, 24), (0, 1, 0));
+        assert_eq!(c.entry_span(1, 24), (0, 2, 20));
+        assert_eq!(c.entry_span(6, 24), (5, 1, 0));
+    }
+
+    #[test]
+    fn corrupt_quant_pages_decode_to_errors_not_panics() {
+        let c = QuantizedPageCodec::new(3, 256);
+        // Too short for a header.
+        assert!(c.try_decode(&[0u8; 2]).is_err());
+        // g outside 1..=32.
+        let mut block = vec![0u8; 256];
+        block[0] = 1; // count = 1
+        block[2] = 77; // g
+        assert!(c.try_decode(&block).is_err());
+        // Count overflowing the block at a legal g.
+        let mut block = vec![0u8; 256];
+        block[0] = 0xFF;
+        block[1] = 0xFF;
+        block[2] = 32;
+        let err = c.try_decode(&block).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn every_single_bit_flip_decodes_or_errors_cleanly() {
+        // No flipped bit may panic the decoder (errors and silent
+        // misdecodes are acceptable at this layer — checksums above catch
+        // the silent ones).
+        let c = QuantizedPageCodec::new(2, 64);
+        let m = mbr(2);
+        let block = c.encode(
+            &m,
+            6,
+            [(3u32, &[0.25f32, 0.75][..]), (8, &[0.5, 0.5])].into_iter(),
+        );
+        for bit in 0..block.len() * 8 {
+            let mut tampered = block.clone();
+            tampered[bit / 8] ^= 1 << (bit % 8);
+            let _ = c.try_decode(&tampered);
+        }
     }
 
     proptest! {

@@ -21,7 +21,7 @@ fn all_bit_widths_roundtrip() {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         for &v in &values {
-            assert_eq!(r.read(width), v, "width {width}");
+            assert_eq!(r.read(width).unwrap(), v, "width {width}");
         }
     }
 }
@@ -64,24 +64,24 @@ fn page_over_capacity_is_rejected() {
 }
 
 #[test]
-#[should_panic(expected = "corrupt page")]
 fn corrupt_resolution_byte_is_detected() {
     let codec = QuantizedPageCodec::new(3, 256);
     let mbr = Mbr::from_bounds(vec![0.0; 3], vec![1.0; 3]);
     let mut block = codec.encode(&mbr, 4, [(0u32, &[0.5f32, 0.5, 0.5][..])].into_iter());
     block[2] = 0; // g = 0 is invalid
-    codec.decode(&block);
+    let err = codec.try_decode(&block).unwrap_err();
+    assert!(err.is_corruption(), "{err}");
 }
 
 #[test]
-#[should_panic(expected = "corrupt page")]
 fn corrupt_count_is_detected() {
     let codec = QuantizedPageCodec::new(3, 256);
     let mbr = Mbr::from_bounds(vec![0.0; 3], vec![1.0; 3]);
     let mut block = codec.encode(&mbr, 4, [(0u32, &[0.5f32, 0.5, 0.5][..])].into_iter());
     block[0] = 0xFF; // count larger than a block can hold
     block[1] = 0xFF;
-    codec.decode(&block);
+    let err = codec.try_decode(&block).unwrap_err();
+    assert!(err.is_corruption(), "{err}");
 }
 
 #[test]

@@ -7,7 +7,6 @@
 //! scanning *compressed* approximations instead.
 
 use iq_geometry::{Dataset, Metric};
-use iq_quantize::ExactPageCodec;
 use iq_storage::{BlockDevice, SimClock};
 
 /// Number of blocks fetched per read while scanning (bounds buffer memory;
@@ -32,7 +31,6 @@ pub struct SeqScan {
     dim: usize,
     metric: Metric,
     n: usize,
-    codec: ExactPageCodec,
     dev: Box<dyn BlockDevice>,
 }
 
@@ -44,14 +42,20 @@ impl SeqScan {
         mut dev: Box<dyn BlockDevice>,
         clock: &mut SimClock,
     ) -> Self {
-        let codec = ExactPageCodec::new(ds.dim());
-        let bytes = codec.encode(ds.iter());
-        dev.append(clock, &bytes);
+        // Plain flat file: `dim` little-endian f32s per point, ids implicit
+        // in position. No checksums — this baseline models the raw scan the
+        // paper compares against.
+        let mut bytes = Vec::with_capacity(ds.len() * ds.dim() * 4);
+        for p in ds.iter() {
+            for c in p {
+                bytes.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        dev.append(clock, &bytes).expect("append scan file");
         Self {
             dim: ds.dim(),
             metric,
             n: ds.len(),
-            codec,
             dev,
         }
     }
@@ -75,7 +79,7 @@ impl SeqScan {
     fn scan(&mut self, clock: &mut SimClock, mut visit: impl FnMut(u32, &[f32])) {
         let bs = self.dev.block_size();
         let total_blocks = self.dev.num_blocks();
-        let pb = self.codec.point_bytes();
+        let pb = self.dim * 4;
         let mut carry: Vec<u8> = Vec::with_capacity(pb);
         let mut id: u32 = 0;
         let mut coords = vec![0.0f32; self.dim];
@@ -106,7 +110,10 @@ impl SeqScan {
         let mut block = 0u64;
         while block < total_blocks {
             let n = SCAN_CHUNK_BLOCKS.min(total_blocks - block);
-            let buf = self.dev.read_to_vec(clock, block, n);
+            let buf = self
+                .dev
+                .read_to_vec(clock, block, n)
+                .expect("read scan chunk");
             consume(&buf, &mut id, &mut carry);
             block += n;
         }

@@ -5,6 +5,7 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::error::{IqError, IqResult};
 use crate::model::SimClock;
 
 static NEXT_DEVICE_ID: AtomicU64 = AtomicU64::new(1);
@@ -33,28 +34,32 @@ pub trait BlockDevice: Send + Sync {
     /// Reads `buf.len() / block_size` blocks starting at block `start` into
     /// `buf`.
     ///
+    /// Fails with [`IqError::OutOfBounds`] if the range exceeds the device
+    /// (corrupt metadata can point anywhere) and [`IqError::Io`] on device
+    /// failures, real or injected.
+    ///
     /// # Panics
-    /// Panics if `buf.len()` is not a multiple of the block size or the
-    /// range is out of bounds.
-    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]);
+    /// Panics if `buf.len()` is not a multiple of the block size
+    /// (programmer error: callers size buffers, data never does).
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) -> IqResult<()>;
 
     /// Appends `data` (padded to whole blocks with zeros) and returns the
     /// starting block index.
-    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> u64;
+    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> IqResult<u64>;
 
     /// Overwrites blocks starting at `start` with `data` (must be whole
-    /// blocks, in bounds).
-    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]);
+    /// blocks).
+    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) -> IqResult<()>;
 
     /// Stable identifier used by the clock to track head position.
     fn device_id(&self) -> u64;
 
     /// Convenience: reads `n` blocks starting at `start` into a fresh
     /// buffer.
-    fn read_to_vec(&self, clock: &mut SimClock, start: u64, n: u64) -> Vec<u8> {
+    fn read_to_vec(&self, clock: &mut SimClock, start: u64, n: u64) -> IqResult<Vec<u8>> {
         let mut buf = vec![0u8; (n as usize) * self.block_size()];
-        self.read_blocks(clock, start, &mut buf);
-        buf
+        self.read_blocks(clock, start, &mut buf)?;
+        Ok(buf)
     }
 }
 
@@ -88,32 +93,48 @@ impl BlockDevice for MemDevice {
         (self.data.len() / self.block_size) as u64
     }
 
-    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) -> IqResult<()> {
         assert_eq!(buf.len() % self.block_size, 0, "partial-block read");
         let nblocks = (buf.len() / self.block_size) as u64;
-        assert!(start + nblocks <= self.num_blocks(), "read out of bounds");
+        if start + nblocks > self.num_blocks() {
+            return Err(IqError::OutOfBounds {
+                op: "read",
+                start,
+                nblocks,
+                available: self.num_blocks(),
+            });
+        }
         let off = (start as usize) * self.block_size;
         buf.copy_from_slice(&self.data[off..off + buf.len()]);
         clock.charge_read(self.id, start, nblocks);
+        Ok(())
     }
 
-    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> u64 {
+    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> IqResult<u64> {
         let start = self.num_blocks();
         let nblocks = data.len().div_ceil(self.block_size) as u64;
         self.data.extend_from_slice(data);
         self.data
             .resize((start + nblocks) as usize * self.block_size, 0);
         clock.charge_write(self.id, start, nblocks);
-        start
+        Ok(start)
     }
 
-    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) {
+    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) -> IqResult<()> {
         assert_eq!(data.len() % self.block_size, 0, "partial-block write");
         let nblocks = (data.len() / self.block_size) as u64;
-        assert!(start + nblocks <= self.num_blocks(), "write out of bounds");
+        if start + nblocks > self.num_blocks() {
+            return Err(IqError::OutOfBounds {
+                op: "write",
+                start,
+                nblocks,
+                available: self.num_blocks(),
+            });
+        }
         let off = (start as usize) * self.block_size;
         self.data[off..off + data.len()].copy_from_slice(data);
         clock.charge_write(self.id, start, nblocks);
+        Ok(())
     }
 
     fn device_id(&self) -> u64 {
@@ -170,6 +191,16 @@ impl FileDevice {
     }
 }
 
+/// Maps an OS error to [`IqError::Io`]; interrupted syscalls are transient.
+fn io_error(op: &'static str, block: u64, e: &io::Error) -> IqError {
+    IqError::Io {
+        op,
+        block,
+        transient: e.kind() == io::ErrorKind::Interrupted,
+        detail: e.to_string(),
+    }
+}
+
 impl BlockDevice for FileDevice {
     fn block_size(&self) -> usize {
         self.block_size
@@ -179,18 +210,26 @@ impl BlockDevice for FileDevice {
         self.num_blocks
     }
 
-    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) {
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) -> IqResult<()> {
         use std::os::unix::fs::FileExt;
         assert_eq!(buf.len() % self.block_size, 0, "partial-block read");
         let nblocks = (buf.len() / self.block_size) as u64;
-        assert!(start + nblocks <= self.num_blocks, "read out of bounds");
+        if start + nblocks > self.num_blocks {
+            return Err(IqError::OutOfBounds {
+                op: "read",
+                start,
+                nblocks,
+                available: self.num_blocks,
+            });
+        }
         self.file
             .read_exact_at(buf, start * self.block_size as u64)
-            .expect("device file read failed");
+            .map_err(|e| io_error("read", start, &e))?;
         clock.charge_read(self.id, start, nblocks);
+        Ok(())
     }
 
-    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> u64 {
+    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> IqResult<u64> {
         use std::os::unix::fs::FileExt;
         let start = self.num_blocks;
         let nblocks = data.len().div_ceil(self.block_size) as u64;
@@ -198,21 +237,29 @@ impl BlockDevice for FileDevice {
         padded.resize(nblocks as usize * self.block_size, 0);
         self.file
             .write_all_at(&padded, start * self.block_size as u64)
-            .expect("device file append failed");
+            .map_err(|e| io_error("append", start, &e))?;
         self.num_blocks += nblocks;
         clock.charge_write(self.id, start, nblocks);
-        start
+        Ok(start)
     }
 
-    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) {
+    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) -> IqResult<()> {
         use std::os::unix::fs::FileExt;
         assert_eq!(data.len() % self.block_size, 0, "partial-block write");
         let nblocks = (data.len() / self.block_size) as u64;
-        assert!(start + nblocks <= self.num_blocks, "write out of bounds");
+        if start + nblocks > self.num_blocks {
+            return Err(IqError::OutOfBounds {
+                op: "write",
+                start,
+                nblocks,
+                available: self.num_blocks,
+            });
+        }
         self.file
             .write_all_at(data, start * self.block_size as u64)
-            .expect("device file write failed");
+            .map_err(|e| io_error("write", start, &e))?;
         clock.charge_write(self.id, start, nblocks);
+        Ok(())
     }
 
     fn device_id(&self) -> u64 {
@@ -229,18 +276,18 @@ mod tests {
         let bs = dev.block_size();
         let a = vec![0xAAu8; bs];
         let b = vec![0xBBu8; 2 * bs];
-        let s0 = dev.append(&mut clock, &a);
-        let s1 = dev.append(&mut clock, &b);
+        let s0 = dev.append(&mut clock, &a).unwrap();
+        let s1 = dev.append(&mut clock, &b).unwrap();
         assert_eq!(s0, 0);
         assert_eq!(s1, 1);
         assert_eq!(dev.num_blocks(), 3);
 
-        let got = dev.read_to_vec(&mut clock, 1, 2);
+        let got = dev.read_to_vec(&mut clock, 1, 2).unwrap();
         assert_eq!(got, b);
 
         let c = vec![0xCCu8; bs];
-        dev.write_blocks(&mut clock, 0, &c);
-        let got = dev.read_to_vec(&mut clock, 0, 1);
+        dev.write_blocks(&mut clock, 0, &c).unwrap();
+        let got = dev.read_to_vec(&mut clock, 0, 1).unwrap();
         assert_eq!(got, c);
     }
 
@@ -259,7 +306,7 @@ mod tests {
         let dev = FileDevice::open(&path, 64).unwrap();
         assert_eq!(dev.num_blocks(), 3);
         let mut clock = SimClock::default();
-        assert_eq!(dev.read_to_vec(&mut clock, 0, 1), vec![0xCCu8; 64]);
+        assert_eq!(dev.read_to_vec(&mut clock, 0, 1).unwrap(), vec![0xCCu8; 64]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -267,20 +314,38 @@ mod tests {
     fn append_pads_partial_blocks() {
         let mut dev = MemDevice::new(16);
         let mut clock = SimClock::default();
-        dev.append(&mut clock, &[1u8; 10]);
+        dev.append(&mut clock, &[1u8; 10]).unwrap();
         assert_eq!(dev.num_blocks(), 1);
-        let got = dev.read_to_vec(&mut clock, 0, 1);
+        let got = dev.read_to_vec(&mut clock, 0, 1).unwrap();
         assert_eq!(&got[..10], &[1u8; 10]);
         assert_eq!(&got[10..], &[0u8; 6]);
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn read_out_of_bounds_panics() {
+    fn read_out_of_bounds_is_an_error() {
         let dev = MemDevice::new(16);
         let mut clock = SimClock::default();
         let mut buf = vec![0u8; 16];
-        dev.read_blocks(&mut clock, 0, &mut buf);
+        let err = dev.read_blocks(&mut clock, 0, &mut buf).unwrap_err();
+        assert!(matches!(
+            err,
+            IqError::OutOfBounds {
+                op: "read",
+                start: 0,
+                nblocks: 1,
+                available: 0
+            }
+        ));
+        // Failed reads charge no simulated time.
+        assert_eq!(clock.io_time(), 0.0);
+    }
+
+    #[test]
+    fn write_out_of_bounds_is_an_error() {
+        let mut dev = MemDevice::new(16);
+        let mut clock = SimClock::default();
+        let err = dev.write_blocks(&mut clock, 5, &[0u8; 16]).unwrap_err();
+        assert!(matches!(err, IqError::OutOfBounds { op: "write", .. }));
     }
 
     #[test]
@@ -288,7 +353,7 @@ mod tests {
         let mut dev = MemDevice::new(64);
         let mut clock = SimClock::default();
         for i in 0..8u8 {
-            dev.append(&mut clock, &[i; 64]);
+            dev.append(&mut clock, &[i; 64]).unwrap();
         }
         let dev: &dyn BlockDevice = &dev;
         std::thread::scope(|s| {
@@ -297,7 +362,7 @@ mod tests {
                     let mut c = SimClock::default();
                     for round in 0..16u64 {
                         let b = (round + u64::from(t)) % 8;
-                        let got = dev.read_to_vec(&mut c, b, 1);
+                        let got = dev.read_to_vec(&mut c, b, 1).unwrap();
                         assert_eq!(got, vec![b as u8; 64]);
                     }
                 });
@@ -314,10 +379,10 @@ mod tests {
         let mut c1 = SimClock::default();
         let mut c2 = SimClock::default();
         let data = vec![7u8; 64 * 5];
-        mem.append(&mut c1, &data);
-        file.append(&mut c2, &data);
-        mem.read_to_vec(&mut c1, 2, 2);
-        file.read_to_vec(&mut c2, 2, 2);
+        mem.append(&mut c1, &data).unwrap();
+        file.append(&mut c2, &data).unwrap();
+        mem.read_to_vec(&mut c1, 2, 2).unwrap();
+        file.read_to_vec(&mut c2, 2, 2).unwrap();
         assert_eq!(c1.io_time(), c2.io_time());
         assert_eq!(c1.stats(), c2.stats());
         std::fs::remove_dir_all(&dir).unwrap();

@@ -8,6 +8,7 @@
 //! degenerates to a single full scan or to pure random accesses, which is the
 //! behaviour the paper highlights.
 
+use crate::error::IqResult;
 use crate::model::{DiskModel, SimClock};
 use crate::BlockDevice;
 
@@ -107,12 +108,12 @@ pub fn fetch_blocks(
     dev: &dyn BlockDevice,
     clock: &mut SimClock,
     positions: &[u64],
-) -> Vec<(Run, Vec<u8>)> {
+) -> IqResult<Vec<(Run, Vec<u8>)>> {
     let runs = plan_fetch(positions, clock.disk());
     runs.into_iter()
         .map(|run| {
-            let buf = dev.read_to_vec(clock, run.start, run.len);
-            (run, buf)
+            let buf = dev.read_to_vec(clock, run.start, run.len)?;
+            Ok((run, buf))
         })
         .collect()
 }
@@ -287,10 +288,10 @@ mod tests {
         let mut dev = MemDevice::new(64);
         let mut clock = SimClock::new(m, crate::CpuModel::free());
         for i in 0..20u8 {
-            dev.append(&mut clock, &[i; 64]);
+            dev.append(&mut clock, &[i; 64]).unwrap();
         }
         clock.reset();
-        let fetched = fetch_blocks(&dev, &mut clock, &[1, 2, 18]);
+        let fetched = fetch_blocks(&dev, &mut clock, &[1, 2, 18]).unwrap();
         assert_eq!(fetched.len(), 2);
         assert_eq!(fetched[0].0, Run { start: 1, len: 2 });
         assert_eq!(&fetched[0].1[..64], &vec![1u8; 64][..]);

@@ -13,12 +13,24 @@
 //!   backend,
 //! * [`fetch`] — the optimal batch block-fetch planner of Section 2
 //!   (Figure 1): given the sorted positions of the blocks an index selected,
-//!   decide where to seek and where to over-read.
+//!   decide where to seek and where to over-read,
+//! * robustness: typed errors ([`IqError`]), per-block CRC32 checksumming
+//!   ([`ChecksummedDevice`]), deterministic fault injection
+//!   ([`FaultInjectingDevice`]) and bounded retry with backoff
+//!   ([`RetryPolicy`]).
 
+pub mod checksum;
 pub mod device;
+pub mod error;
+pub mod fault;
 pub mod fetch;
 pub mod model;
+pub mod retry;
 
+pub use checksum::{crc32, crc32_update, ChecksummedDevice, CHECKSUM_BYTES};
 pub use device::{BlockDevice, FileDevice, MemDevice};
+pub use error::{IqError, IqResult};
+pub use fault::{FaultConfig, FaultInjectingDevice, FaultStats};
 pub use fetch::{plan_fetch, plan_fetch_bounded, plan_fetch_cost, Run};
 pub use model::{CpuModel, DiskModel, IoStats, SimClock};
+pub use retry::{read_blocks_retry, read_to_vec_retry, RetryPolicy};

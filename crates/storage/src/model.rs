@@ -92,6 +92,12 @@ pub struct IoStats {
     pub blocks_read: u64,
     /// Blocks transferred (written).
     pub blocks_written: u64,
+    /// Blocks whose checksum verification failed.
+    pub corrupt_blocks: u64,
+    /// I/O operations retried after a transient fault.
+    pub io_retries: u64,
+    /// Faults injected by a fault-injecting device.
+    pub injected_faults: u64,
 }
 
 impl IoStats {
@@ -101,6 +107,9 @@ impl IoStats {
         self.seeks += other.seeks;
         self.blocks_read += other.blocks_read;
         self.blocks_written += other.blocks_written;
+        self.corrupt_blocks += other.corrupt_blocks;
+        self.io_retries += other.io_retries;
+        self.injected_faults += other.injected_faults;
     }
 }
 
@@ -213,6 +222,22 @@ impl SimClock {
         self.io_time += nblocks as f64 * self.disk.t_xfer;
         self.stats.blocks_written += nblocks;
         self.head = Some((dev, start + nblocks));
+    }
+
+    /// Records a checksum-verification failure (called by the checksumming
+    /// device layer).
+    pub fn note_corrupt_block(&mut self) {
+        self.stats.corrupt_blocks += 1;
+    }
+
+    /// Records a retried I/O operation (called by the retry helpers).
+    pub fn note_retry(&mut self) {
+        self.stats.io_retries += 1;
+    }
+
+    /// Records an injected fault (called by a fault-injecting device).
+    pub fn note_fault(&mut self) {
+        self.stats.injected_faults += 1;
     }
 
     /// Charges CPU time for `count` distance-like evaluations over `dim`

@@ -135,10 +135,15 @@ impl VaFile {
             debug_assert_eq!(packed.len(), entry_bytes);
             approx_bytes.extend_from_slice(&packed);
         }
-        approx.append(clock, &approx_bytes);
+        approx
+            .append(clock, &approx_bytes)
+            .expect("append approximation file");
 
         let codec = ExactPageCodec::new(dim);
-        exact.append(clock, &codec.encode(ds.iter()));
+        let rows = ds.iter().enumerate().map(|(i, p)| (i as u32, p));
+        exact
+            .append(clock, &codec.encode(rows))
+            .expect("append exact file");
 
         Self {
             dim,
@@ -225,7 +230,10 @@ impl VaFile {
         let mut block = 0u64;
         while block < total_blocks && processed < self.n {
             let nb = SCAN_CHUNK_BLOCKS.min(total_blocks - block);
-            let chunk = self.approx.read_to_vec(clock, block, nb);
+            let chunk = self
+                .approx
+                .read_to_vec(clock, block, nb)
+                .expect("read approximation file");
             buf_carry.extend_from_slice(&chunk);
             let mut off = 0usize;
             while off + entry <= buf_carry.len() && processed < self.n {
@@ -234,14 +242,14 @@ impl VaFile {
                 match metric {
                     Metric::Euclidean | Metric::Manhattan => {
                         for i in 0..dim {
-                            let c = r.read(bits) as usize;
+                            let c = r.read(bits).expect("entry within bounds") as usize;
                             lb += lo_tab[i * cells + c];
                             ub += hi_tab[i * cells + c];
                         }
                     }
                     Metric::Maximum => {
                         for i in 0..dim {
-                            let c = r.read(bits) as usize;
+                            let c = r.read(bits).expect("entry within bounds") as usize;
                             lb = lb.max(lo_tab[i * cells + c]);
                             ub = ub.max(hi_tab[i * cells + c]);
                         }
@@ -271,10 +279,15 @@ impl VaFile {
     /// exact file).
     fn fetch_exact(&mut self, clock: &mut SimClock, i: usize) -> Vec<f32> {
         let bs = self.exact.block_size();
-        let (first, nblocks, byte_off) = self.codec.point_span(i, bs);
-        let buf = self.exact.read_to_vec(clock, first, nblocks);
-        self.codec
-            .decode_point_at(&buf[byte_off..byte_off + self.codec.point_bytes()])
+        let (first, nblocks, byte_off) = self.codec.entry_span(i, bs);
+        let buf = self
+            .exact
+            .read_to_vec(clock, first, nblocks)
+            .expect("read exact file");
+        let (_, coords) = self
+            .codec
+            .decode_entry_at(&buf[byte_off..byte_off + self.codec.entry_bytes()]);
+        coords
     }
 
     /// Exact nearest neighbor of `q`.
@@ -339,13 +352,16 @@ impl VaFile {
         let mut cells = vec![0u32; self.dim];
         while block < total_blocks && processed < self.n {
             let nb = SCAN_CHUNK_BLOCKS.min(total_blocks - block);
-            let chunk = self.approx.read_to_vec(clock, block, nb);
+            let chunk = self
+                .approx
+                .read_to_vec(clock, block, nb)
+                .expect("read approximation file");
             carry.extend_from_slice(&chunk);
             let mut off = 0usize;
             while off + entry <= carry.len() && processed < self.n {
                 let mut r = BitReader::new(&carry[off..off + entry]);
                 for c in cells.iter_mut() {
-                    *c = r.read(self.bits);
+                    *c = r.read(self.bits).expect("entry within bounds");
                 }
                 let cell_box = self.grid.cell_box(&cells);
                 if window.intersects(&cell_box) {
@@ -398,7 +414,10 @@ impl VaFile {
         let mut to_verify: Vec<u32> = Vec::new();
         while block < total_blocks && processed < self.n {
             let nb = SCAN_CHUNK_BLOCKS.min(total_blocks - block);
-            let chunk = self.approx.read_to_vec(clock, block, nb);
+            let chunk = self
+                .approx
+                .read_to_vec(clock, block, nb)
+                .expect("read approximation file");
             carry.extend_from_slice(&chunk);
             let mut off = 0usize;
             while off + entry <= carry.len() && processed < self.n {
@@ -406,7 +425,7 @@ impl VaFile {
                     let mut r = BitReader::new(&carry[off..off + entry]);
                     let mut ub = 0.0f64;
                     for i in 0..self.dim {
-                        let c = r.read(self.bits) as usize;
+                        let c = r.read(self.bits).expect("entry within bounds") as usize;
                         match self.metric {
                             Metric::Euclidean | Metric::Manhattan => ub += hi_tab[i * cells + c],
                             Metric::Maximum => ub = ub.max(hi_tab[i * cells + c]),

@@ -149,7 +149,9 @@ impl XTree {
                     .flat_map(|&i| ds.point(i as usize).iter().copied())
                     .collect(),
             };
-            let start = data.append(clock, &dp.encode(dim, bs));
+            let start = data
+                .append(clock, &dp.encode(dim, bs))
+                .expect("append data page");
             let id = pages.len() as u32;
             pages.push(start);
             level.push(DirEntry {
@@ -172,7 +174,9 @@ impl XTree {
                     nblocks: 1,
                     entries: chunk.to_vec(),
                 };
-                let start = dir.append(clock, &node.encode(dim, dir_bs));
+                let start = dir
+                    .append(clock, &node.encode(dim, dir_bs))
+                    .expect("append directory node");
                 let id = nodes.len() as u32;
                 nodes.push(NodeAddr { start, nblocks: 1 });
                 next.push(DirEntry {
@@ -236,7 +240,8 @@ impl XTree {
         let addr = self.nodes[id as usize];
         let buf = self
             .dir
-            .read_to_vec(clock, addr.start, u64::from(addr.nblocks));
+            .read_to_vec(clock, addr.start, u64::from(addr.nblocks))
+            .expect("read directory node");
         Node::decode(&buf, self.dim)
     }
 
@@ -248,9 +253,14 @@ impl XTree {
         node.nblocks = needed.max(node.nblocks);
         let bytes = node.encode(self.dim, dir_bs);
         if node.nblocks == addr.nblocks {
-            self.dir.write_blocks(clock, addr.start, &bytes);
+            self.dir
+                .write_blocks(clock, addr.start, &bytes)
+                .expect("write directory node");
         } else {
-            let start = self.dir.append(clock, &bytes);
+            let start = self
+                .dir
+                .append(clock, &bytes)
+                .expect("append directory node");
             self.nodes[id as usize] = NodeAddr {
                 start,
                 nblocks: node.nblocks,
@@ -260,7 +270,10 @@ impl XTree {
 
     fn read_page(&mut self, clock: &mut SimClock, id: u32) -> DataPage {
         let start = self.pages[id as usize];
-        let buf = self.data.read_to_vec(clock, start, 1);
+        let buf = self
+            .data
+            .read_to_vec(clock, start, 1)
+            .expect("read data page");
         DataPage::decode(&buf, self.dim)
     }
 
@@ -268,19 +281,27 @@ impl XTree {
         let bs = self.data.block_size();
         let bytes = page.encode(self.dim, bs);
         let start = self.pages[id as usize];
-        self.data.write_blocks(clock, start, &bytes);
+        self.data
+            .write_blocks(clock, start, &bytes)
+            .expect("write data page");
     }
 
     fn append_page(&mut self, clock: &mut SimClock, page: &DataPage) -> u32 {
         let bs = self.data.block_size();
-        let start = self.data.append(clock, &page.encode(self.dim, bs));
+        let start = self
+            .data
+            .append(clock, &page.encode(self.dim, bs))
+            .expect("append data page");
         self.pages.push(start);
         self.pages.len() as u32 - 1
     }
 
     fn append_node(&mut self, clock: &mut SimClock, node: &Node) -> u32 {
         let dir_bs = self.dir.block_size();
-        let start = self.dir.append(clock, &node.encode(self.dim, dir_bs));
+        let start = self
+            .dir
+            .append(clock, &node.encode(self.dim, dir_bs))
+            .expect("append directory node");
         self.nodes.push(NodeAddr {
             start,
             nblocks: node.nblocks,
@@ -405,7 +426,8 @@ impl XTree {
         let mut positions: Vec<u64> = pages.iter().map(|&id| self.pages[id as usize]).collect();
         positions.sort_unstable();
         positions.dedup();
-        let fetched = iq_storage::fetch::fetch_blocks(self.data.as_mut(), clock, &positions);
+        let fetched = iq_storage::fetch::fetch_blocks(self.data.as_mut(), clock, &positions)
+            .expect("batch-fetch data pages");
         let bs = self.data.block_size();
         for &id in pages {
             let pos = self.pages[id as usize];
@@ -669,7 +691,10 @@ impl XTree {
                         // Reuse the id for the left half; the supernode's
                         // extra blocks (if any) are abandoned.
                         self.nodes[nid as usize] = NodeAddr {
-                            start: self.dir.append(clock, &left.encode(self.dim, dir_bs)),
+                            start: self
+                                .dir
+                                .append(clock, &left.encode(self.dim, dir_bs))
+                                .expect("append directory node"),
                             nblocks: left.nblocks,
                         };
                         let right_id = self.append_node(clock, &right);

@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         "range" => cmd_range(&opts),
         "batch" => cmd_batch(&opts),
         "stats" => cmd_stats(&opts),
+        "verify" => cmd_verify(&opts),
         "bench" => cmd_bench(&opts),
         _ => Err(format!("unknown command `{cmd}`")),
     };
@@ -61,6 +62,7 @@ const USAGE: &str = "usage:
   iq range    --index <dir> --point <x,y,...> --radius <r> [--cache-blocks <frames>]
   iq batch    --index <dir> --queries <file.csv> [--k <k>] [--threads <t>] [--cache-blocks <frames>]
   iq stats    --index <dir>
+  iq verify   --index <dir>
   iq bench    --input <file.csv> [--queries <q>] [--metric <l2|linf|l1>]
 
 --cache-blocks puts an LRU buffer pool of that many frames in front of each
@@ -252,7 +254,8 @@ fn open_tree(
         open(FILES[1])?,
         open(FILES[2])?,
         &mut clock,
-    );
+    )
+    .map_err(|e| format!("open index: {e}"))?;
     clock.reset();
     Ok((tree, clock, meta))
 }
@@ -352,6 +355,64 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
         clock.stats().blocks_read,
     );
     Ok(())
+}
+
+/// Scans every block of the three index files (per-block CRC32s, the
+/// superblock, the directory payload checksum, page decodability) and
+/// reports corruption; exits nonzero unless the index is fully intact.
+fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
+    use iqtree_repro::tree::verify::verify_index;
+
+    let index = PathBuf::from(req(opts, "index")?);
+    let meta = load_meta(&index)?;
+    let open = |name: &str| -> Result<Box<dyn BlockDevice>, String> {
+        Ok(Box::new(
+            FileDevice::open(&index.join(name), meta.block)
+                .map_err(|e| format!("open {name}: {e}"))?,
+        ))
+    };
+    let mut clock = SimClock::default();
+    let report = verify_index(
+        open(FILES[0])?,
+        open(FILES[1])?,
+        open(FILES[2])?,
+        &mut clock,
+    );
+
+    println!("verify {index:?} (block size {} B)", meta.block);
+    for (level, file) in report.levels.iter().zip(FILES) {
+        let bad = level.corrupt_blocks.len();
+        println!(
+            "  {:<10} {file:<10} {:>8} blocks   {:>4} checksum failure(s)",
+            level.name, level.blocks, bad
+        );
+        for &b in &level.corrupt_blocks {
+            println!("      corrupt block {b}");
+        }
+    }
+    match &report.superblock {
+        Some(sb) => println!(
+            "  superblock: {} pages, {} points, dim {}, directory CRC {:#010x}",
+            sb.n_pages, sb.n_points, sb.dim, sb.dir_crc
+        ),
+        None => println!("  superblock: unreadable"),
+    }
+    for e in &report.errors {
+        println!("  error: {e}");
+    }
+    for &b in &report.undecodable_pages {
+        println!("  error: quantized block {b} passes its CRC but does not decode");
+    }
+    if report.is_clean() {
+        println!("index is clean");
+        Ok(())
+    } else {
+        Err(format!(
+            "index is corrupt: {} bad block(s), {} structural error(s)",
+            report.corrupt_blocks().len(),
+            report.errors.len() + report.undecodable_pages.len(),
+        ))
+    }
 }
 
 /// Races the IQ-tree against the X-tree, VA-file (model-chosen bits) and

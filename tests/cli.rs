@@ -84,6 +84,68 @@ fn generate_build_query_roundtrip() {
 }
 
 #[test]
+fn verify_detects_on_disk_corruption() {
+    let dir = temp_dir();
+    let csv = dir.join("v.csv");
+    let idx = dir.join("vidx");
+    let out = iq()
+        .args(["generate", "--kind", "uniform", "--dim", "4", "--n", "2000"])
+        .args(["--seed", "11", "--out", csv.to_str().expect("utf8")])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    let out = iq()
+        .args(["build", "--input", csv.to_str().expect("utf8")])
+        .args(["--index", idx.to_str().expect("utf8"), "--block", "1024"])
+        .output()
+        .expect("run build");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Clean index verifies clean, exit code 0.
+    let out = iq()
+        .args(["verify", "--index", idx.to_str().expect("utf8")])
+        .output()
+        .expect("run verify");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("index is clean"), "{stdout}");
+    assert!(stdout.contains("quantized"), "{stdout}");
+
+    // Flip one bit in the middle of the quantized file: nonzero exit and
+    // the corrupt block named.
+    let quant = idx.join("quant.bin");
+    let mut bytes = std::fs::read(&quant).expect("read quant file");
+    let target_block = bytes.len() / 1024 / 2;
+    bytes[target_block * 1024 + 100] ^= 0x10;
+    std::fs::write(&quant, bytes).expect("rewrite quant file");
+
+    let out = iq()
+        .args(["verify", "--index", idx.to_str().expect("utf8")])
+        .output()
+        .expect("run verify");
+    assert!(!out.status.success(), "corruption must fail verification");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&format!("corrupt block {target_block}")),
+        "{stdout}"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("index is corrupt"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
 fn bench_subcommand_runs() {
     let dir = temp_dir();
     let csv = dir.join("b.csv");

@@ -1,0 +1,214 @@
+//! End-to-end fault injection: a tree built on clean files is queried
+//! through a [`FaultInjectingDevice`], exercising the retry path (transient
+//! faults must be invisible in the results) and the corruption-fallback
+//! path (a permanently corrupt quantized block degrades to the exact
+//! level, not to a panic or a wrong answer).
+
+use iqtree_repro::data::{self, Workload};
+use iqtree_repro::geometry::{Dataset, Metric};
+use iqtree_repro::storage::{BlockDevice, FaultConfig, FaultInjectingDevice, FileDevice, SimClock};
+use iqtree_repro::tree::verify::verify_index;
+use iqtree_repro::tree::{IqTree, IqTreeOptions};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+const FILES: [&str; 3] = ["dir.bin", "quant.bin", "exact.bin"];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "iqtree-fault-{tag}-{}-{}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-")
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Builds an index over `ds` into three files under `dir` and drops it.
+fn build_files(dir: &Path, ds: &Dataset, block: usize) {
+    let mut clock = SimClock::default();
+    let mut names = FILES.iter();
+    let tree = IqTree::build(
+        ds,
+        Metric::Euclidean,
+        IqTreeOptions::default(),
+        || {
+            let path = dir.join(names.next().expect("three files"));
+            Box::new(FileDevice::create(&path, block).expect("create index file"))
+                as Box<dyn BlockDevice>
+        },
+        &mut clock,
+    );
+    drop(tree);
+}
+
+/// Reopens the index files, each wrapped by `wrap` (e.g. in a fault
+/// injector).
+fn reopen(
+    dir: &Path,
+    block: usize,
+    dim: usize,
+    mut wrap: impl FnMut(usize, Box<dyn BlockDevice>) -> Box<dyn BlockDevice>,
+) -> (IqTree, SimClock) {
+    let mut clock = SimClock::default();
+    let mut open = |i: usize| {
+        let raw = Box::new(FileDevice::open(&dir.join(FILES[i]), block).expect("open index file"))
+            as Box<dyn BlockDevice>;
+        wrap(i, raw)
+    };
+    let tree = IqTree::open(
+        dim,
+        Metric::Euclidean,
+        IqTreeOptions::default(),
+        open(0),
+        open(1),
+        open(2),
+        &mut clock,
+    )
+    .expect("index opens");
+    clock.reset();
+    (tree, clock)
+}
+
+/// Seeded transient faults on every level (rate <= 10%): the bounded
+/// retries must absorb them all, so a batch k-NN run over a 10k-point
+/// index returns exactly the clean run's results — while the I/O
+/// statistics prove faults actually fired.
+#[test]
+fn transient_faults_are_invisible_in_batch_results() {
+    let dir = temp_dir("transient");
+    let w = Workload::generate(10_000, 32, |n| data::uniform(8, n, 2024));
+    build_files(&dir, &w.db, 4096);
+    let queries: Vec<Vec<f32>> = w.queries.iter().map(<[f32]>::to_vec).collect();
+
+    let (clean_tree, mut clean_clock) = reopen(&dir, 4096, 8, |_, d| d);
+    let clean = clean_tree.knn_batch(&mut clean_clock, &queries, 10, 4);
+
+    let cfg = FaultConfig {
+        seed: 7,
+        read_transient_rate: 0.08, // <= 10%, queries only read
+        write_transient_rate: 0.0,
+        bit_flip_rate: 0.0,
+        torn_write_rate: 0.0,
+    };
+    let (faulty_tree, mut faulty_clock) = reopen(&dir, 4096, 8, |_, d| {
+        Box::new(FaultInjectingDevice::new(d, cfg))
+    });
+    let faulty = faulty_tree.knn_batch(&mut faulty_clock, &queries, 10, 4);
+
+    assert_eq!(clean, faulty, "retries must hide every transient fault");
+    let stats = faulty_clock.stats();
+    assert!(stats.injected_faults > 0, "no fault ever fired: {stats:?}");
+    assert!(stats.io_retries > 0, "no retry ever ran: {stats:?}");
+    assert_eq!(clean_clock.stats().injected_faults, 0);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// One permanently corrupt quantized (level-2) block: full-result k-NN
+/// still returns the exact answer by falling back to the level-3 exact
+/// page, and the corruption shows up in the trace and the I/O statistics.
+#[test]
+fn corrupt_quant_block_falls_back_to_exact_level() {
+    let dir = temp_dir("corrupt");
+    let w = Workload::generate(3_000, 8, |n| data::uniform(6, n, 7));
+    build_files(&dir, &w.db, 2048);
+
+    let (tree, mut clock) = reopen(&dir, 2048, 6, |i, d| {
+        let f = FaultInjectingDevice::new(d, FaultConfig::none(3));
+        if i == 1 {
+            f.corrupt_block(0); // first quantized page, permanently
+        }
+        Box::new(f)
+    });
+
+    // k = n: nothing is prunable, so the corrupt page must be visited.
+    let k = tree.len();
+    for q in w.queries.iter().take(4) {
+        let before = clock.stats().corrupt_blocks;
+        let (hits, trace) = tree.knn_traced(&mut clock, q, k);
+        assert!(trace.quant_fallbacks >= 1, "fallback never ran: {trace:?}");
+        assert_eq!(trace.pages_lost, 0, "exact level was available");
+        assert_eq!(trace.points_skipped, 0);
+        assert!(clock.stats().corrupt_blocks > before);
+
+        // Degraded — but still exactly right.
+        assert_eq!(hits.len(), k);
+        let m = Metric::Euclidean;
+        let mut expect: Vec<(u32, f64)> = (0..w.db.len())
+            .map(|i| (i as u32, m.distance(w.db.point(i), q)))
+            .collect();
+        expect.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        for (got, want) in hits.iter().zip(&expect) {
+            assert!((got.1 - want.1).abs() < 1e-9);
+        }
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Corrupting any single block of any of the three files is detected
+    /// by `verify_index`, which pinpoints exactly the corrupted block.
+    #[test]
+    fn prop_verify_pinpoints_any_corrupt_block(seed in 0u64..1_000, pick in 0usize..1_000) {
+        let dir = temp_dir(&format!("prop-{seed}-{pick}"));
+        let ds = data::uniform(4, 600, seed);
+        build_files(&dir, &ds, 512);
+
+        // Choose a (level, block) uniformly over all blocks of the index.
+        let sizes: Vec<u64> = FILES
+            .iter()
+            .map(|f| {
+                let len = std::fs::metadata(dir.join(f)).expect("stat").len();
+                len / 512
+            })
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        let mut target = (pick as u64 * 7 + seed) % total;
+        let mut level = 0;
+        while target >= sizes[level] {
+            target -= sizes[level];
+            level += 1;
+        }
+
+        let mut clock = SimClock::default();
+        let open_with_fault = |i: usize| -> Box<dyn BlockDevice> {
+            let raw = Box::new(FileDevice::open(&dir.join(FILES[i]), 512).expect("open"))
+                as Box<dyn BlockDevice>;
+            let f = FaultInjectingDevice::new(raw, FaultConfig::none(9));
+            if i == level {
+                f.corrupt_block(target);
+            }
+            Box::new(f)
+        };
+        let report = verify_index(
+            open_with_fault(0),
+            open_with_fault(1),
+            open_with_fault(2),
+            &mut clock,
+        );
+        prop_assert!(!report.is_clean());
+        let expect_name = ["directory", "quantized", "exact"][level];
+        prop_assert_eq!(report.corrupt_blocks(), vec![(expect_name, target)]);
+
+        // Directory corruption must also fail a real `open`.
+        if level == 0 {
+            let mut clock = SimClock::default();
+            let opened = IqTree::open(
+                4,
+                Metric::Euclidean,
+                IqTreeOptions::default(),
+                open_with_fault(0),
+                open_with_fault(1),
+                open_with_fault(2),
+                &mut clock,
+            );
+            prop_assert!(opened.is_err());
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
