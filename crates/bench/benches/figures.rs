@@ -96,7 +96,7 @@ fn fig8_methods(c: &mut Criterion) {
     });
 
     let mut cl = clock(&cfg);
-    let mut xt = XTree::build(
+    let xt = XTree::build(
         &w.db,
         Metric::Euclidean,
         XTreeOptions::default(),
@@ -115,7 +115,7 @@ fn fig8_methods(c: &mut Criterion) {
     });
 
     let mut cl = clock(&cfg);
-    let mut va = VaFile::build(&w.db, Metric::Euclidean, 5, dev(&cfg), dev(&cfg), &mut cl);
+    let va = VaFile::build(&w.db, Metric::Euclidean, 5, dev(&cfg), dev(&cfg), &mut cl);
     let mut qi = 0usize;
     group.bench_function("vafile_5bit", |b| {
         b.iter(|| {
@@ -127,7 +127,7 @@ fn fig8_methods(c: &mut Criterion) {
     });
 
     let mut cl = clock(&cfg);
-    let mut scan = SeqScan::build(&w.db, Metric::Euclidean, dev(&cfg), &mut cl);
+    let scan = SeqScan::build(&w.db, Metric::Euclidean, dev(&cfg), &mut cl);
     let mut qi = 0usize;
     group.bench_function("scan", |b| {
         b.iter(|| {

@@ -45,7 +45,7 @@ pub fn knn_sweep(cfg: &Config) -> Table {
         || dev(cfg),
         &mut clock,
     );
-    let mut xt = XTree::build(
+    let xt = XTree::build(
         &w.db,
         Metric::Euclidean,
         XTreeOptions::default(),
@@ -53,7 +53,7 @@ pub fn knn_sweep(cfg: &Config) -> Table {
         dev(cfg),
         &mut clock,
     );
-    let mut va = VaFile::build(&w.db, Metric::Euclidean, 5, dev(cfg), dev(cfg), &mut clock);
+    let va = VaFile::build(&w.db, Metric::Euclidean, 5, dev(cfg), dev(cfg), &mut clock);
     for k in [1usize, 5, 10, 20, 50, 100] {
         let a = measure(&w.queries, &mut clock, |c, q| {
             iq.knn(c, q, k);

@@ -59,7 +59,7 @@ fn main() {
             s2.total, s2.io, s2.cpu, s2.seeks, s2.blocks
         );
         let mut clock = SimClock::new(cfg.disk, cfg.cpu);
-        let mut xt = XTree::build(
+        let xt = XTree::build(
             &w.db,
             Metric::Euclidean,
             XTreeOptions::default(),

@@ -30,9 +30,7 @@ use build::{optimize_partitions, OptimizeTrace, SolutionPage};
 use iq_cost::{DirectoryParams, RefineParams};
 use iq_geometry::{bulk_partition, Dataset, Mbr, Metric};
 use iq_quantize::{ExactPageCodec, QuantizedPageCodec, EXACT_BITS};
-use iq_storage::{
-    read_to_vec_retry, BlockDevice, ChecksummedDevice, IqResult, RetryPolicy, SimClock,
-};
+use iq_storage::{read_to_vec_retry, BlockDevice, DeviceStack, IqResult, RetryPolicy, SimClock};
 
 /// Construction and search options.
 #[derive(Clone, Copy, Debug)]
@@ -70,16 +68,20 @@ impl Default for IqTreeOptions {
     }
 }
 
-/// Wraps a raw device in the stack every level file lives behind: a
-/// [`ChecksummedDevice`] verifying a per-block CRC32 on every read
+/// Wraps a raw device in the stack every level file lives behind
+/// ([`DeviceStack`]): per-block CRC32 checksumming verifying every read
 /// (innermost, so cached frames always hold verified bytes), then an
 /// optional buffer pool. Callers see the *logical* block size — the
-/// physical one minus the checksum trailer.
+/// physical one minus the checksum trailer. Transient-fault retries are
+/// charged at the call sites via [`IqTreeOptions::retry`], not in the
+/// stack, so the retry budget stays a per-tree query option.
 fn wrap_device(dev: Box<dyn BlockDevice>, cache_blocks: Option<usize>) -> Box<dyn BlockDevice> {
-    let dev: Box<dyn BlockDevice> = Box::new(ChecksummedDevice::new(dev));
+    let stack = DeviceStack::new(dev).checksum();
     match cache_blocks {
-        Some(frames) => Box::new(iq_cache::CachedDevice::new(dev, frames)),
-        None => dev,
+        Some(frames) => stack
+            .layer(|d| Box::new(iq_cache::CachedDevice::new(d, frames)))
+            .build(),
+        None => stack.build(),
     }
 }
 

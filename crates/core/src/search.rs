@@ -17,14 +17,17 @@
 
 use crate::{IqTree, PageMeta};
 use iq_cost::access_prob::fraction_in_ball;
+use iq_engine::{AccessMethod, TopK};
 use iq_quantize::{GridQuantizer, EXACT_BITS};
 use iq_storage::{fetch, read_to_vec_retry, SimClock};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Per-query outcome inside [`IqTree::knn_batch`]: the k-NN result list
-/// plus the clock that paid for it.
-type BatchSlot = Option<(Vec<(u32, f64)>, SimClock)>;
+/// What a nearest-neighbor query actually did — returned by
+/// [`IqTree::knn_traced`] for inspection, tuning and tests. The type lives
+/// in `iq-engine` so every access method reports work in the same shape;
+/// re-exported here for backward compatibility.
+pub use iq_engine::QueryTrace;
 
 /// Heap entry target.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -52,46 +55,6 @@ impl Ord for Key {
     }
 }
 
-/// What a nearest-neighbor query actually did — returned by
-/// [`IqTree::knn_traced`] for inspection, tuning and tests.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct QueryTrace {
-    /// Quantized pages decoded and processed.
-    pub pages_processed: u64,
-    /// Pages loaded but skipped (over-read filler or already prunable).
-    pub pages_skipped: u64,
-    /// Contiguous read sweeps the scheduler issued.
-    pub runs: u64,
-    /// Exact-point look-ups (third-level refinements).
-    pub refinements: u64,
-    /// Point approximations that entered the priority list.
-    pub approx_enqueued: u64,
-    /// Quantized blocks that failed verification or decoding and were
-    /// answered from the page's exact (level-3) region instead.
-    pub quant_fallbacks: u64,
-    /// Pages lost entirely (corrupt level-2 block with no readable exact
-    /// backing): their points are missing from the result.
-    pub pages_lost: u64,
-    /// Individual refinements skipped because the exact entry stayed
-    /// unreadable after retries.
-    pub points_skipped: u64,
-}
-
-impl QueryTrace {
-    /// Whether any corruption degraded this query's result or cost
-    /// (fallbacks recover full precision; lost pages and skipped points
-    /// mean the result may be partial).
-    pub fn degraded(&self) -> bool {
-        self.quant_fallbacks > 0 || self.pages_lost > 0 || self.points_skipped > 0
-    }
-
-    /// Whether the result is possibly missing points (as opposed to merely
-    /// having cost more to compute).
-    pub fn partial(&self) -> bool {
-        self.pages_lost > 0 || self.points_skipped > 0
-    }
-}
-
 /// Per-query working state.
 struct SearchState {
     /// MINDIST key of every page.
@@ -103,30 +66,19 @@ struct SearchState {
     rank: Vec<u32>,
     /// Pages already loaded and processed (or scheduled away).
     processed: Vec<bool>,
-    /// Current k-best exact results: (key, id), sorted ascending.
-    best: Vec<(f64, u32)>,
-    k: usize,
+    /// Current k-best exact results.
+    best: TopK,
     trace: QueryTrace,
 }
 
 impl SearchState {
     /// The pruning bound in key space (k-th best exact distance).
     fn bound(&self) -> f64 {
-        if self.best.len() < self.k {
-            f64::INFINITY
-        } else {
-            self.best.last().expect("k >= 1").0
-        }
+        self.best.bound()
     }
 
     fn offer(&mut self, key: f64, id: u32) {
-        if self.best.len() < self.k || key < self.bound() {
-            let pos = self.best.partition_point(|&(d, _)| d < key);
-            self.best.insert(pos, (key, id));
-            if self.best.len() > self.k {
-                self.best.pop();
-            }
-        }
+        self.best.insert(key, id);
     }
 }
 
@@ -150,10 +102,12 @@ impl IqTree {
     /// Answers every query in `queries` with a `k`-NN search, fanning the
     /// batch out over `threads` OS threads that share `self`.
     ///
-    /// Each query runs against a fresh clone of `clock` (reset to zero), so
-    /// per-query costs are charged exactly as in a serial cold run; the
-    /// per-query clocks are then folded back into `clock` in query order
-    /// via [`SimClock::absorb`]. Results and accumulated statistics are
+    /// Delegates to the engine-layer executor [`iq_engine::knn_batch`],
+    /// which works over any [`AccessMethod`]: each query runs against a
+    /// fresh clone of `clock` (reset to zero), so per-query costs are
+    /// charged exactly as in a serial cold run; the per-query clocks are
+    /// then folded back into `clock` in query order via
+    /// [`SimClock::absorb`]. Results and accumulated statistics are
     /// therefore identical for every thread count, including `1`.
     pub fn knn_batch(
         &self,
@@ -162,33 +116,7 @@ impl IqTree {
         k: usize,
         threads: usize,
     ) -> Vec<Vec<(u32, f64)>> {
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        let mut template = clock.clone();
-        template.reset();
-        let template = &template;
-        let mut slots: Vec<BatchSlot> = Vec::new();
-        slots.resize_with(queries.len(), || None);
-        let chunk = queries.len().div_ceil(threads.max(1));
-        std::thread::scope(|s| {
-            for (qs, outs) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-                s.spawn(move || {
-                    for (q, out) in qs.iter().zip(outs.iter_mut()) {
-                        let mut c = template.clone();
-                        let res = self.knn(&mut c, q, k);
-                        *out = Some((res, c));
-                    }
-                });
-            }
-        });
-        let mut results = Vec::with_capacity(queries.len());
-        for slot in slots {
-            let (res, c) = slot.expect("every spawned chunk fills its slots");
-            clock.absorb(&c);
-            results.push(res);
-        }
-        results
+        iq_engine::knn_batch(self, clock, queries, k, threads)
     }
 
     /// Like [`IqTree::knn`], additionally returning a [`QueryTrace`] of
@@ -212,8 +140,7 @@ impl IqTree {
             order: Vec::new(),
             rank: Vec::new(),
             processed: vec![false; n_pages],
-            best: Vec::with_capacity(k + 1),
-            k,
+            best: TopK::new(k),
             trace: QueryTrace::default(),
         };
         let mut heap: BinaryHeap<Reverse<(Key, Item)>> = BinaryHeap::with_capacity(n_pages);
@@ -277,11 +204,7 @@ impl IqTree {
             }
         }
 
-        let results = st
-            .best
-            .into_iter()
-            .map(|(key, id)| (id, metric.key_to_distance(key)))
-            .collect();
+        let results = st.best.into_results(metric);
         (results, st.trace)
     }
 
@@ -589,35 +512,53 @@ impl IqTree {
                 return out;
             }
         };
-        let block_bytes = |pos: u64| -> &[u8] {
-            let (run, buf) = fetched
-                .iter()
-                .find(|(run, _)| run.contains(pos))
-                .expect("fetch plan covers every refinement block");
+        let block_bytes = |pos: u64| -> Option<&[u8]> {
+            let (run, buf) = fetched.iter().find(|(run, _)| run.contains(pos))?;
             let off = ((pos - run.start) as usize) * bs;
-            &buf[off..off + bs]
+            buf.get(off..off + bs)
         };
         let mut out = Vec::new();
         let mut point_buf = vec![0u8; pb];
         for &(page, slot, id) in refinements {
             let meta = &self.pages()[page];
             let (first, nblocks, byte_off) = self.exact_codec().entry_span(slot, bs);
+            // A block missing from the plan or a payload that fails to
+            // decode is corruption, not a crash: degrade that candidate to
+            // one retried single-block read, skipping it if it stays
+            // unreadable (the damage is visible in the clock statistics).
+            let mut planned = true;
             if nblocks == 1 {
-                let bytes = block_bytes(meta.exact_start + first);
-                point_buf.copy_from_slice(&bytes[byte_off..byte_off + pb]);
+                match block_bytes(meta.exact_start + first) {
+                    Some(bytes) => point_buf.copy_from_slice(&bytes[byte_off..byte_off + pb]),
+                    None => planned = false,
+                }
             } else {
                 // Straddles a block boundary: stitch.
                 let mut cursor = 0usize;
                 let mut off = byte_off;
                 for b in 0..nblocks {
-                    let bytes = block_bytes(meta.exact_start + first + b);
+                    let Some(bytes) = block_bytes(meta.exact_start + first + b) else {
+                        planned = false;
+                        break;
+                    };
                     let take = (bs - off).min(pb - cursor);
                     point_buf[cursor..cursor + take].copy_from_slice(&bytes[off..off + take]);
                     cursor += take;
                     off = 0;
                 }
             }
-            let (_, coords) = self.exact_codec().decode_entry_at(&point_buf);
+            let decoded = if planned {
+                self.exact_codec().try_decode_entry_at(&point_buf).ok()
+            } else {
+                None
+            };
+            let coords = match decoded {
+                Some((_, coords)) => coords,
+                None => match self.try_read_exact_point(clock, page, slot) {
+                    Ok(coords) => coords,
+                    Err(_) => continue,
+                },
+            };
             clock.charge_dist_evals(self.dim(), 1);
             if accept(&coords) {
                 out.push(id);
@@ -665,17 +606,17 @@ impl IqTree {
         let mut refinements: Vec<(usize, usize, u32)> = Vec::new();
         for &p in &candidates {
             let block = self.pages()[p].quant_block;
-            let bytes: Option<Vec<u8>> = match &fetched {
-                Some(fetched) => {
-                    let (run, buf) = fetched
-                        .iter()
-                        .find(|(run, _)| run.contains(block))
-                        .expect("fetch plan covers every candidate");
-                    let off = ((block - run.start) as usize) * bs;
-                    Some(buf[off..off + bs].to_vec())
-                }
-                None => read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()).ok(),
-            };
+            // A candidate missing from the sweep (or a failed sweep) falls
+            // back to one retried read; a page whose block stays unreadable
+            // is answered from its exact region.
+            let planned = fetched.as_ref().and_then(|fetched| {
+                let (run, buf) = fetched.iter().find(|(run, _)| run.contains(block))?;
+                let off = ((block - run.start) as usize) * bs;
+                buf.get(off..off + bs).map(<[u8]>::to_vec)
+            });
+            let bytes = planned.or_else(|| {
+                read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()).ok()
+            });
             let Some(decoded) = bytes.and_then(|b| self.codec().try_decode(&b).ok()) else {
                 self.fallback_scan_exact(clock, p, &mut out, |coords| {
                     window.contains_point(coords)
@@ -747,17 +688,16 @@ impl IqTree {
         let bs = self.codec().block_size();
         for &p in &candidates {
             let block = self.pages()[p].quant_block;
-            let bytes: Option<Vec<u8>> = match &fetched {
-                Some(fetched) => {
-                    let (run, buf) = fetched
-                        .iter()
-                        .find(|(run, _)| run.contains(block))
-                        .expect("fetch plan covers every candidate");
-                    let off = ((block - run.start) as usize) * bs;
-                    Some(buf[off..off + bs].to_vec())
-                }
-                None => read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()).ok(),
-            };
+            // Same degradation ladder as `window`: plan miss → single
+            // retried read → exact-region fallback.
+            let planned = fetched.as_ref().and_then(|fetched| {
+                let (run, buf) = fetched.iter().find(|(run, _)| run.contains(block))?;
+                let off = ((block - run.start) as usize) * bs;
+                buf.get(off..off + bs).map(<[u8]>::to_vec)
+            });
+            let bytes = planned.or_else(|| {
+                read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()).ok()
+            });
             let Some(decoded) = bytes.and_then(|b| self.codec().try_decode(&b).ok()) else {
                 self.fallback_scan_exact(clock, p, &mut out, |coords| {
                     metric.distance_key(coords, q) <= key_r
@@ -791,6 +731,44 @@ impl IqTree {
             metric.distance_key(coords, q) <= key_r
         }));
         out
+    }
+}
+
+/// The IQ-tree behind the engine-layer query trait: the same searches the
+/// inherent methods expose, callable through `&dyn AccessMethod` alongside
+/// the scan, VA-file and X-tree baselines.
+impl AccessMethod for IqTree {
+    fn name(&self) -> &'static str {
+        "iqtree"
+    }
+
+    fn dim(&self) -> usize {
+        IqTree::dim(self)
+    }
+
+    fn len(&self) -> usize {
+        IqTree::len(self)
+    }
+
+    fn metric(&self) -> iq_geometry::Metric {
+        IqTree::metric(self)
+    }
+
+    fn knn_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        IqTree::knn_traced(self, clock, q, k)
+    }
+
+    fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+        IqTree::range(self, clock, q, radius)
+    }
+
+    fn window(&self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
+        IqTree::window(self, clock, window)
     }
 }
 

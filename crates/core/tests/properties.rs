@@ -140,7 +140,7 @@ proptest! {
         use std::sync::Arc;
         let (tree, _) = build(&ds, IqTreeOptions::default(), Metric::Euclidean, 512);
         let tree = Arc::new(tree);
-        let mut scan = iq_scan::SeqScan::build(
+        let scan = iq_scan::SeqScan::build(
             &ds,
             Metric::Euclidean,
             Box::new(MemDevice::new(512)),

@@ -1,0 +1,231 @@
+//! Engine layer: one query interface over every access method.
+//!
+//! The paper's evaluation (Sections 4–5) is comparative — IQ-tree against
+//! VA-file, X-tree and sequential scan — so the repo runs all four behind a
+//! single [`AccessMethod`] trait: `&self` queries (any number of threads
+//! may share one index), per-query [`SimClock`] accounting, and a unified
+//! [`QueryTrace`] so figure runners, the CLI and the conformance tests
+//! iterate `&dyn AccessMethod` instead of special-casing each backend.
+//!
+//! The crate also hosts the two pieces every method used to duplicate:
+//!
+//! * [`TopK`] — the bounded best-list for k-NN searches (NaN-rejecting),
+//! * [`knn_batch`] — the deterministic multi-threaded batch executor
+//!   (results and accumulated clock statistics are identical for every
+//!   thread count, including 1).
+
+mod topk;
+mod trace;
+
+pub use topk::TopK;
+pub use trace::QueryTrace;
+
+use iq_geometry::{Mbr, Metric};
+use iq_storage::SimClock;
+
+/// A disk-resident multidimensional index answering exact similarity
+/// queries.
+///
+/// All queries take `&self` plus a caller-owned [`SimClock`]: the clock
+/// models one disk arm and is inherently per-query state, while the index
+/// itself is immutable during reads. Implementations must be `Send + Sync`
+/// so a single index can serve concurrent queries (see [`knn_batch`]).
+pub trait AccessMethod: Send + Sync {
+    /// Short stable identifier (`"iqtree"`, `"vafile"`, `"xtree"`,
+    /// `"scan"`) used by the CLI, bench tables and JSON output.
+    fn name(&self) -> &'static str;
+
+    /// Dimensionality of the indexed points.
+    fn dim(&self) -> usize;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The distance metric queries are answered under.
+    fn metric(&self) -> Metric;
+
+    /// Exact nearest neighbor of `q`, as `(id, distance)`.
+    fn nearest(&self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
+        self.knn(clock, q, 1).pop()
+    }
+
+    /// The `k` exact nearest neighbors of `q`, ordered by increasing
+    /// distance (ties broken arbitrarily).
+    fn knn(&self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
+        self.knn_traced(clock, q, k).0
+    }
+
+    /// Like [`AccessMethod::knn`], additionally returning a
+    /// [`QueryTrace`] of what the search did. Methods without a
+    /// filter-and-refine structure report the fields that apply to them
+    /// (a sequential scan processes every "page" and refines nothing).
+    fn knn_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+    ) -> (Vec<(u32, f64)>, QueryTrace);
+
+    /// All points within `radius` of `q` under the index metric
+    /// (unordered ids).
+    fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32>;
+
+    /// All points inside the query window (unordered ids).
+    fn window(&self, clock: &mut SimClock, window: &Mbr) -> Vec<u32>;
+}
+
+/// Per-query outcome inside [`knn_batch`]: the k-NN result list plus the
+/// clock that paid for it.
+type BatchSlot = Option<(Vec<(u32, f64)>, SimClock)>;
+
+/// Answers every query in `queries` with a `k`-NN search against `method`,
+/// fanning the batch out over `threads` OS threads that share the index.
+///
+/// Each query runs against a fresh clone of `clock` (reset to zero), so
+/// per-query costs are charged exactly as in a serial cold run; the
+/// per-query clocks are then folded back into `clock` in query order via
+/// [`SimClock::absorb`]. Results and accumulated statistics are therefore
+/// identical for every thread count, including `1`.
+pub fn knn_batch<M: AccessMethod + ?Sized>(
+    method: &M,
+    clock: &mut SimClock,
+    queries: &[Vec<f32>],
+    k: usize,
+    threads: usize,
+) -> Vec<Vec<(u32, f64)>> {
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    let mut template = clock.clone();
+    template.reset();
+    let template = &template;
+    let mut slots: Vec<BatchSlot> = Vec::new();
+    slots.resize_with(queries.len(), || None);
+    let chunk = queries.len().div_ceil(threads.max(1));
+    std::thread::scope(|s| {
+        for (qs, outs) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (q, out) in qs.iter().zip(outs.iter_mut()) {
+                    let mut c = template.clone();
+                    let res = method.knn(&mut c, q, k);
+                    *out = Some((res, c));
+                }
+            });
+        }
+    });
+    let mut results = Vec::with_capacity(queries.len());
+    for slot in slots {
+        let (res, c) = slot.expect("every spawned chunk fills its slots");
+        clock.absorb(&c);
+        results.push(res);
+    }
+    results
+}
+
+// `&dyn AccessMethod` and boxed methods must stay usable across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<dyn AccessMethod>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy in-memory method, enough to exercise the executor.
+    struct Flat {
+        dim: usize,
+        pts: Vec<Vec<f32>>,
+    }
+
+    impl AccessMethod for Flat {
+        fn name(&self) -> &'static str {
+            "flat"
+        }
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn len(&self) -> usize {
+            self.pts.len()
+        }
+        fn metric(&self) -> Metric {
+            Metric::Euclidean
+        }
+        fn knn_traced(
+            &self,
+            clock: &mut SimClock,
+            q: &[f32],
+            k: usize,
+        ) -> (Vec<(u32, f64)>, QueryTrace) {
+            clock.charge_dist_evals(self.dim, self.pts.len() as u64);
+            let mut top = TopK::new(k);
+            for (i, p) in self.pts.iter().enumerate() {
+                top.insert(Metric::Euclidean.distance_key(p, q), i as u32);
+            }
+            (top.into_results(Metric::Euclidean), QueryTrace::default())
+        }
+        fn range(&self, _clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+            (0..self.pts.len() as u32)
+                .filter(|&i| Metric::Euclidean.distance(&self.pts[i as usize], q) <= radius)
+                .collect()
+        }
+        fn window(&self, _clock: &mut SimClock, window: &Mbr) -> Vec<u32> {
+            (0..self.pts.len() as u32)
+                .filter(|&i| window.contains_point(&self.pts[i as usize]))
+                .collect()
+        }
+    }
+
+    fn flat(n: usize) -> Flat {
+        Flat {
+            dim: 2,
+            pts: (0..n).map(|i| vec![i as f32, (i * 7 % n) as f32]).collect(),
+        }
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let m = flat(400);
+        let queries: Vec<Vec<f32>> = (0..37).map(|i| vec![i as f32, (i * 3) as f32]).collect();
+        let mut c1 = SimClock::default();
+        let r1 = knn_batch(&m, &mut c1, &queries, 5, 1);
+        for threads in [2, 3, 8] {
+            let mut c = SimClock::default();
+            let r = knn_batch(&m, &mut c, &queries, 5, threads);
+            assert_eq!(r, r1, "{threads} threads");
+            assert_eq!(c.stats(), c1.stats(), "{threads} threads");
+            assert_eq!(c.io_time(), c1.io_time(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn batch_works_through_dyn_trait_object() {
+        let m = flat(50);
+        let dynm: &dyn AccessMethod = &m;
+        let mut clock = SimClock::default();
+        let r = knn_batch(dynm, &mut clock, &[vec![0.0, 0.0]], 3, 4);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].len(), 3);
+        assert_eq!(r[0][0].0, 0);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let m = flat(10);
+        let mut clock = SimClock::default();
+        assert!(knn_batch(&m, &mut clock, &[], 3, 4).is_empty());
+    }
+
+    #[test]
+    fn default_nearest_delegates_to_knn() {
+        let m = flat(10);
+        let mut clock = SimClock::default();
+        let nn = m.nearest(&mut clock, &[3.1, 1.0]).expect("non-empty");
+        assert_eq!(nn.0, 3);
+    }
+}

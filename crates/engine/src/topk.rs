@@ -1,0 +1,137 @@
+//! The bounded best-list every k-NN search shares.
+
+use iq_geometry::Metric;
+
+/// A bounded top-k list over `(key, id)` pairs, smallest keys kept.
+///
+/// Keys are distance *keys* (monotone transforms of distances, e.g.
+/// squared L2) — whatever the caller compares in. The list is maintained
+/// sorted ascending, capped at `k`; inserts beyond the current bound are
+/// rejected in O(1), accepted inserts cost O(k) (k is small — this beats a
+/// heap in practice and keeps the contents ordered for free).
+///
+/// NaN keys are rejected outright: a NaN distance means a broken input
+/// coordinate, and silently admitting it would poison the bound
+/// comparison for the rest of the query.
+#[derive(Clone, Debug)]
+pub struct TopK {
+    k: usize,
+    best: Vec<(f64, u32)>,
+}
+
+impl TopK {
+    /// An empty list that will retain at most `k` entries.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            best: Vec::with_capacity(k.min(1024) + 1),
+        }
+    }
+
+    /// The pruning bound: the k-th best key so far, or `+∞` while the
+    /// list is not yet full. Anything with a key `>=` this cannot enter.
+    pub fn bound(&self) -> f64 {
+        if self.best.len() < self.k {
+            f64::INFINITY
+        } else {
+            match self.best.last() {
+                Some(&(key, _)) => key,
+                None => f64::NEG_INFINITY, // k == 0: nothing ever enters
+            }
+        }
+    }
+
+    /// Offers `(key, id)`; keeps it only if it beats the bound. Returns
+    /// whether the entry was admitted. NaN keys are always rejected.
+    pub fn insert(&mut self, key: f64, id: u32) -> bool {
+        if key.is_nan() || !(self.best.len() < self.k || key < self.bound()) {
+            return false;
+        }
+        let pos = self.best.partition_point(|&(d, _)| d < key);
+        self.best.insert(pos, (key, id));
+        if self.best.len() > self.k {
+            self.best.pop();
+        }
+        true
+    }
+
+    /// Current number of retained entries (`<= k`).
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// Whether nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+
+    /// The retained `(key, id)` pairs, ascending by key.
+    pub fn into_sorted(self) -> Vec<(f64, u32)> {
+        self.best
+    }
+
+    /// The retained entries as `(id, distance)` results, ascending by
+    /// distance, mapping keys back through `metric`.
+    pub fn into_results(self, metric: Metric) -> Vec<(u32, f64)> {
+        self.best
+            .into_iter()
+            .map(|(key, id)| (id, metric.key_to_distance(key)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest_sorted() {
+        let mut top = TopK::new(3);
+        for (key, id) in [(5.0, 5), (1.0, 1), (4.0, 4), (2.0, 2), (3.0, 3)] {
+            top.insert(key, id);
+        }
+        assert_eq!(top.into_sorted(), vec![(1.0, 1), (2.0, 2), (3.0, 3)]);
+    }
+
+    #[test]
+    fn bound_tracks_kth_best() {
+        let mut top = TopK::new(2);
+        assert_eq!(top.bound(), f64::INFINITY);
+        top.insert(3.0, 0);
+        assert_eq!(top.bound(), f64::INFINITY, "not full yet");
+        top.insert(1.0, 1);
+        assert_eq!(top.bound(), 3.0);
+        assert!(!top.insert(3.0, 2), "equal to bound is rejected");
+        assert!(top.insert(2.0, 2));
+        assert_eq!(top.bound(), 2.0);
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let mut top = TopK::new(2);
+        assert!(!top.insert(f64::NAN, 9));
+        top.insert(1.0, 1);
+        assert!(!top.insert(f64::NAN, 9));
+        assert_eq!(top.into_sorted(), vec![(1.0, 1)]);
+    }
+
+    #[test]
+    fn zero_k_admits_nothing() {
+        let mut top = TopK::new(0);
+        assert!(!top.insert(1.0, 1));
+        assert!(top.is_empty());
+        assert!(top.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn into_results_maps_keys_to_distances() {
+        let mut top = TopK::new(2);
+        // Euclidean keys are squared distances.
+        top.insert(4.0, 7);
+        top.insert(9.0, 8);
+        assert_eq!(
+            top.into_results(Metric::Euclidean),
+            vec![(7, 2.0), (8, 3.0)]
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! The unified per-query work report.
+
+/// What a nearest-neighbor query actually did — returned by
+/// [`AccessMethod::knn_traced`](crate::AccessMethod::knn_traced) for
+/// inspection, tuning and tests.
+///
+/// The fields are written from the IQ-tree's three-level perspective but
+/// apply to every method: a VA-file "page" is an approximation block, a
+/// sequential scan processes all pages and refines nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Quantized pages decoded and processed.
+    pub pages_processed: u64,
+    /// Pages loaded but skipped (over-read filler or already prunable).
+    pub pages_skipped: u64,
+    /// Contiguous read sweeps the scheduler issued.
+    pub runs: u64,
+    /// Exact-point look-ups (third-level refinements).
+    pub refinements: u64,
+    /// Point approximations that entered the priority list.
+    pub approx_enqueued: u64,
+    /// Quantized blocks that failed verification or decoding and were
+    /// answered from the page's exact (level-3) region instead.
+    pub quant_fallbacks: u64,
+    /// Pages lost entirely (corrupt level-2 block with no readable exact
+    /// backing): their points are missing from the result.
+    pub pages_lost: u64,
+    /// Individual refinements skipped because the exact entry stayed
+    /// unreadable after retries.
+    pub points_skipped: u64,
+}
+
+impl QueryTrace {
+    /// Whether any corruption degraded this query's result or cost
+    /// (fallbacks recover full precision; lost pages and skipped points
+    /// mean the result may be partial).
+    pub fn degraded(&self) -> bool {
+        self.quant_fallbacks > 0 || self.pages_lost > 0 || self.points_skipped > 0
+    }
+
+    /// Whether the result is possibly missing points (as opposed to merely
+    /// having cost more to compute).
+    pub fn partial(&self) -> bool {
+        self.pages_lost > 0 || self.points_skipped > 0
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: `TopK` against a sort-based oracle.
+
+use iq_engine::TopK;
+use proptest::prelude::*;
+
+/// The oracle: sort all finite keys ascending (stable on ties by insert
+/// order, which `TopK` also guarantees via `partition_point` on `<`),
+/// take the first k.
+fn oracle(entries: &[(f64, u32)], k: usize) -> Vec<(f64, u32)> {
+    let mut finite: Vec<(f64, u32)> = entries.iter().copied().filter(|e| !e.0.is_nan()).collect();
+    finite.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("filtered NaN"));
+    finite.truncate(k);
+    finite
+}
+
+fn key_strategy() -> impl Strategy<Value = f64> {
+    // Dense keys (many ties) with ~10% NaN and ~10% exact zero mixed in.
+    (0u32..1200).prop_map(|v| match v {
+        0..=999 => f64::from(v % 50) / 16.0,
+        1000..=1099 => f64::NAN,
+        _ => 0.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_sort_oracle(
+        keys in proptest::collection::vec(key_strategy(), 0..120),
+        k in 0usize..12,
+    ) {
+        let entries: Vec<(f64, u32)> =
+            keys.into_iter().enumerate().map(|(i, d)| (d, i as u32)).collect();
+        let mut top = TopK::new(k);
+        for &(key, id) in &entries {
+            top.insert(key, id);
+        }
+        let got = top.into_sorted();
+        let want = oracle(&entries, k);
+        // Keys must agree exactly; ids may differ only within tie groups.
+        let got_keys: Vec<f64> = got.iter().map(|e| e.0).collect();
+        let want_keys: Vec<f64> = want.iter().map(|e| e.0).collect();
+        prop_assert_eq!(&got_keys, &want_keys);
+        for (g, w) in got.iter().zip(&want) {
+            if g.1 != w.1 {
+                // Same key, different representative of a tie group: both
+                // ids must genuinely carry that key.
+                prop_assert_eq!(entries[g.1 as usize].0, g.0);
+            }
+            let _ = w;
+        }
+    }
+
+    #[test]
+    fn bound_never_admits_worse(
+        keys in proptest::collection::vec(key_strategy(), 1..80),
+        k in 1usize..8,
+    ) {
+        let mut top = TopK::new(k);
+        for (i, &key) in keys.iter().enumerate() {
+            let bound = top.bound();
+            let before = top.len();
+            let admitted = top.insert(key, i as u32);
+            let should = !key.is_nan() && (before < k || key < bound);
+            prop_assert_eq!(admitted, should);
+            // The bound is monotonically non-increasing.
+            prop_assert!(top.bound() <= bound);
+        }
+        let sorted = top.into_sorted();
+        prop_assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0));
+        prop_assert!(sorted.len() <= k);
+    }
+}

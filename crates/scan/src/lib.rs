@@ -6,6 +6,7 @@
 //! to clear (cf. \[7\] in the paper); the IQ-tree is designed to beat it by
 //! scanning *compressed* approximations instead.
 
+use iq_engine::{AccessMethod, QueryTrace, TopK};
 use iq_geometry::{Dataset, Metric};
 use iq_storage::{BlockDevice, SimClock};
 
@@ -24,7 +25,7 @@ const SCAN_CHUNK_BLOCKS: u64 = 256;
 ///
 /// let ds = Dataset::from_flat(2, vec![0.1, 0.1, 0.9, 0.9]);
 /// let mut clock = SimClock::default();
-/// let mut scan = SeqScan::build(&ds, Metric::Euclidean, Box::new(MemDevice::new(512)), &mut clock);
+/// let scan = SeqScan::build(&ds, Metric::Euclidean, Box::new(MemDevice::new(512)), &mut clock);
 /// assert_eq!(scan.nearest(&mut clock, &[0.0, 0.0]).unwrap().0, 0);
 /// ```
 pub struct SeqScan {
@@ -75,8 +76,17 @@ impl SeqScan {
         self.n == 0
     }
 
+    /// The distance metric queries are answered under.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
     /// Scans the file once, invoking `visit(id, coords)` for every point.
-    fn scan(&mut self, clock: &mut SimClock, mut visit: impl FnMut(u32, &[f32])) {
+    ///
+    /// Takes `&self`: the scan file is immutable after [`SeqScan::build`],
+    /// so any number of threads may query it concurrently, each with its
+    /// own clock.
+    fn scan(&self, clock: &mut SimClock, mut visit: impl FnMut(u32, &[f32])) {
         let bs = self.dev.block_size();
         let total_blocks = self.dev.num_blocks();
         let pb = self.dim * 4;
@@ -123,36 +133,26 @@ impl SeqScan {
     }
 
     /// Exact nearest neighbor of `q`, as `(id, distance)`.
-    pub fn nearest(&mut self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
+    pub fn nearest(&self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
         self.knn(clock, q, 1).pop()
     }
 
     /// The `k` nearest neighbors of `q`, ordered by increasing distance.
-    pub fn knn(&mut self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
+    pub fn knn(&self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
         assert_eq!(q.len(), self.dim);
         if k == 0 {
             return Vec::new();
         }
         let metric = self.metric;
-        // Max-heap on distance key, capped at k.
-        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        let mut best = TopK::new(k);
         self.scan(clock, |id, p| {
-            let key = metric.distance_key(p, q);
-            if best.len() < k || key < best.last().expect("non-empty").0 {
-                let pos = best.partition_point(|&(d, _)| d < key);
-                best.insert(pos, (key, id));
-                if best.len() > k {
-                    best.pop();
-                }
-            }
+            best.insert(metric.distance_key(p, q), id);
         });
-        best.into_iter()
-            .map(|(key, id)| (id, metric.key_to_distance(key)))
-            .collect()
+        best.into_results(metric)
     }
 
     /// All points inside the query window (unordered ids).
-    pub fn window(&mut self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
+    pub fn window(&self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
         let mut out = Vec::new();
         self.scan(clock, |id, p| {
@@ -164,7 +164,7 @@ impl SeqScan {
     }
 
     /// All points within `radius` of `q`, as ids (unordered).
-    pub fn range(&mut self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+    pub fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
         assert_eq!(q.len(), self.dim);
         let metric = self.metric;
         let key = metric.distance_to_key(radius);
@@ -177,6 +177,55 @@ impl SeqScan {
         out
     }
 }
+
+impl AccessMethod for SeqScan {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn knn_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        let results = SeqScan::knn(self, clock, q, k);
+        // One sequential sweep over the whole file; nothing is skipped or
+        // refined — that is the scan's entire cost profile.
+        let trace = QueryTrace {
+            pages_processed: self.dev.num_blocks(),
+            runs: 1,
+            ..QueryTrace::default()
+        };
+        (results, trace)
+    }
+
+    fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+        SeqScan::range(self, clock, q, radius)
+    }
+
+    fn window(&self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
+        SeqScan::window(self, clock, window)
+    }
+}
+
+// Queries take `&self`; a scan shared across threads must stay usable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SeqScan>();
+};
 
 #[inline]
 fn decode_into(bytes: &[u8], coords: &mut [f32]) {
@@ -220,7 +269,7 @@ mod tests {
 
     #[test]
     fn nearest_matches_brute_force() {
-        let (ds, mut scan, mut clock) = make(500, 7, 1);
+        let (ds, scan, mut clock) = make(500, 7, 1);
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..20 {
             let q: Vec<f32> = (0..7).map(|_| rng.gen()).collect();
@@ -233,7 +282,7 @@ mod tests {
 
     #[test]
     fn knn_is_sorted_and_correct() {
-        let (ds, mut scan, mut clock) = make(300, 4, 2);
+        let (ds, scan, mut clock) = make(300, 4, 2);
         let q = vec![0.5f32; 4];
         let knn = scan.knn(&mut clock, &q, 10);
         assert_eq!(knn.len(), 10);
@@ -251,7 +300,7 @@ mod tests {
 
     #[test]
     fn range_query_matches_filter() {
-        let (ds, mut scan, mut clock) = make(400, 5, 3);
+        let (ds, scan, mut clock) = make(400, 5, 3);
         let q = vec![0.4f32; 5];
         let r = 0.5;
         let mut got = scan.range(&mut clock, &q, r);
@@ -265,7 +314,7 @@ mod tests {
 
     #[test]
     fn cost_is_one_sequential_scan() {
-        let (_, mut scan, mut clock) = make(2_000, 16, 4);
+        let (_, scan, mut clock) = make(2_000, 16, 4);
         scan.nearest(&mut clock, &[0.1f32; 16]);
         let d = DiskModel::default();
         let blocks = d.blocks_for(2_000 * 16 * 4);
@@ -276,7 +325,7 @@ mod tests {
 
     #[test]
     fn k_larger_than_n_returns_all() {
-        let (ds, mut scan, mut clock) = make(5, 3, 5);
+        let (ds, scan, mut clock) = make(5, 3, 5);
         let knn = scan.knn(&mut clock, &[0.0, 0.0, 0.0], 50);
         assert_eq!(knn.len(), ds.len());
     }
@@ -289,7 +338,7 @@ mod tests {
             ds.push(&[i as f32; 5]);
         }
         let mut clock = SimClock::default();
-        let mut scan = SeqScan::build(
+        let scan = SeqScan::build(
             &ds,
             Metric::Euclidean,
             Box::new(MemDevice::new(64)),

@@ -26,6 +26,7 @@ pub mod fault;
 pub mod fetch;
 pub mod model;
 pub mod retry;
+pub mod stack;
 
 pub use checksum::{crc32, crc32_update, ChecksummedDevice, CHECKSUM_BYTES};
 pub use device::{BlockDevice, FileDevice, MemDevice};
@@ -34,3 +35,4 @@ pub use fault::{FaultConfig, FaultInjectingDevice, FaultStats};
 pub use fetch::{plan_fetch, plan_fetch_bounded, plan_fetch_cost, Run};
 pub use model::{CpuModel, DiskModel, IoStats, SimClock};
 pub use retry::{read_blocks_retry, read_to_vec_retry, RetryPolicy};
+pub use stack::{DeviceStack, RetryingDevice};

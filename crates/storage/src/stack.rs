@@ -1,0 +1,252 @@
+//! Composable device stacks.
+//!
+//! Every access method in the workspace reads through the same kind of
+//! layered device: a raw backend at the bottom, optional deterministic
+//! fault injection above it (simulated media), a per-block checksum layer
+//! that turns silent corruption into typed errors, a retry layer that
+//! absorbs transient faults, and (optionally, supplied by the caller as a
+//! closure because the buffer pool lives in a higher crate) an LRU cache
+//! on top. [`DeviceStack`] builds that tower in one call so the IQ-tree
+//! and the baselines of the paper's evaluation (VA-file, X-tree,
+//! sequential scan) run on identical storage semantics:
+//!
+//! ```
+//! use iq_storage::{DeviceStack, FaultConfig, MemDevice, RetryPolicy};
+//!
+//! let dev = DeviceStack::new(Box::new(MemDevice::new(4096)))
+//!     .faults(FaultConfig::transient(7, 0.05))
+//!     .checksum()
+//!     .retry(RetryPolicy::default())
+//!     .build();
+//! assert_eq!(dev.block_size(), 4092); // checksum trailer is invisible above
+//! ```
+//!
+//! Layer order is fixed by semantics, not by call order: faults sit at the
+//! bottom (they model the medium), the checksum sits directly above them
+//! (so a flipped bit is detected before anything caches or retries stale
+//! bytes), retries sit above the checksum (transient `Io` errors are
+//! retried; `ChecksumMismatch` is corruption and surfaces immediately),
+//! and any caller-supplied layer (buffer pool) goes on top, holding only
+//! verified payload bytes.
+
+use crate::checksum::ChecksummedDevice;
+use crate::device::BlockDevice;
+use crate::error::IqResult;
+use crate::fault::{FaultConfig, FaultInjectingDevice};
+use crate::model::SimClock;
+use crate::retry::RetryPolicy;
+
+/// A device that retries transient faults internally, so layers above see
+/// flaky reads and writes only when the retry budget is exhausted.
+///
+/// Reads and writes both run under the policy; non-transient errors
+/// (corruption, out-of-bounds) surface immediately, exactly like
+/// [`RetryPolicy::run`].
+pub struct RetryingDevice {
+    inner: Box<dyn BlockDevice>,
+    policy: RetryPolicy,
+}
+
+impl RetryingDevice {
+    /// Wraps `inner` with the given retry policy.
+    pub fn new(inner: Box<dyn BlockDevice>, policy: RetryPolicy) -> Self {
+        Self { inner, policy }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &dyn BlockDevice {
+        self.inner.as_ref()
+    }
+}
+
+impl BlockDevice for RetryingDevice {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) -> IqResult<()> {
+        self.policy
+            .run(clock, |clock| self.inner.read_blocks(clock, start, buf))
+    }
+
+    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> IqResult<u64> {
+        let inner = &mut self.inner;
+        self.policy.run(clock, |clock| inner.append(clock, data))
+    }
+
+    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) -> IqResult<()> {
+        let inner = &mut self.inner;
+        self.policy
+            .run(clock, |clock| inner.write_blocks(clock, start, data))
+    }
+
+    fn device_id(&self) -> u64 {
+        self.inner.device_id()
+    }
+}
+
+/// Builder for the canonical layered device. See the module docs for the
+/// layer order contract; the builder enforces nothing and simply wraps in
+/// call order, so call it bottom-up: `faults` → `checksum` → `retry` →
+/// `layer` (cache).
+pub struct DeviceStack {
+    dev: Box<dyn BlockDevice>,
+}
+
+impl DeviceStack {
+    /// Starts a stack on a raw backend.
+    pub fn new(base: Box<dyn BlockDevice>) -> Self {
+        Self { dev: base }
+    }
+
+    /// Adds deterministic fault injection (bottom layer: the medium).
+    pub fn faults(self, cfg: FaultConfig) -> Self {
+        Self {
+            dev: Box::new(FaultInjectingDevice::new(self.dev, cfg)),
+        }
+    }
+
+    /// Adds per-block CRC32 checksumming. The logical block size shrinks
+    /// by [`crate::CHECKSUM_BYTES`].
+    pub fn checksum(self) -> Self {
+        Self {
+            dev: Box::new(ChecksummedDevice::new(self.dev)),
+        }
+    }
+
+    /// Adds transparent retry of transient faults on reads and writes.
+    pub fn retry(self, policy: RetryPolicy) -> Self {
+        Self {
+            dev: Box::new(RetryingDevice::new(self.dev, policy)),
+        }
+    }
+
+    /// Adds an arbitrary caller-supplied layer (typically the LRU buffer
+    /// pool, which lives in `iq-cache` above this crate).
+    pub fn layer(self, f: impl FnOnce(Box<dyn BlockDevice>) -> Box<dyn BlockDevice>) -> Self {
+        Self { dev: f(self.dev) }
+    }
+
+    /// Finishes the stack.
+    pub fn build(self) -> Box<dyn BlockDevice> {
+        self.dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IqError, MemDevice, CHECKSUM_BYTES};
+
+    #[test]
+    fn stack_roundtrips_and_shrinks_block_size() {
+        let mut dev = DeviceStack::new(Box::new(MemDevice::new(256)))
+            .checksum()
+            .retry(RetryPolicy::default())
+            .build();
+        assert_eq!(dev.block_size(), 256 - CHECKSUM_BYTES);
+        let mut clock = SimClock::default();
+        let payload = vec![0x5Au8; dev.block_size() * 3];
+        let start = dev.append(&mut clock, &payload).unwrap();
+        assert_eq!(dev.read_to_vec(&mut clock, start, 3).unwrap(), payload);
+    }
+
+    #[test]
+    fn retry_layer_absorbs_transient_faults() {
+        // High transient rate: without the retry layer most reads fail.
+        let mut dev = DeviceStack::new(Box::new(MemDevice::new(128)))
+            .faults(FaultConfig::transient(3, 0.9))
+            .checksum()
+            .retry(RetryPolicy::default())
+            .build();
+        let mut clock = SimClock::default();
+        let bs = dev.block_size();
+        for i in 0..16u8 {
+            dev.append(&mut clock, &vec![i; bs]).unwrap();
+        }
+        for i in 0..16u64 {
+            let got = dev.read_to_vec(&mut clock, i, 1).unwrap();
+            assert_eq!(got, vec![i as u8; bs]);
+        }
+        assert!(clock.stats().io_retries > 0, "faults were actually hit");
+    }
+
+    #[test]
+    fn corruption_is_not_retried() {
+        let fault = FaultInjectingDevice::new(Box::new(MemDevice::new(128)), FaultConfig::none(1));
+        let mut clock = SimClock::default();
+        let mut dev = DeviceStack::new(Box::new(fault))
+            .checksum()
+            .retry(RetryPolicy::default())
+            .build();
+        let bs = dev.block_size();
+        dev.append(&mut clock, &vec![7u8; bs * 4]).unwrap();
+        // Reach through to plant permanent corruption under the checksum.
+        // (Rebuild the same stack around a shared corrupting base instead:
+        // simplest is to corrupt via a fresh stack-free device.)
+        drop(dev);
+        let fault = FaultInjectingDevice::new(Box::new(MemDevice::new(128)), FaultConfig::none(1));
+        let mut base = DeviceStack::new(Box::new(fault)).build();
+        base.append(&mut clock, &vec![7u8; 128 * 4]).unwrap();
+        // Direct test of the retry-vs-corruption contract:
+        let n_before = clock.stats().io_retries;
+        let err = RetryPolicy::default()
+            .run::<()>(&mut clock, |_| {
+                Err(IqError::ChecksumMismatch {
+                    block: 2,
+                    stored: 0,
+                    computed: 1,
+                })
+            })
+            .unwrap_err();
+        assert!(err.is_corruption());
+        assert_eq!(clock.stats().io_retries, n_before);
+    }
+
+    #[test]
+    fn layer_hook_applies_outermost() {
+        struct Tag(Box<dyn BlockDevice>);
+        impl BlockDevice for Tag {
+            fn block_size(&self) -> usize {
+                self.0.block_size()
+            }
+            fn num_blocks(&self) -> u64 {
+                self.0.num_blocks()
+            }
+            fn read_blocks(
+                &self,
+                clock: &mut SimClock,
+                start: u64,
+                buf: &mut [u8],
+            ) -> IqResult<()> {
+                self.0.read_blocks(clock, start, buf)
+            }
+            fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> IqResult<u64> {
+                self.0.append(clock, data)
+            }
+            fn write_blocks(
+                &mut self,
+                clock: &mut SimClock,
+                start: u64,
+                data: &[u8],
+            ) -> IqResult<()> {
+                self.0.write_blocks(clock, start, data)
+            }
+            fn device_id(&self) -> u64 {
+                self.0.device_id()
+            }
+        }
+        let mut dev = DeviceStack::new(Box::new(MemDevice::new(64)))
+            .checksum()
+            .layer(|d| Box::new(Tag(d)))
+            .build();
+        let mut clock = SimClock::default();
+        let bs = dev.block_size();
+        dev.append(&mut clock, &vec![1u8; bs]).unwrap();
+        assert_eq!(dev.read_to_vec(&mut clock, 0, 1).unwrap(), vec![1u8; bs]);
+    }
+}

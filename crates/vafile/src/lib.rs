@@ -14,6 +14,7 @@
 //! tuning knob the paper sweeps from 2 to 8 bits and picks the best of.
 
 use iq_cost::refine::RefineParams;
+use iq_engine::{AccessMethod, QueryTrace, TopK};
 use iq_geometry::{Dataset, Mbr, Metric};
 use iq_quantize::{BitReader, BitWriter, ExactPageCodec, GridQuantizer};
 use iq_storage::DiskModel;
@@ -78,7 +79,7 @@ pub fn auto_bits(
 ///
 /// let ds = Dataset::from_flat(2, (0..100).map(|i| i as f32 / 100.0).collect());
 /// let mut clock = SimClock::default();
-/// let mut va = VaFile::build(
+/// let va = VaFile::build(
 ///     &ds,
 ///     Metric::Euclidean,
 ///     4, // bits per dimension
@@ -163,6 +164,16 @@ impl VaFile {
         self.bits
     }
 
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The distance metric queries are answered under.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
     /// Number of indexed points.
     pub fn len(&self) -> usize {
         self.n
@@ -212,7 +223,10 @@ impl VaFile {
     /// Phase 1: scans the approximation file and produces per-point lower
     /// bounds plus the pruning threshold δ (the k-th smallest upper bound),
     /// all in the metric's comparable key space.
-    fn filter_phase(&mut self, clock: &mut SimClock, q: &[f32], k: usize) -> (Vec<f64>, f64) {
+    ///
+    /// Takes `&self` (like all query paths): both files are immutable after
+    /// [`VaFile::build`], so concurrent queries share the structure freely.
+    fn filter_phase(&self, clock: &mut SimClock, q: &[f32], k: usize) -> (Vec<f64>, f64) {
         let (lo_tab, hi_tab) = self.bound_tables(q);
         let cells = self.grid.cells_per_dim() as usize;
         let bits = self.bits;
@@ -221,9 +235,8 @@ impl VaFile {
         let entry = self.entry_bytes;
 
         let mut lower = Vec::with_capacity(self.n);
-        // Max-heap (via sorted vec, k is tiny) of the k smallest upper
-        // bounds.
-        let mut best_ub: Vec<f64> = Vec::with_capacity(k + 1);
+        // The k smallest upper bounds seen so far (δ is their max).
+        let mut best_ub = TopK::new(k);
         let total_blocks = self.approx.num_blocks();
         let mut processed = 0usize;
         let mut buf_carry: Vec<u8> = Vec::new();
@@ -256,13 +269,7 @@ impl VaFile {
                     }
                 }
                 lower.push(lb);
-                if best_ub.len() < k || ub < *best_ub.last().expect("non-empty") {
-                    let pos = best_ub.partition_point(|&d| d < ub);
-                    best_ub.insert(pos, ub);
-                    if best_ub.len() > k {
-                        best_ub.pop();
-                    }
-                }
+                best_ub.insert(ub, processed as u32);
                 off += entry;
                 processed += 1;
             }
@@ -271,13 +278,14 @@ impl VaFile {
         }
         // Two bound evaluations per scanned point.
         clock.charge_dist_evals(dim, 2 * self.n as u64);
-        let delta = best_ub.last().copied().unwrap_or(f64::INFINITY);
-        (lower, delta)
+        // δ = the k-th smallest upper bound; +∞ while fewer than k points
+        // exist (then every lower bound passes anyway, since lb <= ub).
+        (lower, best_ub.bound())
     }
 
     /// Fetches the exact coordinates of point `i` (random access into the
     /// exact file).
-    fn fetch_exact(&mut self, clock: &mut SimClock, i: usize) -> Vec<f32> {
+    fn fetch_exact(&self, clock: &mut SimClock, i: usize) -> Vec<f32> {
         let bs = self.exact.block_size();
         let (first, nblocks, byte_off) = self.codec.entry_span(i, bs);
         let buf = self
@@ -291,17 +299,36 @@ impl VaFile {
     }
 
     /// Exact nearest neighbor of `q`.
-    pub fn nearest(&mut self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
+    pub fn nearest(&self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
         self.knn(clock, q, 1).pop()
     }
 
     /// The `k` exact nearest neighbors of `q`, ordered by increasing
     /// distance.
-    pub fn knn(&mut self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
+    pub fn knn(&self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
+        self.knn_traced(clock, q, k).0
+    }
+
+    /// Like [`VaFile::knn`], additionally reporting what the two-phase
+    /// search did: the approximation sweep ([`QueryTrace::runs`] = 1,
+    /// `pages_processed` = blocks scanned), the candidates surviving the
+    /// filter (`approx_enqueued`) and the exact fetches actually performed
+    /// (`refinements`).
+    pub fn knn_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
         assert_eq!(q.len(), self.dim);
         if k == 0 {
-            return Vec::new();
+            return (Vec::new(), QueryTrace::default());
         }
+        let mut trace = QueryTrace {
+            pages_processed: self.approx.num_blocks(),
+            runs: 1,
+            ..QueryTrace::default()
+        };
         let (lower, delta) = self.filter_phase(clock, q, k);
 
         // Candidates that the filter could not prune, by increasing lower
@@ -313,34 +340,27 @@ impl VaFile {
             .map(|(i, &lb)| (lb, i as u32))
             .collect();
         cand.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        trace.approx_enqueued = cand.len() as u64;
 
         // Phase 2: refine in lower-bound order until the k-th best exact
         // distance undercuts the next lower bound.
-        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        let mut best = TopK::new(k);
         for &(lb, id) in &cand {
-            if best.len() >= k && lb > best.last().expect("non-empty").0 {
+            if best.len() >= k && lb > best.bound() {
                 break;
             }
             let p = self.fetch_exact(clock, id as usize);
             clock.charge_dist_evals(self.dim, 1);
-            let key = self.metric.distance_key(&p, q);
-            if best.len() < k || key < best.last().expect("non-empty").0 {
-                let pos = best.partition_point(|&(d, _)| d < key);
-                best.insert(pos, (key, id));
-                if best.len() > k {
-                    best.pop();
-                }
-            }
+            trace.refinements += 1;
+            best.insert(self.metric.distance_key(&p, q), id);
         }
-        best.into_iter()
-            .map(|(key, id)| (id, self.metric.key_to_distance(key)))
-            .collect()
+        (best.into_results(self.metric), trace)
     }
 
     /// All points inside the query window (unordered ids): one scan of the
     /// approximation file; a point is refined only when its cell box
     /// straddles the window boundary.
-    pub fn window(&mut self, clock: &mut SimClock, window: &Mbr) -> Vec<u32> {
+    pub fn window(&self, clock: &mut SimClock, window: &Mbr) -> Vec<u32> {
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
         let entry = self.entry_bytes;
         let total_blocks = self.approx.num_blocks();
@@ -391,7 +411,7 @@ impl VaFile {
     /// All points within `radius` of `q` (unordered ids). Points whose cell
     /// box lies entirely within the radius are accepted without fetching
     /// their exact coordinates.
-    pub fn range(&mut self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+    pub fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
         assert_eq!(q.len(), self.dim);
         let key_r = self.metric.distance_to_key(radius);
         // Reuse the filter scan with k = 1 to get lower bounds; recompute
@@ -455,6 +475,47 @@ impl VaFile {
     }
 }
 
+impl AccessMethod for VaFile {
+    fn name(&self) -> &'static str {
+        "vafile"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn knn_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        VaFile::knn_traced(self, clock, q, k)
+    }
+
+    fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+        VaFile::range(self, clock, q, radius)
+    }
+
+    fn window(&self, clock: &mut SimClock, window: &Mbr) -> Vec<u32> {
+        VaFile::window(self, clock, window)
+    }
+}
+
+// Queries take `&self`; a VA-file shared across threads must stay usable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VaFile>();
+};
+
 #[cfg(test)]
 mod model_tests {
     use super::*;
@@ -504,7 +565,7 @@ mod model_tests {
         let queries: Vec<Vec<f32>> = (0..5).map(|i| vec![0.1 + 0.17 * i as f32; 12]).collect();
         for bits in 2..=8 {
             let mut clock = SimClock::new(disk, cpu);
-            let mut va = VaFile::build(
+            let va = VaFile::build(
                 &ds,
                 Metric::Euclidean,
                 bits,
@@ -586,7 +647,7 @@ mod tests {
     #[test]
     fn nearest_matches_brute_force() {
         for bits in [2u32, 4, 8] {
-            let (ds, mut va, mut clock) = make(600, 6, bits, 1);
+            let (ds, va, mut clock) = make(600, 6, bits, 1);
             let mut rng = StdRng::seed_from_u64(7);
             for _ in 0..15 {
                 let q: Vec<f32> = (0..6).map(|_| rng.gen()).collect();
@@ -604,7 +665,7 @@ mod tests {
 
     #[test]
     fn knn_matches_brute_force() {
-        let (ds, mut va, mut clock) = make(400, 5, 4, 2);
+        let (ds, va, mut clock) = make(400, 5, 4, 2);
         let q = vec![0.3f32; 5];
         let got = va.knn(&mut clock, &q, 7);
         let expect = brute_knn(&ds, &q, 7);
@@ -616,7 +677,7 @@ mod tests {
 
     #[test]
     fn range_matches_brute_force() {
-        let (ds, mut va, mut clock) = make(500, 4, 5, 3);
+        let (ds, va, mut clock) = make(500, 4, 5, 3);
         let q = vec![0.5f32; 4];
         let r = 0.4;
         let mut got = va.range(&mut clock, &q, r);
@@ -632,8 +693,8 @@ mod tests {
     fn more_bits_fewer_refinements() {
         // With a finer grid the filter prunes better, so phase 2 touches
         // fewer exact points -> fewer seeks.
-        let (_, mut va2, mut c2) = make(3_000, 8, 2, 4);
-        let (_, mut va8, mut c8) = make(3_000, 8, 8, 4);
+        let (_, va2, mut c2) = make(3_000, 8, 2, 4);
+        let (_, va8, mut c8) = make(3_000, 8, 8, 4);
         let q = vec![0.42f32; 8];
         va2.nearest(&mut c2, &q);
         va8.nearest(&mut c8, &q);
@@ -655,7 +716,7 @@ mod tests {
 
     #[test]
     fn filter_phase_scans_sequentially() {
-        let (_, mut va, mut clock) = make(5_000, 8, 4, 6);
+        let (_, va, mut clock) = make(5_000, 8, 4, 6);
         va.nearest(&mut clock, &[0.5f32; 8]);
         // The approx scan is one seek; phase 2 adds a few random accesses.
         let stats = clock.stats();
@@ -673,7 +734,7 @@ mod tests {
             ds.push(&row);
         }
         let mut clock = SimClock::default();
-        let mut va = VaFile::build(
+        let va = VaFile::build(
             &ds,
             Metric::Maximum,
             4,

@@ -38,7 +38,7 @@ proptest! {
         use_max in proptest::bool::ANY,
     ) {
         let metric = if use_max { Metric::Maximum } else { Metric::Euclidean };
-        let (mut va, mut clock) = build(&ds, bits, metric);
+        let (va, mut clock) = build(&ds, bits, metric);
         let got = va.nearest(&mut clock, &q).expect("non-empty").1;
         let expect = ds.iter().map(|p| metric.distance(p, &q)).fold(f64::INFINITY, f64::min);
         prop_assert!((got - expect).abs() < 1e-5, "bits={bits}: {got} vs {expect}");
@@ -52,7 +52,7 @@ proptest! {
         k in 1usize..15,
         bits in 2u32..7,
     ) {
-        let (mut va, mut clock) = build(&ds, bits, Metric::Euclidean);
+        let (va, mut clock) = build(&ds, bits, Metric::Euclidean);
         let got = va.knn(&mut clock, &q, k);
         prop_assert_eq!(got.len(), k.min(ds.len()));
         let mut truth: Vec<f64> =
@@ -71,7 +71,7 @@ proptest! {
         r in 0.05f64..0.7,
         bits in 2u32..7,
     ) {
-        let (mut va, mut clock) = build(&ds, bits, Metric::Euclidean);
+        let (va, mut clock) = build(&ds, bits, Metric::Euclidean);
         let mut got = va.range(&mut clock, &q, r);
         got.sort_unstable();
         let mut expect: Vec<u32> = (0..ds.len() as u32)
@@ -88,7 +88,7 @@ proptest! {
         ds in dataset_strategy(6, 120),
         q in proptest::collection::vec(0.0f32..1.0, 6),
     ) {
-        let (mut va, mut clock) = build(&ds, 4, Metric::Euclidean);
+        let (va, mut clock) = build(&ds, 4, Metric::Euclidean);
         clock.reset();
         va.nearest(&mut clock, &q);
         prop_assert!(clock.stats().blocks_read >= va.approx_blocks());

@@ -16,6 +16,7 @@
 pub mod node;
 pub mod split;
 
+use iq_engine::{AccessMethod, QueryTrace, TopK};
 use iq_geometry::{bulk_partition, Dataset, Mbr, Metric};
 use iq_storage::{BlockDevice, SimClock};
 use node::{DataPage, DirEntry, Node};
@@ -56,7 +57,7 @@ struct NodeAddr {
 ///
 /// let ds = Dataset::from_flat(2, (0..100).map(|i| i as f32 / 100.0).collect());
 /// let mut clock = SimClock::default();
-/// let mut tree = XTree::build(
+/// let tree = XTree::build(
 ///     &ds,
 ///     Metric::Euclidean,
 ///     XTreeOptions::default(),
@@ -236,7 +237,12 @@ impl XTree {
         self.supernodes
     }
 
-    fn read_node(&mut self, clock: &mut SimClock, id: u32) -> Node {
+    /// The distance metric queries are answered under.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn read_node(&self, clock: &mut SimClock, id: u32) -> Node {
         let addr = self.nodes[id as usize];
         let buf = self
             .dir
@@ -268,7 +274,7 @@ impl XTree {
         }
     }
 
-    fn read_page(&mut self, clock: &mut SimClock, id: u32) -> DataPage {
+    fn read_page(&self, clock: &mut SimClock, id: u32) -> DataPage {
         let start = self.pages[id as usize];
         let buf = self
             .data
@@ -311,37 +317,53 @@ impl XTree {
 
     /// Exact nearest neighbor of `q` via best-first (Hjaltason/Samet)
     /// search.
-    pub fn nearest(&mut self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
+    pub fn nearest(&self, clock: &mut SimClock, q: &[f32]) -> Option<(u32, f64)> {
         self.knn(clock, q, 1).pop()
     }
 
     /// The `k` exact nearest neighbors of `q`, ordered by increasing
     /// distance.
-    pub fn knn(&mut self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
+    pub fn knn(&self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
+        self.knn_traced(clock, q, k).0
+    }
+
+    /// Like [`XTree::knn`], additionally reporting the best-first
+    /// descent's work: directory nodes visited count as
+    /// [`QueryTrace::runs`] (one random I/O each), data pages decoded as
+    /// `pages_processed`.
+    pub fn knn_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
         assert_eq!(q.len(), self.dim);
         if k == 0 {
-            return Vec::new();
+            return (Vec::new(), QueryTrace::default());
         }
         let metric = self.metric;
+        let mut trace = QueryTrace::default();
         let mut heap: BinaryHeap<Reverse<(Key, Target)>> = BinaryHeap::new();
         heap.push(Reverse((Key(0.0), Target::Node(self.root))));
-        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        let mut best = TopK::new(k);
         while let Some(Reverse((Key(mindist), target))) = heap.pop() {
-            if best.len() >= k && mindist >= best.last().expect("non-empty").0 {
+            if best.len() >= k && mindist >= best.bound() {
                 break;
             }
             match target {
                 Target::Node(id) => {
                     let node = self.read_node(clock, id);
                     clock.charge_dist_evals(self.dim, node.entries.len() as u64);
+                    trace.runs += 1;
                     for e in &node.entries {
                         let d = metric.mindist_key(q, &e.mbr);
-                        if best.len() < k || d < best.last().expect("non-empty").0 {
+                        if best.len() < k || d < best.bound() {
                             let t = if node.leaf_children {
                                 Target::Page(e.child)
                             } else {
                                 Target::Node(e.child)
                             };
+                            trace.approx_enqueued += 1;
                             heap.push(Reverse((Key(d), t)));
                         }
                     }
@@ -349,22 +371,15 @@ impl XTree {
                 Target::Page(id) => {
                     let page = self.read_page(clock, id);
                     clock.charge_dist_evals(self.dim, page.len() as u64);
+                    trace.runs += 1;
+                    trace.pages_processed += 1;
                     for (i, &pid) in page.ids.iter().enumerate() {
-                        let d = metric.distance_key(page.point(i, self.dim), q);
-                        if best.len() < k || d < best.last().expect("non-empty").0 {
-                            let pos = best.partition_point(|&(bd, _)| bd < d);
-                            best.insert(pos, (d, pid));
-                            if best.len() > k {
-                                best.pop();
-                            }
-                        }
+                        best.insert(metric.distance_key(page.point(i, self.dim), q), pid);
                     }
                 }
             }
         }
-        best.into_iter()
-            .map(|(key, id)| (id, metric.key_to_distance(key)))
-            .collect()
+        (best.into_results(metric), trace)
     }
 
     /// All points within `radius` of `q` (unordered ids).
@@ -373,7 +388,7 @@ impl XTree {
     /// pages up front (the paper's Section 2 observation for range
     /// queries), which are then loaded with the optimal batch-fetch
     /// schedule instead of one random access each.
-    pub fn range(&mut self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+    pub fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
         assert_eq!(q.len(), self.dim);
         let key_r = self.metric.distance_to_key(radius);
         let metric = self.metric;
@@ -393,7 +408,7 @@ impl XTree {
     /// `select` (directory nodes are read with random I/O, as on any
     /// hierarchical index).
     fn collect_pages(
-        &mut self,
+        &self,
         clock: &mut SimClock,
         select: impl Fn(&iq_geometry::Mbr) -> bool,
     ) -> Vec<u32> {
@@ -416,9 +431,12 @@ impl XTree {
     }
 
     /// Loads the given data pages with one optimal batch-fetch plan and
-    /// feeds each decoded page to `visit`.
+    /// feeds each decoded page to `visit`. A failed sweep (or a page the
+    /// plan somehow misses) degrades to one direct read per page; a page
+    /// that stays unreadable is skipped — the corruption is visible in the
+    /// clock's I/O statistics, and the query completes on what is left.
     fn visit_pages_batched(
-        &mut self,
+        &self,
         clock: &mut SimClock,
         pages: &[u32],
         mut visit: impl FnMut(usize, &DataPage),
@@ -426,17 +444,23 @@ impl XTree {
         let mut positions: Vec<u64> = pages.iter().map(|&id| self.pages[id as usize]).collect();
         positions.sort_unstable();
         positions.dedup();
-        let fetched = iq_storage::fetch::fetch_blocks(self.data.as_mut(), clock, &positions)
-            .expect("batch-fetch data pages");
+        let fetched = iq_storage::fetch::fetch_blocks(self.data.as_ref(), clock, &positions).ok();
         let bs = self.data.block_size();
         for &id in pages {
             let pos = self.pages[id as usize];
-            let (run, buf) = fetched
-                .iter()
-                .find(|(run, _)| run.contains(pos))
-                .expect("fetch plan covers every candidate page");
-            let off = ((pos - run.start) as usize) * bs;
-            let page = DataPage::decode(&buf[off..off + bs], self.dim);
+            let planned: Option<Vec<u8>> = fetched.as_ref().and_then(|fetched| {
+                let (run, buf) = fetched.iter().find(|(run, _)| run.contains(pos))?;
+                let off = ((pos - run.start) as usize) * bs;
+                Some(buf[off..off + bs].to_vec())
+            });
+            let bytes = match planned {
+                Some(b) => b,
+                None => match self.data.read_to_vec(clock, pos, 1) {
+                    Ok(b) => b,
+                    Err(_) => continue,
+                },
+            };
+            let page = DataPage::decode(&bytes, self.dim);
             clock.charge_dist_evals(self.dim, page.len() as u64);
             visit(self.dim, &page);
         }
@@ -444,7 +468,7 @@ impl XTree {
 
     /// All points inside the query window (unordered ids), with batched
     /// data-page loading like [`XTree::range`].
-    pub fn window(&mut self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
+    pub fn window(&self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
         let pages = self.collect_pages(clock, |mbr| mbr.intersects(window));
         let mut out = Vec::new();
@@ -727,6 +751,48 @@ impl XTree {
     }
 }
 
+impl AccessMethod for XTree {
+    fn name(&self) -> &'static str {
+        "xtree"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn knn_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        XTree::knn_traced(self, clock, q, k)
+    }
+
+    fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
+        XTree::range(self, clock, q, radius)
+    }
+
+    fn window(&self, clock: &mut SimClock, window: &Mbr) -> Vec<u32> {
+        XTree::window(self, clock, window)
+    }
+}
+
+// Queries take `&self`; an X-tree shared across threads must stay usable
+// (inserts and deletes still require exclusive `&mut` access).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<XTree>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -771,7 +837,7 @@ mod tests {
 
     #[test]
     fn nearest_matches_brute_force() {
-        let (ds, mut t, mut clock) = make(800, 6, 1, 1024);
+        let (ds, t, mut clock) = make(800, 6, 1, 1024);
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..20 {
             let q: Vec<f32> = (0..6).map(|_| rng.gen()).collect();
@@ -783,7 +849,7 @@ mod tests {
 
     #[test]
     fn knn_matches_brute_force() {
-        let (ds, mut t, mut clock) = make(500, 4, 2, 1024);
+        let (ds, t, mut clock) = make(500, 4, 2, 1024);
         let q = vec![0.5f32; 4];
         let got = t.knn(&mut clock, &q, 9);
         let expect = brute_knn(&ds, &q, 9);
@@ -795,7 +861,7 @@ mod tests {
 
     #[test]
     fn range_matches_brute_force() {
-        let (ds, mut t, mut clock) = make(600, 5, 3, 1024);
+        let (ds, t, mut clock) = make(600, 5, 3, 1024);
         let q = vec![0.4f32; 5];
         let r = 0.45;
         let mut got = t.range(&mut clock, &q, r);
@@ -816,7 +882,7 @@ mod tests {
 
     #[test]
     fn search_prunes_compared_to_reading_everything() {
-        let (_, mut t, mut clock) = make(5_000, 4, 5, 1024);
+        let (_, t, mut clock) = make(5_000, 4, 5, 1024);
         t.nearest(&mut clock, &[0.5f32; 4]);
         // In 4-d the tree should visit far fewer blocks than a full scan.
         let total = t.num_data_pages() as u64;

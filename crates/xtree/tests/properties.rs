@@ -38,7 +38,7 @@ proptest! {
         use_max in proptest::bool::ANY,
     ) {
         let metric = if use_max { Metric::Maximum } else { Metric::Euclidean };
-        let (mut tree, mut clock) = build(&ds, metric);
+        let (tree, mut clock) = build(&ds, metric);
         let got = tree.nearest(&mut clock, &q).expect("non-empty").1;
         let expect = ds.iter().map(|p| metric.distance(p, &q)).fold(f64::INFINITY, f64::min);
         prop_assert!((got - expect).abs() < 1e-5);
@@ -51,7 +51,7 @@ proptest! {
         q in proptest::collection::vec(0.0f32..1.0, 3),
         r in 0.05f64..0.7,
     ) {
-        let (mut tree, mut clock) = build(&ds, Metric::Euclidean);
+        let (tree, mut clock) = build(&ds, Metric::Euclidean);
         let mut got = tree.range(&mut clock, &q, r);
         got.sort_unstable();
         let mut expect: Vec<u32> = (0..ds.len() as u32)

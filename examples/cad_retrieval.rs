@@ -30,7 +30,7 @@ fn main() {
         ..Default::default()
     };
     let iq = IqTree::build(&w.db, Metric::Euclidean, opts, || dev(), &mut clock);
-    let mut xt = XTree::build(
+    let xt = XTree::build(
         &w.db,
         Metric::Euclidean,
         XTreeOptions::default(),
@@ -38,7 +38,7 @@ fn main() {
         dev(),
         &mut clock,
     );
-    let mut va = VaFile::build(&w.db, Metric::Euclidean, 5, dev(), dev(), &mut clock);
+    let va = VaFile::build(&w.db, Metric::Euclidean, 5, dev(), dev(), &mut clock);
 
     println!(
         "IQ-tree: {} pages, bit resolutions {:?}",

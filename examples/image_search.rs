@@ -35,7 +35,7 @@ fn main() {
         || Box::new(MemDevice::new(8192)),
         &mut clock,
     );
-    let mut va = VaFile::build(
+    let va = VaFile::build(
         &w.db,
         Metric::Euclidean,
         5,

@@ -15,9 +15,11 @@
 //! printed are *simulated* disk+CPU seconds (see the crate docs).
 
 use iqtree_repro::data;
+use iqtree_repro::engine::AccessMethod;
 use iqtree_repro::geometry::Metric;
-use iqtree_repro::storage::{BlockDevice, FileDevice, SimClock};
+use iqtree_repro::storage::{BlockDevice, FileDevice, MemDevice, SimClock};
 use iqtree_repro::tree::{IqTree, IqTreeOptions};
+use iqtree_repro::EngineKind;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -58,27 +60,35 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   iq generate --kind <uniform|cad|color|weather> --dim <d> --n <count> [--seed <s>] --out <file.csv>
   iq build    --input <file.csv> --index <dir> [--block <bytes>] [--metric <l2|linf|l1>]
-  iq query    --index <dir> --point <x,y,...> [--k <k>] [--cache-blocks <frames>]
-  iq range    --index <dir> --point <x,y,...> --radius <r> [--cache-blocks <frames>]
-  iq batch    --index <dir> --queries <file.csv> [--k <k>] [--threads <t>] [--cache-blocks <frames>]
+  iq query    --index <dir> --point <x,y,...> [--k <k>] [--cache-blocks <frames>] [--engine <e>]
+  iq range    --index <dir> --point <x,y,...> --radius <r> [--cache-blocks <frames>] [--engine <e>]
+  iq batch    --index <dir> --queries <file.csv> [--k <k>] [--threads <t>] [--cache-blocks <frames>] [--engine <e>]
   iq stats    --index <dir>
   iq verify   --index <dir>
-  iq bench    --input <file.csv> [--queries <q>] [--metric <l2|linf|l1>]
+  iq bench    --input <file.csv> [--queries <q>] [--metric <l2|linf|l1>] [--json]
 
+--engine selects the access method: iqtree (default, opens the persisted
+index at --index) or one of the baselines vafile, xtree, scan, which are
+rebuilt in memory from --input <file.csv> (they have no on-disk format).
 --cache-blocks puts an LRU buffer pool of that many frames in front of each
 index file; without it every query is cold, as in the paper's experiments.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(flag) = it.next() {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{flag}`"));
         };
-        let Some(value) = it.next() else {
-            return Err(format!("--{name} needs a value"));
-        };
-        out.insert(name.to_string(), value.clone());
+        // A flag followed by another flag (or by nothing) is boolean.
+        match it.peek() {
+            Some(next) if !next.starts_with("--") => {
+                out.insert(name.to_string(), it.next().expect("peeked").clone());
+            }
+            _ => {
+                out.insert(name.to_string(), "1".to_string());
+            }
+        }
     }
     Ok(out)
 }
@@ -260,25 +270,65 @@ fn open_tree(
     Ok((tree, clock, meta))
 }
 
+fn parse_engine(opts: &HashMap<String, String>) -> Result<EngineKind, String> {
+    match opts.get("engine") {
+        Some(s) => s.parse(),
+        None => Ok(EngineKind::IqTree),
+    }
+}
+
+/// Resolves `--engine` to a ready-to-query [`AccessMethod`]: the IQ-tree
+/// opens its persisted index; the baselines (which have no on-disk format)
+/// are rebuilt in memory from `--input`. Returns the engine, a reset clock
+/// and the dimensionality.
+fn open_engine(
+    opts: &HashMap<String, String>,
+) -> Result<(Box<dyn AccessMethod>, SimClock), String> {
+    let kind = parse_engine(opts)?;
+    if kind == EngineKind::IqTree {
+        let index = PathBuf::from(req(opts, "index")?);
+        let (tree, clock, _) = open_tree(&index, parse_cache_blocks(opts)?)?;
+        return Ok((Box::new(tree), clock));
+    }
+    let input = req(opts, "input").map_err(|_| {
+        format!(
+            "--engine {} is rebuilt in memory: missing --input <file.csv>",
+            kind.name()
+        )
+    })?;
+    let ds = data::read_csv(Path::new(input))?;
+    let metric = parse_metric(opts)?;
+    let mut clock = SimClock::default();
+    let eng = iqtree_repro::build_engine(
+        kind,
+        &ds,
+        metric,
+        || Box::new(MemDevice::new(8192)),
+        &mut clock,
+    );
+    clock.reset();
+    Ok((eng, clock))
+}
+
 fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
-    let index = PathBuf::from(req(opts, "index")?);
     let point = parse_point(req(opts, "point")?)?;
     let k: usize = opts.get("k").map_or(Ok(1), |s| parse_num(s, "--k"))?;
-    let (tree, mut clock, meta) = open_tree(&index, parse_cache_blocks(opts)?)?;
-    if point.len() != meta.dim {
+    let (eng, mut clock) = open_engine(opts)?;
+    if point.len() != eng.dim() {
         return Err(format!(
             "point has {} coordinates, index is {}-d",
             point.len(),
-            meta.dim
+            eng.dim()
         ));
     }
-    let hits = tree.knn(&mut clock, &point, k);
+    let hits = eng.knn(&mut clock, &point, k);
     for (rank, (id, dist)) in hits.iter().enumerate() {
         println!("{:>3}. id {id:>8}  distance {dist:.6}", rank + 1);
     }
     println!(
-        "-- {} result(s) in {:.2} simulated ms ({} seeks, {} blocks)",
+        "-- {} result(s) from {} in {:.2} simulated ms ({} seeks, {} blocks)",
         hits.len(),
+        eng.name(),
         clock.total_time() * 1e3,
         clock.stats().seeks,
         clock.stats().blocks_read,
@@ -287,18 +337,17 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_range(opts: &HashMap<String, String>) -> Result<(), String> {
-    let index = PathBuf::from(req(opts, "index")?);
     let point = parse_point(req(opts, "point")?)?;
     let radius: f64 = parse_num(req(opts, "radius")?, "--radius")?;
-    let (tree, mut clock, meta) = open_tree(&index, parse_cache_blocks(opts)?)?;
-    if point.len() != meta.dim {
+    let (eng, mut clock) = open_engine(opts)?;
+    if point.len() != eng.dim() {
         return Err(format!(
             "point has {} coordinates, index is {}-d",
             point.len(),
-            meta.dim
+            eng.dim()
         ));
     }
-    let mut hits = tree.range(&mut clock, &point, radius);
+    let mut hits = eng.range(&mut clock, &point, radius);
     hits.sort_unstable();
     println!("{} point(s) within {radius}", hits.len());
     for chunk in hits.chunks(10) {
@@ -314,28 +363,28 @@ fn cmd_range(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs a whole k-NN workload through [`IqTree::knn_batch`]: the queries
-/// are CSV rows, fanned out over `--threads` OS threads sharing one tree.
-/// Reported costs are the fold of the per-query clocks and are identical
-/// for every thread count.
+/// Runs a whole k-NN workload through the engine-layer batch executor
+/// ([`iqtree_repro::engine::knn_batch`]): the queries are CSV rows, fanned
+/// out over `--threads` OS threads sharing one engine. Reported costs are
+/// the fold of the per-query clocks and are identical for every thread
+/// count.
 fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
-    let index = PathBuf::from(req(opts, "index")?);
     let qfile = req(opts, "queries")?;
     let k: usize = opts.get("k").map_or(Ok(1), |s| parse_num(s, "--k"))?;
     let threads: usize = opts
         .get("threads")
         .map_or(Ok(1), |s| parse_num(s, "--threads"))?;
-    let (tree, mut clock, meta) = open_tree(&index, parse_cache_blocks(opts)?)?;
+    let (eng, mut clock) = open_engine(opts)?;
     let qs = data::read_csv(Path::new(qfile))?;
-    if qs.dim() != meta.dim {
+    if qs.dim() != eng.dim() {
         return Err(format!(
             "queries have {} coordinates, index is {}-d",
             qs.dim(),
-            meta.dim
+            eng.dim()
         ));
     }
     let queries: Vec<Vec<f32>> = qs.iter().map(<[f32]>::to_vec).collect();
-    let results = tree.knn_batch(&mut clock, &queries, k, threads);
+    let results = iqtree_repro::engine::knn_batch(eng.as_ref(), &mut clock, &queries, k, threads);
     for (i, hits) in results.iter().enumerate() {
         let row: Vec<String> = hits
             .iter()
@@ -345,9 +394,10 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     let nq = queries.len().max(1) as f64;
     println!(
-        "-- {} queries on {} thread(s): {:.2} simulated ms total \
+        "-- {} queries against {} on {} thread(s): {:.2} simulated ms total \
          ({:.2} ms/query, {} seeks, {} blocks)",
         queries.len(),
+        eng.name(),
         threads.max(1),
         clock.total_time() * 1e3,
         clock.total_time() * 1e3 / nq,
@@ -417,97 +467,100 @@ fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
 
 /// Races the IQ-tree against the X-tree, VA-file (model-chosen bits) and
 /// sequential scan on the given points; the last `--queries` rows are held
-/// out as the query workload.
+/// out as the query workload. Every engine is built through the
+/// [`iqtree_repro::build_engine_with`] factory and queried through
+/// `&dyn AccessMethod`. With `--json`, emits one machine-readable object
+/// per engine instead of the text table.
 fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
     use iqtree_repro::data::Workload;
-    use iqtree_repro::scan::SeqScan;
-    use iqtree_repro::storage::MemDevice;
-    use iqtree_repro::vafile::VaFile;
-    use iqtree_repro::xtree::{XTree, XTreeOptions};
+    use iqtree_repro::{EngineKind, EngineOptions};
 
     let input = req(opts, "input")?;
     let queries: usize = opts
         .get("queries")
         .map_or(Ok(20), |s| parse_num(s, "--queries"))?;
     let metric = parse_metric(opts)?;
+    let json = opts.contains_key("json");
     let all = data::read_csv(Path::new(input))?;
     if all.len() <= queries {
         return Err(format!("need more than {queries} points for a benchmark"));
     }
     let w = Workload::split(all, queries);
     let dim = w.db.dim();
-    let dev = || Box::new(MemDevice::new(8192)) as Box<dyn BlockDevice>;
     let df = iqtree_repro::data::correlation_dimension_auto(&w.db);
-    println!(
-        "{} points, {dim}-d, {queries} held-out queries, fractal dim ~ {df:.2}\n",
-        w.db.len()
-    );
-
-    /// One NN query against whichever engine the closure wraps.
-    type Query<'a> = Box<dyn FnMut(&mut SimClock, &[f32]) + 'a>;
-    let mut clock = SimClock::default();
-    let mut measure = |name: &str, mut f: Query| {
-        let mut total = 0.0;
-        let mut seeks = 0u64;
-        for q in w.queries.iter() {
-            clock.reset();
-            f(&mut clock, q);
-            total += clock.total_time();
-            seeks += clock.stats().seeks;
-        }
-        let nq = w.queries.len() as f64;
+    if !json {
         println!(
-            "{name:<28} {:>9.2} ms/query   {:>6.1} seeks/query",
-            total / nq * 1e3,
-            seeks as f64 / nq,
+            "{} points, {dim}-d, {queries} held-out queries, fractal dim ~ {df:.2}\n",
+            w.db.len()
         );
-    };
+    }
 
     let mut build_clock = SimClock::default();
-    let opts_iq = IqTreeOptions {
-        fractal_dim: Some(df),
+    let bits = iqtree_repro::vafile::auto_bits(build_clock.disk(), build_clock.cpu(), &w.db, df);
+    let display = |kind: EngineKind| -> String {
+        match kind {
+            EngineKind::IqTree => "IQ-tree".into(),
+            EngineKind::XTree => "X-tree".into(),
+            EngineKind::VaFile => format!("VA-file (auto: {bits} bits)"),
+            EngineKind::Scan => "sequential scan".into(),
+        }
+    };
+    let eng_opts = EngineOptions {
+        iq: IqTreeOptions {
+            fractal_dim: Some(df),
+            ..Default::default()
+        },
+        va_bits: Some(bits),
         ..Default::default()
     };
-    let iq = IqTree::build(&w.db, metric, opts_iq, dev, &mut build_clock);
-    measure(
-        "IQ-tree",
-        Box::new(move |c, q| {
-            iq.nearest(c, q);
-        }),
-    );
 
-    let mut xt = XTree::build(
-        &w.db,
-        metric,
-        XTreeOptions::default(),
-        dev(),
-        dev(),
-        &mut build_clock,
-    );
-    measure(
-        "X-tree",
-        Box::new(move |c, q| {
-            xt.nearest(c, q);
-        }),
-    );
-
-    let bits = iqtree_repro::vafile::auto_bits(build_clock.disk(), build_clock.cpu(), &w.db, df);
-    let mut va = VaFile::build(&w.db, metric, bits, dev(), dev(), &mut build_clock);
-    measure(
-        &format!("VA-file (auto: {bits} bits)"),
-        Box::new(move |c, q| {
-            va.nearest(c, q);
-        }),
-    );
-
-    let mut scan = SeqScan::build(&w.db, metric, dev(), &mut build_clock);
-    measure(
-        "sequential scan",
-        Box::new(move |c, q| {
-            scan.nearest(c, q);
-        }),
-    );
-    println!("\n(times are simulated: 10 ms seek, 1 ms / 8 KiB block, 100 ns CPU per dim-op)");
+    let mut clock = SimClock::default();
+    let mut json_rows: Vec<String> = Vec::new();
+    for kind in EngineKind::ALL {
+        let eng = iqtree_repro::build_engine_with(
+            kind,
+            &w.db,
+            metric,
+            eng_opts.clone(),
+            || Box::new(MemDevice::new(8192)),
+            &mut build_clock,
+        );
+        let mut total = 0.0;
+        let mut seeks = 0u64;
+        let mut blocks = 0u64;
+        for q in w.queries.iter() {
+            clock.reset();
+            eng.nearest(&mut clock, q);
+            total += clock.total_time();
+            seeks += clock.stats().seeks;
+            blocks += clock.stats().blocks_read;
+        }
+        let nq = w.queries.len() as f64;
+        if json {
+            json_rows.push(format!(
+                "{{\"engine\":\"{}\",\"dataset\":\"{}\",\"queries\":{},\"ms_per_query\":{:.6},\
+                 \"seeks_per_query\":{:.3},\"blocks_per_query\":{:.3}}}",
+                eng.name(),
+                input.replace('\\', "\\\\").replace('"', "\\\""),
+                w.queries.len(),
+                total / nq * 1e3,
+                seeks as f64 / nq,
+                blocks as f64 / nq,
+            ));
+        } else {
+            println!(
+                "{:<28} {:>9.2} ms/query   {:>6.1} seeks/query",
+                display(kind),
+                total / nq * 1e3,
+                seeks as f64 / nq,
+            );
+        }
+    }
+    if json {
+        println!("[{}]", json_rows.join(","));
+    } else {
+        println!("\n(times are simulated: 10 ms seek, 1 ms / 8 KiB block, 100 ns CPU per dim-op)");
+    }
     Ok(())
 }
 

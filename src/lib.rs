@@ -6,7 +6,10 @@
 //! * [`tree`] — the IQ-tree itself (the paper's contribution),
 //! * [`geometry`], [`storage`], [`quantize`], [`cost`], [`cache`] — the substrates,
 //! * [`data`] — synthetic data sets and fractal-dimension estimation,
-//! * [`scan`], [`vafile`], [`xtree`] — the baselines of the evaluation.
+//! * [`scan`], [`vafile`], [`xtree`] — the baselines of the evaluation,
+//! * [`engine`] — the unified query layer ([`engine::AccessMethod`],
+//!   the shared batch executor) with the [`engines`] factory building any
+//!   of the four methods behind one trait object.
 //!
 //! # Quickstart
 //!
@@ -19,7 +22,7 @@
 //! // 2 000 uniform points in 8 dimensions, 5 held out as queries.
 //! let w = Workload::generate(2_000, 5, |n| data::uniform(8, n, 42));
 //! let mut clock = SimClock::default();
-//! let mut tree = IqTree::build(
+//! let tree = IqTree::build(
 //!     &w.db,
 //!     Metric::Euclidean,
 //!     IqTreeOptions::default(),
@@ -35,6 +38,7 @@
 pub use iq_cache as cache;
 pub use iq_cost as cost;
 pub use iq_data as data;
+pub use iq_engine as engine;
 pub use iq_geometry as geometry;
 pub use iq_quantize as quantize;
 pub use iq_scan as scan;
@@ -42,3 +46,7 @@ pub use iq_storage as storage;
 pub use iq_tree as tree;
 pub use iq_vafile as vafile;
 pub use iq_xtree as xtree;
+
+pub mod engines;
+
+pub use engines::{build_engine, build_engine_with, EngineKind, EngineOptions};

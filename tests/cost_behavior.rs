@@ -41,7 +41,7 @@ fn iqtree_beats_scan_in_high_dimensions() {
         || dev(),
         &mut clock,
     );
-    let mut scan = SeqScan::build(&w.db, Metric::Euclidean, dev(), &mut clock);
+    let scan = SeqScan::build(&w.db, Metric::Euclidean, dev(), &mut clock);
 
     let iq = avg_nn_time(&mut tree, &mut clock, &w.queries);
     let mut sc = 0.0;
@@ -65,7 +65,7 @@ fn iqtree_beats_xtree_in_high_dimensions() {
         || dev(),
         &mut clock,
     );
-    let mut xt = XTree::build(
+    let xt = XTree::build(
         &w.db,
         Metric::Euclidean,
         XTreeOptions::default(),

@@ -162,8 +162,8 @@ fn maximum_metric_agreement() {
         || dev(),
         &mut clock,
     );
-    let mut va = VaFile::build(&w.db, Metric::Maximum, 4, dev(), dev(), &mut clock);
-    let mut scan = SeqScan::build(&w.db, Metric::Maximum, dev(), &mut clock);
+    let va = VaFile::build(&w.db, Metric::Maximum, 4, dev(), dev(), &mut clock);
+    let scan = SeqScan::build(&w.db, Metric::Maximum, dev(), &mut clock);
     for q in w.queries.iter() {
         let a = iq.nearest(&mut clock, q).expect("non-empty").1;
         let b = va.nearest(&mut clock, q).expect("non-empty").1;

@@ -1,0 +1,163 @@
+//! Engine-layer conformance: every [`AccessMethod`] — IQ-tree, VA-file,
+//! X-tree — must agree *exactly* with the sequential scan on the same
+//! clustered workload, for every supported metric and query type, and the
+//! shared batch executor must be thread-count-invariant for each of them.
+//! A final test drives the baselines through a [`DeviceStack`] injecting
+//! transient faults: with the retry layer in the stack, results must still
+//! match the scan bit for bit.
+
+use iqtree_repro::data;
+use iqtree_repro::engine::{knn_batch, AccessMethod};
+use iqtree_repro::geometry::{Dataset, Mbr, Metric};
+use iqtree_repro::storage::{
+    BlockDevice, DeviceStack, FaultConfig, MemDevice, RetryPolicy, SimClock,
+};
+use iqtree_repro::{build_engine, EngineKind};
+
+const N: usize = 5_000;
+const DIM: usize = 8;
+
+/// The clustered dataset the suite runs on (CAD analogue: moderately
+/// clustered Fourier coefficients) plus held-out query points.
+fn clustered() -> (Dataset, Vec<Vec<f32>>) {
+    let w = iqtree_repro::data::Workload::generate(N, 6, |n| data::cad_like(DIM, n, 77));
+    let queries: Vec<Vec<f32>> = w.queries.iter().map(<[f32]>::to_vec).collect();
+    (w.db, queries)
+}
+
+fn metrics() -> [Metric; 3] {
+    [Metric::Euclidean, Metric::Maximum, Metric::Manhattan]
+}
+
+fn plain_dev() -> Box<dyn BlockDevice> {
+    Box::new(MemDevice::new(4096))
+}
+
+/// Builds all four engines over `ds` with `make_dev` devices.
+fn build_all(
+    ds: &Dataset,
+    metric: Metric,
+    mut make_dev: impl FnMut() -> Box<dyn BlockDevice>,
+) -> Vec<Box<dyn AccessMethod>> {
+    EngineKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut clock = SimClock::default();
+            build_engine(kind, ds, metric, &mut make_dev, &mut clock)
+        })
+        .collect()
+}
+
+/// Sorts a k-NN result so engines that break exact-distance ties
+/// differently remain comparable; distances themselves must be identical.
+fn canon(mut hits: Vec<(u32, f64)>) -> Vec<(u32, u64)> {
+    hits.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("no NaN distances")
+            .then(a.0.cmp(&b.0))
+    });
+    hits.into_iter().map(|(id, d)| (id, d.to_bits())).collect()
+}
+
+fn assert_engines_match_scan(engines: &[Box<dyn AccessMethod>], queries: &[Vec<f32>], tag: &str) {
+    let scan = engines
+        .iter()
+        .find(|e| e.name() == "scan")
+        .expect("scan engine present");
+    let mut clock = SimClock::default();
+    for (qi, q) in queries.iter().enumerate() {
+        // k-NN: identical distances (bitwise), ids up to tie order.
+        let want_knn = canon(scan.knn(&mut clock, q, 10));
+        // Range at the 15th-NN distance (inflated so the boundary point
+        // survives the key <-> distance round-trip).
+        let radius = scan.knn(&mut clock, q, 15).last().expect("15 hits").1 * (1.0 + 1e-9);
+        let mut want_range = scan.range(&mut clock, q, radius);
+        want_range.sort_unstable();
+        // Window: a box of half-width 0.15 around the query point.
+        let lo: Vec<f32> = q.iter().map(|c| c - 0.15).collect();
+        let hi: Vec<f32> = q.iter().map(|c| c + 0.15).collect();
+        let win = Mbr::from_bounds(lo, hi);
+        let mut want_win = scan.window(&mut clock, &win);
+        want_win.sort_unstable();
+
+        for eng in engines {
+            if eng.name() == "scan" {
+                continue;
+            }
+            let got_knn = canon(eng.knn(&mut clock, q, 10));
+            assert_eq!(got_knn, want_knn, "{tag} {} knn query {qi}", eng.name());
+            let mut got_range = eng.range(&mut clock, q, radius);
+            got_range.sort_unstable();
+            assert_eq!(
+                got_range,
+                want_range,
+                "{tag} {} range query {qi}",
+                eng.name()
+            );
+            let mut got_win = eng.window(&mut clock, &win);
+            got_win.sort_unstable();
+            assert_eq!(got_win, want_win, "{tag} {} window query {qi}", eng.name());
+        }
+    }
+}
+
+#[test]
+fn all_engines_agree_with_scan_on_every_metric() {
+    let (ds, queries) = clustered();
+    for metric in metrics() {
+        let engines = build_all(&ds, metric, plain_dev);
+        assert_engines_match_scan(&engines, &queries, &format!("{metric:?}"));
+    }
+}
+
+#[test]
+fn batch_executor_is_thread_count_invariant_per_engine() {
+    let (ds, queries) = clustered();
+    let engines = build_all(&ds, Metric::Euclidean, plain_dev);
+    for eng in &engines {
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let mut clock = SimClock::default();
+            let results = knn_batch(eng.as_ref(), &mut clock, &queries, 7, threads);
+            runs.push((threads, results, clock.stats(), clock.total_time()));
+        }
+        let (_, r1, s1, t1) = &runs[0];
+        for (threads, r, s, t) in &runs[1..] {
+            // Byte-identical results and identical simulated cost,
+            // regardless of how the batch was fanned out.
+            assert_eq!(r, r1, "{} differs at {threads} threads", eng.name());
+            assert_eq!(s, s1, "{} stats differ at {threads} threads", eng.name());
+            assert_eq!(t, t1, "{} time differs at {threads} threads", eng.name());
+        }
+    }
+}
+
+#[test]
+fn engines_agree_with_scan_under_injected_transient_faults() {
+    let (ds, queries) = clustered();
+    // Every engine file — the scan oracle's included — sits behind a
+    // device stack injecting transient faults on ~5% of operations,
+    // absorbed by the retry layer above. A generous attempt budget keeps
+    // the chance of an unrecovered fault negligible (0.05^8); the fault
+    // schedule is seeded, so the test is fully deterministic either way.
+    let retry = RetryPolicy {
+        max_attempts: 8,
+        ..RetryPolicy::default()
+    };
+    let mut seed = 0u64;
+    let faulty = move || -> Box<dyn BlockDevice> {
+        seed += 1;
+        DeviceStack::new(Box::new(MemDevice::new(4096)))
+            .faults(FaultConfig::transient(seed, 0.05))
+            .retry(retry)
+            .build()
+    };
+    let engines = build_all(&ds, Metric::Euclidean, faulty);
+    // Sanity: the workload actually exercised the fault path.
+    let mut clock = SimClock::default();
+    for eng in &engines {
+        eng.knn(&mut clock, &queries[0], 5);
+    }
+    assert!(clock.stats().io_retries > 0, "faults were never injected");
+    assert_engines_match_scan(&engines, &queries, "faulty");
+}

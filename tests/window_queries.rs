@@ -35,7 +35,7 @@ fn window_results_agree_across_methods() {
             || dev(),
             &mut clock,
         );
-        let mut xt = XTree::build(
+        let xt = XTree::build(
             &w.db,
             Metric::Euclidean,
             XTreeOptions::default(),
@@ -43,8 +43,8 @@ fn window_results_agree_across_methods() {
             dev(),
             &mut clock,
         );
-        let mut va = VaFile::build(&w.db, Metric::Euclidean, 4, dev(), dev(), &mut clock);
-        let mut scan = SeqScan::build(&w.db, Metric::Euclidean, dev(), &mut clock);
+        let va = VaFile::build(&w.db, Metric::Euclidean, 4, dev(), dev(), &mut clock);
+        let scan = SeqScan::build(&w.db, Metric::Euclidean, dev(), &mut clock);
 
         for (lo, hi) in [(0.2f32, 0.5f32), (0.0, 1.0), (0.45, 0.55), (0.9, 0.95)] {
             let win = Mbr::from_bounds(vec![lo; dim], vec![hi; dim]);
