@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use iq_cache::CachedDevice;
 use iq_cost::access_prob::fraction_in_ball;
 use iq_geometry::{bulk_partition, Mbr, Metric};
-use iq_quantize::{BitReader, BitWriter, QuantizedPageCodec};
+use iq_quantize::{unpack_cells, BitReader, BitWriter, DistTable, QuantizedPageCodec};
 use iq_storage::{fetch, BlockDevice, CpuModel, DiskModel, MemDevice, SimClock};
 use std::hint::black_box;
 
@@ -49,6 +49,61 @@ fn bench_page_codec(c: &mut Criterion) {
     });
     c.bench_function("page/decode_4bit_full_page", |b| {
         b.iter(|| black_box(codec.decode(&block)))
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // The PR-4 distance kernels: streaming page filter vs naive decode,
+    // table build, and the width-specialized bit unpacker.
+    let dim = 16;
+    let g = 6u32;
+    let codec = QuantizedPageCodec::new(dim, 8192);
+    let mbr = Mbr::from_bounds(vec![0.0; dim], vec![1.0; dim]);
+    let points = iq_data::uniform(dim, codec.capacity(g), 1);
+    let block = codec.encode(
+        &mbr,
+        g,
+        points.iter().enumerate().map(|(i, p)| (i as u32, p)),
+    );
+    let q = vec![0.37f32; dim];
+
+    let mut table = DistTable::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    c.bench_function("kernel/page_filter_table_6bit", |b| {
+        b.iter(|| {
+            let view = codec.try_view(&block).expect("valid page");
+            table.build(&mbr, view.bits(), Metric::Euclidean, &q, view.len());
+            let mut acc = 0.0f64;
+            view.for_each_entry(&mut scratch, |_, cells| {
+                acc += table.mindist_key(cells);
+            });
+            black_box(acc)
+        })
+    });
+    c.bench_function("kernel/page_filter_naive_6bit", |b| {
+        b.iter(|| {
+            let page = codec.try_decode(&block).expect("valid page");
+            let grid = iq_quantize::GridQuantizer::new(&mbr, page.bits());
+            let mut acc = 0.0f64;
+            for i in 0..page.len() {
+                acc += Metric::Euclidean.mindist_key(&q, &grid.cell_box(page.cells(i)));
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("kernel/table_build_16d_6bit", |b| {
+        b.iter(|| {
+            table.build(&mbr, g, Metric::Euclidean, &q, 1 << 20);
+            black_box(table.is_materialized())
+        })
+    });
+    let packed: Vec<u8> = (0..dim).map(|i| i as u8).collect();
+    let mut cells = vec![0u32; dim];
+    c.bench_function("kernel/unpack_cells_8bit_16d", |b| {
+        b.iter(|| {
+            unpack_cells(&packed, 8, &mut cells);
+            black_box(cells[dim - 1])
+        })
     });
 }
 
@@ -157,7 +212,7 @@ fn bench_nn_query(c: &mut Criterion) {
 criterion_group! {
     name = components;
     config = Criterion::default().sample_size(20);
-    targets = bench_bits, bench_page_codec, bench_fetch_planner,
+    targets = bench_bits, bench_page_codec, bench_kernels, bench_fetch_planner,
               bench_partition, bench_fractal, bench_minkowski,
               bench_access_probability, bench_cache, bench_nn_query
 }

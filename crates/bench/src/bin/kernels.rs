@@ -1,0 +1,12 @@
+//! Runs the quantized-domain kernel microbenchmarks and writes
+//! `BENCH_PR4.json` (page-scan filter throughput naive vs kernel, table
+//! build cost, parallel build speedup). `IQ_QUICK=1` shrinks the run for
+//! CI smoke tests.
+
+fn main() {
+    let quick = std::env::var("IQ_QUICK").map(|v| v == "1").unwrap_or(false);
+    let json = iq_bench::kernels::run_all(quick);
+    print!("{json}");
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    eprintln!("wrote BENCH_PR4.json");
+}

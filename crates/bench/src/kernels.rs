@@ -1,0 +1,272 @@
+//! Microbenchmarks for the quantized-domain distance kernels: page-scan
+//! filter throughput (naive decode-then-`Metric` vs the lookup-table
+//! kernel), `DistTable` build cost, and the parallel build pipeline
+//! speedup. [`run_all`] renders everything as JSON; the `kernels` binary
+//! writes it to `BENCH_PR4.json`.
+//!
+//! These measure *wall-clock* time of the CPU kernels (unlike the figure
+//! runners, which report simulated time): the kernels change how fast the
+//! same answers are produced, and the simulated cost model charges both
+//! paths identically.
+
+use iq_geometry::{Mbr, Metric};
+use iq_quantize::{DistTable, ExactPageCodec, GridQuantizer, QuantizedPageCodec};
+use iq_tree::build::{encode_pages, SolutionPage};
+use std::time::Instant;
+
+/// Deterministic pseudo-uniform values in `[0, 1)` (no RNG state shared
+/// with the figure runners).
+fn lcg(seed: &mut u64) -> f32 {
+    *seed = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+    ((*seed >> 33) as f64 / f64::from(1u32 << 31)) as f32
+}
+
+/// Throughput of the level-2 filter over encoded pages, points per second.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanBench {
+    /// Points filtered per second by the naive path (full page decode,
+    /// per-entry `cell_box` MBR construction, `Metric::mindist_key`).
+    pub naive_pps: f64,
+    /// Points filtered per second by the kernel (zero-copy view, streaming
+    /// decode, table-lookup MINDIST).
+    pub kernel_pps: f64,
+    /// `kernel_pps / naive_pps`.
+    pub speedup: f64,
+}
+
+/// Measures the page-scan filter: identical pages, identical queries,
+/// identical keys out of both paths (asserted) — only the kernel differs.
+pub fn page_scan_throughput(quick: bool) -> ScanBench {
+    const DIM: usize = 8;
+    const G: u32 = 6;
+    const BLOCK: usize = 4096;
+    let codec = QuantizedPageCodec::new(DIM, BLOCK);
+    let per_page = codec.capacity(G).min(200);
+    let n_pages = if quick { 8 } else { 64 };
+    let n_queries = if quick { 2 } else { 8 };
+    let iters = if quick { 1 } else { 6 };
+
+    let mut seed = 0xD15_7AB1Eu64;
+    let pages: Vec<(Mbr, Vec<u8>)> = (0..n_pages)
+        .map(|p| {
+            let base = p as f32 * 0.01;
+            let pts: Vec<Vec<f32>> = (0..per_page)
+                .map(|_| (0..DIM).map(|_| base + lcg(&mut seed)).collect())
+                .collect();
+            let mbr = Mbr::of_points(DIM, pts.iter().map(Vec::as_slice));
+            let block = codec.encode(
+                &mbr,
+                G,
+                pts.iter()
+                    .enumerate()
+                    .map(|(i, v)| (i as u32, v.as_slice())),
+            );
+            (mbr, block)
+        })
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..n_queries)
+        .map(|_| (0..DIM).map(|_| lcg(&mut seed) * 1.5).collect())
+        .collect();
+
+    // Naive: decode the page into vectors, build each entry's cell box,
+    // run the metric over it.
+    let start = Instant::now();
+    let mut naive_sink = 0.0f64;
+    for _ in 0..iters {
+        for q in &queries {
+            for (mbr, block) in &pages {
+                let page = codec.try_decode(block).expect("valid page");
+                let grid = GridQuantizer::new(mbr, page.bits());
+                for i in 0..page.len() {
+                    naive_sink += Metric::Euclidean.mindist_key(q, &grid.cell_box(page.cells(i)));
+                }
+            }
+        }
+    }
+    let naive_t = start.elapsed().as_secs_f64();
+
+    // Kernel: per-(query, page) table, streaming decode, lookups.
+    let mut table = DistTable::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    let start = Instant::now();
+    let mut kernel_sink = 0.0f64;
+    for _ in 0..iters {
+        for q in &queries {
+            for (mbr, block) in &pages {
+                let view = codec.try_view(block).expect("valid page");
+                table.build(mbr, view.bits(), Metric::Euclidean, q, view.len());
+                view.for_each_entry(&mut scratch, |_, cells| {
+                    kernel_sink += table.mindist_key(cells);
+                });
+            }
+        }
+    }
+    let kernel_t = start.elapsed().as_secs_f64();
+
+    // Same pages, same fold order: the sums are bit-identical.
+    assert_eq!(
+        naive_sink.to_bits(),
+        kernel_sink.to_bits(),
+        "kernel must not change the keys"
+    );
+
+    let points = (iters * n_queries * n_pages * per_page) as f64;
+    let naive_pps = points / naive_t.max(1e-12);
+    let kernel_pps = points / kernel_t.max(1e-12);
+    ScanBench {
+        naive_pps,
+        kernel_pps,
+        speedup: kernel_pps / naive_pps.max(1e-12),
+    }
+}
+
+/// Cost of building one `DistTable` (nanoseconds), per `(dim, g)`.
+pub fn table_build_cost(quick: bool) -> Vec<(usize, u32, f64)> {
+    let iters = if quick { 20 } else { 2_000 };
+    let mut out = Vec::new();
+    let mut seed = 0xBEEFu64;
+    for &dim in &[8usize, 16] {
+        let lo: Vec<f32> = (0..dim).map(|_| lcg(&mut seed)).collect();
+        let hi: Vec<f32> = lo.iter().map(|l| l + 1.0).collect();
+        let mbr = Mbr::from_bounds(lo, hi);
+        let q: Vec<f32> = (0..dim).map(|_| lcg(&mut seed) * 2.0).collect();
+        for &g in &[4u32, 8] {
+            let mut table = DistTable::new();
+            // Hint large enough to force materialization: the build cost is
+            // what we're measuring.
+            table.build(&mbr, g, Metric::Euclidean, &q, 1 << 20);
+            let start = Instant::now();
+            for _ in 0..iters {
+                table.build(&mbr, g, Metric::Euclidean, &q, 1 << 20);
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            out.push((dim, g, ns));
+        }
+    }
+    out
+}
+
+/// Wall-clock speedup of the parallel page-encoding pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildBench {
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// Sequential encode time, seconds.
+    pub seq_s: f64,
+    /// Parallel encode time, seconds.
+    pub par_s: f64,
+    /// `seq_s / par_s`.
+    pub speedup: f64,
+}
+
+/// Encodes the same solution with 1 thread and with one worker per core,
+/// verifying byte-for-byte identity along the way.
+pub fn parallel_build_speedup(quick: bool) -> BuildBench {
+    const DIM: usize = 12;
+    const G: u32 = 8;
+    let n_pages = if quick { 32 } else { 256 };
+    let per_page = 120usize;
+    let mut seed = 0xC0FFEEu64;
+    let mut ds = iq_geometry::Dataset::with_capacity(DIM, n_pages * per_page);
+    let mut row = vec![0.0f32; DIM];
+    for _ in 0..n_pages * per_page {
+        row.fill_with(|| lcg(&mut seed));
+        ds.push(&row);
+    }
+    let solution: Vec<SolutionPage> = (0..n_pages)
+        .map(|p| {
+            let ids: Vec<u32> = (p * per_page..(p + 1) * per_page)
+                .map(|i| i as u32)
+                .collect();
+            let mbr = Mbr::of_points(DIM, ids.iter().map(|&i| ds.point(i as usize)));
+            SolutionPage { ids, mbr, g: G }
+        })
+        .collect();
+    let codec = QuantizedPageCodec::new(DIM, 4096);
+    let exact_codec = ExactPageCodec::new(DIM);
+
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+    // Warm-up run (page cache, lazy init).
+    let _ = encode_pages(&ds, None, &solution, &codec, &exact_codec, 1);
+
+    let start = Instant::now();
+    let seq = encode_pages(&ds, None, &solution, &codec, &exact_codec, 1);
+    let seq_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let par = encode_pages(&ds, None, &solution, &codec, &exact_codec, threads);
+    let par_s = start.elapsed().as_secs_f64();
+
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.quant, b.quant, "parallel encode must be deterministic");
+        assert_eq!(a.exact, b.exact, "parallel encode must be deterministic");
+    }
+
+    BuildBench {
+        threads,
+        seq_s,
+        par_s,
+        speedup: seq_s / par_s.max(1e-12),
+    }
+}
+
+/// Runs every kernel microbenchmark and renders the results as a JSON
+/// object (hand-formatted: the harness has no serde dependency).
+pub fn run_all(quick: bool) -> String {
+    let scan = page_scan_throughput(quick);
+    let tables = table_build_cost(quick);
+    let build = parallel_build_speedup(quick);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"quantized-domain distance kernels\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"page_scan\": {{\"naive_points_per_sec\": {:.0}, \"kernel_points_per_sec\": {:.0}, \"speedup\": {:.3}}},\n",
+        scan.naive_pps, scan.kernel_pps, scan.speedup
+    ));
+    json.push_str("  \"table_build\": [\n");
+    for (i, (dim, g, ns)) in tables.iter().enumerate() {
+        let sep = if i + 1 == tables.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"dim\": {dim}, \"g\": {g}, \"ns_per_build\": {ns:.0}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"parallel_build\": {{\"threads\": {}, \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}}}\n",
+        build.threads, build.seq_s, build.par_s, build.speedup
+    ));
+    json.push_str("}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_bench_produces_positive_throughput() {
+        let s = page_scan_throughput(true);
+        assert!(s.naive_pps > 0.0);
+        assert!(s.kernel_pps > 0.0);
+        assert!(s.speedup > 0.0);
+    }
+
+    #[test]
+    fn build_bench_is_deterministic_and_positive() {
+        let b = parallel_build_speedup(true);
+        assert!(b.seq_s > 0.0);
+        assert!(b.par_s > 0.0);
+        assert!(b.threads >= 1);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let json = run_all(true);
+        assert!(json.contains("\"page_scan\""));
+        assert!(json.contains("\"table_build\""));
+        assert!(json.contains("\"parallel_build\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

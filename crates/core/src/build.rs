@@ -21,10 +21,11 @@
 
 use iq_cost::{directory, refine::RefineParams, DirectoryParams};
 use iq_geometry::{split_at_median, Dataset, Mbr, Partition};
-use iq_quantize::{QuantizedPageCodec, EXACT_BITS};
+use iq_quantize::{ExactPageCodec, QuantizedPageCodec, EXACT_BITS};
 use iq_storage::DiskModel;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One page of the chosen solution: which points it holds and at which
 /// resolution they are quantized.
@@ -36,6 +37,80 @@ pub struct SolutionPage {
     pub mbr: Mbr,
     /// Bits per dimension (32 = exact).
     pub g: u32,
+}
+
+/// The encoded byte images of one solution page: the level-2 quantized
+/// block and, for `g < 32`, the level-3 exact region.
+#[derive(Clone, Debug)]
+pub struct EncodedPage {
+    /// One block-sized quantized page image.
+    pub quant: Vec<u8>,
+    /// The exact `(id, coords)` rows (empty for `g == 32` pages).
+    pub exact: Vec<u8>,
+}
+
+/// Encodes every solution page — per-page grid quantization, bit packing
+/// and exact-row serialization, the CPU-bound half of page writing —
+/// fanning the work out over `threads` scoped threads (`0` = one per
+/// available core).
+///
+/// The output is **byte-for-byte identical** to sequential encoding for
+/// every thread count: each page's encoding is a pure function of its own
+/// points, and results are merged back in page order before anything
+/// touches a device. The property tests assert this equality on the raw
+/// device images.
+pub fn encode_pages(
+    ds: &Dataset,
+    id_map: Option<&[u32]>,
+    solution: &[SolutionPage],
+    codec: &QuantizedPageCodec,
+    exact_codec: &ExactPageCodec,
+    threads: usize,
+) -> Vec<EncodedPage> {
+    let external = |row: u32| id_map.map_or(row, |m| m[row as usize]);
+    let encode_one = |page: &SolutionPage| -> EncodedPage {
+        let quant = codec.encode(
+            &page.mbr,
+            page.g,
+            page.ids
+                .iter()
+                .map(|&row| (external(row), ds.point(row as usize))),
+        );
+        let exact = if page.g < EXACT_BITS {
+            exact_codec.encode(
+                page.ids
+                    .iter()
+                    .map(|&row| (external(row), ds.point(row as usize))),
+            )
+        } else {
+            Vec::new()
+        };
+        EncodedPage { quant, exact }
+    };
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    if threads < 2 || solution.len() < 2 {
+        return solution.iter().map(encode_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: std::sync::Mutex<Vec<(usize, EncodedPage)>> =
+        std::sync::Mutex::new(Vec::with_capacity(solution.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(16) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(page) = solution.get(i) else { break };
+                let enc = encode_one(page);
+                results.lock().expect("results lock").push((i, enc));
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("no poisoned lock");
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, e)| e).collect()
 }
 
 /// Diagnostics of an optimization run (exposed for tests, benches and the

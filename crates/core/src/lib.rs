@@ -54,6 +54,10 @@ pub struct IqTreeOptions {
     /// default retries a few times with exponential backoff;
     /// [`RetryPolicy::none`] makes any fault surface immediately.
     pub retry: RetryPolicy,
+    /// Threads for the CPU-bound page-encoding stage of construction
+    /// (`0` = one per available core). Output bytes are identical for every
+    /// value — parallelism changes build wall-clock, never the index.
+    pub build_threads: usize,
 }
 
 impl Default for IqTreeOptions {
@@ -64,6 +68,7 @@ impl Default for IqTreeOptions {
             fractal_dim: None,
             cache_blocks: None,
             retry: RetryPolicy::default(),
+            build_threads: 0,
         }
     }
 }
@@ -264,27 +269,31 @@ impl IqTree {
         solution: Vec<SolutionPage>,
         clock: &mut SimClock,
     ) {
-        let external = |row: u32| id_map.map_or(row, |m| m[row as usize]);
-        for page in solution {
-            let quant_bytes = self.codec.encode(
-                &page.mbr,
-                page.g,
-                page.ids
-                    .iter()
-                    .map(|&row| (external(row), ds.point(row as usize))),
-            );
+        // Encode all pages in parallel (pure CPU work), then append the
+        // results to the level files strictly in page order — the device
+        // images are byte-for-byte those of a sequential build.
+        let encoded = build::encode_pages(
+            ds,
+            id_map,
+            &solution,
+            &self.codec,
+            &self.exact_codec,
+            self.opts.build_threads,
+        );
+        for (page, enc) in solution.into_iter().zip(encoded) {
             let quant_block = self
                 .quant
-                .append(clock, &quant_bytes)
+                .append(clock, &enc.quant)
                 .expect("append quantized page");
             let (exact_start, exact_blocks) = if page.g < EXACT_BITS {
-                let bytes = self.exact_codec.encode(
-                    page.ids
-                        .iter()
-                        .map(|&row| (external(row), ds.point(row as usize))),
-                );
-                let start = self.exact.append(clock, &bytes).expect("append exact page");
-                (start, bytes.len().div_ceil(self.exact.block_size()) as u32)
+                let start = self
+                    .exact
+                    .append(clock, &enc.exact)
+                    .expect("append exact page");
+                (
+                    start,
+                    enc.exact.len().div_ceil(self.exact.block_size()) as u32,
+                )
             } else {
                 (0, 0)
             };

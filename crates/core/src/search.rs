@@ -18,7 +18,7 @@
 use crate::{IqTree, PageMeta};
 use iq_cost::access_prob::fraction_in_ball;
 use iq_engine::{AccessMethod, TopK};
-use iq_quantize::{GridQuantizer, EXACT_BITS};
+use iq_quantize::{CellMatch, DistTable, WindowTable, EXACT_BITS};
 use iq_storage::{fetch, read_to_vec_retry, SimClock};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -69,6 +69,12 @@ struct SearchState {
     /// Current k-best exact results.
     best: TopK,
     trace: QueryTrace,
+    /// Reusable cell-number scratch for the streaming page decoder.
+    cells: Vec<u32>,
+    /// Reusable coordinate scratch for exact (g = 32) pages and fallbacks.
+    coords: Vec<f32>,
+    /// Reusable per-(query, page-grid) distance-contribution table.
+    table: DistTable,
 }
 
 impl SearchState {
@@ -142,6 +148,9 @@ impl IqTree {
             processed: vec![false; n_pages],
             best: TopK::new(k),
             trace: QueryTrace::default(),
+            cells: Vec::new(),
+            coords: Vec::new(),
+            table: DistTable::new(),
         };
         let mut heap: BinaryHeap<Reverse<(Key, Item)>> = BinaryHeap::with_capacity(n_pages);
         for (i, meta) in self.pages().iter().enumerate() {
@@ -348,14 +357,19 @@ impl IqTree {
                 continue; // loaded as filler; nothing useful inside
             }
             let off = (p - first) * bs;
-            let page_bytes = buf[off..off + bs].to_vec();
-            self.consume_page_bytes(clock, q, p, &page_bytes, st, heap);
+            self.consume_page_bytes(clock, q, p, &buf[off..off + bs], st, heap);
         }
     }
 
     /// Decodes a loaded page and feeds its contents to the search: exact
     /// entries update the result set directly, approximations enter the
     /// priority list as point boxes.
+    ///
+    /// This is the level-2 hot loop: the page is streamed through a
+    /// header-validated [`iq_quantize::QuantPageView`] and each candidate's
+    /// MINDIST comes from the per-(query, grid) [`DistTable`] — no `Vec`
+    /// allocations, no MBR construction, no f32 reconstruction, and
+    /// bit-identical keys to the naive decode-then-`Metric` path.
     fn consume_page_bytes(
         &self,
         clock: &mut SimClock,
@@ -366,8 +380,8 @@ impl IqTree {
         heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
     ) {
         let metric = self.metric();
-        let decoded = match self.codec().try_decode(bytes) {
-            Ok(d) => d,
+        let view = match self.codec().try_view(bytes) {
+            Ok(v) => v,
             Err(_) => {
                 // The block read fine (or came from cache) but its payload
                 // is garbage — corruption that slipped past the checksum
@@ -377,27 +391,37 @@ impl IqTree {
                 return;
             }
         };
-        clock.charge_dist_evals(self.dim(), decoded.len() as u64);
-        st.trace.pages_processed += 1;
-        if decoded.bits() == EXACT_BITS {
-            for i in 0..decoded.len() {
-                let coords = decoded.exact_point(i).expect("exact page");
-                st.offer(metric.distance_key(&coords, q), decoded.id(i));
-            }
+        clock.charge_dist_evals(self.dim(), view.len() as u64);
+        let SearchState {
+            best,
+            trace,
+            cells,
+            coords,
+            table,
+            ..
+        } = st;
+        trace.pages_processed += 1;
+        if view.bits() == EXACT_BITS {
+            view.for_each_entry(cells, |id, bits| {
+                coords.clear();
+                coords.extend(bits.iter().map(|&b| f32::from_bits(b)));
+                best.insert(metric.distance_key(coords, q), id);
+            });
         } else {
             let meta: &PageMeta = &self.pages()[p];
-            let grid = GridQuantizer::new(&meta.mbr, decoded.bits());
-            for i in 0..decoded.len() {
-                let cell_box = grid.cell_box(decoded.cells(i));
-                let key = metric.mindist_key(q, &cell_box);
-                if key < st.bound() {
-                    st.trace.approx_enqueued += 1;
-                    heap.push(Reverse((
-                        Key(key),
-                        Item::Point(p as u32, i as u32, decoded.id(i)),
-                    )));
+            table.build(&meta.mbr, view.bits(), metric, q, view.len());
+            // No exact result is offered while filtering approximations, so
+            // the pruning bound is loop-invariant.
+            let bound = best.bound();
+            let mut slot = 0u32;
+            view.for_each_entry(cells, |id, cs| {
+                let key = table.mindist_key(cs);
+                if key < bound {
+                    trace.approx_enqueued += 1;
+                    heap.push(Reverse((Key(key), Item::Point(p as u32, slot, id))));
                 }
-            }
+                slot += 1;
+            });
         }
     }
 
@@ -426,14 +450,23 @@ impl IqTree {
         let metric = self.metric();
         let eb = self.exact_codec().entry_bytes();
         clock.charge_dist_evals(self.dim(), u64::from(meta.count));
+        let SearchState {
+            best,
+            trace,
+            coords,
+            ..
+        } = st;
+        coords.resize(self.dim(), 0.0);
         for i in 0..meta.count as usize {
             let Some(bytes) = region.get(i * eb..(i + 1) * eb) else {
-                st.trace.points_skipped += 1;
+                trace.points_skipped += 1;
                 continue;
             };
-            match self.exact_codec().try_decode_entry_at(bytes) {
-                Ok((id, coords)) => st.offer(metric.distance_key(&coords, q), id),
-                Err(_) => st.trace.points_skipped += 1,
+            match self.exact_codec().try_decode_entry_into(bytes, coords) {
+                Ok(id) => {
+                    best.insert(metric.distance_key(coords, q), id);
+                }
+                Err(_) => trace.points_skipped += 1,
             }
         }
     }
@@ -458,11 +491,12 @@ impl IqTree {
         };
         let eb = self.exact_codec().entry_bytes();
         clock.charge_dist_evals(self.dim(), u64::from(meta.count));
+        let mut coords = vec![0.0f32; self.dim()];
         for i in 0..meta.count as usize {
             let Some(bytes) = region.get(i * eb..(i + 1) * eb) else {
                 continue;
             };
-            if let Ok((id, coords)) = self.exact_codec().try_decode_entry_at(bytes) {
+            if let Ok(id) = self.exact_codec().try_decode_entry_into(bytes, &mut coords) {
                 if accept(&coords) {
                     out.push(id);
                 }
@@ -519,6 +553,7 @@ impl IqTree {
         };
         let mut out = Vec::new();
         let mut point_buf = vec![0u8; pb];
+        let mut coords = vec![0.0f32; self.dim()];
         for &(page, slot, id) in refinements {
             let meta = &self.pages()[page];
             let (first, nblocks, byte_off) = self.exact_codec().entry_span(slot, bs);
@@ -547,18 +582,17 @@ impl IqTree {
                     off = 0;
                 }
             }
-            let decoded = if planned {
-                self.exact_codec().try_decode_entry_at(&point_buf).ok()
-            } else {
-                None
-            };
-            let coords = match decoded {
-                Some((_, coords)) => coords,
-                None => match self.try_read_exact_point(clock, page, slot) {
-                    Ok(coords) => coords,
+            let decoded = planned
+                && self
+                    .exact_codec()
+                    .try_decode_entry_into(&point_buf, &mut coords)
+                    .is_ok();
+            if !decoded {
+                match self.try_read_exact_point(clock, page, slot) {
+                    Ok(read) => coords.copy_from_slice(&read),
                     Err(_) => continue,
-                },
-            };
+                }
+            }
             clock.charge_dist_evals(self.dim(), 1);
             if accept(&coords) {
                 out.push(id);
@@ -604,6 +638,11 @@ impl IqTree {
         let bs = self.codec().block_size();
         let mut out = Vec::new();
         let mut refinements: Vec<(usize, usize, u32)> = Vec::new();
+        // Reusable per-query scratch: the page loop below is allocation-free
+        // in the steady state.
+        let mut cells: Vec<u32> = Vec::new();
+        let mut coords: Vec<f32> = Vec::new();
+        let mut wtable = WindowTable::new();
         for &p in &candidates {
             let block = self.pages()[p].quant_block;
             // A candidate missing from the sweep (or a failed sweep) falls
@@ -612,38 +651,42 @@ impl IqTree {
             let planned = fetched.as_ref().and_then(|fetched| {
                 let (run, buf) = fetched.iter().find(|(run, _)| run.contains(block))?;
                 let off = ((block - run.start) as usize) * bs;
-                buf.get(off..off + bs).map(<[u8]>::to_vec)
+                buf.get(off..off + bs)
             });
-            let bytes = planned.or_else(|| {
-                read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()).ok()
-            });
-            let Some(decoded) = bytes.and_then(|b| self.codec().try_decode(&b).ok()) else {
+            let reread;
+            let bytes = match planned {
+                Some(b) => Some(b),
+                None => {
+                    reread = read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry());
+                    reread.as_deref().ok()
+                }
+            };
+            let Some(view) = bytes.and_then(|b| self.codec().try_view(b).ok()) else {
                 self.fallback_scan_exact(clock, p, &mut out, |coords| {
                     window.contains_point(coords)
                 });
                 continue;
             };
-            clock.charge_dist_evals(self.dim(), decoded.len() as u64);
-            if decoded.bits() == EXACT_BITS {
-                for i in 0..decoded.len() {
-                    let coords = decoded.exact_point(i).expect("exact page");
+            clock.charge_dist_evals(self.dim(), view.len() as u64);
+            if view.bits() == EXACT_BITS {
+                view.for_each_entry(&mut cells, |id, bits| {
+                    coords.clear();
+                    coords.extend(bits.iter().map(|&b| f32::from_bits(b)));
                     if window.contains_point(&coords) {
-                        out.push(decoded.id(i));
+                        out.push(id);
                     }
-                }
+                });
             } else {
-                let grid = GridQuantizer::new(&self.pages()[p].mbr, decoded.bits());
-                for i in 0..decoded.len() {
-                    let cell_box = grid.cell_box(decoded.cells(i));
-                    if !window.intersects(&cell_box) {
-                        continue;
+                wtable.build(&self.pages()[p].mbr, view.bits(), window, view.len());
+                let mut slot = 0usize;
+                view.for_each_entry(&mut cells, |id, cs| {
+                    match wtable.classify(cs) {
+                        CellMatch::Disjoint => {}
+                        CellMatch::Inside => out.push(id),
+                        CellMatch::Partial => refinements.push((p, slot, id)),
                     }
-                    if window.contains_mbr(&cell_box) {
-                        out.push(decoded.id(i));
-                    } else {
-                        refinements.push((p, i, decoded.id(i)));
-                    }
-                }
+                    slot += 1;
+                });
             }
         }
         out.extend(self.refine_batch(clock, &refinements, |coords| window.contains_point(coords)));
@@ -686,6 +729,11 @@ impl IqTree {
             })
             .ok();
         let bs = self.codec().block_size();
+        // Reusable per-query scratch: the page loop below is allocation-free
+        // in the steady state.
+        let mut cells: Vec<u32> = Vec::new();
+        let mut coords: Vec<f32> = Vec::new();
+        let mut table = DistTable::new();
         for &p in &candidates {
             let block = self.pages()[p].quant_block;
             // Same degradation ladder as `window`: plan miss → single
@@ -693,38 +741,45 @@ impl IqTree {
             let planned = fetched.as_ref().and_then(|fetched| {
                 let (run, buf) = fetched.iter().find(|(run, _)| run.contains(block))?;
                 let off = ((block - run.start) as usize) * bs;
-                buf.get(off..off + bs).map(<[u8]>::to_vec)
+                buf.get(off..off + bs)
             });
-            let bytes = planned.or_else(|| {
-                read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()).ok()
-            });
-            let Some(decoded) = bytes.and_then(|b| self.codec().try_decode(&b).ok()) else {
+            let reread;
+            let bytes = match planned {
+                Some(b) => Some(b),
+                None => {
+                    reread = read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry());
+                    reread.as_deref().ok()
+                }
+            };
+            let Some(view) = bytes.and_then(|b| self.codec().try_view(b).ok()) else {
                 self.fallback_scan_exact(clock, p, &mut out, |coords| {
                     metric.distance_key(coords, q) <= key_r
                 });
                 continue;
             };
-            clock.charge_dist_evals(self.dim(), decoded.len() as u64);
-            if decoded.bits() == EXACT_BITS {
-                for i in 0..decoded.len() {
-                    let coords = decoded.exact_point(i).expect("exact page");
+            clock.charge_dist_evals(self.dim(), view.len() as u64);
+            if view.bits() == EXACT_BITS {
+                view.for_each_entry(&mut cells, |id, bits| {
+                    coords.clear();
+                    coords.extend(bits.iter().map(|&b| f32::from_bits(b)));
                     if metric.distance_key(&coords, q) <= key_r {
-                        out.push(decoded.id(i));
+                        out.push(id);
                     }
-                }
+                });
             } else {
-                let grid = GridQuantizer::new(&self.pages()[p].mbr, decoded.bits());
-                for i in 0..decoded.len() {
-                    let cell_box = grid.cell_box(decoded.cells(i));
-                    if metric.mindist_key(q, &cell_box) > key_r {
-                        continue;
+                table.build(&self.pages()[p].mbr, view.bits(), metric, q, view.len());
+                let mut slot = 0usize;
+                view.for_each_entry(&mut cells, |id, cs| {
+                    let lo_key = table.mindist_key(cs);
+                    if lo_key <= key_r {
+                        if metric.distance_to_key(table.maxdist(cs)) <= key_r {
+                            out.push(id); // box fully inside: no refinement
+                        } else {
+                            refinements.push((p, slot, id));
+                        }
                     }
-                    if metric.distance_to_key(metric.maxdist(q, &cell_box)) <= key_r {
-                        out.push(decoded.id(i)); // box fully inside: no refinement
-                    } else {
-                        refinements.push((p, i, decoded.id(i)));
-                    }
-                }
+                    slot += 1;
+                });
             }
         }
         out.extend(self.refine_batch(clock, &refinements, |coords| {

@@ -3,15 +3,19 @@
 //! [`verify_index`] takes the three *raw* devices (as stored on disk),
 //! wraps them in the same [`ChecksummedDevice`] the tree itself uses, and
 //! scans every block of every level: per-block CRCs, the superblock, the
-//! directory payload CRC, per-entry metadata invariants and the
-//! decodability of every quantized page. The result is a [`VerifyReport`]
+//! directory payload CRC, per-entry metadata invariants, the decodability
+//! of every quantized page, and cross-level consistency (each page holds
+//! exactly the point count its directory entry records, and the ids in its
+//! exact region agree entry-for-entry with the ids in the quantized page —
+//! both levels are written from the same iteration order on build and on
+//! every update). The result is a [`VerifyReport`]
 //! that pinpoints each corrupt block by level and index — the `iq verify`
 //! CLI command prints it and exits nonzero when anything is wrong.
 
 use crate::persist::Superblock;
 use crate::{dir_entry_bytes, PageMeta};
 use iq_geometry::Mbr;
-use iq_quantize::{QuantizedPageCodec, EXACT_BITS};
+use iq_quantize::{ExactPageCodec, QuantizedPageCodec, EXACT_BITS};
 use iq_storage::{crc32, BlockDevice, ChecksummedDevice, SimClock};
 
 /// Per-level scan outcome.
@@ -111,7 +115,7 @@ pub fn verify_index(
     let mut report = VerifyReport::default();
     let (dir_rep, dir_blocks) = scan_level("directory", &dir, clock);
     let (quant_rep, quant_blocks) = scan_level("quantized", &quant, clock);
-    let (exact_rep, _) = scan_level("exact", &exact, clock);
+    let (exact_rep, exact_blocks_v) = scan_level("exact", &exact, clock);
     report.levels = vec![dir_rep, quant_rep];
 
     // Superblock.
@@ -167,6 +171,7 @@ pub fn verify_index(
             .map(|b| dir_blocks.get(b).cloned().flatten())
             .collect::<Option<Vec<Vec<u8>>>>()
             .map(|v| v.concat());
+        let mut metas: Vec<(usize, PageMeta)> = Vec::new();
         match payload {
             None => report.errors.push(format!(
                 "directory payload unreadable ({payload_blocks} blocks for {n_pages} entries)"
@@ -182,7 +187,10 @@ pub fn verify_index(
                 let mut total_points = 0u64;
                 for e in 0..n_pages {
                     match decode_entry(&payload[e * eb..(e + 1) * eb], dim, &sb) {
-                        Ok(meta) => total_points += u64::from(meta.count),
+                        Ok(meta) => {
+                            total_points += u64::from(meta.count);
+                            metas.push((e, meta));
+                        }
                         Err(msg) => report.errors.push(format!("directory entry {e}: {msg}")),
                     }
                 }
@@ -203,8 +211,63 @@ pub fn verify_index(
             let codec = QuantizedPageCodec::new(dim, bs);
             for (b, bytes) in quant_blocks.iter().enumerate() {
                 if let Some(bytes) = bytes {
-                    if codec.try_decode(bytes).is_err() {
+                    if codec.try_view(bytes).is_err() {
                         report.undecodable_pages.push(b as u64);
+                    }
+                }
+            }
+
+            // Cross-level consistency for every decodable directory entry:
+            // the page must hold exactly `count` entries, and for pages with
+            // a separate exact region the level-3 ids must agree with the
+            // level-2 ids entry for entry. Blocks that already failed the
+            // CRC scan are skipped silently — they are reported above.
+            let exact_codec = ExactPageCodec::new(dim);
+            let entry_len = exact_codec.entry_bytes();
+            let mut coords = vec![0.0f32; dim];
+            for (e, meta) in &metas {
+                let Some(Some(bytes)) = quant_blocks.get(meta.quant_block as usize) else {
+                    continue;
+                };
+                let Ok(view) = codec.try_view(bytes) else {
+                    continue;
+                };
+                if view.len() != meta.count as usize {
+                    report.errors.push(format!(
+                        "directory entry {e}: records {} points, page at block {} holds {}",
+                        meta.count,
+                        meta.quant_block,
+                        view.len()
+                    ));
+                    continue;
+                }
+                if meta.g >= EXACT_BITS || meta.count == 0 {
+                    continue;
+                }
+                let region: Option<Vec<u8>> = (meta.exact_start
+                    ..meta.exact_start + u64::from(meta.exact_blocks))
+                    .map(|b| exact_blocks_v.get(b as usize).cloned().flatten())
+                    .collect::<Option<Vec<Vec<u8>>>>()
+                    .map(|v| v.concat());
+                let Some(region) = region else { continue };
+                if region.len() < meta.count as usize * entry_len {
+                    report.errors.push(format!(
+                        "directory entry {e}: exact region of {} blocks too short for {} entries",
+                        meta.exact_blocks, meta.count
+                    ));
+                    continue;
+                }
+                for i in 0..meta.count as usize {
+                    let entry = &region[i * entry_len..(i + 1) * entry_len];
+                    match exact_codec.try_decode_entry_into(entry, &mut coords) {
+                        Ok(id) if id == view.id(i) => {}
+                        Ok(id) => report.errors.push(format!(
+                            "directory entry {e}: exact entry {i} has id {id}, quantized page has {}",
+                            view.id(i)
+                        )),
+                        Err(err) => report
+                            .errors
+                            .push(format!("directory entry {e}: exact entry {i}: {err}")),
                     }
                 }
             }
@@ -363,6 +426,34 @@ mod tests {
         assert!(!report.is_clean());
         assert_eq!(report.corrupt_blocks(), vec![("quantized", 2)]);
         assert!(report.errors.is_empty(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn mismatched_exact_ids_are_reported() {
+        // Forge an exact-region id *through* the checksum layer: the block
+        // CRC stays valid, so only the cross-level id check can catch it.
+        let (devs, _) = build_raw(1_000, 4, 512);
+        let mut clock = SimClock::default();
+        let mut exact = ChecksummedDevice::new(Box::new(devs[2].clone()) as Box<dyn BlockDevice>);
+        assert!(exact.num_blocks() > 0, "expected quantized pages");
+        let mut bytes = exact.read_to_vec(&mut clock, 0, 1).expect("readable");
+        for b in &mut bytes[0..4] {
+            *b ^= 0xFF; // the first entry's id
+        }
+        exact.write_blocks(&mut clock, 0, &bytes).expect("writable");
+        drop(exact);
+        let report = verify_index(
+            faulty(&devs[0], &[]),
+            faulty(&devs[1], &[]),
+            faulty(&devs[2], &[]),
+            &mut clock,
+        );
+        assert!(!report.is_clean());
+        assert!(
+            report.errors.iter().any(|e| e.contains("exact entry 0")),
+            "{:?}",
+            report.errors
+        );
     }
 
     #[test]

@@ -20,6 +20,44 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// The one-dimensional gap between coordinate `x` and the interval
+    /// `[lo, hi]`: zero inside, distance to the nearer edge outside. This is
+    /// the per-dimension building block of MINDIST.
+    #[inline]
+    pub fn box_gap(x: f64, lo: f64, hi: f64) -> f64 {
+        if x < lo {
+            lo - x
+        } else if x > hi {
+            x - hi
+        } else {
+            0.0
+        }
+    }
+
+    /// The per-dimension contribution of a gap to this metric's comparable
+    /// key: squared for Euclidean (whose key space is the squared
+    /// distance), the gap itself otherwise.
+    #[inline]
+    pub fn contrib(self, gap: f64) -> f64 {
+        match self {
+            Metric::Euclidean => gap * gap,
+            Metric::Maximum | Metric::Manhattan => gap,
+        }
+    }
+
+    /// Folds one per-dimension contribution into an accumulator (seed 0.0):
+    /// a sum for the additive metrics, a max for L∞. Accumulating
+    /// [`Metric::contrib`] values over dimensions **in index order** is
+    /// bit-for-bit identical to [`Metric::mindist_key`] — the contract the
+    /// quantized-domain lookup tables rely on.
+    #[inline]
+    pub fn combine(self, acc: f64, contrib: f64) -> f64 {
+        match self {
+            Metric::Euclidean | Metric::Manhattan => acc + contrib,
+            Metric::Maximum => acc.max(contrib),
+        }
+    }
+
     /// Distance between two points.
     ///
     /// # Panics
@@ -91,42 +129,38 @@ impl Metric {
         self.key_to_distance(self.mindist_key(q, mbr))
     }
 
-    /// MINDIST in key space (squared for Euclidean).
+    /// MINDIST in key space (squared for Euclidean). Equivalent to folding
+    /// `contrib(box_gap(..))` over dimensions in index order with `combine`.
     pub fn mindist_key(self, q: &[f32], mbr: &Mbr) -> f64 {
         debug_assert_eq!(q.len(), mbr.dim());
-        let gaps = q.iter().enumerate().map(|(i, &x)| {
-            let x = f64::from(x);
-            let lo = f64::from(mbr.lb(i));
-            let hi = f64::from(mbr.ub(i));
-            if x < lo {
-                lo - x
-            } else if x > hi {
-                x - hi
-            } else {
-                0.0
-            }
-        });
-        match self {
-            Metric::Euclidean => gaps.map(|g| g * g).sum(),
-            Metric::Maximum => gaps.fold(0.0f64, f64::max),
-            Metric::Manhattan => gaps.sum(),
+        let mut acc = 0.0f64;
+        for (i, &x) in q.iter().enumerate() {
+            let gap = Self::box_gap(f64::from(x), f64::from(mbr.lb(i)), f64::from(mbr.ub(i)));
+            acc = self.combine(acc, self.contrib(gap));
         }
+        acc
+    }
+
+    /// The one-dimensional distance from `x` to the *farther* edge of
+    /// `[lo, hi]` — the per-dimension building block of MAXDIST.
+    #[inline]
+    pub fn far_gap(x: f64, lo: f64, hi: f64) -> f64 {
+        (x - lo).abs().max((x - hi).abs())
     }
 
     /// MAXDIST: the maximum distance from `q` to any point of the box
-    /// (distance to the farthest corner).
+    /// (distance to the farthest corner). Note this is a *distance*, not a
+    /// key: the Euclidean fold takes a square root at the end.
     pub fn maxdist(self, q: &[f32], mbr: &Mbr) -> f64 {
         debug_assert_eq!(q.len(), mbr.dim());
-        let gaps = q.iter().enumerate().map(|(i, &x)| {
-            let x = f64::from(x);
-            let lo = (x - f64::from(mbr.lb(i))).abs();
-            let hi = (x - f64::from(mbr.ub(i))).abs();
-            lo.max(hi)
-        });
+        let mut acc = 0.0f64;
+        for (i, &x) in q.iter().enumerate() {
+            let gap = Self::far_gap(f64::from(x), f64::from(mbr.lb(i)), f64::from(mbr.ub(i)));
+            acc = self.combine(acc, self.contrib(gap));
+        }
         match self {
-            Metric::Euclidean => gaps.map(|g| g * g).sum::<f64>().sqrt(),
-            Metric::Maximum => gaps.fold(0.0f64, f64::max),
-            Metric::Manhattan => gaps.sum(),
+            Metric::Euclidean => acc.sqrt(),
+            Metric::Maximum | Metric::Manhattan => acc,
         }
     }
 }

@@ -73,6 +73,70 @@ impl BitWriter {
     }
 }
 
+/// Unpacks `out.len()` cell numbers of `width` bits from `packed`, matching
+/// the LSB-first layout written by [`BitWriter`] — the bounds-check-free
+/// inner loop of the streaming page decoder.
+///
+/// Unlike [`BitReader::read`], which re-checks the buffer on every value,
+/// this validates once up front: callers (the page view, the VA-file scan)
+/// have already checked the region length against the entry layout, so the
+/// per-value work is pure bit arithmetic with unrolled fast paths for the
+/// byte-aligned widths 4, 8, 16 and 32.
+///
+/// # Panics
+/// Panics if `width` is outside 1..=32 or `packed` is too short for
+/// `out.len()` values — programmer errors, since lengths are validated at
+/// the page level before decoding.
+pub fn unpack_cells(packed: &[u8], width: u32, out: &mut [u32]) {
+    assert!((1..=32).contains(&width), "bit width must be in 1..=32");
+    assert!(
+        out.len() * width as usize <= packed.len() * 8,
+        "{} values of {width} bits do not fit in {} bytes",
+        out.len(),
+        packed.len()
+    );
+    match width {
+        4 => {
+            for (j, c) in out.iter_mut().enumerate() {
+                *c = u32::from((packed[j / 2] >> ((j & 1) * 4)) & 0x0F);
+            }
+        }
+        8 => {
+            for (j, c) in out.iter_mut().enumerate() {
+                *c = u32::from(packed[j]);
+            }
+        }
+        16 => {
+            for (j, c) in out.iter_mut().enumerate() {
+                *c = u32::from(u16::from_le_bytes([packed[2 * j], packed[2 * j + 1]]));
+            }
+        }
+        32 => {
+            for (j, c) in out.iter_mut().enumerate() {
+                *c = u32::from_le_bytes(packed[4 * j..4 * j + 4].try_into().expect("4 bytes"));
+            }
+        }
+        w => {
+            // Generic path: load the (at most 5) bytes covering the value
+            // into a 64-bit window and shift. The up-front length assert
+            // guarantees every window is in bounds.
+            let mask = (1u64 << w) - 1;
+            let mut pos = 0usize;
+            for c in out.iter_mut() {
+                let byte = pos / 8;
+                let bit = (pos % 8) as u32;
+                let nbytes = ((bit + w) as usize).div_ceil(8);
+                let mut window = 0u64;
+                for (k, &b) in packed[byte..byte + nbytes].iter().enumerate() {
+                    window |= u64::from(b) << (8 * k);
+                }
+                *c = ((window >> bit) & mask) as u32;
+                pos += w as usize;
+            }
+        }
+    }
+}
+
 /// Reads values of arbitrary bit width from a byte buffer.
 #[derive(Debug)]
 pub struct BitReader<'a> {
@@ -214,6 +278,41 @@ mod tests {
     fn at_bit_past_end_errors_instead_of_wrapping() {
         let mut r = BitReader::at_bit(&[0u8; 2], 99);
         assert!(r.read(1).is_err());
+    }
+
+    #[test]
+    fn unpack_cells_matches_bit_reader_for_every_width() {
+        for width in 1u32..=32 {
+            let values: Vec<u32> = (0..23u32)
+                .map(|i| {
+                    let mask = if width == 32 {
+                        u32::MAX
+                    } else {
+                        (1 << width) - 1
+                    };
+                    i.wrapping_mul(0x9E37_79B9) & mask
+                })
+                .collect();
+            let mut w = BitWriter::new();
+            for &v in &values {
+                w.write(v, width);
+            }
+            let bytes = w.into_bytes();
+            let mut out = vec![0u32; values.len()];
+            unpack_cells(&bytes, width, &mut out);
+            assert_eq!(out, values, "width {width}");
+            let mut r = BitReader::new(&bytes);
+            for &v in &values {
+                assert_eq!(r.read(width).unwrap(), v, "width {width}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn unpack_cells_rejects_short_buffers() {
+        let mut out = [0u32; 3];
+        unpack_cells(&[0u8; 2], 8, &mut out);
     }
 
     #[test]

@@ -10,12 +10,18 @@
 //!   to their box approximations,
 //! * [`page`] — the on-disk codecs for quantized data pages (fixed one
 //!   block, per-page resolution `g`, the 32-bit exact special case) and for
-//!   exact (third-level) pages.
+//!   exact (third-level) pages,
+//! * [`table`] — quantized-domain distance kernels: per-(query, grid)
+//!   lookup tables that reduce MINDIST/MAXDIST filtering and window
+//!   classification to `d` table lookups, bit-identical to the naive
+//!   decode-then-`Metric` path.
 
 pub mod bits;
 pub mod grid;
 pub mod page;
+pub mod table;
 
-pub use bits::{BitReader, BitWriter};
+pub use bits::{unpack_cells, BitReader, BitWriter};
 pub use grid::GridQuantizer;
-pub use page::{ExactPageCodec, QuantizedEntry, QuantizedPageCodec, EXACT_BITS};
+pub use page::{ExactPageCodec, QuantPageView, QuantizedEntry, QuantizedPageCodec, EXACT_BITS};
+pub use table::{CellMatch, DistTable, WindowTable};

@@ -18,7 +18,7 @@
 //! level-3 page alone can answer the query (and vice versa), so one corrupt
 //! block degrades precision or cost but never loses the point.
 
-use crate::bits::{BitReader, BitWriter};
+use crate::bits::{unpack_cells, BitWriter};
 use crate::grid::GridQuantizer;
 use iq_geometry::Mbr;
 use iq_storage::{IqError, IqResult};
@@ -179,11 +179,13 @@ impl QuantizedPageCodec {
         out
     }
 
-    /// Decodes a page previously produced by [`Self::encode`], validating
-    /// the header against the block: a flipped bit that survives the
-    /// checksum layer (or a raw device without one) surfaces as
-    /// [`IqError::Decode`], never as a panic or an out-of-bounds read.
-    pub fn try_decode(&self, block: &[u8]) -> IqResult<DecodedQuantPage> {
+    /// Validates a block's header once and returns a zero-copy [`QuantPageView`]
+    /// over its entries. A flipped bit that survives the checksum layer (or a
+    /// raw device without one) surfaces as [`IqError::Decode`], never as a
+    /// panic or an out-of-bounds read. After validation, per-entry decoding
+    /// needs no further bounds checks: every entry row lies inside the view
+    /// by construction.
+    pub fn try_view<'a>(&self, block: &'a [u8]) -> IqResult<QuantPageView<'a>> {
         if block.len() < HEADER_BYTES {
             return Err(IqError::Decode {
                 detail: format!("quantized page of {} bytes has no header", block.len()),
@@ -205,20 +207,28 @@ impl QuantizedPageCodec {
                 ),
             });
         }
+        Ok(QuantPageView {
+            g,
+            dim: self.dim,
+            entry,
+            body: &block[HEADER_BYTES..HEADER_BYTES + n * entry],
+        })
+    }
+
+    /// Decodes a page previously produced by [`Self::encode`] into owned
+    /// vectors. Prefer [`Self::try_view`] plus
+    /// [`QuantPageView::for_each_entry`] in hot paths — this form allocates.
+    pub fn try_decode(&self, block: &[u8]) -> IqResult<DecodedQuantPage> {
+        let view = self.try_view(block)?;
+        let n = view.len();
         let mut ids = Vec::with_capacity(n);
-        let mut cells = Vec::with_capacity(n * self.dim);
+        let mut cells = vec![0u32; n * self.dim];
         for e in 0..n {
-            let off = HEADER_BYTES + e * entry;
-            ids.push(u32::from_le_bytes(
-                block[off..off + 4].try_into().expect("4 bytes"),
-            ));
-            let mut r = BitReader::new(&block[off + 4..off + entry]);
-            for _ in 0..self.dim {
-                cells.push(r.read(g)?);
-            }
+            ids.push(view.id(e));
+            view.cells_into(e, &mut cells[e * self.dim..(e + 1) * self.dim]);
         }
         Ok(DecodedQuantPage {
-            g,
+            g: view.bits(),
             dim: self.dim,
             ids,
             cells,
@@ -232,6 +242,74 @@ impl QuantizedPageCodec {
     /// Panics if the page is corrupt.
     pub fn decode(&self, block: &[u8]) -> DecodedQuantPage {
         self.try_decode(block).expect("corrupt quantized page")
+    }
+}
+
+/// A zero-copy, header-validated view of a quantized page.
+///
+/// Produced by [`QuantizedPageCodec::try_view`], which checks the block
+/// length against the claimed entry count exactly once; every accessor here
+/// then decodes straight from precomputed row offsets — no per-entry
+/// `BitReader` construction, no per-entry bounds checks, no allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantPageView<'a> {
+    g: u32,
+    dim: usize,
+    /// Bytes per entry row (id + byte-aligned packed cells).
+    entry: usize,
+    /// Exactly `len × entry` bytes of entry rows.
+    body: &'a [u8],
+}
+
+impl QuantPageView<'_> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.body.len() / self.entry
+    }
+
+    /// Whether the page has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Resolution in bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.g
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Id of entry `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> u32 {
+        let off = i * self.entry;
+        u32::from_le_bytes(self.body[off..off + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Decodes the cell numbers of entry `i` into `out` (length `dim`).
+    /// Because every entry's packed cells start at a byte boundary, the
+    /// common widths hit the unrolled fast paths of
+    /// [`unpack_cells`].
+    #[inline]
+    pub fn cells_into(&self, i: usize, out: &mut [u32]) {
+        debug_assert_eq!(out.len(), self.dim);
+        let off = i * self.entry;
+        unpack_cells(&self.body[off + 4..off + self.entry], self.g, out);
+    }
+
+    /// Streams every `(id, cells)` entry through `f`, decoding into the
+    /// caller's reusable `scratch` buffer: zero heap allocations in the
+    /// steady state (the scratch grows once to `dim` and is reused).
+    pub fn for_each_entry(&self, scratch: &mut Vec<u32>, mut f: impl FnMut(u32, &[u32])) {
+        scratch.resize(self.dim, 0);
+        for e in 0..self.len() {
+            let id = self.id(e);
+            self.cells_into(e, &mut scratch[..]);
+            f(id, &scratch[..]);
+        }
     }
 }
 
@@ -284,6 +362,33 @@ impl ExactPageCodec {
     /// Fallible form of [`Self::decode_entry_at`] for the degraded read
     /// path (a truncated region surfaces as [`IqError::Decode`]).
     pub fn try_decode_entry_at(&self, bytes: &[u8]) -> IqResult<(u32, Vec<f32>)> {
+        let mut coords = vec![0.0f32; self.dim];
+        let id = self.try_decode_entry_into(bytes, &mut coords)?;
+        Ok((id, coords))
+    }
+
+    /// Decodes one entry into a caller-provided coordinate buffer of length
+    /// `dim`, returning the entry's id — the allocation-free workhorse of
+    /// the exact-page and degraded-fallback scan loops.
+    ///
+    /// # Panics
+    /// Panics if the entry is corrupt (see [`Self::try_decode_entry_into`]).
+    pub fn decode_entry_into(&self, bytes: &[u8], out: &mut [f32]) -> u32 {
+        self.try_decode_entry_into(bytes, out)
+            .expect("corrupt exact entry")
+    }
+
+    /// Fallible form of [`Self::decode_entry_into`]: a truncated region
+    /// surfaces as [`IqError::Decode`].
+    ///
+    /// # Panics
+    /// Panics if `out.len() != dim` (programmer error, not a data error).
+    pub fn try_decode_entry_into(&self, bytes: &[u8], out: &mut [f32]) -> IqResult<u32> {
+        assert_eq!(
+            out.len(),
+            self.dim,
+            "coordinate buffer must have length dim"
+        );
         if bytes.len() != self.entry_bytes() {
             return Err(IqError::Decode {
                 detail: format!(
@@ -294,11 +399,10 @@ impl ExactPageCodec {
             });
         }
         let id = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
-        let coords = bytes[4..]
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect();
-        Ok((id, coords))
+        for (x, c) in out.iter_mut().zip(bytes[4..].chunks_exact(4)) {
+            *x = f32::from_le_bytes(c.try_into().expect("4 bytes"));
+        }
+        Ok(id)
     }
 
     /// Which blocks of a page (given the page's starting block) hold entry

@@ -1,0 +1,525 @@
+//! Quantized-domain distance kernels: per-(query, page-grid) lookup tables.
+//!
+//! The naive level-2 scan reconstructs every candidate's cell box as an
+//! [`Mbr`] and recomputes MINDIST scalar by scalar. But for a fixed query
+//! and a fixed page grid, the contribution of dimension `i` to MINDIST only
+//! depends on the cell number `c` — a `dim × 2^g` table of precomputed
+//! contributions reduces candidate filtering to `d` table lookups and `d`
+//! folds, the asymmetric-distance idea from fast vector-quantization search
+//! applied to the IQ-tree's per-page grids (and the VA-file's global one).
+//!
+//! Bit-for-bit contract: [`DistTable::mindist_key`] equals
+//! `Metric::mindist_key(q, &grid.cell_box(cells))` exactly, and
+//! [`DistTable::maxdist`] equals `Metric::maxdist(q, &grid.cell_box(cells))`
+//! exactly, for the [`GridQuantizer`](crate::grid::GridQuantizer) built from
+//! the same `(mbr, g)`. The tables therefore change query *speed*, never
+//! query *answers* — the engine-conformance suite relies on this. The
+//! guarantee holds because both paths round each cell edge through the same
+//! `f32` cast and fold per-dimension contributions in index order with the
+//! same [`Metric::combine`].
+//!
+//! For very fine grids (`2^g` large relative to the page population),
+//! materializing the table costs more than it saves; the table then keeps
+//! only the `O(dim)` grid parameters and computes contributions on the fly —
+//! still allocation-free and still bit-identical, just without the lookup.
+
+use crate::page::EXACT_BITS;
+use iq_geometry::{Mbr, Metric};
+
+/// Hard cap on materialized cells per dimension (beyond this the lazy path
+/// is used regardless of the population hint).
+const MAX_TABLE_CELLS: usize = 1 << 16;
+
+/// Per-(query, grid) distance-contribution tables for quantized-domain
+/// filtering.
+///
+/// Reusable: [`DistTable::build`] refills the internal buffers without
+/// allocating once their capacity has grown to the largest page seen, so a
+/// scan over many pages is allocation-free in the steady state.
+#[derive(Clone, Debug)]
+pub struct DistTable {
+    metric: Metric,
+    dim: usize,
+    /// Cells per dimension (`2^g`).
+    cells: usize,
+    /// Whether the per-cell rows are materialized.
+    materialized: bool,
+    /// `dim × cells` lower-bound contributions in key space (row per
+    /// dimension): `metric.contrib(box_gap(q_i, cell_lb, cell_ub))`.
+    lo: Vec<f64>,
+    /// `dim × cells` farthest-corner contributions in key space:
+    /// `metric.contrib(far_gap(q_i, cell_lb, cell_ub))`.
+    hi: Vec<f64>,
+    /// `dim × cells` center-distance contributions in key space — the
+    /// classic ADC estimate `metric.contrib(|q_i - cell_center|)`.
+    center: Vec<f64>,
+    /// Query coordinates widened to f64.
+    q: Vec<f64>,
+    /// Grid lower bound per dimension, widened to f64.
+    grid_lb: Vec<f64>,
+    /// Cell width per dimension (0 for degenerate dimensions).
+    width: Vec<f64>,
+}
+
+impl Default for DistTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DistTable {
+    /// Creates an empty table; call [`Self::build`] before querying it.
+    pub fn new() -> Self {
+        Self {
+            metric: Metric::Euclidean,
+            dim: 0,
+            cells: 0,
+            materialized: false,
+            lo: Vec::new(),
+            hi: Vec::new(),
+            center: Vec::new(),
+            q: Vec::new(),
+            grid_lb: Vec::new(),
+            width: Vec::new(),
+        }
+    }
+
+    /// (Re)builds the table for query `q` over the grid `(mbr, g)`,
+    /// reusing all internal buffers. `hint_n` is the expected number of
+    /// candidates the table will filter (the page population): the per-cell
+    /// rows are only materialized when the grid is coarse enough that the
+    /// build cost amortizes over the scan; otherwise contributions are
+    /// computed lazily — identical results either way.
+    ///
+    /// # Panics
+    /// Panics if `g` is 0 or ≥ 32 (the exact case has no grid) or if the
+    /// query dimension does not match the MBR.
+    pub fn build(&mut self, mbr: &Mbr, g: u32, metric: Metric, q: &[f32], hint_n: usize) {
+        assert!(
+            (1..EXACT_BITS).contains(&g),
+            "grid resolution must be in 1..=31 bits"
+        );
+        assert_eq!(q.len(), mbr.dim(), "query dimension mismatch");
+        self.metric = metric;
+        self.dim = q.len();
+        let cells = 1usize << g;
+        self.cells = cells;
+        let cells_f = f64::from(1u32 << g);
+        self.q.clear();
+        self.q.extend(q.iter().map(|&x| f64::from(x)));
+        self.grid_lb.clear();
+        self.grid_lb
+            .extend((0..self.dim).map(|i| f64::from(mbr.lb(i))));
+        self.width.clear();
+        self.width
+            .extend((0..self.dim).map(|i| mbr.extent(i) / cells_f));
+        // Materialize when the build cost (dim × cells) is small relative to
+        // the lookups it replaces (hint_n × dim): coarse grids over populous
+        // pages win big, fine grids over sparse pages fall back to the lazy
+        // path.
+        self.materialized = cells <= MAX_TABLE_CELLS && cells <= 8 * hint_n.max(1);
+        self.lo.clear();
+        self.hi.clear();
+        self.center.clear();
+        if !self.materialized {
+            return;
+        }
+        self.lo.reserve(self.dim * cells);
+        self.hi.reserve(self.dim * cells);
+        self.center.reserve(self.dim * cells);
+        for i in 0..self.dim {
+            let qi = self.q[i];
+            let lb = self.grid_lb[i];
+            let w = self.width[i];
+            for c in 0..cells {
+                let cell_lb = f64::from((lb + c as f64 * w) as f32);
+                let cell_ub = f64::from((lb + (c + 1) as f64 * w) as f32);
+                self.lo
+                    .push(metric.contrib(Metric::box_gap(qi, cell_lb, cell_ub)));
+                self.hi
+                    .push(metric.contrib(Metric::far_gap(qi, cell_lb, cell_ub)));
+                let center = (cell_lb + cell_ub) * 0.5;
+                self.center.push(metric.contrib((qi - center).abs()));
+            }
+        }
+    }
+
+    /// The metric the table was built for.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Whether the per-cell rows are materialized (true for coarse grids).
+    pub fn is_materialized(&self) -> bool {
+        self.materialized
+    }
+
+    /// The f32-rounded lower/upper edges of cell `c` in dimension `i` — the
+    /// exact bounds [`GridQuantizer::cell_lb`](crate::grid::GridQuantizer)
+    /// would produce.
+    #[inline]
+    fn cell_edges(&self, i: usize, c: u32) -> (f64, f64) {
+        let lb = self.grid_lb[i];
+        let w = self.width[i];
+        (
+            f64::from((lb + f64::from(c) * w) as f32),
+            f64::from((lb + f64::from(c + 1) * w) as f32),
+        )
+    }
+
+    /// MINDIST from the query to the cell box, in key space (squared for
+    /// Euclidean) — bit-identical to
+    /// `metric.mindist_key(q, &grid.cell_box(cells))`.
+    #[inline]
+    pub fn mindist_key(&self, cells: &[u32]) -> f64 {
+        debug_assert_eq!(cells.len(), self.dim);
+        let mut acc = 0.0f64;
+        if self.materialized {
+            for (i, &c) in cells.iter().enumerate() {
+                acc = self
+                    .metric
+                    .combine(acc, self.lo[i * self.cells + c as usize]);
+            }
+        } else {
+            for (i, &c) in cells.iter().enumerate() {
+                let (lo, hi) = self.cell_edges(i, c);
+                let gap = Metric::box_gap(self.q[i], lo, hi);
+                acc = self.metric.combine(acc, self.metric.contrib(gap));
+            }
+        }
+        acc
+    }
+
+    /// MAXDIST from the query to the cell box, in key space (squared for
+    /// Euclidean) — the raw fold, before any square root. The VA-file's
+    /// two-phase filter works entirely in key space and uses this directly.
+    #[inline]
+    pub fn maxdist_key(&self, cells: &[u32]) -> f64 {
+        debug_assert_eq!(cells.len(), self.dim);
+        let mut acc = 0.0f64;
+        if self.materialized {
+            for (i, &c) in cells.iter().enumerate() {
+                acc = self
+                    .metric
+                    .combine(acc, self.hi[i * self.cells + c as usize]);
+            }
+        } else {
+            for (i, &c) in cells.iter().enumerate() {
+                let (lo, hi) = self.cell_edges(i, c);
+                let gap = Metric::far_gap(self.q[i], lo, hi);
+                acc = self.metric.combine(acc, self.metric.contrib(gap));
+            }
+        }
+        acc
+    }
+
+    /// MAXDIST from the query to the cell box, as a *distance* (the
+    /// Euclidean fold takes its square root at the end) — bit-identical to
+    /// `metric.maxdist(q, &grid.cell_box(cells))`.
+    #[inline]
+    pub fn maxdist(&self, cells: &[u32]) -> f64 {
+        self.metric.key_to_distance(self.maxdist_key(cells))
+    }
+
+    /// The asymmetric-distance (ADC) estimate in key space: the distance
+    /// from the query to the candidate's cell *center*. Not a bound —
+    /// useful as a cheap ranking estimate and for benchmarking the kernel.
+    #[inline]
+    pub fn center_key(&self, cells: &[u32]) -> f64 {
+        debug_assert_eq!(cells.len(), self.dim);
+        let mut acc = 0.0f64;
+        if self.materialized {
+            for (i, &c) in cells.iter().enumerate() {
+                acc = self
+                    .metric
+                    .combine(acc, self.center[i * self.cells + c as usize]);
+            }
+        } else {
+            for (i, &c) in cells.iter().enumerate() {
+                let (lo, hi) = self.cell_edges(i, c);
+                let center = (lo + hi) * 0.5;
+                acc = self
+                    .metric
+                    .combine(acc, self.metric.contrib((self.q[i] - center).abs()));
+            }
+        }
+        acc
+    }
+}
+
+/// How a grid cell relates to a query window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellMatch {
+    /// The cell box does not intersect the window: the candidate is out.
+    Disjoint,
+    /// The cell box overlaps the window boundary: the candidate needs exact
+    /// refinement.
+    Partial,
+    /// The cell box lies entirely inside the window: the candidate is in,
+    /// no refinement needed.
+    Inside,
+}
+
+const FLAG_INTERSECTS: u8 = 1;
+const FLAG_CONTAINED: u8 = 2;
+
+/// Per-(window, grid) cell classification table for window queries — the
+/// window-query analogue of [`DistTable`].
+///
+/// Bit-for-bit contract: [`WindowTable::classify`] reproduces exactly the
+/// decisions `window.intersects(&cell_box)` / `window.contains_mbr(&cell_box)`
+/// would make on the f32 cell box, because each per-dimension flag is
+/// computed from the same f32-rounded cell edges and the conjunction over
+/// dimensions is the same.
+#[derive(Clone, Debug)]
+pub struct WindowTable {
+    dim: usize,
+    cells: usize,
+    materialized: bool,
+    /// `dim × cells` flags (FLAG_INTERSECTS | FLAG_CONTAINED).
+    flags: Vec<u8>,
+    /// Window bounds (exact f32 values, widened for storage only).
+    win_lb: Vec<f32>,
+    win_ub: Vec<f32>,
+    grid_lb: Vec<f64>,
+    width: Vec<f64>,
+}
+
+impl Default for WindowTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowTable {
+    /// Creates an empty table; call [`Self::build`] before querying it.
+    pub fn new() -> Self {
+        Self {
+            dim: 0,
+            cells: 0,
+            materialized: false,
+            flags: Vec::new(),
+            win_lb: Vec::new(),
+            win_ub: Vec::new(),
+            grid_lb: Vec::new(),
+            width: Vec::new(),
+        }
+    }
+
+    /// (Re)builds the classification table for `window` over the grid
+    /// `(mbr, g)`, reusing internal buffers. See [`DistTable::build`] for
+    /// the role of `hint_n`.
+    ///
+    /// # Panics
+    /// Panics if `g` is 0 or ≥ 32 or the window dimension does not match.
+    pub fn build(&mut self, mbr: &Mbr, g: u32, window: &Mbr, hint_n: usize) {
+        assert!(
+            (1..EXACT_BITS).contains(&g),
+            "grid resolution must be in 1..=31 bits"
+        );
+        assert_eq!(window.dim(), mbr.dim(), "window dimension mismatch");
+        self.dim = mbr.dim();
+        let cells = 1usize << g;
+        self.cells = cells;
+        let cells_f = f64::from(1u32 << g);
+        self.win_lb.clear();
+        self.win_ub.clear();
+        self.grid_lb.clear();
+        self.width.clear();
+        for i in 0..self.dim {
+            self.win_lb.push(window.lb(i));
+            self.win_ub.push(window.ub(i));
+            self.grid_lb.push(f64::from(mbr.lb(i)));
+            self.width.push(mbr.extent(i) / cells_f);
+        }
+        self.materialized = cells <= MAX_TABLE_CELLS && cells <= 8 * hint_n.max(1);
+        self.flags.clear();
+        if !self.materialized {
+            return;
+        }
+        self.flags.reserve(self.dim * cells);
+        for i in 0..self.dim {
+            for c in 0..cells {
+                let lb = self.grid_lb[i];
+                let w = self.width[i];
+                let cell_lb = (lb + c as f64 * w) as f32;
+                let cell_ub = (lb + (c + 1) as f64 * w) as f32;
+                self.flags.push(Self::dim_flags(
+                    self.win_lb[i],
+                    self.win_ub[i],
+                    cell_lb,
+                    cell_ub,
+                ));
+            }
+        }
+    }
+
+    /// The per-dimension flags, matching `Mbr::intersects` /
+    /// `Mbr::contains_mbr` comparisons exactly (closed intervals on f32).
+    #[inline]
+    fn dim_flags(win_lb: f32, win_ub: f32, cell_lb: f32, cell_ub: f32) -> u8 {
+        let mut f = 0u8;
+        if win_lb <= cell_ub && cell_lb <= win_ub {
+            f |= FLAG_INTERSECTS;
+        }
+        if win_lb <= cell_lb && cell_ub <= win_ub {
+            f |= FLAG_CONTAINED;
+        }
+        f
+    }
+
+    /// Classifies a candidate's cell vector against the window —
+    /// bit-identical to testing `window.intersects(&grid.cell_box(cells))`
+    /// and `window.contains_mbr(&grid.cell_box(cells))`.
+    #[inline]
+    pub fn classify(&self, cells: &[u32]) -> CellMatch {
+        debug_assert_eq!(cells.len(), self.dim);
+        let mut all = FLAG_INTERSECTS | FLAG_CONTAINED;
+        if self.materialized {
+            for (i, &c) in cells.iter().enumerate() {
+                all &= self.flags[i * self.cells + c as usize];
+                if all == 0 {
+                    return CellMatch::Disjoint;
+                }
+            }
+        } else {
+            for (i, &c) in cells.iter().enumerate() {
+                let lb = self.grid_lb[i];
+                let w = self.width[i];
+                let cell_lb = (lb + f64::from(c) * w) as f32;
+                let cell_ub = (lb + f64::from(c + 1) * w) as f32;
+                all &= Self::dim_flags(self.win_lb[i], self.win_ub[i], cell_lb, cell_ub);
+                if all == 0 {
+                    return CellMatch::Disjoint;
+                }
+            }
+        }
+        if all & FLAG_CONTAINED != 0 {
+            CellMatch::Inside
+        } else if all & FLAG_INTERSECTS != 0 {
+            CellMatch::Partial
+        } else {
+            CellMatch::Disjoint
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridQuantizer;
+
+    fn mbr2() -> Mbr {
+        Mbr::from_bounds(vec![-1.0, 2.0], vec![3.0, 4.5])
+    }
+
+    #[test]
+    fn mindist_matches_naive_on_a_grid_sweep() {
+        let mbr = mbr2();
+        let q = [0.4f32, 1.9];
+        for metric in [Metric::Euclidean, Metric::Maximum, Metric::Manhattan] {
+            for g in [1u32, 3, 5] {
+                let grid = GridQuantizer::new(&mbr, g);
+                let mut t = DistTable::new();
+                t.build(&mbr, g, metric, &q, 1024);
+                assert!(t.is_materialized());
+                for a in 0..(1u32 << g) {
+                    for b in 0..(1u32 << g) {
+                        let cells = [a, b];
+                        let naive = metric.mindist_key(&q, &grid.cell_box(&cells));
+                        assert_eq!(t.mindist_key(&cells).to_bits(), naive.to_bits());
+                        let naive_max = metric.maxdist(&q, &grid.cell_box(&cells));
+                        assert_eq!(t.maxdist(&cells).to_bits(), naive_max.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_path_matches_materialized() {
+        let mbr = mbr2();
+        let q = [2.7f32, 3.3];
+        let g = 4;
+        let mut hot = DistTable::new();
+        hot.build(&mbr, g, Metric::Euclidean, &q, 1 << 20);
+        let mut cold = DistTable::new();
+        cold.build(&mbr, g, Metric::Euclidean, &q, 0);
+        assert!(hot.is_materialized() && !cold.is_materialized());
+        for a in 0..(1u32 << g) {
+            for b in 0..(1u32 << g) {
+                let cells = [a, b];
+                assert_eq!(
+                    hot.mindist_key(&cells).to_bits(),
+                    cold.mindist_key(&cells).to_bits()
+                );
+                assert_eq!(
+                    hot.maxdist(&cells).to_bits(),
+                    cold.maxdist(&cells).to_bits()
+                );
+                assert_eq!(
+                    hot.center_key(&cells).to_bits(),
+                    cold.center_key(&cells).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn center_key_brackets_between_bounds() {
+        let mbr = mbr2();
+        let q = [-3.0f32, 8.0];
+        let mut t = DistTable::new();
+        t.build(&mbr, 5, Metric::Euclidean, &q, 1024);
+        for a in [0u32, 7, 31] {
+            for b in [0u32, 16, 31] {
+                let cells = [a, b];
+                let lo = t.mindist_key(&cells);
+                let hi = Metric::Euclidean.distance_to_key(t.maxdist(&cells));
+                let adc = t.center_key(&cells);
+                assert!(lo <= adc + 1e-9 && adc <= hi + 1e-9, "{lo} {adc} {hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_classification_matches_mbr_ops() {
+        let mbr = mbr2();
+        let window = Mbr::from_bounds(vec![0.0, 2.5], vec![1.5, 3.5]);
+        for g in [1u32, 2, 4, 6] {
+            let grid = GridQuantizer::new(&mbr, g);
+            for hint in [1usize << 20, 0] {
+                let mut t = WindowTable::new();
+                t.build(&mbr, g, &window, hint);
+                for a in 0..(1u32 << g) {
+                    for b in 0..(1u32 << g) {
+                        let cells = [a, b];
+                        let cb = grid.cell_box(&cells);
+                        let expect = if window.contains_mbr(&cb) {
+                            CellMatch::Inside
+                        } else if window.intersects(&cb) {
+                            CellMatch::Partial
+                        } else {
+                            CellMatch::Disjoint
+                        };
+                        assert_eq!(t.classify(&cells), expect, "g={g} cells={cells:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dimension_is_handled() {
+        let mbr = Mbr::from_bounds(vec![2.0, 0.0], vec![2.0, 1.0]);
+        let grid = GridQuantizer::new(&mbr, 3);
+        let q = [2.0f32, 0.6];
+        let mut t = DistTable::new();
+        t.build(&mbr, 3, Metric::Euclidean, &q, 64);
+        for b in 0..8u32 {
+            let cells = [0u32, b];
+            let naive = Metric::Euclidean.mindist_key(&q, &grid.cell_box(&cells));
+            assert_eq!(t.mindist_key(&cells).to_bits(), naive.to_bits());
+        }
+    }
+}

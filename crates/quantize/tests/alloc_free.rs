@@ -1,0 +1,118 @@
+//! The level-2 scan kernel is allocation-free in steady state: once the
+//! scratch buffers and table storage have grown to their working size, a
+//! full page scan (view + table build + streaming decode + MINDIST and
+//! MAXDIST lookups) performs **zero** heap allocations. Enforced with a
+//! counting global allocator; the counter is thread-local so the harness
+//! thread cannot pollute the measurement.
+//!
+//! Single-test file on purpose: one process, one test thread.
+
+use iq_geometry::{Mbr, Metric};
+use iq_quantize::{DistTable, QuantizedPageCodec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+std::thread_local! {
+    static LOCAL_ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates to `System` verbatim; the counter bump has no effect
+// on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    LOCAL_ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+const DIM: usize = 8;
+
+/// One full filter pass over a page: exactly what the level-2 scan does
+/// per page in `search.rs` (minus the candidate heap, which is caller
+/// state).
+fn scan_page(
+    codec: &QuantizedPageCodec,
+    mbr: &Mbr,
+    block: &[u8],
+    q: &[f32],
+    table: &mut DistTable,
+    scratch: &mut Vec<u32>,
+) -> f64 {
+    let view = codec.try_view(block).expect("valid page");
+    table.build(mbr, view.bits(), Metric::Euclidean, q, view.len());
+    let mut acc = 0.0f64;
+    view.for_each_entry(scratch, |id, cells| {
+        acc += table.mindist_key(cells) + table.maxdist_key(cells) + f64::from(id);
+    });
+    acc
+}
+
+#[test]
+fn steady_state_page_scan_is_allocation_free() {
+    let lo = vec![0.0f32; DIM];
+    let hi = vec![10.0f32; DIM];
+    let mbr = Mbr::from_bounds(lo, hi);
+    let q: Vec<f32> = (0..DIM).map(|i| 0.37 * i as f32).collect();
+    let codec = QuantizedPageCodec::new(DIM, 4096);
+    let pts: Vec<Vec<f32>> = (0..40)
+        .map(|i| {
+            (0..DIM)
+                .map(|j| ((i * 7 + j * 3) % 100) as f32 / 10.0)
+                .collect()
+        })
+        .collect();
+    // g = 4 materializes the table; g = 14 exceeds MAX_TABLE_CELLS × dim
+    // budget and takes the lazy fold path. Both must be alloc-free.
+    let blocks: Vec<Vec<u8>> = [4u32, 14]
+        .iter()
+        .map(|&g| {
+            codec.encode(
+                &mbr,
+                g,
+                pts.iter()
+                    .enumerate()
+                    .map(|(i, p)| (i as u32, p.as_slice())),
+            )
+        })
+        .collect();
+
+    let mut table = DistTable::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    // Warm-up: grows the scratch buffer and the table storage to their
+    // steady-state capacity.
+    let mut warm = 0.0;
+    for block in &blocks {
+        warm += scan_page(&codec, &mbr, block, &q, &mut table, &mut scratch);
+    }
+
+    let before = allocations();
+    let mut steady = 0.0;
+    for _ in 0..3 {
+        for block in &blocks {
+            steady += scan_page(&codec, &mbr, block, &q, &mut table, &mut scratch);
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state page scans must not touch the allocator"
+    );
+    assert!((steady - 3.0 * warm).abs() < 1e-9, "same pages, same keys");
+}

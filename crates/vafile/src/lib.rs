@@ -16,7 +16,9 @@
 use iq_cost::refine::RefineParams;
 use iq_engine::{AccessMethod, QueryTrace, TopK};
 use iq_geometry::{Dataset, Mbr, Metric};
-use iq_quantize::{BitReader, BitWriter, ExactPageCodec, GridQuantizer};
+use iq_quantize::{
+    unpack_cells, BitWriter, CellMatch, DistTable, ExactPageCodec, GridQuantizer, WindowTable,
+};
 use iq_storage::DiskModel;
 use iq_storage::{BlockDevice, SimClock};
 
@@ -95,7 +97,7 @@ pub struct VaFile {
     metric: Metric,
     bits: u32,
     n: usize,
-    grid: GridQuantizer,
+    mbr: Mbr,
     entry_bytes: usize,
     codec: ExactPageCodec,
     approx: Box<dyn BlockDevice>,
@@ -151,7 +153,7 @@ impl VaFile {
             metric,
             bits,
             n: ds.len(),
-            grid,
+            mbr,
             entry_bytes,
             codec,
             approx,
@@ -190,34 +192,15 @@ impl VaFile {
         self.approx.num_blocks()
     }
 
-    /// Per-dimension lookup tables of squared (Euclidean) or absolute
-    /// lower/upper bound contributions for every cell index.
-    fn bound_tables(&self, q: &[f32]) -> (Vec<f64>, Vec<f64>) {
-        let cells = self.grid.cells_per_dim() as usize;
-        let mut lo = vec![0.0f64; self.dim * cells];
-        let mut hi = vec![0.0f64; self.dim * cells];
-        for i in 0..self.dim {
-            let qi = f64::from(q[i]);
-            for c in 0..cells {
-                let l = f64::from(self.grid.cell_lb(i, c as u32));
-                let u = f64::from(self.grid.cell_ub(i, c as u32));
-                let lo_gap = if qi < l {
-                    l - qi
-                } else if qi > u {
-                    qi - u
-                } else {
-                    0.0
-                };
-                let hi_gap = (qi - l).abs().max((qi - u).abs());
-                let (lo_v, hi_v) = match self.metric {
-                    Metric::Euclidean => (lo_gap * lo_gap, hi_gap * hi_gap),
-                    Metric::Maximum | Metric::Manhattan => (lo_gap, hi_gap),
-                };
-                lo[i * cells + c] = lo_v;
-                hi[i * cells + c] = hi_v;
-            }
-        }
-        (lo, hi)
+    /// Builds the per-query distance table over the global grid: `dim ×
+    /// 2^bits` lower/upper bound contributions, so the scan does `dim`
+    /// lookups per point instead of per-point geometry. (For very fine
+    /// grids the table stays lazy and folds contributions on the fly —
+    /// same results either way.)
+    fn dist_table(&self, q: &[f32]) -> DistTable {
+        let mut t = DistTable::new();
+        t.build(&self.mbr, self.bits, self.metric, q, self.n);
+        t
     }
 
     /// Phase 1: scans the approximation file and produces per-point lower
@@ -227,13 +210,10 @@ impl VaFile {
     /// Takes `&self` (like all query paths): both files are immutable after
     /// [`VaFile::build`], so concurrent queries share the structure freely.
     fn filter_phase(&self, clock: &mut SimClock, q: &[f32], k: usize) -> (Vec<f64>, f64) {
-        let (lo_tab, hi_tab) = self.bound_tables(q);
-        let cells = self.grid.cells_per_dim() as usize;
-        let bits = self.bits;
-        let dim = self.dim;
-        let metric = self.metric;
+        let table = self.dist_table(q);
         let entry = self.entry_bytes;
 
+        let mut cells = vec![0u32; self.dim];
         let mut lower = Vec::with_capacity(self.n);
         // The k smallest upper bounds seen so far (δ is their max).
         let mut best_ub = TopK::new(k);
@@ -250,26 +230,9 @@ impl VaFile {
             buf_carry.extend_from_slice(&chunk);
             let mut off = 0usize;
             while off + entry <= buf_carry.len() && processed < self.n {
-                let mut r = BitReader::new(&buf_carry[off..off + entry]);
-                let (mut lb, mut ub) = (0.0f64, 0.0f64);
-                match metric {
-                    Metric::Euclidean | Metric::Manhattan => {
-                        for i in 0..dim {
-                            let c = r.read(bits).expect("entry within bounds") as usize;
-                            lb += lo_tab[i * cells + c];
-                            ub += hi_tab[i * cells + c];
-                        }
-                    }
-                    Metric::Maximum => {
-                        for i in 0..dim {
-                            let c = r.read(bits).expect("entry within bounds") as usize;
-                            lb = lb.max(lo_tab[i * cells + c]);
-                            ub = ub.max(hi_tab[i * cells + c]);
-                        }
-                    }
-                }
-                lower.push(lb);
-                best_ub.insert(ub, processed as u32);
+                unpack_cells(&buf_carry[off..off + entry], self.bits, &mut cells);
+                lower.push(table.mindist_key(&cells));
+                best_ub.insert(table.maxdist_key(&cells), processed as u32);
                 off += entry;
                 processed += 1;
             }
@@ -277,25 +240,23 @@ impl VaFile {
             block += nb;
         }
         // Two bound evaluations per scanned point.
-        clock.charge_dist_evals(dim, 2 * self.n as u64);
+        clock.charge_dist_evals(self.dim, 2 * self.n as u64);
         // δ = the k-th smallest upper bound; +∞ while fewer than k points
         // exist (then every lower bound passes anyway, since lb <= ub).
         (lower, best_ub.bound())
     }
 
     /// Fetches the exact coordinates of point `i` (random access into the
-    /// exact file).
-    fn fetch_exact(&self, clock: &mut SimClock, i: usize) -> Vec<f32> {
+    /// exact file) into a caller-provided buffer.
+    fn fetch_exact_into(&self, clock: &mut SimClock, i: usize, out: &mut [f32]) {
         let bs = self.exact.block_size();
         let (first, nblocks, byte_off) = self.codec.entry_span(i, bs);
         let buf = self
             .exact
             .read_to_vec(clock, first, nblocks)
             .expect("read exact file");
-        let (_, coords) = self
-            .codec
-            .decode_entry_at(&buf[byte_off..byte_off + self.codec.entry_bytes()]);
-        coords
+        self.codec
+            .decode_entry_into(&buf[byte_off..byte_off + self.codec.entry_bytes()], out);
     }
 
     /// Exact nearest neighbor of `q`.
@@ -345,11 +306,12 @@ impl VaFile {
         // Phase 2: refine in lower-bound order until the k-th best exact
         // distance undercuts the next lower bound.
         let mut best = TopK::new(k);
+        let mut p = vec![0.0f32; self.dim];
         for &(lb, id) in &cand {
             if best.len() >= k && lb > best.bound() {
                 break;
             }
-            let p = self.fetch_exact(clock, id as usize);
+            self.fetch_exact_into(clock, id as usize, &mut p);
             clock.charge_dist_evals(self.dim, 1);
             trace.refinements += 1;
             best.insert(self.metric.distance_key(&p, q), id);
@@ -362,6 +324,8 @@ impl VaFile {
     /// straddles the window boundary.
     pub fn window(&self, clock: &mut SimClock, window: &Mbr) -> Vec<u32> {
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
+        let mut wtable = WindowTable::new();
+        wtable.build(&self.mbr, self.bits, window, self.n);
         let entry = self.entry_bytes;
         let total_blocks = self.approx.num_blocks();
         let mut out = Vec::new();
@@ -379,17 +343,11 @@ impl VaFile {
             carry.extend_from_slice(&chunk);
             let mut off = 0usize;
             while off + entry <= carry.len() && processed < self.n {
-                let mut r = BitReader::new(&carry[off..off + entry]);
-                for c in cells.iter_mut() {
-                    *c = r.read(self.bits).expect("entry within bounds");
-                }
-                let cell_box = self.grid.cell_box(&cells);
-                if window.intersects(&cell_box) {
-                    if window.contains_mbr(&cell_box) {
-                        out.push(processed as u32);
-                    } else {
-                        to_verify.push(processed as u32);
-                    }
+                unpack_cells(&carry[off..off + entry], self.bits, &mut cells);
+                match wtable.classify(&cells) {
+                    CellMatch::Inside => out.push(processed as u32),
+                    CellMatch::Partial => to_verify.push(processed as u32),
+                    CellMatch::Disjoint => {}
                 }
                 off += entry;
                 processed += 1;
@@ -398,8 +356,9 @@ impl VaFile {
             block += nb;
         }
         clock.charge_dist_evals(self.dim, self.n as u64);
+        let mut p = vec![0.0f32; self.dim];
         for id in to_verify {
-            let p = self.fetch_exact(clock, id as usize);
+            self.fetch_exact_into(clock, id as usize, &mut p);
             clock.charge_dist_evals(self.dim, 1);
             if window.contains_point(&p) {
                 out.push(id);
@@ -414,12 +373,10 @@ impl VaFile {
     pub fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
         assert_eq!(q.len(), self.dim);
         let key_r = self.metric.distance_to_key(radius);
-        // Reuse the filter scan with k = 1 to get lower bounds; recompute
-        // upper bounds from tables for the containment shortcut.
-        let (lo_tab_unused, hi_tab) = self.bound_tables(q);
-        drop(lo_tab_unused);
+        // Reuse the filter scan with k = 1 to get lower bounds; re-derive
+        // upper bounds from the table for the containment shortcut.
+        let table = self.dist_table(q);
         let (lower, _) = self.filter_phase(clock, q, 1);
-        let cells = self.grid.cells_per_dim() as usize;
 
         let mut out = Vec::new();
         // Second pass over the in-memory bounds: fetch exact only when the
@@ -432,6 +389,7 @@ impl VaFile {
         let mut carry: Vec<u8> = Vec::new();
         let mut block = 0u64;
         let mut to_verify: Vec<u32> = Vec::new();
+        let mut cells = vec![0u32; self.dim];
         while block < total_blocks && processed < self.n {
             let nb = SCAN_CHUNK_BLOCKS.min(total_blocks - block);
             let chunk = self
@@ -442,16 +400,8 @@ impl VaFile {
             let mut off = 0usize;
             while off + entry <= carry.len() && processed < self.n {
                 if lower[processed] <= key_r {
-                    let mut r = BitReader::new(&carry[off..off + entry]);
-                    let mut ub = 0.0f64;
-                    for i in 0..self.dim {
-                        let c = r.read(self.bits).expect("entry within bounds") as usize;
-                        match self.metric {
-                            Metric::Euclidean | Metric::Manhattan => ub += hi_tab[i * cells + c],
-                            Metric::Maximum => ub = ub.max(hi_tab[i * cells + c]),
-                        }
-                    }
-                    if ub <= key_r {
+                    unpack_cells(&carry[off..off + entry], self.bits, &mut cells);
+                    if table.maxdist_key(&cells) <= key_r {
                         out.push(processed as u32);
                     } else {
                         to_verify.push(processed as u32);
@@ -464,8 +414,9 @@ impl VaFile {
             block += nb;
         }
         clock.charge_dist_evals(self.dim, self.n as u64);
+        let mut p = vec![0.0f32; self.dim];
         for id in to_verify {
-            let p = self.fetch_exact(clock, id as usize);
+            self.fetch_exact_into(clock, id as usize, &mut p);
             clock.charge_dist_evals(self.dim, 1);
             if self.metric.distance_key(&p, q) <= key_r {
                 out.push(id);

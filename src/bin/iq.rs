@@ -470,7 +470,9 @@ fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
 /// out as the query workload. Every engine is built through the
 /// [`iqtree_repro::build_engine_with`] factory and queried through
 /// `&dyn AccessMethod`. With `--json`, emits one machine-readable object
-/// per engine instead of the text table.
+/// per engine instead of the text table, plus a `kernel-filter` row with
+/// the measured candidate-filter throughput (points/sec in the quantized
+/// domain, wall-clock).
 fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
     use iqtree_repro::data::Workload;
     use iqtree_repro::{EngineKind, EngineOptions};
@@ -556,10 +558,24 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
             );
         }
     }
+    // Candidate-filter throughput of the quantized-domain kernel (the
+    // level-2 MINDIST pass), measured wall-clock on synthetic pages.
+    let filt = iq_bench::kernels::page_scan_throughput(true);
     if json {
+        json_rows.push(format!(
+            "{{\"engine\":\"kernel-filter\",\"filter_points_per_sec\":{:.0},\
+             \"naive_points_per_sec\":{:.0},\"speedup\":{:.3}}}",
+            filt.kernel_pps, filt.naive_pps, filt.speedup
+        ));
         println!("[{}]", json_rows.join(","));
     } else {
-        println!("\n(times are simulated: 10 ms seek, 1 ms / 8 KiB block, 100 ns CPU per dim-op)");
+        println!(
+            "\nquantized-domain filter: {:.1} Mpts/s (naive decode: {:.1} Mpts/s, {:.2}x)",
+            filt.kernel_pps / 1e6,
+            filt.naive_pps / 1e6,
+            filt.speedup
+        );
+        println!("(times are simulated: 10 ms seek, 1 ms / 8 KiB block, 100 ns CPU per dim-op)");
     }
     Ok(())
 }

@@ -178,6 +178,10 @@ fn bench_subcommand_runs() {
 {stdout}"
         );
     }
+    assert!(
+        stdout.contains("quantized-domain filter"),
+        "missing kernel throughput line in:\n{stdout}"
+    );
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
