@@ -10,7 +10,9 @@
 //! paths identically.
 
 use iq_geometry::{Mbr, Metric};
+use iq_obs::Registry;
 use iq_quantize::{DistTable, ExactPageCodec, GridQuantizer, QuantizedPageCodec};
+use iq_storage::{BlockDevice, MemDevice, ObservedDevice, SimClock};
 use iq_tree::build::{encode_pages, SolutionPage};
 use std::time::Instant;
 
@@ -211,12 +213,112 @@ pub fn parallel_build_speedup(quick: bool) -> BuildBench {
     }
 }
 
+/// Cost of the observability layer, measured at both granularities that
+/// matter: single metric updates (the per-op price every instrumented
+/// call site pays) and block reads through an [`ObservedDevice`] (the
+/// price an instrumented device stack adds per I/O).
+#[derive(Clone, Copy, Debug)]
+pub struct ObsBench {
+    /// Counter update with a disabled registry, ns/op (one relaxed load).
+    pub counter_disabled_ns: f64,
+    /// Counter update with an enabled registry, ns/op.
+    pub counter_enabled_ns: f64,
+    /// Histogram observe with a disabled registry, ns/op.
+    pub histogram_disabled_ns: f64,
+    /// Histogram observe with an enabled registry, ns/op.
+    pub histogram_enabled_ns: f64,
+    /// Block read through a bare `MemDevice`, ns/read.
+    pub read_plain_ns: f64,
+    /// Same read through an `ObservedDevice` with a disabled registry.
+    pub read_observed_off_ns: f64,
+    /// Same read through an `ObservedDevice` with an enabled registry.
+    pub read_observed_on_ns: f64,
+    /// `read_observed_on_ns / read_plain_ns − 1`, in percent.
+    pub enabled_read_overhead_pct: f64,
+}
+
+/// Measures metric-update and observed-read costs against their
+/// uninstrumented baselines. Uses private per-case [`Registry`]
+/// instances, so the process-global registry is untouched.
+pub fn observability_overhead(quick: bool) -> ObsBench {
+    let ops = if quick { 20_000u64 } else { 2_000_000 };
+    let per_op = |registry: &Registry, f: &mut dyn FnMut(&Registry)| -> f64 {
+        f(registry); // warm-up: resolve handles, touch the buckets
+        let start = Instant::now();
+        f(registry);
+        start.elapsed().as_nanos() as f64 / ops as f64
+    };
+
+    let on = Registry::new();
+    let off = Registry::disabled();
+    let mut counter_loop = |reg: &Registry| {
+        let c = reg.counter("bench_ops_total");
+        for _ in 0..ops {
+            c.inc();
+        }
+    };
+    let counter_enabled_ns = per_op(&on, &mut counter_loop);
+    let counter_disabled_ns = per_op(&off, &mut counter_loop);
+    let mut histogram_loop = |reg: &Registry| {
+        let h = reg.histogram("bench_seconds");
+        let mut v = 1.0f64;
+        for _ in 0..ops {
+            h.observe(v);
+            v = if v > 1e6 { 1.0 } else { v * 1.0000001 };
+        }
+    };
+    let histogram_enabled_ns = per_op(&on, &mut histogram_loop);
+    let histogram_disabled_ns = per_op(&off, &mut histogram_loop);
+
+    // Block reads: the same MemDevice traffic bare and behind an
+    // ObservedDevice, free simulated clock so only wall-time differs.
+    let reads = if quick { 2_000u64 } else { 200_000 };
+    const BLOCK: usize = 4096;
+    let fill = |dev: &mut dyn BlockDevice| {
+        let mut clock = SimClock::default();
+        dev.append(&mut clock, &[7u8; BLOCK * 8]).expect("append");
+    };
+    let read_loop = |dev: &dyn BlockDevice| -> f64 {
+        let mut clock = SimClock::default();
+        let mut buf = [0u8; BLOCK];
+        let mut spin = 0u64;
+        let start = Instant::now();
+        for i in 0..reads {
+            dev.read_blocks(&mut clock, i % 8, &mut buf).expect("read");
+            spin = spin.wrapping_add(u64::from(buf[0]));
+        }
+        assert_eq!(spin, reads.wrapping_mul(7));
+        start.elapsed().as_nanos() as f64 / reads as f64
+    };
+    let mut plain = MemDevice::new(BLOCK);
+    fill(&mut plain);
+    let read_plain_ns = read_loop(&plain);
+    let mut observed_off = ObservedDevice::new(Box::new(MemDevice::new(BLOCK)), &off, "bench");
+    fill(&mut observed_off);
+    let read_observed_off_ns = read_loop(&observed_off);
+    let mut observed_on = ObservedDevice::new(Box::new(MemDevice::new(BLOCK)), &on, "bench");
+    fill(&mut observed_on);
+    let read_observed_on_ns = read_loop(&observed_on);
+
+    ObsBench {
+        counter_disabled_ns,
+        counter_enabled_ns,
+        histogram_disabled_ns,
+        histogram_enabled_ns,
+        read_plain_ns,
+        read_observed_off_ns,
+        read_observed_on_ns,
+        enabled_read_overhead_pct: (read_observed_on_ns / read_plain_ns.max(1e-12) - 1.0) * 100.0,
+    }
+}
+
 /// Runs every kernel microbenchmark and renders the results as a JSON
 /// object (hand-formatted: the harness has no serde dependency).
 pub fn run_all(quick: bool) -> String {
     let scan = page_scan_throughput(quick);
     let tables = table_build_cost(quick);
     let build = parallel_build_speedup(quick);
+    let obs = observability_overhead(quick);
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"quantized-domain distance kernels\",\n");
@@ -234,8 +336,22 @@ pub fn run_all(quick: bool) -> String {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"parallel_build\": {{\"threads\": {}, \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}}}\n",
+        "  \"parallel_build\": {{\"threads\": {}, \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}}},\n",
         build.threads, build.seq_s, build.par_s, build.speedup
+    ));
+    json.push_str(&format!(
+        "  \"observability\": {{\"counter_disabled_ns\": {:.2}, \"counter_enabled_ns\": {:.2}, \
+         \"histogram_disabled_ns\": {:.2}, \"histogram_enabled_ns\": {:.2}, \
+         \"read_plain_ns\": {:.1}, \"read_observed_off_ns\": {:.1}, \"read_observed_on_ns\": {:.1}, \
+         \"enabled_read_overhead_pct\": {:.2}}}\n",
+        obs.counter_disabled_ns,
+        obs.counter_enabled_ns,
+        obs.histogram_disabled_ns,
+        obs.histogram_enabled_ns,
+        obs.read_plain_ns,
+        obs.read_observed_off_ns,
+        obs.read_observed_on_ns,
+        obs.enabled_read_overhead_pct,
     ));
     json.push_str("}\n");
     json
@@ -267,6 +383,19 @@ mod tests {
         assert!(json.contains("\"page_scan\""));
         assert!(json.contains("\"table_build\""));
         assert!(json.contains("\"parallel_build\""));
+        assert!(json.contains("\"observability\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn observability_overhead_is_measurable() {
+        let o = observability_overhead(true);
+        assert!(o.counter_disabled_ns >= 0.0);
+        assert!(o.counter_enabled_ns >= 0.0);
+        assert!(o.histogram_disabled_ns >= 0.0);
+        assert!(o.histogram_enabled_ns >= 0.0);
+        assert!(o.read_plain_ns > 0.0);
+        assert!(o.read_observed_off_ns > 0.0);
+        assert!(o.read_observed_on_ns > 0.0);
     }
 }

@@ -190,6 +190,11 @@ pub struct CachedDevice {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Global-registry mirrors of the counters above (near-no-ops while
+    /// the registry is disabled).
+    m_hits: iq_obs::Counter,
+    m_misses: iq_obs::Counter,
+    m_evictions: iq_obs::Counter,
 }
 
 impl CachedDevice {
@@ -205,12 +210,16 @@ impl CachedDevice {
         let shards = (0..nshards)
             .map(|i| Mutex::new(Shard::new(base + usize::from(i < rem))))
             .collect();
+        let reg = iq_obs::global();
         Self {
             inner,
             shards,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            m_hits: reg.counter("cache_hits_total"),
+            m_misses: reg.counter("cache_misses_total"),
+            m_evictions: reg.counter("cache_evictions_total"),
         }
     }
 
@@ -264,6 +273,7 @@ impl CachedDevice {
             .insert_frame(block, data);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.m_evictions.add(evicted);
         }
     }
 }
@@ -299,9 +309,13 @@ impl BlockDevice for CachedDevice {
         }
         if all_resident {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.m_hits.inc();
+            clock.note_cache_hit();
             return Ok(());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.m_misses.inc();
+        clock.note_cache_miss();
         // On failure nothing is cached: a later retry must hit the device
         // again, and corrupt bytes never become resident frames.
         self.inner.read_blocks(clock, start, buf)?;
@@ -364,6 +378,21 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(clock.io_time(), t1, "second read must be free");
         assert_eq!(dev.stats().hits, 1);
+        assert_eq!(dev.stats().misses, 1);
+    }
+
+    #[test]
+    fn clock_io_stats_mirror_cache_hits_and_misses() {
+        let (mut dev, mut clock) = setup(8);
+        dev.append(&mut clock, &vec![7u8; 64 * 4]).unwrap();
+        clock.reset();
+        dev.clear();
+        dev.read_to_vec(&mut clock, 0, 2).unwrap(); // miss
+        dev.read_to_vec(&mut clock, 0, 2).unwrap(); // hit
+        dev.read_to_vec(&mut clock, 0, 1).unwrap(); // hit
+        assert_eq!(clock.stats().cache_hits, 2);
+        assert_eq!(clock.stats().cache_misses, 1);
+        assert_eq!(dev.stats().hits, 2);
         assert_eq!(dev.stats().misses, 1);
     }
 

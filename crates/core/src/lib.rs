@@ -80,14 +80,36 @@ impl Default for IqTreeOptions {
 /// physical one minus the checksum trailer. Transient-fault retries are
 /// charged at the call sites via [`IqTreeOptions::retry`], not in the
 /// stack, so the retry budget stays a per-tree query option.
-fn wrap_device(dev: Box<dyn BlockDevice>, cache_blocks: Option<usize>) -> Box<dyn BlockDevice> {
-    let stack = DeviceStack::new(dev).checksum();
-    match cache_blocks {
-        Some(frames) => stack
-            .layer(|d| Box::new(iq_cache::CachedDevice::new(d, frames)))
-            .build(),
-        None => stack.build(),
+///
+/// When the global metrics registry is enabled at construction time
+/// (`iq_obs::global().set_enabled(true)` *before* build/open), every stage
+/// boundary additionally gets an [`iq_storage::ObservedDevice`] reporting
+/// per-layer latency and traffic as `dev_<level>_raw_*` (below the
+/// checksum), `dev_<level>_checksum_*` (verified reads) and
+/// `dev_<level>_cache_*` (what the tree sees through the buffer pool).
+/// With the registry disabled no observation layer is inserted at all, so
+/// the hot path keeps its exact pre-observability shape.
+fn wrap_device(
+    dev: Box<dyn BlockDevice>,
+    cache_blocks: Option<usize>,
+    level: &str,
+) -> Box<dyn BlockDevice> {
+    let observed = iq_obs::global().enabled();
+    let mut stack = DeviceStack::new(dev);
+    if observed {
+        stack = stack.observe(&format!("{level}_raw"));
     }
+    stack = stack.checksum();
+    if observed {
+        stack = stack.observe(&format!("{level}_checksum"));
+    }
+    if let Some(frames) = cache_blocks {
+        stack = stack.layer(|d| Box::new(iq_cache::CachedDevice::new(d, frames)));
+        if observed {
+            stack = stack.observe(&format!("{level}_cache"));
+        }
+    }
+    stack.build()
 }
 
 /// Directory entry: everything the first level stores about one quantized
@@ -215,9 +237,9 @@ impl IqTree {
     ) -> Self {
         assert!(!ds.is_empty(), "cannot build an IQ-tree over an empty set");
         let dim = ds.dim();
-        let dir = wrap_device(make_dev(), opts.cache_blocks);
-        let quant = wrap_device(make_dev(), opts.cache_blocks);
-        let exact = wrap_device(make_dev(), opts.cache_blocks);
+        let dir = wrap_device(make_dev(), opts.cache_blocks, "dir");
+        let quant = wrap_device(make_dev(), opts.cache_blocks, "quant");
+        let exact = wrap_device(make_dev(), opts.cache_blocks, "exact");
         assert!(
             dir.block_size() == quant.block_size() && quant.block_size() == exact.block_size(),
             "all three files must share one block size"

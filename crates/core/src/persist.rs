@@ -165,9 +165,9 @@ impl IqTree {
         exact: Box<dyn BlockDevice>,
         clock: &mut SimClock,
     ) -> IqResult<Self> {
-        let dir = crate::wrap_device(dir, opts.cache_blocks);
-        let quant = crate::wrap_device(quant, opts.cache_blocks);
-        let exact = crate::wrap_device(exact, opts.cache_blocks);
+        let dir = crate::wrap_device(dir, opts.cache_blocks, "dir");
+        let quant = crate::wrap_device(quant, opts.cache_blocks, "quant");
+        let exact = crate::wrap_device(exact, opts.cache_blocks, "exact");
         let bs = dir.block_size();
         if quant.block_size() != bs || exact.block_size() != bs {
             return Err(superblock_err(format!(

@@ -18,6 +18,7 @@
 use crate::{IqTree, PageMeta};
 use iq_cost::access_prob::fraction_in_ball;
 use iq_engine::{AccessMethod, TopK};
+use iq_obs::{CostPrediction, Phase};
 use iq_quantize::{CellMatch, DistTable, WindowTable, EXACT_BITS};
 use iq_storage::{fetch, read_to_vec_retry, SimClock};
 use std::cmp::Reverse;
@@ -137,8 +138,10 @@ impl IqTree {
         if k == 0 || self.is_empty() {
             return (Vec::new(), QueryTrace::default());
         }
+        clock.phase_begin(Phase::Directory);
         self.charge_directory_scan(clock);
 
+        clock.phase_begin(Phase::Plan);
         let metric = self.metric();
         let n_pages = self.pages().len();
         let mut st = SearchState {
@@ -201,6 +204,7 @@ impl IqTree {
                     // pivot (Section 3.2). An entry that stays unreadable
                     // after retries is skipped (and counted): the query
                     // completes on the remaining points.
+                    clock.phase_begin(Phase::Refine);
                     match self.try_read_exact_point(clock, page as usize, slot as usize) {
                         Ok(coords) => {
                             clock.charge_dist_evals(self.dim(), 1);
@@ -213,7 +217,9 @@ impl IqTree {
             }
         }
 
+        clock.phase_begin(Phase::TopK);
         let results = st.best.into_results(metric);
+        clock.phase_end();
         (results, st.trace)
     }
 
@@ -231,6 +237,7 @@ impl IqTree {
         let block = self.pages()[p].quant_block;
         st.processed[p] = true;
         st.trace.runs += 1;
+        clock.phase_begin(Phase::Filter);
         match read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()) {
             Ok(buf) => self.consume_page_bytes(clock, q, p, &buf, st, heap),
             Err(_) => self.fallback_page(clock, q, p, st),
@@ -249,6 +256,7 @@ impl IqTree {
         st: &mut SearchState,
         heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
     ) {
+        clock.phase_begin(Phase::Plan);
         let disk = *clock.disk();
         let n_pages = self.pages().len();
         let bound = st.bound();
@@ -330,6 +338,7 @@ impl IqTree {
         });
         let start_block = self.pages()[first].quant_block;
         let run_len = (last - first + 1) as u64;
+        clock.phase_begin(Phase::Filter);
         let buf =
             match read_to_vec_retry(self.quant_dev(), clock, start_block, run_len, self.retry()) {
                 Ok(buf) => buf,
@@ -379,6 +388,7 @@ impl IqTree {
         st: &mut SearchState,
         heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
     ) {
+        clock.phase_begin(Phase::Filter);
         let metric = self.metric();
         let view = match self.codec().try_view(bytes) {
             Ok(v) => v,
@@ -432,6 +442,7 @@ impl IqTree {
     /// full precision, just without approximation pruning. Pages quantized
     /// at 32 bits have no level-3 backing; their points are reported lost.
     fn fallback_page(&self, clock: &mut SimClock, q: &[f32], p: usize, st: &mut SearchState) {
+        clock.phase_begin(Phase::Refine);
         let meta = &self.pages()[p];
         if meta.g == EXACT_BITS || meta.exact_blocks == 0 {
             st.trace.pages_lost += 1;
@@ -614,7 +625,9 @@ impl IqTree {
         if self.is_empty() {
             return Vec::new();
         }
+        clock.phase_begin(Phase::Directory);
         self.charge_directory_scan(clock);
+        clock.phase_begin(Phase::Plan);
         let candidates: Vec<usize> = self
             .pages()
             .iter()
@@ -629,6 +642,7 @@ impl IqTree {
         // A failed sweep (corrupt block in the plan) degrades to one
         // retried read per page; a page whose block stays unreadable is
         // answered from its exact region.
+        clock.phase_begin(Phase::Filter);
         let fetched = self
             .retry()
             .run(clock, |clock| {
@@ -689,7 +703,9 @@ impl IqTree {
                 });
             }
         }
+        clock.phase_begin(Phase::Refine);
         out.extend(self.refine_batch(clock, &refinements, |coords| window.contains_point(coords)));
+        clock.phase_end();
         out
     }
 
@@ -704,7 +720,9 @@ impl IqTree {
         if self.is_empty() {
             return Vec::new();
         }
+        clock.phase_begin(Phase::Directory);
         self.charge_directory_scan(clock);
+        clock.phase_begin(Phase::Plan);
         let metric = self.metric();
         let key_r = metric.distance_to_key(radius);
 
@@ -722,6 +740,7 @@ impl IqTree {
 
         let mut out = Vec::new();
         let mut refinements: Vec<(usize, usize, u32)> = Vec::new(); // (page, slot, id)
+        clock.phase_begin(Phase::Filter);
         let fetched = self
             .retry()
             .run(clock, |clock| {
@@ -782,10 +801,42 @@ impl IqTree {
                 });
             }
         }
+        clock.phase_begin(Phase::Refine);
         out.extend(self.refine_batch(clock, &refinements, |coords| {
             metric.distance_key(coords, q) <= key_r
         }));
+        clock.phase_end();
         out
+    }
+
+    /// The cost model's prediction of what a `k`-NN query against the
+    /// current page configuration will do: how many second-level pages it
+    /// reads (eqs 16–18, k-NN sphere per footnote 1) and how long the three
+    /// levels take together (eq 23 with the k-NN refinement expectation of
+    /// eq 15 summed over live pages).
+    ///
+    /// This is the "predicted" side of [`iq_obs::CostAudit`]; the observed
+    /// side is the [`QueryTrace`] / [`SimClock`] of a real query.
+    pub fn predict_knn_cost(&self, disk: &iq_storage::DiskModel, k: usize) -> CostPrediction {
+        let k = k.max(1);
+        let live: Vec<&PageMeta> = self.pages().iter().filter(|p| p.count > 0).collect();
+        let n = live.len();
+        let pages = iq_cost::expected_pages_accessed_knn(self.dir_params(), n, k);
+        let mut refine_seconds = 0.0;
+        for meta in &live {
+            let sides: Vec<f32> = (0..self.dim()).map(|i| meta.mbr.extent(i) as f32).collect();
+            refine_seconds += iq_cost::expected_refinements_knn(
+                self.refine_params(),
+                &sides,
+                meta.count as usize,
+                meta.g,
+                k,
+            ) * (disk.t_seek + disk.t_xfer);
+        }
+        let io_seconds = iq_cost::first_level_cost(self.dir_params(), disk, n)
+            + iq_cost::directory::second_level_cost_for_k(disk, n, pages)
+            + refine_seconds;
+        CostPrediction { pages, io_seconds }
     }
 }
 
@@ -824,6 +875,14 @@ impl AccessMethod for IqTree {
 
     fn window(&self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
         IqTree::window(self, clock, window)
+    }
+
+    /// The trait has no disk handle, so the prediction prices I/O on the
+    /// default [`iq_storage::DiskModel`] — the model every [`SimClock`] in
+    /// the workspace defaults to. Callers with a custom disk should use
+    /// [`IqTree::predict_knn_cost`] directly.
+    fn cost_prediction(&self, k: usize) -> Option<CostPrediction> {
+        Some(self.predict_knn_cost(&iq_storage::DiskModel::default(), k))
     }
 }
 
@@ -1012,6 +1071,62 @@ mod tests {
             "one random read per page"
         );
         assert_eq!(trace.pages_skipped, 0);
+    }
+
+    #[test]
+    fn knn_phase_times_cover_total_query_cost() {
+        let ds = random_ds(3_000, 8, 21);
+        let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let (results, _) = tree.knn_traced(&mut clock, &[0.4f32; 8], 5);
+        assert_eq!(results.len(), 5);
+        let phases = clock.phase_times();
+        // Every charge inside knn_traced happens inside an open phase, so
+        // the per-phase sim times account for the whole query exactly.
+        let total = clock.total_time();
+        assert!(total > 0.0);
+        assert!(
+            (phases.total_sim() - total).abs() <= 1e-12 * total.max(1.0),
+            "phases {} vs clock {total}",
+            phases.total_sim()
+        );
+        // The level-2 filter did real work, and so did the directory sweep.
+        assert!(phases.sim[iq_obs::Phase::Directory.index()] > 0.0);
+        assert!(phases.sim[iq_obs::Phase::Filter.index()] > 0.0);
+    }
+
+    #[test]
+    fn window_and_range_phase_times_cover_total_cost() {
+        let ds = random_ds(1_500, 4, 22);
+        let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
+        tree.range(&mut clock, &[0.5f32; 4], 0.25);
+        let total = clock.total_time();
+        assert!(total > 0.0);
+        assert!((clock.phase_times().total_sim() - total).abs() <= 1e-12 * total);
+        clock.reset();
+        let w = iq_geometry::Mbr::from_bounds(vec![0.2; 4], vec![0.6; 4]);
+        tree.window(&mut clock, &w);
+        let total = clock.total_time();
+        assert!(total > 0.0);
+        assert!((clock.phase_times().total_sim() - total).abs() <= 1e-12 * total);
+    }
+
+    #[test]
+    fn cost_prediction_is_sane() {
+        use iq_engine::AccessMethod;
+        let ds = random_ds(2_000, 8, 23);
+        let (tree, _) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let disk = iq_storage::DiskModel::default();
+        let base = tree.predict_knn_cost(&disk, 1).pages;
+        for k in [1usize, 5, 25] {
+            let p = tree.predict_knn_cost(&disk, k);
+            assert!(p.pages >= base, "k={k}");
+            assert!(p.pages >= 1.0 && p.pages <= tree.num_pages() as f64);
+            assert!(p.io_seconds.is_finite() && p.io_seconds > 0.0);
+        }
+        // The trait hook reports the same pages as the inherent method on
+        // the default disk.
+        let via_trait = AccessMethod::cost_prediction(&tree, 5).expect("iq-tree has a model");
+        assert_eq!(via_trait.pages, tree.predict_knn_cost(&disk, 5).pages);
     }
 
     #[test]

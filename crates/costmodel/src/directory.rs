@@ -43,12 +43,20 @@ pub fn first_level_cost(p: &DirectoryParams, disk: &DiskModel, n: usize) -> f64 
 /// `(1/N)^{d/D_F}`, both Minkowski-clipped against the unit data space
 /// (the boundary-effect adaptation the paper refers to \[8\] for).
 pub fn expected_pages_accessed(p: &DirectoryParams, n: usize) -> f64 {
+    expected_pages_accessed_knn(p, n, 1)
+}
+
+/// [`expected_pages_accessed`] for k-NN queries (the paper's footnote 1):
+/// the pruning sphere holds an expectation of `k` points, so its volume is
+/// `(k/N)^{d/D_F}` instead of `(1/N)^{d/D_F}`.
+pub fn expected_pages_accessed_knn(p: &DirectoryParams, n: usize, k: usize) -> f64 {
+    assert!(k >= 1, "k must be at least 1");
     if n == 0 {
         return 0.0;
     }
     let d = p.dim as f64;
     let v_mbr = (1.0 / n as f64).powf(d / p.fractal_dim).min(1.0);
-    let v_sphere = (1.0 / p.num_points.max(1) as f64)
+    let v_sphere = (k as f64 / p.num_points.max(1) as f64)
         .powf(d / p.fractal_dim)
         .min(1.0);
     let side = v_mbr.powf(1.0 / d);
@@ -61,7 +69,9 @@ pub fn expected_pages_accessed(p: &DirectoryParams, n: usize) -> f64 {
         .map(|&s| (f64::from(s) + 2.0 * r).min(1.0) as f32)
         .collect();
     // The clipping above already accounts for the ball enlargement, so take
-    // the plain box volume of the clipped enlargement.
+    // the plain box volume of the clipped enlargement. (The branch switch
+    // makes the estimate only piecewise-smooth in `r` — and therefore in
+    // `k` — which the cost audit tolerances account for.)
     let v_mink = if clipped
         .iter()
         .any(|&c| f64::from(c) < f64::from(sides[0]) + 2.0 * r)
@@ -162,6 +172,25 @@ mod tests {
                 let k = expected_pages_accessed(&p, n);
                 assert!(k >= 1.0 && k <= n as f64, "dim={dim} n={n}: k={k}");
             }
+        }
+    }
+
+    #[test]
+    fn knn_accesses_more_pages_than_nn() {
+        let p = params(8, 200_000);
+        let n = 2_000;
+        assert_eq!(
+            expected_pages_accessed(&p, n),
+            expected_pages_accessed_knn(&p, n, 1)
+        );
+        let base = expected_pages_accessed(&p, n);
+        for k in [2usize, 5, 20, 100] {
+            let pages = expected_pages_accessed_knn(&p, n, k);
+            // A k-NN sphere holds the NN sphere, so the estimate can only
+            // grow relative to k = 1. (Across arbitrary k pairs the branchy
+            // boundary clipping makes it only piecewise-monotone.)
+            assert!(pages >= base, "k={k}: {pages} < {base}");
+            assert!(pages >= 1.0 && pages <= n as f64, "k={k}");
         }
     }
 

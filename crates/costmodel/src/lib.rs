@@ -24,5 +24,8 @@ pub mod directory;
 pub mod refine;
 
 pub use access_prob::{access_probability, fraction_in_ball};
-pub use directory::{first_level_cost, second_level_cost, total_cost, DirectoryParams};
+pub use directory::{
+    expected_pages_accessed, expected_pages_accessed_knn, first_level_cost, second_level_cost,
+    total_cost, DirectoryParams,
+};
 pub use refine::{expected_refinements, expected_refinements_knn, refinement_cost, RefineParams};

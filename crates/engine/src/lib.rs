@@ -21,6 +21,7 @@ pub use topk::TopK;
 pub use trace::QueryTrace;
 
 use iq_geometry::{Mbr, Metric};
+use iq_obs::CostPrediction;
 use iq_storage::SimClock;
 
 /// A disk-resident multidimensional index answering exact similarity
@@ -77,11 +78,26 @@ pub trait AccessMethod: Send + Sync {
 
     /// All points inside the query window (unordered ids).
     fn window(&self, clock: &mut SimClock, window: &Mbr) -> Vec<u32>;
+
+    /// Cost-model prediction for a `k`-NN query, if this method has one.
+    ///
+    /// Methods with an analytic cost model (the IQ-tree, eqs 2–23)
+    /// override this so observability tooling can compare predictions
+    /// against the observed [`QueryTrace`] / clock; the default says
+    /// "no model".
+    fn cost_prediction(&self, k: usize) -> Option<CostPrediction> {
+        let _ = k;
+        None
+    }
 }
 
-/// Per-query outcome inside [`knn_batch`]: the k-NN result list plus the
-/// clock that paid for it.
-type BatchSlot = Option<(Vec<(u32, f64)>, SimClock)>;
+/// Per-query outcome inside the batch executor: the k-NN result list, its
+/// trace, and the clock that paid for it.
+type BatchSlot = Option<(Vec<(u32, f64)>, QueryTrace, SimClock)>;
+
+/// One query's `(results, trace)` pair as returned by
+/// [`knn_batch_traced`].
+pub type TracedResult = (Vec<(u32, f64)>, QueryTrace);
 
 /// Answers every query in `queries` with a `k`-NN search against `method`,
 /// fanning the batch out over `threads` OS threads that share the index.
@@ -98,8 +114,27 @@ pub fn knn_batch<M: AccessMethod + ?Sized>(
     k: usize,
     threads: usize,
 ) -> Vec<Vec<(u32, f64)>> {
+    knn_batch_traced(method, clock, queries, k, threads)
+        .0
+        .into_iter()
+        .map(|(res, _)| res)
+        .collect()
+}
+
+/// Like [`knn_batch`], but keeps the work reports: returns each query's
+/// `(results, trace)` in query order plus the aggregate of all traces
+/// (per-field sums via [`QueryTrace::merge`]). Determinism is the same as
+/// [`knn_batch`]: results, traces and clock statistics are identical for
+/// every thread count.
+pub fn knn_batch_traced<M: AccessMethod + ?Sized>(
+    method: &M,
+    clock: &mut SimClock,
+    queries: &[Vec<f32>],
+    k: usize,
+    threads: usize,
+) -> (Vec<TracedResult>, QueryTrace) {
     if queries.is_empty() {
-        return Vec::new();
+        return (Vec::new(), QueryTrace::default());
     }
     let mut template = clock.clone();
     template.reset();
@@ -112,19 +147,21 @@ pub fn knn_batch<M: AccessMethod + ?Sized>(
             s.spawn(move || {
                 for (q, out) in qs.iter().zip(outs.iter_mut()) {
                     let mut c = template.clone();
-                    let res = method.knn(&mut c, q, k);
-                    *out = Some((res, c));
+                    let (res, trace) = method.knn_traced(&mut c, q, k);
+                    *out = Some((res, trace, c));
                 }
             });
         }
     });
     let mut results = Vec::with_capacity(queries.len());
+    let mut aggregate = QueryTrace::default();
     for slot in slots {
-        let (res, c) = slot.expect("every spawned chunk fills its slots");
+        let (res, trace, c) = slot.expect("every spawned chunk fills its slots");
         clock.absorb(&c);
-        results.push(res);
+        aggregate.merge(&trace);
+        results.push((res, trace));
     }
-    results
+    (results, aggregate)
 }
 
 // `&dyn AccessMethod` and boxed methods must stay usable across threads.
@@ -167,7 +204,12 @@ mod tests {
             for (i, p) in self.pts.iter().enumerate() {
                 top.insert(Metric::Euclidean.distance_key(p, q), i as u32);
             }
-            (top.into_results(Metric::Euclidean), QueryTrace::default())
+            let trace = QueryTrace {
+                pages_processed: 1,
+                refinements: k as u64,
+                ..QueryTrace::default()
+            };
+            (top.into_results(Metric::Euclidean), trace)
         }
         fn range(&self, _clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
             (0..self.pts.len() as u32)
@@ -201,6 +243,36 @@ mod tests {
             assert_eq!(c.stats(), c1.stats(), "{threads} threads");
             assert_eq!(c.io_time(), c1.io_time(), "{threads} threads");
         }
+    }
+
+    #[test]
+    fn traced_batch_returns_per_query_and_aggregated_traces() {
+        let m = flat(100);
+        let queries: Vec<Vec<f32>> = (0..9).map(|i| vec![i as f32, i as f32]).collect();
+        let mut c1 = SimClock::default();
+        let (per_query, agg) = knn_batch_traced(&m, &mut c1, &queries, 4, 1);
+        assert_eq!(per_query.len(), queries.len());
+        let mut expect = QueryTrace::default();
+        for (res, trace) in &per_query {
+            assert_eq!(res.len(), 4);
+            assert_eq!(trace.pages_processed, 1);
+            assert_eq!(trace.refinements, 4);
+            expect.merge(trace);
+        }
+        assert_eq!(agg, expect, "aggregate is the per-field sum");
+        for threads in [2, 5] {
+            let mut c = SimClock::default();
+            let (pq, a) = knn_batch_traced(&m, &mut c, &queries, 4, threads);
+            assert_eq!(pq, per_query, "{threads} threads");
+            assert_eq!(a, agg, "{threads} threads");
+            assert_eq!(c.stats(), c1.stats(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn cost_prediction_defaults_to_none() {
+        let m = flat(10);
+        assert!(m.cost_prediction(3).is_none());
     }
 
     #[test]

@@ -43,4 +43,54 @@ impl QueryTrace {
     pub fn partial(&self) -> bool {
         self.pages_lost > 0 || self.points_skipped > 0
     }
+
+    /// Adds `other`'s counters into `self`, e.g. folding per-query traces
+    /// into a batch aggregate.
+    pub fn merge(&mut self, other: &QueryTrace) {
+        self.pages_processed += other.pages_processed;
+        self.pages_skipped += other.pages_skipped;
+        self.runs += other.runs;
+        self.refinements += other.refinements;
+        self.approx_enqueued += other.approx_enqueued;
+        self.quant_fallbacks += other.quant_fallbacks;
+        self.pages_lost += other.pages_lost;
+        self.points_skipped += other.points_skipped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = QueryTrace {
+            pages_processed: 1,
+            pages_skipped: 2,
+            runs: 3,
+            refinements: 4,
+            approx_enqueued: 5,
+            quant_fallbacks: 6,
+            pages_lost: 7,
+            points_skipped: 8,
+        };
+        let mut total = a;
+        total.merge(&a);
+        assert_eq!(
+            total,
+            QueryTrace {
+                pages_processed: 2,
+                pages_skipped: 4,
+                runs: 6,
+                refinements: 8,
+                approx_enqueued: 10,
+                quant_fallbacks: 12,
+                pages_lost: 14,
+                points_skipped: 16,
+            }
+        );
+        let mut id = a;
+        id.merge(&QueryTrace::default());
+        assert_eq!(id, a);
+    }
 }

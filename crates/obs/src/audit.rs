@@ -1,0 +1,157 @@
+//! Cost-model auditing: predicted vs observed, as distributions.
+//!
+//! The paper's cost model (Sections 2.3, 3.4–3.6) predicts page accesses
+//! and seek+transfer time per query. [`CostAudit`] accumulates
+//! `(predicted, observed)` pairs per named quantity and summarises the
+//! signed relative-error distribution, turning the model from asserted to
+//! audited. It deliberately takes plain numbers so this crate depends on
+//! neither `iq-costmodel` nor `iq-engine`; the glue that produces
+//! predictions lives next to each access method.
+
+use std::collections::BTreeMap;
+
+/// A cost-model prediction for one query, produced by an access method
+/// before the query runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostPrediction {
+    /// Expected page (block-run) accesses.
+    pub pages: f64,
+    /// Expected seek + transfer time, simulated seconds.
+    pub io_seconds: f64,
+}
+
+/// One audited quantity's accumulated pairs.
+#[derive(Clone, Debug, Default)]
+struct Series {
+    rel_errs: Vec<f64>,
+    pred_sum: f64,
+    obs_sum: f64,
+}
+
+/// Accumulates predicted-vs-observed pairs and reports relative-error
+/// distributions per quantity.
+#[derive(Clone, Debug, Default)]
+pub struct CostAudit {
+    series: BTreeMap<String, Series>,
+}
+
+/// Summary statistics of one audited quantity.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AuditSummary {
+    /// Number of recorded pairs.
+    pub n: usize,
+    /// Mean of predicted values.
+    pub pred_mean: f64,
+    /// Mean of observed values.
+    pub obs_mean: f64,
+    /// Mean absolute relative error.
+    pub mean_abs_rel_err: f64,
+    /// Median signed relative error.
+    pub p50: f64,
+    /// 90th percentile of the absolute relative error.
+    pub p90_abs: f64,
+    /// Largest absolute relative error seen.
+    pub max_abs: f64,
+}
+
+impl CostAudit {
+    /// An empty audit.
+    pub fn new() -> Self {
+        CostAudit::default()
+    }
+
+    /// Records one pair for `name`. The signed relative error is
+    /// `(predicted − observed) / |observed|`, with a tiny floor on the
+    /// denominator so observed-zero pairs stay finite.
+    pub fn record(&mut self, name: &str, predicted: f64, observed: f64) {
+        let s = self.series.entry(name.to_string()).or_default();
+        s.pred_sum += predicted;
+        s.obs_sum += observed;
+        s.rel_errs
+            .push((predicted - observed) / observed.abs().max(1e-12));
+    }
+
+    /// The signed relative errors recorded for `name`, in arrival order.
+    pub fn relative_errors(&self, name: &str) -> &[f64] {
+        self.series.get(name).map_or(&[], |s| &s.rel_errs)
+    }
+
+    /// Summary statistics for `name`; `None` if nothing was recorded.
+    pub fn summary(&self, name: &str) -> Option<AuditSummary> {
+        let s = self.series.get(name)?;
+        let n = s.rel_errs.len();
+        if n == 0 {
+            return None;
+        }
+        let mut signed = s.rel_errs.clone();
+        signed.sort_by(|a, b| a.partial_cmp(b).expect("finite rel errs"));
+        let mut abs: Vec<f64> = s.rel_errs.iter().map(|e| e.abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("finite rel errs"));
+        let rank = |v: &[f64], q: f64| v[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Some(AuditSummary {
+            n,
+            pred_mean: s.pred_sum / n as f64,
+            obs_mean: s.obs_sum / n as f64,
+            mean_abs_rel_err: abs.iter().sum::<f64>() / n as f64,
+            p50: rank(&signed, 0.50),
+            p90_abs: rank(&abs, 0.90),
+            max_abs: *abs.last().expect("non-empty"),
+        })
+    }
+
+    /// Audited quantity names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Human-readable multi-line report of every audited quantity.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for name in self.series.keys() {
+            if let Some(s) = self.summary(name) {
+                out.push_str(&format!(
+                    "{name}: n={} pred_mean={:.3} obs_mean={:.3} mean|rel_err|={:.3} p50={:+.3} p90|.|={:.3} max|.|={:.3}\n",
+                    s.n, s.pred_mean, s.obs_mean, s.mean_abs_rel_err, s.p50, s.p90_abs, s.max_abs
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_error() {
+        let mut a = CostAudit::new();
+        for v in [1.0, 5.0, 9.0] {
+            a.record("pages", v, v);
+        }
+        let s = a.summary("pages").expect("recorded");
+        assert_eq!(s.n, 3);
+        assert!(s.mean_abs_rel_err < 1e-12);
+        assert!(s.max_abs < 1e-12);
+    }
+
+    #[test]
+    fn signed_errors_keep_direction() {
+        let mut a = CostAudit::new();
+        a.record("io", 2.0, 1.0); // over-prediction: +1.0
+        a.record("io", 0.5, 1.0); // under-prediction: −0.5
+        let errs = a.relative_errors("io");
+        assert!((errs[0] - 1.0).abs() < 1e-12);
+        assert!((errs[1] + 0.5).abs() < 1e-12);
+        let s = a.summary("io").expect("recorded");
+        assert!((s.mean_abs_rel_err - 0.75).abs() < 1e-12);
+        assert!((s.max_abs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_series_is_empty() {
+        let a = CostAudit::new();
+        assert!(a.relative_errors("nope").is_empty());
+        assert!(a.summary("nope").is_none());
+    }
+}

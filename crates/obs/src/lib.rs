@@ -1,0 +1,29 @@
+//! Observability layer for the IQ-tree reproduction.
+//!
+//! Four pieces, all dependency-free so every other crate can use them:
+//!
+//! - [`Registry`]: lock-cheap named metrics — atomic [`Counter`]s,
+//!   [`Gauge`]s and log-bucketed [`Histogram`]s — with Prometheus-text
+//!   and JSON exposition and snapshot diffing. A process-wide instance
+//!   lives behind [`global`], disabled by default: every handle guards
+//!   its update with one relaxed atomic load, so the disabled path is a
+//!   near-no-op.
+//! - [`SpanGuard`] / [`span!`]: RAII wall-time spans recorded into
+//!   histograms, no external tracing crate.
+//! - [`Phase`] / [`PhaseTimes`]: the five k-NN pipeline phases
+//!   (directory, plan, filter, refine, top-k) and per-phase
+//!   simulated + wall time, which `SimClock` attributes during queries.
+//! - [`CostAudit`]: accumulates cost-model predictions vs observed
+//!   values and reports relative-error distributions.
+
+pub mod audit;
+pub mod histogram;
+pub mod phase;
+pub mod registry;
+pub mod span;
+
+pub use audit::{AuditSummary, CostAudit, CostPrediction};
+pub use histogram::{bucket_bounds, bucket_index, HistogramSnapshot};
+pub use phase::{Phase, PhaseTimes, PHASES};
+pub use registry::{global, Counter, Gauge, Histogram, Registry, Snapshot};
+pub use span::SpanGuard;

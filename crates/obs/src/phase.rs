@@ -1,0 +1,117 @@
+//! The k-NN pipeline phases and their accumulated per-phase times.
+//!
+//! Lives here (rather than in the engine) so `iq-storage`'s `SimClock`
+//! can attribute simulated time to phases without a dependency cycle:
+//! `iq-obs` depends on nothing, and everything above depends on it.
+
+/// One phase of the k-NN query pipeline. Every access method maps its
+/// work onto these five phases so traces are comparable across engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Directory / inner-node scan: finding candidate pages.
+    Directory = 0,
+    /// Fetch planning: ordering candidates, extending block runs.
+    Plan = 1,
+    /// Level-2 quantized filter: scanning compressed pages.
+    Filter = 2,
+    /// Level-3 refinement: exact-representation lookups.
+    Refine = 3,
+    /// Top-k maintenance: candidate heap upkeep and result assembly.
+    TopK = 4,
+}
+
+/// All phases, in pipeline order.
+pub const PHASES: [Phase; 5] = [
+    Phase::Directory,
+    Phase::Plan,
+    Phase::Filter,
+    Phase::Refine,
+    Phase::TopK,
+];
+
+impl Phase {
+    /// Stable lower-case name, used in traces and metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Directory => "directory",
+            Phase::Plan => "plan",
+            Phase::Filter => "filter",
+            Phase::Refine => "refine",
+            Phase::TopK => "topk",
+        }
+    }
+
+    /// Index into [`PhaseTimes`] arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Accumulated per-phase times for one or more queries: simulated
+/// seconds (disk + CPU model) and wall-clock seconds, indexed by
+/// [`Phase::index`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Simulated seconds attributed to each phase.
+    pub sim: [f64; 5],
+    /// Wall-clock seconds spent inside each phase.
+    pub wall: [f64; 5],
+}
+
+impl PhaseTimes {
+    /// Adds `sim`/`wall` seconds to `phase`.
+    pub fn add(&mut self, phase: Phase, sim: f64, wall: f64) {
+        self.sim[phase.index()] += sim;
+        self.wall[phase.index()] += wall;
+    }
+
+    /// Accumulates another `PhaseTimes` into this one.
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for i in 0..5 {
+            self.sim[i] += other.sim[i];
+            self.wall[i] += other.wall[i];
+        }
+    }
+
+    /// Sum of simulated seconds across phases.
+    pub fn total_sim(&self) -> f64 {
+        self.sim.iter().sum()
+    }
+
+    /// Sum of wall-clock seconds across phases.
+    pub fn total_wall(&self) -> f64 {
+        self.wall.iter().sum()
+    }
+
+    /// True when no time has been attributed to any phase.
+    pub fn is_empty(&self) -> bool {
+        self.total_sim() == 0.0 && self.total_wall() == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_merge_accumulate() {
+        let mut a = PhaseTimes::default();
+        a.add(Phase::Filter, 1.0, 0.5);
+        a.add(Phase::Refine, 2.0, 0.25);
+        let mut b = PhaseTimes::default();
+        b.add(Phase::Filter, 3.0, 0.5);
+        a.merge(&b);
+        assert_eq!(a.sim[Phase::Filter.index()], 4.0);
+        assert_eq!(a.sim[Phase::Refine.index()], 2.0);
+        assert!((a.total_sim() - 6.0).abs() < 1e-12);
+        assert!((a.total_wall() - 1.25).abs() < 1e-12);
+        assert!(!a.is_empty());
+        assert!(PhaseTimes::default().is_empty());
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let names: Vec<_> = PHASES.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["directory", "plan", "filter", "refine", "topk"]);
+    }
+}

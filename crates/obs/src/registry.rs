@@ -1,0 +1,367 @@
+//! Lock-cheap metrics registry: named atomic counters, gauges and
+//! log-bucketed histograms with Prometheus-text and JSON exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed and
+//! cheap to clone; every handle shares the registry's enabled flag, so a
+//! disabled registry reduces each metric update to one relaxed atomic
+//! load. The name→metric maps are only locked on handle creation and
+//! snapshotting, never on the record path.
+
+use crate::histogram::{bucket_bounds, HistogramCore, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// State shared between a registry and every handle it has issued.
+struct Shared {
+    enabled: AtomicBool,
+}
+
+/// A registry of named metrics. Create per-test with [`Registry::new`] or
+/// use the process-wide [`global`] instance (disabled until something
+/// calls [`Registry::set_enabled`]).
+pub struct Registry {
+    shared: Arc<Shared>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Registry {
+            shared: Arc::new(Shared {
+                enabled: AtomicBool::new(true),
+            }),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A disabled registry: every handle it issues is a near-no-op (one
+    /// relaxed load) until [`Registry::set_enabled`] flips it on.
+    pub fn disabled() -> Self {
+        let r = Registry::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// Turns recording on or off for every handle ever issued.
+    pub fn set_enabled(&self, on: bool) {
+        self.shared.enabled.store(on, Relaxed);
+    }
+
+    /// Whether handles currently record.
+    pub fn enabled(&self) -> bool {
+        self.shared.enabled.load(Relaxed)
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone();
+        Counter {
+            shared: self.shared.clone(),
+            value: cell,
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("gauge map poisoned");
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())))
+            .clone();
+        Gauge {
+            shared: self.shared.clone(),
+            bits: cell,
+        }
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        let core = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCore::new()))
+            .clone();
+        Histogram {
+            shared: self.shared.clone(),
+            core,
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+
+    /// Renders the registry as a JSON object.
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry. Starts disabled; call
+/// `global().set_enabled(true)` (the CLI does this for `--metrics-json`,
+/// `iq stats` and `iq bench`) to turn recording on.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::disabled)
+}
+
+/// Monotonic counter handle. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter {
+    shared: Arc<Shared>,
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. A single relaxed load when the registry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.shared.enabled.load(Relaxed) {
+            self.value.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// Gauge handle: a last-write-wins `f64`.
+#[derive(Clone)]
+pub struct Gauge {
+    shared: Arc<Shared>,
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge. A single relaxed load when the registry is disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if self.shared.enabled.load(Relaxed) {
+            self.bits.store(v.to_bits(), Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Relaxed))
+    }
+}
+
+/// Histogram handle over the shared log-bucketed storage.
+#[derive(Clone)]
+pub struct Histogram {
+    shared: Arc<Shared>,
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Records a value. A single relaxed load when the registry is disabled.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if self.shared.enabled.load(Relaxed) {
+            self.core.record(v);
+        }
+    }
+
+    /// Whether the owning registry currently records.
+    pub fn enabled(&self) -> bool {
+        self.shared.enabled.load(Relaxed)
+    }
+
+    /// Point-in-time copy of this histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core.snapshot()
+    }
+}
+
+/// Point-in-time copy of a whole registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Formats a float so the output is always a valid JSON number.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Rewrites a metric name into the Prometheus charset
+/// (`[a-zA-Z0-9_:]`, non-digit first character).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        let ok = ok && !(i == 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+impl Snapshot {
+    /// Metrics recorded since `earlier` was taken: counters and histogram
+    /// contents subtract (saturating); gauges keep their latest value.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                let prev = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(prev))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let diffed = match earlier.histograms.get(k) {
+                    Some(prev) => h.diff(prev),
+                    None => h.clone(),
+                };
+                (k.clone(), diffed)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Prometheus text exposition format: counters and gauges as single
+    /// samples, histograms as cumulative `_bucket{le=...}` series plus
+    /// `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", json_f64(*v)));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cum = 0u64;
+            for &(i, c) in &h.buckets {
+                cum += c;
+                let (_, hi) = bucket_bounds(i);
+                if hi.is_finite() {
+                    out.push_str(&format!("{n}_bucket{{le=\"{}\"}} {cum}\n", json_f64(hi)));
+                }
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n", json_f64(h.sum)));
+            out.push_str(&format!("{n}_count {}\n", h.count));
+        }
+        out
+    }
+
+    /// Hand-rolled JSON rendering (the workspace carries no serde):
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {count, sum, mean, p50, p90, p99, buckets: [{le, count}...]}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{k}\": {v}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{k}\": {}", json_f64(*v)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!(
+                "{sep}\n    \"{k}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.mean()),
+                json_f64(h.quantile(0.50)),
+                json_f64(h.quantile(0.90)),
+                json_f64(h.quantile(0.99)),
+            ));
+            for (j, &(b, c)) in h.buckets.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let (_, hi) = bucket_bounds(b);
+                let le = if hi.is_finite() {
+                    json_f64(hi)
+                } else {
+                    "\"+Inf\"".to_string()
+                };
+                out.push_str(&format!("{sep}{{\"le\": {le}, \"count\": {c}}}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}

@@ -1,0 +1,63 @@
+//! RAII span timing without an external tracing dependency.
+//!
+//! A [`SpanGuard`] samples `Instant::now()` on entry and records the
+//! elapsed wall time into a histogram named `span_<name>_seconds` when it
+//! drops. On a disabled registry the guard is empty: entry is one relaxed
+//! atomic load and drop does nothing.
+//!
+//! For hot paths, resolve the [`Histogram`](crate::Histogram) handle once
+//! and use [`SpanGuard::enter_with`]; the [`span!`] macro is the
+//! convenient form for per-query phases, resolving against the global
+//! registry by name.
+
+use crate::registry::{Histogram, Registry};
+use std::time::Instant;
+
+/// RAII guard that records its lifetime into a histogram on drop.
+#[must_use = "dropping the guard immediately records a ~zero-length span"]
+pub struct SpanGuard {
+    active: Option<(Histogram, Instant)>,
+}
+
+impl SpanGuard {
+    /// Enters a span named `name` on `registry`. Histogram resolution
+    /// (one map lock) only happens when the registry is enabled.
+    pub fn enter(registry: &Registry, name: &str) -> SpanGuard {
+        if !registry.enabled() {
+            return SpanGuard { active: None };
+        }
+        let hist = registry.histogram(&format!("span_{name}_seconds"));
+        SpanGuard {
+            active: Some((hist, Instant::now())),
+        }
+    }
+
+    /// Enters a span on a pre-resolved histogram handle — no name lookup,
+    /// suitable for per-page or per-block paths.
+    pub fn enter_with(hist: &Histogram) -> SpanGuard {
+        if !hist.enabled() {
+            return SpanGuard { active: None };
+        }
+        SpanGuard {
+            active: Some((hist.clone(), Instant::now())),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.active.take() {
+            hist.observe(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Opens a wall-time span on the global registry:
+/// `let _g = span!("level2_scan");` records into
+/// `span_level2_scan_seconds` when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($crate::global(), $name)
+    };
+}

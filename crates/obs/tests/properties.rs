@@ -1,0 +1,147 @@
+//! Property tests: histogram bucketing and quantiles against a
+//! sorted-vector oracle, plus registry snapshot diffing.
+
+use iq_obs::{bucket_bounds, bucket_index, Registry};
+use proptest::prelude::*;
+
+/// Positive values spanning ~12 orders of magnitude, with duplicates.
+fn value_strategy() -> impl Strategy<Value = f64> {
+    (0u32..10_000, -6i32..6).prop_map(|(m, e)| (f64::from(m % 97) + 1.0) * 10f64.powi(e))
+}
+
+/// Nearest-rank oracle under the same convention as
+/// `HistogramSnapshot::quantile`: the `ceil(q·n)`-th smallest (1-based).
+fn oracle_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[target - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn values_land_in_correct_log_buckets(
+        values in proptest::collection::vec(value_strategy(), 1..200),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("vals");
+        for &v in &values {
+            h.observe(v);
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            prop_assert!(lo <= v && v < hi, "{} not in [{}, {}) (bucket {})", v, lo, hi, i);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, values.len() as u64);
+        prop_assert!((snap.sum - values.iter().sum::<f64>()).abs() <= snap.sum.abs() * 1e-9);
+    }
+
+    #[test]
+    fn quantiles_within_one_bucket_of_oracle(
+        values in proptest::collection::vec(value_strategy(), 1..300),
+        qi in 0usize..5,
+    ) {
+        let q = [0.0, 0.5, 0.9, 0.99, 1.0][qi];
+        let reg = Registry::new();
+        let h = reg.histogram("q");
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let want = oracle_quantile(&sorted, q);
+        let got = h.snapshot().quantile(q);
+        // Same rank convention on both sides, so the estimate must sit in
+        // the same log bucket as the true value, ± one bucket for values
+        // on a boundary.
+        let db = bucket_index(got) as i64 - bucket_index(want) as i64;
+        prop_assert!(db.abs() <= 1, "q={} got={} want={} bucket delta={}", q, got, want, db);
+    }
+
+    #[test]
+    fn snapshot_diff_recovers_second_batch(
+        first in proptest::collection::vec(value_strategy(), 0..100),
+        second in proptest::collection::vec(value_strategy(), 0..100),
+        bump in 1u64..50,
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        let c = reg.counter("ops");
+        for &v in &first {
+            h.observe(v);
+        }
+        c.add(bump);
+        let before = reg.snapshot();
+        for &v in &second {
+            h.observe(v);
+        }
+        c.add(bump * 2);
+        let after = reg.snapshot();
+        let d = after.diff(&before);
+        // The diff must contain exactly the second batch.
+        prop_assert_eq!(d.counters["ops"], bump * 2);
+        let dh = &d.histograms["lat"];
+        prop_assert_eq!(dh.count, second.len() as u64);
+        let fresh = Registry::new();
+        let oracle = fresh.histogram("lat");
+        for &v in &second {
+            oracle.observe(v);
+        }
+        prop_assert_eq!(&dh.buckets, &oracle.snapshot().buckets);
+    }
+}
+
+#[test]
+fn disabled_registry_records_nothing() {
+    let reg = Registry::disabled();
+    let c = reg.counter("n");
+    let h = reg.histogram("h");
+    let g = reg.gauge("g");
+    c.inc();
+    h.observe(1.0);
+    g.set(2.5);
+    assert_eq!(c.get(), 0);
+    assert_eq!(h.snapshot().count, 0);
+    assert_eq!(g.get(), 0.0);
+    reg.set_enabled(true);
+    c.inc();
+    h.observe(1.0);
+    g.set(2.5);
+    assert_eq!(c.get(), 1);
+    assert_eq!(h.snapshot().count, 1);
+    assert_eq!(g.get(), 2.5);
+}
+
+#[test]
+fn exposition_formats_cover_every_metric() {
+    let reg = Registry::new();
+    reg.counter("pages_total").add(7);
+    reg.gauge("cache_fill").set(0.5);
+    let h = reg.histogram("query_seconds");
+    h.observe(1e-3);
+    h.observe(2e-3);
+    let prom = reg.to_prometheus();
+    assert!(prom.contains("# TYPE pages_total counter"));
+    assert!(prom.contains("pages_total 7"));
+    assert!(prom.contains("# TYPE cache_fill gauge"));
+    assert!(prom.contains("# TYPE query_seconds histogram"));
+    assert!(prom.contains("query_seconds_bucket{le=\"+Inf\"} 2"));
+    assert!(prom.contains("query_seconds_count 2"));
+    let json = reg.to_json();
+    for key in [
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "\"pages_total\": 7",
+        "\"count\": 2",
+        "\"p50\"",
+        "\"p90\"",
+        "\"p99\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}

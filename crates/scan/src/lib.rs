@@ -87,6 +87,9 @@ impl SeqScan {
     /// so any number of threads may query it concurrently, each with its
     /// own clock.
     fn scan(&self, clock: &mut SimClock, mut visit: impl FnMut(u32, &[f32])) {
+        // The whole sweep is one filter pass over exact data; there is no
+        // separate planning or refinement to attribute time to.
+        clock.phase_begin(iq_obs::Phase::Filter);
         let bs = self.dev.block_size();
         let total_blocks = self.dev.num_blocks();
         let pb = self.dim * 4;
@@ -129,6 +132,7 @@ impl SeqScan {
         }
         // CPU cost: one distance-like evaluation per point.
         clock.charge_dist_evals(self.dim, self.n as u64);
+        clock.phase_end();
         debug_assert_eq!(id as usize, self.n, "block size {bs} scan desynchronized");
     }
 
@@ -148,7 +152,10 @@ impl SeqScan {
         self.scan(clock, |id, p| {
             best.insert(metric.distance_key(p, q), id);
         });
-        best.into_results(metric)
+        clock.phase_begin(iq_obs::Phase::TopK);
+        let results = best.into_results(metric);
+        clock.phase_end();
+        results
     }
 
     /// All points inside the query window (unordered ids).

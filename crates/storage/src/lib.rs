@@ -25,6 +25,7 @@ pub mod error;
 pub mod fault;
 pub mod fetch;
 pub mod model;
+pub mod observe;
 pub mod retry;
 pub mod stack;
 
@@ -34,5 +35,6 @@ pub use error::{IqError, IqResult};
 pub use fault::{FaultConfig, FaultInjectingDevice, FaultStats};
 pub use fetch::{plan_fetch, plan_fetch_bounded, plan_fetch_cost, Run};
 pub use model::{CpuModel, DiskModel, IoStats, SimClock};
+pub use observe::ObservedDevice;
 pub use retry::{read_blocks_retry, read_to_vec_retry, RetryPolicy};
 pub use stack::{DeviceStack, RetryingDevice};

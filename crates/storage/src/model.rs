@@ -1,5 +1,8 @@
 //! Disk and CPU cost models and the simulated clock.
 
+use iq_obs::{Phase, PhaseTimes};
+use std::time::Instant;
+
 /// Disk timing parameters — the `t_seek` / `t_xfer` of Section 2.
 ///
 /// Defaults model a late-1990s disk (the paper's experiments ran on
@@ -98,6 +101,10 @@ pub struct IoStats {
     pub io_retries: u64,
     /// Faults injected by a fault-injecting device.
     pub injected_faults: u64,
+    /// Block-cache lookups served entirely from memory.
+    pub cache_hits: u64,
+    /// Block-cache lookups that went to the underlying device.
+    pub cache_misses: u64,
 }
 
 impl IoStats {
@@ -110,6 +117,8 @@ impl IoStats {
         self.corrupt_blocks += other.corrupt_blocks;
         self.io_retries += other.io_retries;
         self.injected_faults += other.injected_faults;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 
@@ -131,6 +140,10 @@ pub struct SimClock {
     stats: IoStats,
     /// (device id, next block) the head is positioned at.
     head: Option<(u64, u64)>,
+    /// Per-phase simulated + wall time attributed so far.
+    phases: PhaseTimes,
+    /// The currently open phase: `(phase, sim time at open, wall at open)`.
+    open_phase: Option<(Phase, f64, Instant)>,
 }
 
 impl SimClock {
@@ -143,6 +156,8 @@ impl SimClock {
             cpu_time: 0.0,
             stats: IoStats::default(),
             head: None,
+            phases: PhaseTimes::default(),
+            open_phase: None,
         }
     }
 
@@ -176,12 +191,15 @@ impl SimClock {
         self.stats
     }
 
-    /// Resets times, statistics and head position (e.g. between queries).
+    /// Resets times, statistics, phase times and head position (e.g.
+    /// between queries).
     pub fn reset(&mut self) {
         self.io_time = 0.0;
         self.cpu_time = 0.0;
         self.stats = IoStats::default();
         self.head = None;
+        self.phases = PhaseTimes::default();
+        self.open_phase = None;
     }
 
     /// Folds another clock's accumulated time and statistics into this one
@@ -192,6 +210,7 @@ impl SimClock {
         self.io_time += other.io_time;
         self.cpu_time += other.cpu_time;
         self.stats.merge(&other.stats);
+        self.phases.merge(&other.phases);
         self.head = None;
     }
 
@@ -238,6 +257,45 @@ impl SimClock {
     /// Records an injected fault (called by a fault-injecting device).
     pub fn note_fault(&mut self) {
         self.stats.injected_faults += 1;
+    }
+
+    /// Records a block-cache lookup served from memory (called by the
+    /// caching device layer).
+    pub fn note_cache_hit(&mut self) {
+        self.stats.cache_hits += 1;
+    }
+
+    /// Records a block-cache lookup that had to read through (called by
+    /// the caching device layer).
+    pub fn note_cache_miss(&mut self) {
+        self.stats.cache_misses += 1;
+    }
+
+    /// Opens a pipeline phase: simulated and wall time elapse between
+    /// this call and the matching [`SimClock::phase_end`] (or the next
+    /// `phase_begin` — phases are flat, not nested) are attributed to
+    /// `phase`. When every charge happens inside some phase, the phase
+    /// sim times sum exactly to the clock's total time.
+    pub fn phase_begin(&mut self, phase: Phase) {
+        self.phase_end();
+        self.open_phase = Some((phase, self.total_time(), Instant::now()));
+    }
+
+    /// Closes the currently open phase, if any.
+    pub fn phase_end(&mut self) {
+        if let Some((phase, sim0, wall0)) = self.open_phase.take() {
+            self.phases.add(
+                phase,
+                self.total_time() - sim0,
+                wall0.elapsed().as_secs_f64(),
+            );
+        }
+    }
+
+    /// Per-phase times attributed so far (an open phase's tail is not
+    /// included until it ends).
+    pub fn phase_times(&self) -> PhaseTimes {
+        self.phases
     }
 
     /// Charges CPU time for `count` distance-like evaluations over `dim`
@@ -370,6 +428,46 @@ mod tests {
         let seeks = merged.stats().seeks;
         merged.charge_read(2, 8, 1);
         assert_eq!(merged.stats().seeks, seeks + 1);
+    }
+
+    #[test]
+    fn phase_times_sum_to_total_when_all_work_is_phased() {
+        let mut c = SimClock::default();
+        c.phase_begin(Phase::Directory);
+        c.charge_read(1, 0, 4);
+        c.phase_begin(Phase::Filter); // flat: closes Directory
+        c.charge_read(1, 4, 2);
+        c.charge_dist_evals(8, 100);
+        c.phase_begin(Phase::Refine);
+        c.charge_read(2, 0, 1);
+        c.phase_end();
+        let p = c.phase_times();
+        assert!((p.total_sim() - c.total_time()).abs() < 1e-15);
+        assert!(p.sim[Phase::Directory.index()] > 0.0);
+        assert!(p.sim[Phase::Filter.index()] > 0.0);
+        assert!(p.sim[Phase::Refine.index()] > 0.0);
+        assert_eq!(p.sim[Phase::Plan.index()], 0.0);
+        // Absorb folds phases; reset clears them.
+        let mut m = SimClock::default();
+        m.absorb(&c);
+        m.absorb(&c);
+        assert!((m.phase_times().total_sim() - 2.0 * p.total_sim()).abs() < 1e-12);
+        c.reset();
+        assert!(c.phase_times().is_empty());
+    }
+
+    #[test]
+    fn cache_notes_accumulate_and_merge() {
+        let mut a = SimClock::default();
+        a.note_cache_hit();
+        a.note_cache_hit();
+        a.note_cache_miss();
+        assert_eq!(a.stats().cache_hits, 2);
+        assert_eq!(a.stats().cache_misses, 1);
+        let mut b = SimClock::default();
+        b.note_cache_miss();
+        a.absorb(&b);
+        assert_eq!(a.stats().cache_misses, 2);
     }
 
     #[test]

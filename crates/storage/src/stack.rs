@@ -131,6 +131,20 @@ impl DeviceStack {
         Self { dev: f(self.dev) }
     }
 
+    /// Adds a metrics layer reporting this point of the stack's traffic to
+    /// the global registry under `dev_<stage>_*` (latency histograms plus
+    /// operation / block / error counters). Near-free while the global
+    /// registry is disabled.
+    pub fn observe(self, stage: &str) -> Self {
+        Self {
+            dev: Box::new(crate::observe::ObservedDevice::new(
+                self.dev,
+                iq_obs::global(),
+                stage,
+            )),
+        }
+    }
+
     /// Finishes the stack.
     pub fn build(self) -> Box<dyn BlockDevice> {
         self.dev

@@ -16,6 +16,7 @@
 use iq_cost::refine::RefineParams;
 use iq_engine::{AccessMethod, QueryTrace, TopK};
 use iq_geometry::{Dataset, Mbr, Metric};
+use iq_obs::Phase;
 use iq_quantize::{
     unpack_cells, BitWriter, CellMatch, DistTable, ExactPageCodec, GridQuantizer, WindowTable,
 };
@@ -290,10 +291,12 @@ impl VaFile {
             runs: 1,
             ..QueryTrace::default()
         };
+        clock.phase_begin(Phase::Filter);
         let (lower, delta) = self.filter_phase(clock, q, k);
 
         // Candidates that the filter could not prune, by increasing lower
         // bound.
+        clock.phase_begin(Phase::Plan);
         let mut cand: Vec<(f64, u32)> = lower
             .iter()
             .enumerate()
@@ -305,6 +308,7 @@ impl VaFile {
 
         // Phase 2: refine in lower-bound order until the k-th best exact
         // distance undercuts the next lower bound.
+        clock.phase_begin(Phase::Refine);
         let mut best = TopK::new(k);
         let mut p = vec![0.0f32; self.dim];
         for &(lb, id) in &cand {
@@ -316,7 +320,10 @@ impl VaFile {
             trace.refinements += 1;
             best.insert(self.metric.distance_key(&p, q), id);
         }
-        (best.into_results(self.metric), trace)
+        clock.phase_begin(Phase::TopK);
+        let results = best.into_results(self.metric);
+        clock.phase_end();
+        (results, trace)
     }
 
     /// All points inside the query window (unordered ids): one scan of the
@@ -324,6 +331,7 @@ impl VaFile {
     /// straddles the window boundary.
     pub fn window(&self, clock: &mut SimClock, window: &Mbr) -> Vec<u32> {
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
+        clock.phase_begin(Phase::Filter);
         let mut wtable = WindowTable::new();
         wtable.build(&self.mbr, self.bits, window, self.n);
         let entry = self.entry_bytes;
@@ -356,6 +364,7 @@ impl VaFile {
             block += nb;
         }
         clock.charge_dist_evals(self.dim, self.n as u64);
+        clock.phase_begin(Phase::Refine);
         let mut p = vec![0.0f32; self.dim];
         for id in to_verify {
             self.fetch_exact_into(clock, id as usize, &mut p);
@@ -364,6 +373,7 @@ impl VaFile {
                 out.push(id);
             }
         }
+        clock.phase_end();
         out
     }
 
@@ -375,6 +385,7 @@ impl VaFile {
         let key_r = self.metric.distance_to_key(radius);
         // Reuse the filter scan with k = 1 to get lower bounds; re-derive
         // upper bounds from the table for the containment shortcut.
+        clock.phase_begin(Phase::Filter);
         let table = self.dist_table(q);
         let (lower, _) = self.filter_phase(clock, q, 1);
 
@@ -414,6 +425,7 @@ impl VaFile {
             block += nb;
         }
         clock.charge_dist_evals(self.dim, self.n as u64);
+        clock.phase_begin(Phase::Refine);
         let mut p = vec![0.0f32; self.dim];
         for id in to_verify {
             self.fetch_exact_into(clock, id as usize, &mut p);
@@ -422,6 +434,7 @@ impl VaFile {
                 out.push(id);
             }
         }
+        clock.phase_end();
         out
     }
 }

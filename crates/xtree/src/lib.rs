@@ -18,6 +18,7 @@ pub mod split;
 
 use iq_engine::{AccessMethod, QueryTrace, TopK};
 use iq_geometry::{bulk_partition, Dataset, Mbr, Metric};
+use iq_obs::Phase;
 use iq_storage::{BlockDevice, SimClock};
 use node::{DataPage, DirEntry, Node};
 use split::{group_mbr, split_entries, SplitDecision};
@@ -352,6 +353,7 @@ impl XTree {
             }
             match target {
                 Target::Node(id) => {
+                    clock.phase_begin(Phase::Directory);
                     let node = self.read_node(clock, id);
                     clock.charge_dist_evals(self.dim, node.entries.len() as u64);
                     trace.runs += 1;
@@ -369,6 +371,7 @@ impl XTree {
                     }
                 }
                 Target::Page(id) => {
+                    clock.phase_begin(Phase::Filter);
                     let page = self.read_page(clock, id);
                     clock.charge_dist_evals(self.dim, page.len() as u64);
                     trace.runs += 1;
@@ -379,7 +382,10 @@ impl XTree {
                 }
             }
         }
-        (best.into_results(metric), trace)
+        clock.phase_begin(Phase::TopK);
+        let results = best.into_results(metric);
+        clock.phase_end();
+        (results, trace)
     }
 
     /// All points within `radius` of `q` (unordered ids).
@@ -412,6 +418,7 @@ impl XTree {
         clock: &mut SimClock,
         select: impl Fn(&iq_geometry::Mbr) -> bool,
     ) -> Vec<u32> {
+        clock.phase_begin(Phase::Directory);
         let mut pages = Vec::new();
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
@@ -441,6 +448,7 @@ impl XTree {
         pages: &[u32],
         mut visit: impl FnMut(usize, &DataPage),
     ) {
+        clock.phase_begin(Phase::Filter);
         let mut positions: Vec<u64> = pages.iter().map(|&id| self.pages[id as usize]).collect();
         positions.sort_unstable();
         positions.dedup();

@@ -3,10 +3,10 @@
 //! ```text
 //! iq generate --kind uniform --dim 8 --n 10000 --seed 1 --out points.csv
 //! iq build    --input points.csv --index ./myindex [--block 8192] [--metric l2|linf|l1]
-//! iq query    --index ./myindex --point 0.1,0.2,... [--k 5] [--cache-blocks 256]
+//! iq query    --index ./myindex --point 0.1,0.2,... [--k 5] [--trace] [--cache-blocks 256]
 //! iq range    --index ./myindex --point 0.1,0.2,... --radius 0.25
 //! iq batch    --index ./myindex --queries q.csv [--k 5] [--threads 8]
-//! iq stats    --index ./myindex
+//! iq stats    --index ./myindex [--format prometheus|json]
 //! ```
 //!
 //! Points are CSV rows of `f32` coordinates. An index is a directory with
@@ -37,6 +37,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Metrics must be enabled *before* any index is built or opened:
+    // the device stacks only insert their observation layers when the
+    // global registry is already recording at construction time.
+    let metrics_json = opts.get("metrics-json").cloned();
+    if metrics_json.is_some() {
+        iqtree_repro::obs::global().set_enabled(true);
+    }
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "build" => cmd_build(&opts),
@@ -48,6 +55,13 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&opts),
         _ => Err(format!("unknown command `{cmd}`")),
     };
+    if let Some(path) = metrics_json {
+        let json = iqtree_repro::obs::global().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -60,10 +74,10 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   iq generate --kind <uniform|cad|color|weather> --dim <d> --n <count> [--seed <s>] --out <file.csv>
   iq build    --input <file.csv> --index <dir> [--block <bytes>] [--metric <l2|linf|l1>]
-  iq query    --index <dir> --point <x,y,...> [--k <k>] [--cache-blocks <frames>] [--engine <e>]
+  iq query    --index <dir> --point <x,y,...> [--k <k>] [--trace] [--cache-blocks <frames>] [--engine <e>]
   iq range    --index <dir> --point <x,y,...> --radius <r> [--cache-blocks <frames>] [--engine <e>]
   iq batch    --index <dir> --queries <file.csv> [--k <k>] [--threads <t>] [--cache-blocks <frames>] [--engine <e>]
-  iq stats    --index <dir>
+  iq stats    --index <dir> [--format <prometheus|json>] [--cache-blocks <frames>]
   iq verify   --index <dir>
   iq bench    --input <file.csv> [--queries <q>] [--metric <l2|linf|l1>] [--json]
 
@@ -71,7 +85,11 @@ const USAGE: &str = "usage:
 index at --index) or one of the baselines vafile, xtree, scan, which are
 rebuilt in memory from --input <file.csv> (they have no on-disk format).
 --cache-blocks puts an LRU buffer pool of that many frames in front of each
-index file; without it every query is cold, as in the paper's experiments.";
+index file; without it every query is cold, as in the paper's experiments.
+--trace prints the per-phase time breakdown of the query and, where the
+engine has a cost model, predicted vs observed cost.
+--metrics-json <path> (any command) enables the global metrics registry and
+writes its JSON snapshot to <path> on exit.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -321,7 +339,8 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
             eng.dim()
         ));
     }
-    let hits = eng.knn(&mut clock, &point, k);
+    let traced = opts.contains_key("trace");
+    let (hits, trace) = eng.knn_traced(&mut clock, &point, k);
     for (rank, (id, dist)) in hits.iter().enumerate() {
         println!("{:>3}. id {id:>8}  distance {dist:.6}", rank + 1);
     }
@@ -333,7 +352,69 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
         clock.stats().seeks,
         clock.stats().blocks_read,
     );
+    if traced {
+        print_trace(eng.as_ref(), &clock, &trace, k);
+    }
     Ok(())
+}
+
+/// The `--trace` report: per-phase simulated/wall breakdown (the phase
+/// sum equals the simulated total whenever every charge happened inside
+/// a phase), the query's work counters, and — for engines with a cost
+/// model — predicted vs observed page accesses and I/O time.
+fn print_trace(
+    eng: &dyn AccessMethod,
+    clock: &SimClock,
+    trace: &iqtree_repro::engine::QueryTrace,
+    k: usize,
+) {
+    let p = clock.phase_times();
+    let total = clock.total_time();
+    println!("phase breakdown:          simulated        wall");
+    for ph in iqtree_repro::obs::PHASES {
+        println!(
+            "  {:<10} {:>16.4} ms {:>10.4} ms",
+            ph.name(),
+            p.sim[ph.index()] * 1e3,
+            p.wall[ph.index()] * 1e3,
+        );
+    }
+    let covered = if total > 0.0 {
+        p.total_sim() / total * 100.0
+    } else {
+        100.0
+    };
+    println!(
+        "  {:<10} {:>16.4} ms of {:.4} ms total ({covered:.1}% attributed)",
+        "sum",
+        p.total_sim() * 1e3,
+        total * 1e3,
+    );
+    println!(
+        "trace: {} pages processed, {} skipped, {} runs, {} refinements, {} approximations enqueued",
+        trace.pages_processed,
+        trace.pages_skipped,
+        trace.runs,
+        trace.refinements,
+        trace.approx_enqueued,
+    );
+    if trace.degraded() {
+        println!(
+            "       degraded: {} quantized fallbacks, {} pages lost, {} points skipped",
+            trace.quant_fallbacks, trace.pages_lost, trace.points_skipped,
+        );
+    }
+    if let Some(pred) = eng.cost_prediction(k) {
+        let ratio = trace.pages_processed as f64 / pred.pages.max(1e-12);
+        println!(
+            "cost model: predicted {:.1} page accesses (observed {}, ratio {ratio:.2}), \
+             predicted {:.2} ms I/O (observed {:.2} ms)",
+            pred.pages,
+            trace.pages_processed,
+            pred.io_seconds * 1e3,
+            clock.io_time() * 1e3,
+        );
+    }
 }
 
 fn cmd_range(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -483,6 +564,11 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
         .map_or(Ok(20), |s| parse_num(s, "--queries"))?;
     let metric = parse_metric(opts)?;
     let json = opts.contains_key("json");
+    if json {
+        // The JSON report embeds the registry snapshot; recording must be
+        // on before the engines (and their device stacks) are built.
+        iqtree_repro::obs::global().set_enabled(true);
+    }
     let all = data::read_csv(Path::new(input))?;
     if all.len() <= queries {
         return Err(format!("need more than {queries} points for a benchmark"));
@@ -567,6 +653,11 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
              \"naive_points_per_sec\":{:.0},\"speedup\":{:.3}}}",
             filt.kernel_pps, filt.naive_pps, filt.speedup
         ));
+        let registry = iqtree_repro::obs::global().to_json();
+        json_rows.push(format!(
+            "{{\"engine\":\"metrics-registry\",\"registry\":{}}}",
+            registry.trim_end()
+        ));
         println!("[{}]", json_rows.join(","));
     } else {
         println!(
@@ -582,19 +673,44 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     let index = PathBuf::from(req(opts, "index")?);
-    let (tree, _, meta) = open_tree(&index, None)?;
+    let format = opts.get("format").map(String::as_str);
+    // Machine formats export the full metrics registry, so recording must
+    // be on before the index (and its observed device stacks) is opened.
+    let reg = iqtree_repro::obs::global();
+    if format.is_some() {
+        reg.set_enabled(true);
+    }
+    let (tree, _, meta) = open_tree(&index, parse_cache_blocks(opts)?)?;
     let (d, q, e) = tree.storage_blocks();
-    println!("IQ-tree index at {index:?}");
-    println!("  points      : {}", tree.len());
-    println!("  dimension   : {}", meta.dim);
-    println!("  metric      : {:?}", meta.metric);
-    println!("  block size  : {} B", meta.block);
-    println!("  pages       : {}", tree.num_pages());
-    println!("  resolutions : {:?}", tree.bits_histogram());
-    println!("  blocks      : dir {d}, quantized {q}, exact {e}");
-    println!(
-        "  compression : scanned level at {:.0}% of exact",
-        tree.compression_ratio() * 100.0
-    );
+    let Some(format) = format else {
+        println!("IQ-tree index at {index:?}");
+        println!("  points      : {}", tree.len());
+        println!("  dimension   : {}", meta.dim);
+        println!("  metric      : {:?}", meta.metric);
+        println!("  block size  : {} B", meta.block);
+        println!("  pages       : {}", tree.num_pages());
+        println!("  resolutions : {:?}", tree.bits_histogram());
+        println!("  blocks      : dir {d}, quantized {q}, exact {e}");
+        println!(
+            "  compression : scanned level at {:.0}% of exact",
+            tree.compression_ratio() * 100.0
+        );
+        return Ok(());
+    };
+    // Index-shape gauges, exported alongside whatever the open recorded.
+    reg.gauge("index_points").set(tree.len() as f64);
+    reg.gauge("index_dim").set(meta.dim as f64);
+    reg.gauge("index_block_bytes").set(meta.block as f64);
+    reg.gauge("index_pages").set(tree.num_pages() as f64);
+    reg.gauge("index_blocks_dir").set(d as f64);
+    reg.gauge("index_blocks_quant").set(q as f64);
+    reg.gauge("index_blocks_exact").set(e as f64);
+    reg.gauge("index_compression_ratio")
+        .set(tree.compression_ratio());
+    match format {
+        "prometheus" => print!("{}", reg.to_prometheus()),
+        "json" => print!("{}", reg.to_json()),
+        other => return Err(format!("unknown format `{other}` (use prometheus or json)")),
+    }
     Ok(())
 }

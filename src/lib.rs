@@ -5,6 +5,7 @@
 //!
 //! * [`tree`] — the IQ-tree itself (the paper's contribution),
 //! * [`geometry`], [`storage`], [`quantize`], [`cost`], [`cache`] — the substrates,
+//! * [`obs`] — metrics registry, spans, phase times and cost auditing,
 //! * [`data`] — synthetic data sets and fractal-dimension estimation,
 //! * [`scan`], [`vafile`], [`xtree`] — the baselines of the evaluation,
 //! * [`engine`] — the unified query layer ([`engine::AccessMethod`],
@@ -35,11 +36,13 @@
 //! println!("nn = {id} at {dist:.4} (simulated {:.1} ms)", clock.total_time() * 1e3);
 //! ```
 
+pub use iq_bench as bench;
 pub use iq_cache as cache;
 pub use iq_cost as cost;
 pub use iq_data as data;
 pub use iq_engine as engine;
 pub use iq_geometry as geometry;
+pub use iq_obs as obs;
 pub use iq_quantize as quantize;
 pub use iq_scan as scan;
 pub use iq_storage as storage;

@@ -1,0 +1,178 @@
+//! End-to-end smoke test of the observability surface: `iq query
+//! --trace` phase breakdowns, `iq stats --format prometheus|json`
+//! registry exposition and the global `--metrics-json` flag.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn iq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_iq"))
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iq-obs-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Builds a small on-disk index and returns its directory.
+fn build_index(dir: &std::path::Path) -> PathBuf {
+    let csv = dir.join("pts.csv");
+    let idx = dir.join("idx");
+    let out = iq()
+        .args(["generate", "--kind", "uniform", "--dim", "6", "--n", "3000"])
+        .args(["--seed", "5", "--out", csv.to_str().expect("utf8")])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    let out = iq()
+        .args(["build", "--input", csv.to_str().expect("utf8")])
+        .args(["--index", idx.to_str().expect("utf8"), "--block", "2048"])
+        .output()
+        .expect("run build");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    idx
+}
+
+#[test]
+fn query_trace_phases_sum_to_total() {
+    let dir = temp_dir();
+    let idx = build_index(&dir);
+    let out = iq()
+        .args(["query", "--index", idx.to_str().expect("utf8")])
+        .args(["--point", "0.4,0.5,0.6,0.4,0.5,0.6", "--k", "5", "--trace"])
+        .output()
+        .expect("run query --trace");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for phase in ["directory", "plan", "filter", "refine", "topk"] {
+        assert!(
+            stdout.contains(phase),
+            "missing phase {phase} in:\n{stdout}"
+        );
+    }
+    // Acceptance: the phase times must sum to within 5% of the total
+    // simulated query time. The sum line prints the attributed share.
+    let attributed: f64 = stdout
+        .lines()
+        .find(|l| l.contains("% attributed"))
+        .and_then(|l| l.split('(').nth(1))
+        .and_then(|t| t.split('%').next())
+        .and_then(|t| t.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no attributed percentage in:\n{stdout}"));
+    assert!(
+        (attributed - 100.0).abs() <= 5.0,
+        "phase sum covers {attributed}% of the query time:\n{stdout}"
+    );
+    assert!(stdout.contains("pages processed"), "{stdout}");
+    assert!(stdout.contains("cost model: predicted"), "{stdout}");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn stats_exports_registry_in_both_formats() {
+    let dir = temp_dir();
+    let idx = build_index(&dir);
+
+    let out = iq()
+        .args(["stats", "--index", idx.to_str().expect("utf8")])
+        .args(["--format", "prometheus"])
+        .output()
+        .expect("run stats prometheus");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let prom = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        prom.contains("# TYPE dev_dir_raw_reads_total counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("# TYPE index_points gauge"), "{prom}");
+    assert!(prom.contains("index_points 3000"), "{prom}");
+    assert!(
+        prom.contains("dev_dir_raw_read_seconds_bucket{le="),
+        "{prom}"
+    );
+
+    let out = iq()
+        .args(["stats", "--index", idx.to_str().expect("utf8")])
+        .args(["--format", "json"])
+        .output()
+        .expect("run stats json");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "\"index_points\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced JSON:\n{json}"
+    );
+
+    let out = iq()
+        .args(["stats", "--index", idx.to_str().expect("utf8")])
+        .args(["--format", "yaml"])
+        .output()
+        .expect("run stats with bad format");
+    assert!(!out.status.success(), "unknown format must fail");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn metrics_json_flag_writes_registry_snapshot() {
+    let dir = temp_dir();
+    let idx = build_index(&dir);
+    let path = dir.join("metrics.json");
+    let out = iq()
+        .args(["query", "--index", idx.to_str().expect("utf8")])
+        .args(["--point", "0.1,0.9,0.1,0.9,0.1,0.9", "--k", "2"])
+        .args(["--cache-blocks", "32"])
+        .args(["--metrics-json", path.to_str().expect("utf8")])
+        .output()
+        .expect("run query with --metrics-json");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).expect("metrics file written");
+    // Schema: the three top-level sections, per-layer device metrics for
+    // every index level and the cache counters plumbed from CachedDevice.
+    for key in [
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "dev_dir_raw_reads_total",
+        "dev_quant_checksum_reads_total",
+        "dev_exact_cache_reads_total",
+        "cache_hits_total",
+        "cache_misses_total",
+        "\"p50\"",
+        "\"buckets\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in metrics file:\n{json}");
+    }
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
