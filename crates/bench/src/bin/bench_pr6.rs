@@ -1,0 +1,12 @@
+//! Runs the parallel-build thread sweep (1, 2, 4 and 8 explicitly spawned
+//! workers, byte-identity checked against the sequential encode) and
+//! writes `BENCH_PR6.json`. `IQ_QUICK=1` shrinks the run for CI smoke
+//! tests.
+
+fn main() {
+    let quick = std::env::var("IQ_QUICK").map(|v| v == "1").unwrap_or(false);
+    let json = iq_bench::kernels::run_pr6(quick);
+    print!("{json}");
+    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
+    eprintln!("wrote BENCH_PR6.json");
+}

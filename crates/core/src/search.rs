@@ -17,7 +17,7 @@
 
 use crate::{IqTree, PageMeta};
 use iq_cost::access_prob::fraction_in_ball;
-use iq_engine::{AccessMethod, TopK};
+use iq_engine::{AccessMethod, Filter, TopK};
 use iq_obs::{CostPrediction, Phase};
 use iq_quantize::{CellMatch, DistTable, WindowTable, EXACT_BITS};
 use iq_storage::{fetch, read_to_vec_retry, SimClock};
@@ -57,7 +57,11 @@ impl Ord for Key {
 }
 
 /// Per-query working state.
-struct SearchState {
+struct SearchState<'f> {
+    /// Pushed-down attribute filter: non-matching points never enter the
+    /// result set or the priority list, so the pruning bound (and with it
+    /// MINDIST page pruning) derives only from matching points.
+    filter: Option<&'f Filter>,
     /// MINDIST key of every page.
     page_key: Vec<f64>,
     /// Page indices sorted by ascending MINDIST key (priority order).
@@ -78,7 +82,7 @@ struct SearchState {
     table: DistTable,
 }
 
-impl SearchState {
+impl SearchState<'_> {
     /// The pruning bound in key space (k-th best exact distance).
     fn bound(&self) -> f64 {
         self.best.bound()
@@ -134,8 +138,21 @@ impl IqTree {
         q: &[f32],
         k: usize,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
+        self.knn_traced_impl(clock, q, k, None)
+    }
+
+    /// Shared search core; a pushed-down `filter` drops non-matching points
+    /// at page-decode time (level 2), so they never enter the priority list
+    /// and are never refined, and `k` counts post-filter results.
+    fn knn_traced_impl(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
         assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
-        if k == 0 || self.is_empty() {
+        if k == 0 || self.is_empty() || filter.is_some_and(|f| f.matching() == 0) {
             return (Vec::new(), QueryTrace::default());
         }
         clock.phase_begin(Phase::Directory);
@@ -145,6 +162,7 @@ impl IqTree {
         let metric = self.metric();
         let n_pages = self.pages().len();
         let mut st = SearchState {
+            filter,
             page_key: Vec::with_capacity(n_pages),
             order: Vec::new(),
             rank: Vec::new(),
@@ -231,7 +249,7 @@ impl IqTree {
         clock: &mut SimClock,
         q: &[f32],
         p: usize,
-        st: &mut SearchState,
+        st: &mut SearchState<'_>,
         heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
     ) {
         let block = self.pages()[p].quant_block;
@@ -253,7 +271,7 @@ impl IqTree {
         clock: &mut SimClock,
         q: &[f32],
         pivot: usize,
-        st: &mut SearchState,
+        st: &mut SearchState<'_>,
         heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
     ) {
         clock.phase_begin(Phase::Plan);
@@ -385,7 +403,7 @@ impl IqTree {
         q: &[f32],
         p: usize,
         bytes: &[u8],
-        st: &mut SearchState,
+        st: &mut SearchState<'_>,
         heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
     ) {
         clock.phase_begin(Phase::Filter);
@@ -403,6 +421,7 @@ impl IqTree {
         };
         clock.charge_dist_evals(self.dim(), view.len() as u64);
         let SearchState {
+            filter,
             best,
             trace,
             cells,
@@ -410,12 +429,15 @@ impl IqTree {
             table,
             ..
         } = st;
+        let filter = *filter;
         trace.pages_processed += 1;
         if view.bits() == EXACT_BITS {
             view.for_each_entry(cells, |id, bits| {
-                coords.clear();
-                coords.extend(bits.iter().map(|&b| f32::from_bits(b)));
-                best.insert(metric.distance_key(coords, q), id);
+                if filter.is_none_or(|f| f.matches(id)) {
+                    coords.clear();
+                    coords.extend(bits.iter().map(|&b| f32::from_bits(b)));
+                    best.insert(metric.distance_key(coords, q), id);
+                }
             });
         } else {
             let meta: &PageMeta = &self.pages()[p];
@@ -425,10 +447,14 @@ impl IqTree {
             let bound = best.bound();
             let mut slot = 0u32;
             view.for_each_entry(cells, |id, cs| {
-                let key = table.mindist_key(cs);
-                if key < bound {
-                    trace.approx_enqueued += 1;
-                    heap.push(Reverse((Key(key), Item::Point(p as u32, slot, id))));
+                // Filtered-out points never enter the priority list: they
+                // are neither refined nor allowed to influence the bound.
+                if filter.is_none_or(|f| f.matches(id)) {
+                    let key = table.mindist_key(cs);
+                    if key < bound {
+                        trace.approx_enqueued += 1;
+                        heap.push(Reverse((Key(key), Item::Point(p as u32, slot, id))));
+                    }
                 }
                 slot += 1;
             });
@@ -441,7 +467,7 @@ impl IqTree {
     /// self-contained `(id, coords)` entries, so the page contributes at
     /// full precision, just without approximation pruning. Pages quantized
     /// at 32 bits have no level-3 backing; their points are reported lost.
-    fn fallback_page(&self, clock: &mut SimClock, q: &[f32], p: usize, st: &mut SearchState) {
+    fn fallback_page(&self, clock: &mut SimClock, q: &[f32], p: usize, st: &mut SearchState<'_>) {
         clock.phase_begin(Phase::Refine);
         let meta = &self.pages()[p];
         if meta.g == EXACT_BITS || meta.exact_blocks == 0 {
@@ -462,11 +488,13 @@ impl IqTree {
         let eb = self.exact_codec().entry_bytes();
         clock.charge_dist_evals(self.dim(), u64::from(meta.count));
         let SearchState {
+            filter,
             best,
             trace,
             coords,
             ..
         } = st;
+        let filter = *filter;
         coords.resize(self.dim(), 0.0);
         for i in 0..meta.count as usize {
             let Some(bytes) = region.get(i * eb..(i + 1) * eb) else {
@@ -475,7 +503,9 @@ impl IqTree {
             };
             match self.exact_codec().try_decode_entry_into(bytes, coords) {
                 Ok(id) => {
-                    best.insert(metric.distance_key(coords, q), id);
+                    if filter.is_none_or(|f| f.matches(id)) {
+                        best.insert(metric.distance_key(coords, q), id);
+                    }
                 }
                 Err(_) => trace.points_skipped += 1,
             }
@@ -867,6 +897,17 @@ impl AccessMethod for IqTree {
         k: usize,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
         IqTree::knn_traced(self, clock, q, k)
+    }
+
+    fn knn_filtered_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        // True pushdown into the level-2 filter phase — no top-up rounds.
+        self.knn_traced_impl(clock, q, k, filter)
     }
 
     fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {

@@ -1,0 +1,256 @@
+//! Per-point attribute columns and the predicates that filter on them.
+//!
+//! Real vector workloads rarely query the whole collection: rows carry
+//! scalar attributes (a label, a timestamp bucket, a shard id) and queries
+//! ask for the nearest neighbors *among rows matching a predicate* (cf.
+//! the lantern SQL fixtures and the Lance filtered-query pipeline). This
+//! module stores the attributes column-wise and compiles a [`Predicate`]
+//! into the engine layer's [`Filter`] bitset once, before the search runs.
+
+use iq_engine::Filter;
+
+/// Named integer attribute columns, one row per indexed point (row `i`
+/// belongs to point id `i`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AttrTable {
+    names: Vec<String>,
+    cols: Vec<Vec<i64>>,
+}
+
+impl AttrTable {
+    /// An empty table with no columns (every predicate fails to compile).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty table with the given column names.
+    ///
+    /// # Panics
+    /// Panics if a name repeats.
+    pub fn with_columns(names: Vec<String>) -> Self {
+        for (i, n) in names.iter().enumerate() {
+            assert!(!names[..i].contains(n), "duplicate attribute column `{n}`");
+        }
+        let cols = names.iter().map(|_| Vec::new()).collect();
+        Self { names, cols }
+    }
+
+    /// Appends one row (one value per column, in declaration order).
+    ///
+    /// # Panics
+    /// Panics if `row.len()` mismatches the column count.
+    pub fn push_row(&mut self, row: &[i64]) {
+        assert_eq!(row.len(), self.names.len(), "attribute row arity mismatch");
+        for (col, &v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cols.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the table has no rows (a table with no columns is empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Declared column names, in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The values of column `name`, if it exists.
+    pub fn column(&self, name: &str) -> Option<&[i64]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.cols[i].as_slice())
+    }
+
+    /// One row's values, in column order.
+    pub fn row(&self, i: usize) -> Vec<i64> {
+        self.cols.iter().map(|c| c[i]).collect()
+    }
+}
+
+/// A filter predicate over one attribute column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// `column` ∈ `values`.
+    In { column: String, values: Vec<i64> },
+    /// `lo <= column <= hi` (inclusive on both ends).
+    Range { column: String, lo: i64, hi: i64 },
+}
+
+impl Predicate {
+    /// Parses the CLI surface syntax:
+    ///
+    /// * `col in v1,v2,...` — membership,
+    /// * `col range lo..hi` — inclusive range,
+    /// * `col = v` — shorthand for a one-element `in`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if let Some((col, rest)) = s.split_once(" in ") {
+            let values = rest
+                .split(',')
+                .map(|v| {
+                    v.trim()
+                        .parse::<i64>()
+                        .map_err(|_| format!("bad integer `{}` in filter", v.trim()))
+                })
+                .collect::<Result<Vec<i64>, String>>()?;
+            if values.is_empty() {
+                return Err("empty `in` list".into());
+            }
+            return Ok(Predicate::In {
+                column: col.trim().to_string(),
+                values,
+            });
+        }
+        if let Some((col, rest)) = s.split_once(" range ") {
+            let (lo, hi) = rest
+                .split_once("..")
+                .ok_or_else(|| format!("expected `lo..hi` after `range`, got `{rest}`"))?;
+            let lo = lo
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| format!("bad integer `{}` in filter", lo.trim()))?;
+            let hi = hi
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| format!("bad integer `{}` in filter", hi.trim()))?;
+            if lo > hi {
+                return Err(format!("empty range {lo}..{hi}"));
+            }
+            return Ok(Predicate::Range {
+                column: col.trim().to_string(),
+                lo,
+                hi,
+            });
+        }
+        if let Some((col, v)) = s.split_once('=') {
+            let v = v
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| format!("bad integer `{}` in filter", v.trim()))?;
+            return Ok(Predicate::In {
+                column: col.trim().to_string(),
+                values: vec![v],
+            });
+        }
+        Err(format!(
+            "unparseable filter `{s}` (use `col in v1,v2`, `col range lo..hi` or `col = v`)"
+        ))
+    }
+
+    /// The column the predicate filters on.
+    pub fn column(&self) -> &str {
+        match self {
+            Predicate::In { column, .. } | Predicate::Range { column, .. } => column,
+        }
+    }
+
+    /// Compiles the predicate against `attrs` into an id-bitset [`Filter`]
+    /// over the domain `0..attrs.len()`.
+    pub fn compile(&self, attrs: &AttrTable) -> Result<Filter, String> {
+        let col = attrs.column(self.column()).ok_or_else(|| {
+            format!(
+                "unknown attribute column `{}` (have: {})",
+                self.column(),
+                attrs.names().join(", ")
+            )
+        })?;
+        Ok(match self {
+            Predicate::In { values, .. } => {
+                Filter::from_fn(col.len(), |id| values.contains(&col[id as usize]))
+            }
+            Predicate::Range { lo, hi, .. } => {
+                Filter::from_fn(col.len(), |id| (*lo..=*hi).contains(&col[id as usize]))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> AttrTable {
+        let mut t = AttrTable::with_columns(vec!["label".into(), "weight".into()]);
+        for i in 0..100i64 {
+            t.push_row(&[i % 10, i]);
+        }
+        t
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let t = table();
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.names(), &["label".to_string(), "weight".to_string()]);
+        assert_eq!(t.column("label").unwrap()[13], 3);
+        assert_eq!(t.row(13), vec![3, 13]);
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!(
+            Predicate::parse("label in 1,2,3").unwrap(),
+            Predicate::In {
+                column: "label".into(),
+                values: vec![1, 2, 3]
+            }
+        );
+        assert_eq!(
+            Predicate::parse("weight range 10..20").unwrap(),
+            Predicate::Range {
+                column: "weight".into(),
+                lo: 10,
+                hi: 20
+            }
+        );
+        assert_eq!(
+            Predicate::parse("label = 7").unwrap(),
+            Predicate::In {
+                column: "label".into(),
+                values: vec![7]
+            }
+        );
+        assert!(Predicate::parse("label").is_err());
+        assert!(Predicate::parse("label in ").is_err());
+        assert!(Predicate::parse("w range 9..2").is_err());
+    }
+
+    #[test]
+    fn compile_in_and_range() {
+        let t = table();
+        let f = Predicate::parse("label in 0,5")
+            .unwrap()
+            .compile(&t)
+            .unwrap();
+        assert_eq!(f.matching(), 20);
+        assert!(f.matches(0));
+        assert!(f.matches(5));
+        assert!(!f.matches(1));
+        let f = Predicate::parse("weight range 90..99")
+            .unwrap()
+            .compile(&t)
+            .unwrap();
+        assert_eq!(f.matching(), 10);
+        assert!(f.matches(99));
+        assert!(!f.matches(89));
+    }
+
+    #[test]
+    fn compile_unknown_column_fails() {
+        let t = table();
+        let err = Predicate::parse("shard = 1")
+            .unwrap()
+            .compile(&t)
+            .unwrap_err();
+        assert!(err.contains("unknown attribute column"), "{err}");
+    }
+}

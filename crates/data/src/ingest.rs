@@ -1,0 +1,475 @@
+//! Real-dataset ingestion: fvecs/bvecs (the SIFT/GloVe interchange
+//! formats) and CSV with bracketed vector literals plus attribute columns
+//! (the lantern fixture shape, `"[0,1,0]",4,7`).
+//!
+//! Every reader validates structure up front — consistent dimensionality,
+//! sane headers, no truncated trailing vector — and reports malformed
+//! input as a typed [`IqError::Decode`] rather than panicking or silently
+//! clipping: ingested files come from outside the system and are the one
+//! input the repo must never trust.
+
+use crate::attrs::AttrTable;
+use iq_geometry::Dataset;
+use iq_storage::{IqError, IqResult};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Upper bound on a declared vector dimensionality. fvecs headers are raw
+/// little-endian u32s, so a corrupt or foreign file shows up as an absurd
+/// dimension; rejecting it early beats attempting a multi-gigabyte
+/// allocation.
+const MAX_DIM: u32 = 65_536;
+
+/// A point set together with its per-point attribute columns (empty for
+/// formats that carry none).
+#[derive(Clone, Debug, Default)]
+pub struct VectorDataset {
+    /// The vectors, row id = point id.
+    pub points: Dataset,
+    /// Attribute columns; when non-empty, `attrs.len() == points.len()`.
+    pub attrs: AttrTable,
+}
+
+impl VectorDataset {
+    /// A dataset with no attributes.
+    pub fn bare(points: Dataset) -> Self {
+        Self {
+            points,
+            attrs: AttrTable::new(),
+        }
+    }
+}
+
+fn decode_err(detail: String) -> IqError {
+    IqError::Decode { detail }
+}
+
+fn io_err(op: &'static str, e: &std::io::Error) -> IqError {
+    IqError::Io {
+        op,
+        block: 0,
+        transient: e.kind() == std::io::ErrorKind::Interrupted,
+        detail: e.to_string(),
+    }
+}
+
+/// Decodes an fvecs byte buffer: per vector, a little-endian `u32`
+/// dimension header followed by `dim` little-endian `f32`s.
+pub fn decode_fvecs(bytes: &[u8]) -> IqResult<Dataset> {
+    decode_vecs(bytes, 4, |ds, payload| {
+        let mut row = Vec::with_capacity(payload.len() / 4);
+        for c in payload.chunks_exact(4) {
+            let x = f32::from_le_bytes(c.try_into().expect("4 bytes"));
+            if !x.is_finite() {
+                return Err(decode_err(format!(
+                    "fvecs vector {}: non-finite coordinate",
+                    ds.len()
+                )));
+            }
+            row.push(x);
+        }
+        ds.push(&row);
+        Ok(())
+    })
+}
+
+/// Decodes a bvecs byte buffer (same layout as fvecs with `u8` payload
+/// components, as in the SIFT1B distribution); components widen to `f32`.
+pub fn decode_bvecs(bytes: &[u8]) -> IqResult<Dataset> {
+    decode_vecs(bytes, 1, |ds, payload| {
+        let row: Vec<f32> = payload.iter().map(|&b| f32::from(b)).collect();
+        ds.push(&row);
+        Ok(())
+    })
+}
+
+/// Shared fvecs/bvecs frame walk: validates each `u32` dimension header
+/// against the first, checks the payload is fully present, and hands it to
+/// `push`.
+fn decode_vecs(
+    bytes: &[u8],
+    comp_bytes: usize,
+    mut push: impl FnMut(&mut Dataset, &[u8]) -> IqResult<()>,
+) -> IqResult<Dataset> {
+    let mut off = 0usize;
+    let mut ds: Option<Dataset> = None;
+    while off < bytes.len() {
+        let Some(header) = bytes.get(off..off + 4) else {
+            return Err(decode_err(format!(
+                "truncated vector header at byte {off} (file length {})",
+                bytes.len()
+            )));
+        };
+        let dim = u32::from_le_bytes(header.try_into().expect("4 bytes"));
+        if dim == 0 || dim > MAX_DIM {
+            return Err(decode_err(format!(
+                "implausible dimension {dim} in vector header at byte {off}"
+            )));
+        }
+        let ds = match &mut ds {
+            Some(ds) => {
+                if dim as usize != ds.dim() {
+                    return Err(decode_err(format!(
+                        "inconsistent dimension at byte {off}: header says {dim}, file started with {}",
+                        ds.dim()
+                    )));
+                }
+                ds
+            }
+            None => ds.insert(Dataset::new(dim as usize)),
+        };
+        let payload_len = dim as usize * comp_bytes;
+        let Some(payload) = bytes.get(off + 4..off + 4 + payload_len) else {
+            return Err(decode_err(format!(
+                "truncated vector payload at byte {} (need {payload_len} bytes, have {})",
+                off + 4,
+                bytes.len() - off - 4
+            )));
+        };
+        push(ds, payload)?;
+        off += 4 + payload_len;
+    }
+    ds.ok_or_else(|| decode_err("empty vector file".into()))
+}
+
+/// Encodes `ds` in the fvecs layout.
+pub fn encode_fvecs(ds: &Dataset) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ds.len() * (4 + ds.dim() * 4));
+    for p in ds.iter() {
+        out.extend_from_slice(&(ds.dim() as u32).to_le_bytes());
+        for &c in p {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Reads an fvecs file.
+pub fn read_fvecs(path: &Path) -> IqResult<Dataset> {
+    let bytes = std::fs::read(path).map_err(|e| io_err("read fvecs", &e))?;
+    decode_fvecs(&bytes)
+}
+
+/// Writes `ds` as an fvecs file.
+pub fn write_fvecs(path: &Path, ds: &Dataset) -> IqResult<()> {
+    std::fs::write(path, encode_fvecs(ds)).map_err(|e| io_err("write fvecs", &e))
+}
+
+/// Reads a bvecs file (components widen to `f32`).
+pub fn read_bvecs(path: &Path) -> IqResult<Dataset> {
+    let bytes = std::fs::read(path).map_err(|e| io_err("read bvecs", &e))?;
+    decode_bvecs(&bytes)
+}
+
+/// Writes `ds` as a bvecs file. Every coordinate must be an integer in
+/// `0..=255` (bvecs stores bytes); anything else is a [`IqError::Decode`].
+pub fn write_bvecs(path: &Path, ds: &Dataset) -> IqResult<()> {
+    let mut out = Vec::with_capacity(ds.len() * (4 + ds.dim()));
+    for (i, p) in ds.iter().enumerate() {
+        out.extend_from_slice(&(ds.dim() as u32).to_le_bytes());
+        for &c in p {
+            if c.fract() != 0.0 || !(0.0..=255.0).contains(&c) {
+                return Err(decode_err(format!(
+                    "vector {i}: coordinate {c} does not fit a bvecs byte"
+                )));
+            }
+            out.push(c as u8);
+        }
+    }
+    std::fs::write(path, out).map_err(|e| io_err("write bvecs", &e))
+}
+
+/// Reads a CSV file whose rows carry a bracketed vector literal followed
+/// by optional integer attribute columns:
+///
+/// ```text
+/// # attrs: label,weight
+/// [0.1,0.2,0.3],4,70
+/// [0.0,1.0,0.5],2,13
+/// ```
+///
+/// The `# attrs:` header names the attribute columns; without it, columns
+/// are named `a0, a1, ...` after the first data row fixes their count.
+/// Plain (bracket-free) CSV rows are accepted too and carry no attributes.
+pub fn read_vec_csv(path: &Path) -> IqResult<VectorDataset> {
+    let file = std::fs::File::open(path).map_err(|e| io_err("read csv", &e))?;
+    let reader = BufReader::new(file);
+    let mut names: Option<Vec<String>> = None;
+    let mut points: Option<Dataset> = None;
+    let mut attrs: Option<AttrTable> = None;
+    let mut row: Vec<f32> = Vec::new();
+    let mut avals: Vec<i64> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| io_err("read csv", &e))?;
+        let lineno = lineno + 1;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('#') {
+            if let Some(list) = rest.trim().strip_prefix("attrs:") {
+                names = Some(
+                    list.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            continue; // other comments are ignored
+        }
+        let (vec_part, attr_part) = if let Some(body) = t.strip_prefix('[') {
+            let (inner, rest) = body
+                .split_once(']')
+                .ok_or_else(|| decode_err(format!("line {lineno}: unterminated vector literal")))?;
+            (inner, rest.trim_start_matches(',').trim())
+        } else {
+            (t, "")
+        };
+        row.clear();
+        for tok in vec_part.split(',') {
+            let x: f32 = tok.trim().parse().map_err(|_| {
+                decode_err(format!(
+                    "line {lineno}: invalid coordinate `{}`",
+                    tok.trim()
+                ))
+            })?;
+            if !x.is_finite() {
+                return Err(decode_err(format!("line {lineno}: non-finite coordinate")));
+            }
+            row.push(x);
+        }
+        avals.clear();
+        if !attr_part.is_empty() {
+            for tok in attr_part.split(',') {
+                let v: i64 = tok.trim().parse().map_err(|_| {
+                    decode_err(format!("line {lineno}: invalid attribute `{}`", tok.trim()))
+                })?;
+                avals.push(v);
+            }
+        }
+        let points = points.get_or_insert_with(|| Dataset::new(row.len()));
+        if row.len() != points.dim() {
+            return Err(decode_err(format!(
+                "line {lineno}: expected {} coordinates, got {}",
+                points.dim(),
+                row.len()
+            )));
+        }
+        let attrs = attrs.get_or_insert_with(|| {
+            let names = names
+                .clone()
+                .unwrap_or_else(|| (0..avals.len()).map(|i| format!("a{i}")).collect());
+            AttrTable::with_columns(names)
+        });
+        if avals.len() != attrs.names().len() {
+            return Err(decode_err(format!(
+                "line {lineno}: expected {} attributes, got {}",
+                attrs.names().len(),
+                avals.len()
+            )));
+        }
+        points.push(&row);
+        attrs.push_row(&avals);
+    }
+    let points = points.ok_or_else(|| decode_err(format!("{path:?} contains no points")))?;
+    Ok(VectorDataset {
+        points,
+        attrs: attrs.unwrap_or_default(),
+    })
+}
+
+/// Writes `vd` in the bracketed-vector CSV layout [`read_vec_csv`] reads,
+/// including the `# attrs:` header when attribute columns exist.
+pub fn write_vec_csv(path: &Path, vd: &VectorDataset) -> IqResult<()> {
+    let file = std::fs::File::create(path).map_err(|e| io_err("write csv", &e))?;
+    let mut w = BufWriter::new(file);
+    let has_attrs = !vd.attrs.names().is_empty();
+    if has_attrs {
+        assert_eq!(
+            vd.attrs.len(),
+            vd.points.len(),
+            "one attribute row per point"
+        );
+        writeln!(w, "# attrs: {}", vd.attrs.names().join(","))
+            .map_err(|e| io_err("write csv", &e))?;
+    }
+    let mut line = String::new();
+    for (i, p) in vd.points.iter().enumerate() {
+        line.clear();
+        line.push('[');
+        for (j, x) in p.iter().enumerate() {
+            if j > 0 {
+                line.push(',');
+            }
+            line.push_str(&x.to_string());
+        }
+        line.push(']');
+        if has_attrs {
+            for v in vd.attrs.row(i) {
+                line.push(',');
+                line.push_str(&v.to_string());
+            }
+        }
+        writeln!(w, "{line}").map_err(|e| io_err("write csv", &e))?;
+    }
+    w.flush().map_err(|e| io_err("write csv", &e))
+}
+
+/// Reads a dataset from `path`, dispatching on the extension: `.fvecs`,
+/// `.bvecs`, or CSV (bracketed-literal or plain) for everything else.
+pub fn read_auto(path: &Path) -> IqResult<VectorDataset> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("fvecs") => Ok(VectorDataset::bare(read_fvecs(path)?)),
+        Some("bvecs") => Ok(VectorDataset::bare(read_bvecs(path)?)),
+        _ => read_vec_csv(path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("iq-data-ingest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(name)
+    }
+
+    fn sample(n: usize, dim: usize) -> Dataset {
+        let mut ds = Dataset::with_capacity(dim, n);
+        let mut x = 0.37f32;
+        let mut row = vec![0.0f32; dim];
+        for _ in 0..n {
+            for r in &mut row {
+                x = (x * 31.7 + 0.11).fract();
+                *r = x;
+            }
+            ds.push(&row);
+        }
+        ds
+    }
+
+    #[test]
+    fn fvecs_roundtrip_is_byte_identical() {
+        let ds = sample(200, 7);
+        let path = temp_file("rt.fvecs");
+        write_fvecs(&path, &ds).expect("write");
+        let back = read_fvecs(&path).expect("read");
+        assert_eq!(back.dim(), 7);
+        assert_eq!(back.len(), 200);
+        assert_eq!(ds.as_flat(), back.as_flat(), "f32s must round-trip exactly");
+        // And the encoded bytes themselves round-trip.
+        assert_eq!(encode_fvecs(&back), std::fs::read(&path).unwrap());
+    }
+
+    #[test]
+    fn bvecs_roundtrip() {
+        let mut ds = Dataset::new(4);
+        for i in 0..50 {
+            ds.push(&[i as f32, 255.0, 0.0, (i * 3 % 256) as f32]);
+        }
+        let path = temp_file("rt.bvecs");
+        write_bvecs(&path, &ds).expect("write");
+        let back = read_bvecs(&path).expect("read");
+        assert_eq!(ds.as_flat(), back.as_flat());
+    }
+
+    #[test]
+    fn bvecs_write_rejects_non_bytes() {
+        let ds = Dataset::from_flat(2, vec![0.5, 1.0]);
+        assert!(matches!(
+            write_bvecs(&temp_file("bad.bvecs"), &ds),
+            Err(IqError::Decode { .. })
+        ));
+    }
+
+    #[test]
+    fn fvecs_malformed_headers_are_typed_errors() {
+        // Truncated header.
+        let e = decode_fvecs(&[1, 0]).unwrap_err();
+        assert!(matches!(e, IqError::Decode { ref detail } if detail.contains("truncated")));
+        // Zero dimension.
+        let e = decode_fvecs(&0u32.to_le_bytes()).unwrap_err();
+        assert!(matches!(e, IqError::Decode { ref detail } if detail.contains("implausible")));
+        // Absurd dimension (a foreign binary file).
+        let e = decode_fvecs(&u32::MAX.to_le_bytes()).unwrap_err();
+        assert!(matches!(e, IqError::Decode { ref detail } if detail.contains("implausible")));
+        // Truncated payload.
+        let mut bytes = 3u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        let e = decode_fvecs(&bytes).unwrap_err();
+        assert!(matches!(e, IqError::Decode { ref detail } if detail.contains("payload")));
+        // Inconsistent dimension between vectors.
+        let mut bytes = encode_fvecs(&Dataset::from_flat(2, vec![1.0, 2.0]));
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        let e = decode_fvecs(&bytes).unwrap_err();
+        assert!(matches!(e, IqError::Decode { ref detail } if detail.contains("inconsistent")));
+        // Empty file.
+        assert!(decode_fvecs(&[]).is_err());
+    }
+
+    #[test]
+    fn vec_csv_roundtrip_with_attrs() {
+        let points = sample(60, 3);
+        let mut attrs = AttrTable::with_columns(vec!["label".into(), "w".into()]);
+        for i in 0..60i64 {
+            attrs.push_row(&[i % 5, i * 10]);
+        }
+        let vd = VectorDataset { points, attrs };
+        let path = temp_file("rt.csv");
+        write_vec_csv(&path, &vd).expect("write");
+        let back = read_vec_csv(&path).expect("read");
+        assert_eq!(back.points.as_flat(), vd.points.as_flat());
+        assert_eq!(back.attrs, vd.attrs);
+    }
+
+    #[test]
+    fn vec_csv_literal_forms() {
+        let path = temp_file("forms.csv");
+        std::fs::write(&path, "[0,1,0],7\n[1,0,1],9\n").expect("write");
+        let vd = read_vec_csv(&path).expect("read");
+        assert_eq!(vd.points.len(), 2);
+        assert_eq!(vd.points.point(0), &[0.0, 1.0, 0.0]);
+        assert_eq!(vd.attrs.names(), &["a0".to_string()]);
+        assert_eq!(vd.attrs.column("a0").unwrap(), &[7, 9]);
+        // Plain rows (no brackets) still parse, attribute-free.
+        std::fs::write(&path, "0.5,0.25\n0.75,1.5\n").expect("write");
+        let vd = read_vec_csv(&path).expect("read");
+        assert_eq!(vd.points.len(), 2);
+        assert!(vd.attrs.names().is_empty());
+    }
+
+    #[test]
+    fn vec_csv_rejects_malformed() {
+        let path = temp_file("bad.csv");
+        for (content, needle) in [
+            ("[1,2", "unterminated"),
+            ("[1,x]", "invalid coordinate"),
+            ("[1,2],z", "invalid attribute"),
+            ("[1,2],3\n[1,2,3],4\n", "expected 2 coordinates"),
+            ("[1,2],3\n[1,2]\n", "expected 1 attributes"),
+            ("", "no points"),
+        ] {
+            std::fs::write(&path, content).expect("write");
+            let e = read_vec_csv(&path).expect_err(content);
+            match e {
+                IqError::Decode { ref detail } => {
+                    assert!(detail.contains(needle), "`{content}` -> {detail}")
+                }
+                other => panic!("`{content}` -> unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn read_auto_dispatches_on_extension() {
+        let ds = sample(20, 4);
+        let f = temp_file("auto.fvecs");
+        write_fvecs(&f, &ds).expect("write");
+        assert_eq!(read_auto(&f).expect("fvecs").points.as_flat(), ds.as_flat());
+        let c = temp_file("auto.csv");
+        write_vec_csv(&c, &VectorDataset::bare(ds.clone())).expect("write");
+        assert_eq!(read_auto(&c).expect("csv").points.as_flat(), ds.as_flat());
+    }
+}

@@ -1,0 +1,215 @@
+//! Attribute filters and paginated k-NN — the query shapes modern vector
+//! stores serve (cf. the Lance query pipeline): "give me the k nearest
+//! neighbors *among the rows matching this predicate*, then slice the
+//! answer with `limit`/`offset`".
+//!
+//! A [`Filter`] is a precompiled id-bitset: predicate evaluation happens
+//! once, against the attribute table, before the search starts; the search
+//! itself only asks `matches(id)` in its hot loops. `k` counts results
+//! *after* filtering (the Lance ≥ 0.5.0 convention), and every engine must
+//! return the exact post-filter top-k — either through its own pushdown
+//! override of [`AccessMethod::knn_filtered_traced`] or through the
+//! generic top-up refinement this module provides as a default.
+
+use crate::{AccessMethod, QueryTrace};
+use iq_storage::SimClock;
+
+/// A precompiled predicate over point ids: one bit per id in the indexed
+/// domain `0..domain`.
+///
+/// Ids at or beyond the domain never match — a filter compiled against an
+/// attribute table of `n` rows is safe to pass to any engine over the same
+/// `n` points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Filter {
+    bits: Vec<u64>,
+    domain: usize,
+    matching: usize,
+}
+
+impl Filter {
+    /// Compiles `pred` over the id domain `0..domain`.
+    pub fn from_fn(domain: usize, mut pred: impl FnMut(u32) -> bool) -> Self {
+        let mut bits = vec![0u64; domain.div_ceil(64)];
+        let mut matching = 0usize;
+        for id in 0..domain {
+            if pred(id as u32) {
+                bits[id / 64] |= 1u64 << (id % 64);
+                matching += 1;
+            }
+        }
+        Self {
+            bits,
+            domain,
+            matching,
+        }
+    }
+
+    /// A filter matching exactly the given ids (out-of-domain ids are
+    /// ignored).
+    pub fn from_ids(domain: usize, ids: impl IntoIterator<Item = u32>) -> Self {
+        let mut bits = vec![0u64; domain.div_ceil(64)];
+        let mut matching = 0usize;
+        for id in ids {
+            let id = id as usize;
+            if id < domain {
+                let (w, m) = (id / 64, 1u64 << (id % 64));
+                if bits[w] & m == 0 {
+                    bits[w] |= m;
+                    matching += 1;
+                }
+            }
+        }
+        Self {
+            bits,
+            domain,
+            matching,
+        }
+    }
+
+    /// Whether `id` satisfies the predicate.
+    #[inline]
+    pub fn matches(&self, id: u32) -> bool {
+        let id = id as usize;
+        id < self.domain && self.bits[id / 64] & (1u64 << (id % 64)) != 0
+    }
+
+    /// Size of the id domain the filter was compiled over.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Number of matching ids.
+    pub fn matching(&self) -> usize {
+        self.matching
+    }
+
+    /// Fraction of the domain that matches (`0.0` for an empty domain).
+    pub fn selectivity(&self) -> f64 {
+        if self.domain == 0 {
+            0.0
+        } else {
+            self.matching as f64 / self.domain as f64
+        }
+    }
+}
+
+/// Pagination of a filtered k-NN result, with the Lance semantics: `k` is
+/// the number of post-filter neighbors the search computes exactly;
+/// `offset`/`limit` then slice that list. Re-running the same `(q, k,
+/// filter)` yields the same list, so disjoint `offset` windows paginate
+/// without overlap or gaps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageSpec {
+    /// Post-filter neighbors to compute (the pagination universe).
+    pub k: usize,
+    /// Rows to skip from the front of the computed list.
+    pub offset: usize,
+    /// Maximum rows to return after the skip (`None` = all remaining).
+    pub limit: Option<usize>,
+}
+
+impl PageSpec {
+    /// Plain top-k: no offset, no limit.
+    pub fn top(k: usize) -> Self {
+        Self {
+            k,
+            offset: 0,
+            limit: None,
+        }
+    }
+}
+
+/// The `page.k` exact post-filter nearest neighbors of `q`, canonically
+/// ordered (ascending distance, ties by ascending id — engines may break
+/// exact-distance ties differently, so pagination must not depend on their
+/// internal order), sliced to `[offset, offset + limit)`.
+pub fn knn_paginated<M: AccessMethod + ?Sized>(
+    method: &M,
+    clock: &mut SimClock,
+    q: &[f32],
+    filter: Option<&Filter>,
+    page: &PageSpec,
+) -> Vec<(u32, f64)> {
+    let mut hits = method.knn_filtered(clock, q, page.k, filter);
+    hits.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("no NaN distances")
+            .then(a.0.cmp(&b.0))
+    });
+    hits.into_iter()
+        .skip(page.offset)
+        .take(page.limit.unwrap_or(usize::MAX))
+        .collect()
+}
+
+/// Generic top-up refinement: the default strategy behind
+/// [`AccessMethod::knn_filtered_traced`] for engines without a pushdown
+/// override. Draws the overall-nearest `k'` candidates, keeps the matches,
+/// and doubles `k'` until `k` post-filter results are in hand or the whole
+/// data set has been drawn — at which point the filtered result is exact
+/// by construction.
+pub(crate) fn knn_filtered_by_topup<M: AccessMethod + ?Sized>(
+    method: &M,
+    clock: &mut SimClock,
+    q: &[f32],
+    k: usize,
+    filter: &Filter,
+) -> (Vec<(u32, f64)>, QueryTrace) {
+    if k == 0 || filter.matching() == 0 || method.is_empty() {
+        return (Vec::new(), QueryTrace::default());
+    }
+    let n = method.len();
+    // Seed the draw with an estimate from the filter's selectivity so
+    // well-behaved filters converge in one round.
+    let mut k_fetch = ((k as f64 / filter.selectivity().max(1e-6)).ceil() as usize)
+        .max(k)
+        .min(n);
+    let mut aggregate = QueryTrace::default();
+    loop {
+        let (res, trace) = method.knn_traced(clock, q, k_fetch);
+        aggregate.merge(&trace);
+        let mut hits: Vec<(u32, f64)> = res
+            .into_iter()
+            .filter(|&(id, _)| filter.matches(id))
+            .collect();
+        if hits.len() >= k || k_fetch >= n {
+            hits.truncate(k);
+            return (hits, aggregate);
+        }
+        k_fetch = (k_fetch * 2).min(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_matches() {
+        let f = Filter::from_fn(130, |id| id % 3 == 0);
+        assert_eq!(f.domain(), 130);
+        assert_eq!(f.matching(), 44);
+        assert!(f.matches(0));
+        assert!(f.matches(129));
+        assert!(!f.matches(1));
+        assert!(!f.matches(130), "out of domain never matches");
+        assert!(!f.matches(1_000_000));
+    }
+
+    #[test]
+    fn from_ids_dedups_and_clips() {
+        let f = Filter::from_ids(10, [3u32, 3, 7, 42]);
+        assert_eq!(f.matching(), 2);
+        assert!(f.matches(3));
+        assert!(f.matches(7));
+        assert!(!f.matches(42));
+    }
+
+    #[test]
+    fn selectivity() {
+        let f = Filter::from_fn(100, |id| id < 25);
+        assert!((f.selectivity() - 0.25).abs() < 1e-12);
+        assert_eq!(Filter::from_fn(0, |_| true).selectivity(), 0.0);
+    }
+}

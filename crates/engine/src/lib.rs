@@ -14,9 +14,11 @@
 //!   (results and accumulated clock statistics are identical for every
 //!   thread count, including 1).
 
+mod filter;
 mod topk;
 mod trace;
 
+pub use filter::{knn_paginated, Filter, PageSpec};
 pub use topk::TopK;
 pub use trace::QueryTrace;
 
@@ -71,6 +73,42 @@ pub trait AccessMethod: Send + Sync {
         q: &[f32],
         k: usize,
     ) -> (Vec<(u32, f64)>, QueryTrace);
+
+    /// The `k` exact nearest neighbors of `q` *among the points matching
+    /// `filter`* (`None` = unfiltered), with the trace of what the search
+    /// did. `k` counts results after filtering: the method keeps drawing
+    /// candidates until `k` post-filter results are exact, or every
+    /// matching point has been considered.
+    ///
+    /// The default implementation is generic top-up refinement over
+    /// [`AccessMethod::knn_traced`] (draw the overall top-`k'`, keep
+    /// matches, double `k'` until `k` survive). Engines with a
+    /// filter-and-refine structure override it to push the predicate into
+    /// their filter phase instead, skipping non-matching candidates before
+    /// any refinement I/O is spent on them.
+    fn knn_filtered_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        match filter {
+            None => self.knn_traced(clock, q, k),
+            Some(f) => filter::knn_filtered_by_topup(self, clock, q, k, f),
+        }
+    }
+
+    /// Like [`AccessMethod::knn_filtered_traced`], without the trace.
+    fn knn_filtered(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> Vec<(u32, f64)> {
+        self.knn_filtered_traced(clock, q, k, filter).0
+    }
 
     /// All points within `radius` of `q` under the index metric
     /// (unordered ids).
@@ -299,5 +337,110 @@ mod tests {
         let mut clock = SimClock::default();
         let nn = m.nearest(&mut clock, &[3.1, 1.0]).expect("non-empty");
         assert_eq!(nn.0, 3);
+    }
+
+    /// Filter-then-scan oracle over the Flat test method.
+    fn oracle(m: &Flat, q: &[f32], k: usize, f: &Filter) -> Vec<(u32, f64)> {
+        let mut all: Vec<(u32, f64)> = m
+            .pts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| f.matches(i as u32))
+            .map(|(i, p)| (i as u32, Metric::Euclidean.distance(p, q)))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN").then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn default_topup_matches_filter_then_scan_oracle() {
+        let m = flat(200);
+        let mut clock = SimClock::default();
+        for (label, f) in [
+            ("sparse", Filter::from_fn(200, |id| id % 17 == 0)),
+            ("half", Filter::from_fn(200, |id| id % 2 == 0)),
+            ("dense", Filter::from_fn(200, |id| id % 10 != 0)),
+        ] {
+            for k in [1usize, 5, 30] {
+                let q = vec![13.0f32, 40.0];
+                let got = m.knn_filtered(&mut clock, &q, k, Some(&f));
+                let want = oracle(&m, &q, k, &f);
+                assert_eq!(got.len(), want.len(), "{label} k={k}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.1.to_bits(), w.1.to_bits(), "{label} k={k}");
+                }
+                assert!(got.iter().all(|&(id, _)| f.matches(id)), "{label} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn topup_exhausts_when_filter_is_tiny() {
+        let m = flat(50);
+        let mut clock = SimClock::default();
+        let f = Filter::from_ids(50, [49u32]);
+        let got = m.knn_filtered(&mut clock, &[0.0, 0.0], 5, Some(&f));
+        assert_eq!(got.len(), 1, "only one point matches");
+        assert_eq!(got[0].0, 49);
+    }
+
+    #[test]
+    fn empty_filter_returns_empty() {
+        let m = flat(50);
+        let mut clock = SimClock::default();
+        let f = Filter::from_fn(50, |_| false);
+        assert!(m
+            .knn_filtered(&mut clock, &[0.0, 0.0], 5, Some(&f))
+            .is_empty());
+    }
+
+    #[test]
+    fn none_filter_is_plain_knn() {
+        let m = flat(60);
+        let mut clock = SimClock::default();
+        let a = m.knn(&mut clock, &[7.0, 3.0], 6);
+        let b = m.knn_filtered(&mut clock, &[7.0, 3.0], 6, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pagination_slices_the_same_universe() {
+        let m = flat(120);
+        let mut clock = SimClock::default();
+        let f = Filter::from_fn(120, |id| id % 3 != 0);
+        let q = vec![31.0f32, 77.0];
+        let full = knn_paginated(&m, &mut clock, &q, Some(&f), &PageSpec::top(20));
+        assert_eq!(full.len(), 20);
+        // Disjoint offset windows tile the full list exactly.
+        let mut stitched = Vec::new();
+        for offset in (0..20).step_by(7) {
+            let page = knn_paginated(
+                &m,
+                &mut clock,
+                &q,
+                Some(&f),
+                &PageSpec {
+                    k: 20,
+                    offset,
+                    limit: Some(7),
+                },
+            );
+            stitched.extend(page);
+        }
+        assert_eq!(stitched, full);
+        // Offset past the end is empty, not an error.
+        let past = knn_paginated(
+            &m,
+            &mut clock,
+            &q,
+            Some(&f),
+            &PageSpec {
+                k: 20,
+                offset: 25,
+                limit: None,
+            },
+        );
+        assert!(past.is_empty());
     }
 }

@@ -6,7 +6,7 @@
 //! to clear (cf. \[7\] in the paper); the IQ-tree is designed to beat it by
 //! scanning *compressed* approximations instead.
 
-use iq_engine::{AccessMethod, QueryTrace, TopK};
+use iq_engine::{AccessMethod, Filter, QueryTrace, TopK};
 use iq_geometry::{Dataset, Metric};
 use iq_storage::{BlockDevice, SimClock};
 
@@ -158,6 +158,35 @@ impl SeqScan {
         results
     }
 
+    /// The `k` nearest neighbors of `q` among the points matching
+    /// `filter`: the same single sweep, with non-matching points dropped
+    /// before their distance is evaluated. The result is the filter-then-
+    /// scan oracle the other engines' filtered searches are tested
+    /// against.
+    pub fn knn_filtered(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: &Filter,
+    ) -> Vec<(u32, f64)> {
+        assert_eq!(q.len(), self.dim);
+        if k == 0 || filter.matching() == 0 {
+            return Vec::new();
+        }
+        let metric = self.metric;
+        let mut best = TopK::new(k);
+        self.scan(clock, |id, p| {
+            if filter.matches(id) {
+                best.insert(metric.distance_key(p, q), id);
+            }
+        });
+        clock.phase_begin(iq_obs::Phase::TopK);
+        let results = best.into_results(metric);
+        clock.phase_end();
+        results
+    }
+
     /// All points inside the query window (unordered ids).
     pub fn window(&self, clock: &mut SimClock, window: &iq_geometry::Mbr) -> Vec<u32> {
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
@@ -211,6 +240,28 @@ impl AccessMethod for SeqScan {
         let results = SeqScan::knn(self, clock, q, k);
         // One sequential sweep over the whole file; nothing is skipped or
         // refined — that is the scan's entire cost profile.
+        let trace = QueryTrace {
+            pages_processed: self.dev.num_blocks(),
+            runs: 1,
+            ..QueryTrace::default()
+        };
+        (results, trace)
+    }
+
+    fn knn_filtered_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        let Some(f) = filter else {
+            return self.knn_traced(clock, q, k);
+        };
+        if k == 0 || f.matching() == 0 {
+            return (Vec::new(), QueryTrace::default());
+        }
+        let results = SeqScan::knn_filtered(self, clock, q, k, f);
         let trace = QueryTrace {
             pages_processed: self.dev.num_blocks(),
             runs: 1,

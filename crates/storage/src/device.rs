@@ -10,7 +10,7 @@ use crate::model::SimClock;
 
 static NEXT_DEVICE_ID: AtomicU64 = AtomicU64::new(1);
 
-fn fresh_device_id() -> u64 {
+pub(crate) fn fresh_device_id() -> u64 {
     NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed)
 }
 

@@ -24,6 +24,7 @@ pub mod device;
 pub mod error;
 pub mod fault;
 pub mod fetch;
+pub mod mmap;
 pub mod model;
 pub mod observe;
 pub mod retry;
@@ -34,6 +35,7 @@ pub use device::{BlockDevice, FileDevice, MemDevice};
 pub use error::{IqError, IqResult};
 pub use fault::{FaultConfig, FaultInjectingDevice, FaultStats};
 pub use fetch::{plan_fetch, plan_fetch_bounded, plan_fetch_cost, Run};
+pub use mmap::MmapFileDevice;
 pub use model::{CpuModel, DiskModel, IoStats, SimClock};
 pub use observe::ObservedDevice;
 pub use retry::{read_blocks_retry, read_to_vec_retry, RetryPolicy};

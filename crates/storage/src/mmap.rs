@@ -1,0 +1,321 @@
+//! Read-only real-file block device backed by `mmap` (with a `pread`
+//! fallback).
+//!
+//! [`FileDevice`](crate::FileDevice) is the read-write backend the engines
+//! build through; this device is the *ingestion-side* counterpart: it opens
+//! an existing file — an fvecs dump, a device file written by an earlier
+//! run — without requiring its length to be a multiple of the block size
+//! (the final partial block reads back zero-padded, matching how
+//! [`append`](crate::BlockDevice::append) pads). It slots into the
+//! [`DeviceStack`](crate::DeviceStack) like any other base device: faults,
+//! checksums, cache and observation layer above it unchanged.
+//!
+//! Mapping is plain `PROT_READ`/`MAP_PRIVATE` through the libc ABI (`std`
+//! already links libc on every Unix target); if `mmap` refuses — empty
+//! file, exotic filesystem — the device silently degrades to positioned
+//! reads on the kept file handle. Reads take `&self` either way, so any
+//! number of query threads can share the device.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+use crate::device::fresh_device_id;
+use crate::error::{IqError, IqResult};
+use crate::model::SimClock;
+use crate::BlockDevice;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+}
+
+/// How the file contents are accessed.
+enum Backing {
+    /// The whole file is mapped; reads are `memcpy`s from the mapping.
+    Mapped { ptr: *const u8, len: usize },
+    /// Positioned reads on the file handle (`pread`).
+    Positioned,
+}
+
+// SAFETY: the mapping is PROT_READ and never mutated through this struct;
+// concurrent reads from multiple threads are exactly what a shared
+// read-only mapping is for.
+unsafe impl Send for Backing {}
+unsafe impl Sync for Backing {}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        if let Backing::Mapped { ptr, len } = *self {
+            // SAFETY: ptr/len came from a successful mmap of exactly len
+            // bytes and the mapping is not referenced after this point.
+            unsafe {
+                sys::munmap(ptr as *mut _, len);
+            }
+        }
+    }
+}
+
+/// A read-only block device over an existing real file.
+pub struct MmapFileDevice {
+    block_size: usize,
+    /// Exact file length in bytes (not rounded to blocks).
+    file_len: u64,
+    num_blocks: u64,
+    file: File,
+    backing: Backing,
+    id: u64,
+}
+
+impl MmapFileDevice {
+    /// Opens `path` read-only. Any file length is accepted: the device
+    /// exposes `ceil(len / block_size)` blocks and zero-pads the final
+    /// partial block on read.
+    pub fn open(path: &Path, block_size: usize) -> io::Result<Self> {
+        assert!(block_size > 0);
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let backing = Self::try_map(&file, file_len);
+        Ok(Self {
+            block_size,
+            file_len,
+            num_blocks: file_len.div_ceil(block_size as u64),
+            file,
+            backing,
+            id: fresh_device_id(),
+        })
+    }
+
+    /// Attempts to map the whole file; any refusal (zero length, weird
+    /// filesystem) degrades to positioned reads.
+    #[cfg(unix)]
+    fn try_map(file: &File, len: u64) -> Backing {
+        use std::os::unix::io::AsRawFd;
+        let Ok(len) = usize::try_from(len) else {
+            return Backing::Positioned;
+        };
+        if len == 0 {
+            return Backing::Positioned; // mmap(len = 0) is EINVAL
+        }
+        // SAFETY: fd is open for reading and outlives the mapping (the
+        // mapping stays valid even after close; the File is kept anyway).
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            Backing::Positioned
+        } else {
+            Backing::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            }
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn try_map(_file: &File, _len: u64) -> Backing {
+        Backing::Positioned
+    }
+
+    /// Whether reads go through a memory mapping (false: `pread`).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped { .. })
+    }
+
+    /// Exact length of the underlying file in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    fn read_only_err(op: &'static str) -> IqError {
+        IqError::Io {
+            op,
+            block: 0,
+            transient: false,
+            detail: "MmapFileDevice is read-only".into(),
+        }
+    }
+}
+
+impl BlockDevice for MmapFileDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) -> IqResult<()> {
+        assert_eq!(buf.len() % self.block_size, 0, "partial-block read");
+        let nblocks = (buf.len() / self.block_size) as u64;
+        if start + nblocks > self.num_blocks {
+            return Err(IqError::OutOfBounds {
+                op: "read",
+                start,
+                nblocks,
+                available: self.num_blocks,
+            });
+        }
+        let off = start * self.block_size as u64;
+        // Bytes actually present in the file for this range; the rest of
+        // the final block is padding.
+        let present = (self.file_len - off).min(buf.len() as u64) as usize;
+        match &self.backing {
+            Backing::Mapped { ptr, .. } => {
+                // SAFETY: off + present <= file_len = mapping length, and
+                // the mapping lives as long as self.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(ptr.add(off as usize), buf.as_mut_ptr(), present);
+                }
+            }
+            Backing::Positioned => {
+                use std::os::unix::fs::FileExt;
+                self.file
+                    .read_exact_at(&mut buf[..present], off)
+                    .map_err(|e| IqError::Io {
+                        op: "read",
+                        block: start,
+                        transient: e.kind() == io::ErrorKind::Interrupted,
+                        detail: e.to_string(),
+                    })?;
+            }
+        }
+        buf[present..].fill(0);
+        clock.charge_read(self.id, start, nblocks);
+        Ok(())
+    }
+
+    fn append(&mut self, _clock: &mut SimClock, _data: &[u8]) -> IqResult<u64> {
+        Err(Self::read_only_err("append"))
+    }
+
+    fn write_blocks(&mut self, _clock: &mut SimClock, _start: u64, _data: &[u8]) -> IqResult<()> {
+        Err(Self::read_only_err("write"))
+    }
+
+    fn device_id(&self) -> u64 {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("iq-storage-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn reads_match_file_contents() {
+        let path = temp_path("whole.bin");
+        let data: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &data).unwrap();
+        let dev = MmapFileDevice::open(&path, 256).unwrap();
+        assert_eq!(dev.num_blocks(), 4);
+        assert!(dev.is_mapped(), "a regular non-empty file maps");
+        let mut clock = SimClock::default();
+        let got = dev.read_to_vec(&mut clock, 0, 4).unwrap();
+        assert_eq!(got, data);
+        let got = dev.read_to_vec(&mut clock, 2, 1).unwrap();
+        assert_eq!(got, data[512..768]);
+    }
+
+    #[test]
+    fn partial_final_block_is_zero_padded() {
+        let path = temp_path("partial.bin");
+        std::fs::write(&path, vec![0xABu8; 300]).unwrap();
+        let dev = MmapFileDevice::open(&path, 256).unwrap();
+        assert_eq!(dev.num_blocks(), 2, "300 bytes -> 2 blocks of 256");
+        assert_eq!(dev.file_len(), 300);
+        let mut clock = SimClock::default();
+        let got = dev.read_to_vec(&mut clock, 1, 1).unwrap();
+        assert_eq!(&got[..44], &[0xABu8; 44][..]);
+        assert_eq!(&got[44..], &[0u8; 212][..], "padding is zeros");
+        // Reading both blocks at once sees the same padding.
+        let got = dev.read_to_vec(&mut clock, 0, 2).unwrap();
+        assert_eq!(&got[300..], &[0u8; 212][..]);
+    }
+
+    #[test]
+    fn empty_file_opens_with_zero_blocks() {
+        let path = temp_path("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let dev = MmapFileDevice::open(&path, 128).unwrap();
+        assert_eq!(dev.num_blocks(), 0);
+        assert!(!dev.is_mapped(), "mmap of an empty file degrades to pread");
+        let mut clock = SimClock::default();
+        assert!(matches!(
+            dev.read_to_vec(&mut clock, 0, 1),
+            Err(IqError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_and_write_errors() {
+        let path = temp_path("ro.bin");
+        std::fs::write(&path, vec![1u8; 128]).unwrap();
+        let mut dev = MmapFileDevice::open(&path, 64).unwrap();
+        let mut clock = SimClock::default();
+        assert!(matches!(
+            dev.read_to_vec(&mut clock, 1, 2),
+            Err(IqError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            dev.append(&mut clock, &[0u8; 64]),
+            Err(IqError::Io { op: "append", .. })
+        ));
+        assert!(matches!(
+            dev.write_blocks(&mut clock, 0, &[0u8; 64]),
+            Err(IqError::Io { op: "write", .. })
+        ));
+    }
+
+    #[test]
+    fn costs_match_mem_device() {
+        let path = temp_path("cost.bin");
+        let data = vec![9u8; 64 * 6];
+        std::fs::write(&path, &data).unwrap();
+        let dev = MmapFileDevice::open(&path, 64).unwrap();
+        let mut mem = MemDevice::new(64);
+        let mut c0 = SimClock::default();
+        mem.append(&mut c0, &data).unwrap();
+        let mut c1 = SimClock::default();
+        let mut c2 = SimClock::default();
+        for (start, n) in [(0u64, 2u64), (4, 2), (1, 1)] {
+            assert_eq!(
+                dev.read_to_vec(&mut c1, start, n).unwrap(),
+                mem.read_to_vec(&mut c2, start, n).unwrap()
+            );
+        }
+        assert_eq!(c1.io_time(), c2.io_time());
+        assert_eq!(c1.stats(), c2.stats());
+    }
+}

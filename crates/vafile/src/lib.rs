@@ -14,7 +14,7 @@
 //! tuning knob the paper sweeps from 2 to 8 bits and picks the best of.
 
 use iq_cost::refine::RefineParams;
-use iq_engine::{AccessMethod, QueryTrace, TopK};
+use iq_engine::{AccessMethod, Filter, QueryTrace, TopK};
 use iq_geometry::{Dataset, Mbr, Metric};
 use iq_obs::Phase;
 use iq_quantize::{
@@ -206,11 +206,20 @@ impl VaFile {
 
     /// Phase 1: scans the approximation file and produces per-point lower
     /// bounds plus the pruning threshold δ (the k-th smallest upper bound),
-    /// all in the metric's comparable key space.
+    /// all in the metric's comparable key space. When a `filter` is
+    /// pushed down, non-matching points are dropped during the sweep: they
+    /// get a `NAN` lower bound (never a candidate) and contribute nothing
+    /// to δ, so the threshold is the k-th smallest *matching* upper bound.
     ///
     /// Takes `&self` (like all query paths): both files are immutable after
     /// [`VaFile::build`], so concurrent queries share the structure freely.
-    fn filter_phase(&self, clock: &mut SimClock, q: &[f32], k: usize) -> (Vec<f64>, f64) {
+    fn filter_phase(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> (Vec<f64>, f64) {
         let table = self.dist_table(q);
         let entry = self.entry_bytes;
 
@@ -231,9 +240,13 @@ impl VaFile {
             buf_carry.extend_from_slice(&chunk);
             let mut off = 0usize;
             while off + entry <= buf_carry.len() && processed < self.n {
-                unpack_cells(&buf_carry[off..off + entry], self.bits, &mut cells);
-                lower.push(table.mindist_key(&cells));
-                best_ub.insert(table.maxdist_key(&cells), processed as u32);
+                if filter.is_none_or(|f| f.matches(processed as u32)) {
+                    unpack_cells(&buf_carry[off..off + entry], self.bits, &mut cells);
+                    lower.push(table.mindist_key(&cells));
+                    best_ub.insert(table.maxdist_key(&cells), processed as u32);
+                } else {
+                    lower.push(f64::NAN);
+                }
                 off += entry;
                 processed += 1;
             }
@@ -282,8 +295,21 @@ impl VaFile {
         q: &[f32],
         k: usize,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
+        self.knn_traced_impl(clock, q, k, None)
+    }
+
+    /// Shared two-phase search; `filter` (if any) is pushed into the
+    /// approximation sweep, so δ and the candidate set derive only from
+    /// matching points and `k` counts post-filter results.
+    fn knn_traced_impl(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
         assert_eq!(q.len(), self.dim);
-        if k == 0 {
+        if k == 0 || filter.is_some_and(|f| f.matching() == 0) {
             return (Vec::new(), QueryTrace::default());
         }
         let mut trace = QueryTrace {
@@ -292,10 +318,11 @@ impl VaFile {
             ..QueryTrace::default()
         };
         clock.phase_begin(Phase::Filter);
-        let (lower, delta) = self.filter_phase(clock, q, k);
+        let (lower, delta) = self.filter_phase(clock, q, k, filter);
 
         // Candidates that the filter could not prune, by increasing lower
-        // bound.
+        // bound. Filtered-out points carry a NaN lower bound, which fails
+        // `lb <= delta` even when δ is +∞, so they never become candidates.
         clock.phase_begin(Phase::Plan);
         let mut cand: Vec<(f64, u32)> = lower
             .iter()
@@ -387,7 +414,7 @@ impl VaFile {
         // upper bounds from the table for the containment shortcut.
         clock.phase_begin(Phase::Filter);
         let table = self.dist_table(q);
-        let (lower, _) = self.filter_phase(clock, q, 1);
+        let (lower, _) = self.filter_phase(clock, q, 1, None);
 
         let mut out = Vec::new();
         // Second pass over the in-memory bounds: fetch exact only when the
@@ -463,6 +490,18 @@ impl AccessMethod for VaFile {
         k: usize,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
         VaFile::knn_traced(self, clock, q, k)
+    }
+
+    fn knn_filtered_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        // True pushdown: the predicate rides the approximation sweep, so no
+        // top-up rounds are ever needed.
+        self.knn_traced_impl(clock, q, k, filter)
     }
 
     fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {

@@ -16,7 +16,7 @@
 pub mod node;
 pub mod split;
 
-use iq_engine::{AccessMethod, QueryTrace, TopK};
+use iq_engine::{AccessMethod, Filter, QueryTrace, TopK};
 use iq_geometry::{bulk_partition, Dataset, Mbr, Metric};
 use iq_obs::Phase;
 use iq_storage::{BlockDevice, SimClock};
@@ -338,8 +338,21 @@ impl XTree {
         q: &[f32],
         k: usize,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
+        self.knn_traced_impl(clock, q, k, None)
+    }
+
+    /// Shared best-first descent; a pushed-down `filter` drops non-matching
+    /// points at page-decode time, so `best.bound()` (and therefore MBR
+    /// pruning) derives only from matching points and stays exact.
+    fn knn_traced_impl(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
         assert_eq!(q.len(), self.dim);
-        if k == 0 {
+        if k == 0 || filter.is_some_and(|f| f.matching() == 0) {
             return (Vec::new(), QueryTrace::default());
         }
         let metric = self.metric;
@@ -377,7 +390,9 @@ impl XTree {
                     trace.runs += 1;
                     trace.pages_processed += 1;
                     for (i, &pid) in page.ids.iter().enumerate() {
-                        best.insert(metric.distance_key(page.point(i, self.dim), q), pid);
+                        if filter.is_none_or(|f| f.matches(pid)) {
+                            best.insert(metric.distance_key(page.point(i, self.dim), q), pid);
+                        }
                     }
                 }
             }
@@ -783,6 +798,17 @@ impl AccessMethod for XTree {
         k: usize,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
         XTree::knn_traced(self, clock, q, k)
+    }
+
+    fn knn_filtered_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        // True pushdown into the best-first descent — no top-up rounds.
+        self.knn_traced_impl(clock, q, k, filter)
     }
 
     fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
