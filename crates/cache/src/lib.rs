@@ -349,6 +349,14 @@ impl BlockDevice for CachedDevice {
         Ok(())
     }
 
+    fn truncate_blocks(&mut self, clock: &mut SimClock, nblocks: u64) -> IqResult<()> {
+        self.inner.truncate_blocks(clock, nblocks)?;
+        // Cheapest correct invalidation: drop every resident frame (frames
+        // at or past the new length must not survive; truncation is rare).
+        self.clear();
+        Ok(())
+    }
+
     fn device_id(&self) -> u64 {
         self.inner.device_id()
     }

@@ -1,0 +1,406 @@
+//! Crash consistency: transactional staging, WAL replay and checkpoints.
+//!
+//! Dynamic updates touch all three level files plus the superblock; a
+//! crash between any two of those writes used to leave the index
+//! permanently inconsistent. With a WAL attached ([`IqTree::attach_wal`])
+//! every mutation follows a strict protocol:
+//!
+//! 1. **Stage** — while a transaction is open, `dev_write` / `dev_append` /
+//!    `dev_truncate` (in `lib.rs`) do not touch the base files; they record
+//!    physical after-images ([`WalRecord::PageWrite`] et al.) and maintain
+//!    *virtual* level lengths so append positions and the superblock are
+//!    computed as if the writes had happened.
+//! 2. **Log** — `IqTree::commit_txn` appends the staged records plus a
+//!    commit frame to the WAL and syncs. Only now is the operation durable.
+//! 3. **Apply** — the staged images are applied to the base files, in
+//!    order. A crash anywhere before step 2 completes leaves the base
+//!    files untouched; a crash during step 3 is repaired on the next open
+//!    by replaying the committed transaction (`replay_txns`), which is
+//!    idempotent because every record is a positional byte image.
+//!
+//! Within one transaction the update code never reads a region it has
+//! already staged a write to (all page loads happen before the first
+//! staged write), so reads can keep going straight to the base files.
+//!
+//! [`IqTree::checkpoint`] folds the log into the base files: one final
+//! transaction rewrites the exact level without its orphaned regions and
+//! bumps the superblock generation, after which the WAL is emptied.
+
+use crate::{IqTree, PageMeta};
+use iq_quantize::EXACT_BITS;
+use iq_storage::wal::WalStore;
+use iq_storage::{BlockDevice, IqError, IqResult, SimClock};
+use iq_wal::{Level, Wal, WalRecord};
+
+/// Staged state of one open transaction.
+pub(crate) struct Txn {
+    /// Records in chronological order: the logical header first, then the
+    /// physical after-images interleaved with semantic markers.
+    pub(crate) records: Vec<WalRecord>,
+    /// Virtual length (in logical blocks) of each level file, indexed by
+    /// `Level as usize`, as it will be once the staged writes apply.
+    pub(crate) len: [u64; 3],
+    /// In-memory metadata snapshot for a clean abort.
+    snapshot: MetaSnapshot,
+}
+
+/// Everything needed to roll the in-memory state back if a transaction
+/// fails before its commit frame is durable.
+struct MetaSnapshot {
+    pages: Vec<PageMeta>,
+    dir_bytes: Vec<u8>,
+    n: usize,
+    wasted_exact_blocks: u64,
+    generation: u64,
+}
+
+/// What recovery found and did when opening an index through its WAL.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Committed transactions replayed onto the base files.
+    pub replayed_txns: usize,
+    /// Physical redo records applied during replay.
+    pub replayed_frames: u64,
+    /// Bytes discarded from the log tail: whole frames of an unfinished
+    /// transaction plus any torn trailing bytes.
+    pub discarded_bytes: u64,
+    /// Frames of the unfinished (uncommitted) transaction, if one was
+    /// found.
+    pub uncommitted_frames: usize,
+    /// Why the log scan stopped early, when it did (a torn or corrupt
+    /// frame).
+    pub stop_reason: Option<String>,
+    /// Log bytes that remain after recovery (the committed prefix).
+    pub wal_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Whether the log was already clean: nothing replay-worthy was
+    /// missing from the base files is not knowable here, but a clean log
+    /// had no torn tail and no unfinished transaction.
+    pub fn log_was_clean(&self) -> bool {
+        self.discarded_bytes == 0 && self.stop_reason.is_none()
+    }
+}
+
+/// Applies one record's physical redo to the right level device. Returns
+/// `true` if the record carried bytes (markers and headers return
+/// `false`). Idempotent: applying an already-applied record rewrites the
+/// same bytes.
+pub(crate) fn apply_redo_record<'a>(
+    rec: &WalRecord,
+    dir: &'a mut dyn BlockDevice,
+    quant: &'a mut dyn BlockDevice,
+    exact: &'a mut dyn BlockDevice,
+    clock: &mut SimClock,
+) -> IqResult<bool> {
+    match rec {
+        WalRecord::PageWrite {
+            level,
+            block,
+            bytes,
+        } => {
+            let dev = match level {
+                Level::Dir => &mut *dir,
+                Level::Quant => &mut *quant,
+                Level::Exact => &mut *exact,
+            };
+            dev.write_blocks(clock, *block, bytes)?;
+            Ok(true)
+        }
+        WalRecord::PageAppend {
+            level,
+            block,
+            bytes,
+        } => {
+            let dev = match level {
+                Level::Dir => &mut *dir,
+                Level::Quant => &mut *quant,
+                Level::Exact => &mut *exact,
+            };
+            let bs = dev.block_size();
+            let nblocks = bytes.len().div_ceil(bs) as u64;
+            let len = dev.num_blocks();
+            if *block > len {
+                return Err(IqError::Decode {
+                    detail: format!(
+                        "wal append targets block {block} of a {len}-block {} file (gap)",
+                        level.name()
+                    ),
+                });
+            }
+            let mut padded = bytes.clone();
+            padded.resize(nblocks as usize * bs, 0);
+            if *block == len {
+                dev.append(clock, &padded)?;
+            } else {
+                // Replay after a partial apply: the file already grew past
+                // (or into) this append. Overwrite the overlap, append the
+                // remainder.
+                let overlap = (len - *block).min(nblocks) as usize;
+                dev.write_blocks(clock, *block, &padded[..overlap * bs])?;
+                if (overlap as u64) < nblocks {
+                    dev.append(clock, &padded[overlap * bs..])?;
+                }
+            }
+            Ok(true)
+        }
+        WalRecord::TruncateLevel { level, nblocks } => {
+            let dev = match level {
+                Level::Dir => &mut *dir,
+                Level::Quant => &mut *quant,
+                Level::Exact => &mut *exact,
+            };
+            if *nblocks < dev.num_blocks() {
+                dev.truncate_blocks(clock, *nblocks)?;
+            }
+            Ok(true)
+        }
+        // Logical headers and semantic markers carry no redo bytes.
+        WalRecord::Insert { .. }
+        | WalRecord::Delete { .. }
+        | WalRecord::Requantize { .. }
+        | WalRecord::Split { .. }
+        | WalRecord::Checkpoint { .. }
+        | WalRecord::Commit { .. } => Ok(false),
+    }
+}
+
+/// Replays committed transactions onto the (already wrapped) level
+/// devices, returning the number of redo records applied.
+pub(crate) fn replay_txns(
+    txns: &[iq_wal::CommittedTxn],
+    dir: &mut dyn BlockDevice,
+    quant: &mut dyn BlockDevice,
+    exact: &mut dyn BlockDevice,
+    clock: &mut SimClock,
+) -> IqResult<u64> {
+    let mut applied = 0u64;
+    for txn in txns {
+        for rec in &txn.records {
+            if apply_redo_record(rec, dir, quant, exact, clock)? {
+                applied += 1;
+            }
+        }
+    }
+    iq_obs::global()
+        .counter("recovery_replayed_frames_total")
+        .add(applied);
+    Ok(applied)
+}
+
+impl IqTree {
+    /// Attaches a write-ahead log. From now on every [`IqTree::insert`] and
+    /// [`IqTree::delete`] is staged, logged with a commit frame, synced and
+    /// only then applied to the level files — so a crash at any point
+    /// leaves an index that [`IqTree::open_with_wal`] restores to exactly
+    /// the committed prefix of operations.
+    ///
+    /// The store must be empty (a fresh log); to adopt an existing log use
+    /// [`IqTree::open_with_wal`], which replays it first.
+    pub fn attach_wal(&mut self, store: Box<dyn WalStore>) {
+        assert!(
+            store.is_empty(),
+            "attach_wal expects a fresh log; open_with_wal adopts existing ones"
+        );
+        self.wal = Some(Wal::create(store));
+    }
+
+    /// Whether a WAL is attached (mutations are crash-consistent).
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Bytes currently in the attached WAL (0 without one).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::len)
+    }
+
+    /// The superblock generation: bumped by every checkpoint (and by
+    /// [`IqTree::rebuild`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the tree was opened read-only (an older on-disk format that
+    /// this build reads but must not mutate).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Refuses mutations on read-only or poisoned trees.
+    pub(crate) fn ensure_writable(&self) -> IqResult<()> {
+        if self.read_only {
+            return Err(IqError::Superblock {
+                detail: format!(
+                    "index is read-only: on-disk format version {} predates \
+                     in-place updates (rebuild to upgrade)",
+                    crate::persist::FORMAT_VERSION - 1
+                ),
+            });
+        }
+        if self.poisoned {
+            return Err(IqError::Io {
+                op: "update",
+                block: 0,
+                transient: false,
+                detail: "a committed transaction failed to apply to the base files; \
+                         reopen the index so recovery can replay it"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Opens a transaction when a WAL is attached (no-op otherwise: legacy
+    /// direct-write mode). `header` describes the logical operation.
+    pub(crate) fn begin_txn(&mut self, header: WalRecord) {
+        if self.wal.is_none() {
+            return;
+        }
+        debug_assert!(self.txn.is_none(), "nested transaction");
+        self.txn = Some(Txn {
+            records: vec![header],
+            len: [
+                self.dir.num_blocks(),
+                self.quant.num_blocks(),
+                self.exact.num_blocks(),
+            ],
+            snapshot: MetaSnapshot {
+                pages: self.pages.clone(),
+                dir_bytes: self.dir_bytes.clone(),
+                n: self.n,
+                wasted_exact_blocks: self.wasted_exact_blocks,
+                generation: self.generation,
+            },
+        });
+    }
+
+    /// Adds a semantic marker (requantize/split) to the open transaction.
+    /// No-op outside a transaction.
+    pub(crate) fn note_record(&mut self, rec: WalRecord) {
+        if let Some(txn) = self.txn.as_mut() {
+            txn.records.push(rec);
+        }
+    }
+
+    /// Rolls back an open transaction: staged writes are dropped, the
+    /// in-memory metadata reverts to its snapshot. The base files were
+    /// never touched.
+    pub(crate) fn abort_txn(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            let snap = txn.snapshot;
+            self.pages = snap.pages;
+            self.dir_bytes = snap.dir_bytes;
+            self.n = snap.n;
+            self.wasted_exact_blocks = snap.wasted_exact_blocks;
+            self.generation = snap.generation;
+        }
+    }
+
+    /// Commits the open transaction: log + sync first, then apply the
+    /// staged images to the base files.
+    ///
+    /// If the log write fails the base files are untouched and the
+    /// in-memory state rolls back — the operation simply did not happen.
+    /// If the *apply* fails the operation IS durably committed; the tree
+    /// is poisoned against further mutations and must be reopened so
+    /// recovery can finish the apply.
+    pub(crate) fn commit_txn(&mut self, clock: &mut SimClock) -> IqResult<()> {
+        let Some(txn) = self.txn.take() else {
+            return Ok(());
+        };
+        let wal = self.wal.as_mut().expect("open txn implies a wal");
+        if let Err(e) = wal.commit_txn(clock, &txn.records) {
+            let snap = txn.snapshot;
+            self.pages = snap.pages;
+            self.dir_bytes = snap.dir_bytes;
+            self.n = snap.n;
+            self.wasted_exact_blocks = snap.wasted_exact_blocks;
+            self.generation = snap.generation;
+            return Err(e);
+        }
+        for rec in &txn.records {
+            if let Err(e) = apply_redo_record(
+                rec,
+                self.dir.as_mut(),
+                self.quant.as_mut(),
+                self.exact.as_mut(),
+                clock,
+            ) {
+                self.poisoned = true;
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds the WAL into the base files and reclaims the exact-level
+    /// blocks orphaned by updates.
+    ///
+    /// One final transaction rewrites the exact file with only the live
+    /// regions (in page order), patches every directory entry and writes a
+    /// superblock with a bumped generation; once it commits and applies,
+    /// the log is emptied. Returns the new generation.
+    ///
+    /// Requires an attached WAL (the operation is meaningless without
+    /// one).
+    pub fn checkpoint(&mut self, clock: &mut SimClock) -> IqResult<u64> {
+        self.ensure_writable()?;
+        if self.wal.is_none() {
+            return Err(IqError::Io {
+                op: "checkpoint",
+                block: 0,
+                transient: false,
+                detail: "no WAL attached to checkpoint".into(),
+            });
+        }
+        // Read every live exact region up front: within the transaction no
+        // read may follow a staged write.
+        let mut regions: Vec<Option<Vec<u8>>> = Vec::with_capacity(self.pages.len());
+        for idx in 0..self.pages.len() {
+            let meta = &self.pages[idx];
+            if meta.g < EXACT_BITS && meta.count > 0 && meta.exact_blocks > 0 {
+                regions.push(Some(self.try_read_exact_region(clock, idx)?));
+            } else {
+                regions.push(None);
+            }
+        }
+
+        self.begin_txn(WalRecord::Checkpoint {
+            generation: self.generation + 1,
+        });
+        self.generation += 1;
+        let result = (|| -> IqResult<()> {
+            self.dev_truncate(clock, Level::Exact, 0)?;
+            for (idx, region) in regions.iter().enumerate() {
+                let meta = self.pages[idx].clone();
+                let (exact_start, exact_blocks) = match region {
+                    Some(bytes) => {
+                        let start = self.dev_append(clock, Level::Exact, bytes)?;
+                        (start, meta.exact_blocks)
+                    }
+                    None => (0, 0),
+                };
+                self.pages[idx] = PageMeta {
+                    exact_start,
+                    exact_blocks,
+                    ..meta
+                };
+            }
+            // One wholesale rewrite patches every entry and the superblock
+            // (which now records the new generation and exact length).
+            self.rewrite_directory(clock)
+        })();
+        if let Err(e) = result {
+            self.abort_txn();
+            return Err(e);
+        }
+        self.commit_txn(clock)?;
+        // The fold is durable in the base files; empty the log.
+        self.wal.as_mut().expect("checked above").reset(clock)?;
+        self.wasted_exact_blocks = 0;
+        iq_obs::global().gauge("wasted_exact_blocks").set(0.0);
+        Ok(self.generation)
+    }
+}

@@ -20,6 +20,7 @@
 //! over-reading cheaper than a probable later seek.
 
 pub mod build;
+pub mod durability;
 pub mod maintain;
 pub mod persist;
 pub mod search;
@@ -27,10 +28,12 @@ pub mod update;
 pub mod verify;
 
 use build::{optimize_partitions, OptimizeTrace, SolutionPage};
+pub use durability::RecoveryReport;
 use iq_cost::{DirectoryParams, RefineParams};
 use iq_geometry::{bulk_partition, Dataset, Mbr, Metric};
 use iq_quantize::{ExactPageCodec, QuantizedPageCodec, EXACT_BITS};
 use iq_storage::{read_to_vec_retry, BlockDevice, DeviceStack, IqResult, RetryPolicy, SimClock};
+use iq_wal::{Level, WalRecord};
 
 /// Construction and search options.
 #[derive(Clone, Copy, Debug)]
@@ -154,7 +157,7 @@ pub struct PageMeta {
 /// assert!(dist < 0.1);
 /// assert!((id as usize) < ds.len());
 /// // Dynamic updates:
-/// tree.insert(&mut clock, 999, &[0.5, 0.5]);
+/// tree.insert(&mut clock, 999, &[0.5, 0.5]).unwrap();
 /// assert_eq!(tree.nearest(&mut clock, &[0.5, 0.5]).unwrap().0, 999);
 /// ```
 pub struct IqTree {
@@ -175,8 +178,20 @@ pub struct IqTree {
     dir_params: DirectoryParams,
     trace: OptimizeTrace,
     /// Blocks orphaned in the exact file by updates (reclaimable by a
-    /// rebuild).
+    /// rebuild or [`IqTree::checkpoint`]).
     wasted_exact_blocks: u64,
+    /// Write-ahead log; when attached, every mutation stages, logs, syncs
+    /// and only then applies (see [`durability`]).
+    wal: Option<iq_wal::Wal>,
+    /// The open transaction, if an update is staging writes.
+    txn: Option<durability::Txn>,
+    /// Superblock generation: bumped by every checkpoint and rebuild.
+    generation: u64,
+    /// Opened from an older on-disk format: reads fine, refuses mutations.
+    read_only: bool,
+    /// A durably committed transaction failed to apply to the base files;
+    /// mutations are refused until a reopen replays the log.
+    poisoned: bool,
 }
 
 // Queries take `&self`, so a tree behind an `Arc` (or borrowed into scoped
@@ -278,9 +293,14 @@ impl IqTree {
             dir_params,
             trace,
             wasted_exact_blocks: 0,
+            wal: None,
+            txn: None,
+            generation: 0,
+            read_only: false,
+            poisoned: false,
         };
         tree.write_pages(ds, ids, solution, clock);
-        tree.rewrite_directory(clock);
+        tree.rewrite_directory(clock).expect("write directory");
         tree
     }
 
@@ -346,33 +366,118 @@ impl IqTree {
     }
 
     /// The current header state, serialized into logical block 0 of the
-    /// directory file by [`Self::write_superblock`].
+    /// directory file by [`Self::write_superblock`]. Level lengths come
+    /// from [`Self::level_blocks`], so a superblock staged inside a
+    /// transaction already describes the post-apply files.
     fn superblock(&self) -> persist::Superblock {
         persist::Superblock {
+            version: persist::FORMAT_VERSION,
             block_size: self.dir.block_size() as u32,
             dim: self.dim as u32,
             metric: self.metric,
             n_pages: self.pages.len() as u64,
             n_points: self.n as u64,
-            quant_blocks: self.quant.num_blocks(),
-            exact_blocks: self.exact.num_blocks(),
+            quant_blocks: self.level_blocks(Level::Quant),
+            exact_blocks: self.level_blocks(Level::Exact),
             dir_crc: iq_storage::crc32(&self.dir_bytes),
+            generation: self.generation,
+        }
+    }
+
+    pub(crate) fn level_dev_mut(&mut self, level: Level) -> &mut dyn BlockDevice {
+        match level {
+            Level::Dir => self.dir.as_mut(),
+            Level::Quant => self.quant.as_mut(),
+            Level::Exact => self.exact.as_mut(),
+        }
+    }
+
+    /// Length of a level file in logical blocks — the *virtual* length
+    /// while a transaction is staging writes, the device length otherwise.
+    pub(crate) fn level_blocks(&self, level: Level) -> u64 {
+        if let Some(txn) = self.txn.as_ref() {
+            return txn.len[level as usize];
+        }
+        match level {
+            Level::Dir => self.dir.num_blocks(),
+            Level::Quant => self.quant.num_blocks(),
+            Level::Exact => self.exact.num_blocks(),
+        }
+    }
+
+    /// Writes whole blocks at `block` — staged as a WAL record while a
+    /// transaction is open, directly to the device otherwise.
+    pub(crate) fn dev_write(
+        &mut self,
+        clock: &mut SimClock,
+        level: Level,
+        block: u64,
+        data: &[u8],
+    ) -> IqResult<()> {
+        debug_assert_eq!(data.len() % self.block_size(), 0);
+        if let Some(txn) = self.txn.as_mut() {
+            txn.records.push(WalRecord::PageWrite {
+                level,
+                block,
+                bytes: data.to_vec(),
+            });
+            Ok(())
+        } else {
+            self.level_dev_mut(level).write_blocks(clock, block, data)
+        }
+    }
+
+    /// Appends to a level file, returning the start block — against the
+    /// virtual length while a transaction is open.
+    pub(crate) fn dev_append(
+        &mut self,
+        clock: &mut SimClock,
+        level: Level,
+        data: &[u8],
+    ) -> IqResult<u64> {
+        if let Some(txn) = self.txn.as_mut() {
+            let bs = self.codec.block_size();
+            let start = txn.len[level as usize];
+            txn.len[level as usize] = start + data.len().div_ceil(bs) as u64;
+            txn.records.push(WalRecord::PageAppend {
+                level,
+                block: start,
+                bytes: data.to_vec(),
+            });
+            Ok(start)
+        } else {
+            self.level_dev_mut(level).append(clock, data)
+        }
+    }
+
+    /// Truncates a level file to `nblocks`.
+    pub(crate) fn dev_truncate(
+        &mut self,
+        clock: &mut SimClock,
+        level: Level,
+        nblocks: u64,
+    ) -> IqResult<()> {
+        if let Some(txn) = self.txn.as_mut() {
+            txn.len[level as usize] = nblocks;
+            txn.records
+                .push(WalRecord::TruncateLevel { level, nblocks });
+            Ok(())
+        } else {
+            self.level_dev_mut(level).truncate_blocks(clock, nblocks)
         }
     }
 
     /// Writes the superblock. Always called *after* the entry payload it
     /// describes, so a crash mid-update leaves a header that at worst
     /// fails its CRC check instead of one pointing at unwritten entries.
-    fn write_superblock(&mut self, clock: &mut SimClock) {
+    fn write_superblock(&mut self, clock: &mut SimClock) -> IqResult<()> {
         let block = self.superblock().encode(self.dir.block_size());
-        self.dir
-            .write_blocks(clock, 0, &block)
-            .expect("write superblock");
+        self.dev_write(clock, Level::Dir, 0, &block)
     }
 
     /// Rewrites the whole directory file (build time and bulk maintenance):
     /// entry payload in logical blocks 1.., then the superblock.
-    fn rewrite_directory(&mut self, clock: &mut SimClock) {
+    fn rewrite_directory(&mut self, clock: &mut SimClock) -> IqResult<()> {
         let mut bytes = Vec::with_capacity(self.pages.len() * dir_entry_bytes(self.dim));
         let pages = std::mem::take(&mut self.pages);
         for meta in &pages {
@@ -381,39 +486,32 @@ impl IqTree {
         self.pages = pages;
         let bs = self.dir.block_size();
         bytes.resize(bytes.len().div_ceil(bs) * bs, 0);
-        if self.dir.num_blocks() == 0 {
+        if self.level_blocks(Level::Dir) == 0 {
             // Fresh file: reserve block 0 for the superblock.
-            self.dir
-                .append(clock, &vec![0u8; bs])
-                .expect("reserve superblock");
+            self.dev_append(clock, Level::Dir, &vec![0u8; bs])?;
         }
-        let have = (self.dir.num_blocks() as usize - 1) * bs;
+        let have = (self.level_blocks(Level::Dir) as usize - 1) * bs;
         let split = have.min(bytes.len());
         if split > 0 {
-            self.dir
-                .write_blocks(clock, 1, &bytes[..split])
-                .expect("rewrite directory");
+            self.dev_write(clock, Level::Dir, 1, &bytes[..split])?;
         }
         if split < bytes.len() {
-            self.dir
-                .append(clock, &bytes[split..])
-                .expect("grow directory");
+            self.dev_append(clock, Level::Dir, &bytes[split..])?;
         }
         self.dir_bytes = bytes;
-        self.write_superblock(clock);
+        self.write_superblock(clock)
     }
 
     /// Updates the serialized directory for entry `idx`, writes the
     /// touched block(s) and refreshes the superblock (whose point count
     /// and payload CRC change with every patch).
-    fn patch_dir_entry(&mut self, clock: &mut SimClock, idx: usize) {
+    fn patch_dir_entry(&mut self, clock: &mut SimClock, idx: usize) -> IqResult<()> {
         let eb = dir_entry_bytes(self.dim);
         let bs = self.dir.block_size();
         let start_byte = idx * eb;
         if start_byte + eb > self.dir_bytes.len() {
             // Appending a brand-new entry: rewrite wholesale (rare).
-            self.rewrite_directory(clock);
-            return;
+            return self.rewrite_directory(clock);
         }
         let mut entry = Vec::with_capacity(eb);
         let meta = self.pages[idx].clone();
@@ -423,11 +521,10 @@ impl IqTree {
         let last_block = (start_byte + eb - 1) / bs;
         let lo = first_block * bs;
         let hi = ((last_block + 1) * bs).min(self.dir_bytes.len());
+        let patch = self.dir_bytes[lo..hi].to_vec();
         // Entry payload starts at logical block 1.
-        self.dir
-            .write_blocks(clock, first_block as u64 + 1, &self.dir_bytes[lo..hi])
-            .expect("patch directory entry");
-        self.write_superblock(clock);
+        self.dev_write(clock, Level::Dir, first_block as u64 + 1, &patch)?;
+        self.write_superblock(clock)
     }
 
     /// Dimensionality of the indexed points.
@@ -556,14 +653,6 @@ impl IqTree {
         self.exact.as_ref()
     }
 
-    pub(crate) fn quant_dev_mut(&mut self) -> &mut dyn BlockDevice {
-        self.quant.as_mut()
-    }
-
-    pub(crate) fn exact_dev_mut(&mut self) -> &mut dyn BlockDevice {
-        self.exact.as_mut()
-    }
-
     pub(crate) fn block_size(&self) -> usize {
         self.codec.block_size()
     }
@@ -582,6 +671,9 @@ impl IqTree {
 
     pub(crate) fn waste_exact(&mut self, blocks: u64) {
         self.wasted_exact_blocks += blocks;
+        iq_obs::global()
+            .gauge("wasted_exact_blocks")
+            .set(self.wasted_exact_blocks as f64);
     }
 
     /// Charges the first-level directory scan (every query starts with it)
@@ -637,13 +729,6 @@ impl IqTree {
             u64::from(meta.exact_blocks),
             &self.opts.retry,
         )
-    }
-
-    /// [`Self::try_read_exact_region`] for the update path, which holds
-    /// `&mut self` and treats an unreadable region as fatal.
-    pub(crate) fn read_exact_region(&self, clock: &mut SimClock, page_idx: usize) -> Vec<u8> {
-        self.try_read_exact_region(clock, page_idx)
-            .expect("read exact region")
     }
 }
 
@@ -769,12 +854,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         for i in 0..3_000u32 {
             let p: Vec<f32> = (0..6).map(|_| rng.gen::<f32>() * 0.05).collect();
-            tree.insert(&mut clock, 3_000 + i, &p);
+            tree.insert(&mut clock, 3_000 + i, &p).unwrap();
         }
         let degraded = tree.estimated_query_cost(&disk);
         assert!(degraded > before, "{degraded} vs {before}");
         // A rebuild improves the modeled cost (or at least never hurts).
-        tree.rebuild(&mut clock, || Box::new(MemDevice::new(4096)));
+        tree.rebuild(&mut clock, || Box::new(MemDevice::new(4096)))
+            .unwrap();
         let rebuilt = tree.estimated_query_cost(&disk);
         assert!(rebuilt <= degraded * 1.001, "{rebuilt} vs {degraded}");
     }

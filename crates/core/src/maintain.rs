@@ -11,14 +11,15 @@
 use crate::{IqTree, IqTreeOptions};
 use iq_geometry::Dataset;
 use iq_quantize::EXACT_BITS;
-use iq_storage::{BlockDevice, SimClock};
+use iq_storage::{BlockDevice, IqError, IqResult, SimClock};
 
 impl IqTree {
     /// Extracts every `(id, point)` currently stored, in page order.
     ///
     /// Reads the whole second level sequentially plus the exact regions of
-    /// non-exact pages (all charged to the clock).
-    pub fn export_points(&self, clock: &mut SimClock) -> (Vec<u32>, Dataset) {
+    /// non-exact pages (all charged to the clock). Unreadable or
+    /// undecodable blocks surface as typed errors.
+    pub fn export_points(&self, clock: &mut SimClock) -> IqResult<(Vec<u32>, Dataset)> {
         let dim = self.dim();
         let mut ids = Vec::with_capacity(self.len());
         let mut points = Dataset::with_capacity(dim, self.len());
@@ -29,25 +30,32 @@ impl IqTree {
             }
             let block = meta.quant_block;
             let bytes =
-                iq_storage::read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry())
-                    .expect("read quantized page");
-            let decoded = self.codec().decode(&bytes);
+                iq_storage::read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry())?;
+            let decoded = self.codec().try_decode(&bytes)?;
             if decoded.bits() == EXACT_BITS {
                 for i in 0..decoded.len() {
                     ids.push(decoded.id(i));
-                    points.push(&decoded.exact_point(i).expect("exact page"));
+                    points.push(&decoded.exact_point(i).ok_or_else(|| IqError::Decode {
+                        detail: format!("page {idx}: exact-bits point {i} missing"),
+                    })?);
                 }
             } else {
-                let region = self.read_exact_region(clock, idx);
+                let region = self.try_read_exact_region(clock, idx)?;
+                let eb = self.exact_codec().entry_bytes();
                 for i in 0..decoded.len() {
-                    let (id, coords) = self.exact_codec().decode_entry(&region, i);
+                    let span = region
+                        .get(i * eb..(i + 1) * eb)
+                        .ok_or_else(|| IqError::Decode {
+                            detail: format!("exact region of page {idx} too short for entry {i}"),
+                        })?;
+                    let (id, coords) = self.exact_codec().try_decode_entry_at(span)?;
                     debug_assert_eq!(id, decoded.id(i), "levels 2 and 3 agree on ids");
                     ids.push(decoded.id(i));
                     points.push(&coords);
                 }
             }
         }
-        (ids, points)
+        Ok((ids, points))
     }
 
     /// Rebuilds the tree from its current contents: re-partitions,
@@ -55,7 +63,10 @@ impl IqTree {
     /// orphaned blocks) and replaces `self`.
     ///
     /// `make_dev` provides the three replacement devices, exactly as in
-    /// [`IqTree::build`]. Stored point ids are preserved.
+    /// [`IqTree::build`]. Stored point ids are preserved, as is an
+    /// attached WAL: the rebuilt files supersede everything the log
+    /// recorded, so the log is emptied and re-attached with the
+    /// generation bumped.
     ///
     /// # Panics
     /// Panics if the tree is empty.
@@ -63,12 +74,23 @@ impl IqTree {
         &mut self,
         clock: &mut SimClock,
         make_dev: impl FnMut() -> Box<dyn BlockDevice>,
-    ) {
+    ) -> IqResult<()> {
         assert!(!self.is_empty(), "cannot rebuild an empty tree");
-        let (ids, points) = self.export_points(clock);
+        self.ensure_writable()?;
+        let (ids, points) = self.export_points(clock)?;
         let opts: IqTreeOptions = *self.options();
-        let fresh = IqTree::build_with_ids(&points, &ids, self.metric(), opts, make_dev, clock);
+        let mut fresh = IqTree::build_with_ids(&points, &ids, self.metric(), opts, make_dev, clock);
+        // The fresh files are a complete checkpoint of the data: start a
+        // new generation and an empty log.
+        fresh.generation = self.generation + 1;
+        fresh.write_superblock(clock)?;
+        if let Some(mut wal) = self.wal.take() {
+            wal.reset(clock)?;
+            fresh.wal = Some(wal);
+        }
         *self = fresh;
+        iq_obs::global().gauge("wasted_exact_blocks").set(0.0);
+        Ok(())
     }
 }
 
@@ -83,7 +105,7 @@ mod tests {
     fn export_returns_every_point_once() {
         let ds = random_ds(1_500, 5, 81);
         let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
-        let (ids, points) = tree.export_points(&mut clock);
+        let (ids, points) = tree.export_points(&mut clock).unwrap();
         assert_eq!(ids.len(), 1_500);
         assert_eq!(points.len(), 1_500);
         let mut sorted = ids.clone();
@@ -106,18 +128,19 @@ mod tests {
         let mut extra = Vec::new();
         for i in 0..500u32 {
             let p: Vec<f32> = (0..4).map(|_| rng.gen()).collect();
-            tree.insert(&mut clock, 2_000 + i, &p);
+            tree.insert(&mut clock, 2_000 + i, &p).unwrap();
             extra.push(p);
         }
         for i in 0..200u32 {
-            assert!(tree.delete(&mut clock, i, ds.point(i as usize)));
+            assert!(tree.delete(&mut clock, i, ds.point(i as usize)).unwrap());
         }
         let wasted_before = tree.wasted_exact_blocks();
         let before: Vec<_> = (0..5)
             .map(|i| tree.nearest(&mut clock, &extra[i]).expect("non-empty"))
             .collect();
 
-        tree.rebuild(&mut clock, || Box::new(MemDevice::new(1024)));
+        tree.rebuild(&mut clock, || Box::new(MemDevice::new(1024)))
+            .unwrap();
 
         assert_eq!(tree.len(), 2_300);
         assert_eq!(tree.wasted_exact_blocks(), 0);
@@ -133,7 +156,8 @@ mod tests {
     fn rebuild_preserves_original_ids() {
         let ds = random_ds(800, 3, 84);
         let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
-        tree.rebuild(&mut clock, || Box::new(MemDevice::new(512)));
+        tree.rebuild(&mut clock, || Box::new(MemDevice::new(512)))
+            .unwrap();
         for i in (0..800).step_by(97) {
             let (id, d) = tree.nearest(&mut clock, ds.point(i)).expect("non-empty");
             assert_eq!(id as usize, i);

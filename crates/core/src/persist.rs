@@ -27,11 +27,18 @@ pub const SUPERBLOCK_MAGIC: [u8; 8] = *b"IQTRIDX\0";
 
 /// Current on-disk format version. Version 1 was the headerless,
 /// unchecksummed layout; version 2 added the superblock, per-block CRCs
-/// and id-prefixed exact entries.
-pub const FORMAT_VERSION: u32 = 2;
+/// and id-prefixed exact entries; version 3 added the superblock
+/// generation (bumped by every checkpoint) for WAL-era disambiguation.
+/// Version-2 indexes still open — read-only, since their updates would
+/// not be crash-consistent under the new protocol.
+pub const FORMAT_VERSION: u32 = 3;
 
-/// Serialized size of the superblock payload.
-const SUPERBLOCK_BYTES: usize = 8 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
+/// Oldest on-disk format this build still reads (read-only).
+pub const MIN_READ_VERSION: u32 = 2;
+
+/// Serialized size of the superblock payload (version 3; version 2 lacks
+/// the trailing generation).
+const SUPERBLOCK_BYTES: usize = 8 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 8;
 
 fn metric_code(metric: Metric) -> u8 {
     match metric {
@@ -53,6 +60,9 @@ fn metric_from_code(code: u8) -> Option<Metric> {
 /// The decoded header in logical block 0 of the directory file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Superblock {
+    /// On-disk format version this header was decoded from (or will be
+    /// encoded as — [`IqTree`] always writes [`FORMAT_VERSION`]).
+    pub version: u32,
     /// Logical block size all three files share.
     pub block_size: u32,
     /// Dimensionality of the indexed points.
@@ -69,6 +79,10 @@ pub struct Superblock {
     pub exact_blocks: u64,
     /// CRC32 over the directory entry payload (blocks 1..).
     pub dir_crc: u32,
+    /// Checkpoint generation (version 3+; 0 for version-2 indexes). The
+    /// WAL restarts its sequence numbers after every checkpoint, so the
+    /// generation tells recovery which era a log belongs to.
+    pub generation: u64,
 }
 
 impl Superblock {
@@ -76,7 +90,7 @@ impl Superblock {
     pub fn encode(&self, bs: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(bs);
         out.extend_from_slice(&SUPERBLOCK_MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
         out.extend_from_slice(&self.block_size.to_le_bytes());
         out.extend_from_slice(&self.dim.to_le_bytes());
         out.extend_from_slice(&u32::from(metric_code(self.metric)).to_le_bytes());
@@ -85,6 +99,7 @@ impl Superblock {
         out.extend_from_slice(&self.quant_blocks.to_le_bytes());
         out.extend_from_slice(&self.exact_blocks.to_le_bytes());
         out.extend_from_slice(&self.dir_crc.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
         debug_assert_eq!(out.len(), SUPERBLOCK_BYTES);
         assert!(out.len() <= bs, "block size {bs} too small for superblock");
         out.resize(bs, 0);
@@ -111,7 +126,7 @@ impl Superblock {
         let u32_at = |o: usize| u32::from_le_bytes(block[o..o + 4].try_into().expect("4 bytes"));
         let u64_at = |o: usize| u64::from_le_bytes(block[o..o + 8].try_into().expect("8 bytes"));
         let version = u32_at(8);
-        if version != FORMAT_VERSION {
+        if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(IqError::Version {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -125,6 +140,7 @@ impl Superblock {
                 detail: format!("unknown metric code {metric_raw}"),
             })?;
         Ok(Self {
+            version,
             block_size: u32_at(12),
             dim: u32_at(16),
             metric,
@@ -133,6 +149,9 @@ impl Superblock {
             quant_blocks: u64_at(40),
             exact_blocks: u64_at(48),
             dir_crc: u32_at(56),
+            // Version 2 predates the generation field; its bytes at offset
+            // 60 are zero padding either way.
+            generation: if version >= 3 { u64_at(60) } else { 0 },
         })
     }
 }
@@ -168,6 +187,70 @@ impl IqTree {
         let dir = crate::wrap_device(dir, opts.cache_blocks, "dir");
         let quant = crate::wrap_device(quant, opts.cache_blocks, "quant");
         let exact = crate::wrap_device(exact, opts.cache_blocks, "exact");
+        Self::open_wrapped(dim, metric, opts, dir, quant, exact, clock)
+    }
+
+    /// Like [`IqTree::open`], but additionally adopts the index's
+    /// write-ahead log: the surviving log is scanned, its torn tail and any
+    /// unfinished transaction are truncated away, committed transactions
+    /// are replayed onto the level files (idempotently — records are
+    /// positional after-images), and only then is the index validated and
+    /// opened. The returned tree keeps the log attached, so further
+    /// updates stay crash-consistent.
+    ///
+    /// This is THE way to open an index that takes dynamic updates: after
+    /// a crash at any point of any update, it restores exactly the state
+    /// of the committed operation prefix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_with_wal(
+        dim: usize,
+        metric: Metric,
+        opts: IqTreeOptions,
+        dir: Box<dyn BlockDevice>,
+        quant: Box<dyn BlockDevice>,
+        exact: Box<dyn BlockDevice>,
+        wal_store: Box<dyn iq_storage::wal::WalStore>,
+        clock: &mut SimClock,
+    ) -> IqResult<(Self, crate::RecoveryReport)> {
+        let mut dir = crate::wrap_device(dir, opts.cache_blocks, "dir");
+        let mut quant = crate::wrap_device(quant, opts.cache_blocks, "quant");
+        let mut exact = crate::wrap_device(exact, opts.cache_blocks, "exact");
+        let (wal, scan) = iq_wal::Wal::open(wal_store, clock)?;
+        let replayed = crate::durability::replay_txns(
+            &scan.txns,
+            dir.as_mut(),
+            quant.as_mut(),
+            exact.as_mut(),
+            clock,
+        )?;
+        let report = crate::RecoveryReport {
+            replayed_txns: scan.txns.len(),
+            replayed_frames: replayed,
+            discarded_bytes: (scan.valid_len - scan.committed_len) + scan.torn_bytes,
+            uncommitted_frames: scan.uncommitted.len(),
+            stop_reason: scan.stop_reason.clone(),
+            wal_bytes: scan.committed_len,
+        };
+        let mut tree = Self::open_wrapped(dim, metric, opts, dir, quant, exact, clock)?;
+        if tree.read_only {
+            return Err(superblock_err(
+                "cannot attach a WAL to a read-only (older-format) index".into(),
+            ));
+        }
+        tree.wal = Some(wal);
+        Ok((tree, report))
+    }
+
+    /// [`IqTree::open`] over devices already wrapped in the standard stack.
+    pub(crate) fn open_wrapped(
+        dim: usize,
+        metric: Metric,
+        opts: IqTreeOptions,
+        dir: Box<dyn BlockDevice>,
+        quant: Box<dyn BlockDevice>,
+        exact: Box<dyn BlockDevice>,
+        clock: &mut SimClock,
+    ) -> IqResult<Self> {
         let bs = dir.block_size();
         if quant.block_size() != bs || exact.block_size() != bs {
             return Err(superblock_err(format!(
@@ -319,6 +402,11 @@ impl IqTree {
             dir_params,
             trace: Default::default(),
             wasted_exact_blocks: 0,
+            wal: None,
+            txn: None,
+            generation: sb.generation,
+            read_only: sb.version < FORMAT_VERSION,
+            poisoned: false,
         })
     }
 }
@@ -348,6 +436,7 @@ mod tests {
     #[test]
     fn superblock_roundtrips() {
         let sb = Superblock {
+            version: FORMAT_VERSION,
             block_size: 1020,
             dim: 7,
             metric: Metric::Manhattan,
@@ -356,6 +445,7 @@ mod tests {
             quant_blocks: 41,
             exact_blocks: 99,
             dir_crc: 0xDEAD_BEEF,
+            generation: 17,
         };
         let block = sb.encode(1020);
         assert_eq!(block.len(), 1020);
@@ -365,6 +455,7 @@ mod tests {
     #[test]
     fn superblock_rejects_bad_magic_and_future_version() {
         let sb = Superblock {
+            version: FORMAT_VERSION,
             block_size: 508,
             dim: 2,
             metric: Metric::Euclidean,
@@ -373,6 +464,7 @@ mod tests {
             quant_blocks: 1,
             exact_blocks: 0,
             dir_crc: 0,
+            generation: 0,
         };
         let mut block = sb.encode(508);
         block[0] ^= 0xFF;
@@ -500,13 +592,99 @@ mod tests {
         )
         .expect("clean index opens");
         let p = [0.9f32, 0.8, 0.7, 0.6];
-        reopened.insert(&mut clock, 12_345, &p);
+        reopened.insert(&mut clock, 12_345, &p).unwrap();
         assert_eq!(
             reopened.nearest(&mut clock, &p).expect("non-empty").0,
             12_345
         );
-        assert!(reopened.delete(&mut clock, 12_345, &p));
+        assert!(reopened.delete(&mut clock, 12_345, &p).unwrap());
         assert_eq!(reopened.len(), 800);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// A version-2 index (the pre-WAL format) still opens and answers
+    /// queries, but read-only: updates are refused with a typed error and
+    /// a WAL cannot be attached.
+    #[test]
+    fn version_2_index_opens_read_only() {
+        let dir = temp_dir("v2-compat");
+        let ds = random_ds(500, 4, 94);
+        let mut clock = SimClock::default();
+        let names = ["d.bin", "q.bin", "e.bin"];
+        let mut it = names.iter();
+        let tree = IqTree::build(
+            &ds,
+            Metric::Euclidean,
+            IqTreeOptions::default(),
+            || file_dev(&dir, it.next().expect("three"), true),
+            &mut clock,
+        );
+        let q = vec![0.3f32; 4];
+        let expect = tree.knn(&mut clock, &q, 5);
+        drop(tree);
+
+        // Downgrade the on-disk superblock to format version 2, exactly as
+        // an old writer laid it out: version field 2, no generation, and a
+        // recomputed block checksum (the CRC lives in the last 4 bytes of
+        // the 1024-byte physical block).
+        let path = dir.join("d.bin");
+        let mut bytes = std::fs::read(&path).expect("read dir file");
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
+            FORMAT_VERSION,
+        );
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        bytes[60..68].fill(0);
+        let crc = iq_storage::crc32(&bytes[..1020]);
+        bytes[1020..1024].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write dir file");
+
+        let mut reopened = IqTree::open(
+            4,
+            Metric::Euclidean,
+            IqTreeOptions::default(),
+            file_dev(&dir, "d.bin", false),
+            file_dev(&dir, "q.bin", false),
+            file_dev(&dir, "e.bin", false),
+            &mut clock,
+        )
+        .expect("a v2 index still opens");
+        assert!(reopened.is_read_only());
+        assert_eq!(reopened.generation(), 0);
+        assert_eq!(
+            reopened.knn(&mut clock, &q, 5),
+            expect,
+            "queries still exact"
+        );
+
+        let err = reopened
+            .insert(&mut clock, 9_999, &[0.5; 4])
+            .expect_err("v2 indexes refuse updates");
+        assert!(matches!(err, IqError::Superblock { .. }), "{err}");
+        assert!(
+            format!("{err}").contains("read-only"),
+            "error names the cause: {err}"
+        );
+        let err = reopened
+            .delete(&mut clock, 0, ds.point(0))
+            .expect_err("v2 indexes refuse deletes");
+        assert!(matches!(err, IqError::Superblock { .. }), "{err}");
+
+        // And the WAL door is closed too.
+        let err = match IqTree::open_with_wal(
+            4,
+            Metric::Euclidean,
+            IqTreeOptions::default(),
+            file_dev(&dir, "d.bin", false),
+            file_dev(&dir, "q.bin", false),
+            file_dev(&dir, "e.bin", false),
+            Box::new(iq_storage::MemWal::new()),
+            &mut clock,
+        ) {
+            Ok(_) => panic!("no WAL on a read-only index"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, IqError::Superblock { .. }), "{err}");
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

@@ -9,13 +9,20 @@
 //!
 //! Exact regions are relocated (appended) when they grow; the blocks they
 //! leave behind are tracked in [`IqTree::wasted_exact_blocks`] and
-//! reclaimed by a rebuild.
+//! reclaimed by a rebuild or a [`IqTree::checkpoint`].
+//!
+//! With a WAL attached every mutation is one transaction: page loads
+//! happen first, the new page images are staged, logged with a commit
+//! frame and synced, and only then written to the level files (see
+//! [`crate::durability`]). Without a WAL the writes go straight to the
+//! devices — the pre-WAL behavior, durable only between operations.
 
 use crate::{IqTree, PageMeta};
 use iq_cost::directory;
 use iq_geometry::Mbr;
 use iq_quantize::EXACT_BITS;
-use iq_storage::SimClock;
+use iq_storage::{IqError, IqResult, SimClock};
+use iq_wal::{Level, WalRecord};
 
 /// A fully materialized page during an update: ids plus exact coordinates.
 struct LoadedPage {
@@ -36,32 +43,57 @@ impl LoadedPage {
 impl IqTree {
     /// Loads ids and exact coordinates of every point in a page.
     ///
-    /// Updates hold `&mut self` and cannot degrade to partial state: an
-    /// unreadable page here is fatal (queries, by contrast, fall back).
-    fn load_page(&self, clock: &mut SimClock, idx: usize) -> LoadedPage {
+    /// Any unreadable or undecodable block surfaces as a typed error; the
+    /// calling operation aborts without having touched the files.
+    fn load_page(&self, clock: &mut SimClock, idx: usize) -> IqResult<LoadedPage> {
         let meta = self.pages()[idx].clone();
         let block = meta.quant_block;
-        let bytes = iq_storage::read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry())
-            .expect("read quantized page");
-        let decoded = self.codec().decode(&bytes);
+        let bytes = iq_storage::read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry())?;
+        let decoded = self.codec().try_decode(&bytes)?;
         let ids: Vec<u32> = (0..decoded.len()).map(|i| decoded.id(i)).collect();
         let coords: Vec<f32> = if decoded.bits() == EXACT_BITS {
-            (0..decoded.len())
-                .flat_map(|i| decoded.exact_point(i).expect("exact page"))
-                .collect()
+            let mut coords = Vec::with_capacity(decoded.len() * self.dim());
+            for i in 0..decoded.len() {
+                coords.extend(decoded.exact_point(i).ok_or_else(|| IqError::Decode {
+                    detail: format!(
+                        "page {idx} claims {} exact bits but point {i} has none",
+                        EXACT_BITS
+                    ),
+                })?);
+            }
+            coords
         } else {
-            let region = self.read_exact_region(clock, idx);
+            let region = self.try_read_exact_region(clock, idx)?;
             let codec = *self.exact_codec();
-            (0..decoded.len())
-                .flat_map(|i| codec.decode_entry(&region, i).1)
-                .collect()
+            let eb = codec.entry_bytes();
+            let mut coords = Vec::with_capacity(decoded.len() * self.dim());
+            for i in 0..decoded.len() {
+                let span = region
+                    .get(i * eb..(i + 1) * eb)
+                    .ok_or_else(|| IqError::Decode {
+                        detail: format!(
+                            "exact region of page {idx} holds {} byte(s), entry {i} needs {}",
+                            region.len(),
+                            (i + 1) * eb
+                        ),
+                    })?;
+                let (_, pt) = codec.try_decode_entry_at(span)?;
+                coords.extend(pt);
+            }
+            coords
         };
-        LoadedPage { ids, coords }
+        Ok(LoadedPage { ids, coords })
     }
 
     /// Writes a page's quantized block (in place) and exact region
     /// (appended when it grows or moves), updating the directory entry.
-    fn store_page(&mut self, clock: &mut SimClock, idx: usize, page: &LoadedPage, g: u32) {
+    fn store_page(
+        &mut self,
+        clock: &mut SimClock,
+        idx: usize,
+        page: &LoadedPage,
+        g: u32,
+    ) -> IqResult<()> {
         let dim = self.dim();
         let mbr = page.mbr(dim);
         let quant_bytes = {
@@ -77,9 +109,7 @@ impl IqTree {
         };
         let old = self.pages()[idx].clone();
         let quant_block = old.quant_block;
-        self.quant_dev_mut()
-            .write_blocks(clock, quant_block, &quant_bytes)
-            .expect("write quantized page");
+        self.dev_write(clock, Level::Quant, quant_block, &quant_bytes)?;
 
         let (exact_start, exact_blocks) = if g < EXACT_BITS {
             let bytes = {
@@ -97,16 +127,11 @@ impl IqTree {
                 let mut padded = bytes;
                 padded.resize(nblocks as usize * self.block_size(), 0);
                 let start = old.exact_start;
-                self.exact_dev_mut()
-                    .write_blocks(clock, start, &padded)
-                    .expect("write exact region");
+                self.dev_write(clock, Level::Exact, start, &padded)?;
                 (start, nblocks)
             } else {
                 self.waste_exact(u64::from(old.exact_blocks));
-                let start = self
-                    .exact_dev_mut()
-                    .append(clock, &bytes)
-                    .expect("append exact region");
+                let start = self.dev_append(clock, Level::Exact, &bytes)?;
                 (start, nblocks)
             }
         } else {
@@ -125,12 +150,12 @@ impl IqTree {
                 exact_blocks,
             },
         );
-        self.patch_dir_entry(clock, idx);
+        self.patch_dir_entry(clock, idx)
     }
 
     /// Appends a brand-new page (quantized block + exact region + directory
     /// entry).
-    fn append_page(&mut self, clock: &mut SimClock, page: &LoadedPage, g: u32) {
+    fn append_page(&mut self, clock: &mut SimClock, page: &LoadedPage, g: u32) -> IqResult<()> {
         let dim = self.dim();
         let mbr = page.mbr(dim);
         let quant_bytes = {
@@ -144,10 +169,7 @@ impl IqTree {
                     .map(|(i, &id)| (id, page.point(i, dim))),
             )
         };
-        let quant_block = self
-            .quant_dev_mut()
-            .append(clock, &quant_bytes)
-            .expect("append quantized page");
+        let quant_block = self.dev_append(clock, Level::Quant, &quant_bytes)?;
         let (exact_start, exact_blocks) = if g < EXACT_BITS {
             let bytes = {
                 let codec = *self.exact_codec();
@@ -159,10 +181,7 @@ impl IqTree {
                 )
             };
             let nblocks = bytes.len().div_ceil(self.block_size()) as u32;
-            let start = self
-                .exact_dev_mut()
-                .append(clock, &bytes)
-                .expect("append exact region");
+            let start = self.dev_append(clock, Level::Exact, &bytes)?;
             (start, nblocks)
         } else {
             (0, 0)
@@ -176,18 +195,36 @@ impl IqTree {
             exact_blocks,
         });
         let idx = self.pages().len() - 1;
-        self.patch_dir_entry(clock, idx);
+        self.patch_dir_entry(clock, idx)
     }
 
     /// Inserts a point with the given id.
     ///
+    /// With a WAL attached the insert is atomic: it is either durably
+    /// applied or (on any error) has no effect at all. Without one, an
+    /// error can leave the on-disk files mid-operation.
+    ///
     /// # Panics
     /// Panics if the tree is empty (build it with at least one point) or
     /// the dimensionality mismatches.
-    pub fn insert(&mut self, clock: &mut SimClock, id: u32, p: &[f32]) {
+    pub fn insert(&mut self, clock: &mut SimClock, id: u32, p: &[f32]) -> IqResult<()> {
         assert_eq!(p.len(), self.dim(), "point dimensionality mismatch");
         assert!(!self.pages().is_empty(), "insert requires a built tree");
+        self.ensure_writable()?;
+        self.begin_txn(WalRecord::Insert {
+            id: u64::from(id),
+            point: p.iter().map(|&c| f64::from(c)).collect(),
+        });
+        match self.insert_inner(clock, id, p) {
+            Ok(()) => self.commit_txn(clock),
+            Err(e) => {
+                self.abort_txn();
+                Err(e)
+            }
+        }
+    }
 
+    fn insert_inner(&mut self, clock: &mut SimClock, id: u32, p: &[f32]) -> IqResult<()> {
         // Choose the non-empty page whose MBR needs least enlargement
         // (cleared pages keep a stale MBR and must never be chosen).
         let idx = self
@@ -211,12 +248,12 @@ impl IqTree {
                 ids: vec![id],
                 coords: p.to_vec(),
             };
-            self.store_page(clock, 0, &page, iq_quantize::EXACT_BITS.min(32));
+            self.store_page(clock, 0, &page, iq_quantize::EXACT_BITS.min(32))?;
             self.bump_len(1);
-            return;
+            return Ok(());
         };
 
-        let mut page = self.load_page(clock, idx);
+        let mut page = self.load_page(clock, idx)?;
         page.ids.push(id);
         page.coords.extend_from_slice(p);
         self.bump_len(1);
@@ -225,8 +262,7 @@ impl IqTree {
         if page.ids.len() <= self.codec().capacity(g) {
             // Fits at the current resolution: re-encode (the MBR and hence
             // the grid may have grown).
-            self.store_page(clock, idx, &page, g);
-            return;
+            return self.store_page(clock, idx, &page, g);
         }
 
         // Overflow: split or coarsen, whichever the model prefers
@@ -295,11 +331,20 @@ impl IqTree {
 
         match coarsen_cost {
             Some(cc) if cc <= split_cost => {
-                self.store_page(clock, idx, &page, coarse_g.expect("some"));
+                let cg = coarse_g.expect("some");
+                self.note_record(WalRecord::Requantize {
+                    page: idx as u64,
+                    g: cg,
+                });
+                self.store_page(clock, idx, &page, cg)
             }
             _ => {
-                self.store_page(clock, idx, &left, lg);
-                self.append_page(clock, &right, rg);
+                self.note_record(WalRecord::Split {
+                    page: idx as u64,
+                    new_page: self.pages().len() as u64,
+                });
+                self.store_page(clock, idx, &left, lg)?;
+                self.append_page(clock, &right, rg)
             }
         }
     }
@@ -312,8 +357,12 @@ impl IqTree {
     /// combined population still fits a page and the cost model prefers the
     /// merged configuration (the paper's "undo the split" maintenance,
     /// Section 6).
-    pub fn delete(&mut self, clock: &mut SimClock, id: u32, p: &[f32]) -> bool {
+    ///
+    /// With a WAL attached the delete is atomic (all-or-nothing), like
+    /// [`IqTree::insert`].
+    pub fn delete(&mut self, clock: &mut SimClock, id: u32, p: &[f32]) -> IqResult<bool> {
         assert_eq!(p.len(), self.dim(), "point dimensionality mismatch");
+        self.ensure_writable()?;
         let candidates: Vec<usize> = self
             .pages()
             .iter()
@@ -322,37 +371,79 @@ impl IqTree {
             .map(|(i, _)| i)
             .collect();
         clock.charge_dist_evals(self.dim(), self.pages().len() as u64);
+        // Find phase: reads only, no transaction yet (a not-found delete
+        // must not log anything).
+        let mut found = None;
         for idx in candidates {
-            let mut page = self.load_page(clock, idx);
+            let page = self.load_page(clock, idx)?;
             if let Some(pos) = page.ids.iter().position(|&x| x == id) {
-                page.ids.remove(pos);
-                let dim = self.dim();
-                page.coords.drain(pos * dim..(pos + 1) * dim);
-                self.bump_len(-1);
-                if page.ids.is_empty() {
-                    self.clear_page(clock, idx);
-                } else if !self.try_merge_underflow(clock, idx, &page) {
-                    // The freed capacity may admit a finer resolution.
-                    let g = self
-                        .codec()
-                        .max_bits_for(page.ids.len())
-                        .expect("fewer points always fit");
-                    let g = g.max(self.pages()[idx].g); // never coarsen on delete
-                    self.store_page(clock, idx, &page, g);
-                }
-                return true;
+                found = Some((idx, page, pos));
+                break;
             }
         }
-        false
+        let Some((idx, page, pos)) = found else {
+            return Ok(false);
+        };
+        self.begin_txn(WalRecord::Delete {
+            id: u64::from(id),
+            point: p.iter().map(|&c| f64::from(c)).collect(),
+        });
+        match self.delete_found(clock, idx, page, pos) {
+            Ok(()) => {
+                self.commit_txn(clock)?;
+                Ok(true)
+            }
+            Err(e) => {
+                self.abort_txn();
+                Err(e)
+            }
+        }
+    }
+
+    fn delete_found(
+        &mut self,
+        clock: &mut SimClock,
+        idx: usize,
+        mut page: LoadedPage,
+        pos: usize,
+    ) -> IqResult<()> {
+        page.ids.remove(pos);
+        let dim = self.dim();
+        page.coords.drain(pos * dim..(pos + 1) * dim);
+        self.bump_len(-1);
+        if page.ids.is_empty() {
+            self.clear_page(clock, idx)
+        } else if self.try_merge_underflow(clock, idx, &page)? {
+            Ok(())
+        } else {
+            // The freed capacity may admit a finer resolution.
+            let g = self
+                .codec()
+                .max_bits_for(page.ids.len())
+                .expect("fewer points always fit");
+            let g = g.max(self.pages()[idx].g); // never coarsen on delete
+            if g != self.pages()[idx].g {
+                self.note_record(WalRecord::Requantize {
+                    page: idx as u64,
+                    g,
+                });
+            }
+            self.store_page(clock, idx, &page, g)
+        }
     }
 
     /// Attempts to merge an underflowing page into its best neighbor.
-    /// Returns `true` if the merge happened (the caller must not store the
-    /// page again).
-    fn try_merge_underflow(&mut self, clock: &mut SimClock, idx: usize, page: &LoadedPage) -> bool {
+    /// Returns `Ok(true)` if the merge happened (the caller must not store
+    /// the page again).
+    fn try_merge_underflow(
+        &mut self,
+        clock: &mut SimClock,
+        idx: usize,
+        page: &LoadedPage,
+    ) -> IqResult<bool> {
         let underflow = self.codec().capacity(1) / 4;
         if page.ids.len() >= underflow.max(1) {
-            return false;
+            return Ok(false);
         }
         let dim = self.dim();
         let my_mbr = page.mbr(dim);
@@ -377,7 +468,7 @@ impl IqTree {
             })
             .map(|(j, _)| j);
         clock.charge_dist_evals(dim, self.pages().len() as u64);
-        let Some(j) = partner else { return false };
+        let Some(j) = partner else { return Ok(false) };
 
         // Model check: merged page at its best resolution vs the two pages
         // separately (plus one partition of constant cost).
@@ -385,7 +476,7 @@ impl IqTree {
         let refine = *self.refine_params();
         let dirp = *self.dir_params();
         let sides_of = |mbr: &Mbr| -> Vec<f32> { (0..dim).map(|i| mbr.extent(i) as f32).collect() };
-        let other = self.load_page(clock, j);
+        let other = self.load_page(clock, j)?;
         let mut merged = LoadedPage {
             ids: page.ids.clone(),
             coords: page.coords.clone(),
@@ -415,18 +506,18 @@ impl IqTree {
         ) + (directory::constant_cost(&dirp, &disk, n_pages)
             - directory::constant_cost(&dirp, &disk, n_pages - 1));
         if merged_cost > separate_cost {
-            return false;
+            return Ok(false);
         }
         // Apply: the partner page absorbs everything; this page is cleared.
-        self.store_page(clock, j, &merged, mg);
-        self.clear_page(clock, idx);
-        true
+        self.store_page(clock, j, &merged, mg)?;
+        self.clear_page(clock, idx)?;
+        Ok(true)
     }
 
     /// Marks a page empty (its blocks become dead space until a rebuild).
     /// The on-disk quantized block is overwritten with an empty page so no
     /// stale contents can ever be decoded.
-    fn clear_page(&mut self, clock: &mut SimClock, idx: usize) {
+    fn clear_page(&mut self, clock: &mut SimClock, idx: usize) -> IqResult<()> {
         let old = self.pages()[idx].clone();
         self.waste_exact(u64::from(old.exact_blocks));
         let empty = {
@@ -434,9 +525,7 @@ impl IqTree {
             codec.encode(&old.mbr, iq_quantize::EXACT_BITS, std::iter::empty())
         };
         let block = old.quant_block;
-        self.quant_dev_mut()
-            .write_blocks(clock, block, &empty)
-            .expect("clear quantized page");
+        self.dev_write(clock, Level::Quant, block, &empty)?;
         self.set_page_meta(
             idx,
             PageMeta {
@@ -448,7 +537,7 @@ impl IqTree {
                 exact_blocks: 0,
             },
         );
-        self.patch_dir_entry(clock, idx);
+        self.patch_dir_entry(clock, idx)
     }
 }
 
@@ -471,7 +560,7 @@ mod tests {
         let extra = random_ds(400, 5, 22);
         let (mut tree, mut clock) = build_tree(&base, IqTreeOptions::default(), 512);
         for (i, p) in extra.iter().enumerate() {
-            tree.insert(&mut clock, (600 + i) as u32, p);
+            tree.insert(&mut clock, (600 + i) as u32, p).unwrap();
         }
         assert_eq!(tree.len(), 1_000);
         let mut all = base.clone();
@@ -498,7 +587,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(25);
         for i in 0..800u32 {
             let p: Vec<f32> = (0..4).map(|_| 0.25 + rng.gen::<f32>() * 0.1).collect();
-            tree.insert(&mut clock, 200 + i, &p);
+            tree.insert(&mut clock, 200 + i, &p).unwrap();
         }
         assert_eq!(tree.len(), 1_000);
         assert!(
@@ -514,7 +603,7 @@ mod tests {
         // Delete the first 100 points.
         for i in 0..100u32 {
             assert!(
-                tree.delete(&mut clock, i, ds.point(i as usize)),
+                tree.delete(&mut clock, i, ds.point(i as usize)).unwrap(),
                 "point {i}"
             );
         }
@@ -525,7 +614,7 @@ mod tests {
             assert!(got.iter().all(|&(id, _)| id >= 100), "{got:?}");
         }
         // Deleting a non-existent point reports false.
-        assert!(!tree.delete(&mut clock, 0, ds.point(0)));
+        assert!(!tree.delete(&mut clock, 0, ds.point(0)).unwrap());
     }
 
     #[test]
@@ -533,7 +622,7 @@ mod tests {
         let ds = random_ds(80, 3, 27);
         let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
         for i in 0..80u32 {
-            assert!(tree.delete(&mut clock, i, ds.point(i as usize)));
+            assert!(tree.delete(&mut clock, i, ds.point(i as usize)).unwrap());
         }
         assert!(tree.is_empty());
         assert!(tree.nearest(&mut clock, &[0.5, 0.5, 0.5]).is_none());
@@ -547,12 +636,13 @@ mod tests {
         let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
         // Delete points until merges/clears happen.
         for i in 0..250u32 {
-            assert!(tree.delete(&mut clock, i, ds.point(i as usize)));
+            assert!(tree.delete(&mut clock, i, ds.point(i as usize)).unwrap());
         }
         assert_eq!(tree.len(), 50);
         // Insert into the emptied regions.
         for i in 0..200u32 {
-            tree.insert(&mut clock, 1_000 + i, ds.point(i as usize));
+            tree.insert(&mut clock, 1_000 + i, ds.point(i as usize))
+                .unwrap();
         }
         assert_eq!(tree.len(), 250);
         let total: u32 = tree.pages().iter().map(|p| p.count).sum();
@@ -575,7 +665,7 @@ mod tests {
         let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
         let pages_before = tree.pages().iter().filter(|p| p.count > 0).count();
         for i in 0..1_000u32 {
-            assert!(tree.delete(&mut clock, i, ds.point(i as usize)));
+            assert!(tree.delete(&mut clock, i, ds.point(i as usize)).unwrap());
         }
         let pages_after = tree.pages().iter().filter(|p| p.count > 0).count();
         assert!(
@@ -590,11 +680,11 @@ mod tests {
         let ds = random_ds(300, 4, 28);
         let (mut tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
         let p = vec![0.111f32, 0.222, 0.333, 0.444];
-        tree.insert(&mut clock, 9_999, &p);
+        tree.insert(&mut clock, 9_999, &p).unwrap();
         let (id, d) = tree.nearest(&mut clock, &p).expect("non-empty");
         assert_eq!(id, 9_999);
         assert!(d < 1e-6);
-        assert!(tree.delete(&mut clock, 9_999, &p));
+        assert!(tree.delete(&mut clock, 9_999, &p).unwrap());
         let (id2, _) = tree.nearest(&mut clock, &p).expect("non-empty");
         assert_ne!(id2, 9_999);
     }

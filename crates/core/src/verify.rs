@@ -36,6 +36,47 @@ impl LevelReport {
     }
 }
 
+/// What scanning a write-ahead-log image found ([`verify_wal`]).
+#[derive(Clone, Debug, Default)]
+pub struct WalReport {
+    /// Total bytes in the log image.
+    pub bytes: u64,
+    /// Whole frames that verified (CRC + consecutive LSNs).
+    pub frames: u64,
+    /// Committed transactions in the valid prefix.
+    pub committed_txns: u64,
+    /// Frames of an unfinished (uncommitted) trailing transaction —
+    /// recovery would discard these.
+    pub uncommitted_frames: u64,
+    /// Bytes past the last whole frame (a torn tail).
+    pub torn_bytes: u64,
+    /// Why the frame scan stopped early, if it did.
+    pub stop_reason: Option<String>,
+}
+
+impl WalReport {
+    /// Whether the log is wholly valid with no recovery work pending: no
+    /// torn tail, no unfinished transaction, every frame checksummed. A
+    /// log that recovery has already processed is always clean.
+    pub fn is_clean(&self) -> bool {
+        self.stop_reason.is_none() && self.uncommitted_frames == 0 && self.torn_bytes == 0
+    }
+}
+
+/// Scans a WAL image with the same frame validation recovery applies,
+/// reporting instead of truncating.
+pub fn verify_wal(image: &[u8]) -> WalReport {
+    let s = iq_wal::scan(image);
+    WalReport {
+        bytes: image.len() as u64,
+        frames: s.frames,
+        committed_txns: s.txns.len() as u64,
+        uncommitted_frames: s.uncommitted.len() as u64,
+        torn_bytes: s.torn_bytes,
+        stop_reason: s.stop_reason,
+    }
+}
+
 /// Everything [`verify_index`] found.
 #[derive(Clone, Debug, Default)]
 pub struct VerifyReport {
@@ -49,14 +90,22 @@ pub struct VerifyReport {
     /// Quantized blocks that verified their CRC but do not decode as a
     /// page (possible after a torn write with a stale checksum).
     pub undecodable_pages: Vec<u64>,
+    /// WAL frame scan, when [`verify_index_with_wal`] was given a log.
+    pub wal: Option<WalReport>,
 }
 
 impl VerifyReport {
-    /// Whether the index is fully intact.
+    /// Whether the index (and its WAL, when one was checked) is fully
+    /// intact with no recovery work pending.
     pub fn is_clean(&self) -> bool {
+        let wal_clean = match &self.wal {
+            Some(w) => w.is_clean(),
+            None => true,
+        };
         self.levels.iter().all(LevelReport::is_clean)
             && self.errors.is_empty()
             && self.undecodable_pages.is_empty()
+            && wal_clean
     }
 
     /// All corrupt blocks across levels as `(level name, block)` pairs.
@@ -277,6 +326,24 @@ pub fn verify_index(
     // Keep level order directory, quantized, exact.
     report.levels.swap(1, 2);
     report.levels.swap(1, 2);
+    report
+}
+
+/// [`verify_index`] plus WAL frame validation: the log image is scanned
+/// with the same checks recovery applies (frame CRCs, consecutive LSNs,
+/// commit-frame boundaries) and the result lands in
+/// [`VerifyReport::wal`]. A torn tail or an unfinished transaction makes
+/// the report unclean — it means a crash happened and recovery
+/// ([`crate::IqTree::open_with_wal`]) has not run yet.
+pub fn verify_index_with_wal(
+    dir: Box<dyn BlockDevice>,
+    quant: Box<dyn BlockDevice>,
+    exact: Box<dyn BlockDevice>,
+    wal_image: &[u8],
+    clock: &mut SimClock,
+) -> VerifyReport {
+    let mut report = verify_index(dir, quant, exact, clock);
+    report.wal = Some(verify_wal(wal_image));
     report
 }
 

@@ -99,12 +99,12 @@ proptest! {
         let mut next_id = ds.len() as u32;
         for (is_insert, p) in ops {
             if is_insert || live.len() <= 1 {
-                tree.insert(&mut clock, next_id, &p);
+                tree.insert(&mut clock, next_id, &p).unwrap();
                 live.push((next_id, p));
                 next_id += 1;
             } else {
                 let (id, victim) = live.swap_remove(live.len() / 2);
-                prop_assert!(tree.delete(&mut clock, id, &victim));
+                prop_assert!(tree.delete(&mut clock, id, &victim).unwrap());
             }
         }
         prop_assert_eq!(tree.len(), live.len());

@@ -2,7 +2,7 @@
 //!
 //! Buckets are derived straight from the IEEE-754 bit pattern of the
 //! recorded value: the unbiased exponent selects an octave and the top
-//! [`SUB_BITS`] mantissa bits split each octave into [`SUBS`] sub-buckets,
+//! `SUB_BITS` mantissa bits split each octave into `SUBS` sub-buckets,
 //! so bucket resolution is a constant factor of `2^(1/SUBS) ≈ 1.19` with
 //! no floating-point math on the record path. Values outside
 //! `[2^MIN_EXP, 2^MAX_EXP)` (including zero and negatives) clamp into the

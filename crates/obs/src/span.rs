@@ -5,8 +5,8 @@
 //! drops. On a disabled registry the guard is empty: entry is one relaxed
 //! atomic load and drop does nothing.
 //!
-//! For hot paths, resolve the [`Histogram`](crate::Histogram) handle once
-//! and use [`SpanGuard::enter_with`]; the [`span!`] macro is the
+//! For hot paths, resolve the [`Histogram`] handle once
+//! and use [`SpanGuard::enter_with`]; the `span!` macro is the
 //! convenient form for per-query phases, resolving against the global
 //! registry by name.
 

@@ -169,6 +169,11 @@ impl BlockDevice for ChecksummedDevice {
         self.inner.write_blocks(clock, start, &image)
     }
 
+    fn truncate_blocks(&mut self, clock: &mut SimClock, nblocks: u64) -> IqResult<()> {
+        // Logical and physical block counts agree (1:1 mapping).
+        self.inner.truncate_blocks(clock, nblocks)
+    }
+
     fn device_id(&self) -> u64 {
         self.inner.device_id()
     }

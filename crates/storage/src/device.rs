@@ -51,6 +51,21 @@ pub trait BlockDevice: Send + Sync {
     /// blocks).
     fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) -> IqResult<()>;
 
+    /// Shrinks the device to `nblocks` blocks, discarding everything after.
+    ///
+    /// Growing is an error ([`IqError::OutOfBounds`]); devices that cannot
+    /// shed blocks (read-only backends) keep the default, which fails with
+    /// a non-transient [`IqError::Io`]. Used by WAL truncation and by
+    /// checkpoint compaction of the exact level.
+    fn truncate_blocks(&mut self, _clock: &mut SimClock, nblocks: u64) -> IqResult<()> {
+        Err(IqError::Io {
+            op: "truncate",
+            block: nblocks,
+            transient: false,
+            detail: "truncate unsupported by this device".into(),
+        })
+    }
+
     /// Stable identifier used by the clock to track head position.
     fn device_id(&self) -> u64;
 
@@ -81,6 +96,24 @@ impl MemDevice {
             data: Vec::new(),
             id: fresh_device_id(),
         }
+    }
+
+    /// Creates a device pre-loaded with a raw byte image (must be a whole
+    /// number of blocks). Used by crash-simulation tests to restore
+    /// snapshots taken with [`MemDevice::contents`].
+    pub fn from_contents(block_size: usize, data: Vec<u8>) -> Self {
+        assert!(block_size > 0);
+        assert_eq!(data.len() % block_size, 0, "partial-block image");
+        Self {
+            block_size,
+            data,
+            id: fresh_device_id(),
+        }
+    }
+
+    /// The raw byte image of the device (all blocks, in order).
+    pub fn contents(&self) -> &[u8] {
+        &self.data
     }
 }
 
@@ -134,6 +167,20 @@ impl BlockDevice for MemDevice {
         let off = (start as usize) * self.block_size;
         self.data[off..off + data.len()].copy_from_slice(data);
         clock.charge_write(self.id, start, nblocks);
+        Ok(())
+    }
+
+    fn truncate_blocks(&mut self, clock: &mut SimClock, nblocks: u64) -> IqResult<()> {
+        if nblocks > self.num_blocks() {
+            return Err(IqError::OutOfBounds {
+                op: "truncate",
+                start: nblocks,
+                nblocks: 0,
+                available: self.num_blocks(),
+            });
+        }
+        self.data.truncate((nblocks as usize) * self.block_size);
+        clock.charge_write(self.id, nblocks, 1);
         Ok(())
     }
 
@@ -259,6 +306,23 @@ impl BlockDevice for FileDevice {
             .write_all_at(data, start * self.block_size as u64)
             .map_err(|e| io_error("write", start, &e))?;
         clock.charge_write(self.id, start, nblocks);
+        Ok(())
+    }
+
+    fn truncate_blocks(&mut self, clock: &mut SimClock, nblocks: u64) -> IqResult<()> {
+        if nblocks > self.num_blocks {
+            return Err(IqError::OutOfBounds {
+                op: "truncate",
+                start: nblocks,
+                nblocks: 0,
+                available: self.num_blocks,
+            });
+        }
+        self.file
+            .set_len(nblocks * self.block_size as u64)
+            .map_err(|e| io_error("truncate", nblocks, &e))?;
+        self.num_blocks = nblocks;
+        clock.charge_write(self.id, nblocks, 1);
         Ok(())
     }
 

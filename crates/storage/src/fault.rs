@@ -105,6 +105,29 @@ fn draw(seed: u64, block: u64, kind: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// The error every mutation reports once an armed crash point fired.
+fn crash_error(op: &'static str, block: u64) -> IqError {
+    IqError::Io {
+        op,
+        block,
+        transient: false,
+        detail: "simulated crash (power loss)".into(),
+    }
+}
+
+/// State of an armed crash point (see
+/// [`FaultInjectingDevice::arm_crash`]).
+#[derive(Clone, Copy, Debug)]
+struct CrashPlan {
+    /// Mutating operations still allowed to complete durably.
+    remaining: u64,
+    /// Whether the triggering write persists a torn prefix (`true`) or
+    /// nothing at all (`false`).
+    torn: bool,
+    /// Set once the crash fired; every later mutation fails too.
+    fired: bool,
+}
+
 /// A fault-injecting wrapper around any block device. See the module docs.
 pub struct FaultInjectingDevice {
     inner: Box<dyn BlockDevice>,
@@ -115,6 +138,8 @@ pub struct FaultInjectingDevice {
     write_faulted: Mutex<HashSet<u64>>,
     /// Explicitly planted permanently-corrupt blocks (bit flipped on read).
     planted: Mutex<HashSet<u64>>,
+    /// Armed kill-at-offset crash point (power loss simulation).
+    crash: Mutex<Option<CrashPlan>>,
     transient_reads: AtomicU64,
     transient_writes: AtomicU64,
     bit_flips: AtomicU64,
@@ -130,6 +155,7 @@ impl FaultInjectingDevice {
             read_faulted: Mutex::new(HashSet::new()),
             write_faulted: Mutex::new(HashSet::new()),
             planted: Mutex::new(HashSet::new()),
+            crash: Mutex::new(None),
             transient_reads: AtomicU64::new(0),
             transient_writes: AtomicU64::new(0),
             bit_flips: AtomicU64::new(0),
@@ -144,6 +170,53 @@ impl FaultInjectingDevice {
             .lock()
             .expect("fault set poisoned")
             .insert(block);
+    }
+
+    /// Arms a simulated power loss: the next `after_writes` mutating
+    /// operations (append / write / truncate — the device's durability
+    /// barrier points) complete durably, then the following one fails with
+    /// a non-transient `"simulated crash"` [`IqError::Io`] — persisting a
+    /// deterministic torn prefix when `torn` is set, nothing otherwise —
+    /// and every mutation after that fails the same way. Reads keep
+    /// working, modeling post-mortem inspection of the surviving bytes.
+    pub fn arm_crash(&self, after_writes: u64, torn: bool) {
+        *self.crash.lock().expect("crash plan poisoned") = Some(CrashPlan {
+            remaining: after_writes,
+            torn,
+            fired: false,
+        });
+    }
+
+    /// Whether an armed crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.crash
+            .lock()
+            .expect("crash plan poisoned")
+            .is_some_and(|p| p.fired)
+    }
+
+    /// Consults the armed crash plan before a mutating op. `Ok(None)` lets
+    /// the op proceed; `Ok(Some(keep))` tears it to `keep` payload bytes
+    /// (caller persists the prefix, then reports the crash error);
+    /// `Err` is the crash itself (nothing persists).
+    fn crash_gate(&self, op: &'static str, start: u64, len: usize) -> IqResult<Option<usize>> {
+        let mut guard = self.crash.lock().expect("crash plan poisoned");
+        let Some(plan) = guard.as_mut() else {
+            return Ok(None);
+        };
+        if plan.fired {
+            return Err(crash_error(op, start));
+        }
+        if plan.remaining > 0 {
+            plan.remaining -= 1;
+            return Ok(None);
+        }
+        plan.fired = true;
+        if plan.torn && len > 0 {
+            let keep = (mix(self.cfg.seed ^ start) as usize % len).max(1);
+            return Ok(Some(keep));
+        }
+        Err(crash_error(op, start))
     }
 
     /// Counters of faults injected so far.
@@ -234,6 +307,21 @@ impl BlockDevice for FaultInjectingDevice {
         let bs = self.block_size();
         let start = self.inner.num_blocks();
         let n = data.len().div_ceil(bs) as u64;
+        match self.crash_gate("append", start, data.len()) {
+            Ok(None) => {}
+            Ok(Some(keep)) => {
+                let mut torn = data[..keep].to_vec();
+                torn.resize(n as usize * bs, 0);
+                self.inner.append(clock, &torn)?;
+                self.torn_writes.fetch_add(1, Ordering::Relaxed);
+                clock.note_fault();
+                return Err(crash_error("append", start));
+            }
+            Err(e) => {
+                clock.note_fault();
+                return Err(e);
+            }
+        }
         if let Some(b) = self.claim_transient(
             &self.write_faulted,
             self.cfg.write_transient_rate,
@@ -279,6 +367,21 @@ impl BlockDevice for FaultInjectingDevice {
         let bs = self.block_size();
         assert_eq!(data.len() % bs, 0, "partial-block write");
         let n = (data.len() / bs) as u64;
+        match self.crash_gate("write", start, data.len()) {
+            Ok(None) => {}
+            Ok(Some(keep)) => {
+                let mut torn = data[..keep].to_vec();
+                torn.resize(data.len(), 0);
+                self.inner.write_blocks(clock, start, &torn)?;
+                self.torn_writes.fetch_add(1, Ordering::Relaxed);
+                clock.note_fault();
+                return Err(crash_error("write", start));
+            }
+            Err(e) => {
+                clock.note_fault();
+                return Err(e);
+            }
+        }
         if let Some(b) = self.claim_transient(
             &self.write_faulted,
             self.cfg.write_transient_rate,
@@ -316,6 +419,16 @@ impl BlockDevice for FaultInjectingDevice {
             });
         }
         self.inner.write_blocks(clock, start, data)
+    }
+
+    fn truncate_blocks(&mut self, clock: &mut SimClock, nblocks: u64) -> IqResult<()> {
+        match self.crash_gate("truncate", nblocks, 0) {
+            Ok(_) => self.inner.truncate_blocks(clock, nblocks),
+            Err(e) => {
+                clock.note_fault();
+                Err(e)
+            }
+        }
     }
 
     fn device_id(&self) -> u64 {
@@ -433,6 +546,50 @@ mod tests {
         let got = dev.read_to_vec(&mut clock, 0, 4).unwrap();
         assert_ne!(got, vec![0xABu8; 64 * 4]);
         assert_eq!(&got[..32], &[0xABu8; 32][..], "a prefix was persisted");
+    }
+
+    #[test]
+    fn armed_crash_kills_after_exactly_n_writes() {
+        let inner = MemDevice::new(64);
+        let mut dev = FaultInjectingDevice::new(Box::new(inner), FaultConfig::none(9));
+        let mut clock = SimClock::default();
+        dev.arm_crash(2, false);
+        assert_eq!(dev.append(&mut clock, &[1u8; 64]).unwrap(), 0);
+        assert_eq!(dev.append(&mut clock, &[2u8; 64]).unwrap(), 1);
+        // Third mutation dies; nothing of it persists.
+        let err = dev.append(&mut clock, &[3u8; 64]).unwrap_err();
+        assert!(!err.is_transient());
+        assert!(dev.crashed());
+        assert_eq!(dev.num_blocks(), 2);
+        // Every later mutation fails too; reads still work.
+        assert!(dev.write_blocks(&mut clock, 0, &[9u8; 64]).is_err());
+        assert!(dev.truncate_blocks(&mut clock, 1).is_err());
+        assert_eq!(dev.read_to_vec(&mut clock, 1, 1).unwrap(), vec![2u8; 64]);
+    }
+
+    #[test]
+    fn armed_crash_can_tear_the_fatal_write() {
+        let inner = MemDevice::new(64);
+        let mut dev = FaultInjectingDevice::new(Box::new(inner), FaultConfig::none(13));
+        let mut clock = SimClock::default();
+        dev.arm_crash(0, true);
+        let err = dev.append(&mut clock, &[0xEE; 64 * 4]).unwrap_err();
+        assert!(!err.is_transient());
+        // A prefix persisted, zero-padded to whole blocks.
+        assert_eq!(dev.num_blocks(), 4);
+        let got = dev.read_to_vec(&mut clock, 0, 4).unwrap();
+        assert_ne!(got, vec![0xEEu8; 64 * 4]);
+        assert_eq!(got[0], 0xEE, "at least one byte of the prefix persisted");
+        assert_eq!(dev.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn truncate_passes_through_and_shrinks() {
+        let mut dev = FaultInjectingDevice::new(Box::new(MemDevice::new(64)), FaultConfig::none(1));
+        let mut clock = SimClock::default();
+        dev.append(&mut clock, &[7u8; 64 * 3]).unwrap();
+        dev.truncate_blocks(&mut clock, 1).unwrap();
+        assert_eq!(dev.num_blocks(), 1);
     }
 
     #[test]

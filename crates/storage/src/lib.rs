@@ -29,6 +29,7 @@ pub mod model;
 pub mod observe;
 pub mod retry;
 pub mod stack;
+pub mod wal;
 
 pub use checksum::{crc32, crc32_update, ChecksummedDevice, CHECKSUM_BYTES};
 pub use device::{BlockDevice, FileDevice, MemDevice};
@@ -40,3 +41,4 @@ pub use model::{CpuModel, DiskModel, IoStats, SimClock};
 pub use observe::ObservedDevice;
 pub use retry::{read_blocks_retry, read_to_vec_retry, RetryPolicy};
 pub use stack::{DeviceStack, RetryingDevice};
+pub use wal::{FileWal, MemWal, WalStore, WAL_CHARGE_BLOCK};

@@ -1,7 +1,7 @@
 //! Metrics-emitting device layer.
 //!
 //! [`ObservedDevice`] wraps any [`BlockDevice`] and mirrors its traffic
-//! into a metrics [`Registry`](iq_obs::Registry): per-stage read/write
+//! into a metrics [`Registry`]: per-stage read/write
 //! operation counts, block counts, error counts and wall-clock latency
 //! histograms. Handles are resolved once at construction, so the record
 //! path never touches the registry's name maps; with a disabled registry
@@ -102,6 +102,19 @@ impl BlockDevice for ObservedDevice {
             self.writes.inc();
             self.blocks_written
                 .add((data.len() / self.inner.block_size().max(1)) as u64);
+            if res.is_err() {
+                self.write_errors.inc();
+            }
+        }
+        res
+    }
+
+    fn truncate_blocks(&mut self, clock: &mut SimClock, nblocks: u64) -> IqResult<()> {
+        let timed = self.write_seconds.enabled().then(Instant::now);
+        let res = self.inner.truncate_blocks(clock, nblocks);
+        if let Some(t0) = timed {
+            self.write_seconds.observe(t0.elapsed().as_secs_f64());
+            self.writes.inc();
             if res.is_err() {
                 self.write_errors.inc();
             }

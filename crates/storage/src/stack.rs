@@ -84,6 +84,12 @@ impl BlockDevice for RetryingDevice {
             .run(clock, |clock| inner.write_blocks(clock, start, data))
     }
 
+    fn truncate_blocks(&mut self, clock: &mut SimClock, nblocks: u64) -> IqResult<()> {
+        let inner = &mut self.inner;
+        self.policy
+            .run(clock, |clock| inner.truncate_blocks(clock, nblocks))
+    }
+
     fn device_id(&self) -> u64 {
         self.inner.device_id()
     }

@@ -1,0 +1,369 @@
+//! Append-only byte logs: the storage substrate of the write-ahead log.
+//!
+//! A WAL is not a block device: frames are variable-length, the only
+//! mutations are *append*, *sync* and *truncate*, and durability is
+//! defined by the sync barrier — bytes appended but not yet synced may
+//! vanish in a crash. [`WalStore`] captures exactly that contract;
+//! [`MemWal`] (deterministic experiments, crash simulation via
+//! [`MemWal::kill_at`]) and [`FileWal`] (a real file, `fdatasync` on
+//! [`WalStore::sync`]) implement it.
+//!
+//! Simulated costs are charged against a nominal 4 KiB unit
+//! ([`WAL_CHARGE_BLOCK`]) so sequential appends price like the sequential
+//! block writes they are, and a sync charges one extra unit (the barrier).
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+use crate::device::fresh_device_id;
+use crate::error::{IqError, IqResult};
+use crate::model::SimClock;
+
+/// Nominal unit for charging WAL traffic to the [`SimClock`].
+pub const WAL_CHARGE_BLOCK: usize = 4096;
+
+/// An append-only byte log with an explicit durability barrier.
+///
+/// Reads take `&self` (post-mortem scans share the store); mutations take
+/// `&mut self`. Offsets and lengths are bytes, not blocks.
+pub trait WalStore: Send + Sync {
+    /// Current length of the log in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the log is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `bytes` at the end of the log.
+    fn append(&mut self, clock: &mut SimClock, bytes: &[u8]) -> IqResult<()>;
+
+    /// Reads `buf.len()` bytes starting at byte offset `off`.
+    fn read_at(&self, clock: &mut SimClock, off: u64, buf: &mut [u8]) -> IqResult<()>;
+
+    /// Durability barrier: everything appended so far survives a crash
+    /// once this returns.
+    fn sync(&mut self, clock: &mut SimClock) -> IqResult<()>;
+
+    /// Shrinks the log to `len` bytes (used to drop a torn tail during
+    /// recovery and to fold the log at a checkpoint).
+    fn truncate(&mut self, clock: &mut SimClock, len: u64) -> IqResult<()>;
+
+    /// Stable identifier for clock accounting.
+    fn device_id(&self) -> u64;
+
+    /// Convenience: the whole log as one buffer.
+    fn read_all(&self, clock: &mut SimClock) -> IqResult<Vec<u8>> {
+        let mut buf = vec![0u8; usize::try_from(self.len()).expect("log fits in memory")];
+        self.read_at(clock, 0, &mut buf)?;
+        Ok(buf)
+    }
+}
+
+fn charge_span(clock: &mut SimClock, id: u64, off: u64, len: usize, write: bool) {
+    if len == 0 {
+        return;
+    }
+    let first = off / WAL_CHARGE_BLOCK as u64;
+    let last = (off + len as u64 - 1) / WAL_CHARGE_BLOCK as u64;
+    let n = last - first + 1;
+    if write {
+        clock.charge_write(id, first, n);
+    } else {
+        clock.charge_read(id, first, n);
+    }
+}
+
+/// An in-memory WAL store. Appends are durable immediately (the crash
+/// matrix constructs torn tails explicitly; [`MemWal::kill_at`] simulates
+/// a live mid-append power loss).
+pub struct MemWal {
+    data: Vec<u8>,
+    /// Total bytes allowed to persist before the store "loses power".
+    kill_at: Option<u64>,
+    id: u64,
+}
+
+impl Default for MemWal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemWal {
+    /// Creates an empty in-memory log.
+    pub fn new() -> Self {
+        Self {
+            data: Vec::new(),
+            kill_at: None,
+            id: fresh_device_id(),
+        }
+    }
+
+    /// Creates a log pre-loaded with `bytes` (e.g. a recorded prefix that
+    /// models the durable state at a crash point).
+    pub fn from_contents(bytes: Vec<u8>) -> Self {
+        Self {
+            data: bytes,
+            kill_at: None,
+            id: fresh_device_id(),
+        }
+    }
+
+    /// The raw log bytes.
+    pub fn contents(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Arms a power loss at absolute byte offset `offset`: the append that
+    /// crosses it persists only the bytes below the offset and fails with
+    /// a non-transient `"simulated crash"` error; every later append fails
+    /// outright.
+    pub fn kill_at(&mut self, offset: u64) {
+        self.kill_at = Some(offset);
+    }
+}
+
+fn wal_crash_error() -> IqError {
+    IqError::Io {
+        op: "wal-append",
+        block: 0,
+        transient: false,
+        detail: "simulated crash (power loss)".into(),
+    }
+}
+
+impl WalStore for MemWal {
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn append(&mut self, clock: &mut SimClock, bytes: &[u8]) -> IqResult<()> {
+        let off = self.data.len() as u64;
+        if let Some(limit) = self.kill_at {
+            if off + bytes.len() as u64 > limit {
+                let keep = limit.saturating_sub(off) as usize;
+                self.data.extend_from_slice(&bytes[..keep]);
+                charge_span(clock, self.id, off, keep, true);
+                clock.note_fault();
+                return Err(wal_crash_error());
+            }
+        }
+        self.data.extend_from_slice(bytes);
+        charge_span(clock, self.id, off, bytes.len(), true);
+        Ok(())
+    }
+
+    fn read_at(&self, clock: &mut SimClock, off: u64, buf: &mut [u8]) -> IqResult<()> {
+        let end = off + buf.len() as u64;
+        if end > self.len() {
+            return Err(IqError::OutOfBounds {
+                op: "wal-read",
+                start: off,
+                nblocks: buf.len() as u64,
+                available: self.len(),
+            });
+        }
+        buf.copy_from_slice(&self.data[off as usize..end as usize]);
+        charge_span(clock, self.id, off, buf.len(), false);
+        Ok(())
+    }
+
+    fn sync(&mut self, clock: &mut SimClock) -> IqResult<()> {
+        if self.kill_at.is_some_and(|limit| self.len() >= limit) {
+            clock.note_fault();
+            return Err(wal_crash_error());
+        }
+        clock.charge_write(self.id, self.len() / WAL_CHARGE_BLOCK as u64, 1);
+        Ok(())
+    }
+
+    fn truncate(&mut self, clock: &mut SimClock, len: u64) -> IqResult<()> {
+        if len > self.len() {
+            return Err(IqError::OutOfBounds {
+                op: "wal-truncate",
+                start: len,
+                nblocks: 0,
+                available: self.len(),
+            });
+        }
+        self.data.truncate(len as usize);
+        clock.charge_write(self.id, len / WAL_CHARGE_BLOCK as u64, 1);
+        Ok(())
+    }
+
+    fn device_id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A file-backed WAL store. [`WalStore::sync`] issues `fdatasync`, making
+/// the commit protocol's barrier real on a real disk.
+pub struct FileWal {
+    file: File,
+    len: u64,
+    id: u64,
+}
+
+impl FileWal {
+    /// Opens (creating if missing) the log at `path`, keeping existing
+    /// contents — recovery needs the surviving frames.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Self {
+            file,
+            len,
+            id: fresh_device_id(),
+        })
+    }
+}
+
+fn wal_io_error(op: &'static str, e: &io::Error) -> IqError {
+    IqError::Io {
+        op,
+        block: 0,
+        transient: e.kind() == io::ErrorKind::Interrupted,
+        detail: e.to_string(),
+    }
+}
+
+impl WalStore for FileWal {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn append(&mut self, clock: &mut SimClock, bytes: &[u8]) -> IqResult<()> {
+        use std::os::unix::fs::FileExt;
+        self.file
+            .write_all_at(bytes, self.len)
+            .map_err(|e| wal_io_error("wal-append", &e))?;
+        charge_span(clock, self.id, self.len, bytes.len(), true);
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn read_at(&self, clock: &mut SimClock, off: u64, buf: &mut [u8]) -> IqResult<()> {
+        use std::os::unix::fs::FileExt;
+        if off + buf.len() as u64 > self.len {
+            return Err(IqError::OutOfBounds {
+                op: "wal-read",
+                start: off,
+                nblocks: buf.len() as u64,
+                available: self.len,
+            });
+        }
+        self.file
+            .read_exact_at(buf, off)
+            .map_err(|e| wal_io_error("wal-read", &e))?;
+        charge_span(clock, self.id, off, buf.len(), false);
+        Ok(())
+    }
+
+    fn sync(&mut self, clock: &mut SimClock) -> IqResult<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| wal_io_error("wal-sync", &e))?;
+        clock.charge_write(self.id, self.len / WAL_CHARGE_BLOCK as u64, 1);
+        Ok(())
+    }
+
+    fn truncate(&mut self, clock: &mut SimClock, len: u64) -> IqResult<()> {
+        if len > self.len {
+            return Err(IqError::OutOfBounds {
+                op: "wal-truncate",
+                start: len,
+                nblocks: 0,
+                available: self.len,
+            });
+        }
+        self.file
+            .set_len(len)
+            .map_err(|e| wal_io_error("wal-truncate", &e))?;
+        self.len = len;
+        clock.charge_write(self.id, len / WAL_CHARGE_BLOCK as u64, 1);
+        Ok(())
+    }
+
+    fn device_id(&self) -> u64 {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn WalStore) {
+        let mut clock = SimClock::default();
+        assert!(store.is_empty());
+        store.append(&mut clock, b"hello ").unwrap();
+        store.append(&mut clock, b"wal").unwrap();
+        store.sync(&mut clock).unwrap();
+        assert_eq!(store.len(), 9);
+        assert_eq!(store.read_all(&mut clock).unwrap(), b"hello wal");
+        let mut buf = [0u8; 3];
+        store.read_at(&mut clock, 6, &mut buf).unwrap();
+        assert_eq!(&buf, b"wal");
+        store.truncate(&mut clock, 5).unwrap();
+        assert_eq!(store.read_all(&mut clock).unwrap(), b"hello");
+        assert!(store.read_at(&mut clock, 4, &mut buf).is_err());
+    }
+
+    #[test]
+    fn mem_wal_roundtrip() {
+        exercise(&mut MemWal::new());
+    }
+
+    #[test]
+    fn file_wal_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("iq-walstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.bin");
+        {
+            let mut store = FileWal::open(&path).unwrap();
+            exercise(&mut store);
+        }
+        // Reopen keeps the surviving bytes.
+        let store = FileWal::open(&path).unwrap();
+        let mut clock = SimClock::default();
+        assert_eq!(store.read_all(&mut clock).unwrap(), b"hello");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_wal_kill_at_tears_the_crossing_append() {
+        let mut store = MemWal::new();
+        let mut clock = SimClock::default();
+        store.append(&mut clock, &[1u8; 10]).unwrap();
+        store.kill_at(14);
+        let err = store.append(&mut clock, &[2u8; 10]).unwrap_err();
+        assert!(!err.is_transient());
+        assert_eq!(store.len(), 14, "prefix up to the kill offset persisted");
+        // The barrier reports the loss too.
+        assert!(store.sync(&mut clock).is_err());
+    }
+
+    #[test]
+    fn costs_match_mem_vs_file() {
+        let dir = std::env::temp_dir().join(format!("iq-walstore-cost-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut mem = MemWal::new();
+        let mut file = FileWal::open(&dir.join("w.bin")).unwrap();
+        let mut c1 = SimClock::default();
+        let mut c2 = SimClock::default();
+        let payload = vec![9u8; 10_000];
+        mem.append(&mut c1, &payload).unwrap();
+        file.append(&mut c2, &payload).unwrap();
+        mem.sync(&mut c1).unwrap();
+        file.sync(&mut c2).unwrap();
+        assert_eq!(c1.io_time(), c2.io_time());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

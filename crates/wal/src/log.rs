@@ -1,0 +1,354 @@
+//! The WAL writer and its recovery-time scanner.
+//!
+//! [`Wal`] owns a [`WalStore`] and enforces the commit protocol:
+//!
+//! 1. the caller appends a transaction's records ([`Wal::append`] or, in
+//!    one batch, [`Wal::commit_txn`]),
+//! 2. the commit frame is written **last** ([`Wal::commit`]),
+//! 3. the store is synced — only now is the transaction durable,
+//! 4. only after the sync may the caller touch the base files.
+//!
+//! [`Wal::open`] is the recovery entry point: it scans the surviving log,
+//! truncates away the torn tail *and* any unfinished transaction, and
+//! returns the committed transactions for replay along with the positions
+//! the writer must continue from.
+
+use crate::frame::{encode_frame, scan, WalScan};
+use crate::record::WalRecord;
+use iq_obs::Counter;
+use iq_storage::model::SimClock;
+use iq_storage::wal::WalStore;
+use iq_storage::{IqError, IqResult};
+
+/// A write-ahead log: framed records over an append-only store.
+pub struct Wal {
+    store: Box<dyn WalStore>,
+    next_lsn: u64,
+    next_txn: u64,
+    open_frames: u64,
+    appends: Counter,
+    bytes: Counter,
+    syncs: Counter,
+    commits: Counter,
+}
+
+impl Wal {
+    fn with_positions(store: Box<dyn WalStore>, next_lsn: u64, next_txn: u64) -> Self {
+        let reg = iq_obs::global();
+        Wal {
+            store,
+            next_lsn,
+            next_txn,
+            open_frames: 0,
+            appends: reg.counter("wal_appends_total"),
+            bytes: reg.counter("wal_bytes_total"),
+            syncs: reg.counter("wal_syncs_total"),
+            commits: reg.counter("wal_commits_total"),
+        }
+    }
+
+    /// Wraps an empty store as a fresh log.
+    pub fn create(store: Box<dyn WalStore>) -> Self {
+        debug_assert!(
+            store.is_empty(),
+            "Wal::create expects an empty store; use open"
+        );
+        Self::with_positions(store, 0, 0)
+    }
+
+    /// Recovery entry point: scans `store`, truncates the torn tail and any
+    /// unfinished transaction, and returns the writer positioned after the
+    /// last committed frame plus the scan (whose `txns` the caller replays).
+    pub fn open(mut store: Box<dyn WalStore>, clock: &mut SimClock) -> IqResult<(Self, WalScan)> {
+        let image = store.read_all(clock)?;
+        let s = scan(&image);
+        if s.committed_len < store.len() {
+            store.truncate(clock, s.committed_len)?;
+        }
+        let discarded = image.len() as u64 - s.committed_len;
+        iq_obs::global()
+            .counter("recovery_discarded_bytes_total")
+            .add(discarded);
+        // The writer resumes at the lsn after the last *committed* frame:
+        // discarded uncommitted frames give their lsns back.
+        let committed_frames: u64 = s.txns.iter().map(|t| t.records.len() as u64 + 1).sum();
+        Ok((Self::with_positions(store, committed_frames, s.next_txn), s))
+    }
+
+    /// Appends one non-commit record. The record is *not durable* until
+    /// [`Wal::commit`] returns.
+    pub fn append(&mut self, clock: &mut SimClock, record: &WalRecord) -> IqResult<u64> {
+        if record.is_commit() {
+            return Err(IqError::Decode {
+                detail: "commit frames must be written via Wal::commit".into(),
+            });
+        }
+        let mut buf = Vec::new();
+        let lsn = self.next_lsn;
+        encode_frame(&mut buf, lsn, record);
+        self.store.append(clock, &buf)?;
+        self.next_lsn += 1;
+        self.open_frames += 1;
+        self.appends.inc();
+        self.bytes.add(buf.len() as u64);
+        Ok(lsn)
+    }
+
+    /// Closes the open transaction: writes the commit frame last, syncs,
+    /// and returns the transaction number. After this returns the
+    /// transaction survives any crash.
+    pub fn commit(&mut self, clock: &mut SimClock) -> IqResult<u64> {
+        let txn = self.next_txn;
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, self.next_lsn, &WalRecord::Commit { txn });
+        self.store.append(clock, &buf)?;
+        self.store.sync(clock)?;
+        self.next_lsn += 1;
+        self.next_txn += 1;
+        self.open_frames = 0;
+        self.appends.inc();
+        self.bytes.add(buf.len() as u64);
+        self.syncs.inc();
+        self.commits.inc();
+        Ok(txn)
+    }
+
+    /// Appends a whole transaction — records then commit frame — as a
+    /// single store append, then syncs. Fewer store calls than the
+    /// append/commit pair, same durability contract.
+    pub fn commit_txn(&mut self, clock: &mut SimClock, records: &[WalRecord]) -> IqResult<u64> {
+        let txn = self.next_txn;
+        let mut buf = Vec::new();
+        let mut lsn = self.next_lsn;
+        for r in records {
+            if r.is_commit() {
+                return Err(IqError::Decode {
+                    detail: "commit frames must not appear inside a transaction body".into(),
+                });
+            }
+            encode_frame(&mut buf, lsn, r);
+            lsn += 1;
+        }
+        encode_frame(&mut buf, lsn, &WalRecord::Commit { txn });
+        self.store.append(clock, &buf)?;
+        self.store.sync(clock)?;
+        self.next_lsn = lsn + 1;
+        self.next_txn += 1;
+        self.open_frames = 0;
+        self.appends.add(records.len() as u64 + 1);
+        self.bytes.add(buf.len() as u64);
+        self.syncs.inc();
+        self.commits.inc();
+        Ok(txn)
+    }
+
+    /// Whether records have been appended since the last commit.
+    pub fn has_open_txn(&self) -> bool {
+        self.open_frames > 0
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> u64 {
+        self.store.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// LSN the next frame will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Transaction number the next commit will carry.
+    pub fn next_txn(&self) -> u64 {
+        self.next_txn
+    }
+
+    /// Empties the log after a checkpoint folded it into the base files.
+    /// Sequence numbers restart from zero: the superblock generation
+    /// disambiguates eras.
+    pub fn reset(&mut self, clock: &mut SimClock) -> IqResult<()> {
+        self.store.truncate(clock, 0)?;
+        self.store.sync(clock)?;
+        self.next_lsn = 0;
+        self.next_txn = 0;
+        self.open_frames = 0;
+        self.syncs.inc();
+        Ok(())
+    }
+
+    /// Read access to the underlying store (tests, verification).
+    pub fn store(&self) -> &dyn WalStore {
+        self.store.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Level;
+    use iq_storage::wal::MemWal;
+
+    fn clock() -> SimClock {
+        SimClock::default()
+    }
+
+    #[test]
+    fn commit_then_reopen_replays_the_txn() {
+        let mut c = clock();
+        let mut wal = Wal::create(Box::new(MemWal::new()));
+        wal.append(
+            &mut c,
+            &WalRecord::Insert {
+                id: 1,
+                point: vec![0.5],
+            },
+        )
+        .unwrap();
+        wal.append(
+            &mut c,
+            &WalRecord::PageWrite {
+                level: Level::Quant,
+                block: 0,
+                bytes: vec![7; 8],
+            },
+        )
+        .unwrap();
+        assert!(wal.has_open_txn());
+        let txn = wal.commit(&mut c).unwrap();
+        assert_eq!(txn, 0);
+        assert!(!wal.has_open_txn());
+
+        let image = wal.store().read_all(&mut c).unwrap();
+        let (wal2, s) = Wal::open(Box::new(MemWal::from_contents(image)), &mut c).unwrap();
+        assert_eq!(s.txns.len(), 1);
+        assert_eq!(s.txns[0].records.len(), 2);
+        assert_eq!(wal2.next_lsn(), 3);
+        assert_eq!(wal2.next_txn(), 1);
+    }
+
+    #[test]
+    fn open_discards_uncommitted_txn_and_reuses_its_lsns() {
+        let mut c = clock();
+        let mut wal = Wal::create(Box::new(MemWal::new()));
+        wal.commit_txn(
+            &mut c,
+            &[WalRecord::Insert {
+                id: 1,
+                point: vec![1.0],
+            }],
+        )
+        .unwrap();
+        // Unfinished second txn: header only, no commit.
+        wal.append(
+            &mut c,
+            &WalRecord::Delete {
+                id: 1,
+                point: vec![1.0],
+            },
+        )
+        .unwrap();
+        let image = wal.store().read_all(&mut c).unwrap();
+
+        let (mut wal2, s) = Wal::open(Box::new(MemWal::from_contents(image)), &mut c).unwrap();
+        assert_eq!(s.txns.len(), 1);
+        assert_eq!(s.uncommitted.len(), 1);
+        assert_eq!(wal2.next_lsn(), 2, "discarded frame's lsn is reused");
+        // The log can continue and still scans clean end-to-end.
+        wal2.commit_txn(&mut c, &[WalRecord::Requantize { page: 0, g: 8 }])
+            .unwrap();
+        let image2 = wal2.store().read_all(&mut c).unwrap();
+        let s2 = crate::frame::scan(&image2);
+        assert_eq!(s2.txns.len(), 2);
+        assert!(s2.stop_reason.is_none());
+        assert_eq!(s2.torn_bytes, 0);
+    }
+
+    #[test]
+    fn open_truncates_a_torn_tail() {
+        let mut c = clock();
+        let mut wal = Wal::create(Box::new(MemWal::new()));
+        wal.commit_txn(
+            &mut c,
+            &[WalRecord::Split {
+                page: 0,
+                new_page: 1,
+            }],
+        )
+        .unwrap();
+        let committed = wal.len();
+        let mut image = wal.store().read_all(&mut c).unwrap();
+        // A torn half-frame of garbage.
+        image.extend_from_slice(&[0xEE; 7]);
+        let (wal2, s) = Wal::open(Box::new(MemWal::from_contents(image)), &mut c).unwrap();
+        assert_eq!(s.torn_bytes, 7);
+        assert_eq!(wal2.len(), committed);
+    }
+
+    #[test]
+    fn commit_frames_cannot_be_appended_directly() {
+        let mut c = clock();
+        let mut wal = Wal::create(Box::new(MemWal::new()));
+        assert!(wal.append(&mut c, &WalRecord::Commit { txn: 0 }).is_err());
+        assert!(wal
+            .commit_txn(&mut c, &[WalRecord::Commit { txn: 0 }])
+            .is_err());
+    }
+
+    #[test]
+    fn reset_empties_and_restarts_numbering() {
+        let mut c = clock();
+        let mut wal = Wal::create(Box::new(MemWal::new()));
+        wal.commit_txn(&mut c, &[WalRecord::Checkpoint { generation: 1 }])
+            .unwrap();
+        wal.reset(&mut c).unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(wal.next_lsn(), 0);
+        assert_eq!(wal.next_txn(), 0);
+        let txn = wal
+            .commit_txn(&mut c, &[WalRecord::Requantize { page: 2, g: 4 }])
+            .unwrap();
+        assert_eq!(txn, 0);
+    }
+
+    #[test]
+    fn crash_during_commit_append_leaves_prior_txns_intact() {
+        let mut c = clock();
+        // First, record a committed txn.
+        let mut wal = Wal::create(Box::new(MemWal::new()));
+        wal.commit_txn(
+            &mut c,
+            &[WalRecord::Insert {
+                id: 5,
+                point: vec![2.0, 3.0],
+            }],
+        )
+        .unwrap();
+        let committed = wal.len();
+        let image = wal.store().read_all(&mut c).unwrap();
+
+        // Re-stage on a store that dies mid-way through the next append.
+        let mut store = MemWal::from_contents(image);
+        store.kill_at(committed + 10);
+        let (mut wal2, _) = Wal::open(Box::new(store), &mut c).unwrap();
+        let err = wal2
+            .commit_txn(
+                &mut c,
+                &[WalRecord::Delete {
+                    id: 5,
+                    point: vec![2.0, 3.0],
+                }],
+            )
+            .unwrap_err();
+        assert!(!err.is_transient());
+
+        // What survived on "disk" recovers to exactly the first txn.
+        let surviving = wal2.store().read_all(&mut c).unwrap();
+        let s = crate::frame::scan(&surviving);
+        assert_eq!(s.txns.len(), 1);
+        assert_eq!(s.committed_len, committed);
+    }
+}

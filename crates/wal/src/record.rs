@@ -1,0 +1,463 @@
+//! Typed WAL records and their byte encodings.
+//!
+//! Every mutation the IQ-tree performs is described by one or more
+//! [`WalRecord`]s. Records fall into three groups:
+//!
+//! * **Transaction headers** — [`WalRecord::Insert`], [`WalRecord::Delete`]
+//!   and [`WalRecord::Checkpoint`] open a transaction and describe the
+//!   logical operation, so a recovery report (and `iq recover --dry-run`)
+//!   can say *what* is being replayed, not just which bytes move.
+//! * **Physical redo images** — [`WalRecord::PageWrite`],
+//!   [`WalRecord::PageAppend`] and [`WalRecord::TruncateLevel`] carry the
+//!   exact bytes (or length) a level file must end up with. Replay applies
+//!   them positionally, which makes it idempotent: applying a committed
+//!   transaction twice produces the same files as applying it once.
+//! * **Semantic markers** — [`WalRecord::Requantize`] and
+//!   [`WalRecord::Split`] record *why* pages changed (a page was re-encoded
+//!   at a new grid resolution, or split in two). They carry no redo bytes;
+//!   they exist for diagnostics and for asserting in tests that recovery
+//!   preserved the tree's structural history.
+//!
+//! A transaction is a contiguous run of frames terminated by
+//! [`WalRecord::Commit`]; the commit frame is always written last and the
+//! log is synced before any base file is touched (see `iq_wal::Wal`).
+//!
+//! Encodings are little-endian and self-delimiting given the payload
+//! length from the frame header. Decoding never panics: malformed payloads
+//! return [`IqError::Decode`].
+
+use iq_storage::{IqError, IqResult};
+
+/// Which of the three level files a physical redo record targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// The flat directory file (superblock + entry blocks).
+    Dir = 0,
+    /// The quantized page file (one block per page).
+    Quant = 1,
+    /// The exact-representation file (variable-size regions).
+    Exact = 2,
+}
+
+impl Level {
+    /// All levels, in file order.
+    pub const ALL: [Level; 3] = [Level::Dir, Level::Quant, Level::Exact];
+
+    fn from_u8(v: u8) -> IqResult<Level> {
+        match v {
+            0 => Ok(Level::Dir),
+            1 => Ok(Level::Quant),
+            2 => Ok(Level::Exact),
+            other => Err(IqError::Decode {
+                detail: format!("wal record names unknown level {other}"),
+            }),
+        }
+    }
+
+    /// Short human-readable name (`"dir"`, `"quant"`, `"exact"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Dir => "dir",
+            Level::Quant => "quant",
+            Level::Exact => "exact",
+        }
+    }
+}
+
+/// One WAL record. See the module docs for the three record groups.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// Transaction header: `id` is being inserted at `point`.
+    Insert {
+        /// Caller-assigned point id.
+        id: u64,
+        /// The point's coordinates.
+        point: Vec<f64>,
+    },
+    /// Transaction header: `id` (at `point`) is being deleted.
+    Delete {
+        /// Caller-assigned point id.
+        id: u64,
+        /// The point's coordinates (so a dry-run report is self-contained).
+        point: Vec<f64>,
+    },
+    /// Redo image: `bytes` replace the blocks starting at `block` of
+    /// `level` (byte length is a whole number of logical blocks).
+    PageWrite {
+        /// Target level file.
+        level: Level,
+        /// First logical block of the write.
+        block: u64,
+        /// The after-image.
+        bytes: Vec<u8>,
+    },
+    /// Redo image: `bytes` are appended such that they start at logical
+    /// block `block` (which equals the level's length at log time; replay
+    /// overwrites instead if the file already grew past it).
+    PageAppend {
+        /// Target level file.
+        level: Level,
+        /// Logical block where the appended bytes begin.
+        block: u64,
+        /// The appended image.
+        bytes: Vec<u8>,
+    },
+    /// Redo: `level` is truncated to `nblocks` logical blocks (checkpoint
+    /// compaction shrinks the exact file).
+    TruncateLevel {
+        /// Target level file.
+        level: Level,
+        /// New length in logical blocks.
+        nblocks: u64,
+    },
+    /// Semantic marker: page `page` was re-encoded at `g` bits per
+    /// dimension.
+    Requantize {
+        /// Page index.
+        page: u64,
+        /// New grid resolution (bits per dimension).
+        g: u32,
+    },
+    /// Semantic marker: page `page` overflowed and split; the upper half
+    /// now lives in `new_page`.
+    Split {
+        /// The page that split.
+        page: u64,
+        /// The newly created page.
+        new_page: u64,
+    },
+    /// Transaction trailer: everything since the previous commit (or log
+    /// start) belongs to transaction `txn` and is now atomic.
+    Commit {
+        /// Monotonically increasing transaction number.
+        txn: u64,
+    },
+    /// Transaction header: a checkpoint folding the log into the base
+    /// files, bumping the superblock generation to `generation`.
+    Checkpoint {
+        /// Generation the superblock carries after this checkpoint.
+        generation: u64,
+    },
+}
+
+/// Frame kind tags. Kind 0 is reserved so an all-zero torn frame never
+/// decodes as a valid record.
+const KIND_INSERT: u8 = 1;
+const KIND_DELETE: u8 = 2;
+const KIND_PAGE_WRITE: u8 = 3;
+const KIND_PAGE_APPEND: u8 = 4;
+const KIND_TRUNCATE: u8 = 5;
+const KIND_REQUANTIZE: u8 = 6;
+const KIND_SPLIT: u8 = 7;
+const KIND_COMMIT: u8 = 8;
+const KIND_CHECKPOINT: u8 = 9;
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> IqResult<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return Err(IqError::Decode {
+                detail: format!(
+                    "wal record payload truncated: wanted {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> IqResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> IqResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> IqResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn point(&mut self) -> IqResult<Vec<f64>> {
+        let dim = self.u32()? as usize;
+        // A frame's length field caps payloads well below this, but guard
+        // the allocation against a corrupt dim anyway.
+        if dim > self.buf.len() / 8 + 1 {
+            return Err(IqError::Decode {
+                detail: format!("wal record claims {dim}-dimensional point in shorter payload"),
+            });
+        }
+        let mut p = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            p.push(f64::from_le_bytes(self.take(8)?.try_into().unwrap()));
+        }
+        Ok(p)
+    }
+
+    fn finish(self) -> IqResult<()> {
+        if self.pos != self.buf.len() {
+            return Err(IqError::Decode {
+                detail: format!(
+                    "wal record payload has {} trailing byte(s)",
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_point(out: &mut Vec<u8>, point: &[f64]) {
+    out.extend_from_slice(&(point.len() as u32).to_le_bytes());
+    for c in point {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+impl WalRecord {
+    /// The frame kind tag for this record.
+    pub fn kind(&self) -> u8 {
+        match self {
+            WalRecord::Insert { .. } => KIND_INSERT,
+            WalRecord::Delete { .. } => KIND_DELETE,
+            WalRecord::PageWrite { .. } => KIND_PAGE_WRITE,
+            WalRecord::PageAppend { .. } => KIND_PAGE_APPEND,
+            WalRecord::TruncateLevel { .. } => KIND_TRUNCATE,
+            WalRecord::Requantize { .. } => KIND_REQUANTIZE,
+            WalRecord::Split { .. } => KIND_SPLIT,
+            WalRecord::Commit { .. } => KIND_COMMIT,
+            WalRecord::Checkpoint { .. } => KIND_CHECKPOINT,
+        }
+    }
+
+    /// Whether this record closes a transaction.
+    pub fn is_commit(&self) -> bool {
+        matches!(self, WalRecord::Commit { .. })
+    }
+
+    /// Short human-readable tag (used by `iq recover --dry-run`).
+    pub fn describe(&self) -> String {
+        match self {
+            WalRecord::Insert { id, point } => format!("insert id={id} dim={}", point.len()),
+            WalRecord::Delete { id, .. } => format!("delete id={id}"),
+            WalRecord::PageWrite {
+                level,
+                block,
+                bytes,
+            } => {
+                format!("page-write {}[{block}] {}B", level.name(), bytes.len())
+            }
+            WalRecord::PageAppend {
+                level,
+                block,
+                bytes,
+            } => {
+                format!("page-append {}[{block}] {}B", level.name(), bytes.len())
+            }
+            WalRecord::TruncateLevel { level, nblocks } => {
+                format!("truncate {} to {nblocks} blocks", level.name())
+            }
+            WalRecord::Requantize { page, g } => format!("requantize page={page} g={g}"),
+            WalRecord::Split { page, new_page } => format!("split page={page} new={new_page}"),
+            WalRecord::Commit { txn } => format!("commit txn={txn}"),
+            WalRecord::Checkpoint { generation } => format!("checkpoint gen={generation}"),
+        }
+    }
+
+    /// Serialises the payload (everything after the frame's kind byte).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Insert { id, point } | WalRecord::Delete { id, point } => {
+                out.extend_from_slice(&id.to_le_bytes());
+                put_point(&mut out, point);
+            }
+            WalRecord::PageWrite {
+                level,
+                block,
+                bytes,
+            }
+            | WalRecord::PageAppend {
+                level,
+                block,
+                bytes,
+            } => {
+                out.push(*level as u8);
+                out.extend_from_slice(&block.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            WalRecord::TruncateLevel { level, nblocks } => {
+                out.push(*level as u8);
+                out.extend_from_slice(&nblocks.to_le_bytes());
+            }
+            WalRecord::Requantize { page, g } => {
+                out.extend_from_slice(&page.to_le_bytes());
+                out.extend_from_slice(&g.to_le_bytes());
+            }
+            WalRecord::Split { page, new_page } => {
+                out.extend_from_slice(&page.to_le_bytes());
+                out.extend_from_slice(&new_page.to_le_bytes());
+            }
+            WalRecord::Commit { txn } => out.extend_from_slice(&txn.to_le_bytes()),
+            WalRecord::Checkpoint { generation } => {
+                out.extend_from_slice(&generation.to_le_bytes())
+            }
+        }
+        out
+    }
+
+    /// Deserialises a payload previously produced by
+    /// [`WalRecord::encode_payload`] for frame kind `kind`.
+    pub fn decode_payload(kind: u8, payload: &[u8]) -> IqResult<WalRecord> {
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let rec = match kind {
+            KIND_INSERT | KIND_DELETE => {
+                let id = r.u64()?;
+                let point = r.point()?;
+                if kind == KIND_INSERT {
+                    WalRecord::Insert { id, point }
+                } else {
+                    WalRecord::Delete { id, point }
+                }
+            }
+            KIND_PAGE_WRITE | KIND_PAGE_APPEND => {
+                let level = Level::from_u8(r.u8()?)?;
+                let block = r.u64()?;
+                let n = r.u32()? as usize;
+                let bytes = r.take(n)?.to_vec();
+                if kind == KIND_PAGE_WRITE {
+                    WalRecord::PageWrite {
+                        level,
+                        block,
+                        bytes,
+                    }
+                } else {
+                    WalRecord::PageAppend {
+                        level,
+                        block,
+                        bytes,
+                    }
+                }
+            }
+            KIND_TRUNCATE => WalRecord::TruncateLevel {
+                level: Level::from_u8(r.u8()?)?,
+                nblocks: r.u64()?,
+            },
+            KIND_REQUANTIZE => WalRecord::Requantize {
+                page: r.u64()?,
+                g: r.u32()?,
+            },
+            KIND_SPLIT => WalRecord::Split {
+                page: r.u64()?,
+                new_page: r.u64()?,
+            },
+            KIND_COMMIT => WalRecord::Commit { txn: r.u64()? },
+            KIND_CHECKPOINT => WalRecord::Checkpoint {
+                generation: r.u64()?,
+            },
+            other => {
+                return Err(IqError::Decode {
+                    detail: format!("unknown wal frame kind {other}"),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert {
+                id: 42,
+                point: vec![0.25, -1.5, 3.0],
+            },
+            WalRecord::Delete {
+                id: 7,
+                point: vec![],
+            },
+            WalRecord::PageWrite {
+                level: Level::Quant,
+                block: 9,
+                bytes: vec![1, 2, 3, 4],
+            },
+            WalRecord::PageAppend {
+                level: Level::Exact,
+                block: 120,
+                bytes: vec![0xAB; 33],
+            },
+            WalRecord::TruncateLevel {
+                level: Level::Exact,
+                nblocks: 0,
+            },
+            WalRecord::Requantize { page: 3, g: 12 },
+            WalRecord::Split {
+                page: 1,
+                new_page: 8,
+            },
+            WalRecord::Commit { txn: 55 },
+            WalRecord::Checkpoint { generation: 2 },
+        ]
+    }
+
+    #[test]
+    fn payloads_roundtrip() {
+        for rec in samples() {
+            let payload = rec.encode_payload();
+            let back = WalRecord::decode_payload(rec.kind(), &payload).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        for rec in samples() {
+            let mut payload = rec.encode_payload();
+            payload.push(0);
+            assert!(
+                WalRecord::decode_payload(rec.kind(), &payload).is_err(),
+                "{rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        for rec in samples() {
+            let payload = rec.encode_payload();
+            if payload.is_empty() {
+                continue;
+            }
+            let cut = &payload[..payload.len() - 1];
+            assert!(
+                WalRecord::decode_payload(rec.kind(), cut).is_err(),
+                "{rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kind_and_level_are_rejected() {
+        assert!(WalRecord::decode_payload(0, &[]).is_err());
+        assert!(WalRecord::decode_payload(200, &[1, 2, 3]).is_err());
+        // Level byte 9 inside a truncate record.
+        let mut payload = vec![9u8];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        assert!(WalRecord::decode_payload(KIND_TRUNCATE, &payload).is_err());
+    }
+}

@@ -62,7 +62,7 @@ fn main() {
     // Dynamic insert.
     clock.reset();
     let new_point = vec![0.5f32; 12];
-    tree.insert(&mut clock, 999_999, &new_point);
+    tree.insert(&mut clock, 999_999, &new_point).unwrap();
     let (nid, nd) = tree.nearest(&mut clock, &new_point).expect("non-empty");
     println!("after insert: 1-NN of the new point is {nid} at {nd:.4}");
 }

@@ -56,7 +56,7 @@ fn main() {
     let fresh = data::weather_like(DIM, 2_000, 99);
     clock.reset();
     for (i, p) in fresh.iter().enumerate() {
-        tree.insert(&mut clock, (N + i) as u32, p);
+        tree.insert(&mut clock, (N + i) as u32, p).unwrap();
     }
     println!(
         "\ninserted {} new observations ({:.0} ms simulated write cost, {} pages now)",

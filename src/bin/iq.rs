@@ -7,17 +7,24 @@
 //! iq range    --index ./myindex --point 0.1,0.2,... --radius 0.25
 //! iq batch    --index ./myindex --queries q.csv [--k 5] [--threads 8]
 //! iq stats    --index ./myindex [--format prometheus|json]
+//! iq checkpoint --index ./myindex
+//! iq recover  --index ./myindex [--dry-run]
 //! ```
 //!
 //! Points are CSV rows of `f32` coordinates. An index is a directory with
-//! three block files (`dir.bin`, `quant.bin`, `exact.bin`) plus a small
-//! `meta` file recording dimension, metric and block size. Query timings
-//! printed are *simulated* disk+CPU seconds (see the crate docs).
+//! three block files (`dir.bin`, `quant.bin`, `exact.bin`), a write-ahead
+//! log (`wal.bin`) and a small `meta` file recording dimension, metric and
+//! block size. Opening an index replays any committed transactions the log
+//! holds and drops torn tails, so a crash mid-update is invisible to
+//! queries. Query timings printed are *simulated* disk+CPU seconds (see
+//! the crate docs).
 
 use iqtree_repro::data;
 use iqtree_repro::engine::{knn_paginated, AccessMethod, Filter, PageSpec};
 use iqtree_repro::geometry::Metric;
-use iqtree_repro::storage::{BlockDevice, FileDevice, MemDevice, MmapFileDevice, SimClock};
+use iqtree_repro::storage::{
+    BlockDevice, FileDevice, FileWal, MemDevice, MmapFileDevice, SimClock,
+};
 use iqtree_repro::tree::{IqTree, IqTreeOptions};
 use iqtree_repro::EngineKind;
 use std::collections::HashMap;
@@ -53,6 +60,8 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&opts),
         "stats" => cmd_stats(&opts),
         "verify" => cmd_verify(&opts),
+        "checkpoint" => cmd_checkpoint(&opts),
+        "recover" => cmd_recover(&opts),
         "bench" => cmd_bench(&opts),
         _ => Err(format!("unknown command `{cmd}`")),
     };
@@ -81,6 +90,8 @@ const USAGE: &str = "usage:
   iq batch    --index <dir> --queries <file> [--k <k>] [--filter <expr>] [--limit <m>] [--offset <o>] [--threads <t>] [--cache-blocks <frames>] [--engine <e>]
   iq stats    --index <dir> [--format <prometheus|json>] [--cache-blocks <frames>]
   iq verify   --index <dir>
+  iq checkpoint --index <dir>
+  iq recover  --index <dir> [--dry-run]
   iq bench    --input <file> [--queries <q>] [--metric <l2|linf|l1>] [--json]
 
 Vector files may be CSV (plain rows, or `[x,y,...],attr,...` literals with
@@ -101,7 +112,12 @@ index file; without it every query is cold, as in the paper's experiments.
 --trace prints the per-phase time breakdown of the query and, where the
 engine has a cost model, predicted vs observed cost.
 --metrics-json <path> (any command) enables the global metrics registry and
-writes its JSON snapshot to <path> on exit.";
+writes its JSON snapshot to <path> on exit.
+`iq checkpoint` folds the write-ahead log into the base files (reclaiming
+orphaned exact-level blocks), truncates the log and bumps the index
+generation. `iq recover` replays any committed transactions left in the
+log and drops torn tails; with --dry-run it only scans and describes what
+recovery *would* do, mutating nothing.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -352,6 +368,7 @@ fn load_meta(index: &Path) -> Result<IndexMeta, String> {
 }
 
 const FILES: [&str; 3] = ["dir.bin", "quant.bin", "exact.bin"];
+const WAL_FILE: &str = "wal.bin";
 
 fn cmd_build(opts: &HashMap<String, String>) -> Result<(), String> {
     let input = req(opts, "input")?;
@@ -384,6 +401,9 @@ fn cmd_build(opts: &HashMap<String, String>) -> Result<(), String> {
             block,
         },
     )?;
+    // An empty write-ahead log completes the index: from now on every
+    // insert/delete is logged before it touches the base files.
+    FileWal::open(&index.join(WAL_FILE)).map_err(|e| format!("create {WAL_FILE}: {e}"))?;
     let (d, q, e) = tree.storage_blocks();
     println!(
         "built IQ-tree over {} points ({}-d): {} pages, resolutions {:?}",
@@ -412,19 +432,48 @@ fn open_tree(
                 .map_err(|e| format!("open {name}: {e}"))?,
         ))
     };
-    let tree = IqTree::open(
-        meta.dim,
-        meta.metric,
-        IqTreeOptions {
-            cache_blocks,
-            ..Default::default()
-        },
-        open(FILES[0])?,
-        open(FILES[1])?,
-        open(FILES[2])?,
-        &mut clock,
-    )
-    .map_err(|e| format!("open index: {e}"))?;
+    let opts = IqTreeOptions {
+        cache_blocks,
+        ..Default::default()
+    };
+    let wal_path = index.join(WAL_FILE);
+    let tree = if wal_path.exists() {
+        // Recovery-on-open: replay committed transactions the log still
+        // holds, drop torn tails, and keep the log attached for updates.
+        let store = FileWal::open(&wal_path).map_err(|e| format!("open {WAL_FILE}: {e}"))?;
+        let (tree, report) = IqTree::open_with_wal(
+            meta.dim,
+            meta.metric,
+            opts,
+            open(FILES[0])?,
+            open(FILES[1])?,
+            open(FILES[2])?,
+            Box::new(store),
+            &mut clock,
+        )
+        .map_err(|e| format!("open index: {e}"))?;
+        if !report.log_was_clean() {
+            eprintln!(
+                "recovery: replayed {} committed transaction(s) ({} frame(s)), \
+                 discarded {} uncommitted byte(s)",
+                report.replayed_txns, report.replayed_frames, report.discarded_bytes,
+            );
+        }
+        tree
+    } else {
+        // No log: a pre-WAL (format v2) index, opened read-only for
+        // queries; updates require a rebuild to the current format.
+        IqTree::open(
+            meta.dim,
+            meta.metric,
+            opts,
+            open(FILES[0])?,
+            open(FILES[1])?,
+            open(FILES[2])?,
+            &mut clock,
+        )
+        .map_err(|e| format!("open index: {e}"))?
+    };
     clock.reset();
     Ok((tree, clock, meta))
 }
@@ -677,10 +726,11 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// Scans every block of the three index files (per-block CRC32s, the
-/// superblock, the directory payload checksum, page decodability) and
+/// superblock, the directory payload checksum, page decodability) plus
+/// the write-ahead log (frame CRCs, commit structure, torn tails) and
 /// reports corruption; exits nonzero unless the index is fully intact.
 fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
-    use iqtree_repro::tree::verify::verify_index;
+    use iqtree_repro::tree::verify::{verify_index, verify_index_with_wal};
 
     let index = PathBuf::from(req(opts, "index")?);
     let meta = load_meta(&index)?;
@@ -691,12 +741,24 @@ fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
         ))
     };
     let mut clock = SimClock::default();
-    let report = verify_index(
-        open(FILES[0])?,
-        open(FILES[1])?,
-        open(FILES[2])?,
-        &mut clock,
-    );
+    let wal_path = index.join(WAL_FILE);
+    let report = if wal_path.exists() {
+        let image = std::fs::read(&wal_path).map_err(|e| format!("read {WAL_FILE}: {e}"))?;
+        verify_index_with_wal(
+            open(FILES[0])?,
+            open(FILES[1])?,
+            open(FILES[2])?,
+            &image,
+            &mut clock,
+        )
+    } else {
+        verify_index(
+            open(FILES[0])?,
+            open(FILES[1])?,
+            open(FILES[2])?,
+            &mut clock,
+        )
+    };
 
     println!("verify {index:?} (block size {} B)", meta.block);
     for (level, file) in report.levels.iter().zip(FILES) {
@@ -722,6 +784,19 @@ fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
     for &b in &report.undecodable_pages {
         println!("  error: quantized block {b} passes its CRC but does not decode");
     }
+    if let Some(wal) = &report.wal {
+        println!(
+            "  wal: {} byte(s), {} frame(s), {} committed transaction(s), \
+             {} uncommitted frame(s), {} torn byte(s)",
+            wal.bytes, wal.frames, wal.committed_txns, wal.uncommitted_frames, wal.torn_bytes,
+        );
+        if let Some(r) = &wal.stop_reason {
+            println!("  wal: scan stopped early: {r}");
+        }
+        if !wal.is_clean() {
+            println!("  wal: needs recovery (`iq recover --index ...`)");
+        }
+    }
     if report.is_clean() {
         println!("index is clean");
         Ok(())
@@ -732,6 +807,120 @@ fn cmd_verify(opts: &HashMap<String, String>) -> Result<(), String> {
             report.errors.len() + report.undecodable_pages.len(),
         ))
     }
+}
+
+/// Folds the write-ahead log into the base files: orphaned exact-level
+/// blocks are reclaimed, the log is truncated to empty and the index
+/// generation is bumped. A crash anywhere inside the checkpoint itself is
+/// recovered like any other transaction.
+fn cmd_checkpoint(opts: &HashMap<String, String>) -> Result<(), String> {
+    let index = PathBuf::from(req(opts, "index")?);
+    if !index.join(WAL_FILE).exists() {
+        return Err(format!(
+            "{index:?} has no write-ahead log ({WAL_FILE}): a pre-WAL index \
+             must be rebuilt with `iq build` before it can checkpoint"
+        ));
+    }
+    let (mut tree, mut clock, meta) = open_tree(&index, None)?;
+    let wasted_before = tree.wasted_exact_blocks();
+    let wal_before = tree.wal_bytes();
+    let generation = tree
+        .checkpoint(&mut clock)
+        .map_err(|e| format!("checkpoint: {e}"))?;
+    println!(
+        "checkpointed {index:?}: generation {generation}, folded {wal_before} WAL byte(s), \
+         reclaimed {wasted_before} orphaned exact block(s) of {} B \
+         ({:.2} simulated ms)",
+        meta.block,
+        clock.total_time() * 1e3,
+    );
+    Ok(())
+}
+
+/// Replays committed transactions left in the write-ahead log and drops
+/// torn or uncommitted tails — exactly what every `iq` command does on
+/// open, surfaced as an explicit command with a report. With `--dry-run`
+/// the log is only scanned and described; nothing is mutated.
+fn cmd_recover(opts: &HashMap<String, String>) -> Result<(), String> {
+    let index = PathBuf::from(req(opts, "index")?);
+    let wal_path = index.join(WAL_FILE);
+    if !wal_path.exists() {
+        return Err(format!("{index:?} has no write-ahead log ({WAL_FILE})"));
+    }
+    if opts.contains_key("dry-run") {
+        let image = std::fs::read(&wal_path).map_err(|e| format!("read {WAL_FILE}: {e}"))?;
+        let scan = iqtree_repro::wal::scan(&image);
+        println!(
+            "dry run: {} byte(s) of log, {} whole frame(s), {} committed transaction(s)",
+            image.len(),
+            scan.frames,
+            scan.txns.len(),
+        );
+        for t in &scan.txns {
+            let head = t.records.first().map_or_else(
+                || "(empty)".to_string(),
+                iqtree_repro::wal::WalRecord::describe,
+            );
+            println!("  txn {:>4}: {} record(s)  {head}", t.txn, t.records.len());
+        }
+        if !scan.uncommitted.is_empty() {
+            println!(
+                "  would discard {} uncommitted frame(s) (bytes {}..{})",
+                scan.uncommitted.len(),
+                scan.committed_len,
+                scan.valid_len,
+            );
+        }
+        if scan.torn_bytes > 0 {
+            println!(
+                "  would discard {} torn byte(s) at the tail{}",
+                scan.torn_bytes,
+                scan.stop_reason
+                    .as_deref()
+                    .map_or_else(String::new, |r| format!(" ({r})")),
+            );
+        }
+        println!(
+            "recovery would replay {} transaction(s) and truncate the log to {} byte(s)",
+            scan.txns.len(),
+            scan.committed_len,
+        );
+        return Ok(());
+    }
+    // A plain open performs the actual recovery; report what it did.
+    let meta = load_meta(&index)?;
+    let mut clock = SimClock::default();
+    let open = |name: &str| -> Result<Box<dyn BlockDevice>, String> {
+        Ok(Box::new(
+            FileDevice::open(&index.join(name), meta.block)
+                .map_err(|e| format!("open {name}: {e}"))?,
+        ))
+    };
+    let store = FileWal::open(&wal_path).map_err(|e| format!("open {WAL_FILE}: {e}"))?;
+    let (tree, report) = IqTree::open_with_wal(
+        meta.dim,
+        meta.metric,
+        IqTreeOptions::default(),
+        open(FILES[0])?,
+        open(FILES[1])?,
+        open(FILES[2])?,
+        Box::new(store),
+        &mut clock,
+    )
+    .map_err(|e| format!("recover: {e}"))?;
+    println!(
+        "recovered {index:?}: replayed {} transaction(s) ({} frame(s)), \
+         discarded {} byte(s), log now {} byte(s), {} point(s) indexed",
+        report.replayed_txns,
+        report.replayed_frames,
+        report.discarded_bytes,
+        tree.wal_bytes(),
+        tree.len(),
+    );
+    if report.log_was_clean() {
+        println!("log was already clean: nothing to do");
+    }
+    Ok(())
 }
 
 /// Races the IQ-tree against the X-tree, VA-file (model-chosen bits) and
@@ -955,6 +1144,19 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
             "  compression : scanned level at {:.0}% of exact",
             tree.compression_ratio() * 100.0
         );
+        println!("  generation  : {}", tree.generation());
+        println!(
+            "  wal         : {}",
+            if tree.has_wal() {
+                format!("{} byte(s) pending", tree.wal_bytes())
+            } else {
+                "none (read-only or pre-WAL index)".to_string()
+            }
+        );
+        println!(
+            "  wasted      : {} orphaned exact block(s) (reclaimed by `iq checkpoint`)",
+            tree.wasted_exact_blocks()
+        );
         return Ok(());
     };
     // Index-shape gauges, exported alongside whatever the open recorded.
@@ -967,6 +1169,10 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     reg.gauge("index_blocks_exact").set(e as f64);
     reg.gauge("index_compression_ratio")
         .set(tree.compression_ratio());
+    reg.gauge("index_generation").set(tree.generation() as f64);
+    reg.gauge("index_wal_bytes").set(tree.wal_bytes() as f64);
+    reg.gauge("wasted_exact_blocks")
+        .set(tree.wasted_exact_blocks() as f64);
     match format {
         "prometheus" => print!("{}", reg.to_prometheus()),
         "json" => print!("{}", reg.to_json()),

@@ -5,6 +5,7 @@
 //!
 //! * [`tree`] — the IQ-tree itself (the paper's contribution),
 //! * [`geometry`], [`storage`], [`quantize`], [`cost`], [`cache`] — the substrates,
+//! * [`wal`] — the checksummed write-ahead log behind crash-consistent updates,
 //! * [`obs`] — metrics registry, spans, phase times and cost auditing,
 //! * [`data`] — synthetic data sets and fractal-dimension estimation,
 //! * [`scan`], [`vafile`], [`xtree`] — the baselines of the evaluation,
@@ -48,6 +49,7 @@ pub use iq_scan as scan;
 pub use iq_storage as storage;
 pub use iq_tree as tree;
 pub use iq_vafile as vafile;
+pub use iq_wal as wal;
 pub use iq_xtree as xtree;
 
 pub mod engines;

@@ -1,5 +1,6 @@
 //! End-to-end test of the `iq` command-line tool: generate → build →
-//! query → range → stats on real files.
+//! query → range → stats on real files, plus the durability commands
+//! (`checkpoint`, `recover`) on a write-ahead log with a torn tail.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -10,6 +11,13 @@ fn iq() -> Command {
 
 fn temp_dir() -> PathBuf {
     let dir = std::env::temp_dir().join(format!("iq-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn temp_dir_tagged(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iq-cli-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create temp dir");
     dir
@@ -142,6 +150,127 @@ fn verify_detects_on_disk_corruption() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The durability surface end to end: `build` creates the log, `stats`
+/// reports generation and log size, `checkpoint` bumps the generation,
+/// and `recover` (dry-run first) cleans a log with an uncommitted frame
+/// and a torn tail that `verify` flags beforehand.
+#[test]
+fn checkpoint_and_recover_handle_a_torn_wal() {
+    let dir = temp_dir_tagged("durability");
+    let csv = dir.join("d.csv");
+    let idx = dir.join("didx");
+    let run = |args: &[&str]| {
+        let out = iq().args(args).output().expect("run iq");
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+    let idx_s = idx.to_str().expect("utf8").to_string();
+
+    let (ok, _, err) = run(&[
+        "generate",
+        "--kind",
+        "uniform",
+        "--dim",
+        "3",
+        "--n",
+        "1500",
+        "--seed",
+        "5",
+        "--out",
+        csv.to_str().expect("utf8"),
+    ]);
+    assert!(ok, "{err}");
+    let (ok, _, err) = run(&[
+        "build",
+        "--input",
+        csv.to_str().expect("utf8"),
+        "--index",
+        &idx_s,
+        "--block",
+        "1024",
+    ]);
+    assert!(ok, "{err}");
+    assert!(idx.join("wal.bin").exists(), "build creates the log");
+
+    let (ok, stdout, _) = run(&["stats", "--index", &idx_s]);
+    assert!(ok);
+    assert!(stdout.contains("generation  : 0"), "{stdout}");
+    assert!(stdout.contains("0 byte(s) pending"), "{stdout}");
+
+    let (ok, stdout, err) = run(&["checkpoint", "--index", &idx_s]);
+    assert!(ok, "{err}");
+    assert!(stdout.contains("generation 1"), "{stdout}");
+    let (ok, stdout, _) = run(&["stats", "--index", &idx_s]);
+    assert!(ok);
+    assert!(stdout.contains("generation  : 1"), "{stdout}");
+
+    // Tear the log: one valid-but-uncommitted frame, then garbage bytes —
+    // the on-disk state after a crash mid-transaction.
+    let wal_path = idx.join("wal.bin");
+    let mut log = std::fs::read(&wal_path).expect("read log");
+    assert!(log.is_empty(), "checkpoint left the log empty");
+    iqtree_repro::wal::encode_frame(
+        &mut log,
+        0,
+        &iqtree_repro::wal::WalRecord::Insert {
+            id: 42,
+            point: vec![0.1, 0.2, 0.3],
+        },
+    );
+    log.extend_from_slice(&[0xAB; 37]);
+    std::fs::write(&wal_path, &log).expect("write torn log");
+
+    // `verify` sees the dirty log and fails.
+    let (ok, stdout, err) = run(&["verify", "--index", &idx_s]);
+    assert!(!ok, "a dirty log must fail verification");
+    assert!(stdout.contains("1 uncommitted frame(s)"), "{stdout}");
+    assert!(stdout.contains("37 torn byte(s)"), "{stdout}");
+    assert!(stdout.contains("needs recovery"), "{stdout}");
+    assert!(err.contains("index is corrupt"), "{err}");
+
+    // Dry run: describes the cleanup, touches nothing.
+    let before = std::fs::read(&wal_path).expect("read log");
+    let (ok, stdout, err) = run(&["recover", "--index", &idx_s, "--dry-run"]);
+    assert!(ok, "{err}");
+    assert!(
+        stdout.contains("would discard 1 uncommitted frame(s)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("would discard 37 torn byte(s)"), "{stdout}");
+    assert!(stdout.contains("truncate the log to 0 byte(s)"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&wal_path).expect("read log"),
+        before,
+        "--dry-run must not mutate the log"
+    );
+
+    // Real recovery truncates the log; verify is clean again and queries
+    // still answer.
+    let (ok, stdout, err) = run(&["recover", "--index", &idx_s]);
+    assert!(ok, "{err}");
+    assert!(stdout.contains("replayed 0 transaction(s)"), "{stdout}");
+    assert_eq!(std::fs::metadata(&wal_path).expect("stat").len(), 0);
+    let (ok, stdout, err) = run(&["verify", "--index", &idx_s]);
+    assert!(ok, "{stdout}\n{err}");
+    assert!(stdout.contains("index is clean"), "{stdout}");
+    let (ok, stdout, err) = run(&[
+        "query",
+        "--index",
+        &idx_s,
+        "--point",
+        "0.5,0.5,0.5",
+        "--k",
+        "2",
+    ]);
+    assert!(ok, "{err}");
+    assert_eq!(stdout.matches("distance").count(), 2, "{stdout}");
+
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 

@@ -37,7 +37,7 @@ fn iqtree_half_bulk_half_inserted_matches_brute_force() {
         &mut clock,
     );
     for (i, p) in streamed.iter().enumerate() {
-        tree.insert(&mut clock, (3_000 + i) as u32, p);
+        tree.insert(&mut clock, (3_000 + i) as u32, p).unwrap();
     }
     assert_eq!(tree.len(), 6_000);
 
@@ -66,11 +66,14 @@ fn interleaved_inserts_and_deletes_stay_consistent() {
 
     // Insert all extras, then delete every even-numbered one again.
     for (i, p) in extra.iter().enumerate() {
-        tree.insert(&mut clock, (2_000 + i) as u32, p);
+        tree.insert(&mut clock, (2_000 + i) as u32, p).unwrap();
     }
     for (i, p) in extra.iter().enumerate() {
         if i % 2 == 0 {
-            assert!(tree.delete(&mut clock, (2_000 + i) as u32, p), "delete {i}");
+            assert!(
+                tree.delete(&mut clock, (2_000 + i) as u32, p).unwrap(),
+                "delete {i}"
+            );
         }
     }
     assert_eq!(tree.len(), 2_000 + 500);
@@ -121,7 +124,7 @@ fn xtree_and_iqtree_agree_after_heavy_inserts() {
         &mut clock,
     );
     for (i, p) in extra.iter().enumerate() {
-        iq.insert(&mut clock, (1_500 + i) as u32, p);
+        iq.insert(&mut clock, (1_500 + i) as u32, p).unwrap();
         xt.insert(&mut clock, (1_500 + i) as u32, p);
     }
     let queries = data::cad_like(8, 10, 53);
@@ -145,7 +148,7 @@ fn page_invariants_hold_after_updates() {
     );
     let extra = data::clusters(4, 2_000, 3, 0.02, 62);
     for (i, p) in extra.iter().enumerate() {
-        tree.insert(&mut clock, (3_000 + i) as u32, p);
+        tree.insert(&mut clock, (3_000 + i) as u32, p).unwrap();
     }
     // Every page's count fits its resolution; totals add up.
     let total: u32 = tree.pages().iter().map(|p| p.count).sum();

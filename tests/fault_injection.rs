@@ -6,10 +6,13 @@
 
 use iqtree_repro::data::{self, Workload};
 use iqtree_repro::geometry::{Dataset, Metric};
-use iqtree_repro::storage::{BlockDevice, FaultConfig, FaultInjectingDevice, FileDevice, SimClock};
+use iqtree_repro::storage::{
+    BlockDevice, FaultConfig, FaultInjectingDevice, FileDevice, MemWal, SimClock,
+};
 use iqtree_repro::tree::verify::verify_index;
 use iqtree_repro::tree::{IqTree, IqTreeOptions};
 use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::path::{Path, PathBuf};
 
 const FILES: [&str; 3] = ["dir.bin", "quant.bin", "exact.bin"];
@@ -145,6 +148,106 @@ fn corrupt_quant_block_falls_back_to_exact_level() {
             assert!((got.1 - want.1).abs() < 1e-9);
         }
     }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A WAL-attached tree under transient read faults: logged inserts and
+/// deletes (whose find/load phases read through the retry layer)
+/// interleave with plain `&self` k-NN reads, and every answer — during
+/// and after the workload — matches a fault-free run of the identical
+/// script, while the I/O statistics prove faults really fired.
+#[test]
+fn logged_updates_interleaved_with_reads_absorb_transient_faults() {
+    let dir = temp_dir("wal-transient");
+    let ds = data::uniform(5, 4_000, 404);
+    build_files(&dir, &ds, 2048);
+    let queries: Vec<Vec<f32>> = data::uniform(5, 6, 405)
+        .iter()
+        .map(<[f32]>::to_vec)
+        .collect();
+
+    // The same seeded script of updates and reads, replayed twice.
+    let run = |tree: &mut IqTree, clock: &mut SimClock| -> Vec<Vec<(u32, u64)>> {
+        let mut rng = StdRng::seed_from_u64(406);
+        let mut answers = Vec::new();
+        let mut live: Vec<(u32, Vec<f32>)> = Vec::new();
+        let mut next_id = 4_000u32;
+        for step in 0..120 {
+            if rng.gen_bool(0.7) || live.is_empty() {
+                let p: Vec<f32> = (0..5).map(|_| rng.gen()).collect();
+                tree.insert(clock, next_id, &p).expect("logged insert");
+                live.push((next_id, p));
+                next_id += 1;
+            } else {
+                let (id, p) = live.swap_remove(rng.gen_range(0..live.len()));
+                assert!(tree.delete(clock, id, &p).expect("logged delete"));
+            }
+            // Interleaved shared reads: k-NN through `&self`.
+            if step % 5 == 0 {
+                let q = &queries[(step / 5) % queries.len()];
+                answers.push(
+                    tree.knn(clock, q, 8)
+                        .into_iter()
+                        .map(|(id, d)| (id, d.to_bits()))
+                        .collect(),
+                );
+            }
+        }
+        answers
+    };
+
+    let reopen_with_wal = |wrap: &dyn Fn(Box<dyn BlockDevice>) -> Box<dyn BlockDevice>| {
+        let mut clock = SimClock::default();
+        let open = |i: usize| {
+            let raw = Box::new(FileDevice::open(&dir.join(FILES[i]), 2048).expect("open"))
+                as Box<dyn BlockDevice>;
+            wrap(raw)
+        };
+        let (tree, report) = IqTree::open_with_wal(
+            5,
+            Metric::Euclidean,
+            IqTreeOptions::default(),
+            open(0),
+            open(1),
+            open(2),
+            Box::new(MemWal::new()),
+            &mut clock,
+        )
+        .expect("open with fresh log");
+        assert!(report.log_was_clean());
+        clock.reset();
+        (tree, clock)
+    };
+
+    let (mut clean_tree, mut clean_clock) = reopen_with_wal(&|d| d);
+    let clean = run(&mut clean_tree, &mut clean_clock);
+    drop(clean_tree); // updates went to the shared files: rebuild them
+    std::fs::remove_dir_all(&dir).expect("reset");
+    std::fs::create_dir_all(&dir).expect("reset");
+    build_files(&dir, &ds, 2048);
+
+    let cfg = FaultConfig {
+        seed: 11,
+        read_transient_rate: 0.06,
+        write_transient_rate: 0.0,
+        bit_flip_rate: 0.0,
+        torn_write_rate: 0.0,
+    };
+    let (mut faulty_tree, mut faulty_clock) =
+        reopen_with_wal(&move |d| Box::new(FaultInjectingDevice::new(d, cfg)));
+    let faulty = run(&mut faulty_tree, &mut faulty_clock);
+
+    assert_eq!(
+        clean, faulty,
+        "transient faults must be invisible to logged updates and reads alike"
+    );
+    let stats = faulty_clock.stats();
+    assert!(stats.injected_faults > 0, "no fault fired: {stats:?}");
+    assert!(stats.io_retries > 0, "no retry ran: {stats:?}");
+    assert!(
+        faulty_tree.wal_bytes() > 0,
+        "the workload's transactions are in the log"
+    );
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 

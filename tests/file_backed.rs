@@ -90,11 +90,11 @@ fn file_backed_updates_persist_within_session() {
         &mut clock,
     );
     let p = [0.123f32, 0.456, 0.789, 0.5];
-    tree.insert(&mut clock, 777_777, &p);
+    tree.insert(&mut clock, 777_777, &p).unwrap();
     let (id, d) = tree.nearest(&mut clock, &p).expect("non-empty");
     assert_eq!(id, 777_777);
     assert!(d < 1e-6);
-    assert!(tree.delete(&mut clock, 777_777, &p));
+    assert!(tree.delete(&mut clock, 777_777, &p).unwrap());
     let (id2, _) = tree.nearest(&mut clock, &p).expect("non-empty");
     assert_ne!(id2, 777_777);
     std::fs::remove_dir_all(&dir).expect("cleanup");
