@@ -1,0 +1,144 @@
+//! Review scratch: crash between checkpoint apply and wal.reset().
+
+use std::sync::{Arc, Mutex};
+
+use iqtree_repro::data;
+use iqtree_repro::geometry::Metric;
+use iqtree_repro::storage::{BlockDevice, IqResult, MemDevice, MemWal, SimClock, WalStore};
+use iqtree_repro::tree::{IqTree, IqTreeOptions};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const DIM: usize = 4;
+const BS: usize = 512;
+
+#[derive(Clone)]
+struct SharedDev(Arc<Mutex<MemDevice>>);
+
+impl SharedDev {
+    fn new(bs: usize) -> Self {
+        Self(Arc::new(Mutex::new(MemDevice::new(bs))))
+    }
+    fn image(&self) -> Vec<u8> {
+        self.0.lock().unwrap().contents().to_vec()
+    }
+}
+
+impl BlockDevice for SharedDev {
+    fn block_size(&self) -> usize {
+        self.0.lock().unwrap().block_size()
+    }
+    fn num_blocks(&self) -> u64 {
+        self.0.lock().unwrap().num_blocks()
+    }
+    fn read_blocks(&self, clock: &mut SimClock, start: u64, buf: &mut [u8]) -> IqResult<()> {
+        self.0.lock().unwrap().read_blocks(clock, start, buf)
+    }
+    fn append(&mut self, clock: &mut SimClock, data: &[u8]) -> IqResult<u64> {
+        self.0.lock().unwrap().append(clock, data)
+    }
+    fn write_blocks(&mut self, clock: &mut SimClock, start: u64, data: &[u8]) -> IqResult<()> {
+        self.0.lock().unwrap().write_blocks(clock, start, data)
+    }
+    fn truncate_blocks(&mut self, clock: &mut SimClock, nblocks: u64) -> IqResult<()> {
+        self.0.lock().unwrap().truncate_blocks(clock, nblocks)
+    }
+    fn device_id(&self) -> u64 {
+        self.0.lock().unwrap().device_id()
+    }
+}
+
+#[derive(Clone)]
+struct SharedWal {
+    inner: Arc<Mutex<MemWal>>,
+    tape: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedWal {
+    fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(MemWal::new())),
+            tape: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+    fn tape(&self) -> Vec<u8> {
+        self.tape.lock().unwrap().clone()
+    }
+}
+
+impl WalStore for SharedWal {
+    fn len(&self) -> u64 {
+        self.inner.lock().unwrap().len()
+    }
+    fn append(&mut self, clock: &mut SimClock, bytes: &[u8]) -> IqResult<()> {
+        self.tape.lock().unwrap().extend_from_slice(bytes);
+        self.inner.lock().unwrap().append(clock, bytes)
+    }
+    fn read_at(&self, clock: &mut SimClock, off: u64, buf: &mut [u8]) -> IqResult<()> {
+        self.inner.lock().unwrap().read_at(clock, off, buf)
+    }
+    fn sync(&mut self, clock: &mut SimClock) -> IqResult<()> {
+        self.inner.lock().unwrap().sync(clock)
+    }
+    fn truncate(&mut self, clock: &mut SimClock, len: u64) -> IqResult<()> {
+        self.inner.lock().unwrap().truncate(clock, len)
+    }
+    fn device_id(&self) -> u64 {
+        self.inner.lock().unwrap().device_id()
+    }
+}
+
+/// Crash AFTER the checkpoint transaction fully applied to the base files
+/// but BEFORE wal.reset() truncated the log: base = post-fold images, log
+/// = full tape. Recovery must succeed and leave the same answers.
+#[test]
+fn crash_after_checkpoint_apply_before_wal_reset_recovers() {
+    let ds = data::uniform(DIM, 400, 2026);
+    let devs = [SharedDev::new(BS), SharedDev::new(BS), SharedDev::new(BS)];
+    let mut it = devs.iter().cloned();
+    let mut clock = SimClock::default();
+    let mut tree = IqTree::build(
+        &ds,
+        Metric::Euclidean,
+        IqTreeOptions::default(),
+        || Box::new(it.next().unwrap()),
+        &mut clock,
+    );
+    let wal = SharedWal::new();
+    tree.attach_wal(Box::new(wal.clone()));
+
+    // Delete-heavy churn so the folded exact file is SHORTER than the
+    // pre-checkpoint appends' positions.
+    let mut rng = StdRng::seed_from_u64(88);
+    for i in 0..20u32 {
+        let p: Vec<f32> = (0..DIM).map(|_| rng.gen()).collect();
+        tree.insert(&mut clock, 400 + i, &p).expect("insert");
+    }
+    for i in 0..200u32 {
+        assert!(tree.delete(&mut clock, i, ds.point(i as usize)).unwrap());
+    }
+
+    tree.checkpoint(&mut clock).expect("checkpoint");
+    // Post-checkpoint base images; FULL log tape (as if the log truncate
+    // never hit the disk).
+    let post = [devs[0].image(), devs[1].image(), devs[2].image()];
+    let log = wal.tape();
+    drop(tree);
+
+    let mut clock = SimClock::default();
+    let result = IqTree::open_with_wal(
+        DIM,
+        Metric::Euclidean,
+        IqTreeOptions::default(),
+        Box::new(MemDevice::from_contents(BS, post[0].clone())),
+        Box::new(MemDevice::from_contents(BS, post[1].clone())),
+        Box::new(MemDevice::from_contents(BS, post[2].clone())),
+        Box::new(MemWal::from_contents(log)),
+        &mut clock,
+    );
+    match result {
+        Ok((tree, _)) => {
+            assert_eq!(tree.len(), 220);
+        }
+        Err(e) => panic!("recovery after checkpoint-apply crash failed: {e}"),
+    }
+}
