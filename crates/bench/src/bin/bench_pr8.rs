@@ -1,0 +1,13 @@
+//! Sweeps the approximate k-NN knobs (ε, nprobes, refine_factor) over the
+//! IQ-tree, X-tree and VA-file on the 10k clustered synthetic index and
+//! writes `BENCH_PR8.json` with recall@10 vs sim-time speedup curves plus
+//! a measured "recommended" setting. `IQ_QUICK=1` shrinks the query count
+//! for CI smoke tests.
+
+fn main() {
+    let quick = std::env::var("IQ_QUICK").map(|v| v == "1").unwrap_or(false);
+    let json = iq_bench::approx::run_pr8(quick);
+    print!("{json}");
+    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
+    eprintln!("wrote BENCH_PR8.json");
+}

@@ -17,12 +17,12 @@
 
 use crate::{IqTree, PageMeta};
 use iq_cost::access_prob::fraction_in_ball;
-use iq_engine::{AccessMethod, Filter, TopK};
+use iq_engine::{drive, AccessMethod, CandidateHeap, Executor, Filter, OrdKey, QueryOptions};
 use iq_obs::{CostPrediction, Phase};
 use iq_quantize::{CellMatch, DistTable, WindowTable, EXACT_BITS};
 use iq_storage::{fetch, read_to_vec_retry, SimClock};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::HashMap;
 
 /// What a nearest-neighbor query actually did — returned by
 /// [`IqTree::knn_traced`] for inspection, tuning and tests. The type lives
@@ -39,24 +39,10 @@ enum Item {
     Point(u32, u32, u32),
 }
 
-/// Ordered f64 key (finite, non-negative).
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct Key(f64);
-impl Eq for Key {}
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("distance keys are never NaN")
-    }
-}
-
-/// Per-query working state.
+/// Per-query working state that is specific to the IQ-tree producer: the
+/// page priority structure and decode scratch. The shared pieces — the
+/// top-k, the pruning bound, the knob budgets and the trace — live in the
+/// engine-layer [`Executor`], which is threaded alongside.
 struct SearchState<'f> {
     /// Pushed-down attribute filter: non-matching points never enter the
     /// result set or the priority list, so the pruning bound (and with it
@@ -71,26 +57,12 @@ struct SearchState<'f> {
     rank: Vec<u32>,
     /// Pages already loaded and processed (or scheduled away).
     processed: Vec<bool>,
-    /// Current k-best exact results.
-    best: TopK,
-    trace: QueryTrace,
     /// Reusable cell-number scratch for the streaming page decoder.
     cells: Vec<u32>,
     /// Reusable coordinate scratch for exact (g = 32) pages and fallbacks.
     coords: Vec<f32>,
     /// Reusable per-(query, page-grid) distance-contribution table.
     table: DistTable,
-}
-
-impl SearchState<'_> {
-    /// The pruning bound in key space (k-th best exact distance).
-    fn bound(&self) -> f64 {
-        self.best.bound()
-    }
-
-    fn offer(&mut self, key: f64, id: u32) {
-        self.best.insert(key, id);
-    }
 }
 
 impl IqTree {
@@ -138,23 +110,43 @@ impl IqTree {
         q: &[f32],
         k: usize,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
-        self.knn_traced_impl(clock, q, k, None)
+        self.knn_traced_impl(clock, q, k, None, &QueryOptions::EXACT)
     }
 
     /// Shared search core; a pushed-down `filter` drops non-matching points
     /// at page-decode time (level 2), so they never enter the priority list
     /// and are never refined, and `k` counts post-filter results.
+    ///
+    /// The IQ-tree is a *producer* into the engine-layer [`drive`] loop:
+    /// pages and point approximations enter the shared candidate heap, the
+    /// executor owns pruning and every approximation knob. Under `opts`,
+    /// `nprobes` caps the number of quantized data pages decoded and
+    /// `refine_factor` caps exact-point look-ups at `k × refine_factor`.
     fn knn_traced_impl(
         &self,
         clock: &mut SimClock,
         q: &[f32],
         k: usize,
         filter: Option<&Filter>,
+        opts: &QueryOptions,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
         assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
         if k == 0 || self.is_empty() || filter.is_some_and(|f| f.matching() == 0) {
             return (Vec::new(), QueryTrace::default());
         }
+        // Partial refinement (`refine_factor >= 2`): the quantized phase
+        // ranks candidates by their cell lower bound alone — no per-pivot
+        // exact reads — and the best `k × refine_factor` are then refined
+        // in one block-scheduled batch and reranked. One planned sweep
+        // over co-located exact entries replaces up to `k` random seeks.
+        let partial = opts.refine_factor >= 2;
+        let budget = if partial {
+            k.saturating_mul(opts.refine_factor as usize)
+        } else {
+            k
+        };
+        let mut exec = Executor::new(self.metric(), budget, opts, clock);
+        let mut deferred: HashMap<u32, (u32, u32)> = HashMap::new();
         clock.phase_begin(Phase::Directory);
         self.charge_directory_scan(clock);
 
@@ -167,13 +159,11 @@ impl IqTree {
             order: Vec::new(),
             rank: Vec::new(),
             processed: vec![false; n_pages],
-            best: TopK::new(k),
-            trace: QueryTrace::default(),
             cells: Vec::new(),
             coords: Vec::new(),
             table: DistTable::new(),
         };
-        let mut heap: BinaryHeap<Reverse<(Key, Item)>> = BinaryHeap::with_capacity(n_pages);
+        let mut heap: CandidateHeap<Item> = CandidateHeap::with_capacity(n_pages);
         for (i, meta) in self.pages().iter().enumerate() {
             let key = if meta.count == 0 {
                 f64::INFINITY
@@ -182,7 +172,7 @@ impl IqTree {
             };
             st.page_key.push(key);
             if key.is_finite() {
-                heap.push(Reverse((Key(key), Item::Page(i as u32))));
+                heap.push(Reverse((OrdKey(key), Item::Page(i as u32))));
             } else {
                 st.processed[i] = true;
             }
@@ -201,64 +191,116 @@ impl IqTree {
         st.order = order;
         st.rank = rank;
 
-        while let Some(Reverse((Key(key), item))) = heap.pop() {
-            if key >= st.bound() {
-                break;
-            }
-            match item {
-                Item::Page(p) => {
-                    let p = p as usize;
-                    if st.processed[p] {
-                        continue;
-                    }
-                    if self.options().scheduled_io {
-                        self.process_page_run(clock, q, p, &mut st, &mut heap);
-                    } else {
-                        self.process_single_page(clock, q, p, &mut st, &mut heap);
-                    }
-                }
-                Item::Point(page, slot, id) => {
-                    // Refinement: unavoidable once the approximation is the
-                    // pivot (Section 3.2). An entry that stays unreadable
-                    // after retries is skipped (and counted): the query
-                    // completes on the remaining points.
-                    clock.phase_begin(Phase::Refine);
-                    match self.try_read_exact_point(clock, page as usize, slot as usize) {
-                        Ok(coords) => {
-                            clock.charge_dist_evals(self.dim(), 1);
-                            st.trace.refinements += 1;
-                            st.offer(metric.distance_key(&coords, q), id);
+        drive(
+            &mut exec,
+            clock,
+            &mut heap,
+            |exec, clock, key, item, heap| {
+                match item {
+                    Item::Page(p) => {
+                        let p = p as usize;
+                        if st.processed[p] {
+                            return;
                         }
-                        Err(_) => st.trace.points_skipped += 1,
+                        if exec.probes_exhausted() {
+                            // `nprobes` spent: the page is scheduled away before
+                            // any I/O is charged for it.
+                            st.processed[p] = true;
+                            exec.skip_candidates(1);
+                            return;
+                        }
+                        if self.options().scheduled_io {
+                            self.process_page_run(clock, q, p, &mut st, exec, heap);
+                        } else {
+                            self.process_single_page(clock, q, p, &mut st, exec, heap);
+                        }
+                    }
+                    Item::Point(page, slot, id) => {
+                        if partial {
+                            // Rank by the quantized lower bound now; the exact
+                            // read happens later, in one batched sweep.
+                            clock.phase_begin(Phase::TopK);
+                            deferred.insert(id, (page, slot));
+                            exec.offer(key, id);
+                            return;
+                        }
+                        // Refinement: unavoidable once the approximation is the
+                        // pivot (Section 3.2). An entry that stays unreadable
+                        // after retries is skipped (and counted): the query
+                        // completes on the remaining points.
+                        clock.phase_begin(Phase::Refine);
+                        exec.refine_with(clock, id, |clock| {
+                            self.try_read_exact_point(clock, page as usize, slot as usize)
+                                .ok()
+                                .map(|coords| {
+                                    clock.charge_dist_evals(self.dim(), 1);
+                                    metric.distance_key(&coords, q)
+                                })
+                        });
                     }
                 }
-            }
-        }
+            },
+        );
 
         clock.phase_begin(Phase::TopK);
-        let results = st.best.into_results(metric);
+        let (results, mut trace) = exec.into_results(metric);
+        if !partial {
+            clock.phase_end();
+            return (results, trace);
+        }
+
+        // Rerank: provisional results from exact pages already carry true
+        // distances; lower-bound-ranked candidates are refined in one
+        // planned batch over the exact file (candidates that stay
+        // unreadable after retries are skipped, as in the pivot path).
+        clock.phase_begin(Phase::Refine);
+        let mut batch: Vec<(usize, usize, u32)> = Vec::new();
+        let mut rerank: Vec<(u32, f64)> = Vec::new();
+        for (id, dist) in results {
+            match deferred.get(&id) {
+                Some(&(page, slot)) => batch.push((page as usize, slot as usize, id)),
+                None => rerank.push((id, dist)),
+            }
+        }
+        trace.refinements += batch.len() as u64;
+        self.refine_batch_with(clock, &batch, |id, coords| {
+            rerank.push((id, metric.key_to_distance(metric.distance_key(coords, q))));
+        });
+        clock.phase_begin(Phase::TopK);
+        rerank.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("distances are never NaN")
+                .then(a.0.cmp(&b.0))
+        });
+        rerank.truncate(k);
         clock.phase_end();
-        (results, st.trace)
+        (rerank, trace)
     }
 
     /// Loads exactly one page (the "standard NN search" ablation, and the
     /// degraded path when a sweep fails). Transient faults are retried; a
-    /// block that stays unreadable falls back to the exact region.
+    /// block that stays unreadable falls back to the exact region. Each
+    /// page read consumes one unit of the `nprobes` budget; once spent,
+    /// the page is scheduled away unread.
     fn process_single_page(
         &self,
         clock: &mut SimClock,
         q: &[f32],
         p: usize,
         st: &mut SearchState<'_>,
-        heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
+        exec: &mut Executor,
+        heap: &mut CandidateHeap<Item>,
     ) {
         let block = self.pages()[p].quant_block;
         st.processed[p] = true;
-        st.trace.runs += 1;
+        if !exec.try_probe() {
+            return;
+        }
+        exec.trace.runs += 1;
         clock.phase_begin(Phase::Filter);
         match read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()) {
-            Ok(buf) => self.consume_page_bytes(clock, q, p, &buf, st, heap),
-            Err(_) => self.fallback_page(clock, q, p, st),
+            Ok(buf) => self.consume_page_bytes(clock, q, p, &buf, st, exec, heap),
+            Err(_) => self.fallback_page(clock, q, p, st, exec),
         }
     }
 
@@ -272,12 +314,13 @@ impl IqTree {
         q: &[f32],
         pivot: usize,
         st: &mut SearchState<'_>,
-        heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
+        exec: &mut Executor,
+        heap: &mut CandidateHeap<Item>,
     ) {
         clock.phase_begin(Phase::Plan);
         let disk = *clock.disk();
         let n_pages = self.pages().len();
-        let bound = st.bound();
+        let bound = exec.prune_threshold();
 
         // Access probability of page i (eq 2): product over its
         // higher-priority competitors — exactly the prefix of the sorted
@@ -316,12 +359,25 @@ impl IqTree {
             p
         };
 
+        // `nprobes` caps how many pages will ever be decoded, so the run
+        // must not be extended past what the remaining budget can use:
+        // pages beyond it would be read as guaranteed-dead filler. The
+        // pivot itself consumes one probe. Unlimited budgets leave the
+        // extension walk untouched (exact mode stays bit-identical).
+        let mut decodable_left = exec.probes_remaining().saturating_sub(1);
+
         // Forward extension.
         let mut last = pivot;
         let mut ccb = 0.0f64;
         let mut i = pivot + 1;
         while i < n_pages && ccb < disk.t_seek {
             let a = prob(self, st, i);
+            if a > 0.0 {
+                if decodable_left == 0 {
+                    break;
+                }
+                decodable_left -= 1;
+            }
             ccb += disk.t_xfer - a * (disk.t_seek + disk.t_xfer);
             if ccb < 0.0 {
                 last = i;
@@ -335,6 +391,12 @@ impl IqTree {
         let mut j = pivot as i64 - 1;
         while j >= 0 && ccb < disk.t_seek {
             let a = prob(self, st, j as usize);
+            if a > 0.0 {
+                if decodable_left == 0 {
+                    break;
+                }
+                decodable_left -= 1;
+            }
             ccb += disk.t_xfer - a * (disk.t_seek + disk.t_xfer);
             if ccb < 0.0 {
                 first = j as usize;
@@ -365,26 +427,32 @@ impl IqTree {
                     // to one page at a time so only the bad page pays the
                     // fallback, not the entire sweep.
                     for p in members {
-                        if st.page_key[p] >= st.bound() {
+                        if exec.is_pruned(st.page_key[p]) {
                             st.processed[p] = true;
-                            st.trace.pages_skipped += 1;
+                            exec.trace.pages_skipped += 1;
                             continue;
                         }
-                        self.process_single_page(clock, q, p, st, heap);
+                        self.process_single_page(clock, q, p, st, exec, heap);
                     }
                     return;
                 }
             };
-        st.trace.runs += 1;
+        exec.trace.runs += 1;
         let bs = buf.len() / run_len as usize;
         for p in members {
             st.processed[p] = true;
-            if st.page_key[p] >= st.bound() {
-                st.trace.pages_skipped += 1;
+            if exec.is_pruned(st.page_key[p]) {
+                exec.trace.pages_skipped += 1;
                 continue; // loaded as filler; nothing useful inside
             }
+            // The run was read as one sweep, but each *decoded* page still
+            // consumes a unit of the `nprobes` budget; members beyond the
+            // cap stay undecoded filler.
+            if !exec.try_probe() {
+                continue;
+            }
             let off = (p - first) * bs;
-            self.consume_page_bytes(clock, q, p, &buf[off..off + bs], st, heap);
+            self.consume_page_bytes(clock, q, p, &buf[off..off + bs], st, exec, heap);
         }
     }
 
@@ -397,6 +465,7 @@ impl IqTree {
     /// MINDIST comes from the per-(query, grid) [`DistTable`] — no `Vec`
     /// allocations, no MBR construction, no f32 reconstruction, and
     /// bit-identical keys to the naive decode-then-`Metric` path.
+    #[allow(clippy::too_many_arguments)]
     fn consume_page_bytes(
         &self,
         clock: &mut SimClock,
@@ -404,7 +473,8 @@ impl IqTree {
         p: usize,
         bytes: &[u8],
         st: &mut SearchState<'_>,
-        heap: &mut BinaryHeap<Reverse<(Key, Item)>>,
+        exec: &mut Executor,
+        heap: &mut CandidateHeap<Item>,
     ) {
         clock.phase_begin(Phase::Filter);
         let metric = self.metric();
@@ -415,36 +485,34 @@ impl IqTree {
                 // is garbage — corruption that slipped past the checksum
                 // layer. Same degradation as an unreadable block.
                 clock.note_corrupt_block();
-                self.fallback_page(clock, q, p, st);
+                self.fallback_page(clock, q, p, st, exec);
                 return;
             }
         };
         clock.charge_dist_evals(self.dim(), view.len() as u64);
         let SearchState {
             filter,
-            best,
-            trace,
             cells,
             coords,
             table,
             ..
         } = st;
         let filter = *filter;
-        trace.pages_processed += 1;
+        exec.trace.pages_processed += 1;
         if view.bits() == EXACT_BITS {
             view.for_each_entry(cells, |id, bits| {
                 if filter.is_none_or(|f| f.matches(id)) {
                     coords.clear();
                     coords.extend(bits.iter().map(|&b| f32::from_bits(b)));
-                    best.insert(metric.distance_key(coords, q), id);
+                    exec.offer(metric.distance_key(coords, q), id);
                 }
             });
         } else {
             let meta: &PageMeta = &self.pages()[p];
             table.build(&meta.mbr, view.bits(), metric, q, view.len());
             // No exact result is offered while filtering approximations, so
-            // the pruning bound is loop-invariant.
-            let bound = best.bound();
+            // the pruning threshold is loop-invariant.
+            let bound = exec.prune_threshold();
             let mut slot = 0u32;
             view.for_each_entry(cells, |id, cs| {
                 // Filtered-out points never enter the priority list: they
@@ -452,8 +520,8 @@ impl IqTree {
                 if filter.is_none_or(|f| f.matches(id)) {
                     let key = table.mindist_key(cs);
                     if key < bound {
-                        trace.approx_enqueued += 1;
-                        heap.push(Reverse((Key(key), Item::Point(p as u32, slot, id))));
+                        exec.trace.approx_enqueued += 1;
+                        heap.push(Reverse((OrdKey(key), Item::Point(p as u32, slot, id))));
                     }
                 }
                 slot += 1;
@@ -467,47 +535,48 @@ impl IqTree {
     /// self-contained `(id, coords)` entries, so the page contributes at
     /// full precision, just without approximation pruning. Pages quantized
     /// at 32 bits have no level-3 backing; their points are reported lost.
-    fn fallback_page(&self, clock: &mut SimClock, q: &[f32], p: usize, st: &mut SearchState<'_>) {
+    fn fallback_page(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        p: usize,
+        st: &mut SearchState<'_>,
+        exec: &mut Executor,
+    ) {
         clock.phase_begin(Phase::Refine);
         let meta = &self.pages()[p];
         if meta.g == EXACT_BITS || meta.exact_blocks == 0 {
-            st.trace.pages_lost += 1;
+            exec.trace.pages_lost += 1;
             return;
         }
         let region = match self.try_read_exact_region(clock, p) {
             Ok(r) => r,
             Err(_) => {
                 // Both levels unreadable: the page really is gone.
-                st.trace.pages_lost += 1;
+                exec.trace.pages_lost += 1;
                 return;
             }
         };
-        st.trace.quant_fallbacks += 1;
-        st.trace.pages_processed += 1;
+        exec.trace.quant_fallbacks += 1;
+        exec.trace.pages_processed += 1;
         let metric = self.metric();
         let eb = self.exact_codec().entry_bytes();
         clock.charge_dist_evals(self.dim(), u64::from(meta.count));
-        let SearchState {
-            filter,
-            best,
-            trace,
-            coords,
-            ..
-        } = st;
-        let filter = *filter;
+        let filter = st.filter;
+        let coords = &mut st.coords;
         coords.resize(self.dim(), 0.0);
         for i in 0..meta.count as usize {
             let Some(bytes) = region.get(i * eb..(i + 1) * eb) else {
-                trace.points_skipped += 1;
+                exec.trace.points_skipped += 1;
                 continue;
             };
             match self.exact_codec().try_decode_entry_into(bytes, coords) {
                 Ok(id) => {
                     if filter.is_none_or(|f| f.matches(id)) {
-                        best.insert(metric.distance_key(coords, q), id);
+                        exec.offer(metric.distance_key(coords, q), id);
                     }
                 }
-                Err(_) => trace.points_skipped += 1,
+                Err(_) => exec.trace.points_skipped += 1,
             }
         }
     }
@@ -557,6 +626,27 @@ impl IqTree {
         refinements: &[(usize, usize, u32)],
         mut accept: impl FnMut(&[f32]) -> bool,
     ) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.refine_batch_with(clock, refinements, |id, coords| {
+            if accept(coords) {
+                out.push(id);
+            }
+        });
+        out
+    }
+
+    /// Core of [`Self::refine_batch`]: plans the fetch, then calls `visit`
+    /// with each candidate's id and exact coordinates. Also the engine of
+    /// the `refine_factor` partial-refinement rerank in k-NN search.
+    fn refine_batch_with(
+        &self,
+        clock: &mut SimClock,
+        refinements: &[(usize, usize, u32)],
+        mut visit: impl FnMut(u32, &[f32]),
+    ) {
+        if refinements.is_empty() {
+            return;
+        }
         let bs = self.block_size();
         let pb = self.exact_codec().entry_bytes();
         // Every block any candidate touches, in disk order.
@@ -575,16 +665,13 @@ impl IqTree {
         }) {
             Ok(f) => f,
             Err(_) => {
-                let mut out = Vec::new();
                 for &(page, slot, id) in refinements {
                     if let Ok(coords) = self.try_read_exact_point(clock, page, slot) {
                         clock.charge_dist_evals(self.dim(), 1);
-                        if accept(&coords) {
-                            out.push(id);
-                        }
+                        visit(id, &coords);
                     }
                 }
-                return out;
+                return;
             }
         };
         let block_bytes = |pos: u64| -> Option<&[u8]> {
@@ -592,7 +679,6 @@ impl IqTree {
             let off = ((pos - run.start) as usize) * bs;
             buf.get(off..off + bs)
         };
-        let mut out = Vec::new();
         let mut point_buf = vec![0u8; pb];
         let mut coords = vec![0.0f32; self.dim()];
         for &(page, slot, id) in refinements {
@@ -635,11 +721,8 @@ impl IqTree {
                 }
             }
             clock.charge_dist_evals(self.dim(), 1);
-            if accept(&coords) {
-                out.push(id);
-            }
+            visit(id, &coords);
         }
-        out
     }
 
     /// All points inside the query window (unordered ids) — the paper's
@@ -848,10 +931,28 @@ impl IqTree {
     /// This is the "predicted" side of [`iq_obs::CostAudit`]; the observed
     /// side is the [`QueryTrace`] / [`SimClock`] of a real query.
     pub fn predict_knn_cost(&self, disk: &iq_storage::DiskModel, k: usize) -> CostPrediction {
+        self.predict_knn_cost_opts(disk, k, &QueryOptions::EXACT)
+    }
+
+    /// [`IqTree::predict_knn_cost`] under approximation [`QueryOptions`]:
+    /// `nprobes` caps the expected second-level page count, `refine_factor`
+    /// caps the refinement term at `k × refine_factor` exact reads, and a
+    /// `time_budget` clips the total. `epsilon` is modeled conservatively
+    /// (no reduction): the ε savings depend on the data distribution near
+    /// the query, which the page-level model cannot see.
+    pub fn predict_knn_cost_opts(
+        &self,
+        disk: &iq_storage::DiskModel,
+        k: usize,
+        opts: &QueryOptions,
+    ) -> CostPrediction {
         let k = k.max(1);
         let live: Vec<&PageMeta> = self.pages().iter().filter(|p| p.count > 0).collect();
         let n = live.len();
-        let pages = iq_cost::expected_pages_accessed_knn(self.dir_params(), n, k);
+        let mut pages = iq_cost::expected_pages_accessed_knn(self.dir_params(), n, k);
+        if let Some(m) = opts.nprobes {
+            pages = pages.min(m as f64);
+        }
         let mut refine_seconds = 0.0;
         for meta in &live {
             let sides: Vec<f32> = (0..self.dim()).map(|i| meta.mbr.extent(i) as f32).collect();
@@ -863,9 +964,16 @@ impl IqTree {
                 k,
             ) * (disk.t_seek + disk.t_xfer);
         }
-        let io_seconds = iq_cost::first_level_cost(self.dir_params(), disk, n)
+        if opts.refine_factor >= 2 {
+            let cap = (k as f64) * f64::from(opts.refine_factor) * (disk.t_seek + disk.t_xfer);
+            refine_seconds = refine_seconds.min(cap);
+        }
+        let mut io_seconds = iq_cost::first_level_cost(self.dir_params(), disk, n)
             + iq_cost::directory::second_level_cost_for_k(disk, n, pages)
             + refine_seconds;
+        if let Some(b) = opts.time_budget {
+            io_seconds = io_seconds.min(b);
+        }
         CostPrediction { pages, io_seconds }
     }
 }
@@ -890,24 +998,16 @@ impl AccessMethod for IqTree {
         IqTree::metric(self)
     }
 
-    fn knn_traced(
-        &self,
-        clock: &mut SimClock,
-        q: &[f32],
-        k: usize,
-    ) -> (Vec<(u32, f64)>, QueryTrace) {
-        IqTree::knn_traced(self, clock, q, k)
-    }
-
-    fn knn_filtered_traced(
+    fn knn_opts_traced(
         &self,
         clock: &mut SimClock,
         q: &[f32],
         k: usize,
         filter: Option<&Filter>,
+        opts: &QueryOptions,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
         // True pushdown into the level-2 filter phase — no top-up rounds.
-        self.knn_traced_impl(clock, q, k, filter)
+        self.knn_traced_impl(clock, q, k, filter, opts)
     }
 
     fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
@@ -921,9 +1021,9 @@ impl AccessMethod for IqTree {
     /// The trait has no disk handle, so the prediction prices I/O on the
     /// default [`iq_storage::DiskModel`] — the model every [`SimClock`] in
     /// the workspace defaults to. Callers with a custom disk should use
-    /// [`IqTree::predict_knn_cost`] directly.
-    fn cost_prediction(&self, k: usize) -> Option<CostPrediction> {
-        Some(self.predict_knn_cost(&iq_storage::DiskModel::default(), k))
+    /// [`IqTree::predict_knn_cost_opts`] directly.
+    fn cost_prediction(&self, k: usize, opts: &QueryOptions) -> Option<CostPrediction> {
+        Some(self.predict_knn_cost_opts(&iq_storage::DiskModel::default(), k, opts))
     }
 }
 
@@ -1166,8 +1266,21 @@ mod tests {
         }
         // The trait hook reports the same pages as the inherent method on
         // the default disk.
-        let via_trait = AccessMethod::cost_prediction(&tree, 5).expect("iq-tree has a model");
+        let via_trait = AccessMethod::cost_prediction(&tree, 5, &iq_engine::QueryOptions::EXACT)
+            .expect("iq-tree has a model");
         assert_eq!(via_trait.pages, tree.predict_knn_cost(&disk, 5).pages);
+
+        // Knobs cap the prediction from their respective sides.
+        let opts = iq_engine::QueryOptions {
+            nprobes: Some(2),
+            refine_factor: 2,
+            time_budget: Some(1e-4),
+            ..iq_engine::QueryOptions::EXACT
+        };
+        let capped = tree.predict_knn_cost_opts(&disk, 25, &opts);
+        let exact = tree.predict_knn_cost(&disk, 25);
+        assert!(capped.pages <= exact.pages.min(2.0));
+        assert!(capped.io_seconds <= exact.io_seconds.min(1e-4));
     }
 
     #[test]

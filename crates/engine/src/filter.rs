@@ -6,12 +6,12 @@
 //! A [`Filter`] is a precompiled id-bitset: predicate evaluation happens
 //! once, against the attribute table, before the search starts; the search
 //! itself only asks `matches(id)` in its hot loops. `k` counts results
-//! *after* filtering (the Lance ≥ 0.5.0 convention), and every engine must
-//! return the exact post-filter top-k — either through its own pushdown
-//! override of [`AccessMethod::knn_filtered_traced`] or through the
-//! generic top-up refinement this module provides as a default.
+//! *after* filtering (the Lance ≥ 0.5.0 convention), and every engine
+//! pushes the predicate into its single executor-driven search
+//! ([`AccessMethod::knn_opts_traced`]), skipping non-matching candidates
+//! before any refinement I/O is spent on them.
 
-use crate::{AccessMethod, QueryTrace};
+use crate::{AccessMethod, QueryOptions};
 use iq_storage::SimClock;
 
 /// A precompiled predicate over point ids: one bit per id in the indexed
@@ -131,7 +131,23 @@ pub fn knn_paginated<M: AccessMethod + ?Sized>(
     filter: Option<&Filter>,
     page: &PageSpec,
 ) -> Vec<(u32, f64)> {
-    let mut hits = method.knn_filtered(clock, q, page.k, filter);
+    knn_paginated_opts(method, clock, q, filter, page, &QueryOptions::EXACT)
+}
+
+/// [`knn_paginated`] under explicit approximation [`QueryOptions`]. The
+/// computed `page.k`-list is whatever the (possibly approximate) search
+/// returns, canonically re-ordered — so re-running the same
+/// `(q, k, filter, opts)` still yields the same list and disjoint
+/// `offset` windows still tile it without overlap or gaps.
+pub fn knn_paginated_opts<M: AccessMethod + ?Sized>(
+    method: &M,
+    clock: &mut SimClock,
+    q: &[f32],
+    filter: Option<&Filter>,
+    page: &PageSpec,
+    opts: &QueryOptions,
+) -> Vec<(u32, f64)> {
+    let mut hits = method.knn_opts(clock, q, page.k, filter, opts);
     hits.sort_by(|a, b| {
         a.1.partial_cmp(&b.1)
             .expect("no NaN distances")
@@ -141,44 +157,6 @@ pub fn knn_paginated<M: AccessMethod + ?Sized>(
         .skip(page.offset)
         .take(page.limit.unwrap_or(usize::MAX))
         .collect()
-}
-
-/// Generic top-up refinement: the default strategy behind
-/// [`AccessMethod::knn_filtered_traced`] for engines without a pushdown
-/// override. Draws the overall-nearest `k'` candidates, keeps the matches,
-/// and doubles `k'` until `k` post-filter results are in hand or the whole
-/// data set has been drawn — at which point the filtered result is exact
-/// by construction.
-pub(crate) fn knn_filtered_by_topup<M: AccessMethod + ?Sized>(
-    method: &M,
-    clock: &mut SimClock,
-    q: &[f32],
-    k: usize,
-    filter: &Filter,
-) -> (Vec<(u32, f64)>, QueryTrace) {
-    if k == 0 || filter.matching() == 0 || method.is_empty() {
-        return (Vec::new(), QueryTrace::default());
-    }
-    let n = method.len();
-    // Seed the draw with an estimate from the filter's selectivity so
-    // well-behaved filters converge in one round.
-    let mut k_fetch = ((k as f64 / filter.selectivity().max(1e-6)).ceil() as usize)
-        .max(k)
-        .min(n);
-    let mut aggregate = QueryTrace::default();
-    loop {
-        let (res, trace) = method.knn_traced(clock, q, k_fetch);
-        aggregate.merge(&trace);
-        let mut hits: Vec<(u32, f64)> = res
-            .into_iter()
-            .filter(|&(id, _)| filter.matches(id))
-            .collect();
-        if hits.len() >= k || k_fetch >= n {
-            hits.truncate(k);
-            return (hits, aggregate);
-        }
-        k_fetch = (k_fetch * 2).min(n);
-    }
 }
 
 #[cfg(test)]

@@ -7,18 +7,24 @@
 //! [`QueryTrace`] so figure runners, the CLI and the conformance tests
 //! iterate `&dyn AccessMethod` instead of special-casing each backend.
 //!
-//! The crate also hosts the two pieces every method used to duplicate:
+//! The crate also hosts the pieces every method used to duplicate:
 //!
 //! * [`TopK`] — the bounded best-list for k-NN searches (NaN-rejecting),
+//! * [`executor`] — the shared bound-driven query loop ([`Executor`],
+//!   [`drive`], [`refine_ascending`]) and the [`QueryOptions`]
+//!   approximation knobs (ε, `nprobes`, `refine_factor`, time budget),
+//!   implemented once for all engines,
 //! * [`knn_batch`] — the deterministic multi-threaded batch executor
 //!   (results and accumulated clock statistics are identical for every
 //!   thread count, including 1).
 
+pub mod executor;
 mod filter;
 mod topk;
 mod trace;
 
-pub use filter::{knn_paginated, Filter, PageSpec};
+pub use executor::{drive, refine_ascending, CandidateHeap, Executor, OrdKey, QueryOptions};
+pub use filter::{knn_paginated, knn_paginated_opts, Filter, PageSpec};
 pub use topk::TopK;
 pub use trace::QueryTrace;
 
@@ -63,6 +69,43 @@ pub trait AccessMethod: Send + Sync {
         self.knn_traced(clock, q, k).0
     }
 
+    /// The full k-NN entry point every other query method funnels into:
+    /// the `k` nearest neighbors of `q` *among the points matching
+    /// `filter`* (`None` = unfiltered), searched under the approximation
+    /// knobs in `opts` ([`QueryOptions::default`] = exact), with the
+    /// [`QueryTrace`] of what the search did.
+    ///
+    /// `k` counts results after filtering: the method keeps drawing
+    /// candidates until `k` post-filter results are exact, or every
+    /// matching point has been considered, or an approximation knob cuts
+    /// the search short (reported via `QueryTrace::terminated_early`).
+    ///
+    /// Every engine implements this as a candidate *producer* into the
+    /// shared bound-driven [`Executor`], so pruning, ε-termination,
+    /// `nprobes` truncation, partial refinement and the time budget
+    /// behave identically across methods — and with default options each
+    /// engine is bit-for-bit identical to a sequential scan.
+    fn knn_opts_traced(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+        opts: &QueryOptions,
+    ) -> (Vec<(u32, f64)>, QueryTrace);
+
+    /// Like [`AccessMethod::knn_opts_traced`], without the trace.
+    fn knn_opts(
+        &self,
+        clock: &mut SimClock,
+        q: &[f32],
+        k: usize,
+        filter: Option<&Filter>,
+        opts: &QueryOptions,
+    ) -> Vec<(u32, f64)> {
+        self.knn_opts_traced(clock, q, k, filter, opts).0
+    }
+
     /// Like [`AccessMethod::knn`], additionally returning a
     /// [`QueryTrace`] of what the search did. Methods without a
     /// filter-and-refine structure report the fields that apply to them
@@ -72,20 +115,12 @@ pub trait AccessMethod: Send + Sync {
         clock: &mut SimClock,
         q: &[f32],
         k: usize,
-    ) -> (Vec<(u32, f64)>, QueryTrace);
+    ) -> (Vec<(u32, f64)>, QueryTrace) {
+        self.knn_opts_traced(clock, q, k, None, &QueryOptions::EXACT)
+    }
 
-    /// The `k` exact nearest neighbors of `q` *among the points matching
-    /// `filter`* (`None` = unfiltered), with the trace of what the search
-    /// did. `k` counts results after filtering: the method keeps drawing
-    /// candidates until `k` post-filter results are exact, or every
-    /// matching point has been considered.
-    ///
-    /// The default implementation is generic top-up refinement over
-    /// [`AccessMethod::knn_traced`] (draw the overall top-`k'`, keep
-    /// matches, double `k'` until `k` survive). Engines with a
-    /// filter-and-refine structure override it to push the predicate into
-    /// their filter phase instead, skipping non-matching candidates before
-    /// any refinement I/O is spent on them.
+    /// Exact filtered k-NN with a trace: [`AccessMethod::knn_opts_traced`]
+    /// under default (exact) options.
     fn knn_filtered_traced(
         &self,
         clock: &mut SimClock,
@@ -93,10 +128,7 @@ pub trait AccessMethod: Send + Sync {
         k: usize,
         filter: Option<&Filter>,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
-        match filter {
-            None => self.knn_traced(clock, q, k),
-            Some(f) => filter::knn_filtered_by_topup(self, clock, q, k, f),
-        }
+        self.knn_opts_traced(clock, q, k, filter, &QueryOptions::EXACT)
     }
 
     /// Like [`AccessMethod::knn_filtered_traced`], without the trace.
@@ -117,14 +149,17 @@ pub trait AccessMethod: Send + Sync {
     /// All points inside the query window (unordered ids).
     fn window(&self, clock: &mut SimClock, window: &Mbr) -> Vec<u32>;
 
-    /// Cost-model prediction for a `k`-NN query, if this method has one.
+    /// Cost-model prediction for a `k`-NN query under `opts`, if this
+    /// method has one.
     ///
     /// Methods with an analytic cost model (the IQ-tree, eqs 2–23)
-    /// override this so observability tooling can compare predictions
-    /// against the observed [`QueryTrace`] / clock; the default says
-    /// "no model".
-    fn cost_prediction(&self, k: usize) -> Option<CostPrediction> {
-        let _ = k;
+    /// override this so observability tooling and planners can compare
+    /// predictions against the observed [`QueryTrace`] / clock — and see
+    /// how the approximation knobs (`nprobes` page truncation, the
+    /// `refine_factor` cap, the time budget) shrink the predicted cost.
+    /// The default says "no model".
+    fn cost_prediction(&self, k: usize, opts: &QueryOptions) -> Option<CostPrediction> {
+        let _ = (k, opts);
         None
     }
 }
@@ -171,6 +206,32 @@ pub fn knn_batch_traced<M: AccessMethod + ?Sized>(
     k: usize,
     threads: usize,
 ) -> (Vec<TracedResult>, QueryTrace) {
+    knn_batch_opts_traced(
+        method,
+        clock,
+        queries,
+        k,
+        threads,
+        None,
+        &QueryOptions::EXACT,
+    )
+}
+
+/// The full batch entry point: every query in `queries` runs
+/// [`AccessMethod::knn_opts_traced`] with the same `filter` and
+/// approximation `opts`, fanned out over `threads` OS threads. Clock
+/// accounting and determinism are as in [`knn_batch`] — the per-query
+/// simulated clocks (and thus any `time_budget` deadline, which is
+/// per-query) are independent of the thread count.
+pub fn knn_batch_opts_traced<M: AccessMethod + ?Sized>(
+    method: &M,
+    clock: &mut SimClock,
+    queries: &[Vec<f32>],
+    k: usize,
+    threads: usize,
+    filter: Option<&Filter>,
+    opts: &QueryOptions,
+) -> (Vec<TracedResult>, QueryTrace) {
     if queries.is_empty() {
         return (Vec::new(), QueryTrace::default());
     }
@@ -185,7 +246,7 @@ pub fn knn_batch_traced<M: AccessMethod + ?Sized>(
             s.spawn(move || {
                 for (q, out) in qs.iter().zip(outs.iter_mut()) {
                     let mut c = template.clone();
-                    let (res, trace) = method.knn_traced(&mut c, q, k);
+                    let (res, trace) = method.knn_opts_traced(&mut c, q, k, filter, opts);
                     *out = Some((res, trace, c));
                 }
             });
@@ -231,16 +292,20 @@ mod tests {
         fn metric(&self) -> Metric {
             Metric::Euclidean
         }
-        fn knn_traced(
+        fn knn_opts_traced(
             &self,
             clock: &mut SimClock,
             q: &[f32],
             k: usize,
+            filter: Option<&Filter>,
+            _opts: &QueryOptions,
         ) -> (Vec<(u32, f64)>, QueryTrace) {
             clock.charge_dist_evals(self.dim, self.pts.len() as u64);
             let mut top = TopK::new(k);
             for (i, p) in self.pts.iter().enumerate() {
-                top.insert(Metric::Euclidean.distance_key(p, q), i as u32);
+                if filter.is_none_or(|f| f.matches(i as u32)) {
+                    top.insert(Metric::Euclidean.distance_key(p, q), i as u32);
+                }
             }
             let trace = QueryTrace {
                 pages_processed: 1,
@@ -310,7 +375,7 @@ mod tests {
     #[test]
     fn cost_prediction_defaults_to_none() {
         let m = flat(10);
-        assert!(m.cost_prediction(3).is_none());
+        assert!(m.cost_prediction(3, &QueryOptions::default()).is_none());
     }
 
     #[test]
@@ -354,7 +419,7 @@ mod tests {
     }
 
     #[test]
-    fn default_topup_matches_filter_then_scan_oracle() {
+    fn filtered_knn_matches_filter_then_scan_oracle() {
         let m = flat(200);
         let mut clock = SimClock::default();
         for (label, f) in [
@@ -376,7 +441,7 @@ mod tests {
     }
 
     #[test]
-    fn topup_exhausts_when_filter_is_tiny() {
+    fn tiny_filter_returns_fewer_than_k() {
         let m = flat(50);
         let mut clock = SimClock::default();
         let f = Filter::from_ids(50, [49u32]);

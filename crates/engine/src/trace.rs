@@ -28,6 +28,14 @@ pub struct QueryTrace {
     /// Individual refinements skipped because the exact entry stayed
     /// unreadable after retries.
     pub points_skipped: u64,
+    /// Candidates dropped by an approximation knob (`nprobes` truncation
+    /// or the `refine_factor` cap), not by the pruning bound.
+    pub candidates_skipped: u64,
+    /// `1` if the search stopped before its exact termination condition
+    /// (ε-termination, time budget, or a knob cap fired); `0` for an
+    /// exact-complete search. Sums to a count of early-terminated
+    /// queries when traces are merged.
+    pub terminated_early: u64,
 }
 
 impl QueryTrace {
@@ -55,6 +63,8 @@ impl QueryTrace {
         self.quant_fallbacks += other.quant_fallbacks;
         self.pages_lost += other.pages_lost;
         self.points_skipped += other.points_skipped;
+        self.candidates_skipped += other.candidates_skipped;
+        self.terminated_early += other.terminated_early;
     }
 }
 
@@ -73,6 +83,8 @@ mod tests {
             quant_fallbacks: 6,
             pages_lost: 7,
             points_skipped: 8,
+            candidates_skipped: 9,
+            terminated_early: 1,
         };
         let mut total = a;
         total.merge(&a);
@@ -87,6 +99,8 @@ mod tests {
                 quant_fallbacks: 12,
                 pages_lost: 14,
                 points_skipped: 16,
+                candidates_skipped: 18,
+                terminated_early: 2,
             }
         );
         let mut id = a;

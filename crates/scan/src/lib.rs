@@ -6,7 +6,7 @@
 //! to clear (cf. \[7\] in the paper); the IQ-tree is designed to beat it by
 //! scanning *compressed* approximations instead.
 
-use iq_engine::{AccessMethod, Filter, QueryTrace, TopK};
+use iq_engine::{AccessMethod, Executor, Filter, QueryOptions, QueryTrace};
 use iq_geometry::{Dataset, Metric};
 use iq_storage::{BlockDevice, SimClock};
 
@@ -86,7 +86,20 @@ impl SeqScan {
     /// Takes `&self`: the scan file is immutable after [`SeqScan::build`],
     /// so any number of threads may query it concurrently, each with its
     /// own clock.
-    fn scan(&self, clock: &mut SimClock, mut visit: impl FnMut(u32, &[f32])) {
+    fn scan(&self, clock: &mut SimClock, visit: impl FnMut(u32, &[f32])) {
+        self.scan_bounded(clock, f64::INFINITY, visit);
+    }
+
+    /// Like [`SeqScan::scan`], stopping between chunk reads once the
+    /// clock reaches `deadline` (simulated seconds). Returns the number
+    /// of points visited and the number of blocks read; with an infinite
+    /// deadline those are always the whole file.
+    fn scan_bounded(
+        &self,
+        clock: &mut SimClock,
+        deadline: f64,
+        mut visit: impl FnMut(u32, &[f32]),
+    ) -> (u64, u64) {
         // The whole sweep is one filter pass over exact data; there is no
         // separate planning or refinement to attribute time to.
         clock.phase_begin(iq_obs::Phase::Filter);
@@ -120,9 +133,20 @@ impl SeqScan {
                 carry.extend_from_slice(&bytes[off..]);
             }
         };
+        // Under a finite deadline the sweep checks the clock after every
+        // block, not every chunk: simulated cost is identical (the reads
+        // stay sequential) but the budget resolves at block granularity.
+        let chunk = if deadline.is_finite() {
+            1
+        } else {
+            SCAN_CHUNK_BLOCKS
+        };
         let mut block = 0u64;
         while block < total_blocks {
-            let n = SCAN_CHUNK_BLOCKS.min(total_blocks - block);
+            if clock.total_time() >= deadline {
+                break;
+            }
+            let n = chunk.min(total_blocks - block);
             let buf = self
                 .dev
                 .read_to_vec(clock, block, n)
@@ -130,10 +154,14 @@ impl SeqScan {
             consume(&buf, &mut id, &mut carry);
             block += n;
         }
-        // CPU cost: one distance-like evaluation per point.
-        clock.charge_dist_evals(self.dim, self.n as u64);
+        // CPU cost: one distance-like evaluation per visited point.
+        clock.charge_dist_evals(self.dim, u64::from(id));
         clock.phase_end();
-        debug_assert_eq!(id as usize, self.n, "block size {bs} scan desynchronized");
+        debug_assert!(
+            block < total_blocks || id as usize == self.n,
+            "block size {bs} scan desynchronized"
+        );
+        (u64::from(id), block)
     }
 
     /// Exact nearest neighbor of `q`, as `(id, distance)`.
@@ -143,19 +171,7 @@ impl SeqScan {
 
     /// The `k` nearest neighbors of `q`, ordered by increasing distance.
     pub fn knn(&self, clock: &mut SimClock, q: &[f32], k: usize) -> Vec<(u32, f64)> {
-        assert_eq!(q.len(), self.dim);
-        if k == 0 {
-            return Vec::new();
-        }
-        let metric = self.metric;
-        let mut best = TopK::new(k);
-        self.scan(clock, |id, p| {
-            best.insert(metric.distance_key(p, q), id);
-        });
-        clock.phase_begin(iq_obs::Phase::TopK);
-        let results = best.into_results(metric);
-        clock.phase_end();
-        results
+        AccessMethod::knn_opts_traced(self, clock, q, k, None, &QueryOptions::EXACT).0
     }
 
     /// The `k` nearest neighbors of `q` among the points matching
@@ -170,21 +186,7 @@ impl SeqScan {
         k: usize,
         filter: &Filter,
     ) -> Vec<(u32, f64)> {
-        assert_eq!(q.len(), self.dim);
-        if k == 0 || filter.matching() == 0 {
-            return Vec::new();
-        }
-        let metric = self.metric;
-        let mut best = TopK::new(k);
-        self.scan(clock, |id, p| {
-            if filter.matches(id) {
-                best.insert(metric.distance_key(p, q), id);
-            }
-        });
-        clock.phase_begin(iq_obs::Phase::TopK);
-        let results = best.into_results(metric);
-        clock.phase_end();
-        results
+        AccessMethod::knn_opts_traced(self, clock, q, k, Some(filter), &QueryOptions::EXACT).0
     }
 
     /// All points inside the query window (unordered ids).
@@ -231,43 +233,40 @@ impl AccessMethod for SeqScan {
         self.metric
     }
 
-    fn knn_traced(
-        &self,
-        clock: &mut SimClock,
-        q: &[f32],
-        k: usize,
-    ) -> (Vec<(u32, f64)>, QueryTrace) {
-        let results = SeqScan::knn(self, clock, q, k);
-        // One sequential sweep over the whole file; nothing is skipped or
-        // refined — that is the scan's entire cost profile.
-        let trace = QueryTrace {
-            pages_processed: self.dev.num_blocks(),
-            runs: 1,
-            ..QueryTrace::default()
-        };
-        (results, trace)
-    }
-
-    fn knn_filtered_traced(
+    /// The single scan search loop: one sequential sweep offering every
+    /// (matching) exact point to the shared [`Executor`]. The scan has no
+    /// approximation level, so `epsilon`, `nprobes` and `refine_factor`
+    /// cannot shorten it — only `time_budget` does (the sweep stops
+    /// between chunk reads, returning the best answer so far).
+    fn knn_opts_traced(
         &self,
         clock: &mut SimClock,
         q: &[f32],
         k: usize,
         filter: Option<&Filter>,
+        opts: &QueryOptions,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
-        let Some(f) = filter else {
-            return self.knn_traced(clock, q, k);
-        };
-        if k == 0 || f.matching() == 0 {
+        assert_eq!(q.len(), self.dim);
+        if k == 0 || self.n == 0 || filter.is_some_and(|f| f.matching() == 0) {
             return (Vec::new(), QueryTrace::default());
         }
-        let results = SeqScan::knn_filtered(self, clock, q, k, f);
-        let trace = QueryTrace {
-            pages_processed: self.dev.num_blocks(),
-            runs: 1,
-            ..QueryTrace::default()
-        };
-        (results, trace)
+        let metric = self.metric;
+        let mut exec = Executor::new(metric, k, opts, clock);
+        let deadline = opts
+            .time_budget
+            .map_or(f64::INFINITY, |b| clock.total_time() + b);
+        let (visited, blocks) = self.scan_bounded(clock, deadline, |id, p| {
+            if filter.is_none_or(|f| f.matches(id)) {
+                exec.offer(metric.distance_key(p, q), id);
+            }
+        });
+        exec.trace.pages_processed = blocks;
+        exec.trace.runs = 1;
+        exec.skip_candidates(self.n as u64 - visited);
+        clock.phase_begin(iq_obs::Phase::TopK);
+        let out = exec.into_results(metric);
+        clock.phase_end();
+        out
     }
 
     fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {

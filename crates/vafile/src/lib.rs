@@ -14,7 +14,7 @@
 //! tuning knob the paper sweeps from 2 to 8 bits and picks the best of.
 
 use iq_cost::refine::RefineParams;
-use iq_engine::{AccessMethod, Filter, QueryTrace, TopK};
+use iq_engine::{refine_ascending, AccessMethod, Executor, Filter, QueryOptions, QueryTrace, TopK};
 use iq_geometry::{Dataset, Mbr, Metric};
 use iq_obs::Phase;
 use iq_quantize::{
@@ -295,28 +295,32 @@ impl VaFile {
         q: &[f32],
         k: usize,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
-        self.knn_traced_impl(clock, q, k, None)
+        self.knn_traced_impl(clock, q, k, None, &QueryOptions::EXACT)
     }
 
     /// Shared two-phase search; `filter` (if any) is pushed into the
     /// approximation sweep, so δ and the candidate set derive only from
-    /// matching points and `k` counts post-filter results.
+    /// matching points and `k` counts post-filter results. Phase 2 is the
+    /// shared executor's [`refine_ascending`] sweep, which owns pruning,
+    /// ε-termination, the `refine_factor` cap and the time budget;
+    /// `nprobes` truncates the sorted candidate list first (IVF-style:
+    /// only the m best approximations are ever refined).
     fn knn_traced_impl(
         &self,
         clock: &mut SimClock,
         q: &[f32],
         k: usize,
         filter: Option<&Filter>,
+        opts: &QueryOptions,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
         assert_eq!(q.len(), self.dim);
         if k == 0 || filter.is_some_and(|f| f.matching() == 0) {
             return (Vec::new(), QueryTrace::default());
         }
-        let mut trace = QueryTrace {
-            pages_processed: self.approx.num_blocks(),
-            runs: 1,
-            ..QueryTrace::default()
-        };
+        let metric = self.metric;
+        let mut exec = Executor::new(metric, k, opts, clock);
+        exec.trace.pages_processed = self.approx.num_blocks();
+        exec.trace.runs = 1;
         clock.phase_begin(Phase::Filter);
         let (lower, delta) = self.filter_phase(clock, q, k, filter);
 
@@ -331,26 +335,27 @@ impl VaFile {
             .map(|(i, &lb)| (lb, i as u32))
             .collect();
         cand.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        trace.approx_enqueued = cand.len() as u64;
+        exec.trace.approx_enqueued = cand.len() as u64;
+        if let Some(m) = opts.nprobes {
+            if (cand.len() as u64) > m {
+                exec.skip_candidates(cand.len() as u64 - m);
+                cand.truncate(m as usize);
+            }
+        }
 
         // Phase 2: refine in lower-bound order until the k-th best exact
-        // distance undercuts the next lower bound.
+        // distance undercuts the next lower bound (or a knob fires).
         clock.phase_begin(Phase::Refine);
-        let mut best = TopK::new(k);
         let mut p = vec![0.0f32; self.dim];
-        for &(lb, id) in &cand {
-            if best.len() >= k && lb > best.bound() {
-                break;
-            }
+        refine_ascending(&mut exec, clock, &cand, |clock, id| {
             self.fetch_exact_into(clock, id as usize, &mut p);
             clock.charge_dist_evals(self.dim, 1);
-            trace.refinements += 1;
-            best.insert(self.metric.distance_key(&p, q), id);
-        }
+            Some(metric.distance_key(&p, q))
+        });
         clock.phase_begin(Phase::TopK);
-        let results = best.into_results(self.metric);
+        let out = exec.into_results(metric);
         clock.phase_end();
-        (results, trace)
+        out
     }
 
     /// All points inside the query window (unordered ids): one scan of the
@@ -483,25 +488,17 @@ impl AccessMethod for VaFile {
         self.metric
     }
 
-    fn knn_traced(
-        &self,
-        clock: &mut SimClock,
-        q: &[f32],
-        k: usize,
-    ) -> (Vec<(u32, f64)>, QueryTrace) {
-        VaFile::knn_traced(self, clock, q, k)
-    }
-
-    fn knn_filtered_traced(
+    fn knn_opts_traced(
         &self,
         clock: &mut SimClock,
         q: &[f32],
         k: usize,
         filter: Option<&Filter>,
+        opts: &QueryOptions,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
         // True pushdown: the predicate rides the approximation sweep, so no
         // top-up rounds are ever needed.
-        self.knn_traced_impl(clock, q, k, filter)
+        self.knn_traced_impl(clock, q, k, filter, opts)
     }
 
     fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {

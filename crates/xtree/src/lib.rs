@@ -16,14 +16,15 @@
 pub mod node;
 pub mod split;
 
-use iq_engine::{AccessMethod, Filter, QueryTrace, TopK};
+use iq_engine::{
+    drive, AccessMethod, CandidateHeap, Executor, Filter, OrdKey, QueryOptions, QueryTrace,
+};
 use iq_geometry::{bulk_partition, Dataset, Mbr, Metric};
 use iq_obs::Phase;
 use iq_storage::{BlockDevice, SimClock};
 use node::{DataPage, DirEntry, Node};
 use split::{group_mbr, split_entries, SplitDecision};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Tuning options.
 #[derive(Clone, Copy, Debug)]
@@ -99,25 +100,6 @@ enum DeleteOutcome {
 enum Target {
     Node(u32),
     Page(u32),
-}
-
-/// `f64` ordered key for the binary heap (all keys are finite and
-/// non-negative).
-#[derive(Clone, Copy, Debug, PartialEq)]
-struct Key(f64);
-
-impl Eq for Key {}
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("distance keys are never NaN")
-    }
 }
 
 impl XTree {
@@ -338,69 +320,78 @@ impl XTree {
         q: &[f32],
         k: usize,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
-        self.knn_traced_impl(clock, q, k, None)
+        self.knn_traced_impl(clock, q, k, None, &QueryOptions::EXACT)
     }
 
-    /// Shared best-first descent; a pushed-down `filter` drops non-matching
-    /// points at page-decode time, so `best.bound()` (and therefore MBR
-    /// pruning) derives only from matching points and stays exact.
+    /// The best-first descent as a producer into the shared bound-driven
+    /// [`Executor`]: directory nodes and data pages stream through
+    /// [`drive`] in ascending MINDIST order; pruning, ε-termination and
+    /// the budgets live in the executor. A pushed-down `filter` drops
+    /// non-matching points at page-decode time, so the pruning bound
+    /// derives only from matching points and stays exact. `nprobes`
+    /// counts decoded data pages — once spent, no further page read can
+    /// improve the answer, so the descent stops outright.
     fn knn_traced_impl(
         &self,
         clock: &mut SimClock,
         q: &[f32],
         k: usize,
         filter: Option<&Filter>,
+        opts: &QueryOptions,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
         assert_eq!(q.len(), self.dim);
         if k == 0 || filter.is_some_and(|f| f.matching() == 0) {
             return (Vec::new(), QueryTrace::default());
         }
         let metric = self.metric;
-        let mut trace = QueryTrace::default();
-        let mut heap: BinaryHeap<Reverse<(Key, Target)>> = BinaryHeap::new();
-        heap.push(Reverse((Key(0.0), Target::Node(self.root))));
-        let mut best = TopK::new(k);
-        while let Some(Reverse((Key(mindist), target))) = heap.pop() {
-            if best.len() >= k && mindist >= best.bound() {
-                break;
-            }
-            match target {
+        let mut exec = Executor::new(metric, k, opts, clock);
+        let mut heap: CandidateHeap<Target> = CandidateHeap::new();
+        heap.push(Reverse((OrdKey(0.0), Target::Node(self.root))));
+        drive(
+            &mut exec,
+            clock,
+            &mut heap,
+            |exec, clock, _mindist, target, heap| match target {
                 Target::Node(id) => {
                     clock.phase_begin(Phase::Directory);
                     let node = self.read_node(clock, id);
                     clock.charge_dist_evals(self.dim, node.entries.len() as u64);
-                    trace.runs += 1;
+                    exec.trace.runs += 1;
                     for e in &node.entries {
                         let d = metric.mindist_key(q, &e.mbr);
-                        if best.len() < k || d < best.bound() {
+                        if !exec.is_pruned(d) {
                             let t = if node.leaf_children {
                                 Target::Page(e.child)
                             } else {
                                 Target::Node(e.child)
                             };
-                            trace.approx_enqueued += 1;
-                            heap.push(Reverse((Key(d), t)));
+                            exec.trace.approx_enqueued += 1;
+                            heap.push(Reverse((OrdKey(d), t)));
                         }
                     }
                 }
                 Target::Page(id) => {
+                    if !exec.try_probe() {
+                        exec.stop();
+                        return;
+                    }
                     clock.phase_begin(Phase::Filter);
                     let page = self.read_page(clock, id);
                     clock.charge_dist_evals(self.dim, page.len() as u64);
-                    trace.runs += 1;
-                    trace.pages_processed += 1;
+                    exec.trace.runs += 1;
+                    exec.trace.pages_processed += 1;
                     for (i, &pid) in page.ids.iter().enumerate() {
                         if filter.is_none_or(|f| f.matches(pid)) {
-                            best.insert(metric.distance_key(page.point(i, self.dim), q), pid);
+                            exec.offer(metric.distance_key(page.point(i, self.dim), q), pid);
                         }
                     }
                 }
-            }
-        }
+            },
+        );
         clock.phase_begin(Phase::TopK);
-        let results = best.into_results(metric);
+        let out = exec.into_results(metric);
         clock.phase_end();
-        (results, trace)
+        out
     }
 
     /// All points within `radius` of `q` (unordered ids).
@@ -791,24 +782,16 @@ impl AccessMethod for XTree {
         self.metric
     }
 
-    fn knn_traced(
-        &self,
-        clock: &mut SimClock,
-        q: &[f32],
-        k: usize,
-    ) -> (Vec<(u32, f64)>, QueryTrace) {
-        XTree::knn_traced(self, clock, q, k)
-    }
-
-    fn knn_filtered_traced(
+    fn knn_opts_traced(
         &self,
         clock: &mut SimClock,
         q: &[f32],
         k: usize,
         filter: Option<&Filter>,
+        opts: &QueryOptions,
     ) -> (Vec<(u32, f64)>, QueryTrace) {
         // True pushdown into the best-first descent — no top-up rounds.
-        self.knn_traced_impl(clock, q, k, filter)
+        self.knn_traced_impl(clock, q, k, filter, opts)
     }
 
     fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {

@@ -20,7 +20,7 @@
 //! the crate docs).
 
 use iqtree_repro::data;
-use iqtree_repro::engine::{knn_paginated, AccessMethod, Filter, PageSpec};
+use iqtree_repro::engine::{knn_paginated, AccessMethod, Filter, PageSpec, QueryOptions};
 use iqtree_repro::geometry::Metric;
 use iqtree_repro::storage::{
     BlockDevice, FileDevice, FileWal, MemDevice, MmapFileDevice, SimClock,
@@ -85,9 +85,9 @@ const USAGE: &str = "usage:
   iq generate --kind <uniform|cad|color|weather> --dim <d> --n <count> [--seed <s>] --out <file> [--format <csv|fvecs>]
   iq ingest   --input <file.fvecs|bvecs|csv> [--out <file.fvecs|csv>] [--block <bytes>]
   iq build    --input <file> --index <dir> [--block <bytes>] [--metric <l2|linf|l1>]
-  iq query    --index <dir> --point <x,y,...> [--k <k>] [--filter <expr>] [--limit <m>] [--offset <o>] [--trace] [--cache-blocks <frames>] [--engine <e>]
+  iq query    --index <dir> --point <x,y,...> [--k <k>] [--filter <expr>] [--limit <m>] [--offset <o>] [--epsilon <e>] [--nprobes <p>] [--refine-factor <f>] [--budget-ms <ms>] [--trace] [--cache-blocks <frames>] [--engine <e>]
   iq range    --index <dir> --point <x,y,...> --radius <r> [--cache-blocks <frames>] [--engine <e>]
-  iq batch    --index <dir> --queries <file> [--k <k>] [--filter <expr>] [--limit <m>] [--offset <o>] [--threads <t>] [--cache-blocks <frames>] [--engine <e>]
+  iq batch    --index <dir> --queries <file> [--k <k>] [--filter <expr>] [--limit <m>] [--offset <o>] [--epsilon <e>] [--nprobes <p>] [--refine-factor <f>] [--budget-ms <ms>] [--threads <t>] [--cache-blocks <frames>] [--engine <e>]
   iq stats    --index <dir> [--format <prometheus|json>] [--cache-blocks <frames>]
   iq verify   --index <dir>
   iq checkpoint --index <dir>
@@ -109,6 +109,11 @@ post-filter results; --limit/--offset slice the canonically ordered
 (distance, then id) result list, so disjoint offsets paginate cleanly.
 --cache-blocks puts an LRU buffer pool of that many frames in front of each
 index file; without it every query is cold, as in the paper's experiments.
+Approximate k-NN (query/batch; defaults are exact): --epsilon <e> allows a
+(1+e)x relative error for early termination, --nprobes <p> caps the
+approximation-level candidates probed (pages, or VA-file entries),
+--refine-factor <f> caps exact-point look-ups at k*f (f=1 is unlimited),
+--budget-ms <ms> returns the best answer within a simulated-time budget.
 --trace prints the per-phase time breakdown of the query and, where the
 engine has a cost model, predicted vs observed cost.
 --metrics-json <path> (any command) enables the global metrics registry and
@@ -216,6 +221,27 @@ fn build_filter(
         ));
     }
     pred.compile(&vd.attrs)
+}
+
+/// The approximation knobs of a query command (`--epsilon`, `--nprobes`,
+/// `--refine-factor`, `--budget-ms`); all default to the exact search.
+fn parse_query_opts(opts: &HashMap<String, String>) -> Result<QueryOptions, String> {
+    let mut qopts = QueryOptions::EXACT;
+    if let Some(s) = opts.get("epsilon") {
+        qopts.epsilon = parse_num(s, "--epsilon")?;
+    }
+    if let Some(s) = opts.get("nprobes") {
+        qopts.nprobes = Some(parse_num(s, "--nprobes")?);
+    }
+    if let Some(s) = opts.get("refine-factor") {
+        qopts.refine_factor = parse_num(s, "--refine-factor")?;
+    }
+    if let Some(s) = opts.get("budget-ms") {
+        let ms: f64 = parse_num(s, "--budget-ms")?;
+        qopts.time_budget = Some(ms / 1e3);
+    }
+    qopts.validate()?;
+    Ok(qopts)
 }
 
 /// The `k`/`--limit`/`--offset` triple of a query command.
@@ -521,6 +547,7 @@ fn open_engine(
 fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     let point = parse_point(req(opts, "point")?)?;
     let page = parse_page(opts)?;
+    let qopts = parse_query_opts(opts)?;
     let (eng, mut clock) = open_engine(opts)?;
     if point.len() != eng.dim() {
         return Err(format!(
@@ -537,8 +564,9 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     let traced = opts.contains_key("trace");
     let (hits, trace) = if paged {
         // Filtered/paginated path: trace the search, then slice the
-        // canonically ordered list exactly as `knn_paginated` does.
-        let (mut all, trace) = eng.knn_filtered_traced(&mut clock, &point, page.k, filter.as_ref());
+        // canonically ordered list exactly as `knn_paginated_opts` does.
+        let (mut all, trace) =
+            eng.knn_opts_traced(&mut clock, &point, page.k, filter.as_ref(), &qopts);
         all.sort_by(|a, b| {
             a.1.partial_cmp(&b.1)
                 .expect("no NaN distances")
@@ -551,7 +579,7 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
             .collect();
         (hits, trace)
     } else {
-        eng.knn_traced(&mut clock, &point, page.k)
+        eng.knn_opts_traced(&mut clock, &point, page.k, None, &qopts)
     };
     for (rank, (id, dist)) in hits.iter().enumerate() {
         println!(
@@ -567,6 +595,17 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
             f.selectivity(),
         );
     }
+    if !qopts.is_exact() {
+        println!(
+            "-- approximate search ({}): {}",
+            describe_query_opts(&qopts),
+            if trace.terminated_early > 0 {
+                "terminated early"
+            } else {
+                "knobs never fired (result is exact)"
+            },
+        );
+    }
     println!(
         "-- {} result(s) from {} in {:.2} simulated ms ({} seeks, {} blocks)",
         hits.len(),
@@ -576,9 +615,27 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
         clock.stats().blocks_read,
     );
     if traced {
-        print_trace(eng.as_ref(), &clock, &trace, page.k);
+        print_trace(eng.as_ref(), &clock, &trace, page.k, &qopts);
     }
     Ok(())
+}
+
+/// Human-readable list of the non-default approximation knobs.
+fn describe_query_opts(qopts: &QueryOptions) -> String {
+    let mut parts = Vec::new();
+    if qopts.epsilon > 0.0 {
+        parts.push(format!("epsilon {}", qopts.epsilon));
+    }
+    if let Some(p) = qopts.nprobes {
+        parts.push(format!("nprobes {p}"));
+    }
+    if qopts.refine_factor > 1 {
+        parts.push(format!("refine-factor {}", qopts.refine_factor));
+    }
+    if let Some(b) = qopts.time_budget {
+        parts.push(format!("budget {:.3} ms", b * 1e3));
+    }
+    parts.join(", ")
 }
 
 /// The `--trace` report: per-phase simulated/wall breakdown (the phase
@@ -590,6 +647,7 @@ fn print_trace(
     clock: &SimClock,
     trace: &iqtree_repro::engine::QueryTrace,
     k: usize,
+    qopts: &QueryOptions,
 ) {
     let p = clock.phase_times();
     let total = clock.total_time();
@@ -627,7 +685,13 @@ fn print_trace(
             trace.quant_fallbacks, trace.pages_lost, trace.points_skipped,
         );
     }
-    if let Some(pred) = eng.cost_prediction(k) {
+    if trace.terminated_early > 0 || trace.candidates_skipped > 0 {
+        println!(
+            "       approximate: terminated early, {} candidate(s) skipped by knobs",
+            trace.candidates_skipped,
+        );
+    }
+    if let Some(pred) = eng.cost_prediction(k, qopts) {
         let ratio = trace.pages_processed as f64 / pred.pages.max(1e-12);
         println!(
             "cost model: predicted {:.1} page accesses (observed {}, ratio {ratio:.2}), \
@@ -675,6 +739,7 @@ fn cmd_range(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
     let qfile = req(opts, "queries")?;
     let page = parse_page(opts)?;
+    let qopts = parse_query_opts(opts)?;
     let k = page.k;
     let threads: usize = opts
         .get("threads")
@@ -693,16 +758,43 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|expr| build_filter(expr, opts, eng.len()))
         .transpose()?;
     let queries: Vec<Vec<f32>> = qs.iter().map(<[f32]>::to_vec).collect();
-    let results = if filter.is_some() || page.offset > 0 || page.limit.is_some() {
-        // Filtered/paginated workloads run serially: costs accumulate on
-        // the one clock exactly as the batch executor's fold would.
-        queries
-            .iter()
-            .map(|q| knn_paginated(eng.as_ref(), &mut clock, q, filter.as_ref(), &page))
-            .collect()
-    } else {
-        iqtree_repro::engine::knn_batch(eng.as_ref(), &mut clock, &queries, k, threads)
-    };
+    let mut agg = iqtree_repro::engine::QueryTrace::default();
+    let results: Vec<Vec<(u32, f64)>> =
+        if filter.is_some() || page.offset > 0 || page.limit.is_some() {
+            // Filtered/paginated workloads run serially: costs accumulate on
+            // the one clock exactly as the batch executor's fold would, and
+            // the canonically ordered list is sliced as `knn_paginated_opts`
+            // does (traced here so the approximate summary still reports).
+            queries
+                .iter()
+                .map(|q| {
+                    let (mut all, t) =
+                        eng.knn_opts_traced(&mut clock, q, page.k, filter.as_ref(), &qopts);
+                    agg.merge(&t);
+                    all.sort_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .expect("no NaN distances")
+                            .then(a.0.cmp(&b.0))
+                    });
+                    all.into_iter()
+                        .skip(page.offset)
+                        .take(page.limit.unwrap_or(usize::MAX))
+                        .collect()
+                })
+                .collect()
+        } else {
+            let (traced, batch_agg) = iqtree_repro::engine::knn_batch_opts_traced(
+                eng.as_ref(),
+                &mut clock,
+                &queries,
+                k,
+                threads,
+                filter.as_ref(),
+                &qopts,
+            );
+            agg = batch_agg;
+            traced.into_iter().map(|(res, _)| res).collect()
+        };
     for (i, hits) in results.iter().enumerate() {
         let row: Vec<String> = hits
             .iter()
@@ -711,6 +803,16 @@ fn cmd_batch(opts: &HashMap<String, String>) -> Result<(), String> {
         println!("query {i:>4}: {}", row.join(" "));
     }
     let nq = queries.len().max(1) as f64;
+    if !qopts.is_exact() {
+        println!(
+            "-- approximate search ({}): {} of {} queries terminated early, \
+             {} candidate(s) skipped by knobs",
+            describe_query_opts(&qopts),
+            agg.terminated_early,
+            queries.len(),
+            agg.candidates_skipped,
+        );
+    }
     println!(
         "-- {} queries against {} on {} thread(s): {:.2} simulated ms total \
          ({:.2} ms/query, {} seeks, {} blocks)",

@@ -602,3 +602,52 @@ fn crash_at_every_frame_boundary_during_checkpoint() {
         );
     }
 }
+
+/// Crash AFTER a checkpoint transaction fully applied to the base files
+/// but BEFORE `wal.reset()` truncated the log: base = post-fold images,
+/// log = full tape. The delete-heavy churn makes the folded exact file
+/// *shorter* than positions the pre-checkpoint appends refer to, so a
+/// naive replay over the folded base would write out of bounds. Recovery
+/// must recognize the already-applied transactions and leave the
+/// checkpointed answers intact.
+#[test]
+fn crash_after_checkpoint_apply_before_wal_reset_recovers() {
+    let ds = data::uniform(DIM, 400, 2026);
+    let (mut tree, devs, mut clock) = build_shared(&ds);
+    let wal = SharedWal::new();
+    tree.attach_wal(Box::new(wal.clone()));
+
+    let mut rng = StdRng::seed_from_u64(88);
+    for i in 0..20u32 {
+        let p: Vec<f32> = (0..DIM).map(|_| rng.gen()).collect();
+        tree.insert(&mut clock, 400 + i, &p).expect("insert");
+    }
+    for i in 0..200u32 {
+        assert!(tree.delete(&mut clock, i, ds.point(i as usize)).unwrap());
+    }
+
+    tree.checkpoint(&mut clock).expect("checkpoint");
+    // Post-checkpoint base images; FULL log tape (as if the log truncate
+    // never hit the disk).
+    let post = [devs[0].image(), devs[1].image(), devs[2].image()];
+    let log = wal.tape();
+    drop(tree);
+
+    let mut clock = SimClock::default();
+    let result = IqTree::open_with_wal(
+        DIM,
+        Metric::Euclidean,
+        IqTreeOptions::default(),
+        Box::new(MemDevice::from_contents(BS, post[0].clone())),
+        Box::new(MemDevice::from_contents(BS, post[1].clone())),
+        Box::new(MemDevice::from_contents(BS, post[2].clone())),
+        Box::new(MemWal::from_contents(log)),
+        &mut clock,
+    );
+    match result {
+        Ok((tree, _)) => {
+            assert_eq!(tree.len(), 220);
+        }
+        Err(e) => panic!("recovery after checkpoint-apply crash failed: {e}"),
+    }
+}
