@@ -1,0 +1,14 @@
+//! PR 9 performance artifact: single-query page-scan throughput of the
+//! batch SIMD kernels vs the PR 4 per-entry kernel (detected dispatch and
+//! forced scalar), the multi-query amortization sweep (Q ∈ {1, 4, 16}),
+//! and the parallel-build thread sweep on the coarsened work units.
+//! Writes `BENCH_PR9.json`. `IQ_QUICK=1` shrinks the workload for CI
+//! smoke tests.
+
+fn main() {
+    let quick = std::env::var("IQ_QUICK").map(|v| v == "1").unwrap_or(false);
+    let json = iq_bench::kernels::run_pr9(quick);
+    print!("{json}");
+    std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
+    eprintln!("wrote BENCH_PR9.json");
+}

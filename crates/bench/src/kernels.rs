@@ -11,7 +11,10 @@
 
 use iq_geometry::{Mbr, Metric};
 use iq_obs::Registry;
-use iq_quantize::{DistTable, ExactPageCodec, GridQuantizer, QuantizedPageCodec};
+use iq_quantize::{
+    kernel_name, set_kernel_override, DistTable, DistTableBlock, ExactPageCodec, GridQuantizer,
+    Kernel, QuantizedPageCodec,
+};
 use iq_storage::{BlockDevice, MemDevice, ObservedDevice, SimClock};
 use iq_tree::build::{encode_pages, SolutionPage};
 use std::time::Instant;
@@ -468,6 +471,282 @@ pub fn run_all(quick: bool) -> String {
     json
 }
 
+/// Shared page-scan workload: the codec, entries per page, the encoded
+/// pages (MBR + body), and the query points.
+type ScanWorkload = (
+    QuantizedPageCodec,
+    usize,
+    Vec<(Mbr, Vec<u8>)>,
+    Vec<Vec<f32>>,
+);
+
+/// Builds the shared page-scan workload: `n_pages` encoded quantized
+/// pages (DIM 8, g 6 — the PR 4 baseline shape) plus `n_queries` query
+/// points.
+fn scan_workload(n_pages: usize, n_queries: usize) -> ScanWorkload {
+    const DIM: usize = 8;
+    const G: u32 = 6;
+    const BLOCK: usize = 4096;
+    let codec = QuantizedPageCodec::new(DIM, BLOCK);
+    let per_page = codec.capacity(G).min(200);
+    let mut seed = 0x51AD_BEA7u64;
+    let pages: Vec<(Mbr, Vec<u8>)> = (0..n_pages)
+        .map(|p| {
+            let base = p as f32 * 0.01;
+            let pts: Vec<Vec<f32>> = (0..per_page)
+                .map(|_| (0..DIM).map(|_| base + lcg(&mut seed)).collect())
+                .collect();
+            let mbr = Mbr::of_points(DIM, pts.iter().map(Vec::as_slice));
+            let block = codec.encode(
+                &mbr,
+                G,
+                pts.iter()
+                    .enumerate()
+                    .map(|(i, v)| (i as u32, v.as_slice())),
+            );
+            (mbr, block)
+        })
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..n_queries)
+        .map(|_| (0..DIM).map(|_| lcg(&mut seed) * 1.5).collect())
+        .collect();
+    (codec, per_page, pages, queries)
+}
+
+/// Single-query page-scan filter: the PR 4 per-entry lookup kernel vs the
+/// PR 9 batch kernel (whole-page decode + fold) under the detected SIMD
+/// dispatch and under forced-scalar fallback. All three paths produce
+/// bit-identical key sums (asserted).
+#[derive(Clone, Copy, Debug)]
+pub struct SimdScanBench {
+    /// Selected SIMD dispatch tier (`avx2` / `sse41` / `scalar`).
+    pub kernel: &'static str,
+    /// Points per second through the PR 4 per-entry lookup kernel.
+    pub pr4_pps: f64,
+    /// Points per second through the batch kernel, detected dispatch.
+    pub batch_pps: f64,
+    /// Points per second through the batch kernel, forced scalar.
+    pub batch_scalar_pps: f64,
+    /// `batch_pps / pr4_pps`.
+    pub simd_speedup: f64,
+    /// `batch_scalar_pps / pr4_pps` — the no-SIMD safety net.
+    pub scalar_ratio: f64,
+}
+
+/// Measures [`SimdScanBench`]: same pages, same queries, same fold order
+/// in every path, so the accumulated key sums must match bit-for-bit.
+pub fn page_scan_simd(quick: bool) -> SimdScanBench {
+    let n_pages = if quick { 8 } else { 64 };
+    let n_queries = if quick { 2 } else { 8 };
+    let iters = if quick { 1 } else { 8 };
+    // Best-of-N timing: each path runs `reps` full passes and reports the
+    // fastest, which filters out scheduler noise on small machines. Every
+    // pass accumulates into the same sink, so the cross-path bit-identity
+    // assertion still compares identical addition sequences.
+    let reps = if quick { 1 } else { 5 };
+    let (codec, per_page, pages, queries) = scan_workload(n_pages, n_queries);
+
+    // PR 4 kernel: per-(query, page) table, per-entry streaming lookups.
+    let mut table = DistTable::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut pr4_sink = 0.0f64;
+    let mut pr4_t = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            for q in &queries {
+                for (mbr, block) in &pages {
+                    let view = codec.try_view(block).expect("valid page");
+                    table.build(mbr, view.bits(), Metric::Euclidean, q, view.len());
+                    view.for_each_entry(&mut scratch, |_, cells| {
+                        pr4_sink += table.mindist_key(cells);
+                    });
+                }
+            }
+        }
+        pr4_t = pr4_t.min(start.elapsed().as_secs_f64());
+    }
+
+    let mut cells: Vec<u32> = Vec::new();
+    let mut keys: Vec<f64> = Vec::new();
+    let mut batch_pass = |sink: &mut f64| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            for _ in 0..iters {
+                for q in &queries {
+                    for (mbr, block) in &pages {
+                        let view = codec.try_view(block).expect("valid page");
+                        table.build(mbr, view.bits(), Metric::Euclidean, q, view.len());
+                        view.unpack_all(&mut cells);
+                        table.mindist_keys(&cells, &mut keys);
+                        for &k in &keys {
+                            *sink += k;
+                        }
+                    }
+                }
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    // Batch kernel under whatever dispatch the CPU detection selected.
+    let mut batch_sink = 0.0f64;
+    let batch_t = batch_pass(&mut batch_sink);
+
+    // Batch kernel pinned to the scalar fallback.
+    set_kernel_override(Some(Kernel::Scalar));
+    let mut scalar_sink = 0.0f64;
+    let scalar_t = batch_pass(&mut scalar_sink);
+    set_kernel_override(None);
+
+    assert_eq!(
+        pr4_sink.to_bits(),
+        batch_sink.to_bits(),
+        "batch kernel must not change the keys"
+    );
+    assert_eq!(
+        pr4_sink.to_bits(),
+        scalar_sink.to_bits(),
+        "scalar fallback must not change the keys"
+    );
+
+    let points = (iters * n_queries * n_pages * per_page) as f64;
+    let pr4_pps = points / pr4_t.max(1e-12);
+    let batch_pps = points / batch_t.max(1e-12);
+    let batch_scalar_pps = points / scalar_t.max(1e-12);
+    SimdScanBench {
+        kernel: kernel_name(),
+        pr4_pps,
+        batch_pps,
+        batch_scalar_pps,
+        simd_speedup: batch_pps / pr4_pps.max(1e-12),
+        scalar_ratio: batch_scalar_pps / pr4_pps.max(1e-12),
+    }
+}
+
+/// One batch size of the multi-query page-scan amortization sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiqRow {
+    /// Queries evaluated per decoded page.
+    pub q: usize,
+    /// Nanoseconds per (point, query) evaluation — table build, page
+    /// decode and bound folds all included.
+    pub ns_per_point_query: f64,
+    /// `ns(Q=1) / ns(Q)` — how much the shared decode buys.
+    pub amortization: f64,
+}
+
+/// Multi-query page-scan sweep: evaluates the same total number of
+/// (point, query) pairs at batch sizes Q ∈ {1, 4, 16} through
+/// [`DistTableBlock`] + `for_each_entry_multi`, reporting the per-pair
+/// cost. Larger Q shares the page decode (and loop overhead) across more
+/// queries, so the per-pair cost should fall monotonically.
+pub fn page_scan_multiq(quick: bool) -> Vec<MultiqRow> {
+    let n_pages = if quick { 8 } else { 48 };
+    let base_iters = if quick { 1 } else { 6 };
+    let (codec, per_page, pages, queries) = scan_workload(n_pages, 16);
+
+    let mut block_table = DistTableBlock::new();
+    let mut cells: Vec<u32> = Vec::new();
+    let mut lo: Vec<f64> = Vec::new();
+    let mut hi: Vec<f64> = Vec::new();
+    let mut rows: Vec<MultiqRow> = Vec::new();
+    let mut base_ns = 0.0f64;
+    for q in [1usize, 4, 16] {
+        let qs: Vec<&[f32]> = queries[..q].iter().map(Vec::as_slice).collect();
+        // Same total (point, query) work at every batch size; best-of-N
+        // passes to filter scheduler noise.
+        let iters = base_iters * (16 / q);
+        let reps = if quick { 1 } else { 5 };
+        let mut sink = 0.0f64;
+        let mut t = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            for _ in 0..iters {
+                for (mbr, block) in &pages {
+                    let view = codec.try_view(block).expect("valid page");
+                    let ok =
+                        block_table.build(mbr, view.bits(), Metric::Euclidean, &qs, view.len());
+                    assert!(ok, "workload fits the materialization budget");
+                    view.for_each_entry_multi(
+                        &block_table,
+                        &mut cells,
+                        &mut lo,
+                        &mut hi,
+                        |_, _, lo, _| {
+                            for &v in lo {
+                                sink += v;
+                            }
+                        },
+                    );
+                }
+            }
+            t = t.min(start.elapsed().as_secs_f64());
+        }
+        assert!(sink.is_finite());
+        let pairs = (iters * n_pages * per_page * q) as f64;
+        let ns = t / pairs.max(1e-12) * 1e9;
+        if q == 1 {
+            base_ns = ns;
+        }
+        rows.push(MultiqRow {
+            q,
+            ns_per_point_query: ns,
+            amortization: base_ns / ns.max(1e-12),
+        });
+    }
+    rows
+}
+
+/// Runs the PR 9 suite — single-query SIMD vs scalar page scan,
+/// multi-query amortization sweep, and the parallel-build thread sweep on
+/// the coarsened work units — and renders `BENCH_PR9.json`
+/// (hand-formatted: the harness has no serde dependency).
+pub fn run_pr9(quick: bool) -> String {
+    let scan = page_scan_simd(quick);
+    let multiq = page_scan_multiq(quick);
+    let sweep = parallel_build_sweep(quick);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"simd quantized-domain kernels + multi-query page scans\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"kernel\": \"{}\",\n", scan.kernel));
+    json.push_str(&format!(
+        "  \"page_scan_simd\": {{\"pr4_kernel_points_per_sec\": {:.0}, \"batch_points_per_sec\": {:.0}, \
+         \"batch_scalar_points_per_sec\": {:.0}, \"simd_speedup\": {:.3}, \"scalar_ratio\": {:.3}}},\n",
+        scan.pr4_pps, scan.batch_pps, scan.batch_scalar_pps, scan.simd_speedup, scan.scalar_ratio
+    ));
+    json.push_str("  \"page_scan_multiq\": [\n");
+    for (i, r) in multiq.iter().enumerate() {
+        let sep = if i + 1 == multiq.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"q\": {}, \"ns_per_point_query\": {:.2}, \"amortization\": {:.3}}}{sep}\n",
+            r.q, r.ns_per_point_query, r.amortization
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"parallel_build\": {{\"available_cores\": {}, \"sequential_s\": {:.6}, \"runs\": [",
+        sweep.available_cores, sweep.sequential_s
+    ));
+    for (i, r) in sweep.runs.iter().enumerate() {
+        let sep = if i + 1 == sweep.runs.len() { "" } else { ", " };
+        json.push_str(&format!(
+            "{{\"threads\": {}, \"parallel_s\": {:.6}, \"speedup\": {:.3}}}{sep}",
+            r.threads, r.par_s, r.speedup
+        ));
+    }
+    json.push_str("]},\n");
+    json.push_str(
+        "  \"note\": \"all three page-scan paths are asserted bit-identical in-process; \
+         build speedups near 1.0 are expected when available_cores is small\"\n",
+    );
+    json.push_str("}\n");
+    json
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -508,6 +787,38 @@ mod tests {
         assert!(json.contains("\"sequential_s\""));
         assert!(json.contains("\"runs\""));
         assert!(json.contains("\"threads\": 8"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn simd_scan_paths_agree_and_are_positive() {
+        let s = page_scan_simd(true);
+        assert!(s.pr4_pps > 0.0);
+        assert!(s.batch_pps > 0.0);
+        assert!(s.batch_scalar_pps > 0.0);
+        assert!(!s.kernel.is_empty());
+    }
+
+    #[test]
+    fn multiq_sweep_covers_all_batch_sizes() {
+        let rows = page_scan_multiq(true);
+        let qs: Vec<usize> = rows.iter().map(|r| r.q).collect();
+        assert_eq!(qs, vec![1, 4, 16]);
+        for r in &rows {
+            assert!(r.ns_per_point_query > 0.0);
+            assert!(r.amortization > 0.0);
+        }
+    }
+
+    #[test]
+    fn pr9_report_is_well_formed() {
+        let json = run_pr9(true);
+        assert!(json.contains("\"kernel\""));
+        assert!(json.contains("\"page_scan_simd\""));
+        assert!(json.contains("\"page_scan_multiq\""));
+        assert!(json.contains("\"parallel_build\""));
+        assert!(json.contains("\"simd_speedup\""));
+        assert!(json.contains("\"amortization\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -95,16 +95,30 @@ pub fn encode_pages(
     if threads < 2 || solution.len() < 2 {
         return solution.iter().map(encode_one).collect();
     }
+    // Coarse work units: threads claim *chunks* of pages (≈4 per thread
+    // over the whole build), not single pages, so the atomic counter and
+    // the results mutex are touched once per chunk instead of once per
+    // page. Chunks are index-stamped and merged back in page order, so
+    // the output stays byte-identical to sequential encoding.
+    let workers = threads.min(16);
+    let chunk_size = solution.len().div_ceil(workers * 4).max(1);
     let next = AtomicUsize::new(0);
     let results: std::sync::Mutex<Vec<(usize, EncodedPage)>> =
         std::sync::Mutex::new(Vec::with_capacity(solution.len()));
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(16) {
+        for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(page) = solution.get(i) else { break };
-                let enc = encode_one(page);
-                results.lock().expect("results lock").push((i, enc));
+                let start = next.fetch_add(1, Ordering::Relaxed) * chunk_size;
+                if start >= solution.len() {
+                    break;
+                }
+                let end = (start + chunk_size).min(solution.len());
+                let local: Vec<(usize, EncodedPage)> = solution[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, page)| (start + i, encode_one(page)))
+                    .collect();
+                results.lock().expect("results lock").extend(local);
             });
         }
     });

@@ -17,18 +17,42 @@
 
 use crate::{IqTree, PageMeta};
 use iq_cost::access_prob::fraction_in_ball;
-use iq_engine::{drive, AccessMethod, CandidateHeap, Executor, Filter, OrdKey, QueryOptions};
+use iq_engine::{
+    drive, AccessMethod, CandidateHeap, Executor, Filter, OrdKey, QueryOptions, TopK, TracedResult,
+};
 use iq_obs::{CostPrediction, Phase};
-use iq_quantize::{CellMatch, DistTable, WindowTable, EXACT_BITS};
+use iq_quantize::{
+    CellMatch, DistTable, DistTableBlock, WindowTable, EXACT_BITS, MAX_BLOCK_QUERIES,
+};
 use iq_storage::{fetch, read_to_vec_retry, SimClock};
 use std::cmp::Reverse;
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// What a nearest-neighbor query actually did — returned by
 /// [`IqTree::knn_traced`] for inspection, tuning and tests. The type lives
 /// in `iq-engine` so every access method reports work in the same shape;
 /// re-exported here for backward compatibility.
 pub use iq_engine::QueryTrace;
+
+/// Folds one entry's MAXDIST key into a query's running bound δ: the
+/// bounded max-heap holds the `k` smallest MAXDIST keys seen so far, whose
+/// maximum is a certified upper bound on the true k-th-NN key (at least
+/// `k` entries are guaranteed no farther than it).
+fn note_bound(heap: &mut BinaryHeap<OrdKey>, delta: &mut f64, k: usize, hi: f64) {
+    if hi.is_nan() {
+        return;
+    }
+    if heap.len() < k {
+        heap.push(OrdKey(hi));
+        if heap.len() == k {
+            *delta = heap.peek().expect("heap holds k entries").0;
+        }
+    } else if hi < *delta {
+        heap.pop();
+        heap.push(OrdKey(hi));
+        *delta = heap.peek().expect("heap holds k entries").0;
+    }
+}
 
 /// Heap entry target.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -63,6 +87,8 @@ struct SearchState<'f> {
     coords: Vec<f32>,
     /// Reusable per-(query, page-grid) distance-contribution table.
     table: DistTable,
+    /// Reusable per-page MINDIST-key scratch for the batch fold kernel.
+    keys: Vec<f64>,
 }
 
 impl IqTree {
@@ -162,6 +188,7 @@ impl IqTree {
             cells: Vec::new(),
             coords: Vec::new(),
             table: DistTable::new(),
+            keys: Vec::new(),
         };
         let mut heap: CandidateHeap<Item> = CandidateHeap::with_capacity(n_pages);
         for (i, meta) in self.pages().iter().enumerate() {
@@ -495,6 +522,7 @@ impl IqTree {
             cells,
             coords,
             table,
+            keys,
             ..
         } = st;
         let filter = *filter;
@@ -510,22 +538,27 @@ impl IqTree {
         } else {
             let meta: &PageMeta = &self.pages()[p];
             table.build(&meta.mbr, view.bits(), metric, q, view.len());
+            // Whole-page decode + batch MINDIST fold: the SIMD kernels in
+            // `iq_quantize::simd` unpack every entry's cells in one pass
+            // and fold the per-dimension table rows lane-parallel —
+            // bit-identical to the per-entry lookup loop.
+            view.unpack_all(cells);
+            table.mindist_keys(cells, keys);
             // No exact result is offered while filtering approximations, so
             // the pruning threshold is loop-invariant.
             let bound = exec.prune_threshold();
-            let mut slot = 0u32;
-            view.for_each_entry(cells, |id, cs| {
+            for (slot, &key) in keys.iter().enumerate() {
                 // Filtered-out points never enter the priority list: they
                 // are neither refined nor allowed to influence the bound.
-                if filter.is_none_or(|f| f.matches(id)) {
-                    let key = table.mindist_key(cs);
-                    if key < bound {
-                        exec.trace.approx_enqueued += 1;
-                        heap.push(Reverse((OrdKey(key), Item::Point(p as u32, slot, id))));
-                    }
+                let id = view.id(slot);
+                if filter.is_none_or(|f| f.matches(id)) && key < bound {
+                    exec.trace.approx_enqueued += 1;
+                    heap.push(Reverse((
+                        OrdKey(key),
+                        Item::Point(p as u32, slot as u32, id),
+                    )));
                 }
-                slot += 1;
-            });
+            }
         }
     }
 
@@ -578,6 +611,302 @@ impl IqTree {
                 }
                 Err(_) => exec.trace.points_skipped += 1,
             }
+        }
+    }
+
+    /// Exact k-NN for a micro-batch of queries in one shared page walk:
+    /// every quantized page is read and decoded **once** and all queries
+    /// are evaluated against it in a single pass through the multi-query
+    /// [`DistTableBlock`] SIMD kernels.
+    ///
+    /// Two phases:
+    ///
+    /// 1. **Filter.** Pages are popped from a heap keyed by the minimum
+    ///    MINDIST over the batch. Each query `q` tracks δ_q — the k-th
+    ///    smallest MAXDIST key seen so far, a certified upper bound on its
+    ///    true k-th-NN key — and participates in a page only while the
+    ///    page's MINDIST for `q` is within δ_q. Entries from exact
+    ///    (g = 32) pages contribute true distances immediately; quantized
+    ///    entries whose lower bound is within δ_q become per-query
+    ///    refinement candidates. The walk stops when the popped key
+    ///    exceeds every query's δ.
+    /// 2. **Refine.** Per query, candidates are visited in ascending
+    ///    lower-bound order until the bound proves the top-k complete;
+    ///    exact-point reads are shared across the batch through a
+    ///    `(page, slot)` cache, so a point refined for several queries is
+    ///    fetched once.
+    ///
+    /// Results are exact for every query (same guarantee as
+    /// [`IqTree::knn`]; ids at tied distances may differ). Corrupt pages
+    /// degrade through the exact region exactly as in the single-query
+    /// path.
+    fn knn_multi_traced_impl(
+        &self,
+        clock: &mut SimClock,
+        queries: &[&[f32]],
+        k: usize,
+        filter: Option<&Filter>,
+    ) -> Vec<TracedResult> {
+        let nq = queries.len();
+        let metric = self.metric();
+        let dim = self.dim();
+        for q in queries {
+            assert_eq!(q.len(), dim, "query dimensionality mismatch");
+        }
+        if k == 0 || self.is_empty() || filter.is_some_and(|f| f.matching() == 0) {
+            return vec![(Vec::new(), QueryTrace::default()); nq];
+        }
+        clock.phase_begin(Phase::Directory);
+        // One directory sweep serves the whole micro-batch.
+        self.charge_directory_scan(clock);
+
+        clock.phase_begin(Phase::Plan);
+        let n_pages = self.pages().len();
+        let mut page_qkey = vec![f64::INFINITY; n_pages * nq];
+        let mut heap: CandidateHeap<u32> = CandidateHeap::with_capacity(n_pages);
+        for (i, meta) in self.pages().iter().enumerate() {
+            if meta.count == 0 {
+                continue;
+            }
+            let mut minkey = f64::INFINITY;
+            for (qi, q) in queries.iter().enumerate() {
+                let key = metric.mindist_key(q, &meta.mbr);
+                page_qkey[i * nq + qi] = key;
+                minkey = minkey.min(key);
+            }
+            heap.push(Reverse((OrdKey(minkey), i as u32)));
+        }
+
+        let mut topk: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
+        let mut delta_heap: Vec<BinaryHeap<OrdKey>> = (0..nq).map(|_| BinaryHeap::new()).collect();
+        let mut delta = vec![f64::INFINITY; nq];
+        // Per-query refinement candidates: (lower-bound key, page, slot, id).
+        let mut cands: Vec<Vec<(f64, u32, u32, u32)>> = (0..nq).map(|_| Vec::new()).collect();
+        let mut traces = vec![QueryTrace::default(); nq];
+
+        // Reusable page-loop scratch.
+        let mut block_table = DistTableBlock::new();
+        let mut dist_table = DistTable::new();
+        let mut cells: Vec<u32> = Vec::new();
+        let mut lo_keys: Vec<f64> = Vec::new();
+        let mut hi_keys: Vec<f64> = Vec::new();
+        let mut coords: Vec<f32> = Vec::new();
+        let mut active: Vec<usize> = Vec::new();
+
+        while let Some(Reverse((OrdKey(minkey), pidx))) = heap.pop() {
+            let worst = delta.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if minkey > worst {
+                break; // no query can still improve from any remaining page
+            }
+            let p = pidx as usize;
+            active.clear();
+            active.extend((0..nq).filter(|&qi| page_qkey[p * nq + qi] <= delta[qi]));
+            if active.is_empty() {
+                continue; // every query prunes this page: never read
+            }
+            // The active query with the smallest page key "owns" the read,
+            // so summed per-query runs equal physical page reads.
+            let owner = active
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    page_qkey[p * nq + a]
+                        .partial_cmp(&page_qkey[p * nq + b])
+                        .expect("keys are never NaN")
+                })
+                .expect("active is non-empty");
+            traces[owner].runs += 1;
+            clock.phase_begin(Phase::Filter);
+            let block = self.pages()[p].quant_block;
+            let Ok(buf) = read_to_vec_retry(self.quant_dev(), clock, block, 1, self.retry()) else {
+                self.multi_fallback_page(
+                    clock,
+                    queries,
+                    p,
+                    &active,
+                    filter,
+                    &mut topk,
+                    &mut delta_heap,
+                    &mut delta,
+                    &mut traces,
+                    k,
+                );
+                continue;
+            };
+            let Ok(view) = self.codec().try_view(&buf) else {
+                clock.note_corrupt_block();
+                self.multi_fallback_page(
+                    clock,
+                    queries,
+                    p,
+                    &active,
+                    filter,
+                    &mut topk,
+                    &mut delta_heap,
+                    &mut delta,
+                    &mut traces,
+                    k,
+                );
+                continue;
+            };
+            clock.charge_dist_evals(dim, view.len() as u64 * active.len() as u64);
+            for &qi in &active {
+                traces[qi].pages_processed += 1;
+            }
+            if view.bits() == EXACT_BITS {
+                view.for_each_entry(&mut cells, |id, bits| {
+                    if filter.is_none_or(|f| f.matches(id)) {
+                        coords.clear();
+                        coords.extend(bits.iter().map(|&b| f32::from_bits(b)));
+                        for &qi in &active {
+                            let key = metric.distance_key(&coords, queries[qi]);
+                            note_bound(&mut delta_heap[qi], &mut delta[qi], k, key);
+                            topk[qi].insert(key, id);
+                        }
+                    }
+                });
+                continue;
+            }
+            let meta = &self.pages()[p];
+            let aq: Vec<&[f32]> = active.iter().map(|&qi| queries[qi]).collect();
+            if block_table.build(&meta.mbr, view.bits(), metric, &aq, view.len()) {
+                // One decoded pass, all active queries per entry: contiguous
+                // lane loads in the AVX2 kernel, scalar otherwise.
+                view.for_each_entry_multi(
+                    &block_table,
+                    &mut cells,
+                    &mut lo_keys,
+                    &mut hi_keys,
+                    |slot, id, lo, hi| {
+                        if filter.is_none_or(|f| f.matches(id)) {
+                            for (ai, &qi) in active.iter().enumerate() {
+                                note_bound(&mut delta_heap[qi], &mut delta[qi], k, hi[ai]);
+                                if lo[ai] <= delta[qi] {
+                                    traces[qi].approx_enqueued += 1;
+                                    cands[qi].push((lo[ai], pidx, slot as u32, id));
+                                }
+                            }
+                        }
+                    },
+                );
+            } else {
+                // Grid too fine to materialize a block table: per-query
+                // batch folds over the one shared decode.
+                view.unpack_all(&mut cells);
+                for &qi in &active {
+                    dist_table.build(&meta.mbr, view.bits(), metric, queries[qi], view.len());
+                    dist_table.bounds_keys(&cells, &mut lo_keys, &mut hi_keys);
+                    for (slot, (&lo, &hi)) in lo_keys.iter().zip(&hi_keys).enumerate() {
+                        let id = view.id(slot);
+                        if filter.is_none_or(|f| f.matches(id)) {
+                            note_bound(&mut delta_heap[qi], &mut delta[qi], k, hi);
+                            if lo <= delta[qi] {
+                                traces[qi].approx_enqueued += 1;
+                                cands[qi].push((lo, pidx, slot as u32, id));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: per-query refinement with batch-shared exact reads.
+        clock.phase_begin(Phase::Refine);
+        let mut cache: HashMap<(u32, u32), Option<Vec<f32>>> = HashMap::new();
+        let mut results = Vec::with_capacity(nq);
+        for (qi, mut top) in topk.into_iter().enumerate() {
+            let mut list = std::mem::take(&mut cands[qi]);
+            list.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("keys are never NaN")
+                    .then(a.3.cmp(&b.3))
+            });
+            for &(lo, p, slot, id) in &list {
+                if top.len() == k && lo >= top.bound() {
+                    break; // nothing after this lower bound can enter
+                }
+                let coords = cache.entry((p, slot)).or_insert_with(|| {
+                    self.try_read_exact_point(clock, p as usize, slot as usize)
+                        .ok()
+                });
+                traces[qi].refinements += 1;
+                match coords {
+                    Some(c) => {
+                        clock.charge_dist_evals(dim, 1);
+                        top.insert(metric.distance_key(c, queries[qi]), id);
+                    }
+                    None => traces[qi].points_skipped += 1,
+                }
+            }
+            results.push((top.into_results(metric), traces[qi]));
+        }
+        clock.phase_end();
+        results
+    }
+
+    /// Degraded path for the multi-query search: the quantized block of
+    /// page `p` could not be read or decoded, so every active query is
+    /// answered from the page's exact (level-3) region at full precision —
+    /// the batch analogue of [`Self::fallback_page`].
+    #[allow(clippy::too_many_arguments)]
+    fn multi_fallback_page(
+        &self,
+        clock: &mut SimClock,
+        queries: &[&[f32]],
+        p: usize,
+        active: &[usize],
+        filter: Option<&Filter>,
+        topk: &mut [TopK],
+        delta_heap: &mut [BinaryHeap<OrdKey>],
+        delta: &mut [f64],
+        traces: &mut [QueryTrace],
+        k: usize,
+    ) {
+        clock.phase_begin(Phase::Refine);
+        let meta = &self.pages()[p];
+        if meta.g == EXACT_BITS || meta.exact_blocks == 0 {
+            for &qi in active {
+                traces[qi].pages_lost += 1;
+            }
+            return;
+        }
+        let Ok(region) = self.try_read_exact_region(clock, p) else {
+            for &qi in active {
+                traces[qi].pages_lost += 1;
+            }
+            return;
+        };
+        let metric = self.metric();
+        let eb = self.exact_codec().entry_bytes();
+        clock.charge_dist_evals(self.dim(), u64::from(meta.count) * active.len() as u64);
+        let mut coords = vec![0.0f32; self.dim()];
+        for i in 0..meta.count as usize {
+            let Some(bytes) = region.get(i * eb..(i + 1) * eb) else {
+                for &qi in active {
+                    traces[qi].points_skipped += 1;
+                }
+                continue;
+            };
+            match self.exact_codec().try_decode_entry_into(bytes, &mut coords) {
+                Ok(id) => {
+                    if filter.is_none_or(|f| f.matches(id)) {
+                        for &qi in active {
+                            let key = metric.distance_key(&coords, queries[qi]);
+                            note_bound(&mut delta_heap[qi], &mut delta[qi], k, key);
+                            topk[qi].insert(key, id);
+                        }
+                    }
+                }
+                Err(_) => {
+                    for &qi in active {
+                        traces[qi].points_skipped += 1;
+                    }
+                }
+            }
+        }
+        for &qi in active {
+            traces[qi].quant_fallbacks += 1;
+            traces[qi].pages_processed += 1;
         }
     }
 
@@ -769,6 +1098,8 @@ impl IqTree {
         // in the steady state.
         let mut cells: Vec<u32> = Vec::new();
         let mut coords: Vec<f32> = Vec::new();
+        let mut flags: Vec<u8> = Vec::new();
+        let mut matches: Vec<CellMatch> = Vec::new();
         let mut wtable = WindowTable::new();
         for &p in &candidates {
             let block = self.pages()[p].quant_block;
@@ -805,15 +1136,17 @@ impl IqTree {
                 });
             } else {
                 wtable.build(&self.pages()[p].mbr, view.bits(), window, view.len());
-                let mut slot = 0usize;
-                view.for_each_entry(&mut cells, |id, cs| {
-                    match wtable.classify(cs) {
+                // Whole-page classification through the SIMD flag-AND
+                // kernel — bit-identical to per-entry `classify`.
+                view.unpack_all(&mut cells);
+                wtable.classify_batch(&cells, &mut flags, &mut matches);
+                for (slot, &m) in matches.iter().enumerate() {
+                    match m {
                         CellMatch::Disjoint => {}
-                        CellMatch::Inside => out.push(id),
-                        CellMatch::Partial => refinements.push((p, slot, id)),
+                        CellMatch::Inside => out.push(view.id(slot)),
+                        CellMatch::Partial => refinements.push((p, slot, view.id(slot))),
                     }
-                    slot += 1;
-                });
+                }
             }
         }
         clock.phase_begin(Phase::Refine);
@@ -865,6 +1198,8 @@ impl IqTree {
         // in the steady state.
         let mut cells: Vec<u32> = Vec::new();
         let mut coords: Vec<f32> = Vec::new();
+        let mut lo_keys: Vec<f64> = Vec::new();
+        let mut hi_keys: Vec<f64> = Vec::new();
         let mut table = DistTable::new();
         for &p in &candidates {
             let block = self.pages()[p].quant_block;
@@ -900,18 +1235,22 @@ impl IqTree {
                 });
             } else {
                 table.build(&self.pages()[p].mbr, view.bits(), metric, q, view.len());
-                let mut slot = 0usize;
-                view.for_each_entry(&mut cells, |id, cs| {
-                    let lo_key = table.mindist_key(cs);
+                // Batch fold: MINDIST and MAXDIST keys for the whole page
+                // in one SIMD pass. Both comparisons stay in the key
+                // domain, so a box accepted without refinement satisfies
+                // the same `distance_key <= key_r` predicate refinement
+                // would have checked.
+                view.unpack_all(&mut cells);
+                table.bounds_keys(&cells, &mut lo_keys, &mut hi_keys);
+                for (slot, (&lo_key, &hi_key)) in lo_keys.iter().zip(&hi_keys).enumerate() {
                     if lo_key <= key_r {
-                        if metric.distance_to_key(table.maxdist(cs)) <= key_r {
-                            out.push(id); // box fully inside: no refinement
+                        if hi_key <= key_r {
+                            out.push(view.id(slot)); // box fully inside: no refinement
                         } else {
-                            refinements.push((p, slot, id));
+                            refinements.push((p, slot, view.id(slot)));
                         }
                     }
-                    slot += 1;
-                });
+                }
             }
         }
         clock.phase_begin(Phase::Refine);
@@ -1008,6 +1347,34 @@ impl AccessMethod for IqTree {
     ) -> (Vec<(u32, f64)>, QueryTrace) {
         // True pushdown into the level-2 filter phase — no top-up rounds.
         self.knn_traced_impl(clock, q, k, filter, opts)
+    }
+
+    /// Micro-batches route into the shared multi-query page walk — each
+    /// level-2 page is read and decoded once for the whole batch — when
+    /// the search is exact and the batch fits the block-table lane budget.
+    /// Approximate searches (the knobs are per-query semantics a shared
+    /// walk cannot honor) and degenerate batches take the per-query path.
+    fn knn_multi_opts_traced(
+        &self,
+        clock: &mut SimClock,
+        queries: &[&[f32]],
+        k: usize,
+        filter: Option<&Filter>,
+        opts: &QueryOptions,
+    ) -> Vec<TracedResult> {
+        if opts.is_exact() && queries.len() > 1 && queries.len() <= MAX_BLOCK_QUERIES {
+            return self.knn_multi_traced_impl(clock, queries, k, filter);
+        }
+        queries
+            .iter()
+            .map(|q| {
+                let mut c = clock.clone();
+                c.reset();
+                let out = self.knn_opts_traced(&mut c, q, k, filter, opts);
+                clock.absorb(&c);
+                out
+            })
+            .collect()
     }
 
     fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {
@@ -1281,6 +1648,82 @@ mod tests {
         let exact = tree.predict_knn_cost(&disk, 25);
         assert!(capped.pages <= exact.pages.min(2.0));
         assert!(capped.io_seconds <= exact.io_seconds.min(1e-4));
+    }
+
+    /// Sorts by (distance bits, id) so tied distances compare stably
+    /// across paths that break ties differently.
+    fn canon(mut hits: Vec<(u32, f64)>) -> Vec<(u64, u32)> {
+        let mut keyed: Vec<(u64, u32)> = hits.drain(..).map(|(id, d)| (d.to_bits(), id)).collect();
+        keyed.sort_unstable();
+        keyed
+    }
+
+    #[test]
+    fn multi_query_knn_matches_single_query_path() {
+        use iq_engine::AccessMethod;
+        let ds = random_ds(2_500, 6, 31);
+        let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let mut rng = StdRng::seed_from_u64(77);
+        let queries: Vec<Vec<f32>> = (0..7)
+            .map(|_| (0..6).map(|_| rng.gen()).collect())
+            .collect();
+        let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        let mut mc = iq_storage::SimClock::default();
+        let multi =
+            tree.knn_multi_opts_traced(&mut mc, &refs, 9, None, &iq_engine::QueryOptions::EXACT);
+        assert_eq!(multi.len(), queries.len());
+        for (q, (got, trace)) in queries.iter().zip(&multi) {
+            let want = tree.knn(&mut clock, q, 9);
+            assert_eq!(canon(got.clone()), canon(want), "distances must be exact");
+            assert!(trace.pages_processed >= 1);
+        }
+        // The shared walk reads each page at most once for the whole
+        // batch: summed runs cannot exceed the page universe.
+        let runs: u64 = multi.iter().map(|(_, t)| t.runs).sum();
+        assert!(runs <= tree.num_pages() as u64);
+    }
+
+    #[test]
+    fn multi_query_knn_respects_filter() {
+        use iq_engine::AccessMethod;
+        let ds = random_ds(1_200, 5, 33);
+        let (tree, _) = build_tree(&ds, IqTreeOptions::default(), 1024);
+        let filter = iq_engine::Filter::from_fn(ds.len(), |id| id % 3 == 0);
+        let queries = [vec![0.3f32; 5], vec![0.7f32; 5], vec![0.1f32; 5]];
+        let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        let mut mc = iq_storage::SimClock::default();
+        let multi = tree.knn_multi_opts_traced(
+            &mut mc,
+            &refs,
+            6,
+            Some(&filter),
+            &iq_engine::QueryOptions::EXACT,
+        );
+        for (q, (got, _)) in queries.iter().zip(&multi) {
+            assert!(got.iter().all(|&(id, _)| id % 3 == 0));
+            let mut sc = iq_storage::SimClock::default();
+            let want = tree.knn_filtered(&mut sc, q, 6, Some(&filter));
+            assert_eq!(canon(got.clone()), canon(want));
+        }
+    }
+
+    #[test]
+    fn multi_query_knn_k_larger_than_n_returns_all() {
+        use iq_engine::AccessMethod;
+        let ds = random_ds(60, 3, 35);
+        let (tree, mut clock) = build_tree(&ds, IqTreeOptions::default(), 512);
+        let queries = [vec![0.2f32; 3], vec![0.8f32; 3]];
+        let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        let multi = tree.knn_multi_opts_traced(
+            &mut clock,
+            &refs,
+            500,
+            None,
+            &iq_engine::QueryOptions::EXACT,
+        );
+        for (got, _) in &multi {
+            assert_eq!(got.len(), 60);
+        }
     }
 
     #[test]

@@ -142,6 +142,44 @@ pub trait AccessMethod: Send + Sync {
         self.knn_filtered_traced(clock, q, k, filter).0
     }
 
+    /// Answers a micro-batch of queries sharing this index in one call:
+    /// for each `queries[i]`, the `k` nearest neighbors among points
+    /// matching `filter` under `opts`, with that query's trace — exactly
+    /// what [`AccessMethod::knn_opts_traced`] would return, in query
+    /// order.
+    ///
+    /// The default runs the queries one by one, each against a fresh
+    /// reset clone of `clock` absorbed back in query order, so batch
+    /// accounting is identical to a serial cold run. Engines with a
+    /// quantized-domain representation override this to amortize work
+    /// across the batch — the IQ-tree evaluates all queries against each
+    /// decoded level-2 page in a single pass via the `DistTableBlock`
+    /// multi-query kernels in `iq-quantize` — while
+    /// preserving exact, per-query-identical *results* (simulated costs
+    /// legitimately drop: one page read serves the whole batch).
+    ///
+    /// Callers must keep micro-batches at or below
+    /// [`MAX_MICRO_BATCH`]; [`knn_batch`] does this automatically.
+    fn knn_multi_opts_traced(
+        &self,
+        clock: &mut SimClock,
+        queries: &[&[f32]],
+        k: usize,
+        filter: Option<&Filter>,
+        opts: &QueryOptions,
+    ) -> Vec<TracedResult> {
+        queries
+            .iter()
+            .map(|q| {
+                let mut c = clock.clone();
+                c.reset();
+                let out = self.knn_opts_traced(&mut c, q, k, filter, opts);
+                clock.absorb(&c);
+                out
+            })
+            .collect()
+    }
+
     /// All points within `radius` of `q` under the index metric
     /// (unordered ids).
     fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32>;
@@ -164,9 +202,15 @@ pub trait AccessMethod: Send + Sync {
     }
 }
 
-/// Per-query outcome inside the batch executor: the k-NN result list, its
-/// trace, and the clock that paid for it.
-type BatchSlot = Option<(Vec<(u32, f64)>, QueryTrace, SimClock)>;
+/// Upper bound on the number of queries [`knn_batch`] hands to one
+/// [`AccessMethod::knn_multi_opts_traced`] call. Matches the lane budget of
+/// the quantize crate's multi-query distance tables (`MAX_BLOCK_QUERIES`):
+/// engines may assume micro-batches never exceed it.
+pub const MAX_MICRO_BATCH: usize = 8;
+
+/// Per-micro-batch outcome inside the batch executor: the traced results
+/// of each query in the micro-batch, and the clock that paid for them.
+type BatchSlot = Option<(Vec<TracedResult>, SimClock)>;
 
 /// One query's `(results, trace)` pair as returned by
 /// [`knn_batch_traced`].
@@ -217,12 +261,14 @@ pub fn knn_batch_traced<M: AccessMethod + ?Sized>(
     )
 }
 
-/// The full batch entry point: every query in `queries` runs
-/// [`AccessMethod::knn_opts_traced`] with the same `filter` and
-/// approximation `opts`, fanned out over `threads` OS threads. Clock
-/// accounting and determinism are as in [`knn_batch`] — the per-query
-/// simulated clocks (and thus any `time_budget` deadline, which is
-/// per-query) are independent of the thread count.
+/// The full batch entry point: queries are grouped into micro-batches of
+/// at most [`MAX_MICRO_BATCH`] (in query order) and each micro-batch runs
+/// [`AccessMethod::knn_multi_opts_traced`] with the same `filter` and
+/// approximation `opts`, micro-batches fanned out over `threads` OS
+/// threads. Clock accounting and determinism are as in [`knn_batch`] —
+/// micro-batch formation and the per-micro-batch simulated clocks (and
+/// thus any `time_budget` deadline, which is per-query) are independent
+/// of the thread count.
 pub fn knn_batch_opts_traced<M: AccessMethod + ?Sized>(
     method: &M,
     clock: &mut SimClock,
@@ -238,16 +284,23 @@ pub fn knn_batch_opts_traced<M: AccessMethod + ?Sized>(
     let mut template = clock.clone();
     template.reset();
     let template = &template;
+    // Micro-batches are formed in query order with a fixed size, so the
+    // partition — and therefore every engine's amortization opportunity
+    // and clock accounting — is independent of `threads`. Threads then
+    // pick up whole micro-batches.
+    let batches: Vec<&[Vec<f32>]> = queries.chunks(MAX_MICRO_BATCH).collect();
     let mut slots: Vec<BatchSlot> = Vec::new();
-    slots.resize_with(queries.len(), || None);
-    let chunk = queries.len().div_ceil(threads.max(1));
+    slots.resize_with(batches.len(), || None);
+    let chunk = batches.len().div_ceil(threads.max(1));
     std::thread::scope(|s| {
-        for (qs, outs) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+        for (bs, outs) in batches.chunks(chunk).zip(slots.chunks_mut(chunk)) {
             s.spawn(move || {
-                for (q, out) in qs.iter().zip(outs.iter_mut()) {
+                for (qs, out) in bs.iter().zip(outs.iter_mut()) {
+                    let refs: Vec<&[f32]> = qs.iter().map(Vec::as_slice).collect();
                     let mut c = template.clone();
-                    let (res, trace) = method.knn_opts_traced(&mut c, q, k, filter, opts);
-                    *out = Some((res, trace, c));
+                    let res = method.knn_multi_opts_traced(&mut c, &refs, k, filter, opts);
+                    debug_assert_eq!(res.len(), qs.len(), "one result per query");
+                    *out = Some((res, c));
                 }
             });
         }
@@ -255,10 +308,12 @@ pub fn knn_batch_opts_traced<M: AccessMethod + ?Sized>(
     let mut results = Vec::with_capacity(queries.len());
     let mut aggregate = QueryTrace::default();
     for slot in slots {
-        let (res, trace, c) = slot.expect("every spawned chunk fills its slots");
+        let (res, c) = slot.expect("every spawned chunk fills its slots");
         clock.absorb(&c);
-        aggregate.merge(&trace);
-        results.push((res, trace));
+        for (r, trace) in res {
+            aggregate.merge(&trace);
+            results.push((r, trace));
+        }
     }
     (results, aggregate)
 }
@@ -370,6 +425,27 @@ mod tests {
             assert_eq!(a, agg, "{threads} threads");
             assert_eq!(c.stats(), c1.stats(), "{threads} threads");
         }
+    }
+
+    #[test]
+    fn default_multi_query_matches_per_query_calls() {
+        let m = flat(150);
+        let queries: Vec<Vec<f32>> = (0..MAX_MICRO_BATCH + 3)
+            .map(|i| vec![i as f32, (i * 5) as f32])
+            .collect();
+        let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        let mut mc = SimClock::default();
+        let multi = m.knn_multi_opts_traced(&mut mc, &refs, 6, None, &QueryOptions::EXACT);
+        let mut sc = SimClock::default();
+        for (q, got) in queries.iter().zip(&multi) {
+            let mut c = sc.clone();
+            c.reset();
+            let want = m.knn_opts_traced(&mut c, q, 6, None, &QueryOptions::EXACT);
+            sc.absorb(&c);
+            assert_eq!(*got, want);
+        }
+        assert_eq!(mc.stats(), sc.stats());
+        assert_eq!(mc.total_time(), sc.total_time());
     }
 
     #[test]

@@ -101,21 +101,9 @@ pub fn unpack_cells(packed: &[u8], width: u32, out: &mut [u32]) {
                 *c = u32::from((packed[j / 2] >> ((j & 1) * 4)) & 0x0F);
             }
         }
-        8 => {
-            for (j, c) in out.iter_mut().enumerate() {
-                *c = u32::from(packed[j]);
-            }
-        }
-        16 => {
-            for (j, c) in out.iter_mut().enumerate() {
-                *c = u32::from(u16::from_le_bytes([packed[2 * j], packed[2 * j + 1]]));
-            }
-        }
-        32 => {
-            for (j, c) in out.iter_mut().enumerate() {
-                *c = u32::from_le_bytes(packed[4 * j..4 * j + 4].try_into().expect("4 bytes"));
-            }
-        }
+        8 => unpack_bytewise::<1>(packed, out),
+        16 => unpack_bytewise::<2>(packed, out),
+        32 => unpack_bytewise::<4>(packed, out),
         w => {
             // Generic path: load the (at most 5) bytes covering the value
             // into a 64-bit window and shift. The up-front length assert
@@ -134,6 +122,19 @@ pub fn unpack_cells(packed: &[u8], width: u32, out: &mut [u32]) {
                 pos += w as usize;
             }
         }
+    }
+}
+
+/// The shared body of the byte-aligned `unpack_cells` fast paths: value `j`
+/// occupies the `B` little-endian bytes at `j * B` (widths 8, 16 and 32).
+/// One generic keeps the scalar fast paths from forking per width — the
+/// SIMD variants in [`crate::simd`] dispatch on width at the page level.
+#[inline]
+fn unpack_bytewise<const B: usize>(packed: &[u8], out: &mut [u32]) {
+    for (j, c) in out.iter_mut().enumerate() {
+        let mut le = [0u8; 4];
+        le[..B].copy_from_slice(&packed[j * B..j * B + B]);
+        *c = u32::from_le_bytes(le);
     }
 }
 

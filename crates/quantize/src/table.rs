@@ -24,7 +24,17 @@
 //! still allocation-free and still bit-identical, just without the lookup.
 
 use crate::page::EXACT_BITS;
+use crate::simd::{self, FoldOp};
 use iq_geometry::{Mbr, Metric};
+
+/// The SIMD fold op matching [`Metric::combine`] with seed `0.0`.
+#[inline]
+fn fold_op(metric: Metric) -> FoldOp {
+    match metric {
+        Metric::Euclidean | Metric::Manhattan => FoldOp::Sum,
+        Metric::Maximum => FoldOp::Max,
+    }
+}
 
 /// Hard cap on materialized cells per dimension (beyond this the lazy path
 /// is used regardless of the population hint).
@@ -245,6 +255,193 @@ impl DistTable {
         }
         acc
     }
+
+    /// Batch [`Self::mindist_key`] over an entry-major cell block
+    /// (`block[j * dim..][..dim]` is entry `j`'s cells), one key per entry.
+    /// Dispatches to the SIMD fold when the table is materialized;
+    /// bit-identical to the per-entry scalar calls either way.
+    pub fn mindist_keys(&self, block: &[u32], out: &mut Vec<f64>) {
+        let n = block.len().checked_div(self.dim).unwrap_or(0);
+        debug_assert_eq!(block.len(), n * self.dim);
+        out.clear();
+        out.resize(n, 0.0);
+        if self.materialized {
+            simd::fold_block(
+                fold_op(self.metric),
+                &self.lo,
+                self.cells,
+                self.dim,
+                block,
+                out,
+            );
+        } else {
+            for (j, key) in out.iter_mut().enumerate() {
+                *key = self.mindist_key(&block[j * self.dim..(j + 1) * self.dim]);
+            }
+        }
+    }
+
+    /// Batch MINDIST *and* MAXDIST keys over an entry-major cell block in
+    /// one pass (the VA-file filter and the range scan need both bounds per
+    /// entry). Bit-identical to [`Self::mindist_key`] / [`Self::maxdist_key`].
+    pub fn bounds_keys(&self, block: &[u32], out_lo: &mut Vec<f64>, out_hi: &mut Vec<f64>) {
+        let n = block.len().checked_div(self.dim).unwrap_or(0);
+        debug_assert_eq!(block.len(), n * self.dim);
+        out_lo.clear();
+        out_lo.resize(n, 0.0);
+        out_hi.clear();
+        out_hi.resize(n, 0.0);
+        if self.materialized {
+            simd::fold_block2(
+                fold_op(self.metric),
+                &self.lo,
+                &self.hi,
+                self.cells,
+                self.dim,
+                block,
+                out_lo,
+                out_hi,
+            );
+        } else {
+            for j in 0..n {
+                let cs = &block[j * self.dim..(j + 1) * self.dim];
+                out_lo[j] = self.mindist_key(cs);
+                out_hi[j] = self.maxdist_key(cs);
+            }
+        }
+    }
+}
+
+/// Maximum queries a [`DistTableBlock`] evaluates per page pass. Chosen so
+/// the per-entry accumulator state (2 bounds × 16 queries of f64) stays in
+/// registers; engine micro-batches are capped to this.
+pub const MAX_BLOCK_QUERIES: usize = 16;
+
+/// A [`DistTable`] over `Q` queries sharing one page grid — the multi-query
+/// page-scan kernel.
+///
+/// Layout is query-minor: `lo[(i * cells + c) * qpad + q]`, with `qpad` the
+/// query count rounded up to 4 f64 lanes, so evaluating one entry costs one
+/// contiguous vector load per (dimension, 4 queries) — no gathers. Decode
+/// cost (unpacking the page's cells) is amortized over all `Q` queries.
+///
+/// Bit-for-bit contract: query `q`'s keys equal the keys of a single-query
+/// [`DistTable`] built from the same `(mbr, g, metric, q)` — same f32 cell
+/// edges, same index-order fold.
+#[derive(Clone, Debug, Default)]
+pub struct DistTableBlock {
+    metric: Metric,
+    dim: usize,
+    cells: usize,
+    nq: usize,
+    qpad: usize,
+    /// `dim × cells × qpad` lower-bound contributions, query-minor.
+    lo: Vec<f64>,
+    /// `dim × cells × qpad` farthest-corner contributions, query-minor.
+    hi: Vec<f64>,
+}
+
+impl DistTableBlock {
+    /// Creates an empty block table; call [`Self::build`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)builds the block for `queries` over the grid `(mbr, g)`, reusing
+    /// internal buffers. Returns `false` (leaving the block unusable for
+    /// this grid) when the table should not be materialized — the caller
+    /// then falls back to per-query [`DistTable`]s, which agree bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if `g` is 0 or ≥ 32, `queries` is empty or longer than
+    /// [`MAX_BLOCK_QUERIES`], or any query dimension mismatches the MBR.
+    pub fn build(
+        &mut self,
+        mbr: &Mbr,
+        g: u32,
+        metric: Metric,
+        queries: &[&[f32]],
+        hint_n: usize,
+    ) -> bool {
+        assert!(
+            (1..EXACT_BITS).contains(&g),
+            "grid resolution must be in 1..=31 bits"
+        );
+        assert!(
+            (1..=MAX_BLOCK_QUERIES).contains(&queries.len()),
+            "1..={MAX_BLOCK_QUERIES} queries per block"
+        );
+        for q in queries {
+            assert_eq!(q.len(), mbr.dim(), "query dimension mismatch");
+        }
+        self.metric = metric;
+        self.dim = mbr.dim();
+        let cells = 1usize << g;
+        self.cells = cells;
+        self.nq = queries.len();
+        self.qpad = self.nq.div_ceil(4) * 4;
+        // The build cost is Q× a single table's, but so are the lookups it
+        // replaces — the same amortization rule applies per query.
+        if cells > MAX_TABLE_CELLS || cells > 8 * hint_n.max(1) {
+            self.lo.clear();
+            self.hi.clear();
+            return false;
+        }
+        let cells_f = f64::from(1u32 << g);
+        self.lo.clear();
+        self.lo.resize(self.dim * cells * self.qpad, 0.0);
+        self.hi.clear();
+        self.hi.resize(self.dim * cells * self.qpad, 0.0);
+        for i in 0..self.dim {
+            let lb = f64::from(mbr.lb(i));
+            let w = mbr.extent(i) / cells_f;
+            for c in 0..cells {
+                let cell_lb = f64::from((lb + c as f64 * w) as f32);
+                let cell_ub = f64::from((lb + (c + 1) as f64 * w) as f32);
+                let base = (i * cells + c) * self.qpad;
+                for (q, query) in queries.iter().enumerate() {
+                    let qi = f64::from(query[i]);
+                    self.lo[base + q] = metric.contrib(Metric::box_gap(qi, cell_lb, cell_ub));
+                    self.hi[base + q] = metric.contrib(Metric::far_gap(qi, cell_lb, cell_ub));
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of queries in the block.
+    pub fn queries(&self) -> usize {
+        self.nq
+    }
+
+    /// Query count padded to the f64 lane width — the required length of
+    /// the `bounds_into` output slices.
+    pub fn qpad(&self) -> usize {
+        self.qpad
+    }
+
+    /// Dimensionality of the grid the block was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// MINDIST and MAXDIST keys of one entry against **all** queries:
+    /// `out_lo[q]` / `out_hi[q]` for `q < queries()` (padding lanes hold
+    /// garbage). Output slices must be `qpad()` long.
+    #[inline]
+    pub fn bounds_into(&self, cells: &[u32], out_lo: &mut [f64], out_hi: &mut [f64]) {
+        debug_assert_eq!(cells.len(), self.dim);
+        simd::fold_pair_multi(
+            fold_op(self.metric),
+            &self.lo,
+            &self.hi,
+            self.cells,
+            self.qpad,
+            cells,
+            out_lo,
+            out_hi,
+        );
+    }
 }
 
 /// How a grid cell relates to a query window.
@@ -352,6 +549,8 @@ impl WindowTable {
                 ));
             }
         }
+        // Gather padding: the SIMD batch classifier reads 4 bytes per flag.
+        self.flags.extend_from_slice(&[0u8; 3]);
     }
 
     /// The per-dimension flags, matching `Mbr::intersects` /
@@ -401,6 +600,39 @@ impl WindowTable {
         } else {
             CellMatch::Disjoint
         }
+    }
+
+    /// Batch [`Self::classify`] over an entry-major cell block, one match
+    /// per entry. `raw` is reusable scratch (resized to one byte per entry).
+    /// The per-dimension AND-fold is order-independent, so the SIMD path
+    /// (which skips the scalar early exit) is decision-identical.
+    pub fn classify_batch(&self, block: &[u32], raw: &mut Vec<u8>, out: &mut Vec<CellMatch>) {
+        let n = block.len().checked_div(self.dim).unwrap_or(0);
+        debug_assert_eq!(block.len(), n * self.dim);
+        out.clear();
+        if !self.materialized {
+            out.extend((0..n).map(|j| self.classify(&block[j * self.dim..(j + 1) * self.dim])));
+            return;
+        }
+        raw.clear();
+        raw.resize(n, 0);
+        simd::and_fold_flags(
+            FLAG_INTERSECTS | FLAG_CONTAINED,
+            &self.flags,
+            self.cells,
+            self.dim,
+            block,
+            raw,
+        );
+        out.extend(raw.iter().map(|&all| {
+            if all & FLAG_CONTAINED != 0 {
+                CellMatch::Inside
+            } else if all & FLAG_INTERSECTS != 0 {
+                CellMatch::Partial
+            } else {
+                CellMatch::Disjoint
+            }
+        }));
     }
 }
 

@@ -17,9 +17,7 @@ use iq_cost::refine::RefineParams;
 use iq_engine::{refine_ascending, AccessMethod, Executor, Filter, QueryOptions, QueryTrace, TopK};
 use iq_geometry::{Dataset, Mbr, Metric};
 use iq_obs::Phase;
-use iq_quantize::{
-    unpack_cells, BitWriter, CellMatch, DistTable, ExactPageCodec, GridQuantizer, WindowTable,
-};
+use iq_quantize::{BitWriter, CellMatch, DistTable, ExactPageCodec, GridQuantizer, WindowTable};
 use iq_storage::DiskModel;
 use iq_storage::{BlockDevice, SimClock};
 
@@ -223,7 +221,6 @@ impl VaFile {
         let table = self.dist_table(q);
         let entry = self.entry_bytes;
 
-        let mut cells = vec![0u32; self.dim];
         let mut lower = Vec::with_capacity(self.n);
         // The k smallest upper bounds seen so far (δ is their max).
         let mut best_ub = TopK::new(k);
@@ -231,6 +228,11 @@ impl VaFile {
         let mut processed = 0usize;
         let mut buf_carry: Vec<u8> = Vec::new();
         let mut block = 0u64;
+        // Batch scratch: each chunk's entries are unpacked and bound in one
+        // SIMD pass (bit-identical to the per-entry lookup loop).
+        let mut block_cells: Vec<u32> = Vec::new();
+        let mut lo_keys: Vec<f64> = Vec::new();
+        let mut hi_keys: Vec<f64> = Vec::new();
         while block < total_blocks && processed < self.n {
             let nb = SCAN_CHUNK_BLOCKS.min(total_blocks - block);
             let chunk = self
@@ -238,19 +240,31 @@ impl VaFile {
                 .read_to_vec(clock, block, nb)
                 .expect("read approximation file");
             buf_carry.extend_from_slice(&chunk);
-            let mut off = 0usize;
-            while off + entry <= buf_carry.len() && processed < self.n {
-                if filter.is_none_or(|f| f.matches(processed as u32)) {
-                    unpack_cells(&buf_carry[off..off + entry], self.bits, &mut cells);
-                    lower.push(table.mindist_key(&cells));
-                    best_ub.insert(table.maxdist_key(&cells), processed as u32);
-                } else {
-                    lower.push(f64::NAN);
+            let avail = (buf_carry.len() / entry).min(self.n - processed);
+            if avail > 0 {
+                block_cells.clear();
+                block_cells.resize(avail * self.dim, 0);
+                iq_quantize::simd::unpack_block(
+                    &buf_carry[..avail * entry],
+                    entry,
+                    0,
+                    self.bits,
+                    self.dim,
+                    &mut block_cells,
+                );
+                table.bounds_keys(&block_cells, &mut lo_keys, &mut hi_keys);
+                for j in 0..avail {
+                    let id = (processed + j) as u32;
+                    if filter.is_none_or(|f| f.matches(id)) {
+                        lower.push(lo_keys[j]);
+                        best_ub.insert(hi_keys[j], id);
+                    } else {
+                        lower.push(f64::NAN);
+                    }
                 }
-                off += entry;
-                processed += 1;
+                buf_carry.drain(..avail * entry);
+                processed += avail;
             }
-            buf_carry.drain(..off);
             block += nb;
         }
         // Two bound evaluations per scanned point.
@@ -373,7 +387,10 @@ impl VaFile {
         let mut processed = 0usize;
         let mut carry: Vec<u8> = Vec::new();
         let mut block = 0u64;
-        let mut cells = vec![0u32; self.dim];
+        // Batch scratch: whole-chunk unpack + SIMD window classification.
+        let mut block_cells: Vec<u32> = Vec::new();
+        let mut flags: Vec<u8> = Vec::new();
+        let mut matches: Vec<CellMatch> = Vec::new();
         while block < total_blocks && processed < self.n {
             let nb = SCAN_CHUNK_BLOCKS.min(total_blocks - block);
             let chunk = self
@@ -381,18 +398,29 @@ impl VaFile {
                 .read_to_vec(clock, block, nb)
                 .expect("read approximation file");
             carry.extend_from_slice(&chunk);
-            let mut off = 0usize;
-            while off + entry <= carry.len() && processed < self.n {
-                unpack_cells(&carry[off..off + entry], self.bits, &mut cells);
-                match wtable.classify(&cells) {
-                    CellMatch::Inside => out.push(processed as u32),
-                    CellMatch::Partial => to_verify.push(processed as u32),
-                    CellMatch::Disjoint => {}
+            let avail = (carry.len() / entry).min(self.n - processed);
+            if avail > 0 {
+                block_cells.clear();
+                block_cells.resize(avail * self.dim, 0);
+                iq_quantize::simd::unpack_block(
+                    &carry[..avail * entry],
+                    entry,
+                    0,
+                    self.bits,
+                    self.dim,
+                    &mut block_cells,
+                );
+                wtable.classify_batch(&block_cells, &mut flags, &mut matches);
+                for (j, &m) in matches.iter().enumerate() {
+                    match m {
+                        CellMatch::Inside => out.push((processed + j) as u32),
+                        CellMatch::Partial => to_verify.push((processed + j) as u32),
+                        CellMatch::Disjoint => {}
+                    }
                 }
-                off += entry;
-                processed += 1;
+                carry.drain(..avail * entry);
+                processed += avail;
             }
-            carry.drain(..off);
             block += nb;
         }
         clock.charge_dist_evals(self.dim, self.n as u64);
@@ -432,7 +460,10 @@ impl VaFile {
         let mut carry: Vec<u8> = Vec::new();
         let mut block = 0u64;
         let mut to_verify: Vec<u32> = Vec::new();
-        let mut cells = vec![0u32; self.dim];
+        // Batch scratch: upper bounds for the whole chunk in one SIMD fold.
+        let mut block_cells: Vec<u32> = Vec::new();
+        let mut lo_keys: Vec<f64> = Vec::new();
+        let mut hi_keys: Vec<f64> = Vec::new();
         while block < total_blocks && processed < self.n {
             let nb = SCAN_CHUNK_BLOCKS.min(total_blocks - block);
             let chunk = self
@@ -440,20 +471,31 @@ impl VaFile {
                 .read_to_vec(clock, block, nb)
                 .expect("read approximation file");
             carry.extend_from_slice(&chunk);
-            let mut off = 0usize;
-            while off + entry <= carry.len() && processed < self.n {
-                if lower[processed] <= key_r {
-                    unpack_cells(&carry[off..off + entry], self.bits, &mut cells);
-                    if table.maxdist_key(&cells) <= key_r {
-                        out.push(processed as u32);
-                    } else {
-                        to_verify.push(processed as u32);
+            let avail = (carry.len() / entry).min(self.n - processed);
+            if avail > 0 {
+                block_cells.clear();
+                block_cells.resize(avail * self.dim, 0);
+                iq_quantize::simd::unpack_block(
+                    &carry[..avail * entry],
+                    entry,
+                    0,
+                    self.bits,
+                    self.dim,
+                    &mut block_cells,
+                );
+                table.bounds_keys(&block_cells, &mut lo_keys, &mut hi_keys);
+                for j in 0..avail {
+                    if lower[processed + j] <= key_r {
+                        if hi_keys[j] <= key_r {
+                            out.push((processed + j) as u32);
+                        } else {
+                            to_verify.push((processed + j) as u32);
+                        }
                     }
                 }
-                off += entry;
-                processed += 1;
+                carry.drain(..avail * entry);
+                processed += avail;
             }
-            carry.drain(..off);
             block += nb;
         }
         clock.charge_dist_evals(self.dim, self.n as u64);

@@ -1198,12 +1198,23 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
     // Candidate-filter throughput of the quantized-domain kernel (the
     // level-2 MINDIST pass), measured wall-clock on synthetic pages.
     let filt = iq_bench::kernels::page_scan_throughput(true);
+    // Multi-query page-scan amortization (one decode serving Q queries),
+    // on the selected SIMD dispatch tier.
+    let multiq = iq_bench::kernels::page_scan_multiq(true);
+    let kernel = iqtree_repro::quantize::kernel_name();
     if json {
         json_rows.push(format!(
             "{{\"engine\":\"kernel-filter\",\"filter_points_per_sec\":{:.0},\
              \"naive_points_per_sec\":{:.0},\"speedup\":{:.3}}}",
             filt.kernel_pps, filt.naive_pps, filt.speedup
         ));
+        for r in &multiq {
+            json_rows.push(format!(
+                "{{\"engine\":\"page_scan_multiq\",\"kernel\":\"{kernel}\",\"q\":{},\
+                 \"ns_per_point_query\":{:.2},\"amortization\":{:.3}}}",
+                r.q, r.ns_per_point_query, r.amortization
+            ));
+        }
         let registry = iqtree_repro::obs::global().to_json();
         json_rows.push(format!(
             "{{\"engine\":\"metrics-registry\",\"registry\":{}}}",
@@ -1217,6 +1228,14 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
             filt.naive_pps / 1e6,
             filt.speedup
         );
+        print!("multi-query page scan ({kernel}):");
+        for r in &multiq {
+            print!(
+                " Q={} {:.1} ns/pt·q ({:.2}x)",
+                r.q, r.ns_per_point_query, r.amortization
+            );
+        }
+        println!();
         println!("(times are simulated: 10 ms seek, 1 ms / 8 KiB block, 100 ns CPU per dim-op)");
     }
     Ok(())
@@ -1259,6 +1278,10 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
             "  wasted      : {} orphaned exact block(s) (reclaimed by `iq checkpoint`)",
             tree.wasted_exact_blocks()
         );
+        println!(
+            "  simd        : {} (scan kernels; set IQ_FORCE_SCALAR=1 to disable)",
+            iqtree_repro::quantize::kernel_name()
+        );
         return Ok(());
     };
     // Index-shape gauges, exported alongside whatever the open recorded.
@@ -1275,6 +1298,9 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     reg.gauge("index_wal_bytes").set(tree.wal_bytes() as f64);
     reg.gauge("wasted_exact_blocks")
         .set(tree.wasted_exact_blocks() as f64);
+    // Selected scan-kernel dispatch tier: 0 = scalar, 1 = sse41, 2 = avx2.
+    reg.gauge("simd_dispatch")
+        .set(f64::from(iqtree_repro::quantize::simd::kernel().code()));
     match format {
         "prometheus" => print!("{}", reg.to_prometheus()),
         "json" => print!("{}", reg.to_json()),
