@@ -1,0 +1,15 @@
+//! PR 10 performance artifact: span-API overhead of the structured
+//! tracing layer — the disabled path (one branch per call, what every
+//! un-sampled query pays) against the PR 5 disabled-counter floor, and
+//! the enabled per-span cost a sampled query pays. Writes
+//! `BENCH_PR10.json` with a provenance header. `IQ_QUICK=1` shrinks the
+//! workload for CI smoke tests; `IQ_BENCH_DATE` stamps the run date.
+
+fn main() {
+    let quick = std::env::var("IQ_QUICK").map(|v| v == "1").unwrap_or(false);
+    let date = std::env::var("IQ_BENCH_DATE").ok();
+    let json = iq_bench::kernels::run_pr10(quick, date.as_deref());
+    print!("{json}");
+    std::fs::write("BENCH_PR10.json", &json).expect("write BENCH_PR10.json");
+    eprintln!("wrote BENCH_PR10.json");
+}

@@ -747,6 +747,132 @@ pub fn run_pr9(quick: bool) -> String {
     json
 }
 
+/// Cost of the PR 10 structured-tracing layer at both settings: the
+/// disabled path every query pays whether or not anyone is looking (must
+/// stay at the PR 5 counter floor — one branch on an `Option`), and the
+/// enabled path a sampled query pays per span.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceBench {
+    /// Registry counter update with a disabled registry, ns/op — the PR 5
+    /// floor, re-measured in the same run for an apples-to-apples delta.
+    pub counter_disabled_ns: f64,
+    /// `span_begin` + `span_end` pair on an untraced clock, ns/pair.
+    pub span_pair_disabled_ns: f64,
+    /// `span_attr` on an untraced clock, ns/op (no formatting happens).
+    pub attr_disabled_ns: f64,
+    /// `span_count` on an untraced clock, ns/op.
+    pub count_disabled_ns: f64,
+    /// `span_begin` + `span_end` pair on a traced clock, ns/pair
+    /// (allocates a node and stamps two I/O snapshots).
+    pub span_pair_enabled_ns: f64,
+    /// `span_pair_disabled_ns − counter_disabled_ns`, in ns: what one
+    /// *disabled* span pair adds over the PR 5 per-op floor.
+    pub disabled_delta_ns: f64,
+}
+
+/// Measures the span API against the PR 5 disabled-counter floor. The
+/// disabled loops run on a clock that never called `enable_tracing`, i.e.
+/// the path every un-sampled production query takes.
+pub fn tracing_overhead(quick: bool) -> TraceBench {
+    use std::hint::black_box;
+    let ops = if quick { 20_000u64 } else { 2_000_000 };
+
+    // PR 5 floor: one relaxed-load counter update, disabled registry.
+    let off = Registry::disabled();
+    let c = off.counter("bench_ops_total");
+    c.inc(); // warm-up
+    let start = Instant::now();
+    for _ in 0..ops {
+        c.inc();
+    }
+    let counter_disabled_ns = start.elapsed().as_nanos() as f64 / ops as f64;
+
+    let mut clock = SimClock::default();
+    let mut run = |f: &mut dyn FnMut(&mut SimClock)| -> f64 {
+        f(&mut clock); // warm-up
+        let start = Instant::now();
+        f(&mut clock);
+        start.elapsed().as_nanos() as f64 / ops as f64
+    };
+    let span_pair_disabled_ns = run(&mut |c| {
+        for _ in 0..ops {
+            c.span_begin(black_box("query"));
+            c.span_end();
+        }
+    });
+    let attr_disabled_ns = run(&mut |c| {
+        for _ in 0..ops {
+            c.span_attr(black_box("k"), &black_box(10u32));
+        }
+    });
+    let count_disabled_ns = run(&mut |c| {
+        for _ in 0..ops {
+            c.span_count(black_box("pages_processed"), black_box(3));
+        }
+    });
+
+    // Enabled path: trace trees grow a node per span, so run in bounded
+    // bursts and drop each tree before the next burst.
+    let burst = 10_000u64.min(ops);
+    let bursts = ops.div_ceil(burst);
+    let mut traced = SimClock::default();
+    traced.enable_tracing();
+    let mut elapsed = 0.0f64;
+    for _ in 0..bursts {
+        let start = Instant::now();
+        for _ in 0..burst {
+            traced.span_begin(black_box("query"));
+            traced.span_end();
+        }
+        elapsed += start.elapsed().as_nanos() as f64;
+        drop(traced.take_trace());
+        traced.enable_tracing();
+    }
+    let span_pair_enabled_ns = elapsed / (bursts * burst) as f64;
+
+    TraceBench {
+        counter_disabled_ns,
+        span_pair_disabled_ns,
+        attr_disabled_ns,
+        count_disabled_ns,
+        span_pair_enabled_ns,
+        disabled_delta_ns: span_pair_disabled_ns - counter_disabled_ns,
+    }
+}
+
+/// Runs the PR 10 suite — span-API overhead at both settings against the
+/// PR 5 disabled-counter floor — and renders `BENCH_PR10.json` with a
+/// provenance header (hand-formatted: the harness has no serde
+/// dependency). `date` is caller-supplied; benchmarks never read clocks.
+pub fn run_pr10(quick: bool, date: Option<&str>) -> String {
+    let prov = crate::provenance::collect(date);
+    let t = tracing_overhead(quick);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"structured-tracing span overhead\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"provenance\": {},\n", prov.to_json()));
+    json.push_str(&format!(
+        "  \"tracing\": {{\"counter_disabled_ns\": {:.2}, \"span_pair_disabled_ns\": {:.2}, \
+         \"attr_disabled_ns\": {:.2}, \"count_disabled_ns\": {:.2}, \
+         \"span_pair_enabled_ns\": {:.2}, \"disabled_delta_ns\": {:.2}}},\n",
+        t.counter_disabled_ns,
+        t.span_pair_disabled_ns,
+        t.attr_disabled_ns,
+        t.count_disabled_ns,
+        t.span_pair_enabled_ns,
+        t.disabled_delta_ns,
+    ));
+    json.push_str(
+        "  \"note\": \"disabled numbers are the path un-sampled queries take: one branch per \
+         span call, no allocation (pinned by crates/storage/tests/trace_alloc_free.rs); \
+         counter_disabled_ns re-measures the PR 5 floor and must stay within 10% of \
+         BENCH_PR4.json's observability.counter_disabled_ns\"\n",
+    );
+    json.push_str("}\n");
+    json
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -830,6 +956,38 @@ mod tests {
         assert!(json.contains("\"parallel_build\""));
         assert!(json.contains("\"observability\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn tracing_overhead_is_measurable_and_disabled_stays_cheap() {
+        let t = tracing_overhead(true);
+        assert!(t.counter_disabled_ns >= 0.0);
+        assert!(t.span_pair_disabled_ns >= 0.0);
+        assert!(t.attr_disabled_ns >= 0.0);
+        assert!(t.count_disabled_ns >= 0.0);
+        assert!(t.span_pair_enabled_ns > 0.0);
+        // The disabled path is a branch; the enabled path allocates a node
+        // and stamps I/O counters. Disabled must be the cheaper of the two
+        // by a wide margin (loose bound: quick mode is noisy).
+        assert!(
+            t.span_pair_disabled_ns < t.span_pair_enabled_ns,
+            "disabled span pair ({:.2} ns) should undercut enabled ({:.2} ns)",
+            t.span_pair_disabled_ns,
+            t.span_pair_enabled_ns
+        );
+    }
+
+    #[test]
+    fn pr10_report_is_well_formed() {
+        let json = run_pr10(true, Some("2026-08-08"));
+        assert!(json.contains("\"provenance\""));
+        assert!(json.contains("\"commit\""));
+        assert!(json.contains("\"tracing\""));
+        assert!(json.contains("\"span_pair_disabled_ns\""));
+        assert!(json.contains("\"disabled_delta_ns\""));
+        assert!(json.contains("\"date\": \"2026-08-08\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        iq_obs::json::parse(&json).expect("report parses as JSON");
     }
 
     #[test]

@@ -18,7 +18,8 @@
 use crate::{IqTree, PageMeta};
 use iq_cost::access_prob::fraction_in_ball;
 use iq_engine::{
-    drive, AccessMethod, CandidateHeap, Executor, Filter, OrdKey, QueryOptions, TopK, TracedResult,
+    drive, query_span_begin, query_span_end, AccessMethod, CandidateHeap, Executor, Filter, OrdKey,
+    QueryOptions, TopK, TracedResult,
 };
 use iq_obs::{CostPrediction, Phase};
 use iq_quantize::{
@@ -171,6 +172,7 @@ impl IqTree {
         } else {
             k
         };
+        query_span_begin(clock, "iqtree", k, filter, opts);
         let mut exec = Executor::new(self.metric(), budget, opts, clock);
         let mut deferred: HashMap<u32, (u32, u32)> = HashMap::new();
         clock.phase_begin(Phase::Directory);
@@ -273,6 +275,7 @@ impl IqTree {
         let (results, mut trace) = exec.into_results(metric);
         if !partial {
             clock.phase_end();
+            query_span_end(clock, &trace);
             return (results, trace);
         }
 
@@ -301,6 +304,7 @@ impl IqTree {
         });
         rerank.truncate(k);
         clock.phase_end();
+        query_span_end(clock, &trace);
         (rerank, trace)
     }
 
@@ -656,6 +660,14 @@ impl IqTree {
         if k == 0 || self.is_empty() || filter.is_some_and(|f| f.matching() == 0) {
             return vec![(Vec::new(), QueryTrace::default()); nq];
         }
+        if clock.tracing() {
+            clock.span_begin("iqtree_multi");
+            clock.span_attr("k", &k);
+            clock.span_attr("queries", &nq);
+            if let Some(f) = filter {
+                clock.span_attr("filter_matches", &f.matching());
+            }
+        }
         clock.phase_begin(Phase::Directory);
         // One directory sweep serves the whole micro-batch.
         self.charge_directory_scan(clock);
@@ -841,6 +853,22 @@ impl IqTree {
             results.push((top.into_results(metric), traces[qi]));
         }
         clock.phase_end();
+        if clock.tracing() {
+            // Per-query attribution: phase times above are shared across
+            // the batch, so each query gets a zero-duration child span
+            // carrying its own counters; the parent carries the sums.
+            let mut agg = QueryTrace::default();
+            for (qi, (_, trace)) in results.iter().enumerate() {
+                agg.merge(trace);
+                clock.span_begin("query");
+                clock.span_attr("index", &qi);
+                for (name, v) in trace.fields() {
+                    clock.span_count(name, v);
+                }
+                clock.span_end();
+            }
+            query_span_end(clock, &agg);
+        }
         results
     }
 
@@ -1292,28 +1320,32 @@ impl IqTree {
         if let Some(m) = opts.nprobes {
             pages = pages.min(m as f64);
         }
-        let mut refine_seconds = 0.0;
+        let mut refine_pages = 0.0;
         for meta in &live {
             let sides: Vec<f32> = (0..self.dim()).map(|i| meta.mbr.extent(i) as f32).collect();
-            refine_seconds += iq_cost::expected_refinements_knn(
+            refine_pages += iq_cost::expected_refinements_knn(
                 self.refine_params(),
                 &sides,
                 meta.count as usize,
                 meta.g,
                 k,
-            ) * (disk.t_seek + disk.t_xfer);
+            );
         }
         if opts.refine_factor >= 2 {
-            let cap = (k as f64) * f64::from(opts.refine_factor) * (disk.t_seek + disk.t_xfer);
-            refine_seconds = refine_seconds.min(cap);
+            refine_pages = refine_pages.min((k as f64) * f64::from(opts.refine_factor));
         }
         let mut io_seconds = iq_cost::first_level_cost(self.dir_params(), disk, n)
             + iq_cost::directory::second_level_cost_for_k(disk, n, pages)
-            + refine_seconds;
+            + refine_pages * (disk.t_seek + disk.t_xfer);
         if let Some(b) = opts.time_budget {
             io_seconds = io_seconds.min(b);
         }
-        CostPrediction { pages, io_seconds }
+        CostPrediction {
+            pages,
+            io_seconds,
+            filter_pages: pages,
+            refine_pages,
+        }
     }
 }
 

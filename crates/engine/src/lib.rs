@@ -23,7 +23,10 @@ mod filter;
 mod topk;
 mod trace;
 
-pub use executor::{drive, refine_ascending, CandidateHeap, Executor, OrdKey, QueryOptions};
+pub use executor::{
+    drive, query_span_begin, query_span_end, refine_ascending, CandidateHeap, Executor, OrdKey,
+    QueryOptions,
+};
 pub use filter::{knn_paginated, knn_paginated_opts, Filter, PageSpec};
 pub use topk::TopK;
 pub use trace::QueryTrace;

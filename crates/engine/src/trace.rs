@@ -52,6 +52,24 @@ impl QueryTrace {
         self.pages_lost > 0 || self.points_skipped > 0
     }
 
+    /// The counters as `(name, value)` pairs in declaration order, so
+    /// exposition code (trace-tree span counters, JSON output) keeps the
+    /// field names in one place.
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("pages_processed", self.pages_processed),
+            ("pages_skipped", self.pages_skipped),
+            ("runs", self.runs),
+            ("refinements", self.refinements),
+            ("approx_enqueued", self.approx_enqueued),
+            ("quant_fallbacks", self.quant_fallbacks),
+            ("pages_lost", self.pages_lost),
+            ("points_skipped", self.points_skipped),
+            ("candidates_skipped", self.candidates_skipped),
+            ("terminated_early", self.terminated_early),
+        ]
+    }
+
     /// Adds `other`'s counters into `self`, e.g. folding per-query traces
     /// into a batch aggregate.
     pub fn merge(&mut self, other: &QueryTrace) {

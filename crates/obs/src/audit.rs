@@ -14,10 +14,19 @@ use std::collections::BTreeMap;
 /// before the query runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CostPrediction {
-    /// Expected page (block-run) accesses.
+    /// Expected page accesses spent finding and filtering candidates
+    /// (approximation sweeps, quantized-page decodes) — the quantity
+    /// comparable to an observed `QueryTrace::pages_processed`.
     pub pages: f64,
-    /// Expected seek + transfer time, simulated seconds.
+    /// Expected seek + transfer time, simulated seconds, all phases
+    /// together (directory, filter and refinement).
     pub io_seconds: f64,
+    /// Alias of [`CostPrediction::pages`] in the phase breakdown, so
+    /// `filter_pages + refine_pages` is the total predicted access count.
+    pub filter_pages: f64,
+    /// Expected exact-representation refinement reads (random accesses
+    /// into the exact level) — comparable to `QueryTrace::refinements`.
+    pub refine_pages: f64,
 }
 
 /// One audited quantity's accumulated pairs.

@@ -45,6 +45,11 @@ pub fn bucket_index(v: f64) -> usize {
     1 + (exp - MIN_EXP) as usize * SUBS + sub
 }
 
+/// Index of the overflow bucket.
+pub(crate) fn last_bucket_index() -> usize {
+    BUCKETS - 1
+}
+
 /// Lower/upper value bounds of a bucket. The underflow bucket spans
 /// `[0, 2^MIN_EXP)`; the overflow bucket spans `[2^MAX_EXP, +inf)`.
 pub fn bucket_bounds(index: usize) -> (f64, f64) {
@@ -98,7 +103,7 @@ impl HistogramCore {
     }
 
     pub(crate) fn snapshot(&self) -> HistogramSnapshot {
-        let buckets = self
+        let buckets: Vec<(usize, u64)> = self
             .buckets
             .iter()
             .enumerate()
@@ -107,9 +112,17 @@ impl HistogramCore {
                 (c != 0).then_some((i, c))
             })
             .collect();
+        let clipped = |idx: usize| {
+            buckets
+                .iter()
+                .find(|&&(i, _)| i == idx)
+                .map_or(0, |&(_, c)| c)
+        };
         HistogramSnapshot {
             count: self.count.load(Relaxed),
             sum: f64::from_bits(self.sum_bits.load(Relaxed)),
+            underflow: clipped(0),
+            overflow: clipped(BUCKETS - 1),
             buckets,
         }
     }
@@ -123,6 +136,14 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of recorded values.
     pub sum: f64,
+    /// Values clipped into the underflow bucket (zero, negative, NaN or
+    /// below `2^MIN_EXP`). A nonzero count means low quantiles report
+    /// a flat 0 rather than a real value.
+    pub underflow: u64,
+    /// Values clipped into the overflow bucket (at or above
+    /// `2^MAX_EXP`). A nonzero count means high quantiles (the p99 a
+    /// dashboard alerts on) are clamped to the bucket floor.
+    pub overflow: u64,
     /// Non-empty buckets as `(bucket_index, count)`, ascending by index.
     pub buckets: Vec<(usize, u64)>,
 }
@@ -184,6 +205,8 @@ impl HistogramSnapshot {
         HistogramSnapshot {
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum - earlier.sum,
+            underflow: self.underflow.saturating_sub(earlier.underflow),
+            overflow: self.overflow.saturating_sub(earlier.overflow),
             buckets,
         }
     }
@@ -218,5 +241,38 @@ mod tests {
         assert_eq!(bucket_index(-1.0), 0);
         assert_eq!(bucket_index(f64::NAN), 0);
         assert_eq!(bucket_index(1e300), BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_counts_clips_honestly() {
+        let core = HistogramCore::new();
+        for v in [1.0, 2.0, 0.5] {
+            core.record(v);
+        }
+        assert_eq!(core.snapshot().underflow, 0);
+        assert_eq!(core.snapshot().overflow, 0);
+        core.record(0.0); // clamps low
+        core.record(-3.0); // clamps low
+        core.record(1e300); // clamps high
+        let snap = core.snapshot();
+        assert_eq!(snap.underflow, 2);
+        assert_eq!(snap.overflow, 1);
+        assert_eq!(snap.count, 6);
+        // The clipped p-max is the overflow bucket floor — visible as a
+        // clip, not silently plausible.
+        assert_eq!(snap.quantile(1.0), bucket_bounds(BUCKETS - 1).0);
+    }
+
+    #[test]
+    fn diff_subtracts_clip_counts() {
+        let core = HistogramCore::new();
+        core.record(-1.0);
+        let earlier = core.snapshot();
+        core.record(-2.0);
+        core.record(1e301);
+        let d = core.snapshot().diff(&earlier);
+        assert_eq!(d.underflow, 1);
+        assert_eq!(d.overflow, 1);
+        assert_eq!(d.count, 2);
     }
 }

@@ -242,7 +242,7 @@ pub struct Snapshot {
 }
 
 /// Formats a float so the output is always a valid JSON number.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:?}")
     } else {
@@ -319,13 +319,22 @@ impl Snapshot {
             out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("{n}_sum {}\n", json_f64(h.sum)));
             out.push_str(&format!("{n}_count {}\n", h.count));
+            // Bucket-range clips, so a clamped p99 is visible instead of
+            // silently plausible.
+            out.push_str(&format!(
+                "# TYPE {n}_clipped_total counter\n\
+                 {n}_clipped_total{{side=\"underflow\"}} {}\n\
+                 {n}_clipped_total{{side=\"overflow\"}} {}\n",
+                h.underflow, h.overflow
+            ));
         }
         out
     }
 
     /// Hand-rolled JSON rendering (the workspace carries no serde):
     /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
-    /// {count, sum, mean, p50, p90, p99, buckets: [{le, count}...]}}}`.
+    /// {count, sum, mean, p50, p90, p99, underflow, overflow,
+    /// buckets: [{le, count}...]}}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -341,13 +350,15 @@ impl Snapshot {
         for (i, (k, h)) in self.histograms.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             out.push_str(&format!(
-                "{sep}\n    \"{k}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+                "{sep}\n    \"{k}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"underflow\": {}, \"overflow\": {}, \"buckets\": [",
                 h.count,
                 json_f64(h.sum),
                 json_f64(h.mean()),
                 json_f64(h.quantile(0.50)),
                 json_f64(h.quantile(0.90)),
                 json_f64(h.quantile(0.99)),
+                h.underflow,
+                h.overflow,
             ));
             for (j, &(b, c)) in h.buckets.iter().enumerate() {
                 let sep = if j == 0 { "" } else { ", " };

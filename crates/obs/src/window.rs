@@ -1,0 +1,322 @@
+//! Windowed telemetry: a bounded ring of periodic registry [`Snapshot`]s
+//! with [`Snapshot::diff`]-derived rates and window-restricted histogram
+//! percentiles.
+//!
+//! A scrape endpoint (or `iq stats --window <n>`) wants "what happened
+//! over the last n intervals", not lifetime totals. Drivers push a
+//! timestamped snapshot per interval; [`TelemetryWindow::report`] then
+//! diffs the window's endpoints, turning counters into per-second rates
+//! and histograms into percentiles of only the values recorded inside
+//! the window. Persists to JSON so a later process can render it.
+
+use crate::json::{parse, JsonValue};
+use crate::registry::{json_f64, Snapshot};
+use crate::HistogramSnapshot;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Bounded ring of `(timestamp_seconds, Snapshot)` samples.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryWindow {
+    cap: usize,
+    ring: VecDeque<(f64, Snapshot)>,
+}
+
+/// Rates and percentiles over one window.
+#[derive(Clone, Debug, Default)]
+pub struct WindowReport {
+    /// Seconds between the window's first and last snapshot.
+    pub span_seconds: f64,
+    /// Snapshots in the window (including both endpoints).
+    pub samples: usize,
+    /// Counter deltas over the window.
+    pub deltas: BTreeMap<String, u64>,
+    /// Counter rates (delta / span) per second; zero-delta counters are
+    /// omitted.
+    pub rates: BTreeMap<String, f64>,
+    /// Latest gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Window-restricted histograms (only values recorded inside the
+    /// window); empty ones are omitted.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetryWindow {
+    /// A ring retaining at most `cap` snapshots.
+    pub fn new(cap: usize) -> Self {
+        TelemetryWindow {
+            cap: cap.max(2),
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// Appends a snapshot taken at `t` seconds (any monotone-enough
+    /// clock: unix time, a run-relative timer, ...). Evicts the oldest
+    /// sample when full.
+    pub fn push(&mut self, t: f64, snap: Snapshot) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((t, snap));
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Rates/percentiles over the last `n` intervals (so over `n + 1`
+    /// snapshots, clamped to what the ring holds). Needs at least two
+    /// snapshots.
+    pub fn report(&self, n: usize) -> Option<WindowReport> {
+        if self.ring.len() < 2 {
+            return None;
+        }
+        let last = self.ring.len() - 1;
+        let first = last.saturating_sub(n.max(1));
+        let (t0, s0) = &self.ring[first];
+        let (t1, s1) = &self.ring[last];
+        let span = (t1 - t0).max(0.0);
+        let d = s1.diff(s0);
+        let rates = d
+            .counters
+            .iter()
+            .filter(|(_, &v)| v > 0)
+            .map(|(k, &v)| (k.clone(), v as f64 / span.max(1e-9)))
+            .collect();
+        let deltas = d.counters.into_iter().filter(|&(_, v)| v > 0).collect();
+        let histograms = d
+            .histograms
+            .into_iter()
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        Some(WindowReport {
+            span_seconds: span,
+            samples: last - first + 1,
+            deltas,
+            rates,
+            gauges: d.gauges,
+            histograms,
+        })
+    }
+
+    /// Serializes the ring as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"telemetry_window\": [\n");
+        for (i, (t, snap)) in self.ring.iter().enumerate() {
+            let sep = if i + 1 == self.ring.len() { "" } else { "," };
+            let body = snap.to_json();
+            out.push_str(&format!(
+                "    {{\"t\": {}, \"snapshot\": {}}}{sep}\n",
+                json_f64(*t),
+                body.trim_end()
+            ));
+        }
+        out.push_str(&format!("  ],\n  \"cap\": {}\n}}\n", self.cap));
+        out
+    }
+
+    /// Rebuilds a window from its [`TelemetryWindow::to_json`] form.
+    pub fn load_json(doc: &str) -> Result<TelemetryWindow, String> {
+        let v = parse(doc)?;
+        let cap = v
+            .get("cap")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(16)
+            .max(2) as usize;
+        let items = v
+            .get("telemetry_window")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing telemetry_window array")?;
+        let mut w = TelemetryWindow::new(cap);
+        for item in items {
+            let t = item
+                .get("t")
+                .and_then(JsonValue::as_f64)
+                .ok_or("sample missing t")?;
+            let snap = snapshot_from_json(item.get("snapshot").ok_or("sample missing snapshot")?)?;
+            w.push(t, snap);
+        }
+        Ok(w)
+    }
+}
+
+/// Parses a registry snapshot from its `Snapshot::to_json` form. Bucket
+/// counts are recovered from the cumulative-free `{le, count}` pairs by
+/// mapping each `le` back to its bucket index.
+pub fn snapshot_from_json(v: &JsonValue) -> Result<Snapshot, String> {
+    let mut snap = Snapshot::default();
+    if let Some(fields) = v.get("counters").and_then(JsonValue::as_obj) {
+        for (k, val) in fields {
+            snap.counters
+                .insert(k.clone(), val.as_u64().ok_or("bad counter value")?);
+        }
+    }
+    if let Some(fields) = v.get("gauges").and_then(JsonValue::as_obj) {
+        for (k, val) in fields {
+            snap.gauges
+                .insert(k.clone(), val.as_f64().ok_or("bad gauge value")?);
+        }
+    }
+    if let Some(fields) = v.get("histograms").and_then(JsonValue::as_obj) {
+        for (k, h) in fields {
+            let mut hist = HistogramSnapshot {
+                count: h.get("count").and_then(JsonValue::as_u64).unwrap_or(0),
+                sum: h.get("sum").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                underflow: h.get("underflow").and_then(JsonValue::as_u64).unwrap_or(0),
+                overflow: h.get("overflow").and_then(JsonValue::as_u64).unwrap_or(0),
+                buckets: Vec::new(),
+            };
+            if let Some(buckets) = h.get("buckets").and_then(JsonValue::as_arr) {
+                for b in buckets {
+                    let c = b.get("count").and_then(JsonValue::as_u64).unwrap_or(0);
+                    let idx = match b.get("le") {
+                        // The overflow bucket serializes le as "+Inf".
+                        Some(JsonValue::Str(_)) => crate::histogram::last_bucket_index(),
+                        Some(le) => {
+                            let hi = le.as_f64().ok_or("bad bucket le")?;
+                            // `le` is the bucket's exclusive upper bound;
+                            // any value just below it maps back to the
+                            // bucket itself.
+                            crate::histogram::bucket_index(hi * (1.0 - 1e-12))
+                        }
+                        None => return Err("bucket missing le".into()),
+                    };
+                    if c > 0 {
+                        snapshot_bucket_push(&mut hist.buckets, idx, c);
+                    }
+                }
+            }
+            snap.histograms.insert(k.clone(), hist);
+        }
+    }
+    Ok(snap)
+}
+
+/// Inserts keeping ascending index order, merging duplicates.
+fn snapshot_bucket_push(buckets: &mut Vec<(usize, u64)>, idx: usize, c: u64) {
+    match buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+        Ok(pos) => buckets[pos].1 += c,
+        Err(pos) => buckets.insert(pos, (idx, c)),
+    }
+}
+
+/// Renders a report the way `iq stats --window <n>` prints it.
+pub fn render_report(r: &WindowReport) -> String {
+    let mut out = format!(
+        "window: {} sample(s) spanning {:.3} s\n",
+        r.samples, r.span_seconds
+    );
+    if r.rates.is_empty() {
+        out.push_str("  no counter activity in the window\n");
+    } else {
+        out.push_str("  rates:\n");
+        for (k, rate) in &r.rates {
+            out.push_str(&format!(
+                "    {k:<44} {rate:>12.1}/s  (+{})\n",
+                r.deltas.get(k).copied().unwrap_or(0)
+            ));
+        }
+    }
+    if !r.histograms.is_empty() {
+        out.push_str("  window percentiles:\n");
+        for (k, h) in &r.histograms {
+            out.push_str(&format!(
+                "    {k:<44} p50 {:.3e}  p90 {:.3e}  p99 {:.3e}  (n={})\n",
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.count
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn snap_at(ops: u64, reg: &Registry) -> Snapshot {
+        let c = reg.counter("ops_total");
+        while c.get() < ops {
+            c.inc();
+        }
+        reg.histogram("lat_seconds").observe(0.001 * ops as f64);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn report_derives_rates_from_diffs() {
+        let reg = Registry::new();
+        let mut w = TelemetryWindow::new(8);
+        w.push(0.0, snap_at(10, &reg));
+        w.push(2.0, snap_at(30, &reg));
+        w.push(4.0, snap_at(90, &reg));
+        let r = w.report(1).expect("two samples");
+        assert_eq!(r.samples, 2);
+        assert_eq!(r.deltas["ops_total"], 60);
+        assert!((r.rates["ops_total"] - 30.0).abs() < 1e-9);
+        let wide = w.report(10).expect("clamped to ring");
+        assert_eq!(wide.deltas["ops_total"], 80);
+        assert!((wide.rates["ops_total"] - 20.0).abs() < 1e-9);
+        assert_eq!(wide.histograms["lat_seconds"].count, 2);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let mut w = TelemetryWindow::new(3);
+        for i in 0..10 {
+            w.push(i as f64, Snapshot::default());
+        }
+        assert_eq!(w.len(), 3);
+        let r = w.report(99).expect("report");
+        assert_eq!(r.samples, 3);
+        assert!((r.span_seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn needs_two_samples() {
+        let mut w = TelemetryWindow::new(4);
+        assert!(w.report(1).is_none());
+        w.push(0.0, Snapshot::default());
+        assert!(w.report(1).is_none());
+    }
+
+    #[test]
+    fn json_round_trips_with_histograms() {
+        let reg = Registry::new();
+        let mut w = TelemetryWindow::new(4);
+        w.push(1.0, snap_at(5, &reg));
+        w.push(2.5, snap_at(25, &reg));
+        let doc = w.to_json();
+        let back = TelemetryWindow::load_json(&doc).expect("parses");
+        assert_eq!(back.len(), 2);
+        let r0 = w.report(1).unwrap();
+        let r1 = back.report(1).unwrap();
+        assert_eq!(r0.deltas, r1.deltas);
+        assert_eq!(r0.gauges, r1.gauges);
+        // Histogram counts survive; bucket indices map back exactly.
+        assert_eq!(
+            r0.histograms["lat_seconds"].buckets,
+            r1.histograms["lat_seconds"].buckets
+        );
+    }
+
+    #[test]
+    fn render_mentions_rates_and_percentiles() {
+        let reg = Registry::new();
+        let mut w = TelemetryWindow::new(4);
+        w.push(0.0, snap_at(1, &reg));
+        w.push(1.0, snap_at(11, &reg));
+        let text = render_report(&w.report(1).unwrap());
+        assert!(text.contains("ops_total"));
+        assert!(text.contains("/s"));
+        assert!(text.contains("p99"));
+    }
+}

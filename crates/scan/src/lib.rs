@@ -6,8 +6,11 @@
 //! to clear (cf. \[7\] in the paper); the IQ-tree is designed to beat it by
 //! scanning *compressed* approximations instead.
 
-use iq_engine::{AccessMethod, Executor, Filter, QueryOptions, QueryTrace};
+use iq_engine::{
+    query_span_begin, query_span_end, AccessMethod, Executor, Filter, QueryOptions, QueryTrace,
+};
 use iq_geometry::{Dataset, Metric};
+use iq_obs::CostPrediction;
 use iq_storage::{BlockDevice, SimClock};
 
 /// Number of blocks fetched per read while scanning (bounds buffer memory;
@@ -251,6 +254,7 @@ impl AccessMethod for SeqScan {
             return (Vec::new(), QueryTrace::default());
         }
         let metric = self.metric;
+        query_span_begin(clock, "scan", k, filter, opts);
         let mut exec = Executor::new(metric, k, opts, clock);
         let deadline = opts
             .time_budget
@@ -266,7 +270,33 @@ impl AccessMethod for SeqScan {
         clock.phase_begin(iq_obs::Phase::TopK);
         let out = exec.into_results(metric);
         clock.phase_end();
+        query_span_end(clock, &out.1);
         out
+    }
+
+    /// A sequential scan's cost is fully analytic: every query reads the
+    /// whole file in one sweep (`cost_is_one_sequential_scan` pins this),
+    /// so the prediction is exact apart from a `time_budget` clip. There
+    /// is no refinement level — all pages are filter pages.
+    fn cost_prediction(&self, _k: usize, opts: &QueryOptions) -> Option<CostPrediction> {
+        let disk = iq_storage::DiskModel::default();
+        let blocks = disk.blocks_for(self.n * self.dim * 4) as f64;
+        let mut io_seconds = disk.scan_cost(blocks as u64);
+        let mut pages = blocks;
+        if let Some(b) = opts.time_budget {
+            if io_seconds > b {
+                // The sweep stops at block granularity once the budget is
+                // spent: scale the page count by the readable fraction.
+                pages = (blocks * b / io_seconds).floor().max(0.0);
+                io_seconds = b;
+            }
+        }
+        Some(CostPrediction {
+            pages,
+            io_seconds,
+            filter_pages: pages,
+            refine_pages: 0.0,
+        })
     }
 
     fn range(&self, clock: &mut SimClock, q: &[f32], radius: f64) -> Vec<u32> {

@@ -1,6 +1,6 @@
 //! Disk and CPU cost models and the simulated clock.
 
-use iq_obs::{Phase, PhaseTimes};
+use iq_obs::{Phase, PhaseTimes, TraceBuilder, TraceTree};
 use std::time::Instant;
 
 /// Disk timing parameters — the `t_seek` / `t_xfer` of Section 2.
@@ -142,8 +142,12 @@ pub struct SimClock {
     head: Option<(u64, u64)>,
     /// Per-phase simulated + wall time attributed so far.
     phases: PhaseTimes,
-    /// The currently open phase: `(phase, sim time at open, wall at open)`.
-    open_phase: Option<(Phase, f64, Instant)>,
+    /// The currently open phase: `(phase, sim time at open, wall at
+    /// open, seeks at open, blocks read at open)`.
+    open_phase: Option<(Phase, f64, Instant, u64, u64)>,
+    /// Hierarchical trace recorder; `None` (the default) keeps every
+    /// tracing entry point a single branch with no allocation.
+    tracer: Option<Box<TraceBuilder>>,
 }
 
 impl SimClock {
@@ -158,6 +162,7 @@ impl SimClock {
             head: None,
             phases: PhaseTimes::default(),
             open_phase: None,
+            tracer: None,
         }
     }
 
@@ -192,7 +197,8 @@ impl SimClock {
     }
 
     /// Resets times, statistics, phase times and head position (e.g.
-    /// between queries).
+    /// between queries). A tracer, if enabled, restarts with an empty
+    /// tree — tracing stays on across resets.
     pub fn reset(&mut self) {
         self.io_time = 0.0;
         self.cpu_time = 0.0;
@@ -200,6 +206,9 @@ impl SimClock {
         self.head = None;
         self.phases = PhaseTimes::default();
         self.open_phase = None;
+        if self.tracer.is_some() {
+            self.tracer = Some(Box::new(TraceBuilder::new("query", 0.0, 0, 0)));
+        }
     }
 
     /// Folds another clock's accumulated time and statistics into this one
@@ -212,6 +221,16 @@ impl SimClock {
         self.stats.merge(&other.stats);
         self.phases.merge(&other.phases);
         self.head = None;
+        if let (Some(t), Some(o)) = (&mut self.tracer, &other.tracer) {
+            t.add_child_tree(
+                o.snapshot_tree(
+                    other.io_time + other.cpu_time,
+                    other.stats.seeks,
+                    other.stats.blocks_read,
+                )
+                .root,
+            );
+        }
     }
 
     /// Charges a read of `nblocks` starting at `start` on device `dev`.
@@ -278,17 +297,33 @@ impl SimClock {
     /// sim times sum exactly to the clock's total time.
     pub fn phase_begin(&mut self, phase: Phase) {
         self.phase_end();
-        self.open_phase = Some((phase, self.total_time(), Instant::now()));
+        self.open_phase = Some((
+            phase,
+            self.total_time(),
+            Instant::now(),
+            self.stats.seeks,
+            self.stats.blocks_read,
+        ));
     }
 
-    /// Closes the currently open phase, if any.
+    /// Closes the currently open phase, if any. The simulated and wall
+    /// deltas are computed once and fed to both the flat [`PhaseTimes`]
+    /// and (when tracing) the trace tree's phase leaf, so the tree's
+    /// leaves sum to the flat totals exactly.
     pub fn phase_end(&mut self) {
-        if let Some((phase, sim0, wall0)) = self.open_phase.take() {
-            self.phases.add(
-                phase,
-                self.total_time() - sim0,
-                wall0.elapsed().as_secs_f64(),
-            );
+        if let Some((phase, sim0, wall0, seeks0, blocks0)) = self.open_phase.take() {
+            let sim = self.total_time() - sim0;
+            let wall = wall0.elapsed().as_secs_f64();
+            self.phases.add(phase, sim, wall);
+            if let Some(t) = &mut self.tracer {
+                t.phase_leaf(
+                    phase,
+                    sim,
+                    wall,
+                    self.stats.seeks - seeks0,
+                    self.stats.blocks_read - blocks0,
+                );
+            }
         }
     }
 
@@ -308,6 +343,74 @@ impl SimClock {
     /// account for).
     pub fn charge_cpu_seconds(&mut self, secs: f64) {
         self.cpu_time += secs;
+    }
+
+    /// Starts recording a hierarchical trace tree. Until
+    /// [`SimClock::take_trace`], phase accounting also produces phase
+    /// leaves and the span methods record structure; with tracing off
+    /// (the default) all of them are single-branch no-ops.
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Some(Box::new(TraceBuilder::new(
+            "query",
+            self.total_time(),
+            self.stats.seeks,
+            self.stats.blocks_read,
+        )));
+    }
+
+    /// Whether a trace is being recorded.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Finishes and returns the recorded trace, turning tracing off.
+    pub fn take_trace(&mut self) -> Option<TraceTree> {
+        self.phase_end();
+        self.tracer
+            .take()
+            .map(|t| t.finish(self.total_time(), self.stats.seeks, self.stats.blocks_read))
+    }
+
+    /// Opens a named child span in the trace (no-op when not tracing).
+    pub fn span_begin(&mut self, name: &str) {
+        let (sim, seeks, blocks) = (
+            self.io_time + self.cpu_time,
+            self.stats.seeks,
+            self.stats.blocks_read,
+        );
+        if let Some(t) = &mut self.tracer {
+            t.span_begin(name, sim, seeks, blocks);
+        }
+    }
+
+    /// Closes the innermost open span (no-op when not tracing).
+    pub fn span_end(&mut self) {
+        let (sim, seeks, blocks) = (
+            self.io_time + self.cpu_time,
+            self.stats.seeks,
+            self.stats.blocks_read,
+        );
+        if let Some(t) = &mut self.tracer {
+            t.span_end(sim, seeks, blocks);
+        }
+    }
+
+    /// Annotates the innermost open span (no-op when not tracing).
+    pub fn span_attr(&mut self, key: &str, value: &dyn std::fmt::Display) {
+        if let Some(t) = &mut self.tracer {
+            t.attr(key, &value.to_string());
+        }
+    }
+
+    /// Adds `n` to a counter on the innermost open span (no-op when not
+    /// tracing; zero counts are skipped to keep trees lean).
+    pub fn span_count(&mut self, key: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(t) = &mut self.tracer {
+            t.count(key, n);
+        }
     }
 }
 
@@ -476,5 +579,93 @@ mod tests {
         c.charge_write(1, 0, 3);
         assert_eq!(c.stats().blocks_written, 3);
         assert_eq!(c.stats().seeks, 1);
+    }
+
+    #[test]
+    fn trace_phase_leaves_sum_exactly_to_phase_times() {
+        let mut c = SimClock::default();
+        c.enable_tracing();
+        c.span_begin("engine");
+        c.span_attr("k", &10);
+        c.phase_begin(Phase::Directory);
+        c.charge_read(1, 0, 4);
+        c.phase_begin(Phase::Filter);
+        c.charge_read(1, 9, 2);
+        c.charge_dist_evals(8, 500);
+        c.phase_begin(Phase::Filter); // coalesces with the previous leaf
+        c.charge_read(1, 20, 2);
+        c.phase_begin(Phase::Refine);
+        c.charge_read(2, 0, 1);
+        c.phase_end();
+        c.span_count("pages_processed", 3);
+        c.span_end();
+        let flat = c.phase_times();
+        let tree = c.take_trace().expect("tracing was on");
+        assert!(!c.tracing());
+        let (sim, wall) = tree.phase_totals();
+        for p in iq_obs::PHASES {
+            assert_eq!(sim[p.index()], flat.sim[p.index()], "{}", p.name());
+            assert_eq!(wall[p.index()], flat.wall[p.index()], "{}", p.name());
+        }
+        assert!((tree.total_sim() - c.total_time()).abs() < 1e-15);
+        // Structure: root -> engine -> [directory, filter x2, refine].
+        let engine = &tree.root.children[0];
+        assert_eq!(engine.name, "engine");
+        assert_eq!(engine.attrs, vec![("k".to_string(), "10".to_string())]);
+        assert_eq!(engine.children.len(), 3);
+        assert_eq!(engine.children[1].merged, 2);
+        assert_eq!(engine.children[1].blocks_read, 4);
+        assert_eq!(tree.root.seeks, c.stats().seeks);
+        assert_eq!(tree.root.blocks_read, c.stats().blocks_read);
+    }
+
+    #[test]
+    fn untraced_clock_records_nothing_and_take_is_none() {
+        let mut c = SimClock::default();
+        c.span_begin("x");
+        c.span_attr("a", &1);
+        c.span_count("n", 3);
+        c.span_end();
+        c.phase_begin(Phase::Filter);
+        c.charge_read(1, 0, 1);
+        c.phase_end();
+        assert!(!c.tracing());
+        assert!(c.take_trace().is_none());
+        assert!(c.phase_times().sim[Phase::Filter.index()] > 0.0);
+    }
+
+    #[test]
+    fn reset_restarts_the_trace_but_keeps_tracing_on() {
+        let mut c = SimClock::default();
+        c.enable_tracing();
+        c.phase_begin(Phase::Filter);
+        c.charge_read(1, 0, 1);
+        c.phase_end();
+        c.reset();
+        assert!(c.tracing());
+        let tree = c.take_trace().expect("still tracing");
+        assert!(tree.root.children.is_empty());
+        assert_eq!(tree.root.sim, 0.0);
+    }
+
+    #[test]
+    fn absorb_attaches_the_other_clocks_tree() {
+        let mut chunk = SimClock::default();
+        chunk.enable_tracing();
+        chunk.phase_begin(Phase::Filter);
+        chunk.charge_read(1, 0, 2);
+        chunk.phase_end();
+        let mut main = SimClock::default();
+        main.enable_tracing();
+        main.absorb(&chunk);
+        let tree = main.take_trace().expect("tracing");
+        let sub = &tree.root.children[0];
+        assert_eq!(sub.name, "query");
+        assert_eq!(sub.children[0].name, "filter");
+        assert!((tree.total_sim() - main.phase_times().total_sim()).abs() < 1e-15);
+        // An untraced absorber stays untraced.
+        let mut plain = SimClock::default();
+        plain.absorb(&chunk);
+        assert!(plain.take_trace().is_none());
     }
 }

@@ -1,0 +1,91 @@
+//! The disabled tracing path is allocation-free: a clock that never
+//! called `enable_tracing` pays one branch per span call and **zero**
+//! heap allocations — span names are never copied, attrs are never
+//! formatted, counters are never boxed. Phase accounting stays
+//! alloc-free too (it was before tracing existed; the tracer hook must
+//! not change that). Enforced with a counting global allocator; the
+//! counter is thread-local so the harness thread cannot pollute the
+//! measurement.
+//!
+//! Single-test file on purpose: one process, one test thread.
+
+use iq_obs::Phase;
+use iq_storage::SimClock;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+std::thread_local! {
+    static LOCAL_ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates to `System` verbatim; the counter bump has no effect
+// on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    LOCAL_ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// The full per-query instrumentation sequence an engine emits — span
+/// open with attrs, phase work with I/O, result counters, span close —
+/// exactly as `knn_traced_impl` does it, on an untraced clock.
+fn instrumented_query(clock: &mut SimClock, k: u32) -> f64 {
+    clock.span_begin("iqtree");
+    clock.span_attr("k", &k);
+    clock.phase_begin(Phase::Directory);
+    clock.charge_read(0, 0, 2);
+    clock.phase_end();
+    clock.phase_begin(Phase::Filter);
+    clock.charge_read(0, 8, 3);
+    clock.charge_cpu_seconds(64.0e-9);
+    clock.phase_end();
+    clock.phase_begin(Phase::TopK);
+    clock.phase_end();
+    clock.span_count("pages_processed", u64::from(k));
+    clock.span_count("pages_skipped", 0); // zero: the skip-fast path
+    clock.span_end();
+    clock.total_time()
+}
+
+#[test]
+fn untraced_span_and_phase_path_is_allocation_free() {
+    let mut clock = SimClock::default();
+    assert!(!clock.tracing());
+    // Warm-up: lets any lazy one-time setup (thread-locals, phase table)
+    // happen outside the measured window.
+    let warm = instrumented_query(&mut clock, 7);
+    assert!(warm > 0.0);
+    clock.reset();
+
+    let before = allocations();
+    let mut total = 0.0;
+    for _ in 0..100 {
+        clock.reset();
+        total += instrumented_query(&mut clock, 7);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "the untraced span/phase path must not touch the allocator"
+    );
+    assert!((total - 100.0 * warm).abs() < 1e-9, "same work, same time");
+    assert!(clock.take_trace().is_none(), "nothing was recorded");
+}

@@ -14,9 +14,12 @@
 //! tuning knob the paper sweeps from 2 to 8 bits and picks the best of.
 
 use iq_cost::refine::RefineParams;
-use iq_engine::{refine_ascending, AccessMethod, Executor, Filter, QueryOptions, QueryTrace, TopK};
+use iq_engine::{
+    query_span_begin, query_span_end, refine_ascending, AccessMethod, Executor, Filter,
+    QueryOptions, QueryTrace, TopK,
+};
 use iq_geometry::{Dataset, Mbr, Metric};
-use iq_obs::Phase;
+use iq_obs::{CostPrediction, Phase};
 use iq_quantize::{BitWriter, CellMatch, DistTable, ExactPageCodec, GridQuantizer, WindowTable};
 use iq_storage::DiskModel;
 use iq_storage::{BlockDevice, SimClock};
@@ -332,6 +335,7 @@ impl VaFile {
             return (Vec::new(), QueryTrace::default());
         }
         let metric = self.metric;
+        query_span_begin(clock, "vafile", k, filter, opts);
         let mut exec = Executor::new(metric, k, opts, clock);
         exec.trace.pages_processed = self.approx.num_blocks();
         exec.trace.runs = 1;
@@ -369,6 +373,7 @@ impl VaFile {
         clock.phase_begin(Phase::TopK);
         let out = exec.into_results(metric);
         clock.phase_end();
+        query_span_end(clock, &out.1);
         out
     }
 
@@ -549,6 +554,38 @@ impl AccessMethod for VaFile {
 
     fn window(&self, clock: &mut SimClock, window: &Mbr) -> Vec<u32> {
         VaFile::window(self, clock, window)
+    }
+
+    /// The [`predict_cost`] model evaluated against this file's actual
+    /// grid: one sequential sweep of the approximation file plus the
+    /// expected k-NN refinements as random accesses (uniformity
+    /// assumption over the data MBR). `refine_factor` and `nprobes` cap
+    /// the refinement term; a `time_budget` clips the total.
+    fn cost_prediction(&self, k: usize, opts: &QueryOptions) -> Option<CostPrediction> {
+        let disk = DiskModel::default();
+        let approx_blocks = self.approx.num_blocks();
+        let sides: Vec<f32> = (0..self.dim).map(|i| self.mbr.extent(i) as f32).collect();
+        let params = RefineParams::uniform(self.metric, self.dim, self.n);
+        let mut refine_pages =
+            iq_cost::expected_refinements_knn(&params, &sides, self.n, self.bits, k.max(1));
+        if opts.refine_factor >= 2 {
+            refine_pages = refine_pages.min(k.max(1) as f64 * f64::from(opts.refine_factor));
+        }
+        if let Some(m) = opts.nprobes {
+            refine_pages = refine_pages.min(m as f64);
+        }
+        let pages = approx_blocks as f64;
+        let mut io_seconds =
+            disk.scan_cost(approx_blocks) + refine_pages * (disk.t_seek + disk.t_xfer);
+        if let Some(b) = opts.time_budget {
+            io_seconds = io_seconds.min(b);
+        }
+        Some(CostPrediction {
+            pages,
+            io_seconds,
+            filter_pages: pages,
+            refine_pages,
+        })
     }
 }
 

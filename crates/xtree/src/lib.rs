@@ -17,10 +17,11 @@ pub mod node;
 pub mod split;
 
 use iq_engine::{
-    drive, AccessMethod, CandidateHeap, Executor, Filter, OrdKey, QueryOptions, QueryTrace,
+    drive, query_span_begin, query_span_end, AccessMethod, CandidateHeap, Executor, Filter, OrdKey,
+    QueryOptions, QueryTrace,
 };
 use iq_geometry::{bulk_partition, Dataset, Mbr, Metric};
-use iq_obs::Phase;
+use iq_obs::{CostPrediction, Phase};
 use iq_storage::{BlockDevice, SimClock};
 use node::{DataPage, DirEntry, Node};
 use split::{group_mbr, split_entries, SplitDecision};
@@ -344,6 +345,7 @@ impl XTree {
             return (Vec::new(), QueryTrace::default());
         }
         let metric = self.metric;
+        query_span_begin(clock, "xtree", k, filter, opts);
         let mut exec = Executor::new(metric, k, opts, clock);
         let mut heap: CandidateHeap<Target> = CandidateHeap::new();
         heap.push(Reverse((OrdKey(0.0), Target::Node(self.root))));
@@ -391,6 +393,7 @@ impl XTree {
         clock.phase_begin(Phase::TopK);
         let out = exec.into_results(metric);
         clock.phase_end();
+        query_span_end(clock, &out.1);
         out
     }
 
@@ -800,6 +803,37 @@ impl AccessMethod for XTree {
 
     fn window(&self, clock: &mut SimClock, window: &Mbr) -> Vec<u32> {
         XTree::window(self, clock, window)
+    }
+
+    /// Sphere-volume estimate of the leaves a best-first k-NN descent
+    /// touches (the same eqs 16–18 the IQ-tree uses, under a uniformity
+    /// assumption), plus roughly one directory node per level per
+    /// accessed leaf path. The X-tree reads exact points from its data
+    /// pages, so there is no separate refinement level.
+    fn cost_prediction(&self, k: usize, opts: &QueryOptions) -> Option<CostPrediction> {
+        let n_pages = self.pages.len();
+        if n_pages == 0 {
+            return None;
+        }
+        let disk = iq_storage::DiskModel::default();
+        let params = iq_cost::DirectoryParams::new(self.metric, self.dim, self.dim as f64, self.n);
+        let mut leaf = iq_cost::expected_pages_accessed_knn(&params, n_pages, k.max(1));
+        if let Some(m) = opts.nprobes {
+            leaf = leaf.min(m as f64);
+        }
+        let dir_nodes =
+            ((self.height.saturating_sub(1)) as f64 * leaf.max(1.0)).min(self.nodes.len() as f64);
+        // Every node and page read is a random single-block access.
+        let mut io_seconds = (leaf + dir_nodes) * (disk.t_seek + disk.t_xfer);
+        if let Some(b) = opts.time_budget {
+            io_seconds = io_seconds.min(b);
+        }
+        Some(CostPrediction {
+            pages: leaf,
+            io_seconds,
+            filter_pages: leaf,
+            refine_pages: 0.0,
+        })
     }
 }
 

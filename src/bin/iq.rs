@@ -56,6 +56,7 @@ fn main() -> ExitCode {
         "ingest" => cmd_ingest(&opts),
         "build" => cmd_build(&opts),
         "query" => cmd_query(&opts),
+        "explain" => cmd_explain(&opts),
         "range" => cmd_range(&opts),
         "batch" => cmd_batch(&opts),
         "stats" => cmd_stats(&opts),
@@ -85,14 +86,17 @@ const USAGE: &str = "usage:
   iq generate --kind <uniform|cad|color|weather> --dim <d> --n <count> [--seed <s>] --out <file> [--format <csv|fvecs>]
   iq ingest   --input <file.fvecs|bvecs|csv> [--out <file.fvecs|csv>] [--block <bytes>]
   iq build    --input <file> --index <dir> [--block <bytes>] [--metric <l2|linf|l1>]
-  iq query    --index <dir> --point <x,y,...> [--k <k>] [--filter <expr>] [--limit <m>] [--offset <o>] [--epsilon <e>] [--nprobes <p>] [--refine-factor <f>] [--budget-ms <ms>] [--trace] [--cache-blocks <frames>] [--engine <e>]
+  iq query    --index <dir> --point <x,y,...> [--k <k>] [--filter <expr>] [--limit <m>] [--offset <o>] [--epsilon <e>] [--nprobes <p>] [--refine-factor <f>] [--budget-ms <ms>] [--trace] [--trace-tree] [--trace-json <path>] [--cache-blocks <frames>] [--engine <e>]
+  iq explain  --index <dir> [--k <k>] [--engine <e>] [--epsilon <e>] [--nprobes <p>] [--refine-factor <f>] [--budget-ms <ms>] [--filter <expr>] [--analyze --point <x,y,...>] [--json]
   iq range    --index <dir> --point <x,y,...> --radius <r> [--cache-blocks <frames>] [--engine <e>]
   iq batch    --index <dir> --queries <file> [--k <k>] [--filter <expr>] [--limit <m>] [--offset <o>] [--epsilon <e>] [--nprobes <p>] [--refine-factor <f>] [--budget-ms <ms>] [--threads <t>] [--cache-blocks <frames>] [--engine <e>]
   iq stats    --index <dir> [--format <prometheus|json>] [--cache-blocks <frames>]
+  iq stats    --slow [--slow-log <path>] | --window <n> [--telemetry <path>]
   iq verify   --index <dir>
   iq checkpoint --index <dir>
   iq recover  --index <dir> [--dry-run]
   iq bench    --input <file> [--queries <q>] [--metric <l2|linf|l1>] [--json]
+              [--date <yyyy-mm-dd>]
 
 Vector files may be CSV (plain rows, or `[x,y,...],attr,...` literals with
 an optional `# attrs: name,...` header), fvecs or bvecs — the format is
@@ -115,7 +119,17 @@ approximation-level candidates probed (pages, or VA-file entries),
 --refine-factor <f> caps exact-point look-ups at k*f (f=1 is unlimited),
 --budget-ms <ms> returns the best answer within a simulated-time budget.
 --trace prints the per-phase time breakdown of the query and, where the
-engine has a cost model, predicted vs observed cost.
+engine has a cost model, predicted vs observed cost. --trace-tree prints
+the hierarchical span tree of the query (phase leaves sum exactly to the
+flat phase breakdown); --trace-json <path> writes the same tree in Chrome
+trace-event format, loadable in Perfetto / chrome://tracing.
+`iq explain` prints the engine's cost-model prediction for a k-NN query
+under the given knobs *without running it*; with --analyze (and --point)
+the query also runs and predicted vs observed are compared side by side.
+`iq stats --slow` prints the retained slow-query log (written by
+`iq bench` as iq-slowlog.json, 1-in-N sampled trace trees, top-K slowest
+kept); `iq stats --window <n>` reports counter rates and histogram
+percentiles over the last n telemetry snapshots (iq-telemetry.json).
 --metrics-json <path> (any command) enables the global metrics registry and
 writes its JSON snapshot to <path> on exit.
 `iq checkpoint` folds the write-ahead log into the base files (reclaiming
@@ -562,6 +576,11 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
         .transpose()?;
     let paged = filter.is_some() || page.offset > 0 || page.limit.is_some();
     let traced = opts.contains_key("trace");
+    let trace_tree = opts.contains_key("trace-tree");
+    let trace_json = opts.get("trace-json").cloned();
+    if trace_tree || trace_json.is_some() {
+        clock.enable_tracing();
+    }
     let (hits, trace) = if paged {
         // Filtered/paginated path: trace the search, then slice the
         // canonically ordered list exactly as `knn_paginated_opts` does.
@@ -616,6 +635,19 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     if traced {
         print_trace(eng.as_ref(), &clock, &trace, page.k, &qopts);
+    }
+    if let Some(tree) = clock.take_trace() {
+        if trace_tree {
+            print!("{}", tree.render_text());
+        }
+        if let Some(path) = trace_json {
+            std::fs::write(&path, tree.to_chrome_json())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            println!(
+                "-- wrote Chrome trace ({} span(s)) to {path}; load it in Perfetto or chrome://tracing",
+                tree.root.node_count(),
+            );
+        }
     }
     Ok(())
 }
@@ -702,6 +734,148 @@ fn print_trace(
             clock.io_time() * 1e3,
         );
     }
+}
+
+/// `iq explain`: the engine's cost-model prediction of a k-NN query under
+/// the given knob/filter combination, *without executing it* — expected
+/// filter-phase page accesses, expected exact-point refinements, and
+/// simulated I/O time, phase by phase. With `--analyze` the query also
+/// runs (needs `--point`) and predicted vs observed are printed side by
+/// side and fed through a [`iqtree_repro::obs::CostAudit`].
+fn cmd_explain(opts: &HashMap<String, String>) -> Result<(), String> {
+    let page = parse_page(opts)?;
+    let k = page.k;
+    let qopts = parse_query_opts(opts)?;
+    let analyze = opts.contains_key("analyze");
+    let json = opts.contains_key("json");
+    let (eng, mut clock) = open_engine(opts)?;
+    let filter = opts
+        .get("filter")
+        .map(|expr| build_filter(expr, opts, eng.len()))
+        .transpose()?;
+    let Some(pred) = eng.cost_prediction(k, &qopts) else {
+        return Err(format!("engine {} has no cost model", eng.name()));
+    };
+    let knobs = describe_query_opts(&qopts);
+    let observed = if analyze {
+        let point =
+            parse_point(req(opts, "point").map_err(|_| {
+                "--analyze runs the query and needs --point <x,y,...>".to_string()
+            })?)?;
+        if point.len() != eng.dim() {
+            return Err(format!(
+                "point has {} coordinates, index is {}-d",
+                point.len(),
+                eng.dim()
+            ));
+        }
+        let (_, trace) = eng.knn_opts_traced(&mut clock, &point, k, filter.as_ref(), &qopts);
+        Some(trace)
+    } else {
+        None
+    };
+    if json {
+        let mut out = format!(
+            "{{\"explain\":{{\"engine\":\"{}\",\"k\":{k},\"exact\":{},\
+             \"predicted\":{{\"pages\":{:.6},\"filter_pages\":{:.6},\"refine_pages\":{:.6},\
+             \"io_ms\":{:.6}}}",
+            eng.name(),
+            qopts.is_exact(),
+            pred.pages,
+            pred.filter_pages,
+            pred.refine_pages,
+            pred.io_seconds * 1e3,
+        );
+        if let Some(t) = &observed {
+            let audit = explain_audit(&pred, t, &clock);
+            out.push_str(&format!(
+                ",\"observed\":{{\"pages\":{},\"refinements\":{},\"io_ms\":{:.6},\
+                 \"total_ms\":{:.6}}},\"audit\":{{\"pages_rel_err\":{:.6},\
+                 \"io_rel_err\":{:.6}}}",
+                t.pages_processed,
+                t.refinements,
+                clock.io_time() * 1e3,
+                clock.total_time() * 1e3,
+                audit.0,
+                audit.1,
+            ));
+        }
+        out.push_str("}}");
+        println!("{out}");
+        return Ok(());
+    }
+    println!(
+        "explain: {} k-NN, k={k} ({})",
+        eng.name(),
+        if qopts.is_exact() {
+            "exact".to_string()
+        } else {
+            knobs
+        },
+    );
+    if let Some(f) = &filter {
+        println!(
+            "  filter matches {} of {} points (selectivity {:.3}); the model \
+             predicts the unfiltered search (a pushed-down filter only drops \
+             candidates, it reads no extra pages)",
+            f.matching(),
+            f.domain(),
+            f.selectivity(),
+        );
+    }
+    println!(
+        "  predicted filter phase : {:.1} page access(es) (directory + approximation sweep)",
+        pred.filter_pages,
+    );
+    println!(
+        "  predicted refine phase : {:.1} exact-point read(s)",
+        pred.refine_pages,
+    );
+    println!(
+        "  predicted I/O          : {:.2} simulated ms",
+        pred.io_seconds * 1e3,
+    );
+    if let Some(t) = &observed {
+        let (pages_err, io_err) = explain_audit(&pred, t, &clock);
+        println!("analyze (ran the query):");
+        println!(
+            "                         {:>12}  {:>12}",
+            "predicted", "observed"
+        );
+        println!(
+            "  pages                  {:>12.1}  {:>12}",
+            pred.pages, t.pages_processed,
+        );
+        println!(
+            "  refinements            {:>12.1}  {:>12}",
+            pred.refine_pages, t.refinements,
+        );
+        println!(
+            "  I/O ms                 {:>12.2}  {:>12.2}",
+            pred.io_seconds * 1e3,
+            clock.io_time() * 1e3,
+        );
+        println!(
+            "  signed relative error: pages {pages_err:+.2}, io {io_err:+.2} \
+             (prediction − observation, over observation)",
+        );
+    }
+    Ok(())
+}
+
+/// Feeds one predicted/observed pair into a [`iqtree_repro::obs::CostAudit`]
+/// and returns the signed relative errors for (pages, io_seconds).
+fn explain_audit(
+    pred: &iqtree_repro::obs::CostPrediction,
+    trace: &iqtree_repro::engine::QueryTrace,
+    clock: &SimClock,
+) -> (f64, f64) {
+    let mut audit = iqtree_repro::obs::CostAudit::new();
+    audit.record("pages", pred.pages, trace.pages_processed as f64);
+    audit.record("io_seconds", pred.io_seconds, clock.io_time());
+    let pages_err = audit.relative_errors("pages")[0];
+    let io_err = audit.relative_errors("io_seconds")[0];
+    (pages_err, io_err)
 }
 
 fn cmd_range(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -1043,11 +1217,15 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
         .map_or(Ok(20), |s| parse_num(s, "--queries"))?;
     let metric = parse_metric(opts)?;
     let json = opts.contains_key("json");
-    if json {
-        // The JSON report embeds the registry snapshot; recording must be
-        // on before the engines (and their device stacks) are built.
-        iqtree_repro::obs::global().set_enabled(true);
-    }
+    // The bench always records: the JSON report embeds the registry
+    // snapshot, and the periodic telemetry snapshots persisted for
+    // `iq stats --window` need live counters. Recording must be on before
+    // the engines (and their device stacks) are built.
+    iqtree_repro::obs::global().set_enabled(true);
+    let provenance = iq_bench::provenance::collect(opts.get("date").map(String::as_str));
+    let slowlog = iqtree_repro::obs::SlowLog::global();
+    let mut telemetry = iqtree_repro::obs::TelemetryWindow::new(32);
+    let mut sim_elapsed = 0.0f64;
     let all = load_vectors(input)?.points;
     if all.len() <= queries {
         return Err(format!("need more than {queries} points for a benchmark"));
@@ -1082,7 +1260,12 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
     };
 
     let mut clock = SimClock::default();
-    let mut json_rows: Vec<String> = Vec::new();
+    // Provenance leads the JSON report: every committed BENCH artifact
+    // records what produced it before any numbers.
+    let mut json_rows: Vec<String> = vec![format!(
+        "{{\"engine\":\"provenance\",\"provenance\":{}}}",
+        provenance.to_json()
+    )];
     for kind in EngineKind::ALL {
         let eng = iqtree_repro::build_engine_with(
             kind,
@@ -1095,13 +1278,21 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
         let mut total = 0.0;
         let mut seeks = 0u64;
         let mut blocks = 0u64;
-        for q in w.queries.iter() {
+        for (qi, q) in w.queries.iter().enumerate() {
             clock.reset();
+            if slowlog.should_sample() {
+                clock.enable_tracing();
+            }
             eng.nearest(&mut clock, q);
             total += clock.total_time();
             seeks += clock.stats().seeks;
             blocks += clock.stats().blocks_read;
+            if let Some(tree) = clock.take_trace() {
+                slowlog.offer(&format!("{}/nn/q{qi}", eng.name()), tree);
+            }
         }
+        sim_elapsed += total;
+        telemetry.push(sim_elapsed, iqtree_repro::obs::global().snapshot());
         let nq = w.queries.len() as f64;
         if json {
             json_rows.push(format!(
@@ -1155,10 +1346,16 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
         let page = PageSpec::top(fk);
         let mut total = 0.0;
         let mut recall_sum = 0.0;
-        for q in w.queries.iter() {
+        for (qi, q) in w.queries.iter().enumerate() {
             clock.reset();
+            if slowlog.should_sample() {
+                clock.enable_tracing();
+            }
             let got = knn_paginated(eng.as_ref(), &mut clock, q, Some(&filter), &page);
             total += clock.total_time();
+            if let Some(tree) = clock.take_trace() {
+                slowlog.offer(&format!("{}/filtered/q{qi}", eng.name()), tree);
+            }
             let mut oracle: Vec<(u32, f64)> = (0..w.db.len() as u32)
                 .filter(|&i| filter.matches(i))
                 .map(|i| (i, metric.distance(w.db.point(i as usize), q)))
@@ -1176,6 +1373,8 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
                 .count();
             recall_sum += matched as f64 / oracle.len().max(1) as f64;
         }
+        sim_elapsed += total;
+        telemetry.push(sim_elapsed, iqtree_repro::obs::global().snapshot());
         let nq = w.queries.len() as f64;
         if json {
             json_rows.push(format!(
@@ -1238,10 +1437,77 @@ fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
         println!();
         println!("(times are simulated: 10 ms seek, 1 ms / 8 KiB block, 100 ns CPU per dim-op)");
     }
+    // Persist the observability artifacts next to the run so `iq stats
+    // --slow` / `--window` can read them back later.
+    std::fs::write(SLOWLOG_FILE, slowlog.to_json())
+        .map_err(|e| format!("write {SLOWLOG_FILE}: {e}"))?;
+    std::fs::write(TELEMETRY_FILE, telemetry.to_json())
+        .map_err(|e| format!("write {TELEMETRY_FILE}: {e}"))?;
+    if !json {
+        println!(
+            "wrote {SLOWLOG_FILE} ({} retained) and {TELEMETRY_FILE} ({} snapshot(s))",
+            slowlog.entries().len(),
+            telemetry.len()
+        );
+    }
+    Ok(())
+}
+
+/// Default paths of the observability artifacts `iq bench` persists next
+/// to wherever it runs; `iq stats --slow` / `--window` read them back.
+const SLOWLOG_FILE: &str = "iq-slowlog.json";
+const TELEMETRY_FILE: &str = "iq-telemetry.json";
+
+/// `iq stats --slow`: the retained slow-query log — the top-K slowest
+/// sampled queries with their full trace trees.
+fn cmd_stats_slow(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = opts
+        .get("slow-log")
+        .map_or(SLOWLOG_FILE, String::as_str)
+        .to_string();
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("read {path}: {e} (run `iq bench` first, or pass --slow-log)"))?;
+    let entries = iqtree_repro::obs::SlowLog::load_json(&text)?;
+    if entries.is_empty() {
+        println!("{path}: no slow queries retained");
+        return Ok(());
+    }
+    println!(
+        "{path}: {} retained slow quer(ies), slowest first",
+        entries.len()
+    );
+    print!("{}", iqtree_repro::obs::slowlog::render_entries(&entries));
+    Ok(())
+}
+
+/// `iq stats --window <n>`: counter rates and histogram percentiles over
+/// the last `n` persisted telemetry snapshots.
+fn cmd_stats_window(opts: &HashMap<String, String>) -> Result<(), String> {
+    let n: usize = parse_num(req(opts, "window")?, "--window")?;
+    let path = opts
+        .get("telemetry")
+        .map_or(TELEMETRY_FILE, String::as_str)
+        .to_string();
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("read {path}: {e} (run `iq bench` first, or pass --telemetry)"))?;
+    let window = iqtree_repro::obs::TelemetryWindow::load_json(&text)?;
+    let Some(report) = window.report(n) else {
+        return Err(format!(
+            "{path} holds {} snapshot(s); a window of {n} needs at least 2",
+            window.len(),
+        ));
+    };
+    print!("{}", iqtree_repro::obs::window::render_report(&report));
     Ok(())
 }
 
 fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    if opts.contains_key("slow") {
+        return cmd_stats_slow(opts);
+    }
+    if opts.contains_key("window") {
+        return cmd_stats_window(opts);
+    }
     let index = PathBuf::from(req(opts, "index")?);
     let format = opts.get("format").map(String::as_str);
     // Machine formats export the full metrics registry, so recording must
